@@ -1,0 +1,38 @@
+//! Boundary-element substrate for the paper's integral-equation
+//! experiments.
+//!
+//! The paper solves dense linear systems from boundary-element
+//! discretisations of first-kind integral equations of potential theory:
+//! "the surface of the domain is discretized into triangular elements.
+//! Gaussian quadrature is used for integration over the surface. Typically,
+//! a fixed number of Gauss points are located inside each element and
+//! inserted into the hierarchical domain representation. Using this
+//! hierarchical domain, the potential is computed at the vertices of the
+//! elements and matched to the boundary values."
+//!
+//! This crate builds everything that pipeline needs:
+//!
+//! * [`TriMesh`] — triangle surface meshes with validation and measures,
+//! * [`shapes`] — procedural geometry: icospheres, plates, boxes, plus the
+//!   synthetic **propeller** and **gripper** stand-ins for the paper's
+//!   industrial meshes (see `DESIGN.md` for the substitution rationale),
+//! * [`quadrature`] — symmetric triangle Gauss rules (1–7 points),
+//! * [`SingleLayerOperator`] — the collocation single-layer potential
+//!   operator with piecewise-linear densities, applied either densely
+//!   (exact reference) or through the treecode,
+//! * [`double_layer`] — the double-layer operator (dense + treecode via
+//!   finite-difference dipoles), validated against the Gauss identities,
+//! * [`problem`] — the Dirichlet capacitance problem solved with GMRES.
+
+pub mod double_layer;
+pub mod mesh;
+pub mod problem;
+pub mod quadrature;
+pub mod shapes;
+pub mod single_layer;
+
+pub use mesh::TriMesh;
+pub use problem::CapacitanceProblem;
+pub use quadrature::QuadRule;
+pub use double_layer::{DenseDoubleLayer, TreecodeDoubleLayer};
+pub use single_layer::{DenseSingleLayer, SingleLayerGeometry, TreecodeSingleLayer};

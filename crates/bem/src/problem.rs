@@ -1,0 +1,102 @@
+//! The Dirichlet capacitance problem — the canonical first-kind integral
+//! equation of potential theory the paper's BEM experiments exercise.
+//!
+//! Given a conductor surface Γ held at unit potential, solve
+//! `∫_Γ σ(y)/|x−y| dΓ(y) = 1` for the charge density `σ`; the capacitance
+//! is the total induced charge `C = ∫_Γ σ dΓ` (Gaussian units, so a sphere
+//! of radius `R` has `C = R` exactly — a free analytic check).
+
+use mbt_solvers::{gmres, GmresOptions, GmresResult, LinearOperator};
+
+use crate::single_layer::SingleLayerGeometry;
+
+/// A capacitance solve on a given operator backend.
+pub struct CapacitanceProblem<'a, Op: LinearOperator> {
+    operator: &'a Op,
+    geometry: &'a SingleLayerGeometry,
+}
+
+/// Result of a capacitance solve.
+#[derive(Debug, Clone)]
+pub struct CapacitanceSolution {
+    /// The density at the vertices.
+    pub sigma: Vec<f64>,
+    /// Total induced charge `∫ σ dΓ` — the capacitance.
+    pub capacitance: f64,
+    /// The GMRES run record.
+    pub gmres: GmresResult,
+}
+
+impl<'a, Op: LinearOperator> CapacitanceProblem<'a, Op> {
+    /// Couples an operator with its geometry.
+    pub fn new(operator: &'a Op, geometry: &'a SingleLayerGeometry) -> Self {
+        assert_eq!(operator.dim(), geometry.dim());
+        CapacitanceProblem { operator, geometry }
+    }
+
+    /// Solves `Sσ = 1` with restarted GMRES and integrates the density.
+    pub fn solve(&self, opts: &GmresOptions) -> CapacitanceSolution {
+        let b = vec![1.0; self.operator.dim()];
+        let gmres_result = gmres(self.operator, &b, opts);
+        let capacitance = self.geometry.integrate_density(&gmres_result.x);
+        CapacitanceSolution { sigma: gmres_result.x.clone(), capacitance, gmres: gmres_result }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quadrature::QuadRule;
+    use crate::shapes::icosphere;
+    use crate::single_layer::{DenseSingleLayer, TreecodeSingleLayer};
+    use mbt_solvers::GmresOutcome;
+    use mbt_treecode::TreecodeParams;
+
+    #[test]
+    fn sphere_capacitance_dense() {
+        // unit sphere: C = R = 1 in Gaussian units
+        let g = SingleLayerGeometry::new(icosphere(2, 1.0), QuadRule::SixPoint);
+        let dense = DenseSingleLayer::assemble(g.clone());
+        let problem = CapacitanceProblem::new(&dense, &g);
+        let sol = problem.solve(&GmresOptions { restart: 10, tol: 1e-10, ..Default::default() });
+        assert_eq!(sol.gmres.outcome, GmresOutcome::Converged);
+        assert!(
+            (sol.capacitance - 1.0).abs() < 0.03,
+            "capacitance {} should be ≈ 1",
+            sol.capacitance
+        );
+        // density is positive and nearly uniform on a sphere
+        let mean = sol.sigma.iter().sum::<f64>() / sol.sigma.len() as f64;
+        for &s in &sol.sigma {
+            assert!(s > 0.0);
+            assert!((s - mean).abs() < 0.15 * mean, "sigma {s} vs mean {mean}");
+        }
+    }
+
+    #[test]
+    fn sphere_capacitance_treecode_matches_dense() {
+        let g = SingleLayerGeometry::new(icosphere(2, 1.0), QuadRule::SixPoint);
+        let dense = DenseSingleLayer::assemble(g.clone());
+        let tcode = TreecodeSingleLayer::new(g.clone(), TreecodeParams::fixed(8, 0.4));
+        let opts = GmresOptions { restart: 10, tol: 1e-8, ..Default::default() };
+        let c_dense = CapacitanceProblem::new(&dense, &g).solve(&opts).capacitance;
+        let c_tree = CapacitanceProblem::new(&tcode, &g).solve(&opts).capacitance;
+        assert!(
+            (c_dense - c_tree).abs() < 1e-3 * c_dense.abs(),
+            "dense {c_dense} vs treecode {c_tree}"
+        );
+    }
+
+    #[test]
+    fn larger_sphere_has_larger_capacitance() {
+        let opts = GmresOptions { restart: 10, tol: 1e-8, ..Default::default() };
+        let mut caps = Vec::new();
+        for r in [1.0, 2.0] {
+            let g = SingleLayerGeometry::new(icosphere(1, r), QuadRule::SixPoint);
+            let dense = DenseSingleLayer::assemble(g.clone());
+            caps.push(CapacitanceProblem::new(&dense, &g).solve(&opts).capacitance);
+        }
+        // C scales linearly with R
+        assert!((caps[1] / caps[0] - 2.0).abs() < 0.02, "C(2R)/C(R) = {}", caps[1] / caps[0]);
+    }
+}

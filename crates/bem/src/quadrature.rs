@@ -1,0 +1,213 @@
+//! Symmetric Gauss quadrature rules on triangles.
+//!
+//! Points are given in barycentric coordinates with weights normalised to
+//! sum to one, so an integral over a physical triangle is
+//! `area · Σ w_g f(y_g)`. The paper's experiments use 6 Gauss points per
+//! element ([`QuadRule::SixPoint`], exact through degree 4).
+
+use mbt_geometry::Vec3;
+
+use crate::mesh::TriMesh;
+
+/// Available rules (named by point count; degree = highest polynomial
+/// degree integrated exactly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QuadRule {
+    /// 1 point, degree 1.
+    Centroid,
+    /// 3 points, degree 2.
+    ThreePoint,
+    /// 4 points, degree 3 (has one negative weight).
+    FourPoint,
+    /// 6 points, degree 4 — the paper's choice.
+    #[default]
+    SixPoint,
+    /// 7 points, degree 5.
+    SevenPoint,
+}
+
+impl QuadRule {
+    /// Barycentric points and weights (weights sum to 1).
+    pub fn points(self) -> &'static [([f64; 3], f64)] {
+        match self {
+            QuadRule::Centroid => {
+                const P: [([f64; 3], f64); 1] = [([1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0], 1.0)];
+                &P
+            }
+            QuadRule::ThreePoint => {
+                const A: f64 = 2.0 / 3.0;
+                const B: f64 = 1.0 / 6.0;
+                const W: f64 = 1.0 / 3.0;
+                const P: [([f64; 3], f64); 3] =
+                    [([A, B, B], W), ([B, A, B], W), ([B, B, A], W)];
+                &P
+            }
+            QuadRule::FourPoint => {
+                const W0: f64 = -27.0 / 48.0;
+                const W1: f64 = 25.0 / 48.0;
+                const A: f64 = 0.6;
+                const B: f64 = 0.2;
+                const P: [([f64; 3], f64); 4] = [
+                    ([1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0], W0),
+                    ([A, B, B], W1),
+                    ([B, A, B], W1),
+                    ([B, B, A], W1),
+                ];
+                &P
+            }
+            QuadRule::SixPoint => {
+                const A1: f64 = 0.445_948_490_915_965;
+                const B1: f64 = 0.108_103_018_168_070;
+                const W1: f64 = 0.223_381_589_678_011;
+                const A2: f64 = 0.091_576_213_509_771;
+                const B2: f64 = 0.816_847_572_980_459;
+                const W2: f64 = 0.109_951_743_655_322;
+                const P: [([f64; 3], f64); 6] = [
+                    ([B1, A1, A1], W1),
+                    ([A1, B1, A1], W1),
+                    ([A1, A1, B1], W1),
+                    ([B2, A2, A2], W2),
+                    ([A2, B2, A2], W2),
+                    ([A2, A2, B2], W2),
+                ];
+                &P
+            }
+            QuadRule::SevenPoint => {
+                const W0: f64 = 0.225;
+                const A1: f64 = 0.470_142_064_105_115;
+                const B1: f64 = 0.059_715_871_789_770;
+                const W1: f64 = 0.132_394_152_788_506;
+                const A2: f64 = 0.101_286_507_323_456;
+                const B2: f64 = 0.797_426_985_353_087;
+                const W2: f64 = 0.125_939_180_544_827;
+                const P: [([f64; 3], f64); 7] = [
+                    ([1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0], W0),
+                    ([B1, A1, A1], W1),
+                    ([A1, B1, A1], W1),
+                    ([A1, A1, B1], W1),
+                    ([B2, A2, A2], W2),
+                    ([A2, B2, A2], W2),
+                    ([A2, A2, B2], W2),
+                ];
+                &P
+            }
+        }
+    }
+
+    /// Number of points.
+    pub fn len(self) -> usize {
+        self.points().len()
+    }
+
+    /// Always false (every rule has points); included for clippy symmetry.
+    pub fn is_empty(self) -> bool {
+        false
+    }
+
+    /// Highest exactly-integrated polynomial degree.
+    pub fn degree(self) -> usize {
+        match self {
+            QuadRule::Centroid => 1,
+            QuadRule::ThreePoint => 2,
+            QuadRule::FourPoint => 3,
+            QuadRule::SixPoint => 4,
+            QuadRule::SevenPoint => 5,
+        }
+    }
+}
+
+/// Integrates `f` over triangle `t` of `mesh` with the given rule.
+pub fn integrate_on_triangle(
+    mesh: &TriMesh,
+    t: usize,
+    rule: QuadRule,
+    f: impl Fn(Vec3) -> f64,
+) -> f64 {
+    let [a, b, c] = mesh.corners(t);
+    let area = mesh.area(t);
+    rule.points()
+        .iter()
+        .map(|&([ba, bb, bc], w)| w * f(a * ba + b * bb + c * bc))
+        .sum::<f64>()
+        * area
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [QuadRule; 5] = [
+        QuadRule::Centroid,
+        QuadRule::ThreePoint,
+        QuadRule::FourPoint,
+        QuadRule::SixPoint,
+        QuadRule::SevenPoint,
+    ];
+
+    #[test]
+    fn weights_sum_to_one_and_points_valid() {
+        for rule in ALL {
+            let sum: f64 = rule.points().iter().map(|&(_, w)| w).sum();
+            assert!((sum - 1.0).abs() < 1e-12, "{rule:?}");
+            for &(b, _) in rule.points() {
+                assert!((b[0] + b[1] + b[2] - 1.0).abs() < 1e-12, "{rule:?}");
+            }
+            assert_eq!(rule.len(), rule.points().len());
+            assert!(!rule.is_empty());
+        }
+    }
+
+    /// ∫ x^a y^b over the unit right triangle = a!·b!/(a+b+2)!.
+    fn monomial_integral(a: u32, b: u32) -> f64 {
+        let fact = |k: u32| (1..=k).map(f64::from).product::<f64>().max(1.0);
+        fact(a) * fact(b) / fact(a + b + 2)
+    }
+
+    fn unit_right_triangle() -> TriMesh {
+        TriMesh {
+            vertices: vec![
+                Vec3::ZERO,
+                Vec3::new(1.0, 0.0, 0.0),
+                Vec3::new(0.0, 1.0, 0.0),
+            ],
+            triangles: vec![[0, 1, 2]],
+        }
+    }
+
+    #[test]
+    fn rules_are_exact_to_their_degree() {
+        let mesh = unit_right_triangle();
+        for rule in ALL {
+            for a in 0..=rule.degree() as u32 {
+                for b in 0..=(rule.degree() as u32 - a) {
+                    let approx = integrate_on_triangle(&mesh, 0, rule, |p| {
+                        p.x.powi(a as i32) * p.y.powi(b as i32)
+                    });
+                    let exact = monomial_integral(a, b);
+                    assert!(
+                        (approx - exact).abs() < 1e-12,
+                        "{rule:?} fails on x^{a} y^{b}: {approx} vs {exact}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn six_point_not_exact_beyond_degree() {
+        let mesh = unit_right_triangle();
+        // degree-6 monomial must show a quadrature error
+        let approx = integrate_on_triangle(&mesh, 0, QuadRule::SixPoint, |p| p.x.powi(6));
+        let exact = monomial_integral(6, 0);
+        assert!((approx - exact).abs() > 1e-8);
+    }
+
+    #[test]
+    fn integrates_constant_to_area() {
+        let mesh = unit_right_triangle();
+        for rule in ALL {
+            let v = integrate_on_triangle(&mesh, 0, rule, |_| 3.0);
+            assert!((v - 1.5).abs() < 1e-13);
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Discretisation-convergence tests for the BEM substrate: mesh refinement
+//! must drive the discrete operators toward their continuum values at the
+//! expected rates.
+
+use mbt_bem::{shapes, DenseSingleLayer, QuadRule, SingleLayerGeometry};
+use mbt_geometry::Vec3;
+use mbt_solvers::LinearOperator;
+
+const FOUR_PI: f64 = 4.0 * std::f64::consts::PI;
+
+/// Off-surface single-layer potential of a constant density on the unit
+/// sphere: Φ(x) = 4π/R·min(R,|x|)… outside: 4π/|x| (total charge 4π).
+fn exact_sphere_potential(r: f64) -> f64 {
+    if r >= 1.0 {
+        FOUR_PI / r
+    } else {
+        FOUR_PI
+    }
+}
+
+fn sphere_sl_error(subdiv: u32, rule: QuadRule, point: Vec3) -> f64 {
+    let g = SingleLayerGeometry::new(shapes::icosphere(subdiv, 1.0), rule);
+    // evaluate the quadrature sum directly at an off-surface point: the
+    // charges of the constant density, summed against 1/r
+    let charges = g.charges(&vec![1.0; g.dim()]);
+    let phi: f64 = charges
+        .iter()
+        .zip(&g.gauss_points)
+        .map(|(&q, y)| q / y.distance(point))
+        .sum();
+    (phi - exact_sphere_potential(point.norm())).abs()
+}
+
+#[test]
+fn single_layer_converges_under_refinement_outside() {
+    let point = Vec3::new(1.8, 0.4, -0.2);
+    let e1 = sphere_sl_error(1, QuadRule::SixPoint, point);
+    let e2 = sphere_sl_error(2, QuadRule::SixPoint, point);
+    let e3 = sphere_sl_error(3, QuadRule::SixPoint, point);
+    assert!(e2 < e1 && e3 < e2, "no convergence: {e1} {e2} {e3}");
+    // geometric (flat-panel) error is O(h²): one subdivision halves h,
+    // expect roughly 4x per level; accept 2.5x to be robust
+    assert!(e2 * 2.5 < e1, "rate too slow: {e1} -> {e2}");
+    assert!(e3 * 2.5 < e2, "rate too slow: {e2} -> {e3}");
+}
+
+#[test]
+fn single_layer_converges_inside_too() {
+    // constant density on a sphere gives a constant interior potential
+    let point = Vec3::new(0.2, -0.3, 0.1);
+    let e2 = sphere_sl_error(2, QuadRule::SixPoint, point);
+    let e3 = sphere_sl_error(3, QuadRule::SixPoint, point);
+    assert!(e3 < e2);
+    assert!(e3 < 0.01 * FOUR_PI);
+}
+
+#[test]
+fn higher_quadrature_rules_help_on_coarse_meshes() {
+    let point = Vec3::new(1.5, 0.0, 0.0);
+    let e_centroid = sphere_sl_error(2, QuadRule::Centroid, point);
+    let e_six = sphere_sl_error(2, QuadRule::SixPoint, point);
+    // six-point integrates the smooth part much better
+    assert!(
+        e_six <= e_centroid * 1.05,
+        "six-point ({e_six}) should not lose to centroid ({e_centroid})"
+    );
+}
+
+#[test]
+fn collocation_matrix_row_sums_converge_to_surface_potential() {
+    // row sum of the dense single-layer matrix = discrete (Sσ≡1)(xᵢ);
+    // on the unit sphere the exact on-surface value is 4π
+    for (subdiv, tol) in [(1u32, 0.8), (2, 0.4)] {
+        let g = SingleLayerGeometry::new(shapes::icosphere(subdiv, 1.0), QuadRule::SixPoint);
+        let dense = DenseSingleLayer::assemble(g.clone());
+        let v = dense.apply_vec(&vec![1.0; g.dim()]);
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            (mean - FOUR_PI).abs() < tol,
+            "subdiv {subdiv}: mean on-surface potential {mean} vs {FOUR_PI}"
+        );
+    }
+}
+
+#[test]
+fn mesh_refinement_scales_counts_linearly() {
+    let m1 = shapes::icosphere(2, 1.0);
+    let m2 = shapes::icosphere(3, 1.0);
+    assert_eq!(m2.num_elements(), 4 * m1.num_elements());
+    let g1 = SingleLayerGeometry::new(m1, QuadRule::ThreePoint);
+    let g2 = SingleLayerGeometry::new(m2, QuadRule::ThreePoint);
+    assert_eq!(g2.num_gauss(), 4 * g1.num_gauss());
+}

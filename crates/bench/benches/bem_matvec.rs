@@ -1,0 +1,43 @@
+//! BEM matvec benchmark: dense (exact `O(n²)`) vs treecode-accelerated
+//! single-layer application — the per-iteration cost inside GMRES that the
+//! paper's Table 3 times.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbt_bem::{shapes, DenseSingleLayer, QuadRule, SingleLayerGeometry, TreecodeSingleLayer};
+use mbt_solvers::LinearOperator;
+use mbt_treecode::TreecodeParams;
+use std::hint::black_box;
+
+fn bench_matvec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bem_matvec");
+    group.sample_size(10);
+
+    for &subdiv in &[2u32, 3] {
+        let geometry = SingleLayerGeometry::new(shapes::icosphere(subdiv, 1.0), QuadRule::SixPoint);
+        let n = geometry.dim();
+        let x: Vec<f64> = (0..n).map(|i| 1.0 + 0.3 * (i as f64 * 0.02).sin()).collect();
+
+        let tcode = TreecodeSingleLayer::new(geometry.clone(), TreecodeParams::fixed(4, 0.5));
+        group.bench_with_input(BenchmarkId::new("treecode_p4", n), &n, |b, _| {
+            b.iter(|| black_box(&tcode).apply_vec(black_box(&x)))
+        });
+        let adaptive = TreecodeSingleLayer::new(geometry.clone(), TreecodeParams::adaptive(4, 0.5));
+        group.bench_with_input(BenchmarkId::new("treecode_adaptive", n), &n, |b, _| {
+            b.iter(|| black_box(&adaptive).apply_vec(black_box(&x)))
+        });
+        if subdiv <= 2 {
+            // dense assembly is quadratic; bench only the small mesh
+            let dense = DenseSingleLayer::assemble(geometry.clone());
+            group.bench_with_input(BenchmarkId::new("dense", n), &n, |b, _| {
+                b.iter(|| black_box(&dense).apply_vec(black_box(&x)))
+            });
+            group.bench_with_input(BenchmarkId::new("dense_assembly", n), &n, |b, _| {
+                b.iter(|| DenseSingleLayer::assemble(black_box(geometry.clone())))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matvec);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Micro-benchmarks of the multipole operator kernels vs expansion degree:
+//! P2M, M2M, M2L, L2L, M2P (potential and field). These are the inner
+//! loops whose `(p+1)²`-term scaling underlies every cost statement in the
+//! paper.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbt_geometry::{Particle, Vec3};
+use mbt_multipole::MultipoleExpansion;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn cluster(n: usize) -> Vec<Particle> {
+    let mut rng = StdRng::seed_from_u64(17);
+    (0..n)
+        .map(|_| {
+            Particle::new(
+                Vec3::new(
+                    rng.gen_range(-0.5..0.5),
+                    rng.gen_range(-0.5..0.5),
+                    rng.gen_range(-0.5..0.5),
+                ),
+                rng.gen_range(-1.0..1.0),
+            )
+        })
+        .collect()
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let ps = cluster(64);
+    let mut group = c.benchmark_group("multipole_ops");
+    group.sample_size(30);
+    for &p in &[4usize, 8, 16] {
+        let exp = MultipoleExpansion::from_particles(Vec3::ZERO, p, &ps);
+        let target = Vec3::new(3.0, 2.0, -1.0);
+        group.bench_with_input(BenchmarkId::new("p2m_64", p), &p, |b, &p| {
+            b.iter(|| MultipoleExpansion::from_particles(Vec3::ZERO, p, black_box(&ps)))
+        });
+        group.bench_with_input(BenchmarkId::new("m2m", p), &p, |b, &p| {
+            b.iter(|| black_box(&exp).translated(Vec3::new(0.3, 0.2, 0.1), p))
+        });
+        group.bench_with_input(BenchmarkId::new("m2l", p), &p, |b, &p| {
+            b.iter(|| black_box(&exp).to_local(Vec3::new(4.0, 0.0, 0.0), p))
+        });
+        let local = exp.to_local(Vec3::new(4.0, 0.0, 0.0), p);
+        group.bench_with_input(BenchmarkId::new("l2l", p), &p, |b, &p| {
+            b.iter(|| black_box(&local).translated(Vec3::new(4.1, 0.05, -0.05), p))
+        });
+        group.bench_with_input(BenchmarkId::new("m2p_potential", p), &p, |b, _| {
+            b.iter(|| black_box(&exp).potential_at(black_box(target)))
+        });
+        group.bench_with_input(BenchmarkId::new("m2p_field", p), &p, |b, _| {
+            b.iter(|| black_box(&exp).field_at(black_box(target)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

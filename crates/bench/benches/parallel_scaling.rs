@@ -1,0 +1,43 @@
+//! Parallel-scaling benchmark: the treecode evaluation under rayon pools
+//! of different sizes and different aggregation widths `w` — the
+//! Criterion-tracked version of the Table 2 harness.
+//!
+//! On a single-core host all pool sizes coincide (reported as-is); the
+//! aggregation-width sweep is meaningful everywhere because it changes the
+//! task granularity and cache behaviour even on one core.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbt_bench::structured_instance;
+use mbt_treecode::{Treecode, TreecodeParams};
+use std::hint::black_box;
+
+fn bench_scaling(c: &mut Criterion) {
+    let ps = structured_instance(20_000);
+    let ncpu = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+
+    let mut group = c.benchmark_group("parallel_scaling");
+    group.sample_size(10);
+
+    // thread-count sweep at the paper's w = 64
+    let tc = Treecode::new(&ps, TreecodeParams::fixed(5, 0.7).with_eval_chunk(64)).unwrap();
+    let mut t = 1usize;
+    while t <= ncpu.max(2) {
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(t).build().unwrap();
+        group.bench_with_input(BenchmarkId::new("threads", t), &t, |b, _| {
+            b.iter(|| pool.install(|| black_box(&tc).potentials()))
+        });
+        t *= 2;
+    }
+
+    // aggregation-width sweep on the default pool
+    for &w in &[1usize, 16, 64, 256, 2048] {
+        let tc = Treecode::new(&ps, TreecodeParams::fixed(5, 0.7).with_eval_chunk(w)).unwrap();
+        group.bench_with_input(BenchmarkId::new("agg_width", w), &w, |b, _| {
+            b.iter(|| black_box(&tc).potentials())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Benchmarks of the decomposition substrate: space-filling-curve key
+//! generation, the proximity sort, and octree construction vs `n`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mbt_bench::structured_instance;
+use mbt_geometry::sort::{order_particles, CurveOrder};
+use mbt_tree::{Octree, OctreeParams};
+use std::hint::black_box;
+
+fn bench_tree_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_build");
+    group.sample_size(10);
+    for &n in &[10_000usize, 40_000, 160_000] {
+        let ps = structured_instance(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("octree", n), &n, |b, _| {
+            b.iter(|| Octree::build(black_box(&ps), OctreeParams { leaf_capacity: 32 }).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("hilbert_sort", n), &n, |b, _| {
+            b.iter(|| order_particles(black_box(&ps), CurveOrder::Hilbert))
+        });
+        group.bench_with_input(BenchmarkId::new("morton_sort", n), &n, |b, _| {
+            b.iter(|| order_particles(black_box(&ps), CurveOrder::Morton))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tree_build);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! **Ablations** — the design-choice sweeps DESIGN.md calls out, checking
+//! Theorem 4's cost claim and the sensitivity of the improved method to
+//! its knobs:
+//!
+//! * α sweep — accuracy/cost trade of the MAC for both methods,
+//! * threshold-multiplier sweep — the cost/accuracy dial of the adaptive
+//!   rule (Terms(new)/Terms(orig) vs error gain),
+//! * weighting ablation — `Charge` (the paper's literal Theorem 3) vs
+//!   `ChargeOverDistance` (the full Theorem-2 bound),
+//! * leaf-capacity sweep — the paper's cache note (leaves of 32–64).
+//!
+//! Run: `cargo run --release -p mbt-bench --bin ablation`
+
+use mbt_bench::{structured_instance, timed};
+use mbt_multipole::{DegreeSelector, DegreeWeighting};
+use mbt_treecode::{sampled_relative_error, RefWeight, Treecode, TreecodeParams};
+
+const N: usize = 32_000;
+
+fn measure(params: TreecodeParams) -> (f64, u64, f64) {
+    let ps = structured_instance(N);
+    let tc = Treecode::new(&ps, params).expect("valid");
+    let (r, secs) = timed(|| tc.potentials());
+    let e = sampled_relative_error(&ps, &r.values, 300, 1);
+    (e.relative_l2, r.stats.terms, secs)
+}
+
+fn main() {
+    println!("Ablations on the structured n = {N} instance\n");
+
+    println!("--- α sweep (p = p_min = 4, threshold = 8× median leaf)");
+    println!(
+        "{:>6} {:>12} {:>14} {:>12} {:>14}",
+        "α", "err(orig)", "terms(orig)", "err(new)", "terms(new)"
+    );
+    for alpha in [0.3, 0.5, 0.7, 0.9] {
+        let (eo, to, _) = measure(TreecodeParams::fixed(4, alpha));
+        let probe = Treecode::new(&structured_instance(N), TreecodeParams::adaptive(4, alpha)).unwrap();
+        let (en, tn, _) = measure(
+            TreecodeParams::adaptive(4, alpha)
+                .with_ref_weight(RefWeight::Explicit(probe.ref_weight() * 8.0)),
+        );
+        println!("{alpha:>6} {eo:>12.3e} {to:>14} {en:>12.3e} {tn:>14}");
+    }
+
+    println!("\n--- threshold-multiplier sweep (α = 0.7, p_min = 4)");
+    println!(
+        "{:>6} {:>12} {:>9} {:>9}",
+        "mult", "err(new)", "gain", "t-ratio"
+    );
+    let (e_orig, t_orig, _) = measure(TreecodeParams::fixed(4, 0.7));
+    let probe = Treecode::new(&structured_instance(N), TreecodeParams::adaptive(4, 0.7)).unwrap();
+    let med = probe.ref_weight();
+    for mult in [1.0, 2.0, 4.0, 8.0, 16.0, 64.0] {
+        let (e, t, _) = measure(
+            TreecodeParams::adaptive(4, 0.7).with_ref_weight(RefWeight::Explicit(med * mult)),
+        );
+        println!(
+            "{mult:>6} {e:>12.3e} {:>8.1}x {:>9.2}",
+            e_orig / e,
+            t as f64 / t_orig as f64
+        );
+    }
+
+    println!("\n--- weighting ablation (α = 0.7, p_min = 4, threshold 8×)");
+    println!("{:>22} {:>12} {:>14} {:>6}", "weighting", "err(new)", "terms(new)", "p_max");
+    for (name, weighting) in [
+        ("Charge (Thm 3)", DegreeWeighting::Charge),
+        ("Charge/Distance", DegreeWeighting::ChargeOverDistance),
+    ] {
+        let degree = DegreeSelector::Adaptive {
+            p_min: 4,
+            p_max: mbt_multipole::MAX_DEGREE,
+            alpha: 0.7,
+            weighting,
+        };
+        let mut params = TreecodeParams::adaptive(4, 0.7);
+        params.degree = degree;
+        let probe = Treecode::new(&structured_instance(N), params).unwrap();
+        params = params.with_ref_weight(RefWeight::Explicit(probe.ref_weight() * 8.0));
+        let ps = structured_instance(N);
+        let tc = Treecode::new(&ps, params).unwrap();
+        let r = tc.potentials();
+        let e = sampled_relative_error(&ps, &r.values, 300, 1);
+        println!(
+            "{name:>22} {:>12.3e} {:>14} {:>6}",
+            e.relative_l2,
+            r.stats.terms,
+            r.stats.max_degree_used()
+        );
+    }
+
+    println!("\n--- leaf-capacity sweep (α = 0.7, adaptive p_min = 4, threshold 8×)");
+    println!("{:>6} {:>12} {:>14} {:>10}", "leaf", "err", "terms", "time (s)");
+    for leaf in [1usize, 8, 32, 64, 128] {
+        let probe = Treecode::new(
+            &structured_instance(N),
+            TreecodeParams::adaptive(4, 0.7).with_leaf_capacity(leaf),
+        )
+        .unwrap();
+        let (e, t, secs) = measure(
+            TreecodeParams::adaptive(4, 0.7)
+                .with_leaf_capacity(leaf)
+                .with_ref_weight(RefWeight::Explicit(probe.ref_weight() * 8.0)),
+        );
+        println!("{leaf:>6} {e:>12.3e} {t:>14} {secs:>10.3}");
+    }
+
+    println!("\n--- Theorem 4 check: Terms(new)/Terms(orig) stays within a small constant");
+    println!("{:>9} {:>9}", "n", "t-ratio");
+    for n in [8_000usize, 16_000, 32_000, 64_000] {
+        let ps = mbt_bench::structured_instance(n);
+        let orig = Treecode::new(&ps, TreecodeParams::fixed(4, 0.7)).unwrap();
+        let probe = Treecode::new(&ps, TreecodeParams::adaptive(4, 0.7)).unwrap();
+        let new = Treecode::new(
+            &ps,
+            TreecodeParams::adaptive(4, 0.7)
+                .with_ref_weight(RefWeight::Explicit(probe.ref_weight() * 8.0)),
+        )
+        .unwrap();
+        let to = orig.potentials().stats.terms;
+        let tn = new.potentials().stats.terms;
+        let ratio = tn as f64 / to as f64;
+        println!("{n:>9} {ratio:>9.2}");
+        assert!(ratio < 7.0 / 3.0, "Theorem 4 bound exceeded: {ratio}");
+    }
+    println!("(all ratios below the paper's 7/3 constant)");
+}

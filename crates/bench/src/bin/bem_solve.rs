@@ -1,0 +1,69 @@
+//! **§Solving Boundary Integral Equations** — the paper's end-to-end claim:
+//! "The matrix-vector product was used in a GMRES solver with a restart of
+//! 10 and was observed to converge very well. Using this method, we were
+//! able to solve dense systems with over 100,000 unknowns within a few
+//! minutes."
+//!
+//! This harness runs the full GMRES(10) capacitance solve on the synthetic
+//! meshes with the treecode matvec and reports convergence histories and
+//! wall times (unknown counts scaled to the host; the dense system these
+//! sizes represent would have `n²` entries).
+//!
+//! Run: `cargo run --release -p mbt-bench --bin bem_solve [scale]`
+
+use mbt_bem::{shapes, CapacitanceProblem, QuadRule, SingleLayerGeometry, TreecodeSingleLayer};
+use mbt_bench::timed;
+use mbt_solvers::GmresOptions;
+use mbt_treecode::TreecodeParams;
+
+fn run(name: &str, mesh: mbt_bem::TriMesh, expect: Option<f64>) {
+    let geometry = SingleLayerGeometry::new(mesh, QuadRule::SixPoint);
+    let n = geometry.dim();
+    println!(
+        "\n=== {name}: {} unknowns ({} elements; dense system would hold {:.1}M entries)",
+        n,
+        geometry.mesh.num_elements(),
+        (n * n) as f64 / 1e6
+    );
+    let operator = TreecodeSingleLayer::new(geometry.clone(), TreecodeParams::adaptive(4, 0.5));
+    let problem = CapacitanceProblem::new(&operator, &geometry);
+    let (sol, secs) = timed(|| {
+        problem.solve(&GmresOptions {
+            restart: 10,
+            tol: 1e-6,
+            max_iters: 120,
+            preconditioner: None,
+        })
+    });
+    println!(
+        "GMRES(10): {:?} after {} matvecs in {:.1}s — final residual {:.2e}",
+        sol.gmres.outcome, sol.gmres.iterations, secs, sol.gmres.relative_residual
+    );
+    print!("residual history (per iteration):");
+    for (i, r) in sol.gmres.history.iter().enumerate() {
+        if i % 10 == 0 {
+            print!("\n  ");
+        }
+        print!("{r:.1e} ");
+    }
+    println!("\ncapacitance C = {:.4}", sol.capacitance);
+    if let Some(c) = expect {
+        println!("analytic C = {c} (error {:.2}%)", (sol.capacitance - c).abs() / c * 100.0);
+    }
+}
+
+fn main() {
+    let scale = std::env::args().nth(1).unwrap_or_else(|| "full".into());
+    println!("BEM + GMRES(10) end-to-end solves (treecode matvec)");
+    match scale.as_str() {
+        "small" => {
+            run("unit sphere", shapes::icosphere(2, 1.0), Some(1.0));
+            run("gripper", shapes::gripper(8), None);
+        }
+        _ => {
+            run("unit sphere", shapes::icosphere(3, 1.0), Some(1.0));
+            run("gripper", shapes::gripper(16), None);
+            run("propeller", shapes::propeller(4, 32, 3), None);
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! **Figure 2** — "A comparison of the error and computational cost of the
+//! original and new methods": error-vs-n and terms-vs-n curves for both
+//! methods, emitted as CSV plus ASCII plots.
+//!
+//! Shape to match the paper: the error curves separate (original grows
+//! faster), the cost curves nearly coincide.
+//!
+//! Run: `cargo run --release -p mbt-bench --bin fig2 [scale]`
+
+use mbt_bench::{compare_methods, structured_instance, ComparisonRow};
+use mbt_treecode::{RefWeight, Treecode, TreecodeParams};
+
+const ALPHA: f64 = 0.7;
+const P: usize = 4;
+const THRESHOLD_MULT: f64 = 8.0;
+
+fn ascii_plot(title: &str, series: &[(&str, Vec<f64>)], xs: &[usize], log: bool) {
+    println!("\n{title}");
+    let all: Vec<f64> = series.iter().flat_map(|(_, v)| v.iter().copied()).collect();
+    let (lo, hi) = all
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| (l.min(v), h.max(v)));
+    let width = 50usize;
+    let scale = |v: f64| -> usize {
+        let (v, lo, hi) = if log {
+            (v.ln(), lo.ln(), hi.ln())
+        } else {
+            (v, lo, hi)
+        };
+        if hi > lo {
+            ((v - lo) / (hi - lo) * (width - 1) as f64).round() as usize
+        } else {
+            0
+        }
+    };
+    for (i, &n) in xs.iter().enumerate() {
+        for (name, vals) in series {
+            let pos = scale(vals[i]);
+            let mut line = vec![b' '; width];
+            line[pos] = b'*';
+            println!(
+                "{:>8} {:>5} |{}| {:.3e}",
+                n,
+                name,
+                String::from_utf8(line).unwrap(),
+                vals[i]
+            );
+        }
+        println!();
+    }
+}
+
+fn main() {
+    let scale = std::env::args().nth(1).unwrap_or_else(|| "full".into());
+    let sizes: Vec<usize> = match scale.as_str() {
+        "small" => vec![2_000, 4_000, 8_000, 16_000],
+        _ => vec![4_000, 8_000, 16_000, 32_000, 64_000, 128_000],
+    };
+    println!("Figure 2 reproduction — α = {ALPHA}, p = p_min = {P}");
+
+    let mut rows: Vec<ComparisonRow> = Vec::new();
+    for &n in &sizes {
+        let ps = structured_instance(n);
+        let probe = Treecode::new(&ps, TreecodeParams::adaptive(P, ALPHA)).unwrap();
+        let adaptive = TreecodeParams::adaptive(P, ALPHA)
+            .with_ref_weight(RefWeight::Explicit(probe.ref_weight() * THRESHOLD_MULT));
+        let row = compare_methods(&ps, TreecodeParams::fixed(P, ALPHA), adaptive, 300);
+        eprintln!("  n = {n} done");
+        rows.push(row);
+    }
+
+    // CSV (stdout, machine readable)
+    println!("\nn,err_orig,err_new,terms_orig,terms_new,time_orig,time_new");
+    for r in &rows {
+        println!(
+            "{},{:.6e},{:.6e},{},{},{:.4},{:.4}",
+            r.n, r.err_orig, r.err_new, r.terms_orig, r.terms_new, r.time_orig, r.time_new
+        );
+    }
+
+    let errs_o: Vec<f64> = rows.iter().map(|r| r.err_orig).collect();
+    let errs_n: Vec<f64> = rows.iter().map(|r| r.err_new).collect();
+    let terms_o: Vec<f64> = rows.iter().map(|r| r.terms_orig as f64).collect();
+    let terms_n: Vec<f64> = rows.iter().map(|r| r.terms_new as f64).collect();
+    ascii_plot(
+        "error vs n (log scale; orig should sit right of new, gap widening)",
+        &[("orig", errs_o), ("new", errs_n)],
+        &sizes,
+        true,
+    );
+    ascii_plot(
+        "terms vs n (log scale; curves should nearly coincide)",
+        &[("orig", terms_o), ("new", terms_n)],
+        &sizes,
+        true,
+    );
+}

@@ -1,0 +1,91 @@
+//! **Table 2** — "Runtimes and speedups for single-thread and multithreaded
+//! versions of a single iteration of the treecode": the paper's parallel
+//! experiment on a 32-processor SGI Origin 2000 (POSIX threads,
+//! Peano–Hilbert-ordered particles, aggregation width `w`).
+//!
+//! Substitution (see DESIGN.md): the Origin 2000 is replaced by rayon
+//! thread pools on this machine. Two measurements are reported:
+//!
+//! 1. **wall-clock** runtime per thread count — meaningful up to the number
+//!    of physical cores of the host (on a single-core host all thread
+//!    counts take the same time, honestly reported);
+//! 2. **load-balance efficiency** of the work decomposition — total work /
+//!    (T × max worker work) over the aggregated work units. This is the
+//!    machine-independent component of the paper's 80–90% parallel
+//!    efficiencies: it shows that the per-particle traversals partition
+//!    evenly regardless of the host.
+//!
+//! Run: `cargo run --release -p mbt-bench --bin table2`
+
+use mbt_bench::{load_balance_efficiency, per_chunk_work, timed};
+use mbt_geometry::distribution::{overlapped_gaussians, uniform_cube, ChargeModel};
+use mbt_geometry::Particle;
+use mbt_treecode::{RefWeight, Treecode, TreecodeParams};
+
+const W: usize = 64; // the paper's aggregation width
+
+fn run_instance(name: &str, particles: &[Particle]) {
+    println!("\n=== {name}: n = {}", particles.len());
+    let ncpu = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    let mut threads = vec![1usize];
+    while *threads.last().unwrap() < ncpu.max(8) {
+        threads.push(threads.last().unwrap() * 2);
+    }
+
+    let probe = Treecode::new(particles, TreecodeParams::adaptive(6, 0.7)).expect("valid");
+    let adaptive = TreecodeParams::adaptive(6, 0.7)
+        .with_eval_chunk(W)
+        .with_ref_weight(RefWeight::Explicit(probe.ref_weight() * 8.0));
+    for (label, params) in [
+        ("Original (p = 6)", TreecodeParams::fixed(6, 0.7).with_eval_chunk(W)),
+        ("New (p_min = 6)", adaptive),
+    ] {
+        let tc = Treecode::new(particles, params).expect("valid instance");
+        println!("\n{label}");
+        println!(
+            "{:>8} {:>12} {:>9} {:>12}",
+            "threads", "time (s)", "speedup", "balance-eff"
+        );
+        // per-chunk work once (thread-count independent)
+        let works = per_chunk_work(&tc, W);
+        let mut t1 = 0.0f64;
+        for &t in &threads {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(t)
+                .build()
+                .expect("pool");
+            let (_, secs) = pool.install(|| timed(|| tc.potentials()));
+            if t == 1 {
+                t1 = secs;
+            }
+            let eff = load_balance_efficiency(&works, t);
+            println!(
+                "{:>8} {:>12.3} {:>8.2}x {:>11.1}%",
+                t,
+                secs,
+                t1 / secs,
+                eff * 100.0
+            );
+        }
+    }
+    println!(
+        "\n(host has {ncpu} core(s); wall-clock speedup saturates there, the \
+         balance column is machine-independent)"
+    );
+}
+
+fn main() {
+    println!("Table 2 reproduction — parallel treecode iteration, aggregation width w = {W}");
+    // the paper's instances: uniform40k and non-uniform46k
+    let uniform = uniform_cube(40_960, 1.0, ChargeModel::UnitPositive { magnitude: 1.0 }, 11);
+    run_instance("uniform40k", &uniform);
+    let nonuniform = overlapped_gaussians(
+        46_080,
+        3,
+        2.0,
+        0.6,
+        ChargeModel::UnitPositive { magnitude: 1.0 },
+        13,
+    );
+    run_instance("non-uniform46k", &nonuniform);
+}

@@ -1,0 +1,148 @@
+//! Simulation-error measurement.
+//!
+//! The paper defines the error of a run as the relative norm of the
+//! difference between the accurate potential vector `a` and the treecode
+//! vector `a'`. Computing `a` exactly is `O(n²)`; for large `n` the
+//! standard estimator evaluates the exact potential only at a random sample
+//! of targets (`O(m·n)`) and takes the relative 2-norm over the sample.
+
+use mbt_geometry::Particle;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// Relative 2-norm error `‖a′ − a‖₂ / ‖a‖₂`.
+pub fn relative_error(approx: &[f64], exact: &[f64]) -> f64 {
+    assert_eq!(approx.len(), exact.len());
+    let num: f64 = approx
+        .iter()
+        .zip(exact)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum();
+    let den: f64 = exact.iter().map(|y| y * y).sum();
+    if den == 0.0 {
+        return if num == 0.0 { 0.0 } else { f64::INFINITY };
+    }
+    (num / den).sqrt()
+}
+
+/// A sampled error estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampledError {
+    /// Relative 2-norm over the sample.
+    pub relative_l2: f64,
+    /// Largest relative component error over the sample.
+    pub max_component: f64,
+    /// Number of sampled targets.
+    pub samples: usize,
+}
+
+/// Estimates the simulation error of `approx` (a per-particle potential
+/// vector in the caller's particle order) by exact summation at `samples`
+/// randomly chosen particles.
+pub fn sampled_relative_error(
+    particles: &[Particle],
+    approx: &[f64],
+    samples: usize,
+    seed: u64,
+) -> SampledError {
+    assert_eq!(particles.len(), approx.len());
+    let n = particles.len();
+    let m = samples.min(n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut chosen: Vec<usize> = if m == n {
+        (0..n).collect()
+    } else {
+        // sample without replacement via partial Fisher–Yates
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..m {
+            let j = rng.gen_range(i..n);
+            idx.swap(i, j);
+        }
+        idx.truncate(m);
+        idx
+    };
+    chosen.sort_unstable();
+
+    let exact: Vec<f64> = chosen
+        .par_iter()
+        .map(|&i| {
+            let xi = particles[i].position;
+            let mut phi = 0.0;
+            for (j, p) in particles.iter().enumerate() {
+                if j != i {
+                    phi += p.charge / p.position.distance(xi);
+                }
+            }
+            phi
+        })
+        .collect();
+    let sampled_approx: Vec<f64> = chosen.iter().map(|&i| approx[i]).collect();
+    let max_component = sampled_approx
+        .iter()
+        .zip(&exact)
+        .map(|(a, e)| (a - e).abs() / e.abs().max(1e-300))
+        .fold(0.0, f64::max);
+    SampledError {
+        relative_l2: relative_error(&sampled_approx, &exact),
+        max_component,
+        samples: m,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct::direct_potentials;
+    use crate::params::TreecodeParams;
+    use crate::upward::Treecode;
+    use mbt_geometry::distribution::{uniform_cube, ChargeModel};
+
+    #[test]
+    fn relative_error_basics() {
+        assert_eq!(relative_error(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        let e = relative_error(&[1.1, 2.0], &[1.0, 2.0]);
+        assert!((e - 0.1 / 5.0f64.sqrt()).abs() < 1e-12);
+        assert_eq!(relative_error(&[0.0], &[0.0]), 0.0);
+        assert!(relative_error(&[1.0], &[0.0]).is_infinite());
+    }
+
+    #[test]
+    fn full_sample_matches_exact_error() {
+        let ps = uniform_cube(400, 1.0, ChargeModel::RandomSign { magnitude: 1.0 }, 3);
+        let tc = Treecode::new(&ps, TreecodeParams::fixed(3, 0.7)).unwrap();
+        let approx = tc.potentials().values;
+        let exact = direct_potentials(&ps);
+        let full = relative_error(&approx, &exact);
+        let sampled = sampled_relative_error(&ps, &approx, 400, 0);
+        assert_eq!(sampled.samples, 400);
+        assert!((sampled.relative_l2 - full).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subsample_estimates_error_order() {
+        let ps = uniform_cube(2000, 1.0, ChargeModel::RandomSign { magnitude: 1.0 }, 5);
+        let tc = Treecode::new(&ps, TreecodeParams::fixed(4, 0.7)).unwrap();
+        let approx = tc.potentials().values;
+        let exact = direct_potentials(&ps);
+        let full = relative_error(&approx, &exact);
+        let sampled = sampled_relative_error(&ps, &approx, 300, 1);
+        assert!(sampled.samples == 300);
+        // order-of-magnitude agreement is all the estimator promises
+        assert!(
+            sampled.relative_l2 > full * 0.2 && sampled.relative_l2 < full * 5.0,
+            "sampled {} vs full {full}",
+            sampled.relative_l2
+        );
+        assert!(sampled.max_component >= sampled.relative_l2 * 0.1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ps = uniform_cube(500, 1.0, ChargeModel::RandomSign { magnitude: 1.0 }, 9);
+        let approx = vec![0.0; 500];
+        let a = sampled_relative_error(&ps, &approx, 50, 42);
+        let b = sampled_relative_error(&ps, &approx, 50, 42);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,428 @@
+//! Treecode evaluation: MAC-driven traversal, serial and parallel.
+//!
+//! The parallel formulation mirrors the paper's: "the parallel formulation
+//! exploits the concurrency available in independent tree traversal of each
+//! particle", with "force computation for sets of `w` particles aggregated
+//! into a single thread [unit]" over proximity-ordered targets. Here each
+//! rayon task evaluates one chunk of `w` consecutive Morton-ordered
+//! targets; the tree is shared immutably so no synchronisation is needed,
+//! and per-task [`EvalStats`] are merged by reduction.
+
+use mbt_geometry::Vec3;
+use mbt_multipole::{bounds::degree_for_tolerance_at, DegreeSelector};
+use mbt_tree::NodeId;
+use rayon::prelude::*;
+
+use crate::stats::EvalStats;
+use crate::upward::Treecode;
+use crate::mac::{mac, MacDecision};
+
+/// Values plus instrumentation from one evaluation sweep.
+#[derive(Debug, Clone)]
+pub struct EvalResult<T> {
+    /// Per-target values, in the order of the supplied targets.
+    pub values: Vec<T>,
+    /// Merged evaluation counters.
+    pub stats: EvalStats,
+}
+
+/// Identifies a target during source-set evaluation so the traversal can
+/// exclude self-interaction.
+#[derive(Clone, Copy)]
+enum TargetKind {
+    /// Evaluation at source particle with this sorted index.
+    SourceParticle(usize),
+    /// Evaluation at an external point (no exclusion).
+    External,
+}
+
+impl Treecode {
+    /// Potentials at all source particles (`Φ(xᵢ) = Σ_{j≠i} q_j/|xᵢ−x_j|`),
+    /// in the caller's original particle order. Parallel.
+    pub fn potentials(&self) -> EvalResult<f64> {
+        let chunk = self.params.eval_chunk;
+        let n = self.tree.particles().len();
+        let indices: Vec<usize> = (0..n).collect();
+        let (values, stats) = self.eval_chunks(&indices, chunk, |i, stats| {
+            let x = self.tree.particles()[i].position;
+            self.eval_potential(x, TargetKind::SourceParticle(i), stats)
+        });
+        EvalResult { values: self.tree.unsort(&values), stats }
+    }
+
+    /// Potentials at arbitrary observation points (no self-exclusion).
+    pub fn potentials_at(&self, points: &[Vec3]) -> EvalResult<f64> {
+        let chunk = self.params.eval_chunk;
+        let indices: Vec<usize> = (0..points.len()).collect();
+        let (values, stats) = self.eval_chunks(&indices, chunk, |i, stats| {
+            self.eval_potential(points[i], TargetKind::External, stats)
+        });
+        EvalResult { values, stats }
+    }
+
+    /// Potential and gradient at all source particles, original order.
+    pub fn fields(&self) -> EvalResult<(f64, Vec3)> {
+        let chunk = self.params.eval_chunk;
+        let n = self.tree.particles().len();
+        let indices: Vec<usize> = (0..n).collect();
+        let (values, stats) = self.eval_chunks(&indices, chunk, |i, stats| {
+            let x = self.tree.particles()[i].position;
+            self.eval_field(x, TargetKind::SourceParticle(i), stats)
+        });
+        EvalResult { values: self.tree.unsort(&values), stats }
+    }
+
+    /// Potential and gradient at arbitrary points.
+    pub fn fields_at(&self, points: &[Vec3]) -> EvalResult<(f64, Vec3)> {
+        let chunk = self.params.eval_chunk;
+        let indices: Vec<usize> = (0..points.len()).collect();
+        let (values, stats) = self.eval_chunks(&indices, chunk, |i, stats| {
+            self.eval_field(points[i], TargetKind::External, stats)
+        });
+        EvalResult { values, stats }
+    }
+
+    /// Potential at one external point (serial convenience).
+    pub fn potential_at(&self, point: Vec3) -> f64 {
+        let mut stats = EvalStats::default();
+        self.eval_potential(point, TargetKind::External, &mut stats)
+    }
+
+    /// Chunked parallel map with stats reduction. The chunk width is the
+    /// paper's aggregation width `w`.
+    fn eval_chunks<T: Send + Default + Clone>(
+        &self,
+        indices: &[usize],
+        chunk: usize,
+        f: impl Fn(usize, &mut EvalStats) -> T + Sync,
+    ) -> (Vec<T>, EvalStats) {
+        let results: Vec<(Vec<T>, EvalStats)> = indices
+            .par_chunks(chunk.max(1))
+            .map(|ch| {
+                let mut stats = EvalStats::for_targets(ch.len() as u64);
+                let vals = ch.iter().map(|&i| f(i, &mut stats)).collect();
+                (vals, stats)
+            })
+            .collect();
+        let mut values = Vec::with_capacity(indices.len());
+        let mut stats = EvalStats::default();
+        for (vals, s) in results {
+            values.extend(vals);
+            stats.merge(&s);
+        }
+        (values, stats)
+    }
+
+    /// One target's potential via iterative MAC traversal.
+    fn eval_potential(&self, x: Vec3, kind: TargetKind, stats: &mut EvalStats) -> f64 {
+        let mut phi = 0.0;
+        let mut stack: Vec<NodeId> = Vec::with_capacity(64);
+        stack.push(self.tree.root());
+        while let Some(id) = stack.pop() {
+            let node = self.tree.node(id);
+            match mac(node, x, self.params.alpha) {
+                MacDecision::Accept => {
+                    let p = self.interaction_degree(id, x);
+                    phi += self.expansions[id as usize].potential_at_degree(x, p);
+                    stats.record_interaction(p);
+                }
+                MacDecision::Open => {
+                    if node.is_leaf {
+                        phi += self.direct_leaf_potential(id, x, kind, stats);
+                    } else {
+                        stack.extend(node.child_ids());
+                    }
+                }
+            }
+        }
+        phi
+    }
+
+    /// One target's potential and gradient.
+    fn eval_field(&self, x: Vec3, kind: TargetKind, stats: &mut EvalStats) -> (f64, Vec3) {
+        let mut phi = 0.0;
+        let mut grad = Vec3::ZERO;
+        let mut stack: Vec<NodeId> = Vec::with_capacity(64);
+        stack.push(self.tree.root());
+        while let Some(id) = stack.pop() {
+            let node = self.tree.node(id);
+            match mac(node, x, self.params.alpha) {
+                MacDecision::Accept => {
+                    let p = self.interaction_degree(id, x);
+                    let (f, g) = self.expansions[id as usize].field_at_degree(x, p);
+                    phi += f;
+                    grad += g;
+                    stats.record_interaction(p);
+                }
+                MacDecision::Open => {
+                    if node.is_leaf {
+                        let (f, g) = self.direct_leaf_field(id, x, kind, stats);
+                        phi += f;
+                        grad += g;
+                    } else {
+                        stack.extend(node.child_ids());
+                    }
+                }
+            }
+        }
+        (phi, grad)
+    }
+
+    /// The degree one accepted interaction evaluates: the stored node
+    /// degree, truncated further in `Tolerance` mode to the smallest
+    /// degree meeting the budget at the target's actual distance.
+    #[inline]
+    fn interaction_degree(&self, id: NodeId, x: Vec3) -> usize {
+        let stored = self.degrees[id as usize];
+        match self.params.degree {
+            DegreeSelector::Tolerance { tol, p_min, .. } => {
+                let node = self.tree.node(id);
+                let r = x.distance(node.center);
+                degree_for_tolerance_at(node.abs_charge, node.radius, r, tol, stored)
+                    .max(p_min)
+                    .min(stored)
+            }
+            _ => stored,
+        }
+    }
+
+    #[inline]
+    fn direct_leaf_potential(
+        &self,
+        id: NodeId,
+        x: Vec3,
+        kind: TargetKind,
+        stats: &mut EvalStats,
+    ) -> f64 {
+        let node = self.tree.node(id);
+        let (start, end) = (node.start as usize, node.end as usize);
+        let particles = &self.tree.particles()[start..end];
+        let eps2 = self.params.softening * self.params.softening;
+        let mut phi = 0.0;
+        let mut pairs = 0u64;
+        match kind {
+            TargetKind::SourceParticle(i) => {
+                for (j, p) in particles.iter().enumerate() {
+                    if start + j == i {
+                        continue;
+                    }
+                    phi += p.charge / (p.position.distance_sq(x) + eps2).sqrt();
+                    pairs += 1;
+                }
+            }
+            TargetKind::External => {
+                for p in particles {
+                    let r2 = p.position.distance_sq(x) + eps2;
+                    if r2 > 0.0 {
+                        phi += p.charge / r2.sqrt();
+                        pairs += 1;
+                    }
+                }
+            }
+        }
+        stats.record_direct(pairs);
+        phi
+    }
+
+    #[inline]
+    fn direct_leaf_field(
+        &self,
+        id: NodeId,
+        x: Vec3,
+        kind: TargetKind,
+        stats: &mut EvalStats,
+    ) -> (f64, Vec3) {
+        let node = self.tree.node(id);
+        let (start, end) = (node.start as usize, node.end as usize);
+        let particles = &self.tree.particles()[start..end];
+        let mut phi = 0.0;
+        let mut grad = Vec3::ZERO;
+        let mut pairs = 0u64;
+        let skip = match kind {
+            TargetKind::SourceParticle(i) => i as isize - start as isize,
+            TargetKind::External => -1,
+        };
+        let eps2 = self.params.softening * self.params.softening;
+        for (j, p) in particles.iter().enumerate() {
+            if j as isize == skip {
+                continue;
+            }
+            let d = x - p.position;
+            let r2 = d.norm_sq() + eps2;
+            if r2 > 0.0 {
+                let r = r2.sqrt();
+                phi += p.charge / r;
+                grad += d * (-p.charge / (r2 * r));
+                pairs += 1;
+            }
+        }
+        stats.record_direct(pairs);
+        (phi, grad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct::{direct_fields, direct_potentials};
+    use crate::params::TreecodeParams;
+    use mbt_geometry::distribution::{gaussian, uniform_cube, ChargeModel};
+    use mbt_geometry::Particle;
+
+    fn charges() -> ChargeModel {
+        ChargeModel::RandomSign { magnitude: 1.0 }
+    }
+
+    fn rel_err(a: &[f64], b: &[f64]) -> f64 {
+        let num: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+        let den: f64 = b.iter().map(|y| y * y).sum();
+        (num / den).sqrt()
+    }
+
+    #[test]
+    fn potentials_match_direct_sum_fixed_degree() {
+        let ps = uniform_cube(1200, 1.0, charges(), 3);
+        let exact = direct_potentials(&ps);
+        let mut prev = f64::INFINITY;
+        for p in [2usize, 4, 8] {
+            let tc = Treecode::new(&ps, TreecodeParams::fixed(p, 0.5)).unwrap();
+            let approx = tc.potentials();
+            let err = rel_err(&approx.values, &exact);
+            assert!(err < prev, "error must decrease with degree: p={p} err={err}");
+            prev = err;
+        }
+        assert!(prev < 1e-5, "p=8 error too large: {prev}");
+    }
+
+    #[test]
+    fn adaptive_beats_fixed_at_same_p_min() {
+        let ps = uniform_cube(4000, 1.0, charges(), 5);
+        let exact = direct_potentials(&ps);
+        let fixed = Treecode::new(&ps, TreecodeParams::fixed(3, 0.7)).unwrap().potentials();
+        let adaptive = Treecode::new(&ps, TreecodeParams::adaptive(3, 0.7))
+            .unwrap()
+            .potentials();
+        let e_fixed = rel_err(&fixed.values, &exact);
+        let e_adaptive = rel_err(&adaptive.values, &exact);
+        assert!(
+            e_adaptive < e_fixed,
+            "adaptive ({e_adaptive}) must beat fixed ({e_fixed})"
+        );
+    }
+
+    #[test]
+    fn gaussian_distribution_accuracy() {
+        let ps = gaussian(1500, Vec3::ZERO, 0.5, charges(), 7);
+        let exact = direct_potentials(&ps);
+        let tc = Treecode::new(&ps, TreecodeParams::adaptive(4, 0.5)).unwrap();
+        let approx = tc.potentials();
+        assert!(rel_err(&approx.values, &exact) < 1e-4);
+    }
+
+    #[test]
+    fn fields_match_direct() {
+        let ps = uniform_cube(800, 1.0, charges(), 13);
+        let (exact_phi, exact_grad) = direct_fields(&ps);
+        let tc = Treecode::new(&ps, TreecodeParams::fixed(8, 0.4)).unwrap();
+        let result = tc.fields();
+        let phi: Vec<f64> = result.values.iter().map(|v| v.0).collect();
+        assert!(rel_err(&phi, &exact_phi) < 1e-5);
+        let num: f64 = result
+            .values
+            .iter()
+            .zip(&exact_grad)
+            .map(|(v, g)| v.1.distance_sq(*g))
+            .sum();
+        let den: f64 = exact_grad.iter().map(|g| g.norm_sq()).sum();
+        assert!((num / den).sqrt() < 1e-4, "gradient error {}", (num / den).sqrt());
+    }
+
+    #[test]
+    fn potentials_at_external_points() {
+        let ps = uniform_cube(600, 1.0, charges(), 17);
+        let tc = Treecode::new(&ps, TreecodeParams::fixed(8, 0.4)).unwrap();
+        let points = [
+            Vec3::new(3.0, 0.0, 0.0),
+            Vec3::new(0.1, 0.1, 0.1),
+            Vec3::new(-2.0, 2.0, -2.0),
+        ];
+        let result = tc.potentials_at(&points);
+        for (i, &pt) in points.iter().enumerate() {
+            let exact: f64 = ps
+                .iter()
+                .map(|p| p.charge / p.position.distance(pt))
+                .sum();
+            assert!(
+                (result.values[i] - exact).abs() < 1e-4 * exact.abs().max(1.0),
+                "point {pt:?}: {} vs {exact}",
+                result.values[i]
+            );
+        }
+        assert_eq!(result.stats.targets, 3);
+    }
+
+    #[test]
+    fn external_point_coincident_with_source_is_skipped() {
+        // evaluating at a source position must not divide by zero
+        let ps = [
+            Particle::new(Vec3::ZERO, 1.0),
+            Particle::new(Vec3::X, 1.0),
+        ];
+        let tc = Treecode::new(&ps, TreecodeParams::fixed(2, 0.5)).unwrap();
+        let r = tc.potentials_at(&[Vec3::ZERO]);
+        assert!((r.values[0] - 1.0).abs() < 1e-12); // only the other charge
+    }
+
+    #[test]
+    fn stats_are_collected_and_consistent() {
+        let ps = uniform_cube(3000, 1.0, charges(), 23);
+        let tc = Treecode::new(&ps, TreecodeParams::adaptive(3, 0.7)).unwrap();
+        let r = tc.potentials();
+        assert_eq!(r.stats.targets, 3000);
+        assert!(r.stats.pc_interactions > 0);
+        assert!(r.stats.direct_pairs > 0);
+        assert!(r.stats.terms >= r.stats.pc_interactions * 16); // p >= 3
+        assert_eq!(
+            r.stats.by_degree.iter().sum::<u64>(),
+            r.stats.pc_interactions
+        );
+    }
+
+    #[test]
+    fn chunk_width_does_not_change_values() {
+        let ps = uniform_cube(1000, 1.0, charges(), 29);
+        let a = Treecode::new(&ps, TreecodeParams::fixed(4, 0.6).with_eval_chunk(1))
+            .unwrap()
+            .potentials();
+        let b = Treecode::new(&ps, TreecodeParams::fixed(4, 0.6).with_eval_chunk(512))
+            .unwrap()
+            .potentials();
+        for (x, y) in a.values.iter().zip(&b.values) {
+            assert_eq!(x, y, "chunking changed results");
+        }
+        assert_eq!(a.stats.terms, b.stats.terms);
+    }
+
+    #[test]
+    fn alpha_zero_limit_is_all_direct() {
+        // tiny alpha: nothing is accepted, evaluation degenerates to exact
+        let ps = uniform_cube(300, 1.0, charges(), 31);
+        let tc = Treecode::new(&ps, TreecodeParams::fixed(2, 1e-9)).unwrap();
+        let r = tc.potentials();
+        let exact = direct_potentials(&ps);
+        assert!(rel_err(&r.values, &exact) < 1e-12);
+        assert_eq!(r.stats.pc_interactions, 0);
+    }
+
+    #[test]
+    fn two_particle_system_exact() {
+        let ps = [
+            Particle::new(Vec3::ZERO, 2.0),
+            Particle::new(Vec3::new(1.0, 0.0, 0.0), -3.0),
+        ];
+        let tc = Treecode::new(&ps, TreecodeParams::default()).unwrap();
+        let r = tc.potentials();
+        assert!((r.values[0] - -3.0).abs() < 1e-12);
+        assert!((r.values[1] - 2.0).abs() < 1e-12);
+    }
+}

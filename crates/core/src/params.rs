@@ -1,0 +1,223 @@
+//! Treecode run parameters.
+
+use mbt_multipole::{DegreeSelector, MAX_DEGREE};
+use mbt_tree::TreeError;
+
+/// How the adaptive rule's reference weight `w_ref` (the paper's
+/// "threshold value" that receives the minimum degree) is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum RefWeight {
+    /// The smallest positive leaf-cluster weight. Most conservative: every
+    /// heavier cluster is boosted, maximising accuracy (and cost).
+    MinLeaf,
+    /// The median leaf-cluster weight (default). Clusters at or below a
+    /// typical leaf get `p_min`; only genuinely heavier clusters are
+    /// boosted — this is the paper's thresholding, and keeps the term-count
+    /// overhead within the small constant of Theorem 4.
+    #[default]
+    MedianLeaf,
+    /// A caller-supplied threshold weight.
+    Explicit(f64),
+}
+
+/// Parameters of a treecode run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreecodeParams {
+    /// Multipole acceptance parameter: a cluster in a box of edge `d` at
+    /// distance `r` from the target is admitted when `d ≤ α·r`. Must be
+    /// positive; guaranteed convergence of the error bounds requires
+    /// `α < 2/√3 ≈ 1.1547` (the paper uses `α < 1`).
+    pub alpha: f64,
+    /// Degree policy: `Fixed(p)` is the original Barnes–Hut method,
+    /// `Adaptive {..}` the paper's improved method.
+    pub degree: DegreeSelector,
+    /// Maximum particles per leaf (32–64 recommended by the paper for
+    /// cache behaviour).
+    pub leaf_capacity: usize,
+    /// Aggregation width `w`: number of consecutive (proximity-ordered)
+    /// targets evaluated per parallel work unit.
+    pub eval_chunk: usize,
+    /// Reference-weight policy for the adaptive rule (ignored by
+    /// `Fixed(_)`).
+    pub ref_weight: RefWeight,
+    /// Plummer softening length ε: near-field pair interactions use
+    /// `1/√(r²+ε²)` instead of `1/r`. Zero (default) is the exact kernel.
+    /// Standard in gravitational N-body work to regularise close
+    /// encounters; the far field is unchanged because the α-criterion
+    /// admits clusters only at distances far beyond any sensible ε.
+    pub softening: f64,
+}
+
+impl TreecodeParams {
+    /// Original Barnes–Hut: fixed degree `p` for every cluster.
+    pub fn fixed(p: usize, alpha: f64) -> Self {
+        TreecodeParams {
+            alpha,
+            degree: DegreeSelector::Fixed(p),
+            leaf_capacity: 32,
+            eval_chunk: 64,
+            ref_weight: RefWeight::default(),
+            softening: 0.0,
+        }
+    }
+
+    /// The paper's improved method with defaults (`ChargeOverDistance`
+    /// weighting, `p_max = MAX_DEGREE`).
+    pub fn adaptive(p_min: usize, alpha: f64) -> Self {
+        TreecodeParams {
+            alpha,
+            degree: DegreeSelector::adaptive(p_min, alpha),
+            leaf_capacity: 32,
+            eval_chunk: 64,
+            ref_weight: RefWeight::default(),
+            softening: 0.0,
+        }
+    }
+
+    /// Tolerance-driven degrees: each interaction meets an absolute error
+    /// budget `tol` at its actual distance (per-interaction truncation of
+    /// series stored at the worst-case degree).
+    pub fn tolerance(tol: f64, alpha: f64) -> Self {
+        TreecodeParams {
+            alpha,
+            degree: DegreeSelector::tolerance(tol),
+            leaf_capacity: 32,
+            eval_chunk: 64,
+            ref_weight: RefWeight::default(),
+            softening: 0.0,
+        }
+    }
+
+    /// Sets the Plummer softening length.
+    pub fn with_softening(mut self, softening: f64) -> Self {
+        self.softening = softening.max(0.0);
+        self
+    }
+
+    /// Sets the reference-weight policy.
+    pub fn with_ref_weight(mut self, ref_weight: RefWeight) -> Self {
+        self.ref_weight = ref_weight;
+        self
+    }
+
+    /// Sets the leaf capacity.
+    pub fn with_leaf_capacity(mut self, leaf_capacity: usize) -> Self {
+        self.leaf_capacity = leaf_capacity;
+        self
+    }
+
+    /// Sets the aggregation width.
+    pub fn with_eval_chunk(mut self, eval_chunk: usize) -> Self {
+        self.eval_chunk = eval_chunk.max(1);
+        self
+    }
+
+    /// Validates the parameter set.
+    pub fn validate(&self) -> Result<(), TreecodeError> {
+        if self.alpha.is_nan() || self.alpha <= 0.0 || !self.alpha.is_finite() {
+            return Err(TreecodeError::InvalidAlpha(self.alpha));
+        }
+        let max_p = self.degree.max_degree();
+        if max_p > MAX_DEGREE {
+            return Err(TreecodeError::DegreeTooLarge(max_p));
+        }
+        if let DegreeSelector::Tolerance { tol, .. } = self.degree {
+            if tol.is_nan() || tol <= 0.0 || !tol.is_finite() {
+                return Err(TreecodeError::InvalidTolerance(tol));
+            }
+        }
+        if self.leaf_capacity == 0 {
+            return Err(TreecodeError::Tree(TreeError::ZeroLeafCapacity));
+        }
+        Ok(())
+    }
+}
+
+impl Default for TreecodeParams {
+    /// The paper's improved method at `p_min = 4, α = 0.5`.
+    fn default() -> Self {
+        TreecodeParams::adaptive(4, 0.5)
+    }
+}
+
+/// Treecode construction failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TreecodeError {
+    /// Underlying octree construction failed.
+    Tree(TreeError),
+    /// `alpha` was zero, negative, or non-finite.
+    InvalidAlpha(f64),
+    /// Requested degree exceeds the table limit [`MAX_DEGREE`].
+    DegreeTooLarge(usize),
+    /// A tolerance-driven run was configured with a non-positive or
+    /// non-finite tolerance.
+    InvalidTolerance(f64),
+}
+
+impl std::fmt::Display for TreecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TreecodeError::Tree(e) => write!(f, "tree construction failed: {e}"),
+            TreecodeError::InvalidAlpha(a) => write!(f, "invalid MAC parameter alpha = {a}"),
+            TreecodeError::DegreeTooLarge(p) => {
+                write!(f, "degree {p} exceeds the supported maximum {MAX_DEGREE}")
+            }
+            TreecodeError::InvalidTolerance(t) => {
+                write!(f, "invalid interaction tolerance {t}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TreecodeError {}
+
+impl From<TreeError> for TreecodeError {
+    fn from(e: TreeError) -> Self {
+        TreecodeError::Tree(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_validation() {
+        assert!(TreecodeParams::fixed(5, 0.7).validate().is_ok());
+        assert!(TreecodeParams::adaptive(3, 0.5).validate().is_ok());
+        assert!(TreecodeParams::default().validate().is_ok());
+        assert!(matches!(
+            TreecodeParams::fixed(5, 0.0).validate(),
+            Err(TreecodeError::InvalidAlpha(_))
+        ));
+        assert!(matches!(
+            TreecodeParams::fixed(5, f64::NAN).validate(),
+            Err(TreecodeError::InvalidAlpha(_))
+        ));
+        assert!(matches!(
+            TreecodeParams::fixed(99, 0.5).validate(),
+            Err(TreecodeError::DegreeTooLarge(99))
+        ));
+        assert!(matches!(
+            TreecodeParams::fixed(5, 0.5).with_leaf_capacity(0).validate(),
+            Err(TreecodeError::Tree(TreeError::ZeroLeafCapacity))
+        ));
+    }
+
+    #[test]
+    fn builder_setters() {
+        let p = TreecodeParams::fixed(4, 0.6)
+            .with_leaf_capacity(8)
+            .with_eval_chunk(0);
+        assert_eq!(p.leaf_capacity, 8);
+        assert_eq!(p.eval_chunk, 1); // clamped
+    }
+
+    #[test]
+    fn error_display() {
+        let e = TreecodeError::InvalidAlpha(-1.0);
+        assert!(format!("{e}").contains("alpha"));
+        let e = TreecodeError::DegreeTooLarge(99);
+        assert!(format!("{e}").contains("99"));
+    }
+}

@@ -1,0 +1,132 @@
+//! Evaluation instrumentation.
+//!
+//! The paper's serial-complexity comparison (Table 1, Figure 2) counts the
+//! number of multipole terms evaluated — "an excellent indication of the
+//! serial computation time" that is independent of parallel efficiency and
+//! machine load. [`EvalStats`] collects exactly that, plus the breakdowns
+//! needed for the Theorem-4 cost analysis.
+
+/// Counters accumulated during a treecode evaluation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EvalStats {
+    /// Number of evaluation targets.
+    pub targets: u64,
+    /// Particle–cluster interactions (expansion evaluations).
+    pub pc_interactions: u64,
+    /// Direct particle–particle pairs evaluated.
+    pub direct_pairs: u64,
+    /// Total multipole terms evaluated: `Σ (p+1)²` over all accepted
+    /// interactions — the paper's "Terms" column.
+    pub terms: u64,
+    /// Interactions per expansion degree (`by_degree[p]`).
+    pub by_degree: Vec<u64>,
+}
+
+impl EvalStats {
+    /// An empty accumulator expecting `targets` evaluation targets.
+    pub fn for_targets(targets: u64) -> EvalStats {
+        EvalStats { targets, ..EvalStats::default() }
+    }
+
+    /// Records one accepted particle–cluster interaction of degree `p`.
+    #[inline]
+    pub fn record_interaction(&mut self, p: usize) {
+        self.pc_interactions += 1;
+        self.terms += ((p + 1) * (p + 1)) as u64;
+        if self.by_degree.len() <= p {
+            self.by_degree.resize(p + 1, 0);
+        }
+        self.by_degree[p] += 1;
+    }
+
+    /// Records `pairs` direct particle–particle evaluations.
+    #[inline]
+    pub fn record_direct(&mut self, pairs: u64) {
+        self.direct_pairs += pairs;
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &EvalStats) {
+        self.targets += other.targets;
+        self.pc_interactions += other.pc_interactions;
+        self.direct_pairs += other.direct_pairs;
+        self.terms += other.terms;
+        if self.by_degree.len() < other.by_degree.len() {
+            self.by_degree.resize(other.by_degree.len(), 0);
+        }
+        for (a, b) in self.by_degree.iter_mut().zip(&other.by_degree) {
+            *a += *b;
+        }
+    }
+
+    /// The largest degree used.
+    pub fn max_degree_used(&self) -> usize {
+        self.by_degree
+            .iter()
+            .rposition(|&c| c > 0)
+            .unwrap_or(0)
+    }
+
+    /// Mean interactions per target.
+    pub fn interactions_per_target(&self) -> f64 {
+        self.pc_interactions as f64 / self.targets.max(1) as f64
+    }
+
+    /// Total floating work proxy: terms plus direct pairs (a direct pair
+    /// counts as one term).
+    pub fn work(&self) -> u64 {
+        self.terms + self.direct_pairs
+    }
+}
+
+impl std::fmt::Display for EvalStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "targets={} pc={} direct={} terms={} max_p={}",
+            self.targets,
+            self.pc_interactions,
+            self.direct_pairs,
+            self.terms,
+            self.max_degree_used()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_merge() {
+        let mut a = EvalStats::for_targets(2);
+        a.record_interaction(3); // 16 terms
+        a.record_interaction(5); // 36 terms
+        a.record_direct(10);
+        assert_eq!(a.pc_interactions, 2);
+        assert_eq!(a.terms, 52);
+        assert_eq!(a.by_degree[3], 1);
+        assert_eq!(a.by_degree[5], 1);
+        assert_eq!(a.max_degree_used(), 5);
+        assert_eq!(a.work(), 62);
+
+        let mut b = EvalStats::for_targets(1);
+        b.record_interaction(7);
+        b.merge(&a);
+        assert_eq!(b.targets, 3);
+        assert_eq!(b.pc_interactions, 3);
+        assert_eq!(b.terms, 52 + 64);
+        assert_eq!(b.by_degree[3], 1);
+        assert_eq!(b.by_degree[7], 1);
+        assert!((b.interactions_per_target() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = EvalStats::default();
+        assert_eq!(s.max_degree_used(), 0);
+        assert_eq!(s.work(), 0);
+        assert_eq!(s.interactions_per_target(), 0.0);
+        assert!(format!("{s}").contains("targets=0"));
+    }
+}

@@ -1,0 +1,326 @@
+//! Treecode construction: tree build, per-cluster degree selection, and the
+//! upward (expansion construction) pass.
+
+use mbt_geometry::{Particle, Vec3};
+use mbt_multipole::MultipoleExpansion;
+use mbt_tree::{Octree, OctreeParams};
+use rayon::prelude::*;
+
+use crate::params::{TreecodeError, TreecodeParams};
+
+/// A fully built treecode, ready to evaluate potentials and fields.
+///
+/// Construction performs:
+///
+/// 1. octree build over the particle set,
+/// 2. degree selection per cluster — fixed (original method) or by the
+///    paper's Theorem-3 rule relative to the smallest leaf-cluster weight,
+/// 3. the upward pass: a multipole expansion per node, each computed
+///    directly from the node's particles at the node's own degree ("the
+///    multipole series are computed a priori to the maximum required
+///    degree" — all degree inputs are available at tree-construction time).
+pub struct Treecode {
+    pub(crate) tree: Octree,
+    pub(crate) params: TreecodeParams,
+    pub(crate) degrees: Vec<usize>,
+    pub(crate) expansions: Vec<MultipoleExpansion>,
+    pub(crate) ref_weight: f64,
+}
+
+impl Treecode {
+    /// Builds the treecode over a particle set.
+    pub fn new(particles: &[Particle], params: TreecodeParams) -> Result<Treecode, TreecodeError> {
+        params.validate()?;
+        let tree = Octree::build(
+            particles,
+            OctreeParams { leaf_capacity: params.leaf_capacity },
+        )?;
+        Ok(Self::from_tree(tree, params))
+    }
+
+    /// Builds the treecode over an already-constructed octree.
+    pub fn from_tree(tree: Octree, params: TreecodeParams) -> Treecode {
+        let selector = params.degree;
+        let ref_weight = {
+            let w = match params.ref_weight {
+                crate::params::RefWeight::MinLeaf => {
+                    tree.min_leaf_weight(|n| selector.weight(n.abs_charge, n.edge()))
+                }
+                crate::params::RefWeight::MedianLeaf => {
+                    let mut ws: Vec<f64> = tree
+                        .nodes()
+                        .iter()
+                        .filter(|n| n.is_leaf && !n.is_empty())
+                        .map(|n| selector.weight(n.abs_charge, n.edge()))
+                        .filter(|&w| w > 0.0)
+                        .collect();
+                    if ws.is_empty() {
+                        f64::INFINITY
+                    } else {
+                        let mid = ws.len() / 2;
+                        *ws.select_nth_unstable_by(mid, f64::total_cmp).1
+                    }
+                }
+                crate::params::RefWeight::Explicit(w) => w,
+            };
+            if w.is_finite() && w > 0.0 {
+                w
+            } else {
+                1.0 // all-zero charges: any reference works, degrees = p_min
+            }
+        };
+        let degrees: Vec<usize> = tree
+            .nodes()
+            .iter()
+            .map(|n| {
+                selector.degree_for_node(n.abs_charge, n.radius, n.edge(), params.alpha, ref_weight)
+            })
+            .collect();
+        let expansions = Self::upward_pass(&tree, &degrees);
+        Treecode { tree, params, degrees, expansions, ref_weight }
+    }
+
+    /// The upward pass.
+    ///
+    /// When every node carries the same degree (the original fixed-degree
+    /// method), expansions are built bottom-up: P2M at the leaves, M2M to
+    /// the parents — exact, because an M2M to an equal-or-lower target
+    /// degree loses nothing, and cheaper than re-expanding all particles
+    /// at every level. With per-cluster degrees (the improved method) a
+    /// parent's degree exceeds its children's, so its high-order
+    /// coefficients are not recoverable from the children; those nodes are
+    /// expanded directly from their particles ("the multipole series are
+    /// computed a priori to the maximum required degree").
+    fn upward_pass(tree: &Octree, degrees: &[usize]) -> Vec<MultipoleExpansion> {
+        let uniform = degrees.windows(2).all(|w| w[0] == w[1]);
+        if !uniform {
+            return tree
+                .nodes()
+                .par_iter()
+                .enumerate()
+                .map(|(i, n)| {
+                    MultipoleExpansion::from_particles(
+                        n.center,
+                        degrees[i],
+                        tree.particles_of(i as u32),
+                    )
+                })
+                .collect();
+        }
+        // fixed degree: P2M at leaves (parallel), M2M upward (arena order
+        // reversed: children always have larger indices than parents)
+        let mut expansions: Vec<MultipoleExpansion> = tree
+            .nodes()
+            .par_iter()
+            .enumerate()
+            .map(|(i, n)| {
+                if n.is_leaf {
+                    MultipoleExpansion::from_particles(
+                        n.center,
+                        degrees[i],
+                        tree.particles_of(i as u32),
+                    )
+                } else {
+                    MultipoleExpansion::zero(n.center, degrees[i])
+                }
+            })
+            .collect();
+        for id in (0..tree.len()).rev() {
+            let node = tree.node(id as u32);
+            if node.is_leaf {
+                continue;
+            }
+            let mut acc = MultipoleExpansion::zero(node.center, degrees[id]);
+            for c in node.child_ids() {
+                acc.accumulate(&expansions[c as usize].translated(node.center, degrees[id]));
+            }
+            expansions[id] = acc;
+        }
+        expansions
+    }
+
+    /// Rebuilds the expansions for a new charge vector (caller's original
+    /// order) while keeping every geometric quantity — expansion centers,
+    /// cluster radii, and per-node degrees — exactly as built.
+    ///
+    /// The returned treecode is therefore an **exactly linear** map of the
+    /// charge vector, which is what an iterative solver needs from a
+    /// repeated matvec over fixed geometry (the paper's BEM use case: the
+    /// Gauss points never move; only the density iterates).
+    pub fn with_charges(&self, charges: &[f64]) -> Treecode {
+        let mut tree = self.tree.clone();
+        tree.set_charges_only(charges);
+        let degrees = self.degrees.clone();
+        let expansions = Self::upward_pass(&tree, &degrees);
+        Treecode {
+            tree,
+            params: self.params,
+            degrees,
+            expansions,
+            ref_weight: self.ref_weight,
+        }
+    }
+
+    /// The underlying octree.
+    #[inline]
+    pub fn tree(&self) -> &Octree {
+        &self.tree
+    }
+
+    /// The run parameters.
+    #[inline]
+    pub fn params(&self) -> &TreecodeParams {
+        &self.params
+    }
+
+    /// The expansion degree assigned to each node.
+    #[inline]
+    pub fn degrees(&self) -> &[usize] {
+        &self.degrees
+    }
+
+    /// The reference weight `w_ref` used by the adaptive rule.
+    #[inline]
+    pub fn ref_weight(&self) -> f64 {
+        self.ref_weight
+    }
+
+    /// The expansion of a node.
+    #[inline]
+    pub fn expansion(&self, id: mbt_tree::NodeId) -> &MultipoleExpansion {
+        &self.expansions[id as usize]
+    }
+
+    /// The source particles in tree (Morton) order.
+    #[inline]
+    pub fn particles(&self) -> &[Particle] {
+        self.tree.particles()
+    }
+
+    /// Total coefficient storage (complex numbers) across all expansions —
+    /// the memory-side cost of the adaptive method.
+    pub fn coefficient_count(&self) -> u64 {
+        self.degrees
+            .iter()
+            .map(|&p| ((p + 1) * (p + 2) / 2) as u64)
+            .sum()
+    }
+
+    /// The positions of the source particles in the caller's original
+    /// order.
+    pub fn original_positions(&self) -> Vec<Vec3> {
+        let sorted: Vec<Vec3> = self.tree.particles().iter().map(|p| p.position).collect();
+        self.tree.unsort(&sorted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::TreecodeParams;
+    use mbt_geometry::distribution::{uniform_cube, ChargeModel};
+
+    fn particles(n: usize) -> Vec<Particle> {
+        uniform_cube(n, 1.0, ChargeModel::RandomSign { magnitude: 1.0 }, 11)
+    }
+
+    #[test]
+    fn m2m_upward_matches_direct_p2m() {
+        // the fixed-degree fast path (P2M at leaves + M2M up) must produce
+        // the same coefficients as expanding every node's particles
+        // directly — the translation identity, checked end to end
+        let ps = particles(3000);
+        let tc = Treecode::new(&ps, TreecodeParams::fixed(6, 0.5)).unwrap();
+        for (i, n) in tc.tree().nodes().iter().enumerate() {
+            let direct = MultipoleExpansion::from_particles(
+                n.center,
+                6,
+                tc.tree().particles_of(i as u32),
+            );
+            let fast = tc.expansion(i as u32);
+            for deg in 0..=6usize {
+                for m in 0..=deg as i64 {
+                    let a = fast.coeff(deg, m);
+                    let b = direct.coeff(deg, m);
+                    assert!(
+                        (a - b).norm() <= 1e-9 * (1.0 + b.norm()),
+                        "node {i} coeff ({deg},{m}): {a:?} vs {b:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_degrees_are_uniform() {
+        let tc = Treecode::new(&particles(2000), TreecodeParams::fixed(5, 0.6)).unwrap();
+        assert!(tc.degrees().iter().all(|&p| p == 5));
+    }
+
+    #[test]
+    fn adaptive_degrees_grow_toward_root() {
+        let tc = Treecode::new(
+            &particles(8000),
+            TreecodeParams::adaptive(3, 0.6).with_leaf_capacity(16),
+        )
+        .unwrap();
+        let root_p = tc.degrees()[0];
+        let leaf_p: Vec<usize> = tc
+            .tree()
+            .leaf_ids()
+            .iter()
+            .map(|&id| tc.degrees()[id as usize])
+            .collect();
+        let max_leaf_p = *leaf_p.iter().max().unwrap();
+        assert!(
+            root_p > max_leaf_p,
+            "root degree {root_p} should exceed leaf degrees (max {max_leaf_p})"
+        );
+        // every node's degree >= p_min
+        assert!(tc.degrees().iter().all(|&p| p >= 3));
+        // monotone along every parent-child edge (parents have >= weight)
+        for (i, n) in tc.tree().nodes().iter().enumerate() {
+            for c in n.child_ids() {
+                assert!(
+                    tc.degrees()[c as usize] <= tc.degrees()[i],
+                    "child degree exceeds parent degree"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn expansion_centers_match_nodes() {
+        let tc = Treecode::new(&particles(500), TreecodeParams::fixed(4, 0.5)).unwrap();
+        for (i, n) in tc.tree().nodes().iter().enumerate() {
+            let e = tc.expansion(i as u32);
+            assert_eq!(e.center(), n.center);
+            assert_eq!(e.degree(), tc.degrees()[i]);
+        }
+    }
+
+    #[test]
+    fn zero_charges_fall_back_gracefully() {
+        let ps: Vec<Particle> = particles(100)
+            .into_iter()
+            .map(|p| Particle::new(p.position, 0.0))
+            .collect();
+        let tc = Treecode::new(&ps, TreecodeParams::adaptive(2, 0.5)).unwrap();
+        assert!(tc.degrees().iter().all(|&p| p == 2));
+        assert!(tc.ref_weight().is_finite());
+    }
+
+    #[test]
+    fn coefficient_count_larger_for_adaptive() {
+        let ps = particles(4000);
+        let fixed = Treecode::new(&ps, TreecodeParams::fixed(3, 0.6)).unwrap();
+        let adaptive = Treecode::new(&ps, TreecodeParams::adaptive(3, 0.6)).unwrap();
+        assert!(adaptive.coefficient_count() > fixed.coefficient_count());
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(Treecode::new(&particles(10), TreecodeParams::fixed(4, -1.0)).is_err());
+        assert!(Treecode::new(&[], TreecodeParams::default()).is_err());
+    }
+}

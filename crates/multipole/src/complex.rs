@@ -1,0 +1,258 @@
+//! Minimal complex arithmetic for spherical-harmonic coefficients.
+//!
+//! Kept in-tree (rather than pulling a numerics crate) so the expansion hot
+//! loops stay transparent to the optimizer and the workspace stays within
+//! its approved dependency set.
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` parts.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// `0 + 0i`.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// `1 + 0i`.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// `0 + 1i`.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates `re + im·i`.
+    #[inline(always)]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// A real number as a complex.
+    #[inline(always)]
+    pub const fn real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// `e^{iθ} = cos θ + i sin θ`.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        Complex { re: c, im: s }
+    }
+
+    /// Complex conjugate.
+    #[inline(always)]
+    pub fn conj(self) -> Self {
+        Complex { re: self.re, im: -self.im }
+    }
+
+    /// Squared magnitude.
+    #[inline(always)]
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    #[inline(always)]
+    pub fn norm(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// `i^k` for any (possibly negative) integer `k`. Exact — no rounding.
+    ///
+    /// The translation operators of Greengard–Rokhlin use unimodular factors
+    /// of the form `i^{|k|−|m|−|k−m|}` whose exponent may be negative.
+    #[inline]
+    pub fn i_pow(k: i64) -> Self {
+        match k.rem_euclid(4) {
+            0 => Complex::new(1.0, 0.0),
+            1 => Complex::new(0.0, 1.0),
+            2 => Complex::new(-1.0, 0.0),
+            _ => Complex::new(0.0, -1.0),
+        }
+    }
+
+    /// Multiply by a real scalar.
+    #[inline(always)]
+    pub fn scale(self, s: f64) -> Self {
+        Complex { re: self.re * s, im: self.im * s }
+    }
+
+    /// True when both parts are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline(always)]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: Complex) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline(always)]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline(always)]
+    fn sub_assign(&mut self, rhs: Complex) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline(always)]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline(always)]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline(always)]
+    fn mul(self, s: f64) -> Complex {
+        self.scale(s)
+    }
+}
+
+impl Mul<Complex> for f64 {
+    type Output = Complex;
+    #[inline(always)]
+    fn mul(self, c: Complex) -> Complex {
+        c.scale(self)
+    }
+}
+
+impl Div<f64> for Complex {
+    type Output = Complex;
+    #[inline(always)]
+    fn div(self, s: f64) -> Complex {
+        Complex::new(self.re / s, self.im / s)
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: Complex) -> Complex {
+        let d = rhs.norm_sq();
+        Complex::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline(always)]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl Sum for Complex {
+    fn sum<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, Add::add)
+    }
+}
+
+impl From<f64> for Complex {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Complex::real(re)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex, b: Complex) -> bool {
+        (a - b).norm() < 1e-14
+    }
+
+    #[test]
+    fn field_axioms_spot_checks() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(-0.5, 3.0);
+        assert!(close(a + b - b, a));
+        assert!(close(a * b / b, a));
+        assert!(close(a * Complex::ONE, a));
+        assert!(close(a + Complex::ZERO, a));
+        assert!(close(-(-a), a));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!(close(Complex::I * Complex::I, -Complex::ONE));
+    }
+
+    #[test]
+    fn i_pow_all_residues() {
+        assert_eq!(Complex::i_pow(0), Complex::ONE);
+        assert_eq!(Complex::i_pow(1), Complex::I);
+        assert_eq!(Complex::i_pow(2), -Complex::ONE);
+        assert_eq!(Complex::i_pow(3), -Complex::I);
+        assert_eq!(Complex::i_pow(4), Complex::ONE);
+        assert_eq!(Complex::i_pow(-1), -Complex::I);
+        assert_eq!(Complex::i_pow(-2), -Complex::ONE);
+        assert_eq!(Complex::i_pow(-3), Complex::I);
+        assert_eq!(Complex::i_pow(-4), Complex::ONE);
+    }
+
+    #[test]
+    fn cis_and_conj() {
+        let t = 0.7321;
+        let c = Complex::cis(t);
+        assert!((c.norm() - 1.0).abs() < 1e-15);
+        assert!(close(c * c.conj(), Complex::ONE));
+        assert!(close(Complex::cis(-t), c.conj()));
+        // e^{i(a+b)} = e^{ia} e^{ib}
+        assert!(close(Complex::cis(0.3) * Complex::cis(0.4), Complex::cis(0.7)));
+    }
+
+    #[test]
+    fn mul_matches_expanded_form() {
+        let a = Complex::new(2.0, -1.0);
+        let b = Complex::new(3.0, 4.0);
+        // (2-i)(3+4i) = 6+8i-3i+4 = 10+5i
+        assert!(close(a * b, Complex::new(10.0, 5.0)));
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let s: Complex = (0..4).map(Complex::i_pow).sum();
+        assert!(close(s, Complex::ZERO));
+    }
+}

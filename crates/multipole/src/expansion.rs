@@ -1,0 +1,409 @@
+//! Multipole and local expansions of the `1/r` kernel.
+//!
+//! Both expansion kinds store the triangular `m ≥ 0` half of their complex
+//! coefficient array — the potential is real, so `C_n^{−m} = conj(C_n^m)` —
+//! together with the expansion center and degree.
+//!
+//! * [`MultipoleExpansion`] represents the far field of a charge cluster:
+//!   `Φ(P) = Σ_{n≤p} Σ_{|m|≤n} M_n^m Y_n^m(θ,φ) / r^{n+1}`,
+//!   valid outside the sphere enclosing the sources.
+//! * [`LocalExpansion`] represents the field of distant charges inside a
+//!   sphere: `Φ(P) = Σ_{j≤p} Σ_{|k|≤j} L_j^k Y_j^k(θ,φ) r^j`.
+
+use mbt_geometry::{Particle, Spherical, Vec3};
+
+use crate::complex::Complex;
+use crate::legendre::Legendre;
+use crate::tables::{tri_index, tri_len, Tables, MAX_DEGREE};
+
+/// Shared coefficient storage for both expansion kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Coeffs {
+    pub degree: usize,
+    /// Triangular array, index `tri_index(n, m)` for `0 ≤ m ≤ n`.
+    pub c: Vec<Complex>,
+}
+
+impl Coeffs {
+    pub fn zero(degree: usize) -> Coeffs {
+        assert!(
+            degree <= MAX_DEGREE,
+            "expansion degree {degree} exceeds MAX_DEGREE = {MAX_DEGREE}"
+        );
+        Coeffs { degree, c: vec![Complex::ZERO; tri_len(degree)] }
+    }
+
+    /// Coefficient for any `|m| ≤ n` via conjugate symmetry. Orders beyond
+    /// the stored degree read as zero, which lets translation loops run to
+    /// a larger target degree without bounds fiddling.
+    #[inline(always)]
+    pub fn get(&self, n: usize, m: i64) -> Complex {
+        if n > self.degree || m.unsigned_abs() as usize > n {
+            return Complex::ZERO;
+        }
+        let v = self.c[tri_index(n, m.unsigned_abs() as usize)];
+        if m < 0 {
+            v.conj()
+        } else {
+            v
+        }
+    }
+
+    #[inline(always)]
+    pub fn add(&mut self, n: usize, m: usize, v: Complex) {
+        self.c[tri_index(n, m)] += v;
+    }
+
+    pub fn add_assign(&mut self, other: &Coeffs) {
+        assert_eq!(self.degree, other.degree, "degree mismatch in expansion accumulate");
+        for (a, b) in self.c.iter_mut().zip(&other.c) {
+            *a += *b;
+        }
+    }
+
+    pub fn max_abs(&self) -> f64 {
+        self.c.iter().map(|v| v.norm()).fold(0.0, f64::max)
+    }
+}
+
+/// Powers `rho^0 .. rho^degree`.
+pub(crate) fn powers(rho: f64, degree: usize) -> Vec<f64> {
+    let mut v = Vec::with_capacity(degree + 1);
+    let mut acc = 1.0;
+    for _ in 0..=degree {
+        v.push(acc);
+        acc *= rho;
+    }
+    v
+}
+
+/// A truncated multipole expansion about a center.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultipoleExpansion {
+    pub(crate) center: Vec3,
+    pub(crate) coeffs: Coeffs,
+}
+
+impl MultipoleExpansion {
+    /// The zero expansion of the given degree.
+    pub fn zero(center: Vec3, degree: usize) -> Self {
+        MultipoleExpansion { center, coeffs: Coeffs::zero(degree) }
+    }
+
+    /// Builds the expansion of a particle set (P2M):
+    /// `M_n^m = Σᵢ qᵢ ρᵢⁿ Y_n^{−m}(αᵢ, βᵢ)`.
+    pub fn from_particles(center: Vec3, degree: usize, particles: &[Particle]) -> Self {
+        let mut e = Self::zero(center, degree);
+        for p in particles {
+            e.add_particle(p.charge, p.position);
+        }
+        e
+    }
+
+    /// Accumulates one source charge into the expansion.
+    #[allow(clippy::needless_range_loop)] // `n` indexes several degree-keyed arrays
+    pub fn add_particle(&mut self, charge: f64, position: Vec3) {
+        let degree = self.coeffs.degree;
+        let s = Spherical::from_cartesian(position - self.center);
+        let t = Tables::get();
+        let (sin_t, cos_t) = s.theta.sin_cos();
+        let leg = Legendre::new(degree, cos_t, sin_t);
+        let rp = powers(s.rho, degree);
+        // Y_n^{-m} = norm · P_n^m · e^{-imφ}
+        let e1 = Complex::cis(-s.phi);
+        let mut eim = Complex::ONE;
+        for m in 0..=degree {
+            for n in m..=degree {
+                let re = charge * rp[n] * t.norm(n, m as i64) * leg.p(n, m);
+                self.coeffs.add(n, m, eim * re);
+            }
+            eim *= e1;
+        }
+    }
+
+    /// Expansion center.
+    #[inline]
+    pub fn center(&self) -> Vec3 {
+        self.center
+    }
+
+    /// Truncation degree `p`.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.coeffs.degree
+    }
+
+    /// Number of real-valued series terms, `(p+1)²` — the unit the paper's
+    /// Table 1 counts.
+    #[inline]
+    pub fn term_count(&self) -> u64 {
+        let p = self.coeffs.degree as u64;
+        (p + 1) * (p + 1)
+    }
+
+    /// Coefficient `M_n^m` for any `|m| ≤ n`.
+    #[inline]
+    pub fn coeff(&self, n: usize, m: i64) -> Complex {
+        self.coeffs.get(n, m)
+    }
+
+    /// Adds another expansion with the same center and degree.
+    pub fn accumulate(&mut self, other: &MultipoleExpansion) {
+        assert!(
+            self.center.distance(other.center) == 0.0,
+            "cannot accumulate expansions about different centers"
+        );
+        self.coeffs.add_assign(&other.coeffs);
+    }
+
+    /// Evaluates the truncated series at an observation point (M2P).
+    ///
+    /// The point must be outside the sphere enclosing the sources for the
+    /// result to approximate the true potential (Theorem 1 controls the
+    /// error); the series itself is evaluated wherever `r > 0`.
+    pub fn potential_at(&self, point: Vec3) -> f64 {
+        self.potential_at_degree(point, self.coeffs.degree)
+    }
+
+    /// Evaluates only the degree-`degree` prefix of the series (M2P with
+    /// per-interaction truncation).
+    ///
+    /// The paper computes "the multipole series a priori to the maximum
+    /// required degree"; an individual interaction may then read only the
+    /// prefix its own error budget requires. `degree` is clamped to the
+    /// stored degree.
+    #[allow(clippy::needless_range_loop)] // `n` indexes several degree-keyed arrays
+    pub fn potential_at_degree(&self, point: Vec3, degree: usize) -> f64 {
+        let degree = degree.min(self.coeffs.degree);
+        let s = Spherical::from_cartesian(point - self.center);
+        debug_assert!(s.rho > 0.0, "evaluation at the expansion center");
+        let t = Tables::get();
+        let (sin_t, cos_t) = s.theta.sin_cos();
+        let leg = Legendre::new(degree, cos_t, sin_t);
+        let inv_r = 1.0 / s.rho;
+        let e1 = Complex::cis(s.phi);
+
+        let mut phi = 0.0;
+        let mut eim = Complex::ONE;
+        // loop m-major so e^{imφ} is built incrementally
+        let mut contributions = vec![0.0; degree + 1]; // per-degree partial sums
+        for m in 0..=degree {
+            let w = if m == 0 { 1.0 } else { 2.0 };
+            for n in m..=degree {
+                let c = self.coeffs.get(n, m as i64) * eim;
+                contributions[n] += w * c.re * t.norm(n, m as i64) * leg.p(n, m);
+            }
+            eim *= e1;
+        }
+        let mut rpow = inv_r;
+        for contrib in contributions.iter().take(degree + 1) {
+            phi += contrib * rpow;
+            rpow *= inv_r;
+        }
+        phi
+    }
+
+    /// Evaluates potential and gradient `∇Φ` at an observation point.
+    ///
+    /// Pole-safe: the azimuthal term uses `P_n^m / sin θ` arrays, never a
+    /// division by `sin θ`.
+    pub fn field_at(&self, point: Vec3) -> (f64, Vec3) {
+        self.field_at_degree(point, self.coeffs.degree)
+    }
+
+    /// Potential and gradient using only the degree-`degree` prefix of the
+    /// stored series (see [`MultipoleExpansion::potential_at_degree`]).
+    pub fn field_at_degree(&self, point: Vec3, degree: usize) -> (f64, Vec3) {
+        let degree = degree.min(self.coeffs.degree);
+        let s = Spherical::from_cartesian(point - self.center);
+        debug_assert!(s.rho > 0.0, "evaluation at the expansion center");
+        let t = Tables::get();
+        let (sin_t, cos_t) = s.theta.sin_cos();
+        let (sin_p, cos_p) = s.phi.sin_cos();
+        let leg = Legendre::new(degree, cos_t, sin_t);
+        let inv_r = 1.0 / s.rho;
+        let e1 = Complex::new(cos_p, sin_p);
+
+        let mut pot_n = vec![0.0; degree + 1];
+        let mut dth_n = vec![0.0; degree + 1];
+        let mut dph_n = vec![0.0; degree + 1];
+        let mut eim = Complex::ONE;
+        for m in 0..=degree {
+            let w = if m == 0 { 1.0 } else { 2.0 };
+            for n in m..=degree {
+                let c = self.coeffs.get(n, m as i64) * eim;
+                let nr = t.norm(n, m as i64);
+                pot_n[n] += w * c.re * nr * leg.p(n, m);
+                dth_n[n] += w * c.re * nr * leg.dp_dtheta(n, m);
+                if m >= 1 {
+                    dph_n[n] += -2.0 * m as f64 * c.im * nr * leg.p_over_sin(n, m);
+                }
+            }
+            eim *= e1;
+        }
+        let mut phi = 0.0;
+        let mut g_r = 0.0;
+        let mut g_t = 0.0;
+        let mut g_p = 0.0;
+        let mut rpow1 = inv_r; // r^{-(n+1)}
+        for n in 0..=degree {
+            let rpow2 = rpow1 * inv_r; // r^{-(n+2)}
+            phi += pot_n[n] * rpow1;
+            g_r += -((n + 1) as f64) * pot_n[n] * rpow2;
+            g_t += dth_n[n] * rpow2;
+            g_p += dph_n[n] * rpow2;
+            rpow1 = rpow2;
+        }
+        let e_r = Vec3::new(sin_t * cos_p, sin_t * sin_p, cos_t);
+        let e_t = Vec3::new(cos_t * cos_p, cos_t * sin_p, -sin_t);
+        let e_p = Vec3::new(-sin_p, cos_p, 0.0);
+        (phi, e_r * g_r + e_t * g_t + e_p * g_p)
+    }
+
+    /// Largest coefficient magnitude (diagnostics).
+    pub fn max_coeff(&self) -> f64 {
+        self.coeffs.max_abs()
+    }
+}
+
+/// A truncated local expansion about a center.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalExpansion {
+    pub(crate) center: Vec3,
+    pub(crate) coeffs: Coeffs,
+}
+
+impl LocalExpansion {
+    /// The zero expansion of the given degree.
+    pub fn zero(center: Vec3, degree: usize) -> Self {
+        LocalExpansion { center, coeffs: Coeffs::zero(degree) }
+    }
+
+    /// Builds the local expansion of distant point sources directly (P2L):
+    /// `L_j^k = Σᵢ qᵢ Y_j^{−k}(αᵢ, βᵢ) / ρᵢ^{j+1}`.
+    ///
+    /// Valid for observation points closer to the center than every source.
+    pub fn from_distant_particles(center: Vec3, degree: usize, particles: &[Particle]) -> Self {
+        let mut e = Self::zero(center, degree);
+        for p in particles {
+            e.add_distant_particle(p.charge, p.position);
+        }
+        e
+    }
+
+    /// Accumulates a single distant source (P2L).
+    #[allow(clippy::needless_range_loop)] // `n` indexes several degree-keyed arrays
+    pub fn add_distant_particle(&mut self, charge: f64, position: Vec3) {
+        let degree = self.coeffs.degree;
+        let s = Spherical::from_cartesian(position - self.center);
+        assert!(s.rho > 0.0, "P2L source at the local center");
+        let t = Tables::get();
+        let (sin_t, cos_t) = s.theta.sin_cos();
+        let leg = Legendre::new(degree, cos_t, sin_t);
+        let inv = 1.0 / s.rho;
+        let invp = powers(inv, degree + 1);
+        let e1 = Complex::cis(-s.phi);
+        let mut eim = Complex::ONE;
+        for m in 0..=degree {
+            for n in m..=degree {
+                let re = charge * invp[n + 1] * t.norm(n, m as i64) * leg.p(n, m);
+                self.coeffs.add(n, m, eim * re);
+            }
+            eim *= e1;
+        }
+    }
+
+    /// Expansion center.
+    #[inline]
+    pub fn center(&self) -> Vec3 {
+        self.center
+    }
+
+    /// Truncation degree `p`.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.coeffs.degree
+    }
+
+    /// Coefficient `L_j^k` for any `|k| ≤ j`.
+    #[inline]
+    pub fn coeff(&self, j: usize, k: i64) -> Complex {
+        self.coeffs.get(j, k)
+    }
+
+    /// Adds another expansion with the same center and degree.
+    pub fn accumulate(&mut self, other: &LocalExpansion) {
+        assert!(
+            self.center.distance(other.center) == 0.0,
+            "cannot accumulate expansions about different centers"
+        );
+        self.coeffs.add_assign(&other.coeffs);
+    }
+
+    /// Evaluates the local series at a point (L2P).
+    #[allow(clippy::needless_range_loop)] // `n` indexes several degree-keyed arrays
+    pub fn potential_at(&self, point: Vec3) -> f64 {
+        let degree = self.coeffs.degree;
+        let s = Spherical::from_cartesian(point - self.center);
+        let t = Tables::get();
+        let (sin_t, cos_t) = s.theta.sin_cos();
+        let leg = Legendre::new(degree, cos_t, sin_t);
+        let rp = powers(s.rho, degree);
+        let e1 = Complex::cis(s.phi);
+        let mut eim = Complex::ONE;
+        let mut phi = 0.0;
+        for m in 0..=degree {
+            let w = if m == 0 { 1.0 } else { 2.0 };
+            for n in m..=degree {
+                let c = self.coeffs.get(n, m as i64) * eim;
+                phi += w * c.re * t.norm(n, m as i64) * leg.p(n, m) * rp[n];
+            }
+            eim *= e1;
+        }
+        phi
+    }
+
+    /// Evaluates potential and gradient at a point (L2P with derivatives).
+    pub fn field_at(&self, point: Vec3) -> (f64, Vec3) {
+        let degree = self.coeffs.degree;
+        let s = Spherical::from_cartesian(point - self.center);
+        let t = Tables::get();
+        let (sin_t, cos_t) = s.theta.sin_cos();
+        let (sin_p, cos_p) = s.phi.sin_cos();
+        let leg = Legendre::new(degree, cos_t, sin_t);
+        let rp = powers(s.rho, degree);
+        let e1 = Complex::new(cos_p, sin_p);
+
+        let mut phi = 0.0;
+        let mut g_r = 0.0;
+        let mut g_t = 0.0;
+        let mut g_p = 0.0;
+        let mut eim = Complex::ONE;
+        for m in 0..=degree {
+            let w = if m == 0 { 1.0 } else { 2.0 };
+            for n in m..=degree {
+                let c = self.coeffs.get(n, m as i64) * eim;
+                let nr = t.norm(n, m as i64);
+                phi += w * c.re * nr * leg.p(n, m) * rp[n];
+                if n >= 1 {
+                    // gradient terms carry r^{n-1}
+                    g_r += (n as f64) * w * c.re * nr * leg.p(n, m) * rp[n - 1];
+                    g_t += w * c.re * nr * leg.dp_dtheta(n, m) * rp[n - 1];
+                    if m >= 1 {
+                        g_p += -2.0 * m as f64 * c.im * nr * leg.p_over_sin(n, m) * rp[n - 1];
+                    }
+                }
+            }
+            eim *= e1;
+        }
+        let e_r = Vec3::new(sin_t * cos_p, sin_t * sin_p, cos_t);
+        let e_t = Vec3::new(cos_t * cos_p, cos_t * sin_p, -sin_t);
+        let e_p = Vec3::new(-sin_p, cos_p, 0.0);
+        (phi, e_r * g_r + e_t * g_t + e_p * g_p)
+    }
+
+    /// Largest coefficient magnitude (diagnostics).
+    pub fn max_coeff(&self) -> f64 {
+        self.coeffs.max_abs()
+    }
+}

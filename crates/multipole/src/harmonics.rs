@@ -1,0 +1,188 @@
+//! Spherical harmonics `Y_n^m` in the Greengard–Rokhlin normalisation.
+//!
+//! ```text
+//! Y_n^m(θ,φ) = √((n−|m|)!/(n+|m|)!) · P_n^{|m|}(cos θ) · e^{imφ}
+//! ```
+//!
+//! with `P_n^m` from [`crate::legendre`] (no Condon–Shortley phase). This is
+//! exactly the normalisation for which `1/|P−Q|` expands with unit
+//! coefficients (the addition theorem
+//! `P_n(cos γ) = Σ_m Y_n^{−m}(α,β) Y_n^m(θ,φ)` holds), so multipole
+//! coefficients are simply `q ρ^n Y_n^{−m}`.
+
+use mbt_geometry::Spherical;
+
+use crate::complex::Complex;
+use crate::legendre::Legendre;
+use crate::tables::{tri_index, tri_len, Tables};
+
+/// Triangular array of `Y_n^m(θ,φ)` for `0 ≤ m ≤ n ≤ degree`
+/// (negative orders via `Y_n^{−m} = conj(Y_n^m)`).
+#[derive(Debug, Clone)]
+pub struct Harmonics {
+    degree: usize,
+    vals: Vec<Complex>,
+}
+
+impl Harmonics {
+    /// Evaluates all harmonics up to `degree` at the direction of `s`.
+    pub fn new(degree: usize, s: &Spherical) -> Harmonics {
+        let (sin_t, cos_t) = s.theta.sin_cos();
+        Self::from_angles(degree, cos_t, sin_t, s.phi)
+    }
+
+    /// Evaluates from `cos θ`, `sin θ`, `φ` directly.
+    pub fn from_angles(degree: usize, cos_t: f64, sin_t: f64, phi: f64) -> Harmonics {
+        let t = Tables::get();
+        let leg = Legendre::new(degree, cos_t, sin_t);
+        let mut vals = vec![Complex::ZERO; tri_len(degree)];
+        // e^{imφ} by iterated multiplication
+        let e1 = Complex::cis(phi);
+        let mut eim = Complex::ONE;
+        for m in 0..=degree {
+            for n in m..=degree {
+                let re = t.norm(n, m as i64) * leg.p(n, m);
+                vals[tri_index(n, m)] = eim * re;
+            }
+            eim *= e1;
+        }
+        Harmonics { degree, vals }
+    }
+
+    /// The degree the table was computed to.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// `Y_n^m` for any `|m| ≤ n ≤ degree`.
+    #[inline(always)]
+    pub fn y(&self, n: usize, m: i64) -> Complex {
+        let v = self.vals[tri_index(n, m.unsigned_abs() as usize)];
+        if m < 0 {
+            v.conj()
+        } else {
+            v
+        }
+    }
+}
+
+/// Legendre polynomial `P_n(x)` (order zero), used by tests and the
+/// classical `1/|P−Q|` expansion checks.
+pub fn legendre_p(n: usize, x: f64) -> f64 {
+    match n {
+        0 => 1.0,
+        1 => x,
+        _ => {
+            let mut p0 = 1.0;
+            let mut p1 = x;
+            for k in 2..=n {
+                let p2 = ((2 * k - 1) as f64 * x * p1 - (k - 1) as f64 * p0) / k as f64;
+                p0 = p1;
+                p1 = p2;
+            }
+            p1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbt_geometry::Vec3;
+
+    fn harmonics_of(v: Vec3, degree: usize) -> (Harmonics, Spherical) {
+        let s = Spherical::from_cartesian(v);
+        (Harmonics::new(degree, &s), s)
+    }
+
+    #[test]
+    fn y00_is_one_everywhere() {
+        for v in [Vec3::X, Vec3::new(1.0, -2.0, 0.5), Vec3::Z] {
+            let (h, _) = harmonics_of(v, 3);
+            assert!((h.y(0, 0) - Complex::ONE).norm() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn closed_forms_degree_one() {
+        // Y_1^0 = cosθ, Y_1^1 = (1/√2) sinθ e^{iφ}
+        let v = Vec3::new(0.3, -0.7, 0.9);
+        let (h, s) = harmonics_of(v, 1);
+        assert!((h.y(1, 0).re - s.theta.cos()).abs() < 1e-14);
+        let expect = Complex::cis(s.phi) * (s.theta.sin() / 2.0f64.sqrt());
+        assert!((h.y(1, 1) - expect).norm() < 1e-14);
+    }
+
+    #[test]
+    fn negative_orders_are_conjugates() {
+        let (h, _) = harmonics_of(Vec3::new(1.0, 2.0, -0.5), 6);
+        for n in 0..=6usize {
+            for m in 1..=n as i64 {
+                assert_eq!(h.y(n, -m), h.y(n, m).conj());
+            }
+        }
+    }
+
+    #[test]
+    fn addition_theorem() {
+        // P_n(cos γ) = Σ_{m=-n}^{n} Y_n^{-m}(dir1) Y_n^m(dir2)
+        let a = Vec3::new(0.2, 0.9, -0.4).normalized();
+        let b = Vec3::new(-0.5, 0.1, 0.85).normalized();
+        let cos_gamma = a.dot(b);
+        let (ha, _) = harmonics_of(a, 8);
+        let (hb, _) = harmonics_of(b, 8);
+        for n in 0..=8usize {
+            let mut sum = Complex::ZERO;
+            for m in -(n as i64)..=(n as i64) {
+                sum += ha.y(n, -m) * hb.y(n, m);
+            }
+            let expect = legendre_p(n, cos_gamma);
+            assert!(
+                (sum.re - expect).abs() < 1e-12 && sum.im.abs() < 1e-12,
+                "addition theorem fails at n={n}: {sum:?} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn inverse_distance_expansion() {
+        // 1/|P−Q| = Σ_n ρ^n/r^{n+1} P_n(cos γ) for r > ρ — the identity
+        // underlying Theorem 1 of the paper.
+        let q = Vec3::new(0.3, -0.2, 0.1); // source, ρ = |q|
+        let p = Vec3::new(2.0, 1.0, -1.5); // target, r = |p|
+        let rho = q.norm();
+        let r = p.norm();
+        let cos_gamma = p.dot(q) / (r * rho);
+        let mut approx = 0.0;
+        for n in 0..=30 {
+            approx += rho.powi(n as i32) / r.powi(n as i32 + 1) * legendre_p(n, cos_gamma);
+        }
+        let exact = 1.0 / p.distance(q);
+        assert!((approx - exact).abs() < 1e-12, "{approx} vs {exact}");
+    }
+
+    #[test]
+    fn legendre_p_closed_forms() {
+        let x = 0.37;
+        assert_eq!(legendre_p(0, x), 1.0);
+        assert_eq!(legendre_p(1, x), x);
+        assert!((legendre_p(2, x) - 0.5 * (3.0 * x * x - 1.0)).abs() < 1e-15);
+        assert!((legendre_p(3, x) - 0.5 * (5.0 * x.powi(3) - 3.0 * x)).abs() < 1e-15);
+        // |P_n(x)| <= 1 on [-1,1]
+        for n in 0..20 {
+            assert!(legendre_p(n, 0.99).abs() <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn poles_are_finite() {
+        let (h, _) = harmonics_of(Vec3::Z, 10);
+        for n in 0..=10usize {
+            assert!((h.y(n, 0).re - 1.0).abs() < 1e-13); // P_n(1) = 1
+            for m in 1..=n as i64 {
+                assert!(h.y(n, m).norm() < 1e-13); // vanish at the pole
+            }
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Associated Legendre functions and their θ-derivatives.
+//!
+//! `P_n^m` here is defined **without** the Condon–Shortley phase:
+//!
+//! ```text
+//! P_m^m(x)   = (2m−1)!! (1−x²)^{m/2}
+//! P_{m+1}^m  = x (2m+1) P_m^m
+//! (n−m) P_n^m = x (2n−1) P_{n−1}^m − (n+m−1) P_{n−2}^m
+//! ```
+//!
+//! For the gradient of a multipole series two auxiliary families make the
+//! evaluation pole-safe (no division by `sin θ` anywhere):
+//!
+//! * `S_n^m = P_n^m / sin θ` for `m ≥ 1` — satisfies the *same* recurrences
+//!   seeded with `S_m^m = (2m−1)!! sinθ^{m−1}`, needed by the azimuthal
+//!   gradient term `m P_n^m / sin θ`,
+//! * `dP_n^m/dθ`, computed as `n·x·S_n^m − (n+m)·S_{n−1}^m` for `m ≥ 1` and
+//!   `−P_n^1` for `m = 0`.
+
+use crate::tables::{tri_index, tri_len};
+
+/// Triangular arrays of `P_n^m(cos θ)` (and friends) for `n ≤ degree`.
+#[derive(Debug, Clone)]
+pub struct Legendre {
+    degree: usize,
+    /// `P_n^m(x)`.
+    p: Vec<f64>,
+    /// `P_n^m(x)/sin θ` for `m ≥ 1` (entries with `m = 0` are unused zeros).
+    p_over_s: Vec<f64>,
+    /// `dP_n^m/dθ`.
+    dp_dtheta: Vec<f64>,
+}
+
+impl Legendre {
+    /// Evaluates the three families at `x = cos θ`, `s = sin θ ≥ 0`.
+    pub fn new(degree: usize, x: f64, s: f64) -> Legendre {
+        debug_assert!((x * x + s * s - 1.0).abs() < 1e-9, "cos²+sin² must be 1");
+        let len = tri_len(degree);
+        let mut p = vec![0.0; len];
+        let mut q = vec![0.0; len]; // P/s for m>=1
+        let mut d = vec![0.0; len];
+
+        // diagonal seeds
+        p[tri_index(0, 0)] = 1.0;
+        let mut pmm = 1.0; // P_m^m
+        let mut smm = 1.0; // S_m^m = P_m^m / s  (for m>=1: (2m-1)!! s^{m-1})
+        for m in 1..=degree {
+            let df = (2 * m - 1) as f64;
+            smm = if m == 1 { df } else { smm * df * s };
+            pmm *= df * s;
+            p[tri_index(m, m)] = pmm;
+            q[tri_index(m, m)] = smm;
+        }
+        // first off-diagonal P_{m+1}^m = x(2m+1) P_m^m
+        for m in 0..degree {
+            let f = x * (2 * m + 1) as f64;
+            p[tri_index(m + 1, m)] = f * p[tri_index(m, m)];
+            if m >= 1 {
+                q[tri_index(m + 1, m)] = f * q[tri_index(m, m)];
+            }
+        }
+        // upward recurrence in n
+        for n in 2..=degree {
+            for m in 0..=(n - 2) {
+                let a = x * (2 * n - 1) as f64;
+                let b = (n + m - 1) as f64;
+                let c = (n - m) as f64;
+                p[tri_index(n, m)] = (a * p[tri_index(n - 1, m)] - b * p[tri_index(n - 2, m)]) / c;
+                if m >= 1 {
+                    q[tri_index(n, m)] =
+                        (a * q[tri_index(n - 1, m)] - b * q[tri_index(n - 2, m)]) / c;
+                }
+            }
+        }
+        // θ-derivatives
+        for n in 0..=degree {
+            // m = 0: dP_n^0/dθ = −P_n^1 (absent for n = 0)
+            d[tri_index(n, 0)] = if n >= 1 { -p[tri_index(n, 1)] } else { 0.0 };
+            for m in 1..=n {
+                let prev = if n >= 1 && m < n { q[tri_index(n - 1, m)] } else { 0.0 };
+                d[tri_index(n, m)] = n as f64 * x * q[tri_index(n, m)] - (n + m) as f64 * prev;
+            }
+        }
+        Legendre { degree, p, p_over_s: q, dp_dtheta: d }
+    }
+
+    /// The degree the arrays were computed to.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// `P_n^m(cos θ)`.
+    #[inline(always)]
+    pub fn p(&self, n: usize, m: usize) -> f64 {
+        self.p[tri_index(n, m)]
+    }
+
+    /// `P_n^m(cos θ)/sin θ` (only valid for `m ≥ 1`).
+    #[inline(always)]
+    pub fn p_over_sin(&self, n: usize, m: usize) -> f64 {
+        debug_assert!(m >= 1);
+        self.p_over_s[tri_index(n, m)]
+    }
+
+    /// `dP_n^m/dθ`.
+    #[inline(always)]
+    pub fn dp_dtheta(&self, n: usize, m: usize) -> f64 {
+        self.dp_dtheta[tri_index(n, m)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn legendre_at(theta: f64, degree: usize) -> Legendre {
+        Legendre::new(degree, theta.cos(), theta.sin())
+    }
+
+    #[test]
+    fn closed_forms_low_degree() {
+        let theta = 0.8f64;
+        let (x, s) = (theta.cos(), theta.sin());
+        let l = legendre_at(theta, 3);
+        assert!((l.p(0, 0) - 1.0).abs() < 1e-15);
+        assert!((l.p(1, 0) - x).abs() < 1e-15);
+        assert!((l.p(1, 1) - s).abs() < 1e-15);
+        assert!((l.p(2, 0) - 0.5 * (3.0 * x * x - 1.0)).abs() < 1e-14);
+        assert!((l.p(2, 1) - 3.0 * x * s).abs() < 1e-14);
+        assert!((l.p(2, 2) - 3.0 * s * s).abs() < 1e-14);
+        assert!((l.p(3, 0) - 0.5 * (5.0 * x.powi(3) - 3.0 * x)).abs() < 1e-14);
+        assert!((l.p(3, 3) - 15.0 * s.powi(3)).abs() < 1e-13);
+    }
+
+    #[test]
+    fn p_over_sin_consistent() {
+        let theta = 1.1f64;
+        let l = legendre_at(theta, 8);
+        for n in 1..=8usize {
+            for m in 1..=n {
+                let expect = l.p(n, m) / theta.sin();
+                assert!(
+                    (l.p_over_sin(n, m) - expect).abs() < 1e-10 * (1.0 + expect.abs()),
+                    "S mismatch at ({n},{m})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dp_dtheta_matches_finite_differences() {
+        let theta = 0.9f64;
+        let h = 1e-6;
+        let l = legendre_at(theta, 10);
+        let lp = legendre_at(theta + h, 10);
+        let lm = legendre_at(theta - h, 10);
+        for n in 0..=10usize {
+            for m in 0..=n {
+                let fd = (lp.p(n, m) - lm.p(n, m)) / (2.0 * h);
+                let an = l.dp_dtheta(n, m);
+                assert!(
+                    (fd - an).abs() < 1e-5 * (1.0 + an.abs()),
+                    "dP/dθ mismatch at ({n},{m}): fd {fd} vs {an}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pole_values_are_finite_and_correct() {
+        // θ = 0: P_n^0 = 1, P_n^m = 0 (m≥1), S_n^1 finite, derivative of
+        // P_n^1 is finite nonzero
+        let l = Legendre::new(6, 1.0, 0.0);
+        for n in 0..=6usize {
+            assert!((l.p(n, 0) - 1.0).abs() < 1e-14);
+            for m in 1..=n {
+                assert_eq!(l.p(n, m), 0.0);
+                assert!(l.p_over_sin(n, m).is_finite());
+                assert!(l.dp_dtheta(n, m).is_finite());
+            }
+        }
+        // S_1^1(θ=0) = 1: P_1^1 = sinθ so P/s -> 1
+        assert!((l.p_over_sin(1, 1) - 1.0).abs() < 1e-14);
+        // dP_1^1/dθ at 0 is cosθ·1 = 1
+        assert!((l.dp_dtheta(1, 1) - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn antipode_parity() {
+        // P_n^m(−x) = (−1)^{n+m} P_n^m(x)
+        let theta = 0.6f64;
+        let l1 = Legendre::new(7, theta.cos(), theta.sin());
+        let l2 = Legendre::new(7, -theta.cos(), theta.sin());
+        for n in 0..=7usize {
+            for m in 0..=n {
+                let sign = if (n + m) % 2 == 0 { 1.0 } else { -1.0 };
+                assert!(
+                    (l2.p(n, m) - sign * l1.p(n, m)).abs() < 1e-10 * (1.0 + l1.p(n, m).abs()),
+                    "parity fails at ({n},{m})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn high_degree_stays_finite() {
+        let l = legendre_at(0.3, 40);
+        for n in 0..=40usize {
+            for m in 0..=n {
+                assert!(l.p(n, m).is_finite(), "P({n},{m}) overflowed");
+            }
+        }
+    }
+}

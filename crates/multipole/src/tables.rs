@@ -1,0 +1,159 @@
+//! Precomputed factorial and Greengard–Rokhlin `A_n^m` coefficient tables.
+//!
+//! The translation operators (M2M / M2L / L2L) repeatedly need
+//! `A_n^m = (−1)ⁿ / √((n−m)!·(n+m)!)` for degrees up to twice the expansion
+//! degree (M2L touches `A_{j+n}^{m−k}` with `j + n ≤ 2p`). All tables are
+//! computed once, on first use, behind a `OnceLock`.
+
+use std::sync::OnceLock;
+
+/// Maximum usable expansion degree `p`.
+///
+/// Tables cover degree `2·MAX_DEGREE`, so factorial arguments reach
+/// `4·MAX_DEGREE = 160`, safely below the `f64` overflow at `171!`.
+pub const MAX_DEGREE: usize = 40;
+
+/// Degree limit of the `A_n^m` table itself (`2·MAX_DEGREE`).
+pub const TABLE_DEGREE: usize = 2 * MAX_DEGREE;
+
+/// Index of `(n, m)` (with `0 ≤ m ≤ n`) in a triangular array.
+#[inline(always)]
+pub const fn tri_index(n: usize, m: usize) -> usize {
+    n * (n + 1) / 2 + m
+}
+
+/// Number of `(n, m)` pairs with `n ≤ degree`, `0 ≤ m ≤ n`.
+#[inline(always)]
+pub const fn tri_len(degree: usize) -> usize {
+    (degree + 1) * (degree + 2) / 2
+}
+
+/// The shared numeric tables.
+pub struct Tables {
+    /// `fact[k] = k!` for `k ≤ 4·MAX_DEGREE`.
+    fact: Vec<f64>,
+    /// Triangular table of `A_n^m` for `n ≤ TABLE_DEGREE`, `0 ≤ m ≤ n`
+    /// (`A_n^{−m} = A_n^m`).
+    a: Vec<f64>,
+    /// Triangular table of `√((n−m)!/(n+m)!)` — the `Y_n^m` normalisation.
+    norm: Vec<f64>,
+}
+
+impl Tables {
+    fn build() -> Tables {
+        let nfact = 4 * MAX_DEGREE + 1;
+        let mut fact = Vec::with_capacity(nfact);
+        fact.push(1.0f64);
+        for k in 1..nfact {
+            let prev = fact[k - 1];
+            fact.push(prev * k as f64);
+        }
+        let mut a = vec![0.0; tri_len(TABLE_DEGREE)];
+        let mut norm = vec![0.0; tri_len(TABLE_DEGREE)];
+        for n in 0..=TABLE_DEGREE {
+            let sign = if n % 2 == 0 { 1.0 } else { -1.0 };
+            for m in 0..=n {
+                let idx = tri_index(n, m);
+                a[idx] = sign / (fact[n - m] * fact[n + m]).sqrt();
+                norm[idx] = (fact[n - m] / fact[n + m]).sqrt();
+            }
+        }
+        Tables { fact, a, norm }
+    }
+
+    /// The process-wide table instance.
+    pub fn get() -> &'static Tables {
+        static TABLES: OnceLock<Tables> = OnceLock::new();
+        TABLES.get_or_init(Tables::build)
+    }
+
+    /// `k!`.
+    #[inline(always)]
+    pub fn factorial(&self, k: usize) -> f64 {
+        self.fact[k]
+    }
+
+    /// `A_n^m` for any `|m| ≤ n ≤ TABLE_DEGREE`.
+    #[inline(always)]
+    pub fn a(&self, n: usize, m: i64) -> f64 {
+        let m = m.unsigned_abs() as usize;
+        debug_assert!(m <= n && n <= TABLE_DEGREE);
+        self.a[tri_index(n, m)]
+    }
+
+    /// `√((n−|m|)!/(n+|m|)!)` — the spherical-harmonic normalisation.
+    #[inline(always)]
+    pub fn norm(&self, n: usize, m: i64) -> f64 {
+        let m = m.unsigned_abs() as usize;
+        debug_assert!(m <= n && n <= TABLE_DEGREE);
+        self.norm[tri_index(n, m)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorials() {
+        let t = Tables::get();
+        assert_eq!(t.factorial(0), 1.0);
+        assert_eq!(t.factorial(5), 120.0);
+        assert_eq!(t.factorial(10), 3_628_800.0);
+        // largest table entry must still be finite
+        assert!(t.factorial(4 * MAX_DEGREE).is_finite());
+    }
+
+    #[test]
+    fn a_closed_forms() {
+        let t = Tables::get();
+        assert_eq!(t.a(0, 0), 1.0);
+        assert_eq!(t.a(1, 0), -1.0); // (-1)^1/sqrt(1!·1!)
+        assert!((t.a(1, 1) - -1.0 / 2.0f64.sqrt()).abs() < 1e-15);
+        assert!((t.a(2, 0) - 1.0 / 2.0).abs() < 1e-15); // 1/sqrt(2!·2!) = 1/2
+        // symmetry in the sign of m
+        assert_eq!(t.a(7, 3), t.a(7, -3));
+    }
+
+    #[test]
+    fn norm_closed_forms() {
+        let t = Tables::get();
+        assert_eq!(t.norm(0, 0), 1.0);
+        assert_eq!(t.norm(3, 0), 1.0);
+        assert!((t.norm(1, 1) - (1.0f64 / 2.0).sqrt()).abs() < 1e-15);
+        assert!((t.norm(2, 2) - (1.0f64 / 24.0).sqrt()).abs() < 1e-15);
+        assert_eq!(t.norm(5, 2), t.norm(5, -2));
+    }
+
+    #[test]
+    fn extreme_entries_are_normal_floats() {
+        let t = Tables::get();
+        let a = t.a(TABLE_DEGREE, 0);
+        assert!(a.is_finite() && a != 0.0);
+        let a = t.a(TABLE_DEGREE, TABLE_DEGREE as i64);
+        assert!(a.is_finite() && a != 0.0);
+        // products appearing in M2L stay representable:
+        // A_p^0 · A_p^0 / A_{2p}^0
+        let v = t.a(MAX_DEGREE, 0) * t.a(MAX_DEGREE, 0) / t.a(TABLE_DEGREE, 0);
+        assert!(v.is_finite());
+    }
+
+    #[test]
+    fn tri_indexing() {
+        assert_eq!(tri_index(0, 0), 0);
+        assert_eq!(tri_index(1, 0), 1);
+        assert_eq!(tri_index(1, 1), 2);
+        assert_eq!(tri_index(2, 0), 3);
+        assert_eq!(tri_len(0), 1);
+        assert_eq!(tri_len(2), 6);
+        // indices are dense and in-range
+        let mut next = 0;
+        for n in 0..=6 {
+            for m in 0..=n {
+                assert_eq!(tri_index(n, m), next);
+                next += 1;
+            }
+        }
+        assert_eq!(next, tri_len(6));
+    }
+}

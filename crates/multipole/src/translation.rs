@@ -1,0 +1,331 @@
+//! Expansion translation operators: M2M, M2L, L2L.
+//!
+//! All three follow the classical Greengard–Rokhlin lemmas for the Laplace
+//! kernel in three dimensions. In each case the geometry vector handed to
+//! the kernel is the *source* expansion center relative to the *target*
+//! center, converted to spherical coordinates `(ρ, α, β)`.
+//!
+//! * **M2M** is exact when the target degree is at least the source degree
+//!   (a degree-`p` multipole of a cluster is a degree-`p` multipole about
+//!   any other center plus terms of degree `> p`).
+//! * **M2L** converges when the observation sphere and the source sphere
+//!   are well separated; its truncation error obeys the same geometric
+//!   decay as Theorem 1.
+//! * **L2L** is exact (a polynomial recentred is the same polynomial).
+
+use mbt_geometry::{Spherical, Vec3};
+
+use crate::complex::Complex;
+use crate::expansion::{powers, Coeffs, LocalExpansion, MultipoleExpansion};
+use crate::harmonics::Harmonics;
+use crate::tables::Tables;
+
+impl MultipoleExpansion {
+    /// Translates this expansion to a new center (M2M).
+    ///
+    /// `target_degree` may exceed the source degree (the missing source
+    /// coefficients read as zero); for `target_degree >= self.degree()` the
+    /// translation introduces no additional truncation error.
+    #[allow(clippy::needless_range_loop)] // degree loops index shared tables
+    pub fn translated(&self, new_center: Vec3, target_degree: usize) -> MultipoleExpansion {
+        let t = Tables::get();
+        let d = self.center - new_center;
+        let s = Spherical::from_cartesian(d);
+        let h = Harmonics::new(target_degree, &s);
+        let rp = powers(s.rho, target_degree);
+        let src = &self.coeffs;
+        let p_src = src.degree;
+
+        let mut out = Coeffs::zero(target_degree);
+        for j in 0..=target_degree {
+            for k in 0..=j as i64 {
+                let mut acc = Complex::ZERO;
+                // n = degree taken from the shift; j-n from the source
+                let n_lo = j.saturating_sub(p_src);
+                for n in n_lo..=j {
+                    let jn = j - n;
+                    for m in -(n as i64)..=(n as i64) {
+                        let km = k - m;
+                        if km.unsigned_abs() as usize > jn {
+                            continue;
+                        }
+                        let o = src.get(jn, km);
+                        if o == Complex::ZERO {
+                            continue;
+                        }
+                        let phase = Complex::i_pow(k.abs() - m.abs() - km.abs());
+                        let coeff = t.a(n, m) * t.a(jn, km) * rp[n] / t.a(j, k);
+                        acc += o * phase * h.y(n, -m) * coeff;
+                    }
+                }
+                out.add(j, k as usize, acc);
+            }
+        }
+        MultipoleExpansion { center: new_center, coeffs: out }
+    }
+
+    /// Converts this multipole expansion into a local expansion about
+    /// `local_center` (M2L).
+    ///
+    /// Convergence requires the target sphere to be well separated from the
+    /// source sphere; the caller (FMM interaction lists) guarantees that.
+    pub fn to_local(&self, local_center: Vec3, target_degree: usize) -> LocalExpansion {
+        let t = Tables::get();
+        let d = self.center - local_center;
+        let s = Spherical::from_cartesian(d);
+        assert!(s.rho > 0.0, "M2L with coincident centers");
+        let p_src = self.coeffs.degree;
+        let h = Harmonics::new(target_degree + p_src, &s);
+        let inv = 1.0 / s.rho;
+        let invp = powers(inv, target_degree + p_src + 1);
+        let src = &self.coeffs;
+
+        let mut out = Coeffs::zero(target_degree);
+        for j in 0..=target_degree {
+            for k in 0..=j as i64 {
+                let mut acc = Complex::ZERO;
+                for n in 0..=p_src {
+                    let neg = if n % 2 == 0 { 1.0 } else { -1.0 };
+                    for m in -(n as i64)..=(n as i64) {
+                        let o = src.get(n, m);
+                        if o == Complex::ZERO {
+                            continue;
+                        }
+                        let phase = Complex::i_pow((k - m).abs() - k.abs() - m.abs());
+                        let coeff =
+                            t.a(n, m) * t.a(j, k) * invp[j + n + 1] / (neg * t.a(j + n, m - k));
+                        acc += o * phase * h.y(j + n, m - k) * coeff;
+                    }
+                }
+                out.add(j, k as usize, acc);
+            }
+        }
+        LocalExpansion { center: local_center, coeffs: out }
+    }
+}
+
+impl LocalExpansion {
+    /// Recenters this local expansion (L2L). Exact for any shift.
+    pub fn translated(&self, new_center: Vec3, target_degree: usize) -> LocalExpansion {
+        let t = Tables::get();
+        let d = self.center - new_center;
+        let s = Spherical::from_cartesian(d);
+        let p_src = self.coeffs.degree;
+        let h = Harmonics::new(p_src, &s);
+        let rp = powers(s.rho, p_src);
+        let src = &self.coeffs;
+
+        let mut out = Coeffs::zero(target_degree);
+        for j in 0..=target_degree.min(p_src) {
+            for k in 0..=j as i64 {
+                let mut acc = Complex::ZERO;
+                for n in j..=p_src {
+                    let nj = n - j;
+                    let neg = if (n + j) % 2 == 0 { 1.0 } else { -1.0 };
+                    for m in -(n as i64)..=(n as i64) {
+                        let mk = m - k;
+                        if mk.unsigned_abs() as usize > nj {
+                            continue;
+                        }
+                        let o = src.get(n, m);
+                        if o == Complex::ZERO {
+                            continue;
+                        }
+                        let phase = Complex::i_pow(m.abs() - mk.abs() - k.abs());
+                        let coeff = t.a(nj, mk) * t.a(j, k) * rp[nj] / (neg * t.a(n, m));
+                        acc += o * phase * h.y(nj, mk) * coeff;
+                    }
+                }
+                out.add(j, k as usize, acc);
+            }
+        }
+        LocalExpansion { center: new_center, coeffs: out }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbt_geometry::Particle;
+
+    /// A deterministic pseudo-random cluster inside a ball.
+    fn cluster(center: Vec3, radius: f64, n: usize, seed: u64) -> Vec<Particle> {
+        // simple LCG to avoid test-only dependencies here
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| {
+                let v = loop {
+                    let v = Vec3::new(next() * 2.0 - 1.0, next() * 2.0 - 1.0, next() * 2.0 - 1.0);
+                    if v.norm_sq() <= 1.0 {
+                        break v;
+                    }
+                };
+                let q = if next() > 0.5 { 1.0 } else { -1.0 } * (0.5 + next());
+                Particle::new(center + v * radius, q)
+            })
+            .collect()
+    }
+
+    fn direct_potential(particles: &[Particle], point: Vec3) -> f64 {
+        particles.iter().map(|p| p.charge / p.position.distance(point)).sum()
+    }
+
+    #[test]
+    fn p2m_matches_direct_sum() {
+        let center = Vec3::new(0.5, -0.25, 1.0);
+        let ps = cluster(center, 0.5, 60, 7);
+        let point = center + Vec3::new(2.0, 1.0, -1.5);
+        let exact = direct_potential(&ps, point);
+        let mut prev_err = f64::INFINITY;
+        for p in [2usize, 4, 8, 14, 20] {
+            let e = MultipoleExpansion::from_particles(center, p, &ps);
+            let err = (e.potential_at(point) - exact).abs();
+            assert!(err < prev_err * 1.5, "error not decreasing at p={p}: {err}");
+            prev_err = err;
+        }
+        assert!(prev_err < 1e-10, "p=20 error too large: {prev_err}");
+    }
+
+    #[test]
+    fn m2m_exact_for_equal_degree() {
+        let c1 = Vec3::new(0.2, 0.1, -0.3);
+        let ps = cluster(c1, 0.4, 40, 3);
+        let p = 12;
+        let e1 = MultipoleExpansion::from_particles(c1, p, &ps);
+        let c2 = Vec3::new(0.0, 0.0, 0.0);
+        let shifted = e1.translated(c2, p);
+        // direct expansion about c2 from the same sources, truncated to p,
+        // differs from the translated one only beyond degree p... but the
+        // translated expansion must REPRODUCE e1's field to within its own
+        // truncation error. Compare potentials far away where both apply.
+        let point = Vec3::new(3.0, -2.0, 2.5);
+        let a = e1.potential_at(point);
+        let b = shifted.potential_at(point);
+        let exact = direct_potential(&ps, point);
+        // The translated expansion must obey the Theorem-1 bound about its
+        // own (enlarged) enclosing sphere: radius = cluster radius + shift.
+        let abs_charge: f64 = ps.iter().map(|q| q.charge.abs()).sum();
+        let enclosing = 0.4 + c1.distance(c2);
+        let bound = crate::bounds::theorem1_bound(abs_charge, enclosing, point.distance(c2), p);
+        assert!(
+            (b - exact).abs() <= bound,
+            "M2M error {} exceeds Theorem-1 bound {bound}",
+            (b - exact).abs()
+        );
+        assert!((a - b).abs() < 1e-9, "translated expansion inconsistent: {a} vs {b}");
+    }
+
+    #[test]
+    fn m2m_zero_shift_is_identity() {
+        let c = Vec3::new(1.0, 2.0, 3.0);
+        let ps = cluster(c, 0.3, 10, 11);
+        let e = MultipoleExpansion::from_particles(c, 6, &ps);
+        let same = e.translated(c, 6);
+        for n in 0..=6usize {
+            for m in 0..=n as i64 {
+                assert!(
+                    (e.coeff(n, m) - same.coeff(n, m)).norm() < 1e-12,
+                    "identity shift changed ({n},{m})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn m2m_matches_direct_p2m_about_new_center() {
+        // For degree high enough to capture the cluster, translation and
+        // direct expansion about the new center agree coefficient-wise in
+        // the low degrees.
+        let c1 = Vec3::new(0.25, 0.25, 0.25);
+        let c2 = Vec3::ZERO;
+        let ps = cluster(c1, 0.2, 25, 19);
+        let p = 16;
+        let translated = MultipoleExpansion::from_particles(c1, p, &ps).translated(c2, p);
+        let direct = MultipoleExpansion::from_particles(c2, p, &ps);
+        for n in 0..=6usize {
+            for m in 0..=n as i64 {
+                let a = translated.coeff(n, m);
+                let b = direct.coeff(n, m);
+                assert!(
+                    (a - b).norm() < 1e-8 * (1.0 + b.norm()),
+                    "coefficient ({n},{m}) mismatch: {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn m2l_matches_direct_sum() {
+        let src_c = Vec3::new(4.0, 0.0, 0.0);
+        let ps = cluster(src_c, 0.5, 50, 23);
+        let loc_c = Vec3::ZERO;
+        let p = 16;
+        let mult = MultipoleExpansion::from_particles(src_c, p, &ps);
+        let local = mult.to_local(loc_c, p);
+        for point in [
+            Vec3::new(0.3, 0.2, -0.1),
+            Vec3::new(-0.4, 0.1, 0.3),
+            Vec3::ZERO,
+        ] {
+            let exact = direct_potential(&ps, point);
+            let approx = local.potential_at(point);
+            assert!(
+                (approx - exact).abs() < 1e-6 * exact.abs().max(1.0),
+                "M2L at {point:?}: {approx} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn p2l_matches_direct_sum() {
+        let ps = cluster(Vec3::new(5.0, 1.0, -2.0), 0.5, 30, 29);
+        let local = LocalExpansion::from_distant_particles(Vec3::ZERO, 18, &ps);
+        let point = Vec3::new(0.2, -0.3, 0.25);
+        let exact = direct_potential(&ps, point);
+        let approx = local.potential_at(point);
+        assert!((approx - exact).abs() < 1e-8 * exact.abs().max(1.0), "{approx} vs {exact}");
+    }
+
+    #[test]
+    fn l2l_is_exact() {
+        let ps = cluster(Vec3::new(6.0, -1.0, 3.0), 0.4, 30, 31);
+        let p = 10;
+        let local = LocalExpansion::from_distant_particles(Vec3::ZERO, p, &ps);
+        let new_c = Vec3::new(0.3, -0.2, 0.1);
+        let shifted = local.translated(new_c, p);
+        for point in [Vec3::new(0.35, -0.15, 0.05), new_c, Vec3::new(0.2, -0.3, 0.2)] {
+            let a = local.potential_at(point);
+            let b = shifted.potential_at(point);
+            assert!((a - b).abs() < 1e-10 * a.abs().max(1.0), "L2L at {point:?}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn full_fmm_chain_m2m_m2l_l2l() {
+        // P2M -> M2M -> M2L -> L2L -> L2P against the direct sum: the
+        // operator pipeline used by the FMM.
+        let src_child = Vec3::new(4.1, 0.1, -0.1);
+        let src_parent = Vec3::new(4.0, 0.0, 0.0);
+        let tgt_parent = Vec3::ZERO;
+        let tgt_child = Vec3::new(0.1, -0.1, 0.1);
+        let ps = cluster(src_child, 0.3, 40, 37);
+        let p = 14;
+        let m = MultipoleExpansion::from_particles(src_child, p, &ps)
+            .translated(src_parent, p)
+            .to_local(tgt_parent, p)
+            .translated(tgt_child, p);
+        let point = tgt_child + Vec3::new(0.15, 0.1, -0.05);
+        let exact = direct_potential(&ps, point);
+        let approx = m.potential_at(point);
+        assert!(
+            (approx - exact).abs() < 1e-5 * exact.abs().max(1.0),
+            "chain: {approx} vs {exact}"
+        );
+    }
+}

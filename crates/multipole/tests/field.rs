@@ -1,0 +1,144 @@
+//! Gradient (field) evaluation tests: the analytic spherical gradient of
+//! multipole and local expansions must match both finite differences of the
+//! potential and the direct pairwise force sum.
+
+use mbt_geometry::{Particle, Vec3};
+use mbt_multipole::{LocalExpansion, MultipoleExpansion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_cluster(center: Vec3, radius: f64, n: usize, seed: u64) -> Vec<Particle> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let v = loop {
+                let v = Vec3::new(
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                );
+                if v.norm_sq() <= 1.0 {
+                    break v;
+                }
+            };
+            Particle::new(center + v * radius, rng.gen_range(-2.0..2.0))
+        })
+        .collect()
+}
+
+fn direct_field(ps: &[Particle], x: Vec3) -> (f64, Vec3) {
+    let mut phi = 0.0;
+    let mut grad = Vec3::ZERO;
+    for p in ps {
+        let d = x - p.position;
+        let r = d.norm();
+        phi += p.charge / r;
+        grad += d * (-p.charge / (r * r * r));
+    }
+    (phi, grad)
+}
+
+fn fd_gradient(f: impl Fn(Vec3) -> f64, x: Vec3, h: f64) -> Vec3 {
+    Vec3::new(
+        (f(x + Vec3::X * h) - f(x - Vec3::X * h)) / (2.0 * h),
+        (f(x + Vec3::Y * h) - f(x - Vec3::Y * h)) / (2.0 * h),
+        (f(x + Vec3::Z * h) - f(x - Vec3::Z * h)) / (2.0 * h),
+    )
+}
+
+#[test]
+fn multipole_gradient_matches_finite_differences() {
+    let center = Vec3::new(0.3, -0.2, 0.4);
+    let ps = random_cluster(center, 0.5, 40, 5);
+    let e = MultipoleExpansion::from_particles(center, 10, &ps);
+    for point in [
+        center + Vec3::new(2.0, 0.5, -1.0),
+        center + Vec3::new(-1.5, 2.5, 0.7),
+        center + Vec3::new(0.0, 0.0, 3.0), // on the polar axis
+        center + Vec3::new(0.0, 0.0, -3.0),
+        center + Vec3::new(3.0, 0.0, 0.0), // equatorial
+    ] {
+        let (phi, grad) = e.field_at(point);
+        assert!((phi - e.potential_at(point)).abs() < 1e-12 * phi.abs().max(1.0));
+        // FD step 1e-4 balances truncation against the acos-near-pole
+        // rounding that a smaller step would amplify by 1/h.
+        let fd = fd_gradient(|x| e.potential_at(x), point, 1e-4);
+        assert!(
+            grad.distance(fd) < 1e-6 * (1.0 + grad.norm()),
+            "gradient mismatch at {point:?}: {grad:?} vs fd {fd:?}"
+        );
+    }
+}
+
+#[test]
+fn multipole_gradient_converges_to_direct_force() {
+    let center = Vec3::ZERO;
+    let ps = random_cluster(center, 0.4, 60, 9);
+    let point = Vec3::new(1.8, -1.1, 0.9);
+    let (exact_phi, exact_grad) = direct_field(&ps, point);
+    let mut prev = f64::INFINITY;
+    for p in [2usize, 5, 9, 14, 20] {
+        let e = MultipoleExpansion::from_particles(center, p, &ps);
+        let (phi, grad) = e.field_at(point);
+        let err = grad.distance(exact_grad) + (phi - exact_phi).abs();
+        assert!(err < prev * 1.5, "field error not decreasing at p={p}");
+        prev = err;
+    }
+    assert!(prev < 1e-9, "p=20 field error too large: {prev}");
+}
+
+#[test]
+fn local_gradient_matches_finite_differences() {
+    let src = random_cluster(Vec3::new(5.0, 0.5, -1.0), 0.5, 30, 13);
+    let l = LocalExpansion::from_distant_particles(Vec3::ZERO, 12, &src);
+    for point in [
+        Vec3::new(0.3, 0.1, -0.2),
+        Vec3::new(0.0, 0.0, 0.4), // polar axis
+        Vec3::new(-0.25, 0.3, 0.0),
+    ] {
+        let (phi, grad) = l.field_at(point);
+        assert!((phi - l.potential_at(point)).abs() < 1e-12 * phi.abs().max(1.0));
+        let fd = fd_gradient(|x| l.potential_at(x), point, 1e-6);
+        assert!(
+            grad.distance(fd) < 1e-5 * (1.0 + grad.norm()),
+            "local gradient mismatch at {point:?}: {grad:?} vs fd {fd:?}"
+        );
+    }
+}
+
+#[test]
+fn local_gradient_matches_direct_force() {
+    let src = random_cluster(Vec3::new(4.0, -3.0, 2.0), 0.4, 50, 17);
+    let l = LocalExpansion::from_distant_particles(Vec3::ZERO, 18, &src);
+    let point = Vec3::new(0.2, 0.25, -0.15);
+    let (exact_phi, exact_grad) = direct_field(&src, point);
+    let (phi, grad) = l.field_at(point);
+    assert!((phi - exact_phi).abs() < 1e-8 * exact_phi.abs().max(1.0));
+    assert!(grad.distance(exact_grad) < 1e-7 * (1.0 + exact_grad.norm()));
+}
+
+#[test]
+fn local_field_at_center_is_finite() {
+    let src = random_cluster(Vec3::new(3.0, 0.0, 0.0), 0.3, 10, 21);
+    let l = LocalExpansion::from_distant_particles(Vec3::ZERO, 8, &src);
+    let (phi, grad) = l.field_at(Vec3::ZERO);
+    assert!(phi.is_finite());
+    assert!(grad.is_finite());
+    let (exact_phi, exact_grad) = direct_field(&src, Vec3::ZERO);
+    assert!((phi - exact_phi).abs() < 1e-6 * exact_phi.abs().max(1.0));
+    assert!(grad.distance(exact_grad) < 1e-5 * (1.0 + exact_grad.norm()));
+}
+
+#[test]
+fn single_charge_field_is_coulomb() {
+    // one unit charge at the center: Φ = 1/r, ∇Φ = -x/r³ exactly at any p
+    let ps = [Particle::new(Vec3::ZERO, 1.0)];
+    let e = MultipoleExpansion::from_particles(Vec3::ZERO, 6, &ps);
+    for point in [Vec3::new(1.0, 2.0, -0.5), Vec3::new(0.0, 0.0, 2.0)] {
+        let (phi, grad) = e.field_at(point);
+        let r = point.norm();
+        assert!((phi - 1.0 / r).abs() < 1e-14);
+        let expect = point * (-1.0 / (r * r * r));
+        assert!(grad.distance(expect) < 1e-14);
+    }
+}

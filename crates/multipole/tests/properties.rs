@@ -1,0 +1,157 @@
+//! Property-based tests of the multipole machinery.
+//!
+//! The central invariant is Theorem 1 of the paper: for *any* cluster and
+//! any admissible observation point, the truncated-expansion error must not
+//! exceed the analytic bound. The translation operators must preserve that.
+
+use mbt_geometry::{Particle, Vec3};
+use mbt_multipole::{theorem1_bound, LocalExpansion, MultipoleExpansion};
+use proptest::prelude::*;
+
+fn arb_vec3(range: f64) -> impl Strategy<Value = Vec3> {
+    (
+        -range..range,
+        -range..range,
+        -range..range,
+    )
+        .prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn arb_cluster(radius: f64, max_n: usize) -> impl Strategy<Value = Vec<Particle>> {
+    prop::collection::vec(
+        (arb_vec3(radius), -2.0f64..2.0).prop_map(|(p, q)| Particle::new(p, q)),
+        1..max_n,
+    )
+}
+
+fn direct(ps: &[Particle], x: Vec3) -> f64 {
+    ps.iter().map(|p| p.charge / p.position.distance(x)).sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 1 holds: the observed truncation error never exceeds the
+    /// bound, for random clusters, degrees, and well-separated points.
+    #[test]
+    fn theorem1_is_a_true_bound(
+        ps in arb_cluster(0.5, 24),
+        dir in arb_vec3(1.0).prop_filter("nonzero", |v| v.norm() > 1e-3),
+        dist in 1.2f64..6.0,
+        p in 0usize..12,
+    ) {
+        // enclose the cluster: actual max radius
+        let a = ps.iter().map(|q| q.position.norm()).fold(0.0, f64::max);
+        let point = dir.normalized() * (a.max(0.05) * dist);
+        let r = point.norm();
+        prop_assume!(r > a * 1.1);
+        let e = MultipoleExpansion::from_particles(Vec3::ZERO, p, &ps);
+        let err = (e.potential_at(point) - direct(&ps, point)).abs();
+        let abs_charge: f64 = ps.iter().map(|q| q.charge.abs()).sum();
+        let bound = theorem1_bound(abs_charge, a, r, p);
+        prop_assert!(
+            err <= bound * (1.0 + 1e-9) + 1e-12,
+            "error {err} exceeds bound {bound} (a={a}, r={r}, p={p})"
+        );
+    }
+
+    /// M2M then evaluation equals evaluation of the original expansion, up
+    /// to roundoff, when the target degree matches the source degree and
+    /// the point is far from both centers.
+    #[test]
+    fn m2m_preserves_far_field(
+        ps in arb_cluster(0.3, 16),
+        shift in arb_vec3(0.5),
+    ) {
+        let p = 10;
+        let e = MultipoleExpansion::from_particles(Vec3::ZERO, p, &ps);
+        let t = e.translated(shift, p);
+        let point = Vec3::new(7.0, 5.0, 6.0);
+        let a = e.potential_at(point);
+        let b = t.potential_at(point);
+        prop_assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()), "{a} vs {b}");
+    }
+
+    /// M2M composition: shifting twice equals shifting once to the final
+    /// center (exactness of the operator on its own output degree).
+    #[test]
+    fn m2m_composes(
+        ps in arb_cluster(0.3, 12),
+        s1 in arb_vec3(0.4),
+        s2 in arb_vec3(0.4),
+    ) {
+        let p = 8;
+        let e = MultipoleExpansion::from_particles(Vec3::ZERO, p, &ps);
+        let via = e.translated(s1, p).translated(s1 + s2, p);
+        let once = e.translated(s1 + s2, p);
+        let point = Vec3::new(9.0, -8.0, 7.5);
+        let a = via.potential_at(point);
+        let b = once.potential_at(point);
+        prop_assert!((a - b).abs() < 1e-7 * (1.0 + b.abs()), "{a} vs {b}");
+    }
+
+    /// L2L is exact: the recentred local expansion reproduces the original
+    /// everywhere in the shared domain of validity.
+    #[test]
+    fn l2l_exactness(
+        ps in arb_cluster(0.3, 12),
+        shift in arb_vec3(0.2),
+        probe in arb_vec3(0.15),
+    ) {
+        // place sources far away
+        let far: Vec<Particle> = ps
+            .iter()
+            .map(|q| Particle::new(q.position + Vec3::new(6.0, 6.0, 6.0), q.charge))
+            .collect();
+        let l = LocalExpansion::from_distant_particles(Vec3::ZERO, 9, &far);
+        let moved = l.translated(shift, 9);
+        let a = l.potential_at(probe);
+        let b = moved.potential_at(probe);
+        prop_assert!((a - b).abs() < 1e-9 * (1.0 + a.abs()), "{a} vs {b}");
+    }
+
+    /// Linearity: expansion of a union is the sum of expansions.
+    #[test]
+    fn p2m_is_linear(
+        ps1 in arb_cluster(0.5, 10),
+        ps2 in arb_cluster(0.5, 10),
+    ) {
+        let p = 7;
+        let mut joint = ps1.clone();
+        joint.extend_from_slice(&ps2);
+        let e_joint = MultipoleExpansion::from_particles(Vec3::ZERO, p, &joint);
+        let mut e_sum = MultipoleExpansion::from_particles(Vec3::ZERO, p, &ps1);
+        e_sum.accumulate(&MultipoleExpansion::from_particles(Vec3::ZERO, p, &ps2));
+        let point = Vec3::new(4.0, 4.0, 4.0);
+        let a = e_joint.potential_at(point);
+        let b = e_sum.potential_at(point);
+        prop_assert!((a - b).abs() < 1e-10 * (1.0 + a.abs()));
+    }
+
+    /// Charge scaling: scaling every charge scales the potential.
+    #[test]
+    fn p2m_scales_with_charge(
+        ps in arb_cluster(0.5, 12),
+        scale in 0.1f64..10.0,
+    ) {
+        let p = 6;
+        let scaled: Vec<Particle> =
+            ps.iter().map(|q| Particle::new(q.position, q.charge * scale)).collect();
+        let a = MultipoleExpansion::from_particles(Vec3::ZERO, p, &ps);
+        let b = MultipoleExpansion::from_particles(Vec3::ZERO, p, &scaled);
+        let point = Vec3::new(3.0, -3.0, 3.0);
+        let pa = a.potential_at(point);
+        let pb = b.potential_at(point);
+        prop_assert!((pb - scale * pa).abs() < 1e-9 * (1.0 + pb.abs()));
+    }
+
+    /// The monopole coefficient is exactly the net charge.
+    #[test]
+    fn monopole_is_net_charge(ps in arb_cluster(0.5, 20)) {
+        let e = MultipoleExpansion::from_particles(Vec3::ZERO, 4, &ps);
+        let net: f64 = ps.iter().map(|p| p.charge).sum();
+        let m00 = e.coeff(0, 0);
+        prop_assert!((m00.re - net).abs() < 1e-10 * (1.0 + net.abs()));
+        prop_assert!(m00.im.abs() < 1e-12);
+    }
+}

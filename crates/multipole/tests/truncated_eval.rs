@@ -1,0 +1,83 @@
+//! Tests of prefix (per-interaction truncated) evaluation: reading only
+//! the degree-`q` prefix of a degree-`p ≥ q` expansion must agree exactly
+//! with an expansion built at degree `q`.
+
+use mbt_geometry::{Particle, Vec3};
+use mbt_multipole::MultipoleExpansion;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn cluster(n: usize, seed: u64) -> Vec<Particle> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            Particle::new(
+                Vec3::new(
+                    rng.gen_range(-0.4..0.4),
+                    rng.gen_range(-0.4..0.4),
+                    rng.gen_range(-0.4..0.4),
+                ),
+                rng.gen_range(-2.0..2.0),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn prefix_potential_equals_lower_degree_expansion() {
+    let ps = cluster(50, 3);
+    let full = MultipoleExpansion::from_particles(Vec3::ZERO, 16, &ps);
+    let point = Vec3::new(2.0, -1.0, 1.5);
+    for q in [0usize, 1, 4, 9, 16] {
+        let low = MultipoleExpansion::from_particles(Vec3::ZERO, q, &ps);
+        let a = full.potential_at_degree(point, q);
+        let b = low.potential_at(point);
+        assert!(
+            (a - b).abs() < 1e-12 * (1.0 + b.abs()),
+            "prefix q={q}: {a} vs {b}"
+        );
+    }
+}
+
+#[test]
+fn prefix_field_equals_lower_degree_expansion() {
+    let ps = cluster(40, 7);
+    let full = MultipoleExpansion::from_particles(Vec3::ZERO, 12, &ps);
+    let point = Vec3::new(-1.5, 2.0, 0.75);
+    for q in [1usize, 3, 7, 12] {
+        let low = MultipoleExpansion::from_particles(Vec3::ZERO, q, &ps);
+        let (pa, ga) = full.field_at_degree(point, q);
+        let (pb, gb) = low.field_at(point);
+        assert!((pa - pb).abs() < 1e-12 * (1.0 + pb.abs()));
+        assert!(ga.distance(gb) < 1e-12 * (1.0 + gb.norm()), "q={q}: {ga:?} vs {gb:?}");
+    }
+}
+
+#[test]
+fn prefix_degree_clamps_to_stored_degree() {
+    let ps = cluster(20, 11);
+    let e = MultipoleExpansion::from_particles(Vec3::ZERO, 6, &ps);
+    let point = Vec3::new(3.0, 0.5, -0.25);
+    // asking for more than stored returns the full evaluation
+    assert_eq!(e.potential_at_degree(point, 99), e.potential_at(point));
+    let (p_hi, g_hi) = e.field_at_degree(point, 99);
+    let (p_full, g_full) = e.field_at(point);
+    assert_eq!(p_hi, p_full);
+    assert_eq!(g_hi, g_full);
+}
+
+#[test]
+fn prefix_errors_decrease_monotonically_on_average() {
+    // prefix evaluation error against the exact sum shrinks as the prefix
+    // grows (allowing small non-monotonic wiggles at low degrees)
+    let ps = cluster(80, 13);
+    let e = MultipoleExpansion::from_particles(Vec3::ZERO, 20, &ps);
+    let point = Vec3::new(1.4, 1.1, -0.9);
+    let exact: f64 = ps
+        .iter()
+        .map(|p| p.charge / p.position.distance(point))
+        .sum();
+    let err = |q: usize| (e.potential_at_degree(point, q) - exact).abs();
+    assert!(err(20) < err(8) && err(8) < err(2) * 2.0);
+    assert!(err(20) < 1e-9);
+}

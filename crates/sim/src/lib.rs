@@ -1,0 +1,373 @@
+//! N-body dynamics substrate.
+//!
+//! The treecode literature the paper builds on (Barnes–Hut and its
+//! parallelisations) exists to drive large gravitational and molecular
+//! simulations. This crate provides that driver: a kick–drift–kick
+//! leapfrog integrator whose accelerations come from any [`ForceModel`]
+//! (treecode — fixed or adaptive degree — or exact direct summation), plus
+//! the standard diagnostics (kinetic/potential energy, virial ratio,
+//! center-of-mass drift, Lagrangian radii).
+//!
+//! Sign conventions: particles carry *gravitational masses* in
+//! `Particle::charge`; the potential is `Φᵢ = Σ m_j/√(r²+ε²)` and the
+//! acceleration `aᵢ = +∇Φᵢ` (attractive).
+//!
+//! ```
+//! use mbt_geometry::distribution::plummer;
+//! use mbt_sim::{ForceModel, Simulation};
+//! use mbt_treecode::TreecodeParams;
+//!
+//! let bodies = plummer(500, 1.0, 1.0, 42);
+//! let mut sim = Simulation::new(
+//!     bodies,
+//!     ForceModel::Treecode(TreecodeParams::adaptive(3, 0.6).with_softening(0.05)),
+//! );
+//! sim.set_virial_velocities(7);
+//! let e0 = sim.total_energy();
+//! sim.step(0.01);
+//! assert!((sim.total_energy() - e0).abs() < 1e-2 * e0.abs());
+//! ```
+
+use mbt_geometry::{Particle, Vec3};
+use mbt_treecode::direct::direct_potentials_softened;
+use mbt_treecode::{Treecode, TreecodeParams};
+use rayon::prelude::*;
+
+/// How accelerations are computed.
+#[derive(Debug, Clone, Copy)]
+pub enum ForceModel {
+    /// Treecode forces with the given parameters (set the softening via
+    /// `TreecodeParams::with_softening`).
+    Treecode(TreecodeParams),
+    /// Exact `O(n²)` softened summation (reference / small systems).
+    Direct {
+        /// Plummer softening length.
+        softening: f64,
+    },
+}
+
+impl ForceModel {
+    fn softening(&self) -> f64 {
+        match self {
+            ForceModel::Treecode(p) => p.softening,
+            ForceModel::Direct { softening } => *softening,
+        }
+    }
+}
+
+/// A running N-body system.
+pub struct Simulation {
+    bodies: Vec<Particle>,
+    velocities: Vec<Vec3>,
+    accelerations: Vec<Vec3>,
+    force: ForceModel,
+    time: f64,
+    steps: usize,
+}
+
+impl Simulation {
+    /// Creates a simulation at rest.
+    pub fn new(bodies: Vec<Particle>, force: ForceModel) -> Simulation {
+        assert!(!bodies.is_empty(), "cannot simulate zero bodies");
+        let n = bodies.len();
+        let mut sim = Simulation {
+            bodies,
+            velocities: vec![Vec3::ZERO; n],
+            accelerations: vec![Vec3::ZERO; n],
+            force,
+            time: 0.0,
+            steps: 0,
+        };
+        sim.accelerations = sim.compute_accelerations();
+        sim
+    }
+
+    /// Assigns isotropic Gaussian velocities at the virial temperature of
+    /// a Plummer-like cluster (`σ² ≈ |W|/(3M)` with `W ≈ −(3π/32)M²/a`,
+    /// `a` estimated from the half-mass radius).
+    pub fn set_virial_velocities(&mut self, seed: u64) {
+        let m_total: f64 = self.bodies.iter().map(|b| b.charge).sum();
+        let a = (self.lagrangian_radius(0.5) / 1.3).max(1e-12);
+        let w = 3.0 * std::f64::consts::PI / 32.0 * m_total * m_total / a;
+        let sigma = (w / (3.0 * m_total)).sqrt();
+        // deterministic xorshift-based Gaussians (keeps this crate free of
+        // a rand dependency in non-dev code)
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut uniform = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 11) as f64 / (1u64 << 53) as f64).clamp(1e-16, 1.0 - 1e-16)
+        };
+        let mut gauss = move || {
+            let u1 = uniform();
+            let u2 = uniform();
+            (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+        };
+        for v in &mut self.velocities {
+            *v = Vec3::new(gauss(), gauss(), gauss()) * sigma;
+        }
+        self.remove_net_momentum();
+    }
+
+    /// Subtracts the center-of-mass velocity.
+    pub fn remove_net_momentum(&mut self) {
+        let m_total: f64 = self.bodies.iter().map(|b| b.charge).sum();
+        if m_total == 0.0 {
+            return;
+        }
+        let p: Vec3 = self
+            .bodies
+            .iter()
+            .zip(&self.velocities)
+            .map(|(b, v)| *v * b.charge)
+            .sum();
+        let v_com = p / m_total;
+        for v in &mut self.velocities {
+            *v -= v_com;
+        }
+    }
+
+    fn compute_accelerations(&self) -> Vec<Vec3> {
+        match self.force {
+            ForceModel::Treecode(params) => {
+                let tc = Treecode::new(&self.bodies, params).expect("valid system");
+                tc.fields().values.into_iter().map(|(_, g)| g).collect()
+            }
+            ForceModel::Direct { softening } => {
+                let eps2 = softening * softening;
+                self.bodies
+                    .par_iter()
+                    .enumerate()
+                    .map(|(i, bi)| {
+                        let mut acc = Vec3::ZERO;
+                        for (j, bj) in self.bodies.iter().enumerate() {
+                            if i != j {
+                                let d = bi.position - bj.position;
+                                let r2 = d.norm_sq() + eps2;
+                                acc += d * (-bj.charge / (r2 * r2.sqrt()));
+                            }
+                        }
+                        acc
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Advances one kick–drift–kick leapfrog step of size `dt`.
+    pub fn step(&mut self, dt: f64) {
+        for (v, a) in self.velocities.iter_mut().zip(&self.accelerations) {
+            *v += *a * (0.5 * dt);
+        }
+        for (b, v) in self.bodies.iter_mut().zip(&self.velocities) {
+            b.position += *v * dt;
+        }
+        self.accelerations = self.compute_accelerations();
+        for (v, a) in self.velocities.iter_mut().zip(&self.accelerations) {
+            *v += *a * (0.5 * dt);
+        }
+        self.time += dt;
+        self.steps += 1;
+    }
+
+    /// Advances `n` steps.
+    pub fn run(&mut self, dt: f64, n: usize) {
+        for _ in 0..n {
+            self.step(dt);
+        }
+    }
+
+    /// The bodies (positions/masses).
+    pub fn bodies(&self) -> &[Particle] {
+        &self.bodies
+    }
+
+    /// The velocities.
+    pub fn velocities(&self) -> &[Vec3] {
+        &self.velocities
+    }
+
+    /// Elapsed simulated time.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Number of completed steps.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Kinetic energy `Σ ½ m v²`.
+    pub fn kinetic_energy(&self) -> f64 {
+        0.5 * self
+            .bodies
+            .iter()
+            .zip(&self.velocities)
+            .map(|(b, v)| b.charge * v.norm_sq())
+            .sum::<f64>()
+    }
+
+    /// Potential energy `−½ Σ mᵢ Φᵢ` with the model's softening (exact
+    /// summation; `O(n²)` — a diagnostic, not a per-step cost).
+    pub fn potential_energy(&self) -> f64 {
+        let phi = direct_potentials_softened(&self.bodies, self.force.softening());
+        -0.5 * self
+            .bodies
+            .iter()
+            .zip(&phi)
+            .map(|(b, &f)| b.charge * f)
+            .sum::<f64>()
+    }
+
+    /// Total energy.
+    pub fn total_energy(&self) -> f64 {
+        self.kinetic_energy() + self.potential_energy()
+    }
+
+    /// Virial ratio `2K/|W|` (≈ 1 in equilibrium).
+    pub fn virial_ratio(&self) -> f64 {
+        2.0 * self.kinetic_energy() / self.potential_energy().abs().max(1e-300)
+    }
+
+    /// Center of mass.
+    pub fn center_of_mass(&self) -> Vec3 {
+        let m: f64 = self.bodies.iter().map(|b| b.charge).sum();
+        self.bodies
+            .iter()
+            .map(|b| b.position * b.charge)
+            .sum::<Vec3>()
+            / m
+    }
+
+    /// Radius (about the center of mass) containing the given mass
+    /// fraction — `lagrangian_radius(0.5)` is the half-mass radius.
+    pub fn lagrangian_radius(&self, fraction: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&fraction));
+        let com = self.center_of_mass();
+        let m_total: f64 = self.bodies.iter().map(|b| b.charge).sum();
+        let mut by_r: Vec<(f64, f64)> = self
+            .bodies
+            .iter()
+            .map(|b| (b.position.distance(com), b.charge))
+            .collect();
+        by_r.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let target = fraction * m_total;
+        let mut acc = 0.0;
+        for (r, m) in by_r {
+            acc += m;
+            if acc >= target {
+                return r;
+            }
+        }
+        f64::INFINITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbt_geometry::distribution::plummer;
+
+    #[test]
+    fn two_body_circular_orbit() {
+        // equal masses m = 0.5 at ±0.5 x̂: circular speed v² = G·m_other·... for
+        // the two-body problem each orbits the COM at r = 0.5 with
+        // v² = m_other/(separation²) · r = 0.5/1 · 0.5 = 0.25
+        let bodies = vec![
+            Particle::new(Vec3::new(-0.5, 0.0, 0.0), 0.5),
+            Particle::new(Vec3::new(0.5, 0.0, 0.0), 0.5),
+        ];
+        let mut sim = Simulation::new(bodies, ForceModel::Direct { softening: 0.0 });
+        let v = 0.5; // v² = a·r = (m_other/sep²)·r = 0.5·0.5 = 0.25
+        sim.velocities[0] = Vec3::new(0.0, -v, 0.0);
+        sim.velocities[1] = Vec3::new(0.0, v, 0.0);
+        let e0 = sim.total_energy();
+        // one full period: T = 2πr/v = 2π·0.5/0.5 = 2π
+        let steps = 2000;
+        sim.run(std::f64::consts::TAU / steps as f64, steps);
+        // returned to start (2nd-order integrator: generous tolerance)
+        assert!(
+            sim.bodies[0].position.distance(Vec3::new(-0.5, 0.0, 0.0)) < 0.02,
+            "orbit did not close: {:?}",
+            sim.bodies[0].position
+        );
+        let drift = (sim.total_energy() - e0).abs() / e0.abs();
+        assert!(drift < 1e-4, "energy drift {drift}");
+    }
+
+    #[test]
+    fn leapfrog_is_time_reversible() {
+        let bodies = plummer(50, 1.0, 1.0, 3);
+        let mut sim = Simulation::new(bodies, ForceModel::Direct { softening: 0.05 });
+        sim.set_virial_velocities(5);
+        let x0: Vec<Vec3> = sim.bodies().iter().map(|b| b.position).collect();
+        sim.run(0.01, 20);
+        // reverse velocities and integrate back
+        for v in &mut sim.velocities {
+            *v = -*v;
+        }
+        sim.run(0.01, 20);
+        for (b, &x) in sim.bodies().iter().zip(&x0) {
+            assert!(
+                b.position.distance(x) < 1e-9,
+                "leapfrog not reversible: {:?} vs {x:?}",
+                b.position
+            );
+        }
+    }
+
+    #[test]
+    fn treecode_and_direct_forces_agree_dynamically() {
+        let bodies = plummer(300, 1.0, 1.0, 11);
+        let params = TreecodeParams::fixed(8, 0.4).with_softening(0.05);
+        let mut tree_sim = Simulation::new(bodies.clone(), ForceModel::Treecode(params));
+        let mut direct_sim = Simulation::new(bodies, ForceModel::Direct { softening: 0.05 });
+        tree_sim.set_virial_velocities(7);
+        direct_sim.set_virial_velocities(7);
+        tree_sim.run(0.01, 10);
+        direct_sim.run(0.01, 10);
+        for (a, b) in tree_sim.bodies().iter().zip(direct_sim.bodies()) {
+            assert!(
+                a.position.distance(b.position) < 1e-3,
+                "trajectories diverged: {:?} vs {:?}",
+                a.position,
+                b.position
+            );
+        }
+    }
+
+    #[test]
+    fn virial_velocities_near_equilibrium() {
+        let bodies = plummer(2000, 1.0, 1.0, 13);
+        let mut sim = Simulation::new(bodies, ForceModel::Direct { softening: 0.02 });
+        sim.set_virial_velocities(17);
+        let q = sim.virial_ratio();
+        assert!((0.5..=1.6).contains(&q), "virial ratio {q} far from equilibrium");
+        // zero net momentum
+        let p: Vec3 = sim
+            .bodies()
+            .iter()
+            .zip(sim.velocities())
+            .map(|(b, v)| *v * b.charge)
+            .sum();
+        assert!(p.norm() < 1e-10);
+    }
+
+    #[test]
+    fn lagrangian_radii_ordered() {
+        let bodies = plummer(1000, 1.0, 1.0, 19);
+        let sim = Simulation::new(bodies, ForceModel::Direct { softening: 0.02 });
+        let r25 = sim.lagrangian_radius(0.25);
+        let r50 = sim.lagrangian_radius(0.5);
+        let r90 = sim.lagrangian_radius(0.9);
+        assert!(r25 < r50 && r50 < r90);
+        assert!((r50 - 1.3).abs() < 0.3, "Plummer half-mass radius {r50}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_system_panics() {
+        let _ = Simulation::new(vec![], ForceModel::Direct { softening: 0.0 });
+    }
+}

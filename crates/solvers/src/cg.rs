@@ -1,0 +1,226 @@
+//! Conjugate gradients for symmetric positive-definite operators.
+//!
+//! The collocation single-layer operator is symmetric positive definite
+//! (it discretises a coercive first-kind integral operator), so CG is a
+//! natural alternative to the paper's GMRES(10); it needs no restart
+//! machinery and one matvec per iteration.
+
+use crate::dense::{axpy, dot, norm2};
+use crate::operator::{JacobiPreconditioner, LinearOperator};
+
+/// CG options.
+#[derive(Debug, Clone)]
+pub struct CgOptions {
+    /// Relative residual tolerance `‖r‖/‖b‖`.
+    pub tol: f64,
+    /// Maximum iterations (matvec applications).
+    pub max_iters: usize,
+    /// Optional Jacobi preconditioner.
+    pub preconditioner: Option<JacobiPreconditioner>,
+}
+
+impl Default for CgOptions {
+    fn default() -> Self {
+        CgOptions { tol: 1e-8, max_iters: 500, preconditioner: None }
+    }
+}
+
+/// Why CG stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CgOutcome {
+    /// Relative residual reached the tolerance.
+    Converged,
+    /// Iteration budget exhausted.
+    MaxIterations,
+    /// `pᵀAp ≤ 0` — the operator is not positive definite on the Krylov
+    /// space (or roundoff destroyed it).
+    IndefiniteOperator,
+}
+
+/// Solver output.
+#[derive(Debug, Clone)]
+pub struct CgResult {
+    /// Approximate solution.
+    pub x: Vec<f64>,
+    /// Final relative residual (recomputed from `b − Ax`).
+    pub relative_residual: f64,
+    /// Matvec applications.
+    pub iterations: usize,
+    /// Relative residual after every iteration.
+    pub history: Vec<f64>,
+    /// Stop reason.
+    pub outcome: CgOutcome,
+}
+
+/// Solves `A x = b` for symmetric positive-definite `A`.
+pub fn cg(a: &dyn LinearOperator, b: &[f64], opts: &CgOptions) -> CgResult {
+    let n = a.dim();
+    assert_eq!(b.len(), n, "right-hand side dimension mismatch");
+    let b_norm = norm2(b);
+    if b_norm == 0.0 {
+        return CgResult {
+            x: vec![0.0; n],
+            relative_residual: 0.0,
+            iterations: 0,
+            history: vec![],
+            outcome: CgOutcome::Converged,
+        };
+    }
+
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut z = r.clone();
+    if let Some(p) = &opts.preconditioner {
+        p.apply_in_place(&mut z);
+    }
+    let mut p = z.clone();
+    let mut rz = dot(&r, &z);
+    let mut history = Vec::new();
+    let mut outcome = CgOutcome::MaxIterations;
+    let mut iterations = 0usize;
+
+    for _ in 0..opts.max_iters {
+        iterations += 1;
+        let mut ap = vec![0.0; n];
+        a.apply(&p, &mut ap);
+        let pap = dot(&p, &ap);
+        if pap <= 0.0 {
+            outcome = CgOutcome::IndefiniteOperator;
+            break;
+        }
+        let alpha = rz / pap;
+        axpy(alpha, &p, &mut x);
+        axpy(-alpha, &ap, &mut r);
+        let rel = norm2(&r) / b_norm;
+        history.push(rel);
+        if rel <= opts.tol {
+            outcome = CgOutcome::Converged;
+            break;
+        }
+        z.copy_from_slice(&r);
+        if let Some(pc) = &opts.preconditioner {
+            pc.apply_in_place(&mut z);
+        }
+        let rz_new = dot(&r, &z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        for (pi, &zi) in p.iter_mut().zip(&z) {
+            *pi = zi + beta * *pi;
+        }
+    }
+
+    let mut res = vec![0.0; n];
+    a.apply(&x, &mut res);
+    for (ri, &bi) in res.iter_mut().zip(b) {
+        *ri = bi - *ri;
+    }
+    CgResult {
+        x,
+        relative_residual: norm2(&res) / b_norm,
+        iterations,
+        history,
+        outcome,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseMatrix;
+
+    fn spd(n: usize) -> (DenseMatrix, Vec<f64>) {
+        let a = DenseMatrix::from_fn(n, n, |i, j| {
+            if i == j {
+                n as f64
+            } else {
+                1.0 / (1.0 + (i as f64 - j as f64).powi(2))
+            }
+        });
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.21).sin() + 1.5).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn solves_spd_system() {
+        let (a, b) = spd(50);
+        let r = cg(&a, &b, &CgOptions { tol: 1e-12, ..Default::default() });
+        assert_eq!(r.outcome, CgOutcome::Converged);
+        assert!(r.relative_residual < 1e-11);
+    }
+
+    #[test]
+    fn identity_converges_in_one_iteration() {
+        let a = DenseMatrix::identity(10);
+        let b = vec![2.0; 10];
+        let r = cg(&a, &b, &CgOptions::default());
+        assert_eq!(r.outcome, CgOutcome::Converged);
+        assert_eq!(r.iterations, 1);
+        for xi in r.x {
+            assert!((xi - 2.0).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn residual_history_reaches_tolerance() {
+        let (a, b) = spd(40);
+        let r = cg(&a, &b, &CgOptions { tol: 1e-9, ..Default::default() });
+        assert!(r.history.last().copied().unwrap_or(1.0) <= 1e-9);
+    }
+
+    #[test]
+    fn zero_rhs_trivial() {
+        let (a, _) = spd(8);
+        let r = cg(&a, &[0.0; 8], &CgOptions::default());
+        assert_eq!(r.outcome, CgOutcome::Converged);
+        assert!(r.x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn indefinite_detected() {
+        let mut m = DenseMatrix::zeros(2, 2);
+        m[(0, 0)] = 1.0;
+        m[(1, 1)] = -1.0;
+        let r = cg(&m, &[0.0, 1.0], &CgOptions::default());
+        assert_eq!(r.outcome, CgOutcome::IndefiniteOperator);
+    }
+
+    #[test]
+    fn jacobi_preconditioning_helps_badly_scaled_systems() {
+        let n = 60;
+        let a = DenseMatrix::from_fn(n, n, |i, j| {
+            if i == j {
+                10.0f64.powi((i % 4) as i32)
+            } else {
+                0.001
+            }
+        });
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64).sin()).collect();
+        let plain = cg(&a, &b, &CgOptions { tol: 1e-10, max_iters: 400, preconditioner: None });
+        let pre = cg(
+            &a,
+            &b,
+            &CgOptions {
+                tol: 1e-10,
+                max_iters: 400,
+                preconditioner: Some(JacobiPreconditioner::new(&a.diagonal())),
+            },
+        );
+        assert_eq!(pre.outcome, CgOutcome::Converged);
+        assert!(pre.iterations <= plain.iterations);
+    }
+
+    #[test]
+    fn matches_gmres_solution() {
+        let (a, b) = spd(30);
+        let xc = cg(&a, &b, &CgOptions { tol: 1e-12, ..Default::default() }).x;
+        let xg = crate::gmres::gmres(
+            &a,
+            &b,
+            &crate::gmres::GmresOptions { restart: 30, tol: 1e-12, ..Default::default() },
+        )
+        .x;
+        for (c, g) in xc.iter().zip(&xg) {
+            assert!((c - g).abs() < 1e-9 * (1.0 + g.abs()));
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Iterative solvers and the small dense linear-algebra kernels they need.
+//!
+//! The paper applies its treecode to dense linear systems arising from
+//! boundary-element discretisations of integral equations: "the treecode
+//! was used to compute matrix-vector products with the approximation of the
+//! dense matrices in each iteration of the GMRES iterative solver ... with
+//! a restart of 10". This crate provides that solver stack, implemented
+//! from scratch:
+//!
+//! * [`LinearOperator`] — anything that can apply `y = A·x` (dense matrices
+//!   and treecode-accelerated operators both implement it),
+//! * [`gmres`] — restarted GMRES(m) with modified Gram–Schmidt and Givens
+//!   rotations,
+//! * [`DenseMatrix`] — a row-major dense matrix with parallel matvec, used
+//!   as the exact reference operator in the experiments,
+//! * [`cg`] — conjugate gradients for the symmetric positive-definite
+//!   operators of the BEM stack,
+//! * a Jacobi (diagonal) preconditioner.
+
+pub mod cg;
+pub mod dense;
+pub mod gmres;
+pub mod operator;
+
+pub use cg::{cg, CgOptions, CgOutcome, CgResult};
+pub use dense::DenseMatrix;
+pub use gmres::{gmres, GmresOptions, GmresOutcome, GmresResult};
+pub use operator::{JacobiPreconditioner, LinearOperator};

@@ -1,0 +1,76 @@
+//! The linear-operator abstraction.
+
+/// Anything that can apply a square linear map `y = A·x`.
+///
+/// GMRES only ever touches the operator through this trait, so the same
+/// solver runs against a dense matrix (exact, `O(n²)` per product) or a
+/// treecode-approximated operator (`O(n log n)` per product) — exactly the
+/// comparison of the paper's Table 3.
+pub trait LinearOperator: Sync {
+    /// Dimension of the (square) operator.
+    fn dim(&self) -> usize;
+
+    /// Computes `y = A·x`. `y` has length [`LinearOperator::dim`].
+    fn apply(&self, x: &[f64], y: &mut [f64]);
+
+    /// Convenience allocating form.
+    fn apply_vec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.dim()];
+        self.apply(x, &mut y);
+        y
+    }
+}
+
+/// A diagonal (Jacobi) preconditioner `M⁻¹ = diag(a₁₁,…,aₙₙ)⁻¹`.
+#[derive(Debug, Clone)]
+pub struct JacobiPreconditioner {
+    inv_diag: Vec<f64>,
+}
+
+impl JacobiPreconditioner {
+    /// Builds from the matrix diagonal. Zero entries are treated as 1 (no
+    /// scaling) so the preconditioner is always applicable.
+    pub fn new(diag: &[f64]) -> Self {
+        JacobiPreconditioner {
+            inv_diag: diag
+                .iter()
+                .map(|&d| if d != 0.0 { 1.0 / d } else { 1.0 })
+                .collect(),
+        }
+    }
+
+    /// Applies `z = M⁻¹ r` in place.
+    pub fn apply_in_place(&self, r: &mut [f64]) {
+        for (ri, &di) in r.iter_mut().zip(&self.inv_diag) {
+            *ri *= di;
+        }
+    }
+}
+
+impl LinearOperator for JacobiPreconditioner {
+    fn dim(&self) -> usize {
+        self.inv_diag.len()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        for ((yi, &xi), &di) in y.iter_mut().zip(x).zip(&self.inv_diag) {
+            *yi = xi * di;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jacobi_inverts_diagonal() {
+        let m = JacobiPreconditioner::new(&[2.0, 4.0, 0.0]);
+        assert_eq!(m.dim(), 3);
+        let y = m.apply_vec(&[2.0, 4.0, 5.0]);
+        assert_eq!(y, vec![1.0, 1.0, 5.0]); // zero diagonal left unscaled
+        let mut r = vec![2.0, 4.0, 5.0];
+        m.apply_in_place(&mut r);
+        assert_eq!(r, y);
+    }
+}

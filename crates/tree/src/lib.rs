@@ -1,0 +1,17 @@
+//! Adaptive octree over Morton-sorted particles.
+//!
+//! The hierarchical domain decomposition both treecode flavours (Barnes–Hut
+//! in `mbt-treecode`, FMM in `mbt-fmm`) traverse. Particles are sorted once
+//! by Morton key inside their cubical hull; every octree cell then owns a
+//! contiguous index range, children are located by binary search on the key
+//! digits, and the per-node aggregates the paper's error analysis needs —
+//! total absolute charge `A = Σ|qᵢ|`, center of charge, tight cluster
+//! radius — are computed in a single bottom-up pass.
+
+pub mod build;
+pub mod node;
+pub mod stats;
+
+pub use build::{Octree, OctreeParams, TreeError};
+pub use node::{Node, NodeId, NO_NODE};
+pub use stats::TreeStats;

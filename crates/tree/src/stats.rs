@@ -1,0 +1,94 @@
+//! Tree summary statistics.
+
+use crate::build::Octree;
+
+/// Aggregate facts about a built octree, used by the harnesses and by the
+/// complexity checks of Theorem 4 (which reason about the height `l` and
+/// the per-level cluster counts).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeStats {
+    /// Total particles.
+    pub particles: usize,
+    /// Total nodes.
+    pub nodes: usize,
+    /// Leaves.
+    pub leaves: usize,
+    /// Deepest level (root = 0).
+    pub height: usize,
+    /// Nodes per level, `per_level[l]`.
+    pub per_level: Vec<usize>,
+    /// Largest leaf population.
+    pub max_leaf: usize,
+    /// Mean leaf population.
+    pub mean_leaf: f64,
+    /// Total absolute charge of the system.
+    pub abs_charge: f64,
+}
+
+impl TreeStats {
+    /// Computes statistics of a tree.
+    pub fn of(tree: &Octree) -> TreeStats {
+        let mut per_level = vec![0usize; tree.height() + 1];
+        let mut leaves = 0usize;
+        let mut max_leaf = 0usize;
+        let mut leaf_total = 0usize;
+        for n in tree.nodes() {
+            per_level[n.level as usize] += 1;
+            if n.is_leaf {
+                leaves += 1;
+                max_leaf = max_leaf.max(n.len());
+                leaf_total += n.len();
+            }
+        }
+        TreeStats {
+            particles: tree.particles().len(),
+            nodes: tree.len(),
+            leaves,
+            height: tree.height(),
+            per_level,
+            max_leaf,
+            mean_leaf: leaf_total as f64 / leaves.max(1) as f64,
+            abs_charge: tree.node(tree.root()).abs_charge,
+        }
+    }
+}
+
+impl std::fmt::Display for TreeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} nodes={} leaves={} height={} max_leaf={} mean_leaf={:.1} A={:.3}",
+            self.particles,
+            self.nodes,
+            self.leaves,
+            self.height,
+            self.max_leaf,
+            self.mean_leaf,
+            self.abs_charge
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::OctreeParams;
+    use mbt_geometry::distribution::{uniform_cube, ChargeModel};
+
+    #[test]
+    fn stats_consistency() {
+        let ps = uniform_cube(3000, 1.0, ChargeModel::RandomSign { magnitude: 1.0 }, 17);
+        let tree = Octree::build(&ps, OctreeParams { leaf_capacity: 24 }).unwrap();
+        let s = tree.stats();
+        assert_eq!(s.particles, 3000);
+        assert_eq!(s.nodes, tree.len());
+        assert_eq!(s.per_level.iter().sum::<usize>(), s.nodes);
+        assert_eq!(s.per_level[0], 1);
+        assert!(s.max_leaf <= 24);
+        assert!((s.mean_leaf - 3000.0 / s.leaves as f64).abs() < 1e-9);
+        assert!((s.abs_charge - 3000.0).abs() < 1e-9);
+        // displays without panicking
+        let text = format!("{s}");
+        assert!(text.contains("n=3000"));
+    }
+}

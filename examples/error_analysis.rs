@@ -1,0 +1,82 @@
+//! Error-analysis example: the paper's Theorems 1–3, observable.
+//!
+//! 1. Theorem 1 — the truncation error of a single multipole evaluation
+//!    never exceeds `A/(r−a)·(a/r)^{p+1}`, and the bound's geometric decay
+//!    in `p` is what you actually see.
+//! 2. Theorem 2 — under the α-criterion, the per-interaction error grows
+//!    linearly with the cluster charge `A` at fixed degree.
+//! 3. Theorem 3 — the adaptive rule's degree choice equalises the error
+//!    across clusters of very different weight.
+//!
+//! Run with: `cargo run --release --example error_analysis`
+
+use mbt::prelude::*;
+use rand::{Rng, SeedableRng};
+
+fn cluster(center: Vec3, radius: f64, n: usize, magnitude: f64, seed: u64) -> Vec<Particle> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let v = loop {
+                let v = Vec3::new(
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                );
+                if v.norm_sq() <= 1.0 {
+                    break v;
+                }
+            };
+            Particle::new(center + v * radius, magnitude)
+        })
+        .collect()
+}
+
+fn direct(ps: &[Particle], x: Vec3) -> f64 {
+    ps.iter().map(|p| p.charge / p.position.distance(x)).sum()
+}
+
+fn main() {
+    // ---------- Theorem 1: bound vs observed error, sweep p -------------
+    let a = 0.5;
+    let ps = cluster(Vec3::ZERO, a, 200, 1.0, 3);
+    let abs_charge: f64 = ps.iter().map(|p| p.charge.abs()).sum();
+    let point = Vec3::new(1.2, 0.4, -0.3);
+    let r = point.norm();
+    let exact = direct(&ps, point);
+    println!("Theorem 1: cluster A = {abs_charge}, a = {a}, r = {r:.3}");
+    println!("{:>4} {:>14} {:>14}", "p", "observed", "bound");
+    for p in [0usize, 2, 4, 6, 8, 10, 12] {
+        let e = MultipoleExpansion::from_particles(Vec3::ZERO, p, &ps);
+        let err = (e.potential_at(point) - exact).abs();
+        let bound = theorem1_bound(abs_charge, a, r, p);
+        assert!(err <= bound, "Theorem 1 violated at p = {p}");
+        println!("{p:>4} {err:>14.3e} {bound:>14.3e}");
+    }
+
+    // ---------- Theorem 2: error linear in cluster charge ---------------
+    println!("\nTheorem 2: fixed p = 4, error grows linearly with A");
+    println!("{:>10} {:>14} {:>14}", "A", "observed", "bound");
+    let p = 4;
+    for scale in [1.0, 4.0, 16.0, 64.0] {
+        let ps = cluster(Vec3::ZERO, a, 200, scale, 5);
+        let abs_charge: f64 = ps.iter().map(|q| q.charge.abs()).sum();
+        let e = MultipoleExpansion::from_particles(Vec3::ZERO, p, &ps);
+        let err = (e.potential_at(point) - direct(&ps, point)).abs();
+        let bound = theorem1_bound(abs_charge, a, r, p);
+        println!("{abs_charge:>10.0} {err:>14.3e} {bound:>14.3e}");
+    }
+
+    // ---------- Theorem 3: adaptive degrees equalise the error ----------
+    println!("\nTheorem 3: adaptive degree selection (α = 0.6, p_min = 3)");
+    println!("{:>10} {:>4} {:>14}", "weight", "p", "w·κ^(p+1)");
+    let selector = DegreeSelector::adaptive(3, 0.6);
+    let k = kappa(0.6);
+    for w in [1.0, 8.0, 64.0, 512.0, 4096.0] {
+        let p = selector.degree_for(w, 1.0);
+        let level = w * k.powi(p as i32 + 1);
+        println!("{w:>10.0} {p:>4} {level:>14.3e}");
+    }
+    println!("\nThe equalised column stays below the reference level 1·κ^4 = {:.3e},", k.powi(4));
+    println!("so every admitted interaction carries (at most) the same error.");
+}

@@ -1,0 +1,58 @@
+//! Protein-electrostatics example: the paper's motivating application for
+//! error control.
+//!
+//! "In applications such as protein simulations, the charge density is
+//! largely uniform across the domain of simulation; therefore, the overall
+//! error in the Barnes–Hut method grows linearly with the magnitude of
+//! charge in the system."
+//!
+//! This example builds a coarse-grained "protein": overlapping Gaussian
+//! blobs of partial charges (domains of the molecule), evaluates the
+//! electrostatic potential with the original and the improved treecode at
+//! several system sizes, and shows how the error of the fixed-degree
+//! method deteriorates while the adaptive method holds steady.
+//!
+//! Run with: `cargo run --release --example protein_electrostatics`
+
+use mbt::prelude::*;
+
+fn main() {
+    println!(
+        "{:>8} {:>7} | {:>11} {:>13} | {:>11} {:>13} | {:>7}",
+        "atoms", "domains", "err(orig)", "terms(orig)", "err(new)", "terms(new)", "ratio"
+    );
+    for (n, domains) in [(5_000, 4), (20_000, 8), (80_000, 16)] {
+        // partial charges: ±0.4e-ish magnitudes, random sign (roughly
+        // neutral overall, like a real protein)
+        let particles = overlapped_gaussians(
+            n,
+            domains,
+            3.0,
+            0.8,
+            ChargeModel::Uniform { lo: -0.8, hi: 0.8 },
+            n as u64,
+        );
+
+        let orig = Treecode::new(&particles, TreecodeParams::fixed(4, 0.6)).unwrap();
+        let r_orig = orig.potentials();
+        let e_orig = sampled_relative_error(&particles, &r_orig.values, 250, 1);
+
+        let new = Treecode::new(&particles, TreecodeParams::adaptive(4, 0.6)).unwrap();
+        let r_new = new.potentials();
+        let e_new = sampled_relative_error(&particles, &r_new.values, 250, 1);
+
+        println!(
+            "{:>8} {:>7} | {:>11.3e} {:>13} | {:>11.3e} {:>13} | {:>6.1}x",
+            n,
+            domains,
+            e_orig.relative_l2,
+            r_orig.stats.terms,
+            e_new.relative_l2,
+            r_new.stats.terms,
+            e_orig.relative_l2 / e_new.relative_l2,
+        );
+    }
+    println!("\nThe adaptive method keeps the interaction error equalised across");
+    println!("cluster sizes (Theorem 3), so its accuracy advantage holds as the");
+    println!("molecule grows, at a bounded extra cost (Theorem 4).");
+}
