@@ -146,17 +146,22 @@ impl TreecodeDoubleLayer {
             .iter()
             .zip(&offsets)
             .zip(&geometry.gauss_wa)
-            .flat_map(|((&y, &o), &wa)| {
-                [Particle::new(y + o, wa), Particle::new(y - o, -wa)]
-            })
+            .flat_map(|((&y, &o), &wa)| [Particle::new(y + o, wa), Particle::new(y - o, -wa)])
             .collect();
         let tree = Octree::build(
             &particles,
-            OctreeParams { leaf_capacity: params.leaf_capacity },
+            OctreeParams {
+                leaf_capacity: params.leaf_capacity,
+            },
         )
         .expect("gauss dipoles are finite and nonempty");
         let base = Treecode::from_tree(tree, params);
-        TreecodeDoubleLayer { geometry, base, offsets, inv_h: 1.0 / h }
+        TreecodeDoubleLayer {
+            geometry,
+            base,
+            offsets,
+            inv_h: 1.0 / h,
+        }
     }
 
     /// The discretisation geometry.
@@ -258,7 +263,9 @@ mod tests {
         let g = sphere_geometry(2);
         let dense = DenseDoubleLayer::assemble(g.clone());
         let tcode = TreecodeDoubleLayer::new(g.clone(), TreecodeParams::fixed(10, 0.3), None);
-        let mu: Vec<f64> = (0..g.dim()).map(|i| 1.0 + 0.5 * (i as f64 * 0.05).sin()).collect();
+        let mu: Vec<f64> = (0..g.dim())
+            .map(|i| 1.0 + 0.5 * (i as f64 * 0.05).sin())
+            .collect();
         let pts = [Vec3::new(0.2, 0.1, -0.3), Vec3::new(2.5, -1.0, 0.5)];
         let a = dense.potential_at(&mu, &pts);
         let b = tcode.potential_at(&mu, &pts);

@@ -31,8 +31,8 @@ pub mod quadrature;
 pub mod shapes;
 pub mod single_layer;
 
+pub use double_layer::{DenseDoubleLayer, TreecodeDoubleLayer};
 pub use mesh::TriMesh;
 pub use problem::CapacitanceProblem;
 pub use quadrature::QuadRule;
-pub use double_layer::{DenseDoubleLayer, TreecodeDoubleLayer};
 pub use single_layer::{DenseSingleLayer, SingleLayerGeometry, TreecodeSingleLayer};

@@ -172,12 +172,18 @@ mod tests {
         assert_eq!(TriMesh::default().validate(), Err(MeshError::Empty));
         let mut m = unit_triangle();
         m.triangles.push([0, 1, 9]);
-        assert_eq!(m.validate(), Err(MeshError::IndexOutOfRange { triangle: 1 }));
+        assert_eq!(
+            m.validate(),
+            Err(MeshError::IndexOutOfRange { triangle: 1 })
+        );
         let m = TriMesh {
             vertices: vec![Vec3::ZERO, Vec3::X, Vec3::X * 2.0],
             triangles: vec![[0, 1, 2]],
         };
-        assert_eq!(m.validate(), Err(MeshError::DegenerateTriangle { triangle: 0 }));
+        assert_eq!(
+            m.validate(),
+            Err(MeshError::DegenerateTriangle { triangle: 0 })
+        );
     }
 
     #[test]

@@ -39,7 +39,11 @@ impl<'a, Op: LinearOperator> CapacitanceProblem<'a, Op> {
         let b = vec![1.0; self.operator.dim()];
         let gmres_result = gmres(self.operator, &b, opts);
         let capacitance = self.geometry.integrate_density(&gmres_result.x);
-        CapacitanceSolution { sigma: gmres_result.x.clone(), capacitance, gmres: gmres_result }
+        CapacitanceSolution {
+            sigma: gmres_result.x.clone(),
+            capacitance,
+            gmres: gmres_result,
+        }
     }
 }
 
@@ -58,7 +62,11 @@ mod tests {
         let g = SingleLayerGeometry::new(icosphere(2, 1.0), QuadRule::SixPoint);
         let dense = DenseSingleLayer::assemble(g.clone());
         let problem = CapacitanceProblem::new(&dense, &g);
-        let sol = problem.solve(&GmresOptions { restart: 10, tol: 1e-10, ..Default::default() });
+        let sol = problem.solve(&GmresOptions {
+            restart: 10,
+            tol: 1e-10,
+            ..Default::default()
+        });
         assert_eq!(sol.gmres.outcome, GmresOutcome::Converged);
         assert!(
             (sol.capacitance - 1.0).abs() < 0.03,
@@ -78,7 +86,11 @@ mod tests {
         let g = SingleLayerGeometry::new(icosphere(2, 1.0), QuadRule::SixPoint);
         let dense = DenseSingleLayer::assemble(g.clone());
         let tcode = TreecodeSingleLayer::new(g.clone(), TreecodeParams::fixed(8, 0.4));
-        let opts = GmresOptions { restart: 10, tol: 1e-8, ..Default::default() };
+        let opts = GmresOptions {
+            restart: 10,
+            tol: 1e-8,
+            ..Default::default()
+        };
         let c_dense = CapacitanceProblem::new(&dense, &g).solve(&opts).capacitance;
         let c_tree = CapacitanceProblem::new(&tcode, &g).solve(&opts).capacitance;
         assert!(
@@ -89,7 +101,11 @@ mod tests {
 
     #[test]
     fn larger_sphere_has_larger_capacitance() {
-        let opts = GmresOptions { restart: 10, tol: 1e-8, ..Default::default() };
+        let opts = GmresOptions {
+            restart: 10,
+            tol: 1e-8,
+            ..Default::default()
+        };
         let mut caps = Vec::new();
         for r in [1.0, 2.0] {
             let g = SingleLayerGeometry::new(icosphere(1, r), QuadRule::SixPoint);
@@ -97,6 +113,10 @@ mod tests {
             caps.push(CapacitanceProblem::new(&dense, &g).solve(&opts).capacitance);
         }
         // C scales linearly with R
-        assert!((caps[1] / caps[0] - 2.0).abs() < 0.02, "C(2R)/C(R) = {}", caps[1] / caps[0]);
+        assert!(
+            (caps[1] / caps[0] - 2.0).abs() < 0.02,
+            "C(2R)/C(R) = {}",
+            caps[1] / caps[0]
+        );
     }
 }

@@ -38,8 +38,7 @@ impl QuadRule {
                 const A: f64 = 2.0 / 3.0;
                 const B: f64 = 1.0 / 6.0;
                 const W: f64 = 1.0 / 3.0;
-                const P: [([f64; 3], f64); 3] =
-                    [([A, B, B], W), ([B, A, B], W), ([B, B, A], W)];
+                const P: [([f64; 3], f64); 3] = [([A, B, B], W), ([B, A, B], W), ([B, B, A], W)];
                 &P
             }
             QuadRule::FourPoint => {

@@ -95,7 +95,10 @@ fn subdivide_on_sphere(mesh: &TriMesh) -> TriMesh {
         triangles.push([c, ca, bc]);
         triangles.push([ab, bc, ca]);
     }
-    TriMesh { vertices, triangles }
+    TriMesh {
+        vertices,
+        triangles,
+    }
 }
 
 /// A flat rectangular plate in the xy-plane, `nx × ny` quads split into
@@ -121,7 +124,10 @@ pub fn plate(nx: usize, ny: usize, lx: f64, ly: f64) -> TriMesh {
             triangles.push([a, c, d]);
         }
     }
-    TriMesh { vertices, triangles }
+    TriMesh {
+        vertices,
+        triangles,
+    }
 }
 
 /// A closed axis-aligned box surface `[0,lx]×[0,ly]×[0,lz]` with roughly
@@ -224,10 +230,16 @@ mod tests {
         // area approaches 4πr² from below
         let exact = 4.0 * std::f64::consts::PI * 4.0;
         let area = m.total_area();
-        assert!(area < exact && area > 0.98 * exact, "area {area} vs {exact}");
+        assert!(
+            area < exact && area > 0.98 * exact,
+            "area {area} vs {exact}"
+        );
         // outward orientation: normal · centroid > 0
         for t in 0..m.num_elements() {
-            assert!(m.normal(t).dot(m.centroid(t)) > 0.0, "inward-facing triangle {t}");
+            assert!(
+                m.normal(t).dot(m.centroid(t)) > 0.0,
+                "inward-facing triangle {t}"
+            );
         }
     }
 
@@ -239,7 +251,10 @@ mod tests {
         let m2 = icosphere(2, 1.0);
         assert_eq!(m2.num_elements(), 320);
         // Euler: V = E - F + 2 = (3F/2) - F + 2
-        assert_eq!(m2.num_vertices(), m2.num_elements() * 3 / 2 - m2.num_elements() + 2);
+        assert_eq!(
+            m2.num_vertices(),
+            m2.num_elements() * 3 / 2 - m2.num_elements() + 2
+        );
     }
 
     #[test]

@@ -20,8 +20,8 @@ use mbt_geometry::{Particle, Vec3};
 use mbt_solvers::{DenseMatrix, LinearOperator};
 use mbt_tree::{Octree, OctreeParams};
 use mbt_treecode::{EvalStats, Treecode, TreecodeParams};
-use parking_lot::Mutex;
 use rayon::prelude::*;
+use std::sync::Mutex;
 
 use crate::mesh::TriMesh;
 use crate::quadrature::QuadRule;
@@ -63,7 +63,14 @@ impl SingleLayerGeometry {
                 gauss_wa.push(w * area);
             }
         }
-        SingleLayerGeometry { mesh, rule, gauss_points, gauss_vertices, gauss_bary, gauss_wa }
+        SingleLayerGeometry {
+            mesh,
+            rule,
+            gauss_points,
+            gauss_vertices,
+            gauss_bary,
+            gauss_wa,
+        }
     }
 
     /// Number of unknowns (vertices).
@@ -185,7 +192,9 @@ impl TreecodeSingleLayer {
             .collect();
         let base_tree = Octree::build(
             &particles,
-            OctreeParams { leaf_capacity: params.leaf_capacity },
+            OctreeParams {
+                leaf_capacity: params.leaf_capacity,
+            },
         )
         .expect("gauss points are finite and nonempty");
         let base = Treecode::from_tree(base_tree, params);
@@ -204,12 +213,12 @@ impl TreecodeSingleLayer {
 
     /// Accumulated evaluation statistics over all applications so far.
     pub fn stats(&self) -> EvalStats {
-        self.stats.lock().clone()
+        self.stats.lock().unwrap().clone()
     }
 
     /// Number of operator applications so far.
     pub fn applications(&self) -> u64 {
-        *self.applications.lock()
+        *self.applications.lock().unwrap()
     }
 }
 
@@ -223,8 +232,8 @@ impl LinearOperator for TreecodeSingleLayer {
         let tc = self.base.with_charges(&charges);
         let result = tc.potentials_at(&self.geometry.mesh.vertices);
         y.copy_from_slice(&result.values);
-        self.stats.lock().merge(&result.stats);
-        *self.applications.lock() += 1;
+        self.stats.lock().unwrap().merge(&result.stats);
+        *self.applications.lock().unwrap() += 1;
     }
 }
 

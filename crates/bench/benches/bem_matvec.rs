@@ -15,7 +15,9 @@ fn bench_matvec(c: &mut Criterion) {
     for &subdiv in &[2u32, 3] {
         let geometry = SingleLayerGeometry::new(shapes::icosphere(subdiv, 1.0), QuadRule::SixPoint);
         let n = geometry.dim();
-        let x: Vec<f64> = (0..n).map(|i| 1.0 + 0.3 * (i as f64 * 0.02).sin()).collect();
+        let x: Vec<f64> = (0..n)
+            .map(|i| 1.0 + 0.3 * (i as f64 * 0.02).sin())
+            .collect();
 
         let tcode = TreecodeSingleLayer::new(geometry.clone(), TreecodeParams::fixed(4, 0.5));
         group.bench_with_input(BenchmarkId::new("treecode_p4", n), &n, |b, _| {

@@ -1,0 +1,106 @@
+//! Head-to-head of the M2P kernel paths at the degrees the paper's tables
+//! sweep: the allocating convenience wrappers (`potential_at_degree`,
+//! `field_at_degree`, fresh scratch per call) against the workspace
+//! kernels (`potential_at_degree_with`, `field_at_degree_with`, scratch
+//! reused across calls). The two are bit-identical in output; the gap is
+//! pure allocator traffic plus cache warmth, i.e. exactly what the
+//! treecode's per-chunk [`Workspace`] reuse buys per accepted interaction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mbt_geometry::{Particle, Vec3};
+use mbt_multipole::{MultipoleExpansion, Workspace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+const DEGREES: [usize; 4] = [2, 4, 8, 12];
+/// Evaluation points per iteration: one per accepted interaction a target
+/// might see, so per-call overhead is averaged over a realistic batch.
+const POINTS: usize = 256;
+
+fn cluster(n: usize) -> Vec<Particle> {
+    let mut rng = StdRng::seed_from_u64(41);
+    (0..n)
+        .map(|_| {
+            Particle::new(
+                Vec3::new(
+                    rng.gen_range(-0.5..0.5),
+                    rng.gen_range(-0.5..0.5),
+                    rng.gen_range(-0.5..0.5),
+                ),
+                rng.gen_range(-1.0..1.0),
+            )
+        })
+        .collect()
+}
+
+fn eval_points() -> Vec<Vec3> {
+    let mut rng = StdRng::seed_from_u64(43);
+    (0..POINTS)
+        .map(|_| {
+            // well outside the unit cluster, as the MAC guarantees
+            let d: f64 = rng.gen_range(2.5..6.0);
+            let z: f64 = rng.gen_range(-1.0..1.0);
+            let phi: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+            let s = (1.0 - z * z).sqrt();
+            Vec3::new(d * s * phi.cos(), d * s * phi.sin(), d * z)
+        })
+        .collect()
+}
+
+fn bench_m2p(c: &mut Criterion) {
+    let ps = cluster(64);
+    let points = eval_points();
+    let mut group = c.benchmark_group("m2p_kernel");
+    group.sample_size(30);
+    group.throughput(Throughput::Elements(POINTS as u64));
+    for &p in &DEGREES {
+        let exp = MultipoleExpansion::from_particles(Vec3::ZERO, p, &ps);
+        group.bench_with_input(BenchmarkId::new("potential_alloc", p), &p, |b, &p| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for &pt in &points {
+                    acc += exp.potential_at_degree(black_box(pt), p);
+                }
+                acc
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("potential_workspace", p), &p, |b, &p| {
+            let mut ws = Workspace::with_capacity(p);
+            let r = exp.as_ref();
+            b.iter(|| {
+                let mut acc = 0.0;
+                for &pt in &points {
+                    acc += r.potential_at_degree_with(black_box(pt), p, &mut ws);
+                }
+                acc
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("field_alloc", p), &p, |b, &p| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for &pt in &points {
+                    let (phi, g) = exp.field_at_degree(black_box(pt), p);
+                    acc += phi + g.x;
+                }
+                acc
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("field_workspace", p), &p, |b, &p| {
+            let mut ws = Workspace::with_capacity(p);
+            let r = exp.as_ref();
+            b.iter(|| {
+                let mut acc = 0.0;
+                for &pt in &points {
+                    let (phi, g) = r.field_at_degree_with(black_box(pt), p, &mut ws);
+                    acc += phi + g.x;
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_m2p);
+criterion_main!(benches);

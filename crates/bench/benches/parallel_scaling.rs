@@ -13,7 +13,9 @@ use std::hint::black_box;
 
 fn bench_scaling(c: &mut Criterion) {
     let ps = structured_instance(20_000);
-    let ncpu = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    let ncpu = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
 
     let mut group = c.benchmark_group("parallel_scaling");
     group.sample_size(10);
@@ -22,7 +24,10 @@ fn bench_scaling(c: &mut Criterion) {
     let tc = Treecode::new(&ps, TreecodeParams::fixed(5, 0.7).with_eval_chunk(64)).unwrap();
     let mut t = 1usize;
     while t <= ncpu.max(2) {
-        let pool = rayon::ThreadPoolBuilder::new().num_threads(t).build().unwrap();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(t)
+            .build()
+            .unwrap();
         group.bench_with_input(BenchmarkId::new("threads", t), &t, |b, _| {
             b.iter(|| pool.install(|| black_box(&tc).potentials()))
         });

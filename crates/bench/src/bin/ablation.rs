@@ -35,7 +35,8 @@ fn main() {
     );
     for alpha in [0.3, 0.5, 0.7, 0.9] {
         let (eo, to, _) = measure(TreecodeParams::fixed(4, alpha));
-        let probe = Treecode::new(&structured_instance(N), TreecodeParams::adaptive(4, alpha)).unwrap();
+        let probe =
+            Treecode::new(&structured_instance(N), TreecodeParams::adaptive(4, alpha)).unwrap();
         let (en, tn, _) = measure(
             TreecodeParams::adaptive(4, alpha)
                 .with_ref_weight(RefWeight::Explicit(probe.ref_weight() * 8.0)),
@@ -63,7 +64,10 @@ fn main() {
     }
 
     println!("\n--- weighting ablation (α = 0.7, p_min = 4, threshold 8×)");
-    println!("{:>22} {:>12} {:>14} {:>6}", "weighting", "err(new)", "terms(new)", "p_max");
+    println!(
+        "{:>22} {:>12} {:>14} {:>6}",
+        "weighting", "err(new)", "terms(new)", "p_max"
+    );
     for (name, weighting) in [
         ("Charge (Thm 3)", DegreeWeighting::Charge),
         ("Charge/Distance", DegreeWeighting::ChargeOverDistance),
@@ -91,7 +95,10 @@ fn main() {
     }
 
     println!("\n--- leaf-capacity sweep (α = 0.7, adaptive p_min = 4, threshold 8×)");
-    println!("{:>6} {:>12} {:>14} {:>10}", "leaf", "err", "terms", "time (s)");
+    println!(
+        "{:>6} {:>12} {:>14} {:>10}",
+        "leaf", "err", "terms", "time (s)"
+    );
     for leaf in [1usize, 8, 32, 64, 128] {
         let probe = Treecode::new(
             &structured_instance(N),

@@ -48,7 +48,10 @@ fn run(name: &str, mesh: mbt_bem::TriMesh, expect: Option<f64>) {
     }
     println!("\ncapacitance C = {:.4}", sol.capacitance);
     if let Some(c) = expect {
-        println!("analytic C = {c} (error {:.2}%)", (sol.capacitance - c).abs() / c * 100.0);
+        println!(
+            "analytic C = {c} (error {:.2}%)",
+            (sol.capacitance - c).abs() / c * 100.0
+        );
     }
 }
 

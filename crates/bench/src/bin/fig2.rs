@@ -19,7 +19,9 @@ fn ascii_plot(title: &str, series: &[(&str, Vec<f64>)], xs: &[usize], log: bool)
     let all: Vec<f64> = series.iter().flat_map(|(_, v)| v.iter().copied()).collect();
     let (lo, hi) = all
         .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| (l.min(v), h.max(v)));
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
+            (l.min(v), h.max(v))
+        });
     let width = 50usize;
     let scale = |v: f64| -> usize {
         let (v, lo, hi) = if log {

@@ -20,12 +20,26 @@ fn run(name: &str, particles: &[Particle]) {
     // Barnes–Hut rows for context (single- and dual-tree traversals)
     for (label, params, dual) in [
         ("BH original (p = 4)", TreecodeParams::fixed(4, 0.7), false),
-        ("BH improved (p_min = 4)", TreecodeParams::adaptive(4, 0.7), false),
+        (
+            "BH improved (p_min = 4)",
+            TreecodeParams::adaptive(4, 0.7),
+            false,
+        ),
         ("BH dual-tree (p = 4)", TreecodeParams::fixed(4, 0.7), true),
-        ("BH dual adaptive (p≥4)", TreecodeParams::adaptive(4, 0.7), true),
+        (
+            "BH dual adaptive (p≥4)",
+            TreecodeParams::adaptive(4, 0.7),
+            true,
+        ),
     ] {
         let tc = Treecode::new(particles, params).expect("valid");
-        let (r, secs) = timed(|| if dual { tc.potentials_dual() } else { tc.potentials() });
+        let (r, secs) = timed(|| {
+            if dual {
+                tc.potentials_dual()
+            } else {
+                tc.potentials()
+            }
+        });
         let e = sampled_relative_error(particles, &r.values, 300, 1);
         println!(
             "{label:<26} {:>12.3e} {:>14} {:>10.3} {:>12}",
@@ -60,5 +74,8 @@ fn run(name: &str, particles: &[Particle]) {
 fn main() {
     println!("FMM extension — fixed vs adaptive degrees, against Barnes–Hut");
     run("structured (uniform)", &structured_instance(32_000));
-    run("unstructured (overlapped Gaussians)", &unstructured_instance(32_000));
+    run(
+        "unstructured (overlapped Gaussians)",
+        &unstructured_instance(32_000),
+    );
 }

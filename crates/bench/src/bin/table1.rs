@@ -25,8 +25,8 @@ const THRESHOLD_MULT: f64 = 8.0;
 
 fn adaptive_params(particles: &[mbt_geometry::Particle]) -> TreecodeParams {
     // anchor the threshold at a multiple of the median leaf weight
-    let probe = Treecode::new(particles, TreecodeParams::adaptive(P, ALPHA))
-        .expect("valid instance");
+    let probe =
+        Treecode::new(particles, TreecodeParams::adaptive(P, ALPHA)).expect("valid instance");
     TreecodeParams::adaptive(P, ALPHA)
         .with_ref_weight(RefWeight::Explicit(probe.ref_weight() * THRESHOLD_MULT))
 }
@@ -70,7 +70,11 @@ fn main() {
     );
     println!("error metric: relative 2-norm against exact summation at 400 sampled targets");
 
-    run_block("Structured (uniform) distributions", structured, structured_instance);
+    run_block(
+        "Structured (uniform) distributions",
+        structured,
+        structured_instance,
+    );
     run_block(
         "Unstructured (overlapped-Gaussian) distributions",
         unstructured,

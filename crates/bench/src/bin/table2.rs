@@ -26,7 +26,9 @@ const W: usize = 64; // the paper's aggregation width
 
 fn run_instance(name: &str, particles: &[Particle]) {
     println!("\n=== {name}: n = {}", particles.len());
-    let ncpu = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    let ncpu = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
     let mut threads = vec![1usize];
     while *threads.last().unwrap() < ncpu.max(8) {
         threads.push(threads.last().unwrap() * 2);
@@ -37,7 +39,10 @@ fn run_instance(name: &str, particles: &[Particle]) {
         .with_eval_chunk(W)
         .with_ref_weight(RefWeight::Explicit(probe.ref_weight() * 8.0));
     for (label, params) in [
-        ("Original (p = 6)", TreecodeParams::fixed(6, 0.7).with_eval_chunk(W)),
+        (
+            "Original (p = 6)",
+            TreecodeParams::fixed(6, 0.7).with_eval_chunk(W),
+        ),
         ("New (p_min = 6)", adaptive),
     ] {
         let tc = Treecode::new(particles, params).expect("valid instance");
@@ -77,7 +82,12 @@ fn run_instance(name: &str, particles: &[Particle]) {
 fn main() {
     println!("Table 2 reproduction — parallel treecode iteration, aggregation width w = {W}");
     // the paper's instances: uniform40k and non-uniform46k
-    let uniform = uniform_cube(40_960, 1.0, ChargeModel::UnitPositive { magnitude: 1.0 }, 11);
+    let uniform = uniform_cube(
+        40_960,
+        1.0,
+        ChargeModel::UnitPositive { magnitude: 1.0 },
+        11,
+    );
     run_instance("uniform40k", &uniform);
     let nonuniform = overlapped_gaussians(
         46_080,

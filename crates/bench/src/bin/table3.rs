@@ -21,7 +21,9 @@ const REF_DEGREE: usize = 9;
 
 fn density(n: usize) -> Vec<f64> {
     // a smooth, nonconstant test density
-    (0..n).map(|i| 1.0 + 0.5 * (i as f64 * 0.013).sin()).collect()
+    (0..n)
+        .map(|i| 1.0 + 0.5 * (i as f64 * 0.013).sin())
+        .collect()
 }
 
 fn adaptive_params(geometry: &SingleLayerGeometry, p_min: usize) -> TreecodeParams {
@@ -47,10 +49,8 @@ fn run_mesh(name: &str, mesh: mbt_bem::TriMesh) {
     let x = density(geometry.dim());
 
     // degree-9 reference (fixed degree, as in the paper)
-    let reference = TreecodeSingleLayer::new(
-        geometry.clone(),
-        TreecodeParams::fixed(REF_DEGREE, ALPHA),
-    );
+    let reference =
+        TreecodeSingleLayer::new(geometry.clone(), TreecodeParams::fixed(REF_DEGREE, ALPHA));
     let (y_ref, t_ref) = timed(|| reference.apply_vec(&x));
 
     println!(
@@ -83,7 +83,11 @@ fn run_mesh(name: &str, mesh: mbt_bem::TriMesh) {
     }
     println!(
         "{:<10} {:>7} {:>12} {:>10.3} {:>16}",
-        "Reference", REF_DEGREE, "—", t_ref, reference.stats().terms
+        "Reference",
+        REF_DEGREE,
+        "—",
+        t_ref,
+        reference.stats().terms
     );
 }
 

@@ -15,7 +15,12 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
 
 /// The structured (uniform, unit-charge) instances of Table 1.
 pub fn structured_instance(n: usize) -> Vec<Particle> {
-    uniform_cube(n, 1.0, ChargeModel::UnitPositive { magnitude: 1.0 }, 42 + n as u64)
+    uniform_cube(
+        n,
+        1.0,
+        ChargeModel::UnitPositive { magnitude: 1.0 },
+        42 + n as u64,
+    )
 }
 
 /// The unstructured (overlapped-Gaussian) instances of Table 1.

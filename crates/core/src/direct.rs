@@ -93,10 +93,7 @@ mod tests {
         let phi = direct_potentials_softened(&ps, 0.1);
         assert!((phi[0] - 10.0).abs() < 1e-12);
         // softened < exact for separated pairs
-        let ps = [
-            Particle::new(Vec3::ZERO, 1.0),
-            Particle::new(Vec3::X, 1.0),
-        ];
+        let ps = [Particle::new(Vec3::ZERO, 1.0), Particle::new(Vec3::X, 1.0)];
         let soft = direct_potentials_softened(&ps, 0.5);
         let hard = direct_potentials(&ps);
         assert!(soft[0] < hard[0]);

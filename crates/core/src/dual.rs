@@ -118,7 +118,7 @@ impl Treecode {
                 let p_t = self.degrees[t];
                 let mut local = LocalExpansion::zero(node.center, p_t);
                 for &s in &m2l[t] {
-                    local.accumulate(&self.expansions[s as usize].to_local(node.center, p_t));
+                    local.accumulate(&self.expansion(s).to_local(node.center, p_t));
                 }
                 local
             })
@@ -167,8 +167,7 @@ impl Treecode {
                                 .skip(sn.start as usize)
                             {
                                 if j != i {
-                                    phi += p.charge
-                                        / (p.position.distance_sq(x) + eps2).sqrt();
+                                    phi += p.charge / (p.position.distance_sq(x) + eps2).sqrt();
                                     pairs += 1;
                                 }
                             }
@@ -188,7 +187,10 @@ impl Treecode {
             }
             stats.record_direct(pairs);
         }
-        EvalResult { values: tree.unsort(&sorted_values), stats }
+        EvalResult {
+            values: tree.unsort(&sorted_values),
+            stats,
+        }
     }
 }
 
@@ -232,7 +234,10 @@ mod tests {
         let exact = direct_potentials(&ps);
         let e_single = rel(&single.values, &exact);
         let e_dual = rel(&dual.values, &exact);
-        assert!(e_dual < 20.0 * e_single.max(1e-9), "dual {e_dual} vs single {e_single}");
+        assert!(
+            e_dual < 20.0 * e_single.max(1e-9),
+            "dual {e_dual} vs single {e_single}"
+        );
     }
 
     #[test]
@@ -278,11 +283,7 @@ mod tests {
     #[test]
     fn dual_respects_softening() {
         let ps = uniform_cube(500, 1.0, charges(), 11);
-        let tc = Treecode::new(
-            &ps,
-            TreecodeParams::fixed(6, 0.4).with_softening(0.1),
-        )
-        .unwrap();
+        let tc = Treecode::new(&ps, TreecodeParams::fixed(6, 0.4).with_softening(0.1)).unwrap();
         let single = tc.potentials();
         let dual = tc.potentials_dual();
         let err = rel(&dual.values, &single.values);

@@ -7,15 +7,50 @@
 //! rayon task evaluates one chunk of `w` consecutive Morton-ordered
 //! targets; the tree is shared immutably so no synchronisation is needed,
 //! and per-task [`EvalStats`] are merged by reduction.
+//!
+//! # Memory discipline
+//!
+//! The steady-state evaluation loop performs **zero heap allocations per
+//! interaction**. Each parallel task owns one [`Scratch`] — a reusable
+//! traversal stack plus a [`Workspace`] of kernel buffers (Legendre
+//! tables, power tables, per-degree partial sums) sized to the tree's
+//! maximum degree — and writes its chunk's results into a disjoint slice
+//! of one pre-sized output buffer. Allocation count per sweep is
+//! therefore `O(targets / w)` (one `Scratch` per chunk of `w` targets),
+//! independent of how many MAC-accepted or near-field interactions the
+//! traversals perform; `crates/core/tests/alloc_count.rs` pins this down
+//! with a counting allocator. Accepted interactions read coefficient
+//! spans straight out of the flat arena (see `upward.rs`), so the whole
+//! sweep touches no per-node heap structures either.
 
 use mbt_geometry::Vec3;
-use mbt_multipole::{bounds::degree_for_tolerance_at, DegreeSelector};
+use mbt_multipole::{bounds::degree_for_tolerance_at, DegreeSelector, Workspace};
 use mbt_tree::NodeId;
 use rayon::prelude::*;
 
+use crate::mac::{mac, MacDecision};
 use crate::stats::EvalStats;
 use crate::upward::Treecode;
-use crate::mac::{mac, MacDecision};
+
+/// Reusable per-task evaluation state: the explicit traversal stack and
+/// the multipole kernel scratch. One `Scratch` serves every target in a
+/// task's chunk — both buffers are cleared (not freed) between targets.
+struct Scratch {
+    stack: Vec<NodeId>,
+    ws: Workspace,
+}
+
+impl Scratch {
+    /// Scratch pre-sized so traversal and evaluation up to `max_degree`
+    /// never reallocate (the stack may still grow beyond 64 deep on
+    /// pathological trees; it then stays grown for the rest of the task).
+    fn new(max_degree: usize) -> Scratch {
+        Scratch {
+            stack: Vec::with_capacity(64),
+            ws: Workspace::with_capacity(max_degree),
+        }
+    }
+}
 
 /// Values plus instrumentation from one evaluation sweep.
 #[derive(Debug, Clone)]
@@ -42,20 +77,21 @@ impl Treecode {
     pub fn potentials(&self) -> EvalResult<f64> {
         let chunk = self.params.eval_chunk;
         let n = self.tree.particles().len();
-        let indices: Vec<usize> = (0..n).collect();
-        let (values, stats) = self.eval_chunks(&indices, chunk, |i, stats| {
+        let (values, stats) = self.eval_chunks(n, chunk, |i, scratch, stats| {
             let x = self.tree.particles()[i].position;
-            self.eval_potential(x, TargetKind::SourceParticle(i), stats)
+            self.eval_potential(x, TargetKind::SourceParticle(i), scratch, stats)
         });
-        EvalResult { values: self.tree.unsort(&values), stats }
+        EvalResult {
+            values: self.tree.unsort(&values),
+            stats,
+        }
     }
 
     /// Potentials at arbitrary observation points (no self-exclusion).
     pub fn potentials_at(&self, points: &[Vec3]) -> EvalResult<f64> {
         let chunk = self.params.eval_chunk;
-        let indices: Vec<usize> = (0..points.len()).collect();
-        let (values, stats) = self.eval_chunks(&indices, chunk, |i, stats| {
-            self.eval_potential(points[i], TargetKind::External, stats)
+        let (values, stats) = self.eval_chunks(points.len(), chunk, |i, scratch, stats| {
+            self.eval_potential(points[i], TargetKind::External, scratch, stats)
         });
         EvalResult { values, stats }
     }
@@ -64,20 +100,21 @@ impl Treecode {
     pub fn fields(&self) -> EvalResult<(f64, Vec3)> {
         let chunk = self.params.eval_chunk;
         let n = self.tree.particles().len();
-        let indices: Vec<usize> = (0..n).collect();
-        let (values, stats) = self.eval_chunks(&indices, chunk, |i, stats| {
+        let (values, stats) = self.eval_chunks(n, chunk, |i, scratch, stats| {
             let x = self.tree.particles()[i].position;
-            self.eval_field(x, TargetKind::SourceParticle(i), stats)
+            self.eval_field(x, TargetKind::SourceParticle(i), scratch, stats)
         });
-        EvalResult { values: self.tree.unsort(&values), stats }
+        EvalResult {
+            values: self.tree.unsort(&values),
+            stats,
+        }
     }
 
     /// Potential and gradient at arbitrary points.
     pub fn fields_at(&self, points: &[Vec3]) -> EvalResult<(f64, Vec3)> {
         let chunk = self.params.eval_chunk;
-        let indices: Vec<usize> = (0..points.len()).collect();
-        let (values, stats) = self.eval_chunks(&indices, chunk, |i, stats| {
-            self.eval_field(points[i], TargetKind::External, stats)
+        let (values, stats) = self.eval_chunks(points.len(), chunk, |i, scratch, stats| {
+            self.eval_field(points[i], TargetKind::External, scratch, stats)
         });
         EvalResult { values, stats }
     }
@@ -85,45 +122,70 @@ impl Treecode {
     /// Potential at one external point (serial convenience).
     pub fn potential_at(&self, point: Vec3) -> f64 {
         let mut stats = EvalStats::default();
-        self.eval_potential(point, TargetKind::External, &mut stats)
+        let mut scratch = Scratch::new(self.max_degree());
+        self.eval_potential(point, TargetKind::External, &mut scratch, &mut stats)
+    }
+
+    /// The largest degree any node stores — the size every per-task
+    /// workspace is provisioned for up front.
+    #[inline]
+    fn max_degree(&self) -> usize {
+        self.degrees.iter().copied().max().unwrap_or(0)
     }
 
     /// Chunked parallel map with stats reduction. The chunk width is the
     /// paper's aggregation width `w`.
+    ///
+    /// Targets are mapped straight into a pre-sized output buffer split
+    /// into disjoint per-chunk slices; each parallel task allocates
+    /// exactly one [`Scratch`] and reuses it across its whole chunk, so
+    /// the evaluation itself is allocation-free per target.
     fn eval_chunks<T: Send + Default + Clone>(
         &self,
-        indices: &[usize],
+        n: usize,
         chunk: usize,
-        f: impl Fn(usize, &mut EvalStats) -> T + Sync,
+        f: impl Fn(usize, &mut Scratch, &mut EvalStats) -> T + Sync,
     ) -> (Vec<T>, EvalStats) {
-        let results: Vec<(Vec<T>, EvalStats)> = indices
-            .par_chunks(chunk.max(1))
-            .map(|ch| {
-                let mut stats = EvalStats::for_targets(ch.len() as u64);
-                let vals = ch.iter().map(|&i| f(i, &mut stats)).collect();
-                (vals, stats)
+        let chunk = chunk.max(1);
+        let max_degree = self.max_degree();
+        let mut values = vec![T::default(); n];
+        let chunk_stats: Vec<EvalStats> = values
+            .par_chunks_mut(chunk)
+            .enumerate()
+            .map(|(ci, out)| {
+                let mut scratch = Scratch::new(max_degree);
+                let mut stats = EvalStats::for_targets(out.len() as u64);
+                for (k, slot) in out.iter_mut().enumerate() {
+                    *slot = f(ci * chunk + k, &mut scratch, &mut stats);
+                }
+                stats
             })
             .collect();
-        let mut values = Vec::with_capacity(indices.len());
         let mut stats = EvalStats::default();
-        for (vals, s) in results {
-            values.extend(vals);
-            stats.merge(&s);
+        for s in &chunk_stats {
+            stats.merge(s);
         }
         (values, stats)
     }
 
     /// One target's potential via iterative MAC traversal.
-    fn eval_potential(&self, x: Vec3, kind: TargetKind, stats: &mut EvalStats) -> f64 {
+    fn eval_potential(
+        &self,
+        x: Vec3,
+        kind: TargetKind,
+        scratch: &mut Scratch,
+        stats: &mut EvalStats,
+    ) -> f64 {
         let mut phi = 0.0;
-        let mut stack: Vec<NodeId> = Vec::with_capacity(64);
+        let Scratch { stack, ws } = scratch;
+        stack.clear();
         stack.push(self.tree.root());
         while let Some(id) = stack.pop() {
             let node = self.tree.node(id);
             match mac(node, x, self.params.alpha) {
                 MacDecision::Accept => {
                     let p = self.interaction_degree(id, x);
-                    phi += self.expansions[id as usize].potential_at_degree(x, p);
+                    phi += self.expansion(id).potential_at_degree_with(x, p, ws);
                     stats.record_interaction(p);
                 }
                 MacDecision::Open => {
@@ -139,17 +201,24 @@ impl Treecode {
     }
 
     /// One target's potential and gradient.
-    fn eval_field(&self, x: Vec3, kind: TargetKind, stats: &mut EvalStats) -> (f64, Vec3) {
+    fn eval_field(
+        &self,
+        x: Vec3,
+        kind: TargetKind,
+        scratch: &mut Scratch,
+        stats: &mut EvalStats,
+    ) -> (f64, Vec3) {
         let mut phi = 0.0;
         let mut grad = Vec3::ZERO;
-        let mut stack: Vec<NodeId> = Vec::with_capacity(64);
+        let Scratch { stack, ws } = scratch;
+        stack.clear();
         stack.push(self.tree.root());
         while let Some(id) = stack.pop() {
             let node = self.tree.node(id);
             match mac(node, x, self.params.alpha) {
                 MacDecision::Accept => {
                     let p = self.interaction_degree(id, x);
-                    let (f, g) = self.expansions[id as usize].field_at_degree(x, p);
+                    let (f, g) = self.expansion(id).field_at_degree_with(x, p, ws);
                     phi += f;
                     grad += g;
                     stats.record_interaction(p);
@@ -288,7 +357,10 @@ mod tests {
             let tc = Treecode::new(&ps, TreecodeParams::fixed(p, 0.5)).unwrap();
             let approx = tc.potentials();
             let err = rel_err(&approx.values, &exact);
-            assert!(err < prev, "error must decrease with degree: p={p} err={err}");
+            assert!(
+                err < prev,
+                "error must decrease with degree: p={p} err={err}"
+            );
             prev = err;
         }
         assert!(prev < 1e-5, "p=8 error too large: {prev}");
@@ -298,7 +370,9 @@ mod tests {
     fn adaptive_beats_fixed_at_same_p_min() {
         let ps = uniform_cube(4000, 1.0, charges(), 5);
         let exact = direct_potentials(&ps);
-        let fixed = Treecode::new(&ps, TreecodeParams::fixed(3, 0.7)).unwrap().potentials();
+        let fixed = Treecode::new(&ps, TreecodeParams::fixed(3, 0.7))
+            .unwrap()
+            .potentials();
         let adaptive = Treecode::new(&ps, TreecodeParams::adaptive(3, 0.7))
             .unwrap()
             .potentials();
@@ -334,7 +408,11 @@ mod tests {
             .map(|(v, g)| v.1.distance_sq(*g))
             .sum();
         let den: f64 = exact_grad.iter().map(|g| g.norm_sq()).sum();
-        assert!((num / den).sqrt() < 1e-4, "gradient error {}", (num / den).sqrt());
+        assert!(
+            (num / den).sqrt() < 1e-4,
+            "gradient error {}",
+            (num / den).sqrt()
+        );
     }
 
     #[test]
@@ -348,10 +426,7 @@ mod tests {
         ];
         let result = tc.potentials_at(&points);
         for (i, &pt) in points.iter().enumerate() {
-            let exact: f64 = ps
-                .iter()
-                .map(|p| p.charge / p.position.distance(pt))
-                .sum();
+            let exact: f64 = ps.iter().map(|p| p.charge / p.position.distance(pt)).sum();
             assert!(
                 (result.values[i] - exact).abs() < 1e-4 * exact.abs().max(1.0),
                 "point {pt:?}: {} vs {exact}",
@@ -364,10 +439,7 @@ mod tests {
     #[test]
     fn external_point_coincident_with_source_is_skipped() {
         // evaluating at a source position must not divide by zero
-        let ps = [
-            Particle::new(Vec3::ZERO, 1.0),
-            Particle::new(Vec3::X, 1.0),
-        ];
+        let ps = [Particle::new(Vec3::ZERO, 1.0), Particle::new(Vec3::X, 1.0)];
         let tc = Treecode::new(&ps, TreecodeParams::fixed(2, 0.5)).unwrap();
         let r = tc.potentials_at(&[Vec3::ZERO]);
         assert!((r.values[0] - 1.0).abs() < 1e-12); // only the other charge
@@ -412,6 +484,67 @@ mod tests {
         let exact = direct_potentials(&ps);
         assert!(rel_err(&r.values, &exact) < 1e-12);
         assert_eq!(r.stats.pc_interactions, 0);
+    }
+
+    /// Reference evaluation: identical traversal, but every accepted
+    /// interaction goes through an owned expansion copied out of the arena
+    /// and the allocating wrapper kernels (fresh scratch per call) —
+    /// the pre-workspace evaluation path, kept as the oracle.
+    fn reference_potentials(tc: &Treecode) -> Vec<f64> {
+        let owned: Vec<mbt_multipole::MultipoleExpansion> = (0..tc.tree.len())
+            .map(|i| tc.expansion(i as u32).to_expansion())
+            .collect();
+        let vals: Vec<f64> = (0..tc.tree.particles().len())
+            .map(|i| {
+                let x = tc.tree.particles()[i].position;
+                let mut stats = EvalStats::default();
+                let mut phi = 0.0;
+                let mut stack = vec![tc.tree.root()];
+                while let Some(id) = stack.pop() {
+                    let node = tc.tree.node(id);
+                    match mac(node, x, tc.params.alpha) {
+                        MacDecision::Accept => {
+                            let p = tc.interaction_degree(id, x);
+                            phi += owned[id as usize].potential_at_degree(x, p);
+                        }
+                        MacDecision::Open => {
+                            if node.is_leaf {
+                                phi += tc.direct_leaf_potential(
+                                    id,
+                                    x,
+                                    TargetKind::SourceParticle(i),
+                                    &mut stats,
+                                );
+                            } else {
+                                stack.extend(node.child_ids());
+                            }
+                        }
+                    }
+                }
+                phi
+            })
+            .collect();
+        tc.tree.unsort(&vals)
+    }
+
+    #[test]
+    fn workspace_path_is_bit_exact_across_degree_modes() {
+        // The allocation-free path (arena spans + per-chunk workspaces)
+        // must reproduce the allocating reference path bit for bit in all
+        // three degree-selection modes.
+        let ps = uniform_cube(1500, 1.0, charges(), 37);
+        for (name, params) in [
+            ("fixed", TreecodeParams::fixed(6, 0.6)),
+            ("adaptive", TreecodeParams::adaptive(3, 0.6)),
+            ("tolerance", TreecodeParams::tolerance(1e-6, 0.6)),
+        ] {
+            let tc = Treecode::new(&ps, params).unwrap();
+            let fast = tc.potentials();
+            let reference = reference_potentials(&tc);
+            for (i, (a, b)) in fast.values.iter().zip(&reference).enumerate() {
+                assert_eq!(a, b, "{name} mode: target {i} diverged from reference");
+            }
+        }
     }
 
     #[test]

@@ -76,8 +76,14 @@ mod tests {
         let n = leaf_node(Vec3::ZERO, 1.0);
         let d = n.edge();
         let alpha = 0.5;
-        assert_eq!(mac(&n, Vec3::new(10.0 * d, 0.0, 0.0), alpha), MacDecision::Accept);
-        assert_eq!(mac(&n, Vec3::new(1.01 * d, 0.0, 0.0), alpha), MacDecision::Open);
+        assert_eq!(
+            mac(&n, Vec3::new(10.0 * d, 0.0, 0.0), alpha),
+            MacDecision::Accept
+        );
+        assert_eq!(
+            mac(&n, Vec3::new(1.01 * d, 0.0, 0.0), alpha),
+            MacDecision::Open
+        );
     }
 
     #[test]

@@ -199,7 +199,9 @@ mod tests {
             Err(TreecodeError::DegreeTooLarge(99))
         ));
         assert!(matches!(
-            TreecodeParams::fixed(5, 0.5).with_leaf_capacity(0).validate(),
+            TreecodeParams::fixed(5, 0.5)
+                .with_leaf_capacity(0)
+                .validate(),
             Err(TreecodeError::Tree(TreeError::ZeroLeafCapacity))
         ));
     }

@@ -25,7 +25,10 @@ pub struct EvalStats {
 impl EvalStats {
     /// An empty accumulator expecting `targets` evaluation targets.
     pub fn for_targets(targets: u64) -> EvalStats {
-        EvalStats { targets, ..EvalStats::default() }
+        EvalStats {
+            targets,
+            ..EvalStats::default()
+        }
     }
 
     /// Records one accepted particle–cluster interaction of degree `p`.
@@ -61,10 +64,7 @@ impl EvalStats {
 
     /// The largest degree used.
     pub fn max_degree_used(&self) -> usize {
-        self.by_degree
-            .iter()
-            .rposition(|&c| c > 0)
-            .unwrap_or(0)
+        self.by_degree.iter().rposition(|&c| c > 0).unwrap_or(0)
     }
 
     /// Mean interactions per target.

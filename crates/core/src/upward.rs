@@ -2,11 +2,68 @@
 //! upward (expansion construction) pass.
 
 use mbt_geometry::{Particle, Vec3};
-use mbt_multipole::MultipoleExpansion;
+use mbt_multipole::{p2m_into, tri_len, Complex, ExpansionRef, Workspace};
 use mbt_tree::{Octree, OctreeParams};
 use rayon::prelude::*;
 
 use crate::params::{TreecodeError, TreecodeParams};
+
+/// How many node expansions one parallel P2M task builds with a single
+/// reused [`Workspace`] — allocations per upward pass are `O(tasks)`, not
+/// `O(nodes × particles)`.
+const P2M_CHUNK: usize = 64;
+
+/// Flat coefficient storage for every node expansion in the tree.
+///
+/// One contiguous `Vec<Complex>` holds all coefficient spans back to back
+/// in node order; `offsets[id]..offsets[id + 1]` is node `id`'s triangular
+/// array (its length encodes the node's degree). Compared to a
+/// `Vec<MultipoleExpansion>` this removes one heap allocation per node,
+/// and — because octree node order is a depth-first layout where siblings
+/// are adjacent — makes the upward and evaluation passes walk memory
+/// almost sequentially instead of chasing per-node pointers.
+pub(crate) struct CoeffArena {
+    /// Prefix sums of span lengths; `len = nodes + 1`.
+    offsets: Vec<usize>,
+    /// All coefficients, node `id` at `offsets[id]..offsets[id + 1]`.
+    data: Vec<Complex>,
+}
+
+impl CoeffArena {
+    /// A zeroed arena sized for the given per-node degrees.
+    fn zeroed(degrees: &[usize]) -> CoeffArena {
+        let mut offsets = Vec::with_capacity(degrees.len() + 1);
+        let mut total = 0usize;
+        offsets.push(0);
+        for &p in degrees {
+            total += tri_len(p);
+            offsets.push(total);
+        }
+        CoeffArena {
+            offsets,
+            data: vec![Complex::ZERO; total],
+        }
+    }
+
+    /// Node `id`'s coefficient span.
+    #[inline]
+    pub(crate) fn span(&self, id: usize) -> &[Complex] {
+        &self.data[self.offsets[id]..self.offsets[id + 1]]
+    }
+
+    /// Splits the whole arena into per-node mutable spans (for the
+    /// parallel upward pass: the spans are disjoint by construction).
+    fn split_mut(&mut self) -> Vec<&mut [Complex]> {
+        let mut spans = Vec::with_capacity(self.offsets.len() - 1);
+        let mut rest = self.data.as_mut_slice();
+        for w in self.offsets.windows(2) {
+            let (head, tail) = rest.split_at_mut(w[1] - w[0]);
+            spans.push(head);
+            rest = tail;
+        }
+        spans
+    }
+}
 
 /// A fully built treecode, ready to evaluate potentials and fields.
 ///
@@ -18,12 +75,13 @@ use crate::params::{TreecodeError, TreecodeParams};
 /// 3. the upward pass: a multipole expansion per node, each computed
 ///    directly from the node's particles at the node's own degree ("the
 ///    multipole series are computed a priori to the maximum required
-///    degree" — all degree inputs are available at tree-construction time).
+///    degree" — all degree inputs are available at tree-construction time),
+///    written into one flat [`CoeffArena`] shared by every node.
 pub struct Treecode {
     pub(crate) tree: Octree,
     pub(crate) params: TreecodeParams,
     pub(crate) degrees: Vec<usize>,
-    pub(crate) expansions: Vec<MultipoleExpansion>,
+    pub(crate) arena: CoeffArena,
     pub(crate) ref_weight: f64,
 }
 
@@ -33,7 +91,9 @@ impl Treecode {
         params.validate()?;
         let tree = Octree::build(
             particles,
-            OctreeParams { leaf_capacity: params.leaf_capacity },
+            OctreeParams {
+                leaf_capacity: params.leaf_capacity,
+            },
         )?;
         Ok(Self::from_tree(tree, params))
     }
@@ -76,8 +136,14 @@ impl Treecode {
                 selector.degree_for_node(n.abs_charge, n.radius, n.edge(), params.alpha, ref_weight)
             })
             .collect();
-        let expansions = Self::upward_pass(&tree, &degrees);
-        Treecode { tree, params, degrees, expansions, ref_weight }
+        let arena = Self::upward_pass(&tree, &degrees);
+        Treecode {
+            tree,
+            params,
+            degrees,
+            arena,
+            ref_weight,
+        }
     }
 
     /// The upward pass.
@@ -91,52 +157,66 @@ impl Treecode {
     /// coefficients are not recoverable from the children; those nodes are
     /// expanded directly from their particles ("the multipole series are
     /// computed a priori to the maximum required degree").
-    fn upward_pass(tree: &Octree, degrees: &[usize]) -> Vec<MultipoleExpansion> {
+    ///
+    /// Both paths write straight into the flat arena: the parallel P2M
+    /// phase splits it into disjoint per-node spans (chunks of
+    /// [`P2M_CHUNK`] nodes share one scratch [`Workspace`]), and the
+    /// fixed-degree M2M phase walks the node order in reverse,
+    /// accumulating each child span into its parent span in place.
+    fn upward_pass(tree: &Octree, degrees: &[usize]) -> CoeffArena {
         let uniform = degrees.windows(2).all(|w| w[0] == w[1]);
-        if !uniform {
-            return tree
-                .nodes()
-                .par_iter()
+        let mut arena = CoeffArena::zeroed(degrees);
+        {
+            let mut spans = arena.split_mut();
+            // P2M: every node directly when degrees vary (a parent's extra
+            // coefficients are not recoverable from its children), leaves
+            // only in the uniform case
+            spans
+                .par_chunks_mut(P2M_CHUNK)
                 .enumerate()
-                .map(|(i, n)| {
-                    MultipoleExpansion::from_particles(
-                        n.center,
-                        degrees[i],
-                        tree.particles_of(i as u32),
-                    )
-                })
-                .collect();
+                .for_each(|(ci, chunk)| {
+                    let mut ws = Workspace::new();
+                    for (k, out) in chunk.iter_mut().enumerate() {
+                        let id = (ci * P2M_CHUNK + k) as u32;
+                        let n = tree.node(id);
+                        if uniform && !n.is_leaf {
+                            continue; // already zero; filled by M2M below
+                        }
+                        p2m_into(
+                            out,
+                            n.center,
+                            degrees[id as usize],
+                            tree.particles_of(id),
+                            &mut ws,
+                        );
+                    }
+                });
         }
-        // fixed degree: P2M at leaves (parallel), M2M upward (arena order
-        // reversed: children always have larger indices than parents)
-        let mut expansions: Vec<MultipoleExpansion> = tree
-            .nodes()
-            .par_iter()
-            .enumerate()
-            .map(|(i, n)| {
-                if n.is_leaf {
-                    MultipoleExpansion::from_particles(
-                        n.center,
-                        degrees[i],
-                        tree.particles_of(i as u32),
-                    )
-                } else {
-                    MultipoleExpansion::zero(n.center, degrees[i])
-                }
-            })
-            .collect();
+        if !uniform {
+            return arena;
+        }
+        // fixed degree: M2M upward (node order reversed: children always
+        // have larger indices than parents, so splitting the arena at the
+        // parent's end yields the parent span and all child spans)
         for id in (0..tree.len()).rev() {
             let node = tree.node(id as u32);
             if node.is_leaf {
                 continue;
             }
-            let mut acc = MultipoleExpansion::zero(node.center, degrees[id]);
+            let end = arena.offsets[id + 1];
+            let (head, tail) = arena.data.split_at_mut(end);
+            let parent = &mut head[arena.offsets[id]..];
             for c in node.child_ids() {
-                acc.accumulate(&expansions[c as usize].translated(node.center, degrees[id]));
+                let c = c as usize;
+                let child = ExpansionRef::new(
+                    tree.node(c as u32).center,
+                    degrees[c],
+                    &tail[arena.offsets[c] - end..arena.offsets[c + 1] - end],
+                );
+                child.m2m_accumulate_into(node.center, degrees[id], parent);
             }
-            expansions[id] = acc;
         }
-        expansions
+        arena
     }
 
     /// Rebuilds the expansions for a new charge vector (caller's original
@@ -151,12 +231,12 @@ impl Treecode {
         let mut tree = self.tree.clone();
         tree.set_charges_only(charges);
         let degrees = self.degrees.clone();
-        let expansions = Self::upward_pass(&tree, &degrees);
+        let arena = Self::upward_pass(&tree, &degrees);
         Treecode {
             tree,
             params: self.params,
             degrees,
-            expansions,
+            arena,
             ref_weight: self.ref_weight,
         }
     }
@@ -185,10 +265,16 @@ impl Treecode {
         self.ref_weight
     }
 
-    /// The expansion of a node.
+    /// The expansion of a node, viewed directly over its arena span (no
+    /// per-node storage exists to return a reference to).
     #[inline]
-    pub fn expansion(&self, id: mbt_tree::NodeId) -> &MultipoleExpansion {
-        &self.expansions[id as usize]
+    pub fn expansion(&self, id: mbt_tree::NodeId) -> ExpansionRef<'_> {
+        let i = id as usize;
+        ExpansionRef::new(
+            self.tree.node(id).center,
+            self.degrees[i],
+            self.arena.span(i),
+        )
     }
 
     /// The source particles in tree (Morton) order.
@@ -219,6 +305,7 @@ mod tests {
     use super::*;
     use crate::params::TreecodeParams;
     use mbt_geometry::distribution::{uniform_cube, ChargeModel};
+    use mbt_multipole::MultipoleExpansion;
 
     fn particles(n: usize) -> Vec<Particle> {
         uniform_cube(n, 1.0, ChargeModel::RandomSign { magnitude: 1.0 }, 11)
@@ -232,11 +319,8 @@ mod tests {
         let ps = particles(3000);
         let tc = Treecode::new(&ps, TreecodeParams::fixed(6, 0.5)).unwrap();
         for (i, n) in tc.tree().nodes().iter().enumerate() {
-            let direct = MultipoleExpansion::from_particles(
-                n.center,
-                6,
-                tc.tree().particles_of(i as u32),
-            );
+            let direct =
+                MultipoleExpansion::from_particles(n.center, 6, tc.tree().particles_of(i as u32));
             let fast = tc.expansion(i as u32);
             for deg in 0..=6usize {
                 for m in 0..=deg as i64 {

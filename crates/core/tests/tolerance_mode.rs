@@ -7,7 +7,10 @@ use mbt_geometry::Vec3;
 use mbt_treecode::{direct::direct_potentials, Treecode, TreecodeParams};
 
 fn max_abs_err(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
 }
 
 #[test]
@@ -31,7 +34,13 @@ fn per_target_error_respects_budget() {
 
 #[test]
 fn tighter_tolerance_costs_more_and_errs_less() {
-    let ps = gaussian(4000, Vec3::ZERO, 0.7, ChargeModel::RandomSign { magnitude: 1.0 }, 7);
+    let ps = gaussian(
+        4000,
+        Vec3::ZERO,
+        0.7,
+        ChargeModel::RandomSign { magnitude: 1.0 },
+        7,
+    );
     let exact = direct_potentials(&ps);
     let mut last_terms = 0u64;
     let mut last_err = f64::INFINITY;
@@ -39,8 +48,14 @@ fn tighter_tolerance_costs_more_and_errs_less() {
         let tc = Treecode::new(&ps, TreecodeParams::tolerance(tol, 0.6)).unwrap();
         let r = tc.potentials();
         let err = max_abs_err(&r.values, &exact);
-        assert!(r.stats.terms >= last_terms, "terms must grow as tol tightens");
-        assert!(err <= last_err * 1.5, "error must (weakly) fall as tol tightens");
+        assert!(
+            r.stats.terms >= last_terms,
+            "terms must grow as tol tightens"
+        );
+        assert!(
+            err <= last_err * 1.5,
+            "error must (weakly) fall as tol tightens"
+        );
         last_terms = r.stats.terms;
         last_err = err;
     }
@@ -69,7 +84,10 @@ fn per_interaction_truncation_saves_terms_over_stored_degrees() {
     let e_tol = max_abs_err(&tol_run.values, &exact);
     // comparably accurate: within two orders of the all-max-degree run
     let e_fixed = max_abs_err(&fixed_run.values, &exact);
-    assert!(e_tol <= (e_fixed * 100.0).max(1e-5 * 100.0), "{e_tol} vs {e_fixed}");
+    assert!(
+        e_tol <= (e_fixed * 100.0).max(1e-5 * 100.0),
+        "{e_tol} vs {e_fixed}"
+    );
 }
 
 #[test]

@@ -101,7 +101,12 @@ impl LevelGrid {
     /// Median positive cell `|charge|` — the reference weight for the
     /// per-level adaptive degree rule.
     pub fn median_abs_charge(&self) -> f64 {
-        let mut ws: Vec<f64> = self.abs_charge.iter().copied().filter(|&w| w > 0.0).collect();
+        let mut ws: Vec<f64> = self
+            .abs_charge
+            .iter()
+            .copied()
+            .filter(|&w| w > 0.0)
+            .collect();
         if ws.is_empty() {
             return 0.0;
         }
@@ -126,9 +131,7 @@ pub fn cell_center(bounds: &Aabb, cells: u32, x: u32, y: u32, z: u32) -> Vec3 {
 /// (clamped to the grid).
 pub fn cell_of(bounds: &Aabb, cells: u32, p: Vec3) -> (u32, u32, u32) {
     let edge = bounds.edge() / f64::from(cells);
-    let f = |v: f64, lo: f64| -> u32 {
-        (((v - lo) / edge).floor().max(0.0) as u32).min(cells - 1)
-    };
+    let f = |v: f64, lo: f64| -> u32 { (((v - lo) / edge).floor().max(0.0) as u32).min(cells - 1) };
     (
         f(p.x, bounds.min.x),
         f(p.y, bounds.min.y),

@@ -24,14 +24,20 @@ pub struct FmmParams {
 impl FmmParams {
     /// Classical fixed-degree FMM.
     pub fn fixed(p: usize) -> Self {
-        FmmParams { levels: None, degree: DegreeSelector::Fixed(p) }
+        FmmParams {
+            levels: None,
+            degree: DegreeSelector::Fixed(p),
+        }
     }
 
     /// Adaptive per-level degrees with the same selector as the treecode.
     /// `alpha` only parameterises the decay ratio κ of the rule; the FMM's
     /// admissibility is the standard non-adjacency criterion.
     pub fn adaptive(p_min: usize, alpha: f64) -> Self {
-        FmmParams { levels: None, degree: DegreeSelector::adaptive(p_min, alpha) }
+        FmmParams {
+            levels: None,
+            degree: DegreeSelector::adaptive(p_min, alpha),
+        }
     }
 
     /// Overrides the automatic level count.
@@ -69,7 +75,11 @@ impl Fmm {
         }
         let levels = params
             .levels
-            .unwrap_or_else(|| ((particles.len() as f64 / 32.0).log2() / 3.0).ceil().max(2.0) as usize)
+            .unwrap_or_else(|| {
+                ((particles.len() as f64 / 32.0).log2() / 3.0)
+                    .ceil()
+                    .max(2.0) as usize
+            })
             .max(2);
         if levels > 20 {
             return Err(FmmError::TooManyLevels { levels });
@@ -155,13 +165,10 @@ impl Fmm {
         let ref_weight = grids[levels].median_abs_charge().max(1e-300);
         let degrees: Vec<usize> = (0..=levels)
             .map(|l| {
-                let w = params.degree.weight(
-                    grids[l].median_abs_charge(),
-                    grids[l].cell_edge,
-                );
-                let wr = params
+                let w = params
                     .degree
-                    .weight(ref_weight, grids[levels].cell_edge);
+                    .weight(grids[l].median_abs_charge(), grids[l].cell_edge);
+                let wr = params.degree.weight(ref_weight, grids[levels].cell_edge);
                 params.degree.degree_for(w, wr)
             })
             .collect();
@@ -225,8 +232,7 @@ impl Fmm {
                                 let ny = py as i64 + dy;
                                 let nz = pz as i64 + dz;
                                 let max = (1i64 << (l - 1)) - 1;
-                                if nx < 0 || ny < 0 || nz < 0 || nx > max || ny > max || nz > max
-                                {
+                                if nx < 0 || ny < 0 || nz < 0 || nx > max || ny > max || nz > max {
                                     continue;
                                 }
                                 for ox in 0..2i64 {
@@ -244,9 +250,7 @@ impl Fmm {
                                             if let Some(si) =
                                                 grid.find(cx as u32, cy as u32, cz as u32)
                                             {
-                                                local.accumulate(
-                                                    &mults[si].to_local(center, p),
-                                                );
+                                                local.accumulate(&mults[si].to_local(center, p));
                                             }
                                         }
                                     }
@@ -433,7 +437,10 @@ mod tests {
         let d = fmm.degrees();
         assert_eq!(d.len(), 5);
         assert!(d[4] == 3, "finest level at p_min");
-        assert!(d[0] >= d[4], "root degree must not be below the leaf degree");
+        assert!(
+            d[0] >= d[4],
+            "root degree must not be below the leaf degree"
+        );
         // monotone non-increasing toward finer levels
         for w in d.windows(2) {
             assert!(w[0] >= w[1]);
@@ -458,7 +465,11 @@ mod tests {
     fn auto_levels_reasonable() {
         let ps = uniform_cube(4000, 1.0, charges(), 9);
         let fmm = Fmm::new(&ps, FmmParams::fixed(4)).unwrap();
-        assert!(fmm.levels() >= 2 && fmm.levels() <= 6, "levels = {}", fmm.levels());
+        assert!(
+            fmm.levels() >= 2 && fmm.levels() <= 6,
+            "levels = {}",
+            fmm.levels()
+        );
     }
 
     #[test]
@@ -474,7 +485,10 @@ mod tests {
 
     #[test]
     fn error_cases() {
-        assert_eq!(Fmm::new(&[], FmmParams::fixed(4)).err().unwrap(), FmmError::Empty);
+        assert_eq!(
+            Fmm::new(&[], FmmParams::fixed(4)).err().unwrap(),
+            FmmError::Empty
+        );
         let bad = [Particle::new(Vec3::new(0.0, f64::NAN, 0.0), 1.0)];
         assert_eq!(
             Fmm::new(&bad, FmmParams::fixed(4)).err().unwrap(),
@@ -482,7 +496,9 @@ mod tests {
         );
         let ok = [Particle::new(Vec3::ZERO, 1.0), Particle::new(Vec3::X, 1.0)];
         assert_eq!(
-            Fmm::new(&ok, FmmParams::fixed(4).with_levels(25)).err().unwrap(),
+            Fmm::new(&ok, FmmParams::fixed(4).with_levels(25))
+                .err()
+                .unwrap(),
             FmmError::TooManyLevels { levels: 25 }
         );
     }

@@ -74,8 +74,14 @@ fn results_in_caller_order() {
     let ps = uniform_cube(800, 1.0, charges(), 13);
     let mut rev = ps.clone();
     rev.reverse();
-    let a = Fmm::new(&ps, FmmParams::fixed(8).with_levels(3)).unwrap().potentials().values;
-    let b = Fmm::new(&rev, FmmParams::fixed(8).with_levels(3)).unwrap().potentials().values;
+    let a = Fmm::new(&ps, FmmParams::fixed(8).with_levels(3))
+        .unwrap()
+        .potentials()
+        .values;
+    let b = Fmm::new(&rev, FmmParams::fixed(8).with_levels(3))
+        .unwrap()
+        .potentials()
+        .values;
     for i in 0..ps.len() {
         assert!(
             (a[i] - b[ps.len() - 1 - i]).abs() < 1e-12 * (1.0 + a[i].abs()),
@@ -103,7 +109,8 @@ fn near_coincident_particles_handled() {
     let mut ps: Vec<Particle> = (0..20)
         .map(|k| {
             Particle::new(
-                Vec3::new(0.25, 0.25, 0.25) + Vec3::new(k as f64, 2.0 * k as f64, 0.5 * k as f64) * 1e-6,
+                Vec3::new(0.25, 0.25, 0.25)
+                    + Vec3::new(k as f64, 2.0 * k as f64, 0.5 * k as f64) * 1e-6,
                 1.0,
             )
         })

@@ -38,7 +38,10 @@ impl Aabb {
     #[inline]
     pub fn cube(center: Vec3, edge: f64) -> Self {
         let h = Vec3::splat(edge * 0.5);
-        Aabb { min: center - h, max: center + h }
+        Aabb {
+            min: center - h,
+            max: center + h,
+        }
     }
 
     /// Tight bounding box of a point set. Returns [`Aabb::empty`] for an

@@ -238,8 +238,11 @@ mod tests {
         );
         let mean: Vec3 = ps.iter().map(|p| p.position).sum::<Vec3>() / ps.len() as f64;
         assert!(mean.distance(Vec3::new(1.0, -2.0, 0.5)) < 0.05);
-        let var_x: f64 =
-            ps.iter().map(|p| (p.position.x - mean.x).powi(2)).sum::<f64>() / ps.len() as f64;
+        let var_x: f64 = ps
+            .iter()
+            .map(|p| (p.position.x - mean.x).powi(2))
+            .sum::<f64>()
+            / ps.len() as f64;
         assert!((var_x.sqrt() - 0.7).abs() < 0.05);
     }
 
@@ -256,10 +259,7 @@ mod tests {
             ChargeModel::RandomSign { magnitude: 1.0 },
             5,
         );
-        let hull = Aabb::cubical_hull(
-            &ps.iter().map(|p| p.position).collect::<Vec<_>>(),
-            1e-3,
-        );
+        let hull = Aabb::cubical_hull(&ps.iter().map(|p| p.position).collect::<Vec<_>>(), 1e-3);
         let mut counts = [0usize; 64];
         for p in &ps {
             let rel = (p.position - hull.min) / hull.edge();
@@ -270,7 +270,10 @@ mod tests {
         }
         let max = *counts.iter().max().unwrap() as f64;
         let mean = ps.len() as f64 / 64.0;
-        assert!(max > 4.0 * mean, "distribution not clumpy: max {max}, mean {mean}");
+        assert!(
+            max > 4.0 * mean,
+            "distribution not clumpy: max {max}, mean {mean}"
+        );
     }
 
     #[test]
@@ -292,6 +295,13 @@ mod tests {
     #[test]
     #[should_panic]
     fn overlapped_gaussians_zero_components_panics() {
-        let _ = overlapped_gaussians(10, 0, 1.0, 1.0, ChargeModel::UnitPositive { magnitude: 1.0 }, 0);
+        let _ = overlapped_gaussians(
+            10,
+            0,
+            1.0,
+            1.0,
+            ChargeModel::UnitPositive { magnitude: 1.0 },
+            0,
+        );
     }
 }

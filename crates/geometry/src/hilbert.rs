@@ -179,7 +179,13 @@ mod tests {
             let d = (prev.0 as i64 - cur.0 as i64).abs()
                 + (prev.1 as i64 - cur.1 as i64).abs()
                 + (prev.2 as i64 - cur.2 as i64).abs();
-            assert_eq!(d, 1, "keys {} and {} not adjacent", start + k - 1, start + k);
+            assert_eq!(
+                d,
+                1,
+                "keys {} and {} not adjacent",
+                start + k - 1,
+                start + k
+            );
             prev = cur;
         }
     }

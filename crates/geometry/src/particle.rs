@@ -57,10 +57,7 @@ mod tests {
 
     #[test]
     fn abs_charge_and_total() {
-        let ps = [
-            Particle::new(Vec3::ZERO, -2.0),
-            Particle::new(Vec3::X, 3.0),
-        ];
+        let ps = [Particle::new(Vec3::ZERO, -2.0), Particle::new(Vec3::X, 3.0)];
         assert_eq!(ps[0].abs_charge(), 2.0);
         assert_eq!(total_abs_charge(&ps), 5.0);
     }

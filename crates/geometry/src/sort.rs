@@ -71,7 +71,11 @@ pub fn order_particles_in(particles: &[Particle], curve: CurveOrder, bounds: Aab
     keyed.par_sort_unstable_by_key(|&(k, i)| (k, i));
     let perm: Vec<usize> = keyed.iter().map(|&(_, i)| i).collect();
     let particles = perm.iter().map(|&i| particles[i]).collect();
-    Ordered { particles, perm, bounds }
+    Ordered {
+        particles,
+        perm,
+        bounds,
+    }
 }
 
 #[cfg(test)]

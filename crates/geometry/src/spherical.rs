@@ -26,7 +26,11 @@ impl Spherical {
     pub fn from_cartesian(v: Vec3) -> Self {
         let rho = v.norm();
         if rho == 0.0 {
-            return Spherical { rho: 0.0, theta: 0.0, phi: 0.0 };
+            return Spherical {
+                rho: 0.0,
+                theta: 0.0,
+                phi: 0.0,
+            };
         }
         let theta = (v.z / rho).clamp(-1.0, 1.0).acos();
         let phi = if v.x == 0.0 && v.y == 0.0 {
@@ -86,7 +90,14 @@ mod tests {
     #[test]
     fn origin_is_well_defined() {
         let s = Spherical::from_cartesian(Vec3::ZERO);
-        assert_eq!(s, Spherical { rho: 0.0, theta: 0.0, phi: 0.0 });
+        assert_eq!(
+            s,
+            Spherical {
+                rho: 0.0,
+                theta: 0.0,
+                phi: 0.0
+            }
+        );
         assert_eq!(s.to_cartesian(), Vec3::ZERO);
     }
 

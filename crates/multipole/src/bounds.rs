@@ -107,7 +107,11 @@ impl DegreeSelector {
 
     /// A tolerance-driven selector with default degree range.
     pub fn tolerance(tol: f64) -> Self {
-        DegreeSelector::Tolerance { tol, p_min: 1, p_max: crate::tables::MAX_DEGREE }
+        DegreeSelector::Tolerance {
+            tol,
+            p_min: 1,
+            p_max: crate::tables::MAX_DEGREE,
+        }
     }
 
     /// The weight of a cluster with absolute charge `abs_charge` in a cube
@@ -175,7 +179,12 @@ impl DegreeSelector {
             // weight-based selection does not apply; callers in Tolerance
             // mode use `degree_for_node` / `degree_for_tolerance_at`
             DegreeSelector::Tolerance { p_min, .. } => p_min,
-            DegreeSelector::Adaptive { p_min, p_max, alpha, .. } => {
+            DegreeSelector::Adaptive {
+                p_min,
+                p_max,
+                alpha,
+                ..
+            } => {
                 let k = kappa(alpha);
                 if !(k > 0.0 && k < 1.0) || weight <= 0.0 || ref_weight <= 0.0 {
                     return p_min;
@@ -222,13 +231,7 @@ pub fn degree_for_tolerance_at(abs_charge: f64, a: f64, r: f64, tol: f64, p_max:
 /// Smallest degree `p` such that the Theorem-2 bound for the given
 /// interaction drops below `tol` (or `p_max` if none does). Useful for
 /// tolerance-driven runs rather than reference-weight-driven ones.
-pub fn degree_for_tolerance(
-    abs_charge: f64,
-    d: f64,
-    r: f64,
-    tol: f64,
-    p_max: usize,
-) -> usize {
+pub fn degree_for_tolerance(abs_charge: f64, d: f64, r: f64, tol: f64, p_max: usize) -> usize {
     for p in 0..=p_max {
         if theorem2_bound(abs_charge, d, r, p) <= tol {
             return p;
@@ -350,7 +353,11 @@ mod tests {
 
     #[test]
     fn tolerance_selector_basics() {
-        let s = DegreeSelector::Tolerance { tol: 1e-6, p_min: 2, p_max: 30 };
+        let s = DegreeSelector::Tolerance {
+            tol: 1e-6,
+            p_min: 2,
+            p_max: 30,
+        };
         assert_eq!(s.max_degree(), 30);
         // weight-based entry point degrades to p_min
         assert_eq!(s.degree_for(1e9, 1.0), 2);

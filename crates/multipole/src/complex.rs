@@ -47,7 +47,10 @@ impl Complex {
     /// Complex conjugate.
     #[inline(always)]
     pub fn conj(self) -> Self {
-        Complex { re: self.re, im: -self.im }
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared magnitude.
@@ -79,7 +82,10 @@ impl Complex {
     /// Multiply by a real scalar.
     #[inline(always)]
     pub fn scale(self, s: f64) -> Self {
-        Complex { re: self.re * s, im: self.im * s }
+        Complex {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 
     /// True when both parts are finite.
@@ -239,7 +245,10 @@ mod tests {
         assert!(close(c * c.conj(), Complex::ONE));
         assert!(close(Complex::cis(-t), c.conj()));
         // e^{i(a+b)} = e^{ia} e^{ib}
-        assert!(close(Complex::cis(0.3) * Complex::cis(0.4), Complex::cis(0.7)));
+        assert!(close(
+            Complex::cis(0.3) * Complex::cis(0.4),
+            Complex::cis(0.7)
+        ));
     }
 
     #[test]

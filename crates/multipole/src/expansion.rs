@@ -13,8 +13,8 @@
 use mbt_geometry::{Particle, Spherical, Vec3};
 
 use crate::complex::Complex;
-use crate::legendre::Legendre;
 use crate::tables::{tri_index, tri_len, Tables, MAX_DEGREE};
+use crate::workspace::{fill_powers, Workspace};
 
 /// Shared coefficient storage for both expansion kinds.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,7 +30,10 @@ impl Coeffs {
             degree <= MAX_DEGREE,
             "expansion degree {degree} exceeds MAX_DEGREE = {MAX_DEGREE}"
         );
-        Coeffs { degree, c: vec![Complex::ZERO; tri_len(degree)] }
+        Coeffs {
+            degree,
+            c: vec![Complex::ZERO; tri_len(degree)],
+        }
     }
 
     /// Coefficient for any `|m| ≤ n` via conjugate symmetry. Orders beyond
@@ -55,7 +58,10 @@ impl Coeffs {
     }
 
     pub fn add_assign(&mut self, other: &Coeffs) {
-        assert_eq!(self.degree, other.degree, "degree mismatch in expansion accumulate");
+        assert_eq!(
+            self.degree, other.degree,
+            "degree mismatch in expansion accumulate"
+        );
         for (a, b) in self.c.iter_mut().zip(&other.c) {
             *a += *b;
         }
@@ -66,15 +72,278 @@ impl Coeffs {
     }
 }
 
-/// Powers `rho^0 .. rho^degree`.
+/// Powers `rho^0 .. rho^degree` as a fresh allocation; hot paths use
+/// [`fill_powers`] on a [`Workspace`] buffer instead.
 pub(crate) fn powers(rho: f64, degree: usize) -> Vec<f64> {
-    let mut v = Vec::with_capacity(degree + 1);
-    let mut acc = 1.0;
-    for _ in 0..=degree {
-        v.push(acc);
-        acc *= rho;
-    }
+    let mut v = vec![0.0; degree + 1];
+    fill_powers(&mut v, rho);
     v
+}
+
+/// A borrowed view of multipole coefficients: center, degree, and the
+/// triangular `m ≥ 0` coefficient slice.
+///
+/// This is the evaluation-side currency of the crate. An owned
+/// [`MultipoleExpansion`] views itself via
+/// [`MultipoleExpansion::as_ref`]; arena-backed storage (one contiguous
+/// buffer holding every node's coefficients) views each span directly,
+/// with no per-node allocation. All evaluation and translation kernels
+/// are implemented against this type; the owned methods are thin
+/// wrappers.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpansionRef<'a> {
+    pub(crate) center: Vec3,
+    pub(crate) degree: usize,
+    pub(crate) coeffs: &'a [Complex],
+}
+
+impl<'a> ExpansionRef<'a> {
+    /// Wraps a coefficient span. `coeffs` must hold exactly the triangular
+    /// array for `degree`, i.e. `(degree+1)(degree+2)/2` entries.
+    #[inline]
+    pub fn new(center: Vec3, degree: usize, coeffs: &'a [Complex]) -> ExpansionRef<'a> {
+        assert_eq!(
+            coeffs.len(),
+            tri_len(degree),
+            "coefficient span length does not match degree {degree}"
+        );
+        ExpansionRef {
+            center,
+            degree,
+            coeffs,
+        }
+    }
+
+    /// Expansion center.
+    #[inline]
+    pub fn center(&self) -> Vec3 {
+        self.center
+    }
+
+    /// Truncation degree `p`.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Number of real-valued series terms, `(p+1)²`.
+    #[inline]
+    pub fn term_count(&self) -> u64 {
+        let p = self.degree as u64;
+        (p + 1) * (p + 1)
+    }
+
+    /// Coefficient `M_n^m` for any `|m| ≤ n` via conjugate symmetry;
+    /// degrees beyond the stored degree read as zero (same contract as the
+    /// owned accessor).
+    #[inline(always)]
+    pub fn coeff(&self, n: usize, m: i64) -> Complex {
+        if n > self.degree || m.unsigned_abs() as usize > n {
+            return Complex::ZERO;
+        }
+        let v = self.coeffs[tri_index(n, m.unsigned_abs() as usize)];
+        if m < 0 {
+            v.conj()
+        } else {
+            v
+        }
+    }
+
+    /// Largest coefficient magnitude (diagnostics).
+    pub fn max_abs(&self) -> f64 {
+        self.coeffs.iter().map(|v| v.norm()).fold(0.0, f64::max)
+    }
+
+    /// Copies this view into an owned expansion (diagnostics and
+    /// equivalence testing against the allocating evaluation path).
+    pub fn to_expansion(&self) -> MultipoleExpansion {
+        MultipoleExpansion {
+            center: self.center,
+            coeffs: Coeffs {
+                degree: self.degree,
+                c: self.coeffs.to_vec(),
+            },
+        }
+    }
+
+    /// Evaluates the truncated series at an observation point (M2P) using
+    /// caller-provided scratch. Allocation-free once `ws` has grown to
+    /// this degree.
+    pub fn potential_at_with(&self, point: Vec3, ws: &mut Workspace) -> f64 {
+        self.potential_at_degree_with(point, self.degree, ws)
+    }
+
+    /// Evaluates only the degree-`degree` prefix of the series (M2P with
+    /// per-interaction truncation) using caller-provided scratch.
+    ///
+    /// Arithmetic is identical, operation for operation, to
+    /// [`MultipoleExpansion::potential_at_degree`] — the owned method is a
+    /// wrapper over this kernel — so reusing a workspace never changes
+    /// results, bit for bit.
+    #[allow(clippy::needless_range_loop)] // `n` indexes several degree-keyed arrays
+    pub fn potential_at_degree_with(&self, point: Vec3, degree: usize, ws: &mut Workspace) -> f64 {
+        let degree = degree.min(self.degree);
+        let s = Spherical::from_cartesian(point - self.center);
+        debug_assert!(s.rho > 0.0, "evaluation at the expansion center");
+        let t = Tables::get();
+        let (sin_t, cos_t) = s.theta.sin_cos();
+        ws.ensure_degree(degree);
+        ws.leg.recompute(degree, cos_t, sin_t);
+        let Workspace { leg, acc_pot, .. } = ws;
+        let inv_r = 1.0 / s.rho;
+        let e1 = Complex::cis(s.phi);
+
+        let mut phi = 0.0;
+        let mut eim = Complex::ONE;
+        // loop m-major so e^{imφ} is built incrementally
+        let contributions = &mut acc_pot[..degree + 1]; // per-degree partial sums
+        contributions.fill(0.0);
+        for m in 0..=degree {
+            let w = if m == 0 { 1.0 } else { 2.0 };
+            for n in m..=degree {
+                let c = self.coeff(n, m as i64) * eim;
+                contributions[n] += w * c.re * t.norm(n, m as i64) * leg.p(n, m);
+            }
+            eim *= e1;
+        }
+        let mut rpow = inv_r;
+        for contrib in contributions.iter().take(degree + 1) {
+            phi += contrib * rpow;
+            rpow *= inv_r;
+        }
+        phi
+    }
+
+    /// Potential and gradient `∇Φ` at an observation point using
+    /// caller-provided scratch (see
+    /// [`ExpansionRef::potential_at_degree_with`] for the reuse contract).
+    pub fn field_at_with(&self, point: Vec3, ws: &mut Workspace) -> (f64, Vec3) {
+        self.field_at_degree_with(point, self.degree, ws)
+    }
+
+    /// Potential and gradient using only the degree-`degree` prefix, with
+    /// caller-provided scratch. Bit-identical to
+    /// [`MultipoleExpansion::field_at_degree`].
+    pub fn field_at_degree_with(
+        &self,
+        point: Vec3,
+        degree: usize,
+        ws: &mut Workspace,
+    ) -> (f64, Vec3) {
+        let degree = degree.min(self.degree);
+        let s = Spherical::from_cartesian(point - self.center);
+        debug_assert!(s.rho > 0.0, "evaluation at the expansion center");
+        let t = Tables::get();
+        let (sin_t, cos_t) = s.theta.sin_cos();
+        let (sin_p, cos_p) = s.phi.sin_cos();
+        ws.ensure_degree(degree);
+        ws.leg.recompute(degree, cos_t, sin_t);
+        let Workspace {
+            leg,
+            acc_pot,
+            acc_dth,
+            acc_dph,
+            ..
+        } = ws;
+        let inv_r = 1.0 / s.rho;
+        let e1 = Complex::new(cos_p, sin_p);
+
+        let pot_n = &mut acc_pot[..degree + 1];
+        let dth_n = &mut acc_dth[..degree + 1];
+        let dph_n = &mut acc_dph[..degree + 1];
+        pot_n.fill(0.0);
+        dth_n.fill(0.0);
+        dph_n.fill(0.0);
+        let mut eim = Complex::ONE;
+        for m in 0..=degree {
+            let w = if m == 0 { 1.0 } else { 2.0 };
+            for n in m..=degree {
+                let c = self.coeff(n, m as i64) * eim;
+                let nr = t.norm(n, m as i64);
+                pot_n[n] += w * c.re * nr * leg.p(n, m);
+                dth_n[n] += w * c.re * nr * leg.dp_dtheta(n, m);
+                if m >= 1 {
+                    dph_n[n] += -2.0 * m as f64 * c.im * nr * leg.p_over_sin(n, m);
+                }
+            }
+            eim *= e1;
+        }
+        let mut phi = 0.0;
+        let mut g_r = 0.0;
+        let mut g_t = 0.0;
+        let mut g_p = 0.0;
+        let mut rpow1 = inv_r; // r^{-(n+1)}
+        for n in 0..=degree {
+            let rpow2 = rpow1 * inv_r; // r^{-(n+2)}
+            phi += pot_n[n] * rpow1;
+            g_r += -((n + 1) as f64) * pot_n[n] * rpow2;
+            g_t += dth_n[n] * rpow2;
+            g_p += dph_n[n] * rpow2;
+            rpow1 = rpow2;
+        }
+        let e_r = Vec3::new(sin_t * cos_p, sin_t * sin_p, cos_t);
+        let e_t = Vec3::new(cos_t * cos_p, cos_t * sin_p, -sin_t);
+        let e_p = Vec3::new(-sin_p, cos_p, 0.0);
+        (phi, e_r * g_r + e_t * g_t + e_p * g_p)
+    }
+}
+
+/// Accumulates one source charge into a raw coefficient span (P2M kernel):
+/// `M_n^m += q ρⁿ Y_n^{−m}(α, β)`.
+///
+/// Shared by every P2M entry point — owned expansions and arena spans —
+/// so all of them produce bit-identical coefficients.
+#[allow(clippy::needless_range_loop)] // `n` indexes several degree-keyed arrays
+pub(crate) fn p2m_accumulate(
+    coeffs: &mut [Complex],
+    center: Vec3,
+    degree: usize,
+    charge: f64,
+    position: Vec3,
+    ws: &mut Workspace,
+) {
+    let s = Spherical::from_cartesian(position - center);
+    let t = Tables::get();
+    let (sin_t, cos_t) = s.theta.sin_cos();
+    ws.ensure_degree(degree);
+    ws.leg.recompute(degree, cos_t, sin_t);
+    let Workspace { leg, pow, .. } = ws;
+    let rp = &mut pow[..degree + 1];
+    fill_powers(rp, s.rho);
+    // Y_n^{-m} = norm · P_n^m · e^{-imφ}
+    let e1 = Complex::cis(-s.phi);
+    let mut eim = Complex::ONE;
+    for m in 0..=degree {
+        for n in m..=degree {
+            let re = charge * rp[n] * t.norm(n, m as i64) * leg.p(n, m);
+            coeffs[tri_index(n, m)] += eim * re;
+        }
+        eim *= e1;
+    }
+}
+
+/// Builds the multipole expansion of a particle set directly into a raw
+/// coefficient span (P2M into arena storage).
+///
+/// `out` must hold exactly `(degree+1)(degree+2)/2` entries; it is zeroed
+/// and then accumulated into, so the result is bit-identical to
+/// [`MultipoleExpansion::from_particles`] over the same particle order.
+pub fn p2m_into(
+    out: &mut [Complex],
+    center: Vec3,
+    degree: usize,
+    particles: &[Particle],
+    ws: &mut Workspace,
+) {
+    assert_eq!(
+        out.len(),
+        tri_len(degree),
+        "coefficient span length does not match degree"
+    );
+    out.fill(Complex::ZERO);
+    for p in particles {
+        p2m_accumulate(out, center, degree, p.charge, p.position, ws);
+    }
 }
 
 /// A truncated multipole expansion about a center.
@@ -87,37 +356,49 @@ pub struct MultipoleExpansion {
 impl MultipoleExpansion {
     /// The zero expansion of the given degree.
     pub fn zero(center: Vec3, degree: usize) -> Self {
-        MultipoleExpansion { center, coeffs: Coeffs::zero(degree) }
+        MultipoleExpansion {
+            center,
+            coeffs: Coeffs::zero(degree),
+        }
     }
 
     /// Builds the expansion of a particle set (P2M):
     /// `M_n^m = Σᵢ qᵢ ρᵢⁿ Y_n^{−m}(αᵢ, βᵢ)`.
     pub fn from_particles(center: Vec3, degree: usize, particles: &[Particle]) -> Self {
+        let mut ws = Workspace::with_capacity(degree);
         let mut e = Self::zero(center, degree);
         for p in particles {
-            e.add_particle(p.charge, p.position);
+            e.add_particle_with(p.charge, p.position, &mut ws);
         }
         e
     }
 
     /// Accumulates one source charge into the expansion.
-    #[allow(clippy::needless_range_loop)] // `n` indexes several degree-keyed arrays
     pub fn add_particle(&mut self, charge: f64, position: Vec3) {
-        let degree = self.coeffs.degree;
-        let s = Spherical::from_cartesian(position - self.center);
-        let t = Tables::get();
-        let (sin_t, cos_t) = s.theta.sin_cos();
-        let leg = Legendre::new(degree, cos_t, sin_t);
-        let rp = powers(s.rho, degree);
-        // Y_n^{-m} = norm · P_n^m · e^{-imφ}
-        let e1 = Complex::cis(-s.phi);
-        let mut eim = Complex::ONE;
-        for m in 0..=degree {
-            for n in m..=degree {
-                let re = charge * rp[n] * t.norm(n, m as i64) * leg.p(n, m);
-                self.coeffs.add(n, m, eim * re);
-            }
-            eim *= e1;
+        let mut ws = Workspace::with_capacity(self.coeffs.degree);
+        self.add_particle_with(charge, position, &mut ws);
+    }
+
+    /// Accumulates one source charge using caller-provided scratch;
+    /// allocation-free once `ws` has grown to this expansion's degree.
+    pub fn add_particle_with(&mut self, charge: f64, position: Vec3, ws: &mut Workspace) {
+        p2m_accumulate(
+            &mut self.coeffs.c,
+            self.center,
+            self.coeffs.degree,
+            charge,
+            position,
+            ws,
+        );
+    }
+
+    /// A borrowed evaluation view of this expansion.
+    #[inline]
+    pub fn as_ref(&self) -> ExpansionRef<'_> {
+        ExpansionRef {
+            center: self.center,
+            degree: self.coeffs.degree,
+            coeffs: &self.coeffs.c,
         }
     }
 
@@ -172,35 +453,13 @@ impl MultipoleExpansion {
     /// required degree"; an individual interaction may then read only the
     /// prefix its own error budget requires. `degree` is clamped to the
     /// stored degree.
-    #[allow(clippy::needless_range_loop)] // `n` indexes several degree-keyed arrays
+    ///
+    /// Convenience wrapper allocating fresh scratch; hot loops should hold
+    /// a [`Workspace`] and call [`ExpansionRef::potential_at_degree_with`].
     pub fn potential_at_degree(&self, point: Vec3, degree: usize) -> f64 {
-        let degree = degree.min(self.coeffs.degree);
-        let s = Spherical::from_cartesian(point - self.center);
-        debug_assert!(s.rho > 0.0, "evaluation at the expansion center");
-        let t = Tables::get();
-        let (sin_t, cos_t) = s.theta.sin_cos();
-        let leg = Legendre::new(degree, cos_t, sin_t);
-        let inv_r = 1.0 / s.rho;
-        let e1 = Complex::cis(s.phi);
-
-        let mut phi = 0.0;
-        let mut eim = Complex::ONE;
-        // loop m-major so e^{imφ} is built incrementally
-        let mut contributions = vec![0.0; degree + 1]; // per-degree partial sums
-        for m in 0..=degree {
-            let w = if m == 0 { 1.0 } else { 2.0 };
-            for n in m..=degree {
-                let c = self.coeffs.get(n, m as i64) * eim;
-                contributions[n] += w * c.re * t.norm(n, m as i64) * leg.p(n, m);
-            }
-            eim *= e1;
-        }
-        let mut rpow = inv_r;
-        for contrib in contributions.iter().take(degree + 1) {
-            phi += contrib * rpow;
-            rpow *= inv_r;
-        }
-        phi
+        let mut ws = Workspace::with_capacity(degree.min(self.coeffs.degree));
+        self.as_ref()
+            .potential_at_degree_with(point, degree, &mut ws)
     }
 
     /// Evaluates potential and gradient `∇Φ` at an observation point.
@@ -213,51 +472,12 @@ impl MultipoleExpansion {
 
     /// Potential and gradient using only the degree-`degree` prefix of the
     /// stored series (see [`MultipoleExpansion::potential_at_degree`]).
+    ///
+    /// Convenience wrapper allocating fresh scratch; hot loops should hold
+    /// a [`Workspace`] and call [`ExpansionRef::field_at_degree_with`].
     pub fn field_at_degree(&self, point: Vec3, degree: usize) -> (f64, Vec3) {
-        let degree = degree.min(self.coeffs.degree);
-        let s = Spherical::from_cartesian(point - self.center);
-        debug_assert!(s.rho > 0.0, "evaluation at the expansion center");
-        let t = Tables::get();
-        let (sin_t, cos_t) = s.theta.sin_cos();
-        let (sin_p, cos_p) = s.phi.sin_cos();
-        let leg = Legendre::new(degree, cos_t, sin_t);
-        let inv_r = 1.0 / s.rho;
-        let e1 = Complex::new(cos_p, sin_p);
-
-        let mut pot_n = vec![0.0; degree + 1];
-        let mut dth_n = vec![0.0; degree + 1];
-        let mut dph_n = vec![0.0; degree + 1];
-        let mut eim = Complex::ONE;
-        for m in 0..=degree {
-            let w = if m == 0 { 1.0 } else { 2.0 };
-            for n in m..=degree {
-                let c = self.coeffs.get(n, m as i64) * eim;
-                let nr = t.norm(n, m as i64);
-                pot_n[n] += w * c.re * nr * leg.p(n, m);
-                dth_n[n] += w * c.re * nr * leg.dp_dtheta(n, m);
-                if m >= 1 {
-                    dph_n[n] += -2.0 * m as f64 * c.im * nr * leg.p_over_sin(n, m);
-                }
-            }
-            eim *= e1;
-        }
-        let mut phi = 0.0;
-        let mut g_r = 0.0;
-        let mut g_t = 0.0;
-        let mut g_p = 0.0;
-        let mut rpow1 = inv_r; // r^{-(n+1)}
-        for n in 0..=degree {
-            let rpow2 = rpow1 * inv_r; // r^{-(n+2)}
-            phi += pot_n[n] * rpow1;
-            g_r += -((n + 1) as f64) * pot_n[n] * rpow2;
-            g_t += dth_n[n] * rpow2;
-            g_p += dph_n[n] * rpow2;
-            rpow1 = rpow2;
-        }
-        let e_r = Vec3::new(sin_t * cos_p, sin_t * sin_p, cos_t);
-        let e_t = Vec3::new(cos_t * cos_p, cos_t * sin_p, -sin_t);
-        let e_p = Vec3::new(-sin_p, cos_p, 0.0);
-        (phi, e_r * g_r + e_t * g_t + e_p * g_p)
+        let mut ws = Workspace::with_capacity(degree.min(self.coeffs.degree));
+        self.as_ref().field_at_degree_with(point, degree, &mut ws)
     }
 
     /// Largest coefficient magnitude (diagnostics).
@@ -276,7 +496,10 @@ pub struct LocalExpansion {
 impl LocalExpansion {
     /// The zero expansion of the given degree.
     pub fn zero(center: Vec3, degree: usize) -> Self {
-        LocalExpansion { center, coeffs: Coeffs::zero(degree) }
+        LocalExpansion {
+            center,
+            coeffs: Coeffs::zero(degree),
+        }
     }
 
     /// Builds the local expansion of distant point sources directly (P2L):
@@ -292,16 +515,25 @@ impl LocalExpansion {
     }
 
     /// Accumulates a single distant source (P2L).
-    #[allow(clippy::needless_range_loop)] // `n` indexes several degree-keyed arrays
     pub fn add_distant_particle(&mut self, charge: f64, position: Vec3) {
+        let mut ws = Workspace::with_capacity(self.coeffs.degree);
+        self.add_distant_particle_with(charge, position, &mut ws);
+    }
+
+    /// Accumulates a single distant source (P2L) using caller-provided
+    /// scratch; allocation-free once `ws` has grown to this degree.
+    #[allow(clippy::needless_range_loop)] // `n` indexes several degree-keyed arrays
+    pub fn add_distant_particle_with(&mut self, charge: f64, position: Vec3, ws: &mut Workspace) {
         let degree = self.coeffs.degree;
         let s = Spherical::from_cartesian(position - self.center);
         assert!(s.rho > 0.0, "P2L source at the local center");
         let t = Tables::get();
         let (sin_t, cos_t) = s.theta.sin_cos();
-        let leg = Legendre::new(degree, cos_t, sin_t);
-        let inv = 1.0 / s.rho;
-        let invp = powers(inv, degree + 1);
+        ws.ensure_degree(degree);
+        ws.leg.recompute(degree, cos_t, sin_t);
+        let Workspace { leg, pow, .. } = ws;
+        let invp = &mut pow[..degree + 2]; // needs rho^{-(degree+1)}
+        fill_powers(invp, 1.0 / s.rho);
         let e1 = Complex::cis(-s.phi);
         let mut eim = Complex::ONE;
         for m in 0..=degree {
@@ -341,14 +573,24 @@ impl LocalExpansion {
     }
 
     /// Evaluates the local series at a point (L2P).
-    #[allow(clippy::needless_range_loop)] // `n` indexes several degree-keyed arrays
     pub fn potential_at(&self, point: Vec3) -> f64 {
+        let mut ws = Workspace::with_capacity(self.coeffs.degree);
+        self.potential_at_with(point, &mut ws)
+    }
+
+    /// L2P with caller-provided scratch; allocation-free once `ws` has
+    /// grown to this degree.
+    #[allow(clippy::needless_range_loop)] // `n` indexes several degree-keyed arrays
+    pub fn potential_at_with(&self, point: Vec3, ws: &mut Workspace) -> f64 {
         let degree = self.coeffs.degree;
         let s = Spherical::from_cartesian(point - self.center);
         let t = Tables::get();
         let (sin_t, cos_t) = s.theta.sin_cos();
-        let leg = Legendre::new(degree, cos_t, sin_t);
-        let rp = powers(s.rho, degree);
+        ws.ensure_degree(degree);
+        ws.leg.recompute(degree, cos_t, sin_t);
+        let Workspace { leg, pow, .. } = ws;
+        let rp = &mut pow[..degree + 1];
+        fill_powers(rp, s.rho);
         let e1 = Complex::cis(s.phi);
         let mut eim = Complex::ONE;
         let mut phi = 0.0;
@@ -365,13 +607,23 @@ impl LocalExpansion {
 
     /// Evaluates potential and gradient at a point (L2P with derivatives).
     pub fn field_at(&self, point: Vec3) -> (f64, Vec3) {
+        let mut ws = Workspace::with_capacity(self.coeffs.degree);
+        self.field_at_with(point, &mut ws)
+    }
+
+    /// L2P with derivatives using caller-provided scratch; allocation-free
+    /// once `ws` has grown to this degree.
+    pub fn field_at_with(&self, point: Vec3, ws: &mut Workspace) -> (f64, Vec3) {
         let degree = self.coeffs.degree;
         let s = Spherical::from_cartesian(point - self.center);
         let t = Tables::get();
         let (sin_t, cos_t) = s.theta.sin_cos();
         let (sin_p, cos_p) = s.phi.sin_cos();
-        let leg = Legendre::new(degree, cos_t, sin_t);
-        let rp = powers(s.rho, degree);
+        ws.ensure_degree(degree);
+        ws.leg.recompute(degree, cos_t, sin_t);
+        let Workspace { leg, pow, .. } = ws;
+        let rp = &mut pow[..degree + 1];
+        fill_powers(rp, s.rho);
         let e1 = Complex::new(cos_p, sin_p);
 
         let mut phi = 0.0;
@@ -405,5 +657,122 @@ impl LocalExpansion {
     /// Largest coefficient magnitude (diagnostics).
     pub fn max_coeff(&self) -> f64 {
         self.coeffs.max_abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic cluster without test-only dependencies.
+    fn cluster(center: Vec3, radius: f64, n: usize, seed: u64) -> Vec<Particle> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| {
+                let v = loop {
+                    let v = Vec3::new(next() * 2.0 - 1.0, next() * 2.0 - 1.0, next() * 2.0 - 1.0);
+                    if v.norm_sq() <= 1.0 {
+                        break v;
+                    }
+                };
+                Particle::new(center + v * radius, next() * 2.0 - 1.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical_to_allocating_path() {
+        // One workspace cycled through many degrees and both kernels must
+        // reproduce the allocating wrappers exactly: reuse may never
+        // perturb results.
+        let center = Vec3::new(0.3, -0.2, 0.6);
+        let ps = cluster(center, 0.5, 40, 5);
+        let e = MultipoleExpansion::from_particles(center, 14, &ps);
+        let mut ws = Workspace::new();
+        for (degree, point) in [
+            (14usize, Vec3::new(2.0, 1.0, -1.0)),
+            (3, Vec3::new(-1.5, 2.0, 0.5)),
+            (8, Vec3::new(0.3, -0.2, 3.0)),
+            (0, Vec3::new(4.0, 4.0, 4.0)),
+        ] {
+            let pot_w = e.as_ref().potential_at_degree_with(point, degree, &mut ws);
+            assert_eq!(
+                pot_w,
+                e.potential_at_degree(point, degree),
+                "potential p={degree}"
+            );
+            let (phi_w, g_w) = e.as_ref().field_at_degree_with(point, degree, &mut ws);
+            let (phi, g) = e.field_at_degree(point, degree);
+            assert_eq!(phi_w, phi, "field potential p={degree}");
+            assert_eq!(
+                (g_w.x, g_w.y, g_w.z),
+                (g.x, g.y, g.z),
+                "gradient p={degree}"
+            );
+        }
+    }
+
+    #[test]
+    fn p2m_into_matches_from_particles() {
+        let center = Vec3::new(-0.1, 0.4, 0.2);
+        let ps = cluster(center, 0.3, 25, 9);
+        let degree = 10;
+        let owned = MultipoleExpansion::from_particles(center, degree, &ps);
+        let mut ws = Workspace::new();
+        let mut buf = vec![Complex::new(7.0, -3.0); tri_len(degree)]; // stale garbage
+        p2m_into(&mut buf, center, degree, &ps, &mut ws);
+        assert_eq!(
+            buf, owned.coeffs.c,
+            "arena P2M must equal owned P2M bit for bit"
+        );
+        let r = ExpansionRef::new(center, degree, &buf);
+        let point = Vec3::new(1.5, -1.0, 2.0);
+        assert_eq!(
+            r.potential_at_with(point, &mut ws),
+            owned.potential_at(point)
+        );
+    }
+
+    #[test]
+    fn local_expansion_with_variants_match() {
+        let ps = cluster(Vec3::new(5.0, 1.0, -2.0), 0.5, 20, 13);
+        let mut ws = Workspace::new();
+        let mut l = LocalExpansion::zero(Vec3::ZERO, 9);
+        let mut l_ws = LocalExpansion::zero(Vec3::ZERO, 9);
+        for p in &ps {
+            l.add_distant_particle(p.charge, p.position);
+            l_ws.add_distant_particle_with(p.charge, p.position, &mut ws);
+        }
+        assert_eq!(
+            l.coeffs.c, l_ws.coeffs.c,
+            "P2L with reused scratch must match"
+        );
+        let point = Vec3::new(0.2, -0.3, 0.25);
+        assert_eq!(l.potential_at(point), l.potential_at_with(point, &mut ws));
+        let (phi_a, g_a) = l.field_at(point);
+        let (phi_b, g_b) = l.field_at_with(point, &mut ws);
+        assert_eq!(phi_a, phi_b);
+        assert_eq!((g_a.x, g_a.y, g_a.z), (g_b.x, g_b.y, g_b.z));
+    }
+
+    #[test]
+    fn expansion_ref_coeff_matches_owned() {
+        let center = Vec3::ZERO;
+        let ps = cluster(center, 0.4, 15, 21);
+        let e = MultipoleExpansion::from_particles(center, 6, &ps);
+        let r = e.as_ref();
+        assert_eq!(r.degree(), 6);
+        assert_eq!(r.term_count(), 49);
+        for n in 0..=8usize {
+            for m in -(n as i64)..=(n as i64) {
+                assert_eq!(r.coeff(n, m), e.coeff(n, m), "coeff ({n},{m})");
+            }
+        }
     }
 }

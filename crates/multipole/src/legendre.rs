@@ -34,11 +34,43 @@ pub struct Legendre {
 impl Legendre {
     /// Evaluates the three families at `x = cos θ`, `s = sin θ ≥ 0`.
     pub fn new(degree: usize, x: f64, s: f64) -> Legendre {
+        let mut l = Legendre::with_capacity(degree);
+        l.recompute(degree, x, s);
+        l
+    }
+
+    /// An empty table whose buffers are pre-sized for `degree`; call
+    /// [`Legendre::recompute`] before reading any values.
+    pub fn with_capacity(degree: usize) -> Legendre {
+        let len = tri_len(degree);
+        Legendre {
+            degree,
+            p: vec![0.0; len],
+            p_over_s: vec![0.0; len],
+            dp_dtheta: vec![0.0; len],
+        }
+    }
+
+    /// Re-evaluates the three families at `x = cos θ`, `s = sin θ ≥ 0`,
+    /// reusing the existing buffers. Allocation-free once the buffers have
+    /// grown to the largest degree seen (they grow monotonically and never
+    /// shrink).
+    ///
+    /// Every entry with `n ≤ degree` is overwritten before it can be read
+    /// (the triangular index layout is capacity-independent), so no
+    /// zeroing pass is needed.
+    pub fn recompute(&mut self, degree: usize, x: f64, s: f64) {
         debug_assert!((x * x + s * s - 1.0).abs() < 1e-9, "cos²+sin² must be 1");
         let len = tri_len(degree);
-        let mut p = vec![0.0; len];
-        let mut q = vec![0.0; len]; // P/s for m>=1
-        let mut d = vec![0.0; len];
+        if self.p.len() < len {
+            self.p.resize(len, 0.0);
+            self.p_over_s.resize(len, 0.0);
+            self.dp_dtheta.resize(len, 0.0);
+        }
+        self.degree = degree;
+        let p = &mut self.p[..];
+        let q = &mut self.p_over_s[..]; // P/s for m>=1
+        let d = &mut self.dp_dtheta[..];
 
         // diagonal seeds
         p[tri_index(0, 0)] = 1.0;
@@ -77,11 +109,14 @@ impl Legendre {
             // m = 0: dP_n^0/dθ = −P_n^1 (absent for n = 0)
             d[tri_index(n, 0)] = if n >= 1 { -p[tri_index(n, 1)] } else { 0.0 };
             for m in 1..=n {
-                let prev = if n >= 1 && m < n { q[tri_index(n - 1, m)] } else { 0.0 };
+                let prev = if n >= 1 && m < n {
+                    q[tri_index(n - 1, m)]
+                } else {
+                    0.0
+                };
                 d[tri_index(n, m)] = n as f64 * x * q[tri_index(n, m)] - (n + m) as f64 * prev;
             }
         }
-        Legendre { degree, p, p_over_s: q, dp_dtheta: d }
     }
 
     /// The degree the arrays were computed to.
@@ -199,6 +234,31 @@ mod tests {
                     (l2.p(n, m) - sign * l1.p(n, m)).abs() < 1e-10 * (1.0 + l1.p(n, m).abs()),
                     "parity fails at ({n},{m})"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn recompute_reuse_is_bit_identical_to_fresh() {
+        // a buffer that has seen a larger degree must reproduce a fresh
+        // evaluation exactly — stale high-degree entries are never read
+        let mut reused = Legendre::new(14, 0.9f64.cos(), 0.9f64.sin());
+        for (degree, theta) in [(3usize, 0.4f64), (8, 1.3), (14, 2.0), (1, 0.01)] {
+            reused.recompute(degree, theta.cos(), theta.sin());
+            let fresh = Legendre::new(degree, theta.cos(), theta.sin());
+            assert_eq!(reused.degree(), fresh.degree());
+            for n in 0..=degree {
+                for m in 0..=n {
+                    assert_eq!(reused.p(n, m), fresh.p(n, m), "p({n},{m})");
+                    assert_eq!(reused.dp_dtheta(n, m), fresh.dp_dtheta(n, m), "d({n},{m})");
+                    if m >= 1 {
+                        assert_eq!(
+                            reused.p_over_sin(n, m),
+                            fresh.p_over_sin(n, m),
+                            "q({n},{m})"
+                        );
+                    }
+                }
             }
         }
     }

@@ -40,12 +40,14 @@ pub mod harmonics;
 pub mod legendre;
 pub mod tables;
 mod translation;
+pub mod workspace;
 
 pub use bounds::{
     degree_for_tolerance, degree_for_tolerance_at, kappa, theorem1_bound, theorem2_bound,
     DegreeSelector, DegreeWeighting,
 };
 pub use complex::Complex;
-pub use expansion::{LocalExpansion, MultipoleExpansion};
+pub use expansion::{p2m_into, ExpansionRef, LocalExpansion, MultipoleExpansion};
 pub use harmonics::Harmonics;
-pub use tables::MAX_DEGREE;
+pub use tables::{tri_len, MAX_DEGREE};
+pub use workspace::Workspace;

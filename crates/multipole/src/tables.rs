@@ -111,7 +111,7 @@ mod tests {
         assert_eq!(t.a(1, 0), -1.0); // (-1)^1/sqrt(1!·1!)
         assert!((t.a(1, 1) - -1.0 / 2.0f64.sqrt()).abs() < 1e-15);
         assert!((t.a(2, 0) - 1.0 / 2.0).abs() < 1e-15); // 1/sqrt(2!·2!) = 1/2
-        // symmetry in the sign of m
+                                                        // symmetry in the sign of m
         assert_eq!(t.a(7, 3), t.a(7, -3));
     }
 

@@ -16,27 +16,33 @@
 use mbt_geometry::{Spherical, Vec3};
 
 use crate::complex::Complex;
-use crate::expansion::{powers, Coeffs, LocalExpansion, MultipoleExpansion};
+use crate::expansion::{powers, Coeffs, ExpansionRef, LocalExpansion, MultipoleExpansion};
 use crate::harmonics::Harmonics;
-use crate::tables::Tables;
+use crate::tables::{tri_index, tri_len, Tables};
 
-impl MultipoleExpansion {
-    /// Translates this expansion to a new center (M2M).
+impl ExpansionRef<'_> {
+    /// Translates this expansion to a new center and **accumulates** the
+    /// result into `out` (M2M into arena storage).
     ///
-    /// `target_degree` may exceed the source degree (the missing source
-    /// coefficients read as zero); for `target_degree >= self.degree()` the
-    /// translation introduces no additional truncation error.
+    /// `out` must hold exactly the triangular array for `target_degree`.
+    /// Accumulating directly (rather than building a temporary expansion
+    /// and adding it) performs the same floating-point additions in the
+    /// same order as `parent.accumulate(&child.translated(..))` did, so
+    /// upward passes over either storage layout agree bit for bit.
     #[allow(clippy::needless_range_loop)] // degree loops index shared tables
-    pub fn translated(&self, new_center: Vec3, target_degree: usize) -> MultipoleExpansion {
+    pub fn m2m_accumulate_into(&self, new_center: Vec3, target_degree: usize, out: &mut [Complex]) {
+        assert_eq!(
+            out.len(),
+            tri_len(target_degree),
+            "coefficient span length does not match degree {target_degree}"
+        );
         let t = Tables::get();
         let d = self.center - new_center;
         let s = Spherical::from_cartesian(d);
         let h = Harmonics::new(target_degree, &s);
         let rp = powers(s.rho, target_degree);
-        let src = &self.coeffs;
-        let p_src = src.degree;
+        let p_src = self.degree;
 
-        let mut out = Coeffs::zero(target_degree);
         for j in 0..=target_degree {
             for k in 0..=j as i64 {
                 let mut acc = Complex::ZERO;
@@ -49,7 +55,7 @@ impl MultipoleExpansion {
                         if km.unsigned_abs() as usize > jn {
                             continue;
                         }
-                        let o = src.get(jn, km);
+                        let o = self.coeff(jn, km);
                         if o == Complex::ZERO {
                             continue;
                         }
@@ -58,10 +64,9 @@ impl MultipoleExpansion {
                         acc += o * phase * h.y(n, -m) * coeff;
                     }
                 }
-                out.add(j, k as usize, acc);
+                out[tri_index(j, k as usize)] += acc;
             }
         }
-        MultipoleExpansion { center: new_center, coeffs: out }
     }
 
     /// Converts this multipole expansion into a local expansion about
@@ -74,11 +79,10 @@ impl MultipoleExpansion {
         let d = self.center - local_center;
         let s = Spherical::from_cartesian(d);
         assert!(s.rho > 0.0, "M2L with coincident centers");
-        let p_src = self.coeffs.degree;
+        let p_src = self.degree;
         let h = Harmonics::new(target_degree + p_src, &s);
         let inv = 1.0 / s.rho;
         let invp = powers(inv, target_degree + p_src + 1);
-        let src = &self.coeffs;
 
         let mut out = Coeffs::zero(target_degree);
         for j in 0..=target_degree {
@@ -87,7 +91,7 @@ impl MultipoleExpansion {
                 for n in 0..=p_src {
                     let neg = if n % 2 == 0 { 1.0 } else { -1.0 };
                     for m in -(n as i64)..=(n as i64) {
-                        let o = src.get(n, m);
+                        let o = self.coeff(n, m);
                         if o == Complex::ZERO {
                             continue;
                         }
@@ -100,7 +104,33 @@ impl MultipoleExpansion {
                 out.add(j, k as usize, acc);
             }
         }
-        LocalExpansion { center: local_center, coeffs: out }
+        LocalExpansion {
+            center: local_center,
+            coeffs: out,
+        }
+    }
+}
+
+impl MultipoleExpansion {
+    /// Translates this expansion to a new center (M2M).
+    ///
+    /// `target_degree` may exceed the source degree (the missing source
+    /// coefficients read as zero); for `target_degree >= self.degree()` the
+    /// translation introduces no additional truncation error.
+    pub fn translated(&self, new_center: Vec3, target_degree: usize) -> MultipoleExpansion {
+        let mut out = Coeffs::zero(target_degree);
+        self.as_ref()
+            .m2m_accumulate_into(new_center, target_degree, &mut out.c);
+        MultipoleExpansion {
+            center: new_center,
+            coeffs: out,
+        }
+    }
+
+    /// Converts this multipole expansion into a local expansion about
+    /// `local_center` (M2L); see [`ExpansionRef::to_local`].
+    pub fn to_local(&self, local_center: Vec3, target_degree: usize) -> LocalExpansion {
+        self.as_ref().to_local(local_center, target_degree)
     }
 }
 
@@ -139,7 +169,10 @@ impl LocalExpansion {
                 out.add(j, k as usize, acc);
             }
         }
-        LocalExpansion { center: new_center, coeffs: out }
+        LocalExpansion {
+            center: new_center,
+            coeffs: out,
+        }
     }
 }
 
@@ -173,7 +206,10 @@ mod tests {
     }
 
     fn direct_potential(particles: &[Particle], point: Vec3) -> f64 {
-        particles.iter().map(|p| p.charge / p.position.distance(point)).sum()
+        particles
+            .iter()
+            .map(|p| p.charge / p.position.distance(point))
+            .sum()
     }
 
     #[test]
@@ -218,7 +254,10 @@ mod tests {
             "M2M error {} exceeds Theorem-1 bound {bound}",
             (b - exact).abs()
         );
-        assert!((a - b).abs() < 1e-9, "translated expansion inconsistent: {a} vs {b}");
+        assert!(
+            (a - b).abs() < 1e-9,
+            "translated expansion inconsistent: {a} vs {b}"
+        );
     }
 
     #[test]
@@ -289,7 +328,10 @@ mod tests {
         let point = Vec3::new(0.2, -0.3, 0.25);
         let exact = direct_potential(&ps, point);
         let approx = local.potential_at(point);
-        assert!((approx - exact).abs() < 1e-8 * exact.abs().max(1.0), "{approx} vs {exact}");
+        assert!(
+            (approx - exact).abs() < 1e-8 * exact.abs().max(1.0),
+            "{approx} vs {exact}"
+        );
     }
 
     #[test]
@@ -299,10 +341,17 @@ mod tests {
         let local = LocalExpansion::from_distant_particles(Vec3::ZERO, p, &ps);
         let new_c = Vec3::new(0.3, -0.2, 0.1);
         let shifted = local.translated(new_c, p);
-        for point in [Vec3::new(0.35, -0.15, 0.05), new_c, Vec3::new(0.2, -0.3, 0.2)] {
+        for point in [
+            Vec3::new(0.35, -0.15, 0.05),
+            new_c,
+            Vec3::new(0.2, -0.3, 0.2),
+        ] {
             let a = local.potential_at(point);
             let b = shifted.potential_at(point);
-            assert!((a - b).abs() < 1e-10 * a.abs().max(1.0), "L2L at {point:?}: {a} vs {b}");
+            assert!(
+                (a - b).abs() < 1e-10 * a.abs().max(1.0),
+                "L2L at {point:?}: {a} vs {b}"
+            );
         }
     }
 

@@ -9,12 +9,7 @@ use mbt_multipole::{theorem1_bound, LocalExpansion, MultipoleExpansion};
 use proptest::prelude::*;
 
 fn arb_vec3(range: f64) -> impl Strategy<Value = Vec3> {
-    (
-        -range..range,
-        -range..range,
-        -range..range,
-    )
-        .prop_map(|(x, y, z)| Vec3::new(x, y, z))
+    (-range..range, -range..range, -range..range).prop_map(|(x, y, z)| Vec3::new(x, y, z))
 }
 
 fn arb_cluster(radius: f64, max_n: usize) -> impl Strategy<Value = Vec<Particle>> {

@@ -49,7 +49,10 @@ fn prefix_field_equals_lower_degree_expansion() {
         let (pa, ga) = full.field_at_degree(point, q);
         let (pb, gb) = low.field_at(point);
         assert!((pa - pb).abs() < 1e-12 * (1.0 + pb.abs()));
-        assert!(ga.distance(gb) < 1e-12 * (1.0 + gb.norm()), "q={q}: {ga:?} vs {gb:?}");
+        assert!(
+            ga.distance(gb) < 1e-12 * (1.0 + gb.norm()),
+            "q={q}: {ga:?} vs {gb:?}"
+        );
     }
 }
 

@@ -343,7 +343,10 @@ mod tests {
         let mut sim = Simulation::new(bodies, ForceModel::Direct { softening: 0.02 });
         sim.set_virial_velocities(17);
         let q = sim.virial_ratio();
-        assert!((0.5..=1.6).contains(&q), "virial ratio {q} far from equilibrium");
+        assert!(
+            (0.5..=1.6).contains(&q),
+            "virial ratio {q} far from equilibrium"
+        );
         // zero net momentum
         let p: Vec3 = sim
             .bodies()

@@ -21,7 +21,11 @@ pub struct CgOptions {
 
 impl Default for CgOptions {
     fn default() -> Self {
-        CgOptions { tol: 1e-8, max_iters: 500, preconditioner: None }
+        CgOptions {
+            tol: 1e-8,
+            max_iters: 500,
+            preconditioner: None,
+        }
     }
 }
 
@@ -143,7 +147,14 @@ mod tests {
     #[test]
     fn solves_spd_system() {
         let (a, b) = spd(50);
-        let r = cg(&a, &b, &CgOptions { tol: 1e-12, ..Default::default() });
+        let r = cg(
+            &a,
+            &b,
+            &CgOptions {
+                tol: 1e-12,
+                ..Default::default()
+            },
+        );
         assert_eq!(r.outcome, CgOutcome::Converged);
         assert!(r.relative_residual < 1e-11);
     }
@@ -163,7 +174,14 @@ mod tests {
     #[test]
     fn residual_history_reaches_tolerance() {
         let (a, b) = spd(40);
-        let r = cg(&a, &b, &CgOptions { tol: 1e-9, ..Default::default() });
+        let r = cg(
+            &a,
+            &b,
+            &CgOptions {
+                tol: 1e-9,
+                ..Default::default()
+            },
+        );
         assert!(r.history.last().copied().unwrap_or(1.0) <= 1e-9);
     }
 
@@ -195,7 +213,15 @@ mod tests {
             }
         });
         let b: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64).sin()).collect();
-        let plain = cg(&a, &b, &CgOptions { tol: 1e-10, max_iters: 400, preconditioner: None });
+        let plain = cg(
+            &a,
+            &b,
+            &CgOptions {
+                tol: 1e-10,
+                max_iters: 400,
+                preconditioner: None,
+            },
+        );
         let pre = cg(
             &a,
             &b,
@@ -212,11 +238,23 @@ mod tests {
     #[test]
     fn matches_gmres_solution() {
         let (a, b) = spd(30);
-        let xc = cg(&a, &b, &CgOptions { tol: 1e-12, ..Default::default() }).x;
+        let xc = cg(
+            &a,
+            &b,
+            &CgOptions {
+                tol: 1e-12,
+                ..Default::default()
+            },
+        )
+        .x;
         let xg = crate::gmres::gmres(
             &a,
             &b,
-            &crate::gmres::GmresOptions { restart: 30, tol: 1e-12, ..Default::default() },
+            &crate::gmres::GmresOptions {
+                restart: 30,
+                tol: 1e-12,
+                ..Default::default()
+            },
         )
         .x;
         for (c, g) in xc.iter().zip(&xg) {

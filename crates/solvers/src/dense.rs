@@ -19,7 +19,11 @@ pub struct DenseMatrix {
 impl DenseMatrix {
     /// A zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        DenseMatrix { rows, cols, data: vec![0.0; rows * cols] }
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// The identity matrix.
@@ -60,7 +64,9 @@ impl DenseMatrix {
 
     /// The main diagonal.
     pub fn diagonal(&self) -> Vec<f64> {
-        (0..self.rows.min(self.cols)).map(|i| self[(i, i)]).collect()
+        (0..self.rows.min(self.cols))
+            .map(|i| self[(i, i)])
+            .collect()
     }
 
     /// Matrix–vector product `y = A x` (parallel over rows).
@@ -91,7 +97,10 @@ impl std::ops::IndexMut<(usize, usize)> for DenseMatrix {
 
 impl LinearOperator for DenseMatrix {
     fn dim(&self) -> usize {
-        debug_assert_eq!(self.rows, self.cols, "LinearOperator requires a square matrix");
+        debug_assert_eq!(
+            self.rows, self.cols,
+            "LinearOperator requires a square matrix"
+        );
         self.rows
     }
 

@@ -24,7 +24,12 @@ pub struct GmresOptions {
 
 impl Default for GmresOptions {
     fn default() -> Self {
-        GmresOptions { restart: 10, tol: 1e-8, max_iters: 500, preconditioner: None }
+        GmresOptions {
+            restart: 10,
+            tol: 1e-8,
+            max_iters: 500,
+            preconditioner: None,
+        }
     }
 }
 
@@ -242,15 +247,36 @@ mod tests {
     #[test]
     fn solves_spd_system_with_restart_10() {
         let (a, b) = spd_system(60);
-        let r = gmres(&a, &b, &GmresOptions { restart: 10, tol: 1e-10, ..Default::default() });
+        let r = gmres(
+            &a,
+            &b,
+            &GmresOptions {
+                restart: 10,
+                tol: 1e-10,
+                ..Default::default()
+            },
+        );
         assert_eq!(r.outcome, GmresOutcome::Converged);
-        assert!(residual(&a, &r.x, &b) < 1e-9, "residual {}", residual(&a, &r.x, &b));
+        assert!(
+            residual(&a, &r.x, &b) < 1e-9,
+            "residual {}",
+            residual(&a, &r.x, &b)
+        );
     }
 
     #[test]
     fn restart_smaller_than_dimension_still_converges() {
         let (a, b) = spd_system(40);
-        let r = gmres(&a, &b, &GmresOptions { restart: 5, tol: 1e-8, max_iters: 400, ..Default::default() });
+        let r = gmres(
+            &a,
+            &b,
+            &GmresOptions {
+                restart: 5,
+                tol: 1e-8,
+                max_iters: 400,
+                ..Default::default()
+            },
+        );
         assert_eq!(r.outcome, GmresOutcome::Converged);
         assert!(r.relative_residual < 1e-8);
     }
@@ -258,7 +284,15 @@ mod tests {
     #[test]
     fn history_is_monotone_within_a_cycle() {
         let (a, b) = spd_system(50);
-        let r = gmres(&a, &b, &GmresOptions { restart: 25, tol: 1e-12, ..Default::default() });
+        let r = gmres(
+            &a,
+            &b,
+            &GmresOptions {
+                restart: 25,
+                tol: 1e-12,
+                ..Default::default()
+            },
+        );
         // within one Arnoldi cycle the Givens residual estimate is
         // nonincreasing
         for w in r.history.windows(2).take(24) {
@@ -287,7 +321,16 @@ mod tests {
             }
         });
         let b: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64).cos()).collect();
-        let plain = gmres(&a, &b, &GmresOptions { restart: 10, tol: 1e-10, max_iters: 300, preconditioner: None });
+        let plain = gmres(
+            &a,
+            &b,
+            &GmresOptions {
+                restart: 10,
+                tol: 1e-10,
+                max_iters: 300,
+                preconditioner: None,
+            },
+        );
         let pre = gmres(
             &a,
             &b,
@@ -324,7 +367,15 @@ mod tests {
         });
         let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).cos()).collect();
         let b = a.apply_vec(&x_true);
-        let r = gmres(&a, &b, &GmresOptions { restart: 10, tol: 1e-12, ..Default::default() });
+        let r = gmres(
+            &a,
+            &b,
+            &GmresOptions {
+                restart: 10,
+                tol: 1e-12,
+                ..Default::default()
+            },
+        );
         assert_eq!(r.outcome, GmresOutcome::Converged);
         for (xi, ti) in r.x.iter().zip(&x_true) {
             assert!((xi - ti).abs() < 1e-8);
@@ -334,7 +385,16 @@ mod tests {
     #[test]
     fn budget_exhaustion_reports_max_iterations() {
         let (a, b) = spd_system(80);
-        let r = gmres(&a, &b, &GmresOptions { restart: 4, tol: 1e-14, max_iters: 6, ..Default::default() });
+        let r = gmres(
+            &a,
+            &b,
+            &GmresOptions {
+                restart: 4,
+                tol: 1e-14,
+                max_iters: 6,
+                ..Default::default()
+            },
+        );
         assert_eq!(r.outcome, GmresOutcome::MaxIterations);
         assert_eq!(r.iterations, 6);
         // even a truncated run must have made progress

@@ -1,6 +1,8 @@
 //! Property-based tests of the iterative solvers on random systems.
 
-use mbt_solvers::{cg, gmres, CgOptions, CgOutcome, DenseMatrix, GmresOptions, GmresOutcome, LinearOperator};
+use mbt_solvers::{
+    cg, gmres, CgOptions, CgOutcome, DenseMatrix, GmresOptions, GmresOutcome, LinearOperator,
+};
 use proptest::prelude::*;
 
 /// A random diagonally dominant (hence nonsingular) matrix.
@@ -31,10 +33,10 @@ fn dominant_matrix(n: usize, seed: u64, symmetric: bool) -> DenseMatrix {
 fn residual(a: &DenseMatrix, x: &[f64], b: &[f64]) -> f64 {
     let mut num = 0.0;
     let mut den = 0.0;
-    for i in 0..a.rows() {
-        let ri: f64 = a.row(i).iter().zip(x).map(|(v, xi)| v * xi).sum::<f64>() - b[i];
+    for (i, bi) in b.iter().enumerate().take(a.rows()) {
+        let ri: f64 = a.row(i).iter().zip(x).map(|(v, xi)| v * xi).sum::<f64>() - bi;
         num += ri * ri;
-        den += b[i] * b[i];
+        den += bi * bi;
     }
     (num / den.max(1e-300)).sqrt()
 }

@@ -128,7 +128,12 @@ impl Octree {
         });
         tree.split_recursive(0, params.leaf_capacity);
         tree.compute_aggregates(0);
-        tree.height = tree.nodes.iter().map(|n| n.level as usize).max().unwrap_or(0);
+        tree.height = tree
+            .nodes
+            .iter()
+            .map(|n| n.level as usize)
+            .max()
+            .unwrap_or(0);
         Ok(tree)
     }
 
@@ -362,7 +367,10 @@ impl Octree {
         let mut covered = vec![0u8; n_particles];
         for (idx, node) in self.nodes.iter().enumerate() {
             if node.start > node.end || node.end as usize > n_particles {
-                return Err(format!("node {idx}: bad range {}..{}", node.start, node.end));
+                return Err(format!(
+                    "node {idx}: bad range {}..{}",
+                    node.start, node.end
+                ));
             }
             if node.is_leaf {
                 for i in node.start..node.end {
@@ -403,7 +411,11 @@ impl Octree {
             }
             // aggregates
             if !node.is_empty() {
-                let a: f64 = self.particles_of(idx as NodeId).iter().map(|p| p.charge.abs()).sum();
+                let a: f64 = self
+                    .particles_of(idx as NodeId)
+                    .iter()
+                    .map(|p| p.charge.abs())
+                    .sum();
                 if (a - node.abs_charge).abs() > 1e-9 * (1.0 + a) {
                     return Err(format!("node {idx}: abs_charge mismatch"));
                 }
@@ -511,7 +523,10 @@ mod tests {
 
     #[test]
     fn error_cases() {
-        assert_eq!(Octree::build(&[], OctreeParams::default()).unwrap_err(), TreeError::Empty);
+        assert_eq!(
+            Octree::build(&[], OctreeParams::default()).unwrap_err(),
+            TreeError::Empty
+        );
         let bad = [Particle::new(Vec3::new(f64::NAN, 0.0, 0.0), 1.0)];
         assert_eq!(
             Octree::build(&bad, OctreeParams::default()).unwrap_err(),

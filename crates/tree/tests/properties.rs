@@ -6,12 +6,7 @@ use proptest::prelude::*;
 
 fn arb_particles(max_n: usize) -> impl Strategy<Value = Vec<Particle>> {
     prop::collection::vec(
-        (
-            -10.0f64..10.0,
-            -10.0f64..10.0,
-            -10.0f64..10.0,
-            -3.0f64..3.0,
-        )
+        (-10.0f64..10.0, -10.0f64..10.0, -10.0f64..10.0, -3.0f64..3.0)
             .prop_map(|(x, y, z, q)| Particle::new(Vec3::new(x, y, z), q)),
         1..max_n,
     )

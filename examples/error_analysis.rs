@@ -77,6 +77,9 @@ fn main() {
         let level = w * k.powi(p as i32 + 1);
         println!("{w:>10.0} {p:>4} {level:>14.3e}");
     }
-    println!("\nThe equalised column stays below the reference level 1·κ^4 = {:.3e},", k.powi(4));
+    println!(
+        "\nThe equalised column stays below the reference level 1·κ^4 = {:.3e},",
+        k.powi(4)
+    );
     println!("so every admitted interaction carries (at most) the same error.");
 }

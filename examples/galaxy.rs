@@ -32,7 +32,10 @@ fn main() {
         sim.potential_energy(),
         sim.virial_ratio(),
     );
-    println!("\n{:>6} {:>12} {:>12} {:>12} {:>12}", "step", "energy", "ΔE/E₀", "r_half", "r_90");
+    println!(
+        "\n{:>6} {:>12} {:>12} {:>12} {:>12}",
+        "step", "energy", "ΔE/E₀", "r_half", "r_90"
+    );
 
     let dt = 0.01;
     let steps = 100;

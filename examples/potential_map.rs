@@ -19,7 +19,12 @@ fn main() {
     );
     let mirrored: Vec<Particle> = particles
         .iter()
-        .map(|p| Particle::new(Vec3::new(-p.position.x, p.position.y, p.position.z), -p.charge))
+        .map(|p| {
+            Particle::new(
+                Vec3::new(-p.position.x, p.position.y, p.position.z),
+                -p.charge,
+            )
+        })
         .collect();
     particles.extend(mirrored);
 

@@ -27,7 +27,10 @@ fn main() {
     let dt_adaptive = t0.elapsed();
     let e_adaptive = sampled_relative_error(&particles, &r_adaptive.values, 300, 7);
 
-    println!("{:<22} {:>12} {:>14} {:>10}", "method", "rel. error", "terms", "time");
+    println!(
+        "{:<22} {:>12} {:>14} {:>10}",
+        "method", "rel. error", "terms", "time"
+    );
     println!(
         "{:<22} {:>12.3e} {:>14} {:>9.0?}",
         "original (p = 4)", e_fixed.relative_l2, r_fixed.stats.terms, dt_fixed

@@ -1,0 +1,280 @@
+//! Offline stand-in for the subset of the `criterion` API this workspace
+//! uses (`benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, `criterion_group!`, `criterion_main!`).
+//!
+//! Measurement model: after a short calibration pass, each benchmark runs
+//! `sample_size` samples of a batch sized to take roughly
+//! [`TARGET_SAMPLE_TIME`]; the **median** per-iteration time is reported,
+//! plus throughput when the group declared one. Output is one line per
+//! benchmark on stdout — there are no HTML reports or statistical
+//! comparisons, but the numbers are stable enough to compare runs of the
+//! same binary on the same machine.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(40);
+const CALIBRATION_TIME: Duration = Duration::from_millis(10);
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function(&mut self, id: impl IntoBenchmarkId, f: impl FnMut(&mut Bencher)) {
+        run_benchmark(&id.into_benchmark_id(), 20, None, f);
+    }
+}
+
+/// Identifies one benchmark: a function name plus an optional parameter.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into [`BenchmarkId`] so `bench_function` accepts either an
+/// id or a plain string, as upstream does.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            label: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self }
+    }
+}
+
+/// Units for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = BenchmarkId {
+            label: format!("{}/{}", self.name, id.into_benchmark_id().label),
+        };
+        run_benchmark(&id, self.sample_size, self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the measured closure; `iter` runs the workload.
+pub struct Bencher {
+    /// Iterations to run in the current sample.
+    iters: u64,
+    /// Time accumulated by the latest `iter` call.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark(
+    id: &BenchmarkId,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // calibration: find an iteration count filling the target sample time
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    let calib_start = Instant::now();
+    loop {
+        f(&mut b);
+        if b.elapsed >= CALIBRATION_TIME || calib_start.elapsed() > Duration::from_secs(2) {
+            break;
+        }
+        b.iters = (b.iters * 2).min(1 << 40);
+    }
+    let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+    let iters_per_sample = if per_iter > 0.0 {
+        ((TARGET_SAMPLE_TIME.as_secs_f64() / per_iter).ceil() as u64).max(1)
+    } else {
+        b.iters * 2
+    };
+
+    let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
+    b.iters = iters_per_sample;
+    for _ in 0..sample_size {
+        f(&mut b);
+        samples.push(b.elapsed.as_secs_f64() / b.iters as f64);
+    }
+    samples.sort_by(f64::total_cmp);
+    let median = samples[samples.len() / 2];
+    let lo = samples[0];
+    let hi = samples[samples.len() - 1];
+
+    let mut line = format!(
+        "{:<50} time: [{} {} {}]",
+        id.label,
+        format_time(lo),
+        format_time(median),
+        format_time(hi)
+    );
+    if let Some(t) = throughput {
+        let (count, unit) = match t {
+            Throughput::Elements(n) => (n as f64, "elem/s"),
+            Throughput::Bytes(n) => (n as f64, "B/s"),
+        };
+        if median > 0.0 {
+            line.push_str(&format!("  thrpt: {}", format_rate(count / median, unit)));
+        }
+    }
+    println!("{line}");
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn format_rate(rate: f64, unit: &str) -> String {
+    if rate >= 1e9 {
+        format!("{:.3} G{unit}", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.3} M{unit}", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.3} K{unit}", rate / 1e3)
+    } else {
+        format!("{rate:.1} {unit}")
+    }
+}
+
+/// Mirrors `criterion::criterion_group!`: defines a function running every
+/// listed target against a fresh `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`: the benchmark binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_as_function_slash_parameter() {
+        assert_eq!(BenchmarkId::new("direct", 4000).label, "direct/4000");
+        assert_eq!(BenchmarkId::from_parameter(7).label, "7");
+    }
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(10));
+        let mut count = 0u64;
+        group.bench_function(BenchmarkId::new("noop", 10), |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        group.finish();
+        assert!(count > 0);
+    }
+}

@@ -1,0 +1,264 @@
+//! Offline stand-in for the subset of the `rand` 0.8 API this workspace
+//! uses: `rngs::StdRng`, `SeedableRng::seed_from_u64`, and `Rng::{gen,
+//! gen_range}` over floating and integer ranges.
+//!
+//! `StdRng` here is xoshiro256++ seeded through SplitMix64 — deterministic
+//! and statistically solid for test/benchmark instance generation, though
+//! its streams differ from upstream `rand`'s ChaCha-based `StdRng` (any
+//! test that hard-codes upstream sequences would need regenerating; none
+//! do).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core entropy source: everything is derived from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seeding, mirroring `rand::SeedableRng` (only `seed_from_u64` is used).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_in(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// xoshiro256++ behind `rand`'s `StdRng` name.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut st = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut st),
+                    splitmix64(&mut st),
+                    splitmix64(&mut st),
+                    splitmix64(&mut st),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Types `Rng::gen::<T>()` can produce.
+pub trait Standard: Sized {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 random bits.
+    fn sample_standard<R: RngCore>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+/// Types with uniform range sampling.
+pub trait SampleUniform: PartialOrd + Copy {
+    fn sample_half_open<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    fn sample_closed<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn sample_half_open<R: RngCore>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+        let u = f64::sample_standard(rng); // [0, 1)
+        lo + u * (hi - lo)
+    }
+
+    fn sample_closed<R: RngCore>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+        // 53-bit grid over [0, 1]: the endpoint is reachable, matching the
+        // inclusive-range contract.
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64);
+        lo + u * (hi - lo)
+    }
+}
+
+/// Rejection sampling of `[0, span)` without modulo bias.
+fn uniform_u64_below<R: RngCore>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    let zone = u64::MAX - u64::MAX % span;
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return v % span;
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                assert!(lo < hi, "gen_range on an empty range");
+                let span = hi.abs_diff(lo) as u64;
+                lo.wrapping_add(uniform_u64_below(rng, span) as $t)
+            }
+
+            fn sample_closed<R: RngCore>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                assert!(lo <= hi, "gen_range on an empty range");
+                let span = hi.abs_diff(lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(uniform_u64_below(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(usize, u64, u32, i64, i32);
+
+/// Range argument forms accepted by `gen_range`.
+pub trait SampleRange<T> {
+    fn sample_in<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_in<R: RngCore>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_in<R: RngCore>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_closed(rng, lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_interval_and_mean() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-2.5f64..7.5);
+            assert!((-2.5..7.5).contains(&x));
+            let y = rng.gen_range(-1.0f64..=1.0);
+            assert!((-1.0..=1.0).contains(&y));
+            let k = rng.gen_range(3usize..10);
+            assert!((3..10).contains(&k));
+        }
+    }
+
+    #[test]
+    fn integer_range_hits_all_values() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn bool_is_balanced() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let trues = (0..10_000).filter(|_| rng.gen::<bool>()).count();
+        assert!((4500..5500).contains(&trues), "trues {trues}");
+    }
+}

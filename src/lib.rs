@@ -52,8 +52,8 @@ pub use mbt_treecode as treecode;
 /// The most common imports in one place.
 pub mod prelude {
     pub use mbt_bem::{
-        quadrature::integrate_on_triangle, shapes, CapacitanceProblem, DenseSingleLayer,
-        QuadRule, SingleLayerGeometry, TreecodeSingleLayer, TriMesh,
+        quadrature::integrate_on_triangle, shapes, CapacitanceProblem, DenseSingleLayer, QuadRule,
+        SingleLayerGeometry, TreecodeSingleLayer, TriMesh,
     };
     pub use mbt_fmm::{Fmm, FmmParams};
     pub use mbt_geometry::distribution::{
@@ -65,10 +65,14 @@ pub mod prelude {
         MultipoleExpansion,
     };
     pub use mbt_sim::{ForceModel, Simulation};
-    pub use mbt_solvers::{cg, gmres, CgOptions, CgOutcome, DenseMatrix, GmresOptions, GmresOutcome, LinearOperator};
+    pub use mbt_solvers::{
+        cg, gmres, CgOptions, CgOutcome, DenseMatrix, GmresOptions, GmresOutcome, LinearOperator,
+    };
     pub use mbt_tree::{Octree, OctreeParams};
     pub use mbt_treecode::{
-        direct::{direct_fields, direct_potentials, direct_potentials_at, direct_potentials_softened},
+        direct::{
+            direct_fields, direct_potentials, direct_potentials_at, direct_potentials_softened,
+        },
         relative_error, sampled_relative_error, EvalResult, EvalStats, RefWeight, SampledError,
         Treecode, TreecodeParams,
     };

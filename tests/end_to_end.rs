@@ -47,7 +47,13 @@ fn adaptive_accuracy_dominates_fixed_across_alpha() {
 
 #[test]
 fn treecode_and_fmm_agree() {
-    let ps = gaussian(2500, Vec3::ZERO, 0.6, ChargeModel::RandomSign { magnitude: 1.0 }, 17);
+    let ps = gaussian(
+        2500,
+        Vec3::ZERO,
+        0.6,
+        ChargeModel::RandomSign { magnitude: 1.0 },
+        17,
+    );
     let exact = direct_potentials(&ps);
     let tc = Treecode::new(&ps, TreecodeParams::fixed(8, 0.4)).unwrap();
     let fmm = Fmm::new(&ps, FmmParams::fixed(8).with_levels(3)).unwrap();
@@ -104,7 +110,9 @@ fn bem_treecode_matvec_matches_dense_on_gripper() {
     let geometry = SingleLayerGeometry::new(shapes::gripper(5), QuadRule::ThreePoint);
     let dense = DenseSingleLayer::assemble(geometry.clone());
     let tcode = TreecodeSingleLayer::new(geometry.clone(), TreecodeParams::fixed(9, 0.4));
-    let x: Vec<f64> = (0..geometry.dim()).map(|i| (i as f64 * 0.03).cos()).collect();
+    let x: Vec<f64> = (0..geometry.dim())
+        .map(|i| (i as f64 * 0.03).cos())
+        .collect();
     let yd = dense.apply_vec(&x);
     let yt = tcode.apply_vec(&x);
     let err = relative_error(&yt, &yd);
@@ -115,13 +123,22 @@ fn bem_treecode_matvec_matches_dense_on_gripper() {
 fn theorem1_bound_holds_through_the_whole_treecode() {
     // For a single well-separated cluster, the end-to-end treecode error
     // must respect the analytic bound of the expansion it used.
-    let cluster = gaussian(500, Vec3::ZERO, 0.2, ChargeModel::UnitPositive { magnitude: 1.0 }, 33);
+    let cluster = gaussian(
+        500,
+        Vec3::ZERO,
+        0.2,
+        ChargeModel::UnitPositive { magnitude: 1.0 },
+        33,
+    );
     let tc = Treecode::new(&cluster, TreecodeParams::fixed(5, 0.9)).unwrap();
     let probe = Vec3::new(5.0, 0.0, 0.0);
     let approx = tc.potentials_at(&[probe]).values[0];
     let exact = direct_potentials_at(&cluster, &[probe])[0];
     // conservative bound: whole system as one cluster
-    let a: f64 = cluster.iter().map(|p| p.position.norm()).fold(0.0, f64::max);
+    let a: f64 = cluster
+        .iter()
+        .map(|p| p.position.norm())
+        .fold(0.0, f64::max);
     let bound = theorem1_bound(cluster.len() as f64, a, 5.0 - 1e-9, 5);
     assert!(
         (approx - exact).abs() <= bound,
@@ -142,7 +159,10 @@ fn original_order_is_preserved_everywhere() {
     let tc_result = tc.potentials();
     let exact = direct_potentials(&ps);
     for (i, (v, e)) in tc_result.values.iter().zip(&exact).enumerate() {
-        assert!((v - e).abs() < 1e-3 * e.abs().max(1.0), "index {i} misaligned");
+        assert!(
+            (v - e).abs() < 1e-3 * e.abs().max(1.0),
+            "index {i} misaligned"
+        );
     }
 }
 
@@ -152,7 +172,12 @@ fn gmres_with_treecode_operator_matches_dense_solution() {
     let dense = DenseSingleLayer::assemble(geometry.clone());
     let tcode = TreecodeSingleLayer::new(geometry.clone(), TreecodeParams::fixed(9, 0.4));
     let b = vec![1.0; geometry.dim()];
-    let opts = GmresOptions { restart: 10, tol: 1e-10, max_iters: 300, preconditioner: None };
+    let opts = GmresOptions {
+        restart: 10,
+        tol: 1e-10,
+        max_iters: 300,
+        preconditioner: None,
+    };
     let xd = gmres(&dense, &b, &opts).x;
     let xt = gmres(&tcode, &b, &opts).x;
     let err = relative_error(&xt, &xd);

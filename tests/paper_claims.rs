@@ -39,7 +39,10 @@ fn lemma1_sandwich_observed_in_real_runs() {
                     let parent = tree.node(node.parent);
                     let rp = target.distance(parent.center);
                     let (_, hi_p) = lemma1_distance_bounds(parent.edge(), alpha);
-                    assert!(rp <= hi_p * 1.001, "above Lemma-1 upper bound: {rp} vs {hi_p}");
+                    assert!(
+                        rp <= hi_p * 1.001,
+                        "above Lemma-1 upper bound: {rp} vs {hi_p}"
+                    );
                     let _ = hi;
                 }
                 checked += 1;
@@ -51,7 +54,10 @@ fn lemma1_sandwich_observed_in_real_runs() {
             }
         }
     }
-    assert!(checked > 10, "too few accepted interactions to be meaningful");
+    assert!(
+        checked > 10,
+        "too few accepted interactions to be meaningful"
+    );
 }
 
 #[test]
@@ -126,7 +132,12 @@ fn theorem2_error_scales_linearly_with_charge() {
 #[test]
 fn theorem4_cost_ratio_under_seven_thirds() {
     for n in [4_000usize, 16_000] {
-        let ps = uniform_cube(n, 1.0, ChargeModel::UnitPositive { magnitude: 1.0 }, n as u64);
+        let ps = uniform_cube(
+            n,
+            1.0,
+            ChargeModel::UnitPositive { magnitude: 1.0 },
+            n as u64,
+        );
         let orig = Treecode::new(&ps, TreecodeParams::fixed(4, 0.7)).unwrap();
         let probe = Treecode::new(&ps, TreecodeParams::adaptive(4, 0.7)).unwrap();
         let adaptive = Treecode::new(
@@ -142,7 +153,10 @@ fn theorem4_cost_ratio_under_seven_thirds() {
             ratio < 7.0 / 3.0,
             "n = {n}: Terms(new)/Terms(orig) = {ratio} exceeds 7/3"
         );
-        assert!(ratio >= 1.0, "adaptive cannot be cheaper than fixed at the same p_min");
+        assert!(
+            ratio >= 1.0,
+            "adaptive cannot be cheaper than fixed at the same p_min"
+        );
     }
 }
 
@@ -152,7 +166,12 @@ fn improved_method_gap_widens_with_n() {
     // of the improved method grows with system size
     let mut gains = Vec::new();
     for n in [4_000usize, 32_000] {
-        let ps = uniform_cube(n, 1.0, ChargeModel::UnitPositive { magnitude: 1.0 }, 42 + n as u64);
+        let ps = uniform_cube(
+            n,
+            1.0,
+            ChargeModel::UnitPositive { magnitude: 1.0 },
+            42 + n as u64,
+        );
         let orig = Treecode::new(&ps, TreecodeParams::fixed(4, 0.7)).unwrap();
         let new = Treecode::new(&ps, TreecodeParams::adaptive(4, 0.7)).unwrap();
         let e_orig = sampled_relative_error(&ps, &orig.potentials().values, 300, 1).relative_l2;
@@ -160,10 +179,7 @@ fn improved_method_gap_widens_with_n() {
         gains.push(e_orig / e_new);
     }
     assert!(gains[0] > 1.0, "improved must win already at small n");
-    assert!(
-        gains[1] > gains[0],
-        "gain should grow with n: {gains:?}"
-    );
+    assert!(gains[1] > gains[0], "gain should grow with n: {gains:?}");
 }
 
 #[test]
@@ -183,5 +199,8 @@ fn interactions_per_target_grow_logarithmically() {
         growth < 2.0,
         "interactions/target grew {growth}x over 8x n — not logarithmic"
     );
-    assert!(per_target[1] > per_target[0], "deeper trees add interactions");
+    assert!(
+        per_target[1] > per_target[0],
+        "deeper trees add interactions"
+    );
 }
