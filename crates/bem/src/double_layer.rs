@@ -50,6 +50,7 @@ impl DenseDoubleLayer {
     /// quadrature of the singular kernel — the same discretisation choice
     /// the single-layer operator makes, and adequate for the validation
     /// identities which are evaluated off-surface.
+    #[must_use]
     pub fn assemble(geometry: SingleLayerGeometry) -> Self {
         let normals = gauss_normals(&geometry);
         let n = geometry.dim();
@@ -62,6 +63,7 @@ impl DenseDoubleLayer {
                 for (g, &ng) in normals.iter().enumerate() {
                     let d = xi - geometry.gauss_points[g]; // x − y
                     let r2 = d.norm_sq();
+                    // lint: allow(float_cmp, exact-zero guard before dividing)
                     if r2 == 0.0 {
                         continue;
                     }
@@ -86,12 +88,14 @@ impl DenseDoubleLayer {
     }
 
     /// The discretisation geometry.
+    #[must_use]
     pub fn geometry(&self) -> &SingleLayerGeometry {
         &self.geometry
     }
 
     /// Evaluates the double-layer potential of density `mu` at arbitrary
     /// off-surface points (exact summation over quadrature dipoles).
+    #[must_use]
     pub fn potential_at(&self, mu: &[f64], points: &[Vec3]) -> Vec<f64> {
         let normals = gauss_normals(&self.geometry);
         let charges = self.geometry.charges(mu); // wa·μ(y_g)
@@ -135,6 +139,7 @@ pub struct TreecodeDoubleLayer {
 impl TreecodeDoubleLayer {
     /// Builds the operator; `h` is the dipole finite-difference length
     /// (pass `None` for `10⁻⁴ ×` the mesh bounding-box edge).
+    #[must_use]
     pub fn new(geometry: SingleLayerGeometry, params: TreecodeParams, h: Option<f64>) -> Self {
         let scale = geometry.mesh.bounds().edge().max(1e-12);
         let h = h.unwrap_or(1e-4 * scale);
@@ -154,6 +159,7 @@ impl TreecodeDoubleLayer {
                 leaf_capacity: params.leaf_capacity,
             },
         )
+        // lint: allow(panic, dipole offsets of a validated TriMesh are finite and nonempty)
         .expect("gauss dipoles are finite and nonempty");
         let base = Treecode::from_tree(tree, params);
         TreecodeDoubleLayer {
@@ -165,11 +171,13 @@ impl TreecodeDoubleLayer {
     }
 
     /// The discretisation geometry.
+    #[must_use]
     pub fn geometry(&self) -> &SingleLayerGeometry {
         &self.geometry
     }
 
     /// Evaluates the double-layer potential at arbitrary points.
+    #[must_use]
     pub fn potential_at(&self, mu: &[f64], points: &[Vec3]) -> Vec<f64> {
         let charges = self.dipole_charges(mu);
         let tc = self.base.with_charges(&charges);
@@ -205,6 +213,7 @@ impl LinearOperator for TreecodeDoubleLayer {
 /// and future re-meshing support.
 impl TreecodeDoubleLayer {
     /// The dipole half-offset applied to each Gauss point.
+    #[must_use]
     pub fn dipole_offsets(&self) -> &[Vec3] {
         &self.offsets
     }

@@ -24,6 +24,8 @@
 //!   finite-difference dipoles), validated against the Gauss identities,
 //! * [`problem`] — the Dirichlet capacitance problem solved with GMRES.
 
+#![forbid(unsafe_code)]
+
 pub mod double_layer;
 pub mod mesh;
 pub mod problem;

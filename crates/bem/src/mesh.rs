@@ -47,18 +47,21 @@ impl std::error::Error for MeshError {}
 impl TriMesh {
     /// Number of vertices (BEM unknowns).
     #[inline]
+    #[must_use]
     pub fn num_vertices(&self) -> usize {
         self.vertices.len()
     }
 
     /// Number of triangles (BEM elements).
     #[inline]
+    #[must_use]
     pub fn num_elements(&self) -> usize {
         self.triangles.len()
     }
 
     /// The corner positions of a triangle.
     #[inline]
+    #[must_use]
     pub fn corners(&self, t: usize) -> [Vec3; 3] {
         let [a, b, c] = self.triangles[t];
         [
@@ -69,29 +72,34 @@ impl TriMesh {
     }
 
     /// Triangle area.
+    #[must_use]
     pub fn area(&self, t: usize) -> f64 {
         let [a, b, c] = self.corners(t);
         0.5 * (b - a).cross(c - a).norm()
     }
 
     /// Triangle unit normal (right-hand rule over the index order).
+    #[must_use]
     pub fn normal(&self, t: usize) -> Vec3 {
         let [a, b, c] = self.corners(t);
         (b - a).cross(c - a).normalized()
     }
 
     /// Triangle centroid.
+    #[must_use]
     pub fn centroid(&self, t: usize) -> Vec3 {
         let [a, b, c] = self.corners(t);
         (a + b + c) / 3.0
     }
 
     /// Total surface area.
+    #[must_use]
     pub fn total_area(&self) -> f64 {
         (0..self.num_elements()).map(|t| self.area(t)).sum()
     }
 
     /// Axis-aligned bounds of the vertex set.
+    #[must_use]
     pub fn bounds(&self) -> Aabb {
         Aabb::of_points(&self.vertices)
     }
@@ -114,6 +122,7 @@ impl TriMesh {
     }
 
     /// Appends another mesh (indices offset), consuming neither.
+    #[must_use]
     pub fn merged(&self, other: &TriMesh) -> TriMesh {
         let offset = self.vertices.len() as u32;
         let mut out = self.clone();
@@ -128,6 +137,7 @@ impl TriMesh {
     }
 
     /// Returns the mesh with every vertex mapped through `f`.
+    #[must_use]
     pub fn transformed(&self, f: impl Fn(Vec3) -> Vec3) -> TriMesh {
         TriMesh {
             vertices: self.vertices.iter().map(|&v| f(v)).collect(),
@@ -136,11 +146,13 @@ impl TriMesh {
     }
 
     /// Translates the mesh.
+    #[must_use]
     pub fn translated(&self, d: Vec3) -> TriMesh {
         self.transformed(|v| v + d)
     }
 
     /// Uniformly scales the mesh about the origin.
+    #[must_use]
     pub fn scaled(&self, s: f64) -> TriMesh {
         self.transformed(|v| v * s)
     }

@@ -35,6 +35,7 @@ impl<'a, Op: LinearOperator> CapacitanceProblem<'a, Op> {
     }
 
     /// Solves `Sσ = 1` with restarted GMRES and integrates the density.
+    #[must_use]
     pub fn solve(&self, opts: &GmresOptions) -> CapacitanceSolution {
         let b = vec![1.0; self.operator.dim()];
         let gmres_result = gmres(self.operator, &b, opts);

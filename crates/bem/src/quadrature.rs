@@ -28,6 +28,7 @@ pub enum QuadRule {
 
 impl QuadRule {
     /// Barycentric points and weights (weights sum to 1).
+    #[must_use]
     pub fn points(self) -> &'static [([f64; 3], f64)] {
         match self {
             QuadRule::Centroid => {
@@ -94,16 +95,19 @@ impl QuadRule {
     }
 
     /// Number of points.
+    #[must_use]
     pub fn len(self) -> usize {
         self.points().len()
     }
 
     /// Always false (every rule has points); included for clippy symmetry.
+    #[must_use]
     pub fn is_empty(self) -> bool {
         false
     }
 
     /// Highest exactly-integrated polynomial degree.
+    #[must_use]
     pub fn degree(self) -> usize {
         match self {
             QuadRule::Centroid => 1,

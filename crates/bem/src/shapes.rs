@@ -20,9 +20,10 @@ use mbt_geometry::Vec3;
 use crate::mesh::TriMesh;
 
 /// An icosphere: subdivided icosahedron projected to radius `radius`.
+#[must_use]
 pub fn icosphere(subdivisions: u32, radius: f64) -> TriMesh {
     // icosahedron
-    let phi = (1.0 + 5.0f64.sqrt()) / 2.0;
+    let phi = f64::midpoint(1.0, 5.0f64.sqrt());
     let verts = [
         (-1.0, phi, 0.0),
         (1.0, phi, 0.0),
@@ -103,6 +104,7 @@ fn subdivide_on_sphere(mesh: &TriMesh) -> TriMesh {
 
 /// A flat rectangular plate in the xy-plane, `nx × ny` quads split into
 /// triangles, spanning `[0, lx] × [0, ly]`.
+#[must_use]
 pub fn plate(nx: usize, ny: usize, lx: f64, ly: f64) -> TriMesh {
     assert!(nx >= 1 && ny >= 1);
     let mut vertices = Vec::with_capacity((nx + 1) * (ny + 1));
@@ -132,6 +134,7 @@ pub fn plate(nx: usize, ny: usize, lx: f64, ly: f64) -> TriMesh {
 
 /// A closed axis-aligned box surface `[0,lx]×[0,ly]×[0,lz]` with roughly
 /// `res` elements along the longest edge.
+#[must_use]
 pub fn box_surface(lx: f64, ly: f64, lz: f64, res: usize) -> TriMesh {
     let res = res.max(1);
     let longest = lx.max(ly).max(lz);
@@ -158,6 +161,7 @@ pub fn box_surface(lx: f64, ly: f64, lz: f64, res: usize) -> TriMesh {
 /// the axis) plus `blades` twisted, tapered blade surfaces. `blade_res`
 /// controls the per-blade grid (elements ≈ `blades · 2·blade_res·(blade_res/3)`
 /// plus the hub).
+#[must_use]
 pub fn propeller(blades: usize, blade_res: usize, hub_subdiv: u32) -> TriMesh {
     assert!(blades >= 2, "a propeller needs at least two blades");
     let blade_res = blade_res.max(3);
@@ -201,6 +205,7 @@ fn blade_surface(n_rad: usize, n_chord: usize) -> TriMesh {
 /// The synthetic **gripper**: a base block, two parallel jaw arms extending
 /// forward, and inward finger pads — an industrial-robot end effector as a
 /// union of box surfaces. `res` scales every box's tessellation.
+#[must_use]
 pub fn gripper(res: usize) -> TriMesh {
     let res = res.max(2);
     let base = box_surface(1.2, 0.8, 0.5, res);

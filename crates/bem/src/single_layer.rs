@@ -46,6 +46,7 @@ pub struct SingleLayerGeometry {
 
 impl SingleLayerGeometry {
     /// Builds the quadrature geometry of a mesh.
+    #[must_use]
     pub fn new(mesh: TriMesh, rule: QuadRule) -> Self {
         let n_g = mesh.num_elements() * rule.len();
         let mut gauss_points = Vec::with_capacity(n_g);
@@ -74,17 +75,20 @@ impl SingleLayerGeometry {
     }
 
     /// Number of unknowns (vertices).
+    #[must_use]
     pub fn dim(&self) -> usize {
         self.mesh.num_vertices()
     }
 
     /// Number of quadrature sources.
+    #[must_use]
     pub fn num_gauss(&self) -> usize {
         self.gauss_points.len()
     }
 
     /// Converts a vertex density into Gauss-point charges
     /// `q_g = w·area·σ(y_g)`.
+    #[must_use]
     pub fn charges(&self, sigma: &[f64]) -> Vec<f64> {
         assert_eq!(sigma.len(), self.dim());
         (0..self.num_gauss())
@@ -99,6 +103,7 @@ impl SingleLayerGeometry {
 
     /// Integrates a vertex density over the surface: `∫_Γ σ dΓ` — e.g. the
     /// total charge of a capacitance solution.
+    #[must_use]
     pub fn integrate_density(&self, sigma: &[f64]) -> f64 {
         self.charges(sigma).iter().sum()
     }
@@ -112,6 +117,7 @@ pub struct DenseSingleLayer {
 
 impl DenseSingleLayer {
     /// Assembles the dense collocation matrix (`O(n_vertices · n_gauss)`).
+    #[must_use]
     pub fn assemble(geometry: SingleLayerGeometry) -> Self {
         let n = geometry.dim();
         let verts = &geometry.mesh.vertices;
@@ -122,6 +128,7 @@ impl DenseSingleLayer {
                 let mut row = vec![0.0f64; n];
                 for g in 0..geometry.num_gauss() {
                     let r = xi.distance(geometry.gauss_points[g]);
+                    // lint: allow(float_cmp, exact-zero guard before dividing)
                     if r == 0.0 {
                         continue; // collocation point on a Gauss node (never for interior rules)
                     }
@@ -145,11 +152,13 @@ impl DenseSingleLayer {
     }
 
     /// The discretisation geometry.
+    #[must_use]
     pub fn geometry(&self) -> &SingleLayerGeometry {
         &self.geometry
     }
 
     /// The assembled matrix.
+    #[must_use]
     pub fn matrix(&self) -> &DenseMatrix {
         &self.matrix
     }
@@ -183,6 +192,7 @@ impl TreecodeSingleLayer {
     /// degrees — is frozen from the quadrature weights (`|q| = w·area`,
     /// realistic cluster weights), so every subsequent application is the
     /// same, exactly linear, operator.
+    #[must_use]
     pub fn new(geometry: SingleLayerGeometry, params: TreecodeParams) -> Self {
         let particles: Vec<Particle> = geometry
             .gauss_points
@@ -196,6 +206,7 @@ impl TreecodeSingleLayer {
                 leaf_capacity: params.leaf_capacity,
             },
         )
+        // lint: allow(panic, quadrature points of a validated TriMesh are finite and nonempty)
         .expect("gauss points are finite and nonempty");
         let base = Treecode::from_tree(base_tree, params);
         TreecodeSingleLayer {
@@ -213,12 +224,19 @@ impl TreecodeSingleLayer {
 
     /// Accumulated evaluation statistics over all applications so far.
     pub fn stats(&self) -> EvalStats {
-        self.stats.lock().unwrap().clone()
+        // counters stay meaningful even if a panicking thread poisoned the lock
+        self.stats
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
     }
 
     /// Number of operator applications so far.
     pub fn applications(&self) -> u64 {
-        *self.applications.lock().unwrap()
+        *self
+            .applications
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 
@@ -232,8 +250,14 @@ impl LinearOperator for TreecodeSingleLayer {
         let tc = self.base.with_charges(&charges);
         let result = tc.potentials_at(&self.geometry.mesh.vertices);
         y.copy_from_slice(&result.values);
-        self.stats.lock().unwrap().merge(&result.stats);
-        *self.applications.lock().unwrap() += 1;
+        self.stats
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .merge(&result.stats);
+        *self
+            .applications
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) += 1;
     }
 }
 

@@ -21,20 +21,20 @@ fn bench_matvec(c: &mut Criterion) {
 
         let tcode = TreecodeSingleLayer::new(geometry.clone(), TreecodeParams::fixed(4, 0.5));
         group.bench_with_input(BenchmarkId::new("treecode_p4", n), &n, |b, _| {
-            b.iter(|| black_box(&tcode).apply_vec(black_box(&x)))
+            b.iter(|| black_box(&tcode).apply_vec(black_box(&x)));
         });
         let adaptive = TreecodeSingleLayer::new(geometry.clone(), TreecodeParams::adaptive(4, 0.5));
         group.bench_with_input(BenchmarkId::new("treecode_adaptive", n), &n, |b, _| {
-            b.iter(|| black_box(&adaptive).apply_vec(black_box(&x)))
+            b.iter(|| black_box(&adaptive).apply_vec(black_box(&x)));
         });
         if subdiv <= 2 {
             // dense assembly is quadratic; bench only the small mesh
             let dense = DenseSingleLayer::assemble(geometry.clone());
             group.bench_with_input(BenchmarkId::new("dense", n), &n, |b, _| {
-                b.iter(|| black_box(&dense).apply_vec(black_box(&x)))
+                b.iter(|| black_box(&dense).apply_vec(black_box(&x)));
             });
             group.bench_with_input(BenchmarkId::new("dense_assembly", n), &n, |b, _| {
-                b.iter(|| DenseSingleLayer::assemble(black_box(geometry.clone())))
+                b.iter(|| DenseSingleLayer::assemble(black_box(geometry.clone())));
             });
         }
     }

@@ -63,7 +63,7 @@ fn bench_m2p(c: &mut Criterion) {
                     acc += exp.potential_at_degree(black_box(pt), p);
                 }
                 acc
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("potential_workspace", p), &p, |b, &p| {
             let mut ws = Workspace::with_capacity(p);
@@ -74,7 +74,7 @@ fn bench_m2p(c: &mut Criterion) {
                     acc += r.potential_at_degree_with(black_box(pt), p, &mut ws);
                 }
                 acc
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("field_alloc", p), &p, |b, &p| {
             b.iter(|| {
@@ -84,7 +84,7 @@ fn bench_m2p(c: &mut Criterion) {
                     acc += phi + g.x;
                 }
                 acc
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("field_workspace", p), &p, |b, &p| {
             let mut ws = Workspace::with_capacity(p);
@@ -96,7 +96,7 @@ fn bench_m2p(c: &mut Criterion) {
                     acc += phi + g.x;
                 }
                 acc
-            })
+            });
         });
     }
     group.finish();

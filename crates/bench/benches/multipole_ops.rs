@@ -34,23 +34,23 @@ fn bench_ops(c: &mut Criterion) {
         let exp = MultipoleExpansion::from_particles(Vec3::ZERO, p, &ps);
         let target = Vec3::new(3.0, 2.0, -1.0);
         group.bench_with_input(BenchmarkId::new("p2m_64", p), &p, |b, &p| {
-            b.iter(|| MultipoleExpansion::from_particles(Vec3::ZERO, p, black_box(&ps)))
+            b.iter(|| MultipoleExpansion::from_particles(Vec3::ZERO, p, black_box(&ps)));
         });
         group.bench_with_input(BenchmarkId::new("m2m", p), &p, |b, &p| {
-            b.iter(|| black_box(&exp).translated(Vec3::new(0.3, 0.2, 0.1), p))
+            b.iter(|| black_box(&exp).translated(Vec3::new(0.3, 0.2, 0.1), p));
         });
         group.bench_with_input(BenchmarkId::new("m2l", p), &p, |b, &p| {
-            b.iter(|| black_box(&exp).to_local(Vec3::new(4.0, 0.0, 0.0), p))
+            b.iter(|| black_box(&exp).to_local(Vec3::new(4.0, 0.0, 0.0), p));
         });
         let local = exp.to_local(Vec3::new(4.0, 0.0, 0.0), p);
         group.bench_with_input(BenchmarkId::new("l2l", p), &p, |b, &p| {
-            b.iter(|| black_box(&local).translated(Vec3::new(4.1, 0.05, -0.05), p))
+            b.iter(|| black_box(&local).translated(Vec3::new(4.1, 0.05, -0.05), p));
         });
         group.bench_with_input(BenchmarkId::new("m2p_potential", p), &p, |b, _| {
-            b.iter(|| black_box(&exp).potential_at(black_box(target)))
+            b.iter(|| black_box(&exp).potential_at(black_box(target)));
         });
         group.bench_with_input(BenchmarkId::new("m2p_field", p), &p, |b, _| {
-            b.iter(|| black_box(&exp).field_at(black_box(target)))
+            b.iter(|| black_box(&exp).field_at(black_box(target)));
         });
     }
     group.finish();

@@ -13,9 +13,7 @@ use std::hint::black_box;
 
 fn bench_scaling(c: &mut Criterion) {
     let ps = structured_instance(20_000);
-    let ncpu = std::thread::available_parallelism()
-        .map(|c| c.get())
-        .unwrap_or(1);
+    let ncpu = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
 
     let mut group = c.benchmark_group("parallel_scaling");
     group.sample_size(10);
@@ -29,7 +27,7 @@ fn bench_scaling(c: &mut Criterion) {
             .build()
             .unwrap();
         group.bench_with_input(BenchmarkId::new("threads", t), &t, |b, _| {
-            b.iter(|| pool.install(|| black_box(&tc).potentials()))
+            b.iter(|| pool.install(|| black_box(&tc).potentials()));
         });
         t *= 2;
     }
@@ -38,7 +36,7 @@ fn bench_scaling(c: &mut Criterion) {
     for &w in &[1usize, 16, 64, 256, 2048] {
         let tc = Treecode::new(&ps, TreecodeParams::fixed(5, 0.7).with_eval_chunk(w)).unwrap();
         group.bench_with_input(BenchmarkId::new("agg_width", w), &w, |b, _| {
-            b.iter(|| black_box(&tc).potentials())
+            b.iter(|| black_box(&tc).potentials());
         });
     }
     group.finish();

@@ -14,13 +14,13 @@ fn bench_tree_build(c: &mut Criterion) {
         let ps = structured_instance(n);
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::new("octree", n), &n, |b, _| {
-            b.iter(|| Octree::build(black_box(&ps), OctreeParams { leaf_capacity: 32 }).unwrap())
+            b.iter(|| Octree::build(black_box(&ps), OctreeParams { leaf_capacity: 32 }).unwrap());
         });
         group.bench_with_input(BenchmarkId::new("hilbert_sort", n), &n, |b, _| {
-            b.iter(|| order_particles(black_box(&ps), CurveOrder::Hilbert))
+            b.iter(|| order_particles(black_box(&ps), CurveOrder::Hilbert));
         });
         group.bench_with_input(BenchmarkId::new("morton_sort", n), &n, |b, _| {
-            b.iter(|| order_particles(black_box(&ps), CurveOrder::Morton))
+            b.iter(|| order_particles(black_box(&ps), CurveOrder::Morton));
         });
     }
     group.finish();

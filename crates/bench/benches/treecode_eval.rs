@@ -16,7 +16,7 @@ fn bench_eval(c: &mut Criterion) {
     let small = structured_instance(4_000);
     group.throughput(Throughput::Elements(4_000));
     group.bench_function(BenchmarkId::new("direct", 4_000), |b| {
-        b.iter(|| direct_potentials(black_box(&small)))
+        b.iter(|| direct_potentials(black_box(&small)));
     });
 
     for &n in &[4_000usize, 16_000] {
@@ -24,24 +24,24 @@ fn bench_eval(c: &mut Criterion) {
         group.throughput(Throughput::Elements(n as u64));
         let orig = Treecode::new(&ps, TreecodeParams::fixed(4, 0.7)).unwrap();
         group.bench_with_input(BenchmarkId::new("bh_original_p4", n), &n, |b, _| {
-            b.iter(|| black_box(&orig).potentials())
+            b.iter(|| black_box(&orig).potentials());
         });
         let improved = Treecode::new(&ps, TreecodeParams::adaptive(4, 0.7)).unwrap();
         group.bench_with_input(BenchmarkId::new("bh_improved_p4", n), &n, |b, _| {
-            b.iter(|| black_box(&improved).potentials())
+            b.iter(|| black_box(&improved).potentials());
         });
         group.bench_with_input(BenchmarkId::new("bh_dual_p4", n), &n, |b, _| {
-            b.iter(|| black_box(&orig).potentials_dual())
+            b.iter(|| black_box(&orig).potentials_dual());
         });
         let fmm = Fmm::new(&ps, FmmParams::fixed(4)).unwrap();
         group.bench_with_input(BenchmarkId::new("fmm_p4_eval", n), &n, |b, _| {
-            b.iter(|| black_box(&fmm).potentials())
+            b.iter(|| black_box(&fmm).potentials());
         });
         group.bench_with_input(BenchmarkId::new("bh_build_original", n), &n, |b, _| {
-            b.iter(|| Treecode::new(black_box(&ps), TreecodeParams::fixed(4, 0.7)).unwrap())
+            b.iter(|| Treecode::new(black_box(&ps), TreecodeParams::fixed(4, 0.7)).unwrap());
         });
         group.bench_with_input(BenchmarkId::new("bh_build_improved", n), &n, |b, _| {
-            b.iter(|| Treecode::new(black_box(&ps), TreecodeParams::adaptive(4, 0.7)).unwrap())
+            b.iter(|| Treecode::new(black_box(&ps), TreecodeParams::adaptive(4, 0.7)).unwrap());
         });
     }
     group.finish();

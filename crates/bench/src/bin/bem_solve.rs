@@ -58,15 +58,12 @@ fn run(name: &str, mesh: mbt_bem::TriMesh, expect: Option<f64>) {
 fn main() {
     let scale = std::env::args().nth(1).unwrap_or_else(|| "full".into());
     println!("BEM + GMRES(10) end-to-end solves (treecode matvec)");
-    match scale.as_str() {
-        "small" => {
-            run("unit sphere", shapes::icosphere(2, 1.0), Some(1.0));
-            run("gripper", shapes::gripper(8), None);
-        }
-        _ => {
-            run("unit sphere", shapes::icosphere(3, 1.0), Some(1.0));
-            run("gripper", shapes::gripper(16), None);
-            run("propeller", shapes::propeller(4, 32, 3), None);
-        }
+    if scale.as_str() == "small" {
+        run("unit sphere", shapes::icosphere(2, 1.0), Some(1.0));
+        run("gripper", shapes::gripper(8), None);
+    } else {
+        run("unit sphere", shapes::icosphere(3, 1.0), Some(1.0));
+        run("gripper", shapes::gripper(16), None);
+        run("propeller", shapes::propeller(4, 32, 3), None);
     }
 }

@@ -26,9 +26,7 @@ const W: usize = 64; // the paper's aggregation width
 
 fn run_instance(name: &str, particles: &[Particle]) {
     println!("\n=== {name}: n = {}", particles.len());
-    let ncpu = std::thread::available_parallelism()
-        .map(|c| c.get())
-        .unwrap_or(1);
+    let ncpu = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     let mut threads = vec![1usize];
     while *threads.last().unwrap() < ncpu.max(8) {
         threads.push(threads.last().unwrap() * 2);

@@ -1,5 +1,7 @@
 //! Shared harness utilities for the table/figure reproduction binaries.
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use mbt_geometry::distribution::{overlapped_gaussians, uniform_cube, ChargeModel};
@@ -14,6 +16,7 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
 }
 
 /// The structured (uniform, unit-charge) instances of Table 1.
+#[must_use]
 pub fn structured_instance(n: usize) -> Vec<Particle> {
     uniform_cube(
         n,
@@ -24,6 +27,7 @@ pub fn structured_instance(n: usize) -> Vec<Particle> {
 }
 
 /// The unstructured (overlapped-Gaussian) instances of Table 1.
+#[must_use]
 pub fn unstructured_instance(n: usize) -> Vec<Particle> {
     overlapped_gaussians(
         n,
@@ -57,6 +61,7 @@ pub struct ComparisonRow {
 }
 
 /// Runs original vs improved on one instance and measures sampled errors.
+#[must_use]
 pub fn compare_methods(
     particles: &[Particle],
     orig: TreecodeParams,
@@ -88,6 +93,7 @@ pub fn compare_methods(
 /// aggregation) across `threads` workers round-robin and report
 /// `total work / (threads × max worker work)` — the efficiency an idealised
 /// machine would achieve given this work decomposition.
+#[must_use]
 pub fn load_balance_efficiency(per_chunk_work: &[u64], threads: usize) -> f64 {
     assert!(threads >= 1);
     let mut worker = vec![0u64; threads];
@@ -104,6 +110,7 @@ pub fn load_balance_efficiency(per_chunk_work: &[u64], threads: usize) -> f64 {
 
 /// Per-chunk work (terms + direct pairs) of an evaluation, re-derived by
 /// running the evaluation chunk-by-chunk.
+#[must_use]
 pub fn per_chunk_work(tc: &Treecode, chunk: usize) -> Vec<u64> {
     let particles = tc.particles().to_vec();
     let n = particles.len();
@@ -120,6 +127,7 @@ pub fn per_chunk_work(tc: &Treecode, chunk: usize) -> Vec<u64> {
 }
 
 /// Formats a stats line for harness output.
+#[must_use]
 pub fn stats_line(stats: &EvalStats) -> String {
     format!(
         "interactions/target = {:.1}, direct pairs = {}, max degree = {}",

@@ -12,6 +12,7 @@ use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 
 /// Relative 2-norm error `‖a′ − a‖₂ / ‖a‖₂`.
+#[must_use]
 pub fn relative_error(approx: &[f64], exact: &[f64]) -> f64 {
     assert_eq!(approx.len(), exact.len());
     let num: f64 = approx
@@ -20,7 +21,9 @@ pub fn relative_error(approx: &[f64], exact: &[f64]) -> f64 {
         .map(|(x, y)| (x - y) * (x - y))
         .sum();
     let den: f64 = exact.iter().map(|y| y * y).sum();
+    // lint: allow(float_cmp, exact-zero guard: 0/0 is defined as 0 here)
     if den == 0.0 {
+        // lint: allow(float_cmp, exact-zero guard: 0/0 is defined as 0 here)
         return if num == 0.0 { 0.0 } else { f64::INFINITY };
     }
     (num / den).sqrt()

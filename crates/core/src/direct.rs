@@ -5,6 +5,7 @@ use mbt_geometry::{Particle, Vec3};
 use rayon::prelude::*;
 
 /// Exact potentials `Φ(xᵢ) = Σ_{j≠i} q_j / |xᵢ − x_j|` at every particle.
+#[must_use]
 pub fn direct_potentials(particles: &[Particle]) -> Vec<f64> {
     particles
         .par_iter()
@@ -22,6 +23,7 @@ pub fn direct_potentials(particles: &[Particle]) -> Vec<f64> {
 }
 
 /// Exact potentials at arbitrary points (coincident sources skipped).
+#[must_use]
 pub fn direct_potentials_at(particles: &[Particle], points: &[Vec3]) -> Vec<f64> {
     points
         .par_iter()
@@ -39,6 +41,7 @@ pub fn direct_potentials_at(particles: &[Particle], points: &[Vec3]) -> Vec<f64>
 }
 
 /// Exact potentials and gradients at every particle.
+#[must_use]
 pub fn direct_fields(particles: &[Particle]) -> (Vec<f64>, Vec<Vec3>) {
     let pairs: Vec<(f64, Vec3)> = particles
         .par_iter()
@@ -63,6 +66,7 @@ pub fn direct_fields(particles: &[Particle]) -> (Vec<f64>, Vec<Vec3>) {
 
 /// Exact *softened* potentials `Φ(xᵢ) = Σ_{j≠i} q_j / √(|xᵢ−x_j|²+ε²)` —
 /// the reference matching a treecode run with the same Plummer softening.
+#[must_use]
 pub fn direct_potentials_softened(particles: &[Particle], eps: f64) -> Vec<f64> {
     let eps2 = eps * eps;
     particles

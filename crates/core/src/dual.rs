@@ -57,6 +57,7 @@ impl Treecode {
     /// far-field strategy; accuracy is governed by the same per-cluster
     /// degrees. Softening applies to the near field exactly as in the
     /// single-tree pass.
+    #[must_use]
     pub fn potentials_dual(&self) -> EvalResult<f64> {
         let tree = &self.tree;
         let n_nodes = tree.len();

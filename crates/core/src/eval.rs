@@ -74,6 +74,7 @@ enum TargetKind {
 impl Treecode {
     /// Potentials at all source particles (`Φ(xᵢ) = Σ_{j≠i} q_j/|xᵢ−x_j|`),
     /// in the caller's original particle order. Parallel.
+    #[must_use]
     pub fn potentials(&self) -> EvalResult<f64> {
         let chunk = self.params.eval_chunk;
         let n = self.tree.particles().len();
@@ -88,6 +89,7 @@ impl Treecode {
     }
 
     /// Potentials at arbitrary observation points (no self-exclusion).
+    #[must_use]
     pub fn potentials_at(&self, points: &[Vec3]) -> EvalResult<f64> {
         let chunk = self.params.eval_chunk;
         let (values, stats) = self.eval_chunks(points.len(), chunk, |i, scratch, stats| {
@@ -97,6 +99,7 @@ impl Treecode {
     }
 
     /// Potential and gradient at all source particles, original order.
+    #[must_use]
     pub fn fields(&self) -> EvalResult<(f64, Vec3)> {
         let chunk = self.params.eval_chunk;
         let n = self.tree.particles().len();
@@ -111,6 +114,7 @@ impl Treecode {
     }
 
     /// Potential and gradient at arbitrary points.
+    #[must_use]
     pub fn fields_at(&self, points: &[Vec3]) -> EvalResult<(f64, Vec3)> {
         let chunk = self.params.eval_chunk;
         let (values, stats) = self.eval_chunks(points.len(), chunk, |i, scratch, stats| {
@@ -120,6 +124,7 @@ impl Treecode {
     }
 
     /// Potential at one external point (serial convenience).
+    #[must_use]
     pub fn potential_at(&self, point: Vec3) -> f64 {
         let mut stats = EvalStats::default();
         let mut scratch = Scratch::new(self.max_degree());
@@ -148,6 +153,7 @@ impl Treecode {
     ) -> (Vec<T>, EvalStats) {
         let chunk = chunk.max(1);
         let max_degree = self.max_degree();
+        // lint: allow(alloc, one output buffer per sweep, not per interaction)
         let mut values = vec![T::default(); n];
         let chunk_stats: Vec<EvalStats> = values
             .par_chunks_mut(chunk)
@@ -160,7 +166,7 @@ impl Treecode {
                 }
                 stats
             })
-            .collect();
+            .collect(); // lint: allow(alloc, O(chunks) stats per sweep)
         let mut stats = EvalStats::default();
         for s in &chunk_stats {
             stats.merge(s);

@@ -34,6 +34,8 @@
 //! assert!(eval.stats.terms > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod accuracy;
 pub mod direct;
 pub mod dual;

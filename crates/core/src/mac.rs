@@ -25,6 +25,7 @@ pub enum MacDecision {
 
 /// Applies the α-criterion for target `x` against cluster `node`.
 #[inline]
+#[must_use]
 pub fn mac(node: &Node, x: Vec3, alpha: f64) -> MacDecision {
     let d = node.edge();
     let r2 = x.distance_sq(node.center);
@@ -39,6 +40,7 @@ pub fn mac(node: &Node, x: Vec3, alpha: f64) -> MacDecision {
 /// Lemma 1's sandwich: for an interaction admitted at a box of edge `d`
 /// (whose parent of edge `2d` was rejected), the distance obeys
 /// `d/α ≤ r ≤ d(2/α + √3)`. Returns `(r_min, r_max)`.
+#[must_use]
 pub fn lemma1_distance_bounds(d: f64, alpha: f64) -> (f64, f64) {
     (d / alpha, d * (2.0 / alpha + 3.0f64.sqrt()))
 }
@@ -46,6 +48,7 @@ pub fn lemma1_distance_bounds(d: f64, alpha: f64) -> (f64, f64) {
 /// Lemma 2's constant: an upper bound on the number of same-size boxes that
 /// can interact with one target — the volume of the Lemma-1 annulus over
 /// the box volume.
+#[must_use]
 pub fn lemma2_interaction_bound(alpha: f64) -> f64 {
     let (r_lo, r_hi) = lemma1_distance_bounds(1.0, alpha);
     // boxes lie fully inside the annulus grown by one circumradius

@@ -50,6 +50,7 @@ pub struct TreecodeParams {
 
 impl TreecodeParams {
     /// Original Barnes–Hut: fixed degree `p` for every cluster.
+    #[must_use]
     pub fn fixed(p: usize, alpha: f64) -> Self {
         TreecodeParams {
             alpha,
@@ -63,6 +64,7 @@ impl TreecodeParams {
 
     /// The paper's improved method with defaults (`ChargeOverDistance`
     /// weighting, `p_max = MAX_DEGREE`).
+    #[must_use]
     pub fn adaptive(p_min: usize, alpha: f64) -> Self {
         TreecodeParams {
             alpha,
@@ -77,6 +79,7 @@ impl TreecodeParams {
     /// Tolerance-driven degrees: each interaction meets an absolute error
     /// budget `tol` at its actual distance (per-interaction truncation of
     /// series stored at the worst-case degree).
+    #[must_use]
     pub fn tolerance(tol: f64, alpha: f64) -> Self {
         TreecodeParams {
             alpha,
@@ -89,24 +92,28 @@ impl TreecodeParams {
     }
 
     /// Sets the Plummer softening length.
+    #[must_use]
     pub fn with_softening(mut self, softening: f64) -> Self {
         self.softening = softening.max(0.0);
         self
     }
 
     /// Sets the reference-weight policy.
+    #[must_use]
     pub fn with_ref_weight(mut self, ref_weight: RefWeight) -> Self {
         self.ref_weight = ref_weight;
         self
     }
 
     /// Sets the leaf capacity.
+    #[must_use]
     pub fn with_leaf_capacity(mut self, leaf_capacity: usize) -> Self {
         self.leaf_capacity = leaf_capacity;
         self
     }
 
     /// Sets the aggregation width.
+    #[must_use]
     pub fn with_eval_chunk(mut self, eval_chunk: usize) -> Self {
         self.eval_chunk = eval_chunk.max(1);
         self

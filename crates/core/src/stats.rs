@@ -24,6 +24,7 @@ pub struct EvalStats {
 
 impl EvalStats {
     /// An empty accumulator expecting `targets` evaluation targets.
+    #[must_use]
     pub fn for_targets(targets: u64) -> EvalStats {
         EvalStats {
             targets,
@@ -63,17 +64,20 @@ impl EvalStats {
     }
 
     /// The largest degree used.
+    #[must_use]
     pub fn max_degree_used(&self) -> usize {
         self.by_degree.iter().rposition(|&c| c > 0).unwrap_or(0)
     }
 
     /// Mean interactions per target.
+    #[must_use]
     pub fn interactions_per_target(&self) -> f64 {
         self.pc_interactions as f64 / self.targets.max(1) as f64
     }
 
     /// Total floating work proxy: terms plus direct pairs (a direct pair
     /// counts as one term).
+    #[must_use]
     pub fn work(&self) -> u64 {
         self.terms + self.direct_pairs
     }

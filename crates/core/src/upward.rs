@@ -41,7 +41,44 @@ impl CoeffArena {
         }
         CoeffArena {
             offsets,
+            // lint: allow(alloc, the arena itself — one allocation per build)
             data: vec![Complex::ZERO; total],
+        }
+    }
+
+    /// Arena layout contracts, checked after every upward pass when the
+    /// `validate` feature is enabled: offsets start at zero, grow
+    /// monotonically (spans pairwise disjoint), cover `data` exactly, and
+    /// every span holds the triangular array for its node's degree.
+    ///
+    /// Violations indicate a construction bug, never bad user input.
+    #[cfg(feature = "validate")]
+    fn validate_contracts(&self, degrees: &[usize]) {
+        assert_eq!(
+            self.offsets.len(),
+            degrees.len() + 1,
+            "validate: arena must carry one offset per node plus a sentinel"
+        );
+        assert_eq!(
+            self.offsets.first().copied(),
+            Some(0),
+            "validate: arena offsets must start at zero"
+        );
+        assert!(
+            self.offsets.windows(2).all(|w| w[0] <= w[1]),
+            "validate: arena offsets must be monotone (disjoint spans)"
+        );
+        assert_eq!(
+            self.offsets.last().copied(),
+            Some(self.data.len()),
+            "validate: arena spans must cover the buffer exactly"
+        );
+        for (id, &p) in degrees.iter().enumerate() {
+            assert_eq!(
+                self.offsets[id + 1] - self.offsets[id],
+                tri_len(p),
+                "validate: span of node {id} must be the triangular array for its degree"
+            );
         }
     }
 
@@ -113,7 +150,7 @@ impl Treecode {
                         .filter(|n| n.is_leaf && !n.is_empty())
                         .map(|n| selector.weight(n.abs_charge, n.edge()))
                         .filter(|&w| w > 0.0)
-                        .collect();
+                        .collect(); // lint: allow(alloc, once per tree build)
                     if ws.is_empty() {
                         f64::INFINITY
                     } else {
@@ -135,8 +172,10 @@ impl Treecode {
             .map(|n| {
                 selector.degree_for_node(n.abs_charge, n.radius, n.edge(), params.alpha, ref_weight)
             })
-            .collect();
+            .collect(); // lint: allow(alloc, per-node degrees, once per build)
         let arena = Self::upward_pass(&tree, &degrees);
+        #[cfg(feature = "validate")]
+        arena.validate_contracts(&degrees);
         Treecode {
             tree,
             params,
@@ -227,10 +266,12 @@ impl Treecode {
     /// charge vector, which is what an iterative solver needs from a
     /// repeated matvec over fixed geometry (the paper's BEM use case: the
     /// Gauss points never move; only the density iterates).
+    #[must_use]
     pub fn with_charges(&self, charges: &[f64]) -> Treecode {
+        // lint: allow(alloc, once per solver matvec, not per interaction)
         let mut tree = self.tree.clone();
         tree.set_charges_only(charges);
-        let degrees = self.degrees.clone();
+        let degrees = self.degrees.clone(); // lint: allow(alloc, once per matvec)
         let arena = Self::upward_pass(&tree, &degrees);
         Treecode {
             tree,
@@ -243,24 +284,28 @@ impl Treecode {
 
     /// The underlying octree.
     #[inline]
+    #[must_use]
     pub fn tree(&self) -> &Octree {
         &self.tree
     }
 
     /// The run parameters.
     #[inline]
+    #[must_use]
     pub fn params(&self) -> &TreecodeParams {
         &self.params
     }
 
     /// The expansion degree assigned to each node.
     #[inline]
+    #[must_use]
     pub fn degrees(&self) -> &[usize] {
         &self.degrees
     }
 
     /// The reference weight `w_ref` used by the adaptive rule.
     #[inline]
+    #[must_use]
     pub fn ref_weight(&self) -> f64 {
         self.ref_weight
     }
@@ -268,6 +313,7 @@ impl Treecode {
     /// The expansion of a node, viewed directly over its arena span (no
     /// per-node storage exists to return a reference to).
     #[inline]
+    #[must_use]
     pub fn expansion(&self, id: mbt_tree::NodeId) -> ExpansionRef<'_> {
         let i = id as usize;
         ExpansionRef::new(
@@ -279,12 +325,14 @@ impl Treecode {
 
     /// The source particles in tree (Morton) order.
     #[inline]
+    #[must_use]
     pub fn particles(&self) -> &[Particle] {
         self.tree.particles()
     }
 
     /// Total coefficient storage (complex numbers) across all expansions —
     /// the memory-side cost of the adaptive method.
+    #[must_use]
     pub fn coefficient_count(&self) -> u64 {
         self.degrees
             .iter()
@@ -294,7 +342,9 @@ impl Treecode {
 
     /// The positions of the source particles in the caller's original
     /// order.
+    #[must_use]
     pub fn original_positions(&self) -> Vec<Vec3> {
+        // lint: allow(alloc, diagnostic accessor, not on the evaluation path)
         let sorted: Vec<Vec3> = self.tree.particles().iter().map(|p| p.position).collect();
         self.tree.unsort(&sorted)
     }

@@ -4,6 +4,8 @@
 //! of accepted or near-field *interactions*. A counting global allocator
 //! measures the real thing — no inspection arguments, just numbers.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -14,19 +16,32 @@ struct CountingAlloc;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: every method delegates directly to `System`, which upholds the
+// GlobalAlloc contract; the atomic counter has no effect on layout or
+// pointer validity.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: trait-mandated `unsafe fn`; the body only counts and delegates.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
-        System.alloc(layout)
+        // SAFETY: `layout` is forwarded unchanged from our caller, who
+        // guarantees it has non-zero size per the GlobalAlloc contract.
+        unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: trait-mandated `unsafe fn`; the body only delegates.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
+        // SAFETY: `ptr`/`layout` come from our caller, who guarantees the
+        // block was allocated by this allocator with this layout — and
+        // `alloc`/`realloc` above always return `System` blocks.
+        unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: trait-mandated `unsafe fn`; the body only counts and delegates.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
-        System.realloc(ptr, layout, new_size)
+        // SAFETY: arguments are forwarded unchanged; the caller guarantees
+        // `ptr` is live with `layout` and `new_size` is non-zero.
+        unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
 

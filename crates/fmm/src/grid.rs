@@ -45,6 +45,7 @@ impl std::error::Error for FmmError {}
 
 /// Packs integer cell coordinates into a hashable key.
 #[inline]
+#[must_use]
 pub fn cell_key(x: u32, y: u32, z: u32) -> u64 {
     debug_assert!(x < 1 << 21 && y < 1 << 21 && z < 1 << 21);
     u64::from(x) | u64::from(y) << 21 | u64::from(z) << 42
@@ -52,6 +53,7 @@ pub fn cell_key(x: u32, y: u32, z: u32) -> u64 {
 
 /// Unpacks a cell key.
 #[inline]
+#[must_use]
 pub fn key_coords(key: u64) -> (u32, u32, u32) {
     (
         (key & 0x1f_ffff) as u32,
@@ -82,18 +84,21 @@ pub struct LevelGrid {
 impl LevelGrid {
     /// Number of occupied cells.
     #[inline]
+    #[must_use]
     pub fn len(&self) -> usize {
         self.keys.len()
     }
 
     /// True when the level has no occupied cells (never for a built FMM).
     #[inline]
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.keys.is_empty()
     }
 
     /// Dense index of the cell with the given coordinates, if occupied.
     #[inline]
+    #[must_use]
     pub fn find(&self, x: u32, y: u32, z: u32) -> Option<usize> {
         self.index.get(&cell_key(x, y, z)).copied()
     }
@@ -117,6 +122,7 @@ impl LevelGrid {
 
 /// The geometric center of cell `(x, y, z)` at a level with `cells` cells
 /// per axis inside `bounds`.
+#[must_use]
 pub fn cell_center(bounds: &Aabb, cells: u32, x: u32, y: u32, z: u32) -> Vec3 {
     let edge = bounds.edge() / f64::from(cells);
     bounds.min
@@ -129,6 +135,7 @@ pub fn cell_center(bounds: &Aabb, cells: u32, x: u32, y: u32, z: u32) -> Vec3 {
 
 /// The cell coordinates of a point at a level with `cells` per axis
 /// (clamped to the grid).
+#[must_use]
 pub fn cell_of(bounds: &Aabb, cells: u32, p: Vec3) -> (u32, u32, u32) {
     let edge = bounds.edge() / f64::from(cells);
     let f = |v: f64, lo: f64| -> u32 { (((v - lo) / edge).floor().max(0.0) as u32).min(cells - 1) };

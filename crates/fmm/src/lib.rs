@@ -24,6 +24,8 @@
 //! assert_eq!(result.values.len(), ps.len());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod grid;
 pub mod method;
 

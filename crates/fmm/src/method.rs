@@ -23,6 +23,7 @@ pub struct FmmParams {
 
 impl FmmParams {
     /// Classical fixed-degree FMM.
+    #[must_use]
     pub fn fixed(p: usize) -> Self {
         FmmParams {
             levels: None,
@@ -33,6 +34,7 @@ impl FmmParams {
     /// Adaptive per-level degrees with the same selector as the treecode.
     /// `alpha` only parameterises the decay ratio κ of the rule; the FMM's
     /// admissibility is the standard non-adjacency criterion.
+    #[must_use]
     pub fn adaptive(p_min: usize, alpha: f64) -> Self {
         FmmParams {
             levels: None,
@@ -41,6 +43,7 @@ impl FmmParams {
     }
 
     /// Overrides the automatic level count.
+    #[must_use]
     pub fn with_levels(mut self, levels: usize) -> Self {
         self.levels = Some(levels);
         self
@@ -221,6 +224,7 @@ impl Fmm {
                     let (px, py, pz) = (x >> 1, y >> 1, z >> 1);
                     let pi = parent_grid
                         .find(px, py, pz)
+                        // lint: allow(panic, grid levels are built by halving occupied keys, so the parent cell exists)
                         .expect("every cell has an occupied parent");
                     let mut local = parent_locals[pi].translated(center, p);
                     // M2L from the interaction list: children of the
@@ -228,9 +232,9 @@ impl Fmm {
                     for dx in -1i64..=1 {
                         for dy in -1i64..=1 {
                             for dz in -1i64..=1 {
-                                let nx = px as i64 + dx;
-                                let ny = py as i64 + dy;
-                                let nz = pz as i64 + dz;
+                                let nx = i64::from(px) + dx;
+                                let ny = i64::from(py) + dy;
+                                let nz = i64::from(pz) + dz;
                                 let max = (1i64 << (l - 1)) - 1;
                                 if nx < 0 || ny < 0 || nz < 0 || nx > max || ny > max || nz > max {
                                     continue;
@@ -241,9 +245,9 @@ impl Fmm {
                                             let cx = (nx << 1) + ox;
                                             let cy = (ny << 1) + oy;
                                             let cz = (nz << 1) + oz;
-                                            if (cx - x as i64).abs() <= 1
-                                                && (cy - y as i64).abs() <= 1
-                                                && (cz - z as i64).abs() <= 1
+                                            if (cx - i64::from(x)).abs() <= 1
+                                                && (cy - i64::from(y)).abs() <= 1
+                                                && (cz - i64::from(z)).abs() <= 1
                                             {
                                                 continue; // adjacent: near field
                                             }
@@ -279,36 +283,43 @@ impl Fmm {
     }
 
     /// The finest level index.
+    #[must_use]
     pub fn levels(&self) -> usize {
         self.levels
     }
 
     /// The per-level expansion degrees.
+    #[must_use]
     pub fn degrees(&self) -> &[usize] {
         &self.degrees
     }
 
     /// The root bounding cube.
+    #[must_use]
     pub fn bounds(&self) -> Aabb {
         self.bounds
     }
 
     /// The level grids (index 0 = root).
+    #[must_use]
     pub fn grids(&self) -> &[LevelGrid] {
         &self.grids
     }
 
     /// The multipole expansions of one level (diagnostics / testing).
+    #[must_use]
     pub fn multipoles(&self, level: usize) -> &[MultipoleExpansion] {
         &self.multipoles[level]
     }
 
     /// The local expansions of one level (diagnostics / testing).
+    #[must_use]
     pub fn locals(&self, level: usize) -> &[LocalExpansion] {
         &self.locals[level]
     }
 
     /// Potentials at all source particles, caller order.
+    #[must_use]
     pub fn potentials(&self) -> mbt_treecode::EvalResult<f64> {
         let finest = &self.grids[self.levels];
         let locals = &self.locals[self.levels];
@@ -326,9 +337,9 @@ impl Fmm {
                 for dx in -1i64..=1 {
                     for dy in -1i64..=1 {
                         for dz in -1i64..=1 {
-                            let nx = x as i64 + dx;
-                            let ny = y as i64 + dy;
-                            let nz = z as i64 + dz;
+                            let nx = i64::from(x) + dx;
+                            let ny = i64::from(y) + dy;
+                            let nz = i64::from(z) + dz;
                             if nx < 0
                                 || ny < 0
                                 || nz < 0
@@ -363,7 +374,7 @@ impl Fmm {
                         phi
                     })
                     .collect();
-                stats.targets = (e - s) as u64;
+                stats.targets = u64::from(e - s);
                 (vals, stats)
             })
             .collect();

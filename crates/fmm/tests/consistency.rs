@@ -110,7 +110,7 @@ fn near_coincident_particles_handled() {
         .map(|k| {
             Particle::new(
                 Vec3::new(0.25, 0.25, 0.25)
-                    + Vec3::new(k as f64, 2.0 * k as f64, 0.5 * k as f64) * 1e-6,
+                    + Vec3::new(f64::from(k), 2.0 * f64::from(k), 0.5 * f64::from(k)) * 1e-6,
                 1.0,
             )
         })

@@ -19,6 +19,7 @@ pub struct Aabb {
 impl Aabb {
     /// A box from explicit corners. `min` must be component-wise `<= max`.
     #[inline]
+    #[must_use]
     pub fn new(min: Vec3, max: Vec3) -> Self {
         debug_assert!(min.x <= max.x && min.y <= max.y && min.z <= max.z);
         Aabb { min, max }
@@ -27,6 +28,7 @@ impl Aabb {
     /// The empty box (inverted infinities), identity for [`Aabb::union`] /
     /// [`Aabb::grow`].
     #[inline]
+    #[must_use]
     pub fn empty() -> Self {
         Aabb {
             min: Vec3::splat(f64::INFINITY),
@@ -36,6 +38,7 @@ impl Aabb {
 
     /// A cube centred at `center` with edge length `edge`.
     #[inline]
+    #[must_use]
     pub fn cube(center: Vec3, edge: f64) -> Self {
         let h = Vec3::splat(edge * 0.5);
         Aabb {
@@ -46,6 +49,7 @@ impl Aabb {
 
     /// Tight bounding box of a point set. Returns [`Aabb::empty`] for an
     /// empty slice.
+    #[must_use]
     pub fn of_points(points: &[Vec3]) -> Self {
         let mut b = Aabb::empty();
         for &p in points {
@@ -59,6 +63,7 @@ impl Aabb {
     ///
     /// Used to build the root cell of the octree: cubical cells keep the
     /// "box dimension" of the multipole acceptance criterion unambiguous.
+    #[must_use]
     pub fn cubical_hull(points: &[Vec3], pad_rel: f64) -> Self {
         let tight = Aabb::of_points(points);
         if !tight.is_valid() {
@@ -74,18 +79,21 @@ impl Aabb {
 
     /// True when `min <= max` on all axes (i.e. not [`Aabb::empty`]).
     #[inline]
+    #[must_use]
     pub fn is_valid(&self) -> bool {
         self.min.x <= self.max.x && self.min.y <= self.max.y && self.min.z <= self.max.z
     }
 
     /// Box center.
     #[inline]
+    #[must_use]
     pub fn center(&self) -> Vec3 {
         (self.min + self.max) * 0.5
     }
 
     /// Per-axis extent (`max - min`).
     #[inline]
+    #[must_use]
     pub fn extent(&self) -> Vec3 {
         self.max - self.min
     }
@@ -93,6 +101,7 @@ impl Aabb {
     /// The largest edge — the "dimension of the box enclosing the cluster"
     /// in the paper's α-criterion.
     #[inline]
+    #[must_use]
     pub fn edge(&self) -> f64 {
         self.extent().max_component()
     }
@@ -100,6 +109,7 @@ impl Aabb {
     /// Half of the space diagonal: the radius of the circumscribed sphere,
     /// i.e. the `a` of Theorem 1 for a cluster filling this box.
     #[inline]
+    #[must_use]
     pub fn circumradius(&self) -> f64 {
         self.extent().norm() * 0.5
     }
@@ -113,6 +123,7 @@ impl Aabb {
 
     /// Smallest box containing both operands.
     #[inline]
+    #[must_use]
     pub fn union(&self, other: &Aabb) -> Aabb {
         Aabb {
             min: self.min.min(other.min),
@@ -122,6 +133,7 @@ impl Aabb {
 
     /// True when `p` lies inside or on the boundary.
     #[inline]
+    #[must_use]
     pub fn contains(&self, p: Vec3) -> bool {
         p.x >= self.min.x
             && p.x <= self.max.x
@@ -134,6 +146,7 @@ impl Aabb {
     /// The child cube of an octree cell. `octant` bits select the upper half
     /// along x (bit 0), y (bit 1), z (bit 2). The parent is assumed cubical.
     #[inline]
+    #[must_use]
     pub fn octant(&self, octant: usize) -> Aabb {
         debug_assert!(octant < 8);
         let c = self.center();
@@ -153,12 +166,14 @@ impl Aabb {
     /// Index of the octant of this box containing `p` (points on a split
     /// plane go to the upper octant).
     #[inline]
+    #[must_use]
     pub fn octant_of(&self, p: Vec3) -> usize {
         let c = self.center();
-        (p.x >= c.x) as usize | ((p.y >= c.y) as usize) << 1 | ((p.z >= c.z) as usize) << 2
+        usize::from(p.x >= c.x) | usize::from(p.y >= c.y) << 1 | usize::from(p.z >= c.z) << 2
     }
 
     /// Minimum distance from `p` to the box (0 inside).
+    #[must_use]
     pub fn distance_to(&self, p: Vec3) -> f64 {
         let dx = (self.min.x - p.x).max(0.0).max(p.x - self.max.x);
         let dy = (self.min.y - p.y).max(0.0).max(p.y - self.max.y);

@@ -67,6 +67,7 @@ fn standard_normal(rng: &mut StdRng) -> f64 {
 }
 
 /// `n` particles uniform in the cube `[-half_edge, half_edge]^3`.
+#[must_use]
 pub fn uniform_cube(n: usize, half_edge: f64, charges: ChargeModel, seed: u64) -> Vec<Particle> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n)
@@ -83,6 +84,7 @@ pub fn uniform_cube(n: usize, half_edge: f64, charges: ChargeModel, seed: u64) -
 
 /// `n` particles uniform in the ball of radius `radius` (rejection-free:
 /// direction from normals, radius from the cube-root law).
+#[must_use]
 pub fn uniform_ball(n: usize, radius: f64, charges: ChargeModel, seed: u64) -> Vec<Particle> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n)
@@ -101,6 +103,7 @@ pub fn uniform_ball(n: usize, radius: f64, charges: ChargeModel, seed: u64) -> V
 
 /// `n` particles from an isotropic Gaussian with the given center and
 /// standard deviation.
+#[must_use]
 pub fn gaussian(
     n: usize,
     center: Vec3,
@@ -125,6 +128,7 @@ pub fn gaussian(
 /// `n` particles from `k` superimposed Gaussians whose centers are placed
 /// uniformly at random in `[-spread, spread]^3` — the paper's "overlapped
 /// Gaussian distributions".
+#[must_use]
 pub fn overlapped_gaussians(
     n: usize,
     k: usize,
@@ -160,6 +164,7 @@ pub fn overlapped_gaussians(
 /// `n` equal-mass particles from a Plummer sphere of scale radius `a` and
 /// total mass `total_mass` (Aarseth–Hénon–Wielen sampling), truncated at
 /// ten scale radii so the box hull stays bounded.
+#[must_use]
 pub fn plummer(n: usize, a: f64, total_mass: f64, seed: u64) -> Vec<Particle> {
     let mut rng = StdRng::seed_from_u64(seed);
     let m = total_mass / n as f64;
@@ -293,7 +298,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
+    #[should_panic(expected = "need at least one Gaussian component")]
     fn overlapped_gaussians_zero_components_panics() {
         let _ = overlapped_gaussians(
             10,

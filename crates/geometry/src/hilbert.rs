@@ -90,7 +90,7 @@ fn transpose_to_axes(x: &mut [u32; 3], bits: u32) {
 fn interleave_transpose(x: &[u32; 3], bits: u32) -> u64 {
     let mut key = 0u64;
     for j in (0..bits).rev() {
-        for xi in x.iter() {
+        for xi in x {
             key = key << 1 | u64::from(xi >> j & 1);
         }
     }
@@ -111,6 +111,7 @@ fn deinterleave_transpose(key: u64, bits: u32) -> [u32; 3] {
 }
 
 /// Hilbert key of integer grid coordinates (each `< 2^BITS`).
+#[must_use]
 pub fn encode(x: u32, y: u32, z: u32) -> u64 {
     let mut t = [x, y, z];
     axes_to_transpose(&mut t, BITS);
@@ -118,6 +119,7 @@ pub fn encode(x: u32, y: u32, z: u32) -> u64 {
 }
 
 /// Grid coordinates of a Hilbert key.
+#[must_use]
 pub fn decode(key: u64) -> (u32, u32, u32) {
     let mut t = deinterleave_transpose(key, BITS);
     transpose_to_axes(&mut t, BITS);
@@ -125,6 +127,7 @@ pub fn decode(key: u64) -> (u32, u32, u32) {
 }
 
 /// Hilbert key of a point inside `bounds` (outside points are clamped).
+#[must_use]
 pub fn key(p: Vec3, bounds: &Aabb) -> u64 {
     let (x, y, z) = morton::quantize(p, bounds);
     encode(x, y, z)
@@ -176,9 +179,9 @@ mod tests {
         let mut prev = decode(start);
         for k in 1..200u64 {
             let cur = decode(start + k);
-            let d = (prev.0 as i64 - cur.0 as i64).abs()
-                + (prev.1 as i64 - cur.1 as i64).abs()
-                + (prev.2 as i64 - cur.2 as i64).abs();
+            let d = (i64::from(prev.0) - i64::from(cur.0)).abs()
+                + (i64::from(prev.1) - i64::from(cur.1)).abs()
+                + (i64::from(prev.2) - i64::from(cur.2)).abs();
             assert_eq!(
                 d,
                 1,
@@ -199,9 +202,9 @@ mod tests {
         let mut hilbert_total = 0.0;
         let mut morton_total = 0.0;
         let dist = |a: (u32, u32, u32), b: (u32, u32, u32)| -> f64 {
-            let dx = a.0 as f64 - b.0 as f64;
-            let dy = a.1 as f64 - b.1 as f64;
-            let dz = a.2 as f64 - b.2 as f64;
+            let dx = f64::from(a.0) - f64::from(b.0);
+            let dy = f64::from(a.1) - f64::from(b.1);
+            let dz = f64::from(a.2) - f64::from(b.2);
             (dx * dx + dy * dy + dz * dz).sqrt()
         };
         for k in 0..n {

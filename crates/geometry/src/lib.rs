@@ -17,6 +17,8 @@
 //! * [`Particle`] — the `position + charge` record every other crate
 //!   operates on.
 
+#![forbid(unsafe_code)]
+
 pub mod aabb;
 pub mod distribution;
 pub mod hilbert;

@@ -18,6 +18,7 @@ pub const MAX_COORD: u32 = (1 << BITS) - 1;
 
 /// Spreads the low 21 bits of `x` so they occupy every third bit.
 #[inline]
+#[must_use]
 pub fn spread(x: u32) -> u64 {
     let mut v = u64::from(x) & 0x1f_ffff;
     v = (v | v << 32) & 0x001f_0000_0000_ffff;
@@ -30,6 +31,7 @@ pub fn spread(x: u32) -> u64 {
 
 /// Inverse of [`spread`]: collects every third bit into the low 21 bits.
 #[inline]
+#[must_use]
 pub fn compact(v: u64) -> u32 {
     let mut v = v & 0x1249_2492_4924_9249;
     v = (v ^ (v >> 2)) & 0x10c3_0c30_c30c_30c3;
@@ -43,12 +45,14 @@ pub fn compact(v: u64) -> u32 {
 /// Interleaves three 21-bit grid coordinates into a Morton key
 /// (x contributes the least significant bit of each triple).
 #[inline]
+#[must_use]
 pub fn encode(x: u32, y: u32, z: u32) -> u64 {
     spread(x) | spread(y) << 1 | spread(z) << 2
 }
 
 /// Splits a Morton key back into grid coordinates.
 #[inline]
+#[must_use]
 pub fn decode(key: u64) -> (u32, u32, u32) {
     (compact(key), compact(key >> 1), compact(key >> 2))
 }
@@ -56,6 +60,7 @@ pub fn decode(key: u64) -> (u32, u32, u32) {
 /// Quantises a point inside `bounds` onto the grid. Points outside are
 /// clamped, so callers may pass a slightly loose box.
 #[inline]
+#[must_use]
 pub fn quantize(p: Vec3, bounds: &Aabb) -> (u32, u32, u32) {
     let ext = bounds.extent();
     let scale = |v: f64, lo: f64, e: f64| -> u32 {
@@ -74,6 +79,7 @@ pub fn quantize(p: Vec3, bounds: &Aabb) -> (u32, u32, u32) {
 
 /// Morton key of a point inside `bounds`.
 #[inline]
+#[must_use]
 pub fn key(p: Vec3, bounds: &Aabb) -> u64 {
     let (x, y, z) = quantize(p, bounds);
     encode(x, y, z)

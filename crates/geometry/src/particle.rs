@@ -18,12 +18,14 @@ pub struct Particle {
 impl Particle {
     /// Creates a particle.
     #[inline]
+    #[must_use]
     pub const fn new(position: Vec3, charge: f64) -> Self {
         Particle { position, charge }
     }
 
     /// `|q|` — the quantity the paper's error bounds aggregate per cluster.
     #[inline]
+    #[must_use]
     pub fn abs_charge(&self) -> f64 {
         self.charge.abs()
     }
@@ -36,6 +38,7 @@ pub fn total_abs_charge(particles: &[Particle]) -> f64 {
 
 /// Center of absolute charge `Σ|qᵢ| xᵢ / Σ|qᵢ|` — the expansion center used
 /// for clusters (falls back to the centroid when all charges are zero).
+#[must_use]
 pub fn center_of_charge(particles: &[Particle]) -> Vec3 {
     let a = total_abs_charge(particles);
     if a > 0.0 {

@@ -48,6 +48,7 @@ impl Ordered {
 }
 
 /// Sorts particles by space-filling-curve key inside their cubical hull.
+#[must_use]
 pub fn order_particles(particles: &[Particle], curve: CurveOrder) -> Ordered {
     let positions: Vec<Vec3> = particles.iter().map(|p| p.position).collect();
     let bounds = Aabb::cubical_hull(&positions, 1e-9);
@@ -56,6 +57,7 @@ pub fn order_particles(particles: &[Particle], curve: CurveOrder) -> Ordered {
 
 /// Like [`order_particles`] but with a caller-provided bounding cube (useful
 /// when several sets must share one decomposition).
+#[must_use]
 pub fn order_particles_in(particles: &[Particle], curve: CurveOrder, bounds: Aabb) -> Ordered {
     let mut keyed: Vec<(u64, usize)> = particles
         .par_iter()

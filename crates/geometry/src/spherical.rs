@@ -23,8 +23,10 @@ impl Spherical {
     /// The origin maps to `rho = 0, theta = 0, phi = 0`; points on the z-axis
     /// get `phi = 0`. Both choices make the spherical-harmonic kernels well
     /// defined without caller-side special cases.
+    #[must_use]
     pub fn from_cartesian(v: Vec3) -> Self {
         let rho = v.norm();
+        // lint: allow(float_cmp, exact origin has no defined angles)
         if rho == 0.0 {
             return Spherical {
                 rho: 0.0,
@@ -33,6 +35,7 @@ impl Spherical {
             };
         }
         let theta = (v.z / rho).clamp(-1.0, 1.0).acos();
+        // lint: allow(float_cmp, exact z-axis: atan2(0, 0) convention pinned to 0)
         let phi = if v.x == 0.0 && v.y == 0.0 {
             0.0
         } else {
@@ -42,6 +45,7 @@ impl Spherical {
     }
 
     /// Converts back to a Cartesian offset.
+    #[must_use]
     pub fn to_cartesian(self) -> Vec3 {
         let (st, ct) = self.theta.sin_cos();
         let (sp, cp) = self.phi.sin_cos();
@@ -50,6 +54,7 @@ impl Spherical {
 
     /// `cos(theta)` without recomputing the angle.
     #[inline]
+    #[must_use]
     pub fn cos_theta(&self) -> f64 {
         self.theta.cos()
     }

@@ -53,24 +53,28 @@ impl Vec3 {
 
     /// Creates a vector from components.
     #[inline(always)]
+    #[must_use]
     pub const fn new(x: f64, y: f64, z: f64) -> Self {
         Vec3 { x, y, z }
     }
 
     /// Creates a vector with all components equal to `v`.
     #[inline(always)]
+    #[must_use]
     pub const fn splat(v: f64) -> Self {
         Vec3 { x: v, y: v, z: v }
     }
 
     /// Dot product.
     #[inline(always)]
+    #[must_use]
     pub fn dot(self, rhs: Vec3) -> f64 {
         self.x * rhs.x + self.y * rhs.y + self.z * rhs.z
     }
 
     /// Cross product.
     #[inline(always)]
+    #[must_use]
     pub fn cross(self, rhs: Vec3) -> Vec3 {
         Vec3 {
             x: self.y * rhs.z - self.z * rhs.y,
@@ -81,24 +85,28 @@ impl Vec3 {
 
     /// Squared Euclidean norm.
     #[inline(always)]
+    #[must_use]
     pub fn norm_sq(self) -> f64 {
         self.dot(self)
     }
 
     /// Euclidean norm.
     #[inline(always)]
+    #[must_use]
     pub fn norm(self) -> f64 {
         self.norm_sq().sqrt()
     }
 
     /// Euclidean distance to `other`.
     #[inline(always)]
+    #[must_use]
     pub fn distance(self, other: Vec3) -> f64 {
         (self - other).norm()
     }
 
     /// Squared Euclidean distance to `other`.
     #[inline(always)]
+    #[must_use]
     pub fn distance_sq(self, other: Vec3) -> f64 {
         (self - other).norm_sq()
     }
@@ -108,6 +116,7 @@ impl Vec3 {
     /// Returns `Vec3::ZERO` for the zero vector rather than NaN, so callers
     /// never have to special-case degenerate geometry.
     #[inline]
+    #[must_use]
     pub fn normalized(self) -> Vec3 {
         let n = self.norm();
         if n > 0.0 {
@@ -119,48 +128,56 @@ impl Vec3 {
 
     /// Component-wise minimum.
     #[inline(always)]
+    #[must_use]
     pub fn min(self, rhs: Vec3) -> Vec3 {
         Vec3::new(self.x.min(rhs.x), self.y.min(rhs.y), self.z.min(rhs.z))
     }
 
     /// Component-wise maximum.
     #[inline(always)]
+    #[must_use]
     pub fn max(self, rhs: Vec3) -> Vec3 {
         Vec3::new(self.x.max(rhs.x), self.y.max(rhs.y), self.z.max(rhs.z))
     }
 
     /// Component-wise absolute value.
     #[inline(always)]
+    #[must_use]
     pub fn abs(self) -> Vec3 {
         Vec3::new(self.x.abs(), self.y.abs(), self.z.abs())
     }
 
     /// The largest component.
     #[inline(always)]
+    #[must_use]
     pub fn max_component(self) -> f64 {
         self.x.max(self.y).max(self.z)
     }
 
     /// The smallest component.
     #[inline(always)]
+    #[must_use]
     pub fn min_component(self) -> f64 {
         self.x.min(self.y).min(self.z)
     }
 
     /// True when every component is finite.
     #[inline]
+    #[must_use]
     pub fn is_finite(self) -> bool {
         self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
     }
 
     /// Linear interpolation: `self + t * (rhs - self)`.
     #[inline]
+    #[must_use]
     pub fn lerp(self, rhs: Vec3, t: f64) -> Vec3 {
         self + (rhs - self) * t
     }
 
     /// Components as an array.
     #[inline(always)]
+    #[must_use]
     pub const fn to_array(self) -> [f64; 3] {
         [self.x, self.y, self.z]
     }
@@ -188,6 +205,7 @@ impl Index<usize> for Vec3 {
             0 => &self.x,
             1 => &self.y,
             2 => &self.z,
+            // lint: allow(panic, Index contract — mirrors slice out-of-bounds behaviour)
             _ => panic!("Vec3 index out of range: {i}"),
         }
     }
@@ -341,7 +359,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
+    #[should_panic(expected = "Vec3 index out of range")]
     fn index_out_of_range_panics() {
         let _ = Vec3::ZERO[3];
     }

@@ -46,9 +46,9 @@ proptest! {
     fn hilbert_adjacency(seed in 0u64..(1u64 << 60)) {
         let a = hilbert::decode(seed);
         let b = hilbert::decode(seed + 1);
-        let d = (a.0 as i64 - b.0 as i64).abs()
-            + (a.1 as i64 - b.1 as i64).abs()
-            + (a.2 as i64 - b.2 as i64).abs();
+        let d = (i64::from(a.0) - i64::from(b.0)).abs()
+            + (i64::from(a.1) - i64::from(b.1)).abs()
+            + (i64::from(a.2) - i64::from(b.2)).abs();
         prop_assert_eq!(d, 1);
     }
 

@@ -22,7 +22,15 @@ pub const CUBE_CIRCUMRADIUS_RATIO: f64 = 0.866_025_403_784_438_6;
 /// ```
 ///
 /// Returns `+∞` when `r ≤ a` (the expansion does not converge there).
+#[must_use]
 pub fn theorem1_bound(abs_charge: f64, a: f64, r: f64, p: usize) -> f64 {
+    #[cfg(feature = "validate")]
+    {
+        assert!(
+            abs_charge >= 0.0 && a >= 0.0 && r >= 0.0,
+            "validate: Theorem 1 takes non-negative A, a, r (got A={abs_charge}, a={a}, r={r})"
+        );
+    }
     if r <= a {
         return f64::INFINITY;
     }
@@ -33,6 +41,7 @@ pub fn theorem1_bound(abs_charge: f64, a: f64, r: f64, p: usize) -> f64 {
 /// interaction admitted by the α-criterion, for a cluster of total absolute
 /// charge `abs_charge` in a cube of edge `d` at distance `r ≥ d/α`:
 /// Theorem 1 with `a = d·√3/2`.
+#[must_use]
 pub fn theorem2_bound(abs_charge: f64, d: f64, r: f64, p: usize) -> f64 {
     theorem1_bound(abs_charge, d * CUBE_CIRCUMRADIUS_RATIO, r, p)
 }
@@ -42,6 +51,7 @@ pub fn theorem2_bound(abs_charge: f64, d: f64, r: f64, p: usize) -> f64 {
 ///
 /// Convergence requires `κ < 1`, i.e. `α < 2/√3 ≈ 1.1547`; the paper uses
 /// `α < 1`.
+#[must_use]
 pub fn kappa(alpha: f64) -> f64 {
     alpha * CUBE_CIRCUMRADIUS_RATIO
 }
@@ -96,6 +106,7 @@ pub enum DegreeSelector {
 
 impl DegreeSelector {
     /// A convenient adaptive selector with default weighting and `p_max`.
+    #[must_use]
     pub fn adaptive(p_min: usize, alpha: f64) -> Self {
         DegreeSelector::Adaptive {
             p_min,
@@ -106,6 +117,7 @@ impl DegreeSelector {
     }
 
     /// A tolerance-driven selector with default degree range.
+    #[must_use]
     pub fn tolerance(tol: f64) -> Self {
         DegreeSelector::Tolerance {
             tol,
@@ -116,6 +128,7 @@ impl DegreeSelector {
 
     /// The weight of a cluster with absolute charge `abs_charge` in a cube
     /// of edge `d` under this selector's weighting.
+    #[must_use]
     pub fn weight(&self, abs_charge: f64, d: f64) -> f64 {
         match self {
             DegreeSelector::Fixed(_) | DegreeSelector::Tolerance { .. } => abs_charge,
@@ -141,6 +154,7 @@ impl DegreeSelector {
     ///   `ref_weight`,
     /// * `Tolerance` → the smallest degree meeting `tol` at the worst
     ///   distance the α-criterion can admit this cluster from (`r = d/α`).
+    #[must_use]
     pub fn degree_for_node(
         &self,
         abs_charge: f64,
@@ -173,6 +187,7 @@ impl DegreeSelector {
     ///
     /// so that `w · κ^{p+1} ≈ w_ref · κ^{p_min+1}` — every admitted
     /// interaction carries about the same error (Theorem 3).
+    #[must_use]
     pub fn degree_for(&self, weight: f64, ref_weight: f64) -> usize {
         match *self {
             DegreeSelector::Fixed(p) => p,
@@ -201,11 +216,13 @@ impl DegreeSelector {
     }
 
     /// The largest degree this selector can emit.
+    #[must_use]
     pub fn max_degree(&self) -> usize {
         match *self {
             DegreeSelector::Fixed(p) => p,
-            DegreeSelector::Adaptive { p_max, .. } => p_max,
-            DegreeSelector::Tolerance { p_max, .. } => p_max,
+            DegreeSelector::Adaptive { p_max, .. } | DegreeSelector::Tolerance { p_max, .. } => {
+                p_max
+            }
         }
     }
 }
@@ -214,6 +231,7 @@ impl DegreeSelector {
 /// cluster of absolute charge `abs_charge` and radius `a` falls below
 /// `tol`. Cheap: one multiply per candidate degree.
 #[inline]
+#[must_use]
 pub fn degree_for_tolerance_at(abs_charge: f64, a: f64, r: f64, tol: f64, p_max: usize) -> usize {
     if r <= a || abs_charge <= 0.0 {
         return if abs_charge <= 0.0 { 0 } else { p_max };
@@ -231,6 +249,7 @@ pub fn degree_for_tolerance_at(abs_charge: f64, a: f64, r: f64, tol: f64, p_max:
 /// Smallest degree `p` such that the Theorem-2 bound for the given
 /// interaction drops below `tol` (or `p_max` if none does). Useful for
 /// tolerance-driven runs rather than reference-weight-driven ones.
+#[must_use]
 pub fn degree_for_tolerance(abs_charge: f64, d: f64, r: f64, tol: f64, p_max: usize) -> usize {
     for p in 0..=p_max {
         if theorem2_bound(abs_charge, d, r, p) <= tol {

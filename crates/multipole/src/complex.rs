@@ -27,18 +27,21 @@ impl Complex {
 
     /// Creates `re + im·i`.
     #[inline(always)]
+    #[must_use]
     pub const fn new(re: f64, im: f64) -> Self {
         Complex { re, im }
     }
 
     /// A real number as a complex.
     #[inline(always)]
+    #[must_use]
     pub const fn real(re: f64) -> Self {
         Complex { re, im: 0.0 }
     }
 
     /// `e^{iθ} = cos θ + i sin θ`.
     #[inline]
+    #[must_use]
     pub fn cis(theta: f64) -> Self {
         let (s, c) = theta.sin_cos();
         Complex { re: c, im: s }
@@ -46,6 +49,7 @@ impl Complex {
 
     /// Complex conjugate.
     #[inline(always)]
+    #[must_use]
     pub fn conj(self) -> Self {
         Complex {
             re: self.re,
@@ -55,12 +59,14 @@ impl Complex {
 
     /// Squared magnitude.
     #[inline(always)]
+    #[must_use]
     pub fn norm_sq(self) -> f64 {
         self.re * self.re + self.im * self.im
     }
 
     /// Magnitude.
     #[inline(always)]
+    #[must_use]
     pub fn norm(self) -> f64 {
         self.norm_sq().sqrt()
     }
@@ -70,6 +76,7 @@ impl Complex {
     /// The translation operators of Greengard–Rokhlin use unimodular factors
     /// of the form `i^{|k|−|m|−|k−m|}` whose exponent may be negative.
     #[inline]
+    #[must_use]
     pub fn i_pow(k: i64) -> Self {
         match k.rem_euclid(4) {
             0 => Complex::new(1.0, 0.0),
@@ -81,6 +88,7 @@ impl Complex {
 
     /// Multiply by a real scalar.
     #[inline(always)]
+    #[must_use]
     pub fn scale(self, s: f64) -> Self {
         Complex {
             re: self.re * s,
@@ -90,6 +98,7 @@ impl Complex {
 
     /// True when both parts are finite.
     #[inline]
+    #[must_use]
     pub fn is_finite(self) -> bool {
         self.re.is_finite() && self.im.is_finite()
     }

@@ -32,6 +32,7 @@ impl Coeffs {
         );
         Coeffs {
             degree,
+            // lint: allow(alloc, owned-expansion constructor; hot paths use arena spans)
             c: vec![Complex::ZERO; tri_len(degree)],
         }
     }
@@ -75,6 +76,7 @@ impl Coeffs {
 /// Powers `rho^0 .. rho^degree` as a fresh allocation; hot paths use
 /// [`fill_powers`] on a [`Workspace`] buffer instead.
 pub(crate) fn powers(rho: f64, degree: usize) -> Vec<f64> {
+    // lint: allow(alloc, documented allocating fallback; hot paths use fill_powers)
     let mut v = vec![0.0; degree + 1];
     fill_powers(&mut v, rho);
     v
@@ -101,6 +103,7 @@ impl<'a> ExpansionRef<'a> {
     /// Wraps a coefficient span. `coeffs` must hold exactly the triangular
     /// array for `degree`, i.e. `(degree+1)(degree+2)/2` entries.
     #[inline]
+    #[must_use]
     pub fn new(center: Vec3, degree: usize, coeffs: &'a [Complex]) -> ExpansionRef<'a> {
         assert_eq!(
             coeffs.len(),
@@ -116,18 +119,21 @@ impl<'a> ExpansionRef<'a> {
 
     /// Expansion center.
     #[inline]
+    #[must_use]
     pub fn center(&self) -> Vec3 {
         self.center
     }
 
     /// Truncation degree `p`.
     #[inline]
+    #[must_use]
     pub fn degree(&self) -> usize {
         self.degree
     }
 
     /// Number of real-valued series terms, `(p+1)²`.
     #[inline]
+    #[must_use]
     pub fn term_count(&self) -> u64 {
         let p = self.degree as u64;
         (p + 1) * (p + 1)
@@ -137,6 +143,7 @@ impl<'a> ExpansionRef<'a> {
     /// degrees beyond the stored degree read as zero (same contract as the
     /// owned accessor).
     #[inline(always)]
+    #[must_use]
     pub fn coeff(&self, n: usize, m: i64) -> Complex {
         if n > self.degree || m.unsigned_abs() as usize > n {
             return Complex::ZERO;
@@ -156,11 +163,13 @@ impl<'a> ExpansionRef<'a> {
 
     /// Copies this view into an owned expansion (diagnostics and
     /// equivalence testing against the allocating evaluation path).
+    #[must_use]
     pub fn to_expansion(&self) -> MultipoleExpansion {
         MultipoleExpansion {
             center: self.center,
             coeffs: Coeffs {
                 degree: self.degree,
+                // lint: allow(alloc, explicit copy-out conversion for diagnostics)
                 c: self.coeffs.to_vec(),
             },
         }
@@ -196,7 +205,7 @@ impl<'a> ExpansionRef<'a> {
         let mut phi = 0.0;
         let mut eim = Complex::ONE;
         // loop m-major so e^{imφ} is built incrementally
-        let contributions = &mut acc_pot[..degree + 1]; // per-degree partial sums
+        let contributions = &mut acc_pot[..=degree]; // per-degree partial sums
         contributions.fill(0.0);
         for m in 0..=degree {
             let w = if m == 0 { 1.0 } else { 2.0 };
@@ -248,9 +257,9 @@ impl<'a> ExpansionRef<'a> {
         let inv_r = 1.0 / s.rho;
         let e1 = Complex::new(cos_p, sin_p);
 
-        let pot_n = &mut acc_pot[..degree + 1];
-        let dth_n = &mut acc_dth[..degree + 1];
-        let dph_n = &mut acc_dph[..degree + 1];
+        let pot_n = &mut acc_pot[..=degree];
+        let dth_n = &mut acc_dth[..=degree];
+        let dph_n = &mut acc_dph[..=degree];
         pot_n.fill(0.0);
         dth_n.fill(0.0);
         dph_n.fill(0.0);
@@ -308,7 +317,7 @@ pub(crate) fn p2m_accumulate(
     ws.ensure_degree(degree);
     ws.leg.recompute(degree, cos_t, sin_t);
     let Workspace { leg, pow, .. } = ws;
-    let rp = &mut pow[..degree + 1];
+    let rp = &mut pow[..=degree];
     fill_powers(rp, s.rho);
     // Y_n^{-m} = norm · P_n^m · e^{-imφ}
     let e1 = Complex::cis(-s.phi);
@@ -355,6 +364,7 @@ pub struct MultipoleExpansion {
 
 impl MultipoleExpansion {
     /// The zero expansion of the given degree.
+    #[must_use]
     pub fn zero(center: Vec3, degree: usize) -> Self {
         MultipoleExpansion {
             center,
@@ -364,6 +374,7 @@ impl MultipoleExpansion {
 
     /// Builds the expansion of a particle set (P2M):
     /// `M_n^m = Σᵢ qᵢ ρᵢⁿ Y_n^{−m}(αᵢ, βᵢ)`.
+    #[must_use]
     pub fn from_particles(center: Vec3, degree: usize, particles: &[Particle]) -> Self {
         let mut ws = Workspace::with_capacity(degree);
         let mut e = Self::zero(center, degree);
@@ -394,6 +405,7 @@ impl MultipoleExpansion {
 
     /// A borrowed evaluation view of this expansion.
     #[inline]
+    #[must_use]
     pub fn as_ref(&self) -> ExpansionRef<'_> {
         ExpansionRef {
             center: self.center,
@@ -404,12 +416,14 @@ impl MultipoleExpansion {
 
     /// Expansion center.
     #[inline]
+    #[must_use]
     pub fn center(&self) -> Vec3 {
         self.center
     }
 
     /// Truncation degree `p`.
     #[inline]
+    #[must_use]
     pub fn degree(&self) -> usize {
         self.coeffs.degree
     }
@@ -417,6 +431,7 @@ impl MultipoleExpansion {
     /// Number of real-valued series terms, `(p+1)²` — the unit the paper's
     /// Table 1 counts.
     #[inline]
+    #[must_use]
     pub fn term_count(&self) -> u64 {
         let p = self.coeffs.degree as u64;
         (p + 1) * (p + 1)
@@ -424,6 +439,7 @@ impl MultipoleExpansion {
 
     /// Coefficient `M_n^m` for any `|m| ≤ n`.
     #[inline]
+    #[must_use]
     pub fn coeff(&self, n: usize, m: i64) -> Complex {
         self.coeffs.get(n, m)
     }
@@ -431,6 +447,7 @@ impl MultipoleExpansion {
     /// Adds another expansion with the same center and degree.
     pub fn accumulate(&mut self, other: &MultipoleExpansion) {
         assert!(
+            // lint: allow(float_cmp, centers must match bit-exactly to accumulate)
             self.center.distance(other.center) == 0.0,
             "cannot accumulate expansions about different centers"
         );
@@ -442,6 +459,7 @@ impl MultipoleExpansion {
     /// The point must be outside the sphere enclosing the sources for the
     /// result to approximate the true potential (Theorem 1 controls the
     /// error); the series itself is evaluated wherever `r > 0`.
+    #[must_use]
     pub fn potential_at(&self, point: Vec3) -> f64 {
         self.potential_at_degree(point, self.coeffs.degree)
     }
@@ -456,6 +474,7 @@ impl MultipoleExpansion {
     ///
     /// Convenience wrapper allocating fresh scratch; hot loops should hold
     /// a [`Workspace`] and call [`ExpansionRef::potential_at_degree_with`].
+    #[must_use]
     pub fn potential_at_degree(&self, point: Vec3, degree: usize) -> f64 {
         let mut ws = Workspace::with_capacity(degree.min(self.coeffs.degree));
         self.as_ref()
@@ -466,6 +485,7 @@ impl MultipoleExpansion {
     ///
     /// Pole-safe: the azimuthal term uses `P_n^m / sin θ` arrays, never a
     /// division by `sin θ`.
+    #[must_use]
     pub fn field_at(&self, point: Vec3) -> (f64, Vec3) {
         self.field_at_degree(point, self.coeffs.degree)
     }
@@ -475,12 +495,14 @@ impl MultipoleExpansion {
     ///
     /// Convenience wrapper allocating fresh scratch; hot loops should hold
     /// a [`Workspace`] and call [`ExpansionRef::field_at_degree_with`].
+    #[must_use]
     pub fn field_at_degree(&self, point: Vec3, degree: usize) -> (f64, Vec3) {
         let mut ws = Workspace::with_capacity(degree.min(self.coeffs.degree));
         self.as_ref().field_at_degree_with(point, degree, &mut ws)
     }
 
     /// Largest coefficient magnitude (diagnostics).
+    #[must_use]
     pub fn max_coeff(&self) -> f64 {
         self.coeffs.max_abs()
     }
@@ -495,6 +517,7 @@ pub struct LocalExpansion {
 
 impl LocalExpansion {
     /// The zero expansion of the given degree.
+    #[must_use]
     pub fn zero(center: Vec3, degree: usize) -> Self {
         LocalExpansion {
             center,
@@ -506,6 +529,7 @@ impl LocalExpansion {
     /// `L_j^k = Σᵢ qᵢ Y_j^{−k}(αᵢ, βᵢ) / ρᵢ^{j+1}`.
     ///
     /// Valid for observation points closer to the center than every source.
+    #[must_use]
     pub fn from_distant_particles(center: Vec3, degree: usize, particles: &[Particle]) -> Self {
         let mut e = Self::zero(center, degree);
         for p in particles {
@@ -547,18 +571,21 @@ impl LocalExpansion {
 
     /// Expansion center.
     #[inline]
+    #[must_use]
     pub fn center(&self) -> Vec3 {
         self.center
     }
 
     /// Truncation degree `p`.
     #[inline]
+    #[must_use]
     pub fn degree(&self) -> usize {
         self.coeffs.degree
     }
 
     /// Coefficient `L_j^k` for any `|k| ≤ j`.
     #[inline]
+    #[must_use]
     pub fn coeff(&self, j: usize, k: i64) -> Complex {
         self.coeffs.get(j, k)
     }
@@ -566,6 +593,7 @@ impl LocalExpansion {
     /// Adds another expansion with the same center and degree.
     pub fn accumulate(&mut self, other: &LocalExpansion) {
         assert!(
+            // lint: allow(float_cmp, centers must match bit-exactly to accumulate)
             self.center.distance(other.center) == 0.0,
             "cannot accumulate expansions about different centers"
         );
@@ -573,6 +601,7 @@ impl LocalExpansion {
     }
 
     /// Evaluates the local series at a point (L2P).
+    #[must_use]
     pub fn potential_at(&self, point: Vec3) -> f64 {
         let mut ws = Workspace::with_capacity(self.coeffs.degree);
         self.potential_at_with(point, &mut ws)
@@ -589,7 +618,7 @@ impl LocalExpansion {
         ws.ensure_degree(degree);
         ws.leg.recompute(degree, cos_t, sin_t);
         let Workspace { leg, pow, .. } = ws;
-        let rp = &mut pow[..degree + 1];
+        let rp = &mut pow[..=degree];
         fill_powers(rp, s.rho);
         let e1 = Complex::cis(s.phi);
         let mut eim = Complex::ONE;
@@ -606,6 +635,7 @@ impl LocalExpansion {
     }
 
     /// Evaluates potential and gradient at a point (L2P with derivatives).
+    #[must_use]
     pub fn field_at(&self, point: Vec3) -> (f64, Vec3) {
         let mut ws = Workspace::with_capacity(self.coeffs.degree);
         self.field_at_with(point, &mut ws)
@@ -622,7 +652,7 @@ impl LocalExpansion {
         ws.ensure_degree(degree);
         ws.leg.recompute(degree, cos_t, sin_t);
         let Workspace { leg, pow, .. } = ws;
-        let rp = &mut pow[..degree + 1];
+        let rp = &mut pow[..=degree];
         fill_powers(rp, s.rho);
         let e1 = Complex::new(cos_p, sin_p);
 
@@ -655,6 +685,7 @@ impl LocalExpansion {
     }
 
     /// Largest coefficient magnitude (diagnostics).
+    #[must_use]
     pub fn max_coeff(&self) -> f64 {
         self.coeffs.max_abs()
     }

@@ -26,15 +26,18 @@ pub struct Harmonics {
 
 impl Harmonics {
     /// Evaluates all harmonics up to `degree` at the direction of `s`.
+    #[must_use]
     pub fn new(degree: usize, s: &Spherical) -> Harmonics {
         let (sin_t, cos_t) = s.theta.sin_cos();
         Self::from_angles(degree, cos_t, sin_t, s.phi)
     }
 
     /// Evaluates from `cos θ`, `sin θ`, `φ` directly.
+    #[must_use]
     pub fn from_angles(degree: usize, cos_t: f64, sin_t: f64, phi: f64) -> Harmonics {
         let t = Tables::get();
         let leg = Legendre::new(degree, cos_t, sin_t);
+        // lint: allow(alloc, owned-harmonics constructor; kernels evaluate in-workspace)
         let mut vals = vec![Complex::ZERO; tri_len(degree)];
         // e^{imφ} by iterated multiplication
         let e1 = Complex::cis(phi);
@@ -51,12 +54,14 @@ impl Harmonics {
 
     /// The degree the table was computed to.
     #[inline]
+    #[must_use]
     pub fn degree(&self) -> usize {
         self.degree
     }
 
     /// `Y_n^m` for any `|m| ≤ n ≤ degree`.
     #[inline(always)]
+    #[must_use]
     pub fn y(&self, n: usize, m: i64) -> Complex {
         let v = self.vals[tri_index(n, m.unsigned_abs() as usize)];
         if m < 0 {
@@ -69,6 +74,7 @@ impl Harmonics {
 
 /// Legendre polynomial `P_n(x)` (order zero), used by tests and the
 /// classical `1/|P−Q|` expansion checks.
+#[must_use]
 pub fn legendre_p(n: usize, x: f64) -> f64 {
     match n {
         0 => 1.0,

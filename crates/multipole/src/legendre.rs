@@ -33,6 +33,7 @@ pub struct Legendre {
 
 impl Legendre {
     /// Evaluates the three families at `x = cos θ`, `s = sin θ ≥ 0`.
+    #[must_use]
     pub fn new(degree: usize, x: f64, s: f64) -> Legendre {
         let mut l = Legendre::with_capacity(degree);
         l.recompute(degree, x, s);
@@ -41,13 +42,15 @@ impl Legendre {
 
     /// An empty table whose buffers are pre-sized for `degree`; call
     /// [`Legendre::recompute`] before reading any values.
+    #[must_use]
     pub fn with_capacity(degree: usize) -> Legendre {
         let len = tri_len(degree);
         Legendre {
             degree,
+            // lint: allow(alloc, table construction; recompute() reuses these buffers)
             p: vec![0.0; len],
-            p_over_s: vec![0.0; len],
-            dp_dtheta: vec![0.0; len],
+            p_over_s: vec![0.0; len], // lint: allow(alloc, table construction)
+            dp_dtheta: vec![0.0; len], // lint: allow(alloc, table construction)
         }
     }
 
@@ -121,18 +124,21 @@ impl Legendre {
 
     /// The degree the arrays were computed to.
     #[inline]
+    #[must_use]
     pub fn degree(&self) -> usize {
         self.degree
     }
 
     /// `P_n^m(cos θ)`.
     #[inline(always)]
+    #[must_use]
     pub fn p(&self, n: usize, m: usize) -> f64 {
         self.p[tri_index(n, m)]
     }
 
     /// `P_n^m(cos θ)/sin θ` (only valid for `m ≥ 1`).
     #[inline(always)]
+    #[must_use]
     pub fn p_over_sin(&self, n: usize, m: usize) -> f64 {
         debug_assert!(m >= 1);
         self.p_over_s[tri_index(n, m)]
@@ -140,6 +146,7 @@ impl Legendre {
 
     /// `dP_n^m/dθ`.
     #[inline(always)]
+    #[must_use]
     pub fn dp_dtheta(&self, n: usize, m: usize) -> f64 {
         self.dp_dtheta[tri_index(n, m)]
     }

@@ -33,6 +33,8 @@
 //! assert!((expansion.potential_at(far) - exact).abs() < 1e-9);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod bounds;
 pub mod complex;
 pub mod expansion;

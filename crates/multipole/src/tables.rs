@@ -18,12 +18,14 @@ pub const TABLE_DEGREE: usize = 2 * MAX_DEGREE;
 
 /// Index of `(n, m)` (with `0 ≤ m ≤ n`) in a triangular array.
 #[inline(always)]
+#[must_use]
 pub const fn tri_index(n: usize, m: usize) -> usize {
     n * (n + 1) / 2 + m
 }
 
 /// Number of `(n, m)` pairs with `n ≤ degree`, `0 ≤ m ≤ n`.
 #[inline(always)]
+#[must_use]
 pub const fn tri_len(degree: usize) -> usize {
     (degree + 1) * (degree + 2) / 2
 }
@@ -69,12 +71,14 @@ impl Tables {
 
     /// `k!`.
     #[inline(always)]
+    #[must_use]
     pub fn factorial(&self, k: usize) -> f64 {
         self.fact[k]
     }
 
     /// `A_n^m` for any `|m| ≤ n ≤ TABLE_DEGREE`.
     #[inline(always)]
+    #[must_use]
     pub fn a(&self, n: usize, m: i64) -> f64 {
         let m = m.unsigned_abs() as usize;
         debug_assert!(m <= n && n <= TABLE_DEGREE);
@@ -83,6 +87,7 @@ impl Tables {
 
     /// `√((n−|m|)!/(n+|m|)!)` — the spherical-harmonic normalisation.
     #[inline(always)]
+    #[must_use]
     pub fn norm(&self, n: usize, m: i64) -> f64 {
         let m = m.unsigned_abs() as usize;
         debug_assert!(m <= n && n <= TABLE_DEGREE);

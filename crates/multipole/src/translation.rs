@@ -74,6 +74,7 @@ impl ExpansionRef<'_> {
     ///
     /// Convergence requires the target sphere to be well separated from the
     /// source sphere; the caller (FMM interaction lists) guarantees that.
+    #[must_use]
     pub fn to_local(&self, local_center: Vec3, target_degree: usize) -> LocalExpansion {
         let t = Tables::get();
         let d = self.center - local_center;
@@ -117,6 +118,7 @@ impl MultipoleExpansion {
     /// `target_degree` may exceed the source degree (the missing source
     /// coefficients read as zero); for `target_degree >= self.degree()` the
     /// translation introduces no additional truncation error.
+    #[must_use]
     pub fn translated(&self, new_center: Vec3, target_degree: usize) -> MultipoleExpansion {
         let mut out = Coeffs::zero(target_degree);
         self.as_ref()
@@ -129,6 +131,7 @@ impl MultipoleExpansion {
 
     /// Converts this multipole expansion into a local expansion about
     /// `local_center` (M2L); see [`ExpansionRef::to_local`].
+    #[must_use]
     pub fn to_local(&self, local_center: Vec3, target_degree: usize) -> LocalExpansion {
         self.as_ref().to_local(local_center, target_degree)
     }
@@ -136,6 +139,7 @@ impl MultipoleExpansion {
 
 impl LocalExpansion {
     /// Recenters this local expansion (L2L). Exact for any shift.
+    #[must_use]
     pub fn translated(&self, new_center: Vec3, target_degree: usize) -> LocalExpansion {
         let t = Tables::get();
         let d = self.center - new_center;

@@ -38,19 +38,22 @@ pub struct Workspace {
 
 impl Workspace {
     /// An empty workspace; buffers grow on first use.
+    #[must_use]
     pub fn new() -> Workspace {
         Workspace::with_capacity(0)
     }
 
     /// A workspace pre-sized for evaluations up to `degree`, so no call at
     /// or below that degree ever allocates.
+    #[must_use]
     pub fn with_capacity(degree: usize) -> Workspace {
         Workspace {
             leg: Legendre::with_capacity(degree),
+            // lint: allow(alloc, workspace construction — the one-time cost the kernels amortise)
             pow: vec![0.0; degree + 2],
-            acc_pot: vec![0.0; degree + 1],
-            acc_dth: vec![0.0; degree + 1],
-            acc_dph: vec![0.0; degree + 1],
+            acc_pot: vec![0.0; degree + 1], // lint: allow(alloc, workspace construction)
+            acc_dth: vec![0.0; degree + 1], // lint: allow(alloc, workspace construction)
+            acc_dph: vec![0.0; degree + 1], // lint: allow(alloc, workspace construction)
         }
     }
 

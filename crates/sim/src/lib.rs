@@ -28,6 +28,8 @@
 //! assert!((sim.total_energy() - e0).abs() < 1e-2 * e0.abs());
 //! ```
 
+#![forbid(unsafe_code)]
+
 use mbt_geometry::{Particle, Vec3};
 use mbt_treecode::direct::direct_potentials_softened;
 use mbt_treecode::{Treecode, TreecodeParams};
@@ -67,6 +69,7 @@ pub struct Simulation {
 
 impl Simulation {
     /// Creates a simulation at rest.
+    #[must_use]
     pub fn new(bodies: Vec<Particle>, force: ForceModel) -> Simulation {
         assert!(!bodies.is_empty(), "cannot simulate zero bodies");
         let n = bodies.len();
@@ -113,6 +116,7 @@ impl Simulation {
     /// Subtracts the center-of-mass velocity.
     pub fn remove_net_momentum(&mut self) {
         let m_total: f64 = self.bodies.iter().map(|b| b.charge).sum();
+        // lint: allow(float_cmp, exact-zero guard before dividing by total mass)
         if m_total == 0.0 {
             return;
         }
@@ -131,6 +135,7 @@ impl Simulation {
     fn compute_accelerations(&self) -> Vec<Vec3> {
         match self.force {
             ForceModel::Treecode(params) => {
+                // lint: allow(panic, bodies and params are validated by the System constructor)
                 let tc = Treecode::new(&self.bodies, params).expect("valid system");
                 tc.fields().values.into_iter().map(|(_, g)| g).collect()
             }
@@ -179,26 +184,31 @@ impl Simulation {
     }
 
     /// The bodies (positions/masses).
+    #[must_use]
     pub fn bodies(&self) -> &[Particle] {
         &self.bodies
     }
 
     /// The velocities.
+    #[must_use]
     pub fn velocities(&self) -> &[Vec3] {
         &self.velocities
     }
 
     /// Elapsed simulated time.
+    #[must_use]
     pub fn time(&self) -> f64 {
         self.time
     }
 
     /// Number of completed steps.
+    #[must_use]
     pub fn steps(&self) -> usize {
         self.steps
     }
 
     /// Kinetic energy `Σ ½ m v²`.
+    #[must_use]
     pub fn kinetic_energy(&self) -> f64 {
         0.5 * self
             .bodies
@@ -210,6 +220,7 @@ impl Simulation {
 
     /// Potential energy `−½ Σ mᵢ Φᵢ` with the model's softening (exact
     /// summation; `O(n²)` — a diagnostic, not a per-step cost).
+    #[must_use]
     pub fn potential_energy(&self) -> f64 {
         let phi = direct_potentials_softened(&self.bodies, self.force.softening());
         -0.5 * self
@@ -221,16 +232,19 @@ impl Simulation {
     }
 
     /// Total energy.
+    #[must_use]
     pub fn total_energy(&self) -> f64 {
         self.kinetic_energy() + self.potential_energy()
     }
 
     /// Virial ratio `2K/|W|` (≈ 1 in equilibrium).
+    #[must_use]
     pub fn virial_ratio(&self) -> f64 {
         2.0 * self.kinetic_energy() / self.potential_energy().abs().max(1e-300)
     }
 
     /// Center of mass.
+    #[must_use]
     pub fn center_of_mass(&self) -> Vec3 {
         let m: f64 = self.bodies.iter().map(|b| b.charge).sum();
         self.bodies
@@ -242,6 +256,7 @@ impl Simulation {
 
     /// Radius (about the center of mass) containing the given mass
     /// fraction — `lagrangian_radius(0.5)` is the half-mass radius.
+    #[must_use]
     pub fn lagrangian_radius(&self, fraction: f64) -> f64 {
         assert!((0.0..=1.0).contains(&fraction));
         let com = self.center_of_mass();
@@ -369,7 +384,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
+    #[should_panic(expected = "cannot simulate zero bodies")]
     fn empty_system_panics() {
         let _ = Simulation::new(vec![], ForceModel::Direct { softening: 0.0 });
     }

@@ -61,6 +61,7 @@ pub fn cg(a: &dyn LinearOperator, b: &[f64], opts: &CgOptions) -> CgResult {
     let n = a.dim();
     assert_eq!(b.len(), n, "right-hand side dimension mismatch");
     let b_norm = norm2(b);
+    // lint: allow(float_cmp, exact-zero RHS short-circuits to x = 0)
     if b_norm == 0.0 {
         return CgResult {
             x: vec![0.0; n],

@@ -18,6 +18,7 @@ pub struct DenseMatrix {
 
 impl DenseMatrix {
     /// A zero matrix.
+    #[must_use]
     pub fn zeros(rows: usize, cols: usize) -> Self {
         DenseMatrix {
             rows,
@@ -27,6 +28,7 @@ impl DenseMatrix {
     }
 
     /// The identity matrix.
+    #[must_use]
     pub fn identity(n: usize) -> Self {
         let mut m = Self::zeros(n, n);
         for i in 0..n {
@@ -46,23 +48,27 @@ impl DenseMatrix {
 
     /// Number of rows.
     #[inline]
+    #[must_use]
     pub fn rows(&self) -> usize {
         self.rows
     }
 
     /// Number of columns.
     #[inline]
+    #[must_use]
     pub fn cols(&self) -> usize {
         self.cols
     }
 
     /// A row as a slice.
     #[inline]
+    #[must_use]
     pub fn row(&self, i: usize) -> &[f64] {
         &self.data[i * self.cols..(i + 1) * self.cols]
     }
 
     /// The main diagonal.
+    #[must_use]
     pub fn diagonal(&self) -> Vec<f64> {
         (0..self.rows.min(self.cols))
             .map(|i| self[(i, i)])
@@ -110,11 +116,13 @@ impl LinearOperator for DenseMatrix {
 }
 
 /// Euclidean norm.
+#[must_use]
 pub fn norm2(v: &[f64]) -> f64 {
     v.iter().map(|x| x * x).sum::<f64>().sqrt()
 }
 
 /// Dot product.
+#[must_use]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| x * y).sum()
 }

@@ -76,6 +76,7 @@ pub fn gmres(a: &dyn LinearOperator, b: &[f64], opts: &GmresOptions) -> GmresRes
     let mut pb = b.to_vec();
     precond(&mut pb);
     let b_norm = norm2(&pb);
+    // lint: allow(float_cmp, exact-zero RHS short-circuits to x = 0)
     if b_norm == 0.0 {
         return GmresResult {
             x: vec![0.0; n],
@@ -141,6 +142,7 @@ pub fn gmres(a: &dyn LinearOperator, b: &[f64], opts: &GmresOptions) -> GmresRes
             }
             // new rotation to zero h[j+1][j]
             let denom = (h[j][j] * h[j][j] + h[j + 1][j] * h[j + 1][j]).sqrt();
+            // lint: allow(float_cmp, exact-zero guard: Givens rotation undefined)
             if denom == 0.0 {
                 k_done = j; // column vanished entirely
                 outcome = GmresOutcome::Breakdown;
@@ -161,6 +163,7 @@ pub fn gmres(a: &dyn LinearOperator, b: &[f64], opts: &GmresOptions) -> GmresRes
                 outcome = GmresOutcome::Converged;
                 break;
             }
+            // lint: allow(float_cmp, exact-zero guard: happy breakdown)
             if wnorm == 0.0 {
                 // happy breakdown: exact solution in the current space
                 outcome = GmresOutcome::Breakdown;
@@ -235,7 +238,7 @@ mod tests {
     #[test]
     fn solves_identity_in_one_step() {
         let a = DenseMatrix::identity(8);
-        let b: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..8).map(f64::from).collect();
         let r = gmres(&a, &b, &GmresOptions::default());
         assert!(r.relative_residual < 1e-12);
         assert!(r.iterations <= 2);

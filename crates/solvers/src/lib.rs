@@ -17,6 +17,8 @@
 //!   operators of the BEM stack,
 //! * a Jacobi (diagonal) preconditioner.
 
+#![forbid(unsafe_code)]
+
 pub mod cg;
 pub mod dense;
 pub mod gmres;

@@ -30,11 +30,13 @@ pub struct JacobiPreconditioner {
 impl JacobiPreconditioner {
     /// Builds from the matrix diagonal. Zero entries are treated as 1 (no
     /// scaling) so the preconditioner is always applicable.
+    #[must_use]
     pub fn new(diag: &[f64]) -> Self {
         JacobiPreconditioner {
             inv_diag: diag
                 .iter()
-                .map(|&d| if d != 0.0 { 1.0 / d } else { 1.0 })
+                // lint: allow(float_cmp, exact-zero diagonal falls back to identity)
+                .map(|&d| if d == 0.0 { 1.0 } else { 1.0 / d })
                 .collect(),
         }
     }

@@ -134,7 +134,60 @@ impl Octree {
             .map(|n| n.level as usize)
             .max()
             .unwrap_or(0);
+        #[cfg(feature = "validate")]
+        tree.validate_contracts();
         Ok(tree)
+    }
+
+    /// Structural invariants, checked after every build when the
+    /// `validate` feature is enabled (and callable from tests): Morton
+    /// keys sorted non-decreasing, `perm` a permutation of `0..n`, every
+    /// node range well-formed, and each internal node's range tiled
+    /// exactly by its children in octant order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any contract is violated; violations indicate a bug in
+    /// tree construction, never bad user input.
+    #[cfg(feature = "validate")]
+    pub fn validate_contracts(&self) {
+        assert!(
+            self.keys.windows(2).all(|w| w[0] <= w[1]),
+            "validate: Morton keys not sorted after build"
+        );
+        let mut seen = vec![false; self.perm.len()];
+        for &i in &self.perm {
+            assert!(
+                i < seen.len() && !seen[i],
+                "validate: perm is not a permutation (index {i})"
+            );
+            seen[i] = true;
+        }
+        let n = self.particles.len() as u32;
+        for (id, node) in self.nodes.iter().enumerate() {
+            assert!(
+                node.start <= node.end && node.end <= n,
+                "validate: node {id} range out of bounds"
+            );
+            if !node.is_leaf {
+                let mut cursor = node.start;
+                for &c in &node.children {
+                    if c == NO_NODE {
+                        continue;
+                    }
+                    let ch = &self.nodes[c as usize];
+                    assert!(
+                        ch.parent == id as NodeId && ch.start == cursor,
+                        "validate: children of node {id} do not tile its range"
+                    );
+                    cursor = ch.end;
+                }
+                assert_eq!(
+                    cursor, node.end,
+                    "validate: children of node {id} do not cover its range"
+                );
+            }
+        }
     }
 
     /// Splits `id` while it exceeds the leaf capacity and key resolution
@@ -144,7 +197,7 @@ impl Octree {
             let n = &self.nodes[id as usize];
             (n.start, n.end, n.level, n.bbox)
         };
-        if (end - start) as usize <= leaf_capacity || level as u32 >= morton::BITS {
+        if (end - start) as usize <= leaf_capacity || u32::from(level) >= morton::BITS {
             return;
         }
         let child_level = level + 1;
@@ -226,30 +279,35 @@ impl Octree {
 
     /// The root node id (always 0).
     #[inline]
+    #[must_use]
     pub fn root(&self) -> NodeId {
         0
     }
 
     /// A node by id.
     #[inline]
+    #[must_use]
     pub fn node(&self, id: NodeId) -> &Node {
         &self.nodes[id as usize]
     }
 
     /// All nodes (arena order; parents precede children).
     #[inline]
+    #[must_use]
     pub fn nodes(&self) -> &[Node] {
         &self.nodes
     }
 
     /// The sorted particle array.
     #[inline]
+    #[must_use]
     pub fn particles(&self) -> &[Particle] {
         &self.particles
     }
 
     /// The particles of a node.
     #[inline]
+    #[must_use]
     pub fn particles_of(&self, id: NodeId) -> &[Particle] {
         let n = &self.nodes[id as usize];
         &self.particles[n.start as usize..n.end as usize]
@@ -257,6 +315,7 @@ impl Octree {
 
     /// `perm()[i]` = the caller's index of sorted particle `i`.
     #[inline]
+    #[must_use]
     pub fn perm(&self) -> &[usize] {
         &self.perm
     }
@@ -273,6 +332,7 @@ impl Octree {
 
     /// The root bounding cube.
     #[inline]
+    #[must_use]
     pub fn bounds(&self) -> Aabb {
         self.bounds
     }
@@ -280,23 +340,27 @@ impl Octree {
     /// Deepest level present (root = 0) — the `l` of the paper's
     /// complexity analysis.
     #[inline]
+    #[must_use]
     pub fn height(&self) -> usize {
         self.height
     }
 
     /// Number of nodes.
     #[inline]
+    #[must_use]
     pub fn len(&self) -> usize {
         self.nodes.len()
     }
 
     /// True when the tree has no nodes (never true for a built tree).
     #[inline]
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
     }
 
     /// Ids of all leaves.
+    #[must_use]
     pub fn leaf_ids(&self) -> Vec<NodeId> {
         (0..self.nodes.len() as NodeId)
             .filter(|&id| self.nodes[id as usize].is_leaf)
@@ -304,6 +368,7 @@ impl Octree {
     }
 
     /// Summary statistics.
+    #[must_use]
     pub fn stats(&self) -> TreeStats {
         TreeStats::of(self)
     }
@@ -325,6 +390,7 @@ impl Octree {
     /// This is the fast path for iterative solvers whose operator applies
     /// the same geometry to a new density every iteration: the Morton sort
     /// and topology are reused; only the aggregates are recomputed.
+    #[must_use]
     pub fn with_charges(&self, charges: &[f64]) -> Octree {
         assert_eq!(
             charges.len(),

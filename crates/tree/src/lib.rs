@@ -8,6 +8,8 @@
 //! total absolute charge `A = Σ|qᵢ|`, center of charge, tight cluster
 //! radius — are computed in a single bottom-up pass.
 
+#![forbid(unsafe_code)]
+
 pub mod build;
 pub mod node;
 pub mod stats;

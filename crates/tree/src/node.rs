@@ -47,12 +47,14 @@ pub struct Node {
 impl Node {
     /// Number of particles in the cell.
     #[inline]
+    #[must_use]
     pub fn len(&self) -> usize {
         (self.end - self.start) as usize
     }
 
     /// True when the cell holds no particles.
     #[inline]
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.start == self.end
     }
@@ -60,6 +62,7 @@ impl Node {
     /// The cell edge length — the "dimension of the box enclosing the
     /// cluster" (`d`) of the α-criterion.
     #[inline]
+    #[must_use]
     pub fn edge(&self) -> f64 {
         self.bbox.edge()
     }

@@ -27,6 +27,7 @@ pub struct TreeStats {
 
 impl TreeStats {
     /// Computes statistics of a tree.
+    #[must_use]
     pub fn of(tree: &Octree) -> TreeStats {
         let mut per_level = vec![0usize; tree.height() + 1];
         let mut leaves = 0usize;

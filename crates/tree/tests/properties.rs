@@ -62,7 +62,7 @@ proptest! {
             let node = tree.node(id);
             if node.len() > leaf {
                 // only allowed at the key-resolution floor
-                prop_assert!(node.level as u32 >= mbt_geometry::morton::BITS,
+                prop_assert!(u32::from(node.level) >= mbt_geometry::morton::BITS,
                     "oversized leaf above the resolution floor");
             }
         }

@@ -1,0 +1,14 @@
+// Hot-path allocation violations: each marked line must be flagged.
+pub fn kernel(xs: &[f64]) -> Vec<f64> {
+    let mut out = Vec::new(); // violation: Vec::new
+    let tmp = vec![0.0; xs.len()]; // violation: vec![]
+    let copy = xs.to_vec(); // violation: to_vec
+    let boxed = Box::new(1.0); // violation: Box::new
+    let doubled: Vec<f64> = xs.iter().map(|x| x * 2.0).collect(); // violation: collect
+    let again = doubled.clone(); // violation: clone
+    out.extend(tmp);
+    out.extend(copy);
+    out.push(*boxed);
+    out.extend(again);
+    out
+}

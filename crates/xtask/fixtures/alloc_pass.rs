@@ -1,0 +1,37 @@
+// Clean hot-path code: waivered constructors, test-only allocation, and
+// lint keywords inside strings/comments must all be ignored.
+pub struct Scratch {
+    buf: Vec<f64>,
+}
+
+impl Scratch {
+    pub fn with_capacity(n: usize) -> Scratch {
+        Scratch {
+            buf: vec![0.0; n], // lint: allow(alloc, one-time constructor)
+        }
+    }
+
+    pub fn accumulate(&mut self, xs: &[f64]) -> f64 {
+        // "let v = Vec::new();" in a comment is not code
+        let label = "uses .collect() internally"; // string, not code
+        let _ = label;
+        let mut sum = 0.0;
+        for (slot, x) in self.buf.iter_mut().zip(xs) {
+            *slot += *x;
+            sum += *slot;
+        }
+        sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_may_allocate() {
+        let xs: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let mut s = Scratch::with_capacity(xs.len());
+        assert!(s.accumulate(&xs) > 0.0);
+    }
+}

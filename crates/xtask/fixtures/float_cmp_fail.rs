@@ -1,0 +1,8 @@
+// Float-comparison violations: each marked line must be flagged.
+pub fn checks(x: f64, y: f32) -> bool {
+    let a = x == 1.5; // violation: literal compare
+    let b = y != 0.25; // violation: literal compare, f32
+    let c = x == 1e-3; // violation: scientific literal
+    let d = 2.0 * x != 3.0 * x; // violation: float arithmetic operand
+    a && b && c && d
+}

@@ -1,0 +1,20 @@
+// Clean comparisons: integers, epsilon tests, ordering operators, a
+// reasoned waiver, and exact comparisons inside tests.
+pub fn checks(n: usize, x: f64) -> bool {
+    let ints = n == 3; // integer compare: fine
+    let eps = (x - 1.5).abs() < 1e-12; // the idiomatic float test
+    let ord = x <= 2.0 && x >= -2.0; // ordering, not equality
+    let zero = x == 0.0; // lint: allow(float_cmp, exact-zero guard for the branch below)
+    ints && eps && ord && !zero
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_compare_allowed_in_tests() {
+        assert!(0.5 == 0.5);
+        assert!(checks(3, 1.5));
+    }
+}

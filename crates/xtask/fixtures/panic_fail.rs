@@ -1,0 +1,14 @@
+// Panic-surface violations in library code: each marked line must be
+// flagged, including a waiver that is missing its mandatory reason.
+pub fn first(xs: &[f64]) -> f64 {
+    let head = xs.first().unwrap(); // violation: unwrap
+    let tail = xs.last().expect("non-empty"); // violation: expect
+    if xs.len() > 64 {
+        panic!("too long"); // violation: panic!
+    }
+    if *head < 0.0 {
+        todo!() // violation: todo!
+    }
+    let _ = xs.iter().next().unwrap(); // lint: allow(panic)
+    head + tail
+}

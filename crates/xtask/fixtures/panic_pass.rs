@@ -1,0 +1,24 @@
+// Clean library code: fallible returns, a reasoned waiver, and unwrap in
+// a test module are all acceptable.
+pub fn first(xs: &[f64]) -> Option<f64> {
+    xs.first().copied()
+}
+
+pub fn checked_mid(xs: &[f64]) -> f64 {
+    // the caller guarantees non-emptiness via the public constructor
+    xs[xs.len() / 2] // indexing is allowed; the lint targets unwrap/panic
+}
+
+pub fn locked(v: &std::sync::Mutex<f64>) -> f64 {
+    *v.lock().unwrap() // lint: allow(panic, mutex poisoning is unrecoverable here)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(first(&[1.0]).unwrap(), 1.0);
+    }
+}

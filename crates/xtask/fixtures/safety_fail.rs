@@ -1,0 +1,13 @@
+// Unannotated unsafe: each marked line must be flagged.
+pub fn read_first(xs: &[f64]) -> f64 {
+    unsafe { *xs.as_ptr() } // violation: no SAFETY comment
+}
+
+unsafe fn raw_add(p: *const f64, i: usize) -> *const f64 {
+    // violation above: the fn declaration lacks an annotation
+    unsafe { p.add(i) } // violation: inner block also unannotated
+}
+
+pub fn second(xs: &[f64]) -> f64 {
+    unsafe { *raw_add(xs.as_ptr(), 1) } // violation: unannotated
+}

@@ -1,0 +1,17 @@
+// Annotated unsafe: SAFETY on the same line or within three lines above.
+pub fn read_first(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty());
+    // SAFETY: the assert above guarantees at least one element.
+    unsafe { *xs.as_ptr() }
+}
+
+// SAFETY: callers must pass `i < len`; every call site asserts it.
+unsafe fn raw_add(p: *const f64, i: usize) -> *const f64 {
+    // SAFETY: contract inherited from the enclosing fn.
+    unsafe { p.add(i) }
+}
+
+pub fn second(xs: &[f64]) -> f64 {
+    assert!(xs.len() > 1);
+    unsafe { *raw_add(xs.as_ptr(), 1) } // SAFETY: length checked above
+}

@@ -1,0 +1,391 @@
+//! The four lint passes and the waiver grammar.
+//!
+//! Every lint reports hard violations; a line can opt out with an explicit
+//! waiver comment naming the lint and a reason:
+//!
+//! ```text
+//! let stack = vec![root]; // lint: allow(alloc, cold path: built once per tree)
+//! ```
+//!
+//! The waiver may sit on the offending line or on a comment-only line
+//! immediately above it. A waiver without a reason is itself a violation —
+//! the point is an auditable registry of every exception.
+
+use crate::scan::{contains_word, Scanned};
+use crate::FileClass;
+
+/// Which lint produced a violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lint {
+    /// Heap allocation in a designated hot module.
+    Alloc,
+    /// `unwrap`/`expect`/`panic!`/`todo!` in library code.
+    Panic,
+    /// `==`/`!=` on floating-point expressions.
+    FloatCmp,
+    /// `unsafe` without an adjacent `// SAFETY:` comment.
+    Safety,
+}
+
+impl Lint {
+    /// The name accepted by `lint: allow(<name>, reason)`.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Lint::Alloc => "alloc",
+            Lint::Panic => "panic",
+            Lint::FloatCmp => "float_cmp",
+            Lint::Safety => "safety",
+        }
+    }
+}
+
+/// One lint violation, pointing at a source line.
+#[derive(Debug)]
+pub struct Violation {
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    pub lint: Lint,
+    pub message: String,
+}
+
+/// Parses a waiver out of a comment line: `lint: allow(name, reason)`.
+/// Returns `(name, reason_present)`.
+fn waiver_in(comment: &str) -> Option<(String, bool)> {
+    let pos = comment.find("lint: allow(")?;
+    let rest = &comment[pos + "lint: allow(".len()..];
+    let close = rest.find(')')?;
+    let inner = &rest[..close];
+    match inner.split_once(',') {
+        Some((name, reason)) => Some((name.trim().to_string(), !reason.trim().is_empty())),
+        None => Some((inner.trim().to_string(), false)),
+    }
+}
+
+/// Whether line `i` (0-based) of `s` carries a valid waiver for `lint` —
+/// on the line itself or on a comment-only line directly above.
+fn waived(s: &Scanned, i: usize, lint: Lint, out: &mut Vec<Violation>, path: &str) -> bool {
+    let mut candidates = [i, i];
+    // a comment-only line directly above also covers this line
+    if i > 0 && s.lines[i - 1].code.trim().is_empty() {
+        candidates[1] = i - 1;
+    }
+    for j in candidates {
+        if let Some((name, has_reason)) = waiver_in(&s.lines[j].comment) {
+            if name == lint.name() {
+                if has_reason {
+                    return true;
+                }
+                out.push(Violation {
+                    path: path.to_string(),
+                    line: j + 1,
+                    lint,
+                    message: format!(
+                        "waiver for `{name}` is missing a reason: use `lint: allow({name}, why)`"
+                    ),
+                });
+                return true; // don't double-report the underlying violation
+            }
+        }
+    }
+    false
+}
+
+/// Allocation constructs banned from hot modules.
+const ALLOC_PATTERNS: &[(&str, &str)] = &[
+    ("Vec::new", "`Vec::new` allocates on first push"),
+    ("vec!", "`vec![]` heap-allocates"),
+    (".to_vec()", "`.to_vec()` copies into a fresh allocation"),
+    (".clone()", "`.clone()` typically heap-allocates"),
+    ("Box::new", "`Box::new` heap-allocates"),
+    (".collect()", "`.collect()` builds a fresh container"),
+    (".collect::<", "`.collect()` builds a fresh container"),
+];
+
+/// Panicking constructs banned from library code.
+const PANIC_PATTERNS: &[(&str, &str)] = &[
+    (".unwrap()", "`.unwrap()` panics on None/Err"),
+    (".expect(", "`.expect()` panics on None/Err"),
+    ("panic!", "`panic!` in library code"),
+    ("todo!", "`todo!` in library code"),
+    ("unimplemented!", "`unimplemented!` in library code"),
+];
+
+/// Whether the pattern occurrence at `pos` is a real token match (macro
+/// names must not be suffixes of longer identifiers).
+fn clean_match(code: &str, pat: &str, pos: usize) -> bool {
+    if !pat.starts_with('.') && !pat.starts_with(char::is_uppercase) {
+        // macro-style pattern: require a non-identifier char before
+        if pos > 0 {
+            let prev = code.as_bytes()[pos - 1] as char;
+            if prev.is_alphanumeric() || prev == '_' {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Lint (a): no allocation in hot modules.
+fn lint_alloc(path: &str, s: &Scanned, out: &mut Vec<Violation>) {
+    for (i, line) in s.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for &(pat, why) in ALLOC_PATTERNS {
+            if let Some(pos) = line.code.find(pat) {
+                if !clean_match(&line.code, pat, pos) {
+                    continue;
+                }
+                if waived(s, i, Lint::Alloc, out, path) {
+                    break; // one waiver covers the whole line
+                }
+                out.push(Violation {
+                    path: path.to_string(),
+                    line: i + 1,
+                    lint: Lint::Alloc,
+                    message: format!("allocation in hot module: {why}"),
+                });
+                break;
+            }
+        }
+    }
+}
+
+/// Lint (b): no panicking constructs in library code.
+fn lint_panic(path: &str, s: &Scanned, out: &mut Vec<Violation>) {
+    for (i, line) in s.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for &(pat, why) in PANIC_PATTERNS {
+            if let Some(pos) = line.code.find(pat) {
+                if !clean_match(&line.code, pat, pos) {
+                    continue;
+                }
+                if waived(s, i, Lint::Panic, out, path) {
+                    break;
+                }
+                out.push(Violation {
+                    path: path.to_string(),
+                    line: i + 1,
+                    lint: Lint::Panic,
+                    message: why.to_string(),
+                });
+                break;
+            }
+        }
+    }
+}
+
+/// Whether a comparison operand token looks floating-point: contains a
+/// float literal (`1.0`, `1e-9`, `1f64`) or an `f32`/`f64` path.
+fn floatish(token: &str) -> bool {
+    if token.contains("f64") || token.contains("f32") {
+        return true;
+    }
+    let b: Vec<char> = token.chars().collect();
+    for i in 0..b.len() {
+        if !b[i].is_ascii_digit() {
+            continue;
+        }
+        // mantissa must start a numeric token, not continue an identifier
+        if i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_' || b[i - 1] == '.') {
+            continue;
+        }
+        let mut j = i;
+        while j < b.len() && b[j].is_ascii_digit() {
+            j += 1;
+        }
+        if j < b.len() && b[j] == '.' {
+            // `1.` or `1.5` — but not `1..3` (range) or tuple-ish `x.0`
+            if j + 1 >= b.len() || b[j + 1].is_ascii_digit() || b[j + 1] == ' ' {
+                return true;
+            }
+        }
+        if j < b.len() && (b[j] == 'e' || b[j] == 'E') {
+            let mut k = j + 1;
+            if k < b.len() && (b[k] == '+' || b[k] == '-') {
+                k += 1;
+            }
+            if k < b.len() && b[k].is_ascii_digit() {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// The operand token to the left/right of an operator position.
+fn operand(code: &str, op_start: usize, op_len: usize, left: bool) -> String {
+    let chars: Vec<char> = code.chars().collect();
+    let mut tok = String::new();
+    if left {
+        let mut i = op_start;
+        while i > 0 && chars[i - 1] == ' ' {
+            i -= 1;
+        }
+        while i > 0 {
+            let c = chars[i - 1];
+            // keep an exponent sign (`1e-3`) attached to its mantissa
+            let sign_ok = (c == '-' || c == '+')
+                && i >= 2
+                && matches!(chars[i - 2], 'e' | 'E')
+                && tok.starts_with(|ch: char| ch.is_ascii_digit());
+            if c.is_alphanumeric() || c == '_' || c == '.' || c == ':' || sign_ok {
+                tok.insert(0, c);
+                i -= 1;
+            } else {
+                break;
+            }
+        }
+    } else {
+        let mut i = op_start + op_len;
+        while i < chars.len() && chars[i] == ' ' {
+            i += 1;
+        }
+        while i < chars.len() {
+            let c = chars[i];
+            // sign chars belong to the token only as a leading unary minus
+            // or a scientific-notation exponent (`1e-3`)
+            let sign_ok = (c == '-' || c == '+')
+                && (tok.is_empty() || tok.ends_with('e') || tok.ends_with('E'));
+            if c.is_alphanumeric() || c == '_' || c == '.' || c == ':' || sign_ok {
+                tok.push(c);
+                i += 1;
+            } else {
+                break;
+            }
+        }
+    }
+    tok
+}
+
+/// Lint (c): no `==`/`!=` on float expressions outside tests.
+fn lint_float_cmp(path: &str, s: &Scanned, out: &mut Vec<Violation>) {
+    for (i, line) in s.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        let bytes = code.as_bytes();
+        let mut reported = false;
+        for pos in 0..bytes.len().saturating_sub(1) {
+            if reported {
+                break;
+            }
+            let two = &code[pos..pos + 2];
+            let is_eq = two == "==";
+            let is_ne = two == "!=";
+            if !is_eq && !is_ne {
+                continue;
+            }
+            // skip `<=`, `>=`, `===`-ish runs and `=>`/`!==` artifacts
+            if pos > 0 && matches!(bytes[pos - 1], b'=' | b'<' | b'>' | b'!') {
+                continue;
+            }
+            if pos + 2 < bytes.len() && bytes[pos + 2] == b'=' {
+                continue;
+            }
+            let lhs = operand(code, pos, 2, true);
+            let rhs = operand(code, pos, 2, false);
+            if floatish(&lhs) || floatish(&rhs) {
+                if waived(s, i, Lint::FloatCmp, out, path) {
+                    break;
+                }
+                out.push(Violation {
+                    path: path.to_string(),
+                    line: i + 1,
+                    lint: Lint::FloatCmp,
+                    message: format!(
+                        "exact float comparison `{} {} {}` — compare against a tolerance \
+                         or waive with a reason",
+                        if lhs.is_empty() { "…" } else { &lhs },
+                        two,
+                        if rhs.is_empty() { "…" } else { &rhs },
+                    ),
+                });
+                reported = true;
+            }
+        }
+    }
+}
+
+/// Lint (d): every `unsafe` token needs a `SAFETY:` comment on the same
+/// line or within the three lines above.
+fn lint_safety(path: &str, s: &Scanned, out: &mut Vec<Violation>) {
+    for (i, line) in s.lines.iter().enumerate() {
+        if !contains_word(&line.code, "unsafe") {
+            continue;
+        }
+        let documented = (i.saturating_sub(3)..=i).any(|j| s.lines[j].comment.contains("SAFETY:"));
+        if documented || waived(s, i, Lint::Safety, out, path) {
+            continue;
+        }
+        out.push(Violation {
+            path: path.to_string(),
+            line: i + 1,
+            lint: Lint::Safety,
+            message: "`unsafe` without an adjacent `// SAFETY:` comment".to_string(),
+        });
+    }
+}
+
+/// Runs every lint applicable to a file of the given class.
+#[must_use]
+pub fn lint_scanned(class: &FileClass, path: &str, s: &Scanned) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if class.hot {
+        lint_alloc(path, s, &mut out);
+    }
+    if class.library {
+        lint_panic(path, s, &mut out);
+        lint_float_cmp(path, s, &mut out);
+    }
+    // unsafe hygiene applies to every file, tests and shims included
+    lint_safety(path, s, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waiver_grammar() {
+        assert_eq!(
+            waiver_in("// lint: allow(alloc, cold path)"),
+            Some(("alloc".to_string(), true))
+        );
+        assert_eq!(
+            waiver_in("// lint: allow(panic)"),
+            Some(("panic".to_string(), false))
+        );
+        assert_eq!(waiver_in("// plain comment"), None);
+    }
+
+    #[test]
+    fn floatish_tokens() {
+        assert!(floatish("0.0"));
+        assert!(floatish("1e-9"));
+        assert!(floatish("f64::INFINITY"));
+        assert!(floatish("1.5f32"));
+        assert!(floatish("x_f64"));
+        assert!(!floatish("keyed.0"));
+        assert!(!floatish("base64"));
+        assert!(!floatish("code"));
+        assert!(!floatish("i32"));
+        assert!(!floatish("0x1e3")); // hex literal, not scientific
+    }
+
+    #[test]
+    fn operand_extraction() {
+        let code = "if self.x.distance(o) == 0.0 && y != 1e-3 {";
+        let pos = code.find("==").unwrap();
+        assert_eq!(operand(code, pos, 2, false), "0.0");
+        let pos2 = code.find("!=").unwrap();
+        assert_eq!(operand(code, pos2, 2, true), "y");
+        assert_eq!(operand(code, pos2, 2, false), "1e-3");
+    }
+}

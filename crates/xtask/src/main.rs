@@ -1,0 +1,93 @@
+//! `cargo xtask <command>` — workspace automation entry point.
+//!
+//! Commands:
+//!
+//! * `lint` — run the invariant lints over every workspace source file;
+//!   exits non-zero when any violation is found. `--root <dir>` overrides
+//!   the workspace root (defaults to the directory containing the
+//!   workspace `Cargo.toml`, resolved from `CARGO_MANIFEST_DIR`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xtask::{run_lints, Violation};
+
+fn workspace_root() -> PathBuf {
+    // crates/xtask → workspace root is two levels up
+    let manifest = std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| ".".to_string());
+    let mut root = PathBuf::from(manifest);
+    root.pop();
+    root.pop();
+    if root.as_os_str().is_empty() {
+        PathBuf::from(".")
+    } else {
+        root
+    }
+}
+
+fn print_report(violations: &[Violation]) {
+    for v in violations {
+        eprintln!("{}:{}: [{}] {}", v.path, v.line, v.lint.name(), v.message);
+    }
+    let mut counts = std::collections::BTreeMap::new();
+    for v in violations {
+        *counts.entry(v.lint.name()).or_insert(0usize) += 1;
+    }
+    let summary: Vec<String> = counts.iter().map(|(k, n)| format!("{n} {k}")).collect();
+    eprintln!(
+        "\nxtask lint: {} violation(s) ({})",
+        violations.len(),
+        summary.join(", ")
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root = workspace_root();
+    let mut command = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" if i + 1 < args.len() => {
+                root = PathBuf::from(&args[i + 1]);
+                i += 2;
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: cargo xtask lint [--root <dir>]");
+                return ExitCode::SUCCESS;
+            }
+            c if command.is_none() => {
+                command = Some(c.to_string());
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match command.as_deref() {
+        Some("lint") => match run_lints(&root) {
+            Ok(violations) if violations.is_empty() => {
+                eprintln!("xtask lint: clean ({})", root.display());
+                ExitCode::SUCCESS
+            }
+            Ok(violations) => {
+                print_report(&violations);
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!("xtask lint: I/O error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some(other) => {
+            eprintln!("unknown command `{other}`; try `cargo xtask lint`");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo xtask lint [--root <dir>]");
+            ExitCode::FAILURE
+        }
+    }
+}

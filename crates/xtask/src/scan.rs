@@ -1,0 +1,438 @@
+//! Lightweight Rust source scanner for the lint passes.
+//!
+//! A full parse is deliberately avoided — the lints are line-oriented and
+//! must keep working through any refactor, so the scanner only needs to
+//! answer three questions reliably:
+//!
+//! 1. which characters are *code* (comments and literal contents blanked
+//!    out, so `".unwrap()"` inside a string never trips a lint),
+//! 2. what *comment text* accompanies each line (waivers and `SAFETY:`
+//!    annotations live there),
+//! 3. which lines belong to `#[cfg(test)]` items (test code is exempt
+//!    from the allocation / panic / float-compare lints).
+//!
+//! The state machine understands line comments, nested block comments,
+//! string/char literals, raw strings (`r#"…"#`, any hash depth, `b`
+//! prefixes), and distinguishes lifetimes from char literals.
+
+/// One scanned source line.
+#[derive(Debug)]
+pub struct Line {
+    /// Source text with comment characters and string/char literal
+    /// contents replaced by spaces (delimiters kept, lengths preserved).
+    pub code: String,
+    /// The comment text carried by this line (empty when none).
+    pub comment: String,
+    /// Whether this line lies inside a `#[cfg(test)]` item.
+    pub in_test: bool,
+}
+
+/// A whole file, split into scanned lines (1-based indexing via `lines[i]`
+/// ↔ source line `i + 1`).
+#[derive(Debug)]
+pub struct Scanned {
+    pub lines: Vec<Line>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Splits `source` into parallel code / comment streams.
+fn separate(source: &str) -> (String, String) {
+    let b: Vec<char> = source.chars().collect();
+    let n = b.len();
+    let mut code = String::with_capacity(n);
+    let mut comment = String::with_capacity(n);
+    let mut state = State::Code;
+    let mut i = 0usize;
+
+    // push one char to `code`, a space to `comment` (newlines go to both)
+    macro_rules! emit_code {
+        ($c:expr) => {{
+            code.push($c);
+            comment.push(if $c == '\n' { '\n' } else { ' ' });
+        }};
+    }
+    macro_rules! emit_comment {
+        ($c:expr) => {{
+            comment.push($c);
+            code.push(if $c == '\n' { '\n' } else { ' ' });
+        }};
+    }
+
+    while i < n {
+        let c = b[i];
+        match state {
+            State::Code => {
+                if c == '/' && i + 1 < n && b[i + 1] == '/' {
+                    state = State::LineComment;
+                    emit_comment!('/');
+                    emit_comment!('/');
+                    i += 2;
+                } else if c == '/' && i + 1 < n && b[i + 1] == '*' {
+                    state = State::BlockComment(1);
+                    emit_comment!('/');
+                    emit_comment!('*');
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Str;
+                    emit_code!('"');
+                    i += 1;
+                } else if (c == 'r' || c == 'b')
+                    && (i == 0 || !is_ident(b[i - 1]))
+                    && raw_str_hashes(&b, i).is_some()
+                {
+                    let (hashes, skip) = raw_str_hashes(&b, i).unwrap_or((0, 1));
+                    for k in 0..skip {
+                        emit_code!(b[i + k]);
+                    }
+                    i += skip;
+                    state = State::RawStr(hashes);
+                } else if c == '\'' {
+                    // char literal vs lifetime: a literal closes within a
+                    // couple of chars or starts with an escape
+                    let is_char =
+                        i + 1 < n && (b[i + 1] == '\\' || (i + 2 < n && b[i + 2] == '\''));
+                    emit_code!('\'');
+                    i += 1;
+                    if is_char {
+                        state = State::Char;
+                    }
+                } else {
+                    emit_code!(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                if c == '\n' {
+                    state = State::Code;
+                    code.push('\n');
+                    comment.push('\n');
+                } else {
+                    emit_comment!(c);
+                }
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '/' && i + 1 < n && b[i + 1] == '*' {
+                    state = State::BlockComment(depth + 1);
+                    emit_comment!('/');
+                    emit_comment!('*');
+                    i += 2;
+                } else if c == '*' && i + 1 < n && b[i + 1] == '/' {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    emit_comment!('*');
+                    emit_comment!('/');
+                    i += 2;
+                } else {
+                    emit_comment!(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' && i + 1 < n {
+                    emit_code!(' ');
+                    emit_code!(' ');
+                    i += 2;
+                } else if c == '"' {
+                    emit_code!('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    emit_code!(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw(&b, i, hashes) {
+                    emit_code!('"');
+                    i += 1;
+                    for _ in 0..hashes {
+                        emit_code!('#');
+                        i += 1;
+                    }
+                    state = State::Code;
+                } else {
+                    emit_code!(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            State::Char => {
+                if c == '\\' && i + 1 < n {
+                    emit_code!(' ');
+                    emit_code!(' ');
+                    i += 2;
+                } else if c == '\'' {
+                    emit_code!('\'');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    emit_code!(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    (code, comment)
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// At `b[i]` (an `r` or `b`), detects a raw-string opener `r#*"` /
+/// `br#*"`; returns (hash count, chars consumed through the quote).
+fn raw_str_hashes(b: &[char], i: usize) -> Option<(u32, usize)> {
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+        if j >= b.len() || b[j] != 'r' {
+            return None;
+        }
+    }
+    if b[j] != 'r' {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while j < b.len() && b[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j < b.len() && b[j] == '"' {
+        Some((hashes, j - i + 1))
+    } else {
+        None
+    }
+}
+
+/// Whether the quote at `b[i]` is followed by `hashes` `#`s.
+fn closes_raw(b: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| b.get(i + k) == Some(&'#'))
+}
+
+/// Whether `needle` occurs in `hay` as a standalone word.
+#[must_use]
+pub fn contains_word(hay: &str, needle: &str) -> bool {
+    let hb = hay.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = hay[from..].find(needle) {
+        let s = from + pos;
+        let e = s + needle.len();
+        let left_ok = s == 0 || !is_ident(hb[s - 1] as char);
+        let right_ok = e >= hb.len() || !is_ident(hb[e] as char);
+        if left_ok && right_ok {
+            return true;
+        }
+        from = s + 1;
+    }
+    false
+}
+
+/// Char ranges (byte offsets into the code stream) covered by
+/// `#[cfg(test)]` items: from the attribute to the end of the annotated
+/// item (matching `}` of its body, or the terminating `;`).
+fn test_ranges(code: &str) -> Vec<(usize, usize)> {
+    let b: Vec<char> = code.chars().collect();
+    let n = b.len();
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < n {
+        if b[i] != '#' {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let mut j = i + 1;
+        if j < n && b[j] == '!' {
+            j += 1;
+        }
+        if j >= n || b[j] != '[' {
+            i += 1;
+            continue;
+        }
+        // capture the attribute body up to its matching `]`
+        let mut depth = 0i32;
+        let attr_start = j;
+        let mut attr_end = None;
+        while j < n {
+            match b[j] {
+                '[' => depth += 1,
+                ']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        attr_end = Some(j);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(attr_end) = attr_end else { break };
+        let attr: String = b[attr_start..=attr_end].iter().collect();
+        let is_test_cfg = attr.contains("cfg") && contains_word(&attr, "test");
+        if !is_test_cfg {
+            i = attr_end + 1;
+            continue;
+        }
+        // skip whitespace and any further attributes, then consume the item
+        let mut k = attr_end + 1;
+        loop {
+            while k < n && b[k].is_whitespace() {
+                k += 1;
+            }
+            if k < n && b[k] == '#' {
+                // another attribute: skip to its `]`
+                let mut d = 0i32;
+                while k < n {
+                    match b[k] {
+                        '[' => d += 1,
+                        ']' => {
+                            d -= 1;
+                            if d == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                k += 1;
+            } else {
+                break;
+            }
+        }
+        // item body: ends at the matching `}` of the first top-level brace
+        // block, or at a `;` reached before any brace opens
+        let mut brace = 0i32;
+        let mut paren = 0i32;
+        let mut end = n.saturating_sub(1);
+        while k < n {
+            match b[k] {
+                '{' => brace += 1,
+                '}' => {
+                    brace -= 1;
+                    if brace == 0 {
+                        end = k;
+                        break;
+                    }
+                }
+                '(' | '[' => paren += 1,
+                ')' | ']' => paren -= 1,
+                ';' if brace == 0 && paren == 0 => {
+                    end = k;
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        ranges.push((start, end));
+        i = end + 1;
+    }
+    ranges
+}
+
+/// Scans a whole source file.
+#[must_use]
+pub fn scan(source: &str) -> Scanned {
+    let (code, comment) = separate(source);
+    let ranges = test_ranges(&code);
+
+    // char offset of each line start in the (equal-length) streams
+    let mut lines = Vec::new();
+    let mut offset = 0usize;
+    let code_lines: Vec<&str> = code.split('\n').collect();
+    let comment_lines: Vec<&str> = comment.split('\n').collect();
+    for (cl, ml) in code_lines.iter().zip(&comment_lines) {
+        let len = cl.chars().count();
+        let (s, e) = (offset, offset + len);
+        let in_test = ranges.iter().any(|&(rs, re)| rs <= e && s <= re);
+        lines.push(Line {
+            code: (*cl).to_string(),
+            comment: (*ml).to_string(),
+            in_test,
+        });
+        offset = e + 1; // + the newline
+    }
+    Scanned { lines }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let src = "let x = \"a.unwrap()\"; // call .unwrap() later\nlet y = 1;\n";
+        let s = scan(src);
+        assert!(!s.lines[0].code.contains("unwrap"));
+        assert!(s.lines[0].comment.contains(".unwrap()"));
+        assert_eq!(s.lines[1].code, "let y = 1;");
+    }
+
+    #[test]
+    fn raw_strings_and_chars() {
+        let src = "let p = r#\"panic!(\"x\")\"#;\nlet c = '\"';\nlet l: &'static str = \"\";\n";
+        let s = scan(src);
+        assert!(!s.lines[0].code.contains("panic"));
+        assert!(s.lines[1].code.contains("let c ="));
+        assert!(s.lines[2].code.contains("'static"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ let z = 3;\n";
+        let s = scan(src);
+        assert!(s.lines[0].code.contains("let z = 3;"));
+        assert!(!s.lines[0].code.contains("outer"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn tail() {}\n";
+        let s = scan(src);
+        assert!(!s.lines[0].in_test);
+        assert!(s.lines[1].in_test);
+        assert!(s.lines[2].in_test);
+        assert!(s.lines[3].in_test);
+        assert!(s.lines[4].in_test);
+        assert!(!s.lines[5].in_test);
+    }
+
+    #[test]
+    fn cfg_test_on_single_item() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn live() {}\n";
+        let s = scan(src);
+        assert!(s.lines[1].in_test);
+        assert!(!s.lines[2].in_test);
+    }
+
+    #[test]
+    fn cfg_feature_is_not_test() {
+        let src = "#[cfg(feature = \"validate\")]\nfn checked() {}\n";
+        let s = scan(src);
+        assert!(!s.lines[1].in_test);
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(contains_word("unsafe { }", "unsafe"));
+        assert!(!contains_word("unsafe_op_in_unsafe_fn", "unsafe"));
+        assert!(contains_word("cfg(all(test, feature))", "test"));
+        assert!(!contains_word("latest", "test"));
+    }
+}

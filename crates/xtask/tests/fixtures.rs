@@ -1,0 +1,132 @@
+//! Fixture-driven acceptance tests for the lint engine: every `*_fail.rs`
+//! snippet must produce exactly the violations marked in its source, and
+//! every `*_pass.rs` snippet must lint clean. The fixtures live in
+//! `crates/xtask/fixtures/`, which the workspace walker skips, so they
+//! never leak into a real `cargo xtask lint` run.
+
+use xtask::{classify, lint_source, FileClass, Lint, Violation};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+/// Hot library file: all four lints apply.
+fn hot_class() -> FileClass {
+    FileClass {
+        hot: true,
+        library: true,
+    }
+}
+
+/// Lines flagged for `lint` in the given violations.
+fn lines_for(violations: &[Violation], lint: Lint) -> Vec<usize> {
+    let mut lines: Vec<usize> = violations
+        .iter()
+        .filter(|v| v.lint == lint)
+        .map(|v| v.line)
+        .collect();
+    lines.sort_unstable();
+    lines
+}
+
+/// Lines carrying a `// violation` marker in the fixture source.
+fn marked_lines(source: &str) -> Vec<usize> {
+    source
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| l.contains("// violation"))
+        .map(|(i, _)| i + 1)
+        .collect()
+}
+
+#[test]
+fn alloc_fail_fixture_flags_every_marked_line() {
+    let src = fixture("alloc_fail.rs");
+    let v = lint_source(&hot_class(), "alloc_fail.rs", &src);
+    assert_eq!(lines_for(&v, Lint::Alloc), marked_lines(&src));
+}
+
+#[test]
+fn alloc_pass_fixture_is_clean() {
+    let src = fixture("alloc_pass.rs");
+    let v = lint_source(&hot_class(), "alloc_pass.rs", &src);
+    assert!(v.is_empty(), "unexpected violations: {v:?}");
+}
+
+#[test]
+fn panic_fail_fixture_flags_every_marked_line() {
+    let src = fixture("panic_fail.rs");
+    let v = lint_source(&hot_class(), "panic_fail.rs", &src);
+    let mut expected = marked_lines(&src);
+    // the reasonless waiver line is flagged too (reason is mandatory)
+    let waiver_line = src
+        .lines()
+        .position(|l| l.contains("allow(panic)"))
+        .map(|i| i + 1)
+        .expect("fixture must contain a reasonless waiver");
+    expected.push(waiver_line);
+    expected.sort_unstable();
+    assert_eq!(lines_for(&v, Lint::Panic), expected);
+}
+
+#[test]
+fn panic_pass_fixture_is_clean() {
+    let src = fixture("panic_pass.rs");
+    let v = lint_source(&hot_class(), "panic_pass.rs", &src);
+    assert!(v.is_empty(), "unexpected violations: {v:?}");
+}
+
+#[test]
+fn float_cmp_fail_fixture_flags_every_marked_line() {
+    let src = fixture("float_cmp_fail.rs");
+    let v = lint_source(&hot_class(), "float_cmp_fail.rs", &src);
+    assert_eq!(lines_for(&v, Lint::FloatCmp), marked_lines(&src));
+}
+
+#[test]
+fn float_cmp_pass_fixture_is_clean() {
+    let src = fixture("float_cmp_pass.rs");
+    let v = lint_source(&hot_class(), "float_cmp_pass.rs", &src);
+    assert!(v.is_empty(), "unexpected violations: {v:?}");
+}
+
+#[test]
+fn safety_fail_fixture_flags_every_unsafe_site() {
+    let src = fixture("safety_fail.rs");
+    // the safety lint applies to every file, even non-library ones
+    let v = lint_source(&FileClass::default(), "safety_fail.rs", &src);
+    let expected: Vec<usize> = src
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| l.contains("unsafe "))
+        .map(|(i, _)| i + 1)
+        .collect();
+    assert_eq!(lines_for(&v, Lint::Safety), expected);
+}
+
+#[test]
+fn safety_pass_fixture_is_clean() {
+    let src = fixture("safety_pass.rs");
+    let v = lint_source(&FileClass::default(), "safety_pass.rs", &src);
+    assert!(v.is_empty(), "unexpected violations: {v:?}");
+}
+
+#[test]
+fn non_hot_non_library_files_only_get_the_safety_lint() {
+    // the alloc_fail fixture is full of allocations, but a bench harness
+    // classification must not flag any of them
+    let src = fixture("alloc_fail.rs");
+    let class = classify("crates/bench/src/lib.rs");
+    assert!(!class.hot && !class.library);
+    let v = lint_source(&class, "crates/bench/src/lib.rs", &src);
+    assert!(v.is_empty(), "harness code must not be alloc-linted: {v:?}");
+}
+
+#[test]
+fn hot_module_classification_matches_the_issue_list() {
+    for rel in xtask::HOT_MODULES {
+        let class = classify(rel);
+        assert!(class.hot && class.library, "{rel} must be hot library code");
+    }
+}

@@ -10,7 +10,9 @@
 //! comparisons, but the numbers are stable enough to compare runs of the
 //! same binary on the same machine.
 
-use std::fmt::Display;
+#![forbid(unsafe_code)]
+
+use std::fmt::{Display, Write as _};
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -140,6 +142,9 @@ pub struct Bencher {
 }
 
 impl Bencher {
+    // The name mirrors criterion's `Bencher::iter`; it runs the closure, it
+    // does not return an iterator.
+    #[allow(clippy::iter_not_returning_iterator)]
     pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
         let start = Instant::now();
         for _ in 0..self.iters {
@@ -199,7 +204,7 @@ fn run_benchmark(
             Throughput::Bytes(n) => (n as f64, "B/s"),
         };
         if median > 0.0 {
-            line.push_str(&format!("  thrpt: {}", format_rate(count / median, unit)));
+            let _ = write!(line, "  thrpt: {}", format_rate(count / median, unit));
         }
     }
     println!("{line}");
@@ -272,7 +277,7 @@ mod tests {
             b.iter(|| {
                 count += 1;
                 count
-            })
+            });
         });
         group.finish();
         assert!(count > 0);

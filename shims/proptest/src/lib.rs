@@ -8,6 +8,8 @@
 //! reproduce across runs. There is **no shrinking** — a failing case
 //! panics with the generated inputs printed via `Debug`.
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt::Debug;
@@ -28,6 +30,7 @@ pub struct ProptestConfig {
 }
 
 impl ProptestConfig {
+    #[must_use]
     pub fn with_cases(cases: u32) -> ProptestConfig {
         ProptestConfig { cases }
     }
@@ -54,11 +57,12 @@ pub struct TestRng {
 }
 
 impl TestRng {
+    #[must_use]
     pub fn from_name(name: &str) -> TestRng {
         // FNV-1a over the fully qualified test name
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for b in name.bytes() {
-            h ^= b as u64;
+            h ^= u64::from(b);
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
         TestRng {
@@ -180,18 +184,18 @@ pub mod collection {
 
     /// Length specifications accepted by [`vec`].
     pub trait IntoLenRange {
-        fn bounds(&self) -> (usize, usize); // [lo, hi) half-open
+        fn bounds(self) -> (usize, usize); // [lo, hi) half-open
     }
 
     impl IntoLenRange for Range<usize> {
-        fn bounds(&self) -> (usize, usize) {
+        fn bounds(self) -> (usize, usize) {
             (self.start, self.end)
         }
     }
 
     impl IntoLenRange for usize {
-        fn bounds(&self) -> (usize, usize) {
-            (*self, *self + 1)
+        fn bounds(self) -> (usize, usize) {
+            (self, self + 1)
         }
     }
 
@@ -239,6 +243,7 @@ pub mod sample {
     }
 
     /// `prop::sample::select(options)` — uniform choice of one element.
+    #[must_use]
     pub fn select<T: Clone + Debug>(options: Vec<T>) -> Select<T> {
         assert!(!options.is_empty(), "select from an empty set");
         Select { options }
@@ -351,20 +356,19 @@ macro_rules! __proptest_impl {
             );
             let mut accepted: u32 = 0;
             let mut rejected: u64 = 0;
-            let max_rejects: u64 = 1024 + 64 * config.cases as u64;
+            let max_rejects: u64 = 1024 + 64 * u64::from(config.cases);
             while accepted < config.cases {
                 $(
-                    let $arg = match $crate::Strategy::generate(&($strat), &mut rng) {
-                        ::std::option::Option::Some(v) => v,
-                        ::std::option::Option::None => {
-                            rejected += 1;
-                            assert!(
-                                rejected <= max_rejects,
-                                "too many rejected cases in {}",
-                                stringify!($name)
-                            );
-                            continue;
-                        }
+                    let ::std::option::Option::Some($arg) =
+                        $crate::Strategy::generate(&($strat), &mut rng)
+                    else {
+                        rejected += 1;
+                        assert!(
+                            rejected <= max_rejects,
+                            "too many rejected cases in {}",
+                            stringify!($name)
+                        );
+                        continue;
                     };
                 )+
                 let __case_desc = format!(
@@ -443,9 +447,9 @@ mod tests {
 
     #[test]
     fn deterministic_rng_per_name() {
+        use rand::Rng;
         let mut a = crate::TestRng::from_name("some::test");
         let mut b = crate::TestRng::from_name("some::test");
-        use rand::Rng;
         assert_eq!(a.inner.gen::<u64>(), b.inner.gen::<u64>());
     }
 }

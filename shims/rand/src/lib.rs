@@ -8,6 +8,8 @@
 //! test that hard-codes upstream sequences would need regenerating; none
 //! do).
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Core entropy source: everything is derived from `next_u64`.
@@ -164,12 +166,17 @@ fn uniform_u64_below<R: RngCore>(rng: &mut R, span: u64) -> u64 {
 macro_rules! impl_sample_uniform_int {
     ($($t:ty),*) => {$(
         impl SampleUniform for $t {
+            // `as u64` / `as $t` are generic over every integer width the
+            // macro instantiates; `From` conversions do not exist for all
+            // of them, so the infallible-cast lint is a false positive here.
+            #[allow(clippy::cast_lossless)]
             fn sample_half_open<R: RngCore>(rng: &mut R, lo: $t, hi: $t) -> $t {
                 assert!(lo < hi, "gen_range on an empty range");
                 let span = hi.abs_diff(lo) as u64;
                 lo.wrapping_add(uniform_u64_below(rng, span) as $t)
             }
 
+            #[allow(clippy::cast_lossless)]
             fn sample_closed<R: RngCore>(rng: &mut R, lo: $t, hi: $t) -> $t {
                 assert!(lo <= hi, "gen_range on an empty range");
                 let span = hi.abs_diff(lo) as u64;
@@ -228,7 +235,7 @@ mod tests {
             assert!((0.0..1.0).contains(&x));
             sum += x;
         }
-        let mean = sum / n as f64;
+        let mean = sum / f64::from(n);
         assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
     }
 

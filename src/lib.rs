@@ -40,6 +40,8 @@
 //! assert!(err.relative_l2 < 1e-3);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use mbt_bem as bem;
 pub use mbt_fmm as fmm;
 pub use mbt_geometry as geometry;

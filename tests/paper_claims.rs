@@ -69,7 +69,7 @@ fn lemma2_interactions_per_size_bounded() {
     let tc = Treecode::new(&ps, TreecodeParams::fixed(3, alpha).with_leaf_capacity(8)).unwrap();
     let tree = tc.tree();
     let target = Vec3::new(0.0, 0.0, 0.0);
-    let mut per_level: std::collections::HashMap<u16, usize> = Default::default();
+    let mut per_level = std::collections::HashMap::<u16, usize>::new();
     let mut stack = vec![tree.root()];
     while let Some(id) = stack.pop() {
         let node = tree.node(id);
