@@ -1,0 +1,143 @@
+//! Engine serving benchmarks: cold build, cached-query latency, batch
+//! throughput.
+//!
+//! Measures the three numbers that justify the engine layer's existence —
+//! how expensive a plan is to build (what the cache amortises), how cheap
+//! a cache-hit query is (what tenants actually pay), and how much
+//! coalescing concurrent callers into shared sweeps buys — and writes them
+//! to `BENCH_engine.json` as a flat, diffable document so the perf
+//! trajectory of this path is machine-readable across commits.
+//!
+//! Run with: `cargo run --release -p mbt-bench --bin engine_bench`
+
+use std::time::{Duration, Instant};
+
+use mbt_bench::timed;
+use mbt_engine::{Accuracy, Engine, EngineConfig, QueryKind, QueryRequest};
+use mbt_geometry::distribution::{uniform_cube, ChargeModel};
+use mbt_geometry::Vec3;
+
+const N_PARTICLES: usize = 40_000;
+const N_POINTS: usize = 2_000;
+const HOT_REPS: usize = 20;
+const BATCH_THREADS: usize = 8;
+const BATCH_ROUNDS: usize = 6;
+
+fn observation_points(n: usize) -> Vec<Vec3> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64;
+            Vec3::new(1.5 * t.sin(), 1.5 * (1.3 * t).cos(), 0.8 * (0.7 * t).sin())
+        })
+        .collect()
+}
+
+/// Milliseconds, rounded to microsecond precision for stable JSON.
+fn ms(d: Duration) -> f64 {
+    (d.as_secs_f64() * 1e6).round() / 1e3
+}
+
+fn main() {
+    let engine = Engine::new(EngineConfig::default()).expect("default config is valid");
+    let particles = uniform_cube(
+        N_PARTICLES,
+        1.0,
+        ChargeModel::RandomSign { magnitude: 1.0 },
+        42,
+    );
+    let dataset = engine
+        .register("bench", particles)
+        .expect("benchmark dataset registers");
+    let accuracy = Accuracy::Adaptive { p_min: 4 };
+    let points = observation_points(N_POINTS);
+
+    // --- cold path: first query pays the plan build ---
+    let (cold, cold_wall) = timed(|| {
+        engine
+            .query(QueryRequest::potentials(dataset, accuracy, points.clone()))
+            .expect("cold query succeeds")
+    });
+    let build_s = engine.stats().build_seconds;
+    println!(
+        "cold query: {:.1} ms total ({:.1} ms plan build, {} plan bytes)",
+        cold_wall * 1e3,
+        build_s * 1e3,
+        cold.plan_bytes,
+    );
+
+    // --- hot path: cached-plan query latency ---
+    let mut hot = Vec::with_capacity(HOT_REPS);
+    for _ in 0..HOT_REPS {
+        let t0 = Instant::now();
+        engine
+            .query(QueryRequest::potentials(dataset, accuracy, points.clone()))
+            .expect("hot query succeeds");
+        hot.push(t0.elapsed());
+    }
+    hot.sort();
+    let hot_median = hot[hot.len() / 2];
+    let hot_worst = *hot.last().expect("HOT_REPS > 0");
+    println!(
+        "hot query ({N_POINTS} points): median {:.2} ms, worst {:.2} ms over {HOT_REPS} reps",
+        ms(hot_median),
+        ms(hot_worst),
+    );
+
+    // --- batch throughput: concurrent tenants share sweeps ---
+    let per_thread = observation_points(N_POINTS / BATCH_THREADS);
+    let ((), batch_wall) = timed(|| {
+        std::thread::scope(|s| {
+            for _ in 0..BATCH_THREADS {
+                let engine = &engine;
+                let pts = per_thread.clone();
+                s.spawn(move || {
+                    for _ in 0..BATCH_ROUNDS {
+                        engine
+                            .query(QueryRequest {
+                                dataset,
+                                accuracy,
+                                kind: QueryKind::Potential,
+                                points: pts.clone(),
+                                deadline: None,
+                            })
+                            .expect("batched query succeeds");
+                    }
+                });
+            }
+        });
+    });
+    let stats = engine.stats();
+    let batch_points = (BATCH_THREADS * BATCH_ROUNDS * per_thread.len()) as f64;
+    let throughput = batch_points / batch_wall;
+    println!(
+        "batch phase: {BATCH_THREADS} threads x {BATCH_ROUNDS} rounds in {:.1} ms \
+         -> {throughput:.0} points/s (mean batch {:.2}, max {})",
+        batch_wall * 1e3,
+        stats.mean_batch(),
+        stats.max_batch,
+    );
+    println!("\n{stats}");
+
+    let json = format!(
+        "{{\n  \"bench\": \"engine\",\n  \"n_particles\": {N_PARTICLES},\n  \
+         \"n_points\": {N_POINTS},\n  \"plan_build_ms\": {build:.3},\n  \
+         \"plan_bytes\": {plan_bytes},\n  \"cold_query_ms\": {cold:.3},\n  \
+         \"hot_query_median_ms\": {hot_med:.3},\n  \"hot_query_worst_ms\": {hot_worst:.3},\n  \
+         \"batch_threads\": {BATCH_THREADS},\n  \"batch_points_per_s\": {tput:.0},\n  \
+         \"batch_mean_requests\": {mean_batch:.3},\n  \"batch_max_requests\": {max_batch},\n  \
+         \"cache_hits\": {hits},\n  \"cache_misses\": {misses},\n  \"hit_rate\": {hit_rate:.4}\n}}\n",
+        build = build_s * 1e3,
+        plan_bytes = cold.plan_bytes,
+        cold = cold_wall * 1e3,
+        hot_med = ms(hot_median),
+        hot_worst = ms(hot_worst),
+        tput = throughput,
+        mean_batch = stats.mean_batch(),
+        max_batch = stats.max_batch,
+        hits = stats.cache_hits,
+        misses = stats.cache_misses,
+        hit_rate = stats.hit_rate(),
+    );
+    std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
+    println!("wrote BENCH_engine.json");
+}

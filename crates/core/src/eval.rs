@@ -91,11 +91,30 @@ impl Treecode {
     /// Potentials at arbitrary observation points (no self-exclusion).
     #[must_use]
     pub fn potentials_at(&self, points: &[Vec3]) -> EvalResult<f64> {
-        let chunk = self.params.eval_chunk;
-        let (values, stats) = self.eval_chunks(points.len(), chunk, |i, scratch, stats| {
-            self.eval_potential(points[i], TargetKind::External, scratch, stats)
-        });
+        // lint: allow(alloc, one output buffer per sweep, not per interaction)
+        let mut values = vec![0.0; points.len()];
+        let stats = self.potentials_at_into(points, &mut values);
         EvalResult { values, stats }
+    }
+
+    /// Potentials at arbitrary points, written into a caller-provided
+    /// buffer (`out.len()` must equal `points.len()`).
+    ///
+    /// This is the batching entry point: a scheduler coalescing many
+    /// requests against one plan evaluates them all as a single chunked
+    /// sweep into one pre-sized output arena, allocating nothing here
+    /// beyond the per-chunk [`Scratch`] state. Values are identical to
+    /// [`Treecode::potentials_at`] — each target's traversal is
+    /// independent, so batching and chunking cannot change results.
+    pub fn potentials_at_into(&self, points: &[Vec3], out: &mut [f64]) -> EvalStats {
+        assert_eq!(
+            points.len(),
+            out.len(),
+            "output buffer must match the number of points"
+        );
+        self.eval_chunks_into(out, self.params.eval_chunk, |i, scratch, stats| {
+            self.eval_potential(points[i], TargetKind::External, scratch, stats)
+        })
     }
 
     /// Potential and gradient at all source particles, original order.
@@ -116,11 +135,24 @@ impl Treecode {
     /// Potential and gradient at arbitrary points.
     #[must_use]
     pub fn fields_at(&self, points: &[Vec3]) -> EvalResult<(f64, Vec3)> {
-        let chunk = self.params.eval_chunk;
-        let (values, stats) = self.eval_chunks(points.len(), chunk, |i, scratch, stats| {
-            self.eval_field(points[i], TargetKind::External, scratch, stats)
-        });
+        // lint: allow(alloc, one output buffer per sweep, not per interaction)
+        let mut values = vec![(0.0, Vec3::ZERO); points.len()];
+        let stats = self.fields_at_into(points, &mut values);
         EvalResult { values, stats }
+    }
+
+    /// Potential and gradient at arbitrary points, written into a
+    /// caller-provided buffer — the field-query analogue of
+    /// [`Treecode::potentials_at_into`].
+    pub fn fields_at_into(&self, points: &[Vec3], out: &mut [(f64, Vec3)]) -> EvalStats {
+        assert_eq!(
+            points.len(),
+            out.len(),
+            "output buffer must match the number of points"
+        );
+        self.eval_chunks_into(out, self.params.eval_chunk, |i, scratch, stats| {
+            self.eval_field(points[i], TargetKind::External, scratch, stats)
+        })
     }
 
     /// Potential at one external point (serial convenience).
@@ -151,10 +183,23 @@ impl Treecode {
         chunk: usize,
         f: impl Fn(usize, &mut Scratch, &mut EvalStats) -> T + Sync,
     ) -> (Vec<T>, EvalStats) {
-        let chunk = chunk.max(1);
-        let max_degree = self.max_degree();
         // lint: allow(alloc, one output buffer per sweep, not per interaction)
         let mut values = vec![T::default(); n];
+        let stats = self.eval_chunks_into(&mut values, chunk, f);
+        (values, stats)
+    }
+
+    /// [`Treecode::eval_chunks`] writing into a caller-provided buffer:
+    /// the shared core of every sweep, and the entry point batching layers
+    /// use to evaluate coalesced requests into one output arena.
+    fn eval_chunks_into<T: Send>(
+        &self,
+        values: &mut [T],
+        chunk: usize,
+        f: impl Fn(usize, &mut Scratch, &mut EvalStats) -> T + Sync,
+    ) -> EvalStats {
+        let chunk = chunk.max(1);
+        let max_degree = self.max_degree();
         let chunk_stats: Vec<EvalStats> = values
             .par_chunks_mut(chunk)
             .enumerate()
@@ -171,7 +216,7 @@ impl Treecode {
         for s in &chunk_stats {
             stats.merge(s);
         }
-        (values, stats)
+        stats
     }
 
     /// One target's potential via iterative MAC traversal.
@@ -551,6 +596,25 @@ mod tests {
                 assert_eq!(a, b, "{name} mode: target {i} diverged from reference");
             }
         }
+    }
+
+    #[test]
+    fn into_variants_match_allocating_variants_bitwise() {
+        let ps = uniform_cube(900, 1.0, charges(), 41);
+        let tc = Treecode::new(&ps, TreecodeParams::adaptive(3, 0.6)).unwrap();
+        let points: Vec<Vec3> = ps.iter().step_by(3).map(|p| p.position * 1.5).collect();
+
+        let a = tc.potentials_at(&points);
+        let mut buf = vec![0.0; points.len()];
+        let stats = tc.potentials_at_into(&points, &mut buf);
+        assert_eq!(a.values, buf);
+        assert_eq!(a.stats, stats);
+
+        let f = tc.fields_at(&points);
+        let mut fbuf = vec![(0.0, Vec3::ZERO); points.len()];
+        let fstats = tc.fields_at_into(&points, &mut fbuf);
+        assert_eq!(f.values, fbuf);
+        assert_eq!(f.stats, fstats);
     }
 
     #[test]

@@ -50,4 +50,4 @@ pub use eval::EvalResult;
 pub use mbt_multipole::{DegreeSelector, DegreeWeighting};
 pub use params::{RefWeight, TreecodeError, TreecodeParams};
 pub use stats::EvalStats;
-pub use upward::Treecode;
+pub use upward::{upward_pass_count, Treecode};

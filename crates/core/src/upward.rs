@@ -1,12 +1,25 @@
 //! Treecode construction: tree build, per-cluster degree selection, and the
 //! upward (expansion construction) pass.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use mbt_geometry::{Particle, Vec3};
 use mbt_multipole::{p2m_into, tri_len, Complex, ExpansionRef, Workspace};
 use mbt_tree::{Octree, OctreeParams};
 use rayon::prelude::*;
 
 use crate::params::{TreecodeError, TreecodeParams};
+
+/// Process-wide count of completed upward passes (expansion
+/// constructions). Mirrors [`mbt_tree::build_count`]: caching layers read
+/// the counter around a code path to prove it rebuilt nothing.
+static UPWARD_PASSES: AtomicU64 = AtomicU64::new(0);
+
+/// The number of upward passes this process has run so far.
+#[must_use]
+pub fn upward_pass_count() -> u64 {
+    UPWARD_PASSES.load(Ordering::Relaxed)
+}
 
 /// How many node expansions one parallel P2M task builds with a single
 /// reused [`Workspace`] — allocations per upward pass are `O(tasks)`, not
@@ -86,6 +99,12 @@ impl CoeffArena {
     #[inline]
     pub(crate) fn span(&self, id: usize) -> &[Complex] {
         &self.data[self.offsets[id]..self.offsets[id + 1]]
+    }
+
+    /// Resident heap footprint of the arena in bytes (offsets + data).
+    fn heap_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.data.len() * std::mem::size_of::<Complex>()
     }
 
     /// Splits the whole arena into per-node mutable spans (for the
@@ -203,6 +222,7 @@ impl Treecode {
     /// fixed-degree M2M phase walks the node order in reverse,
     /// accumulating each child span into its parent span in place.
     fn upward_pass(tree: &Octree, degrees: &[usize]) -> CoeffArena {
+        UPWARD_PASSES.fetch_add(1, Ordering::Relaxed);
         let uniform = degrees.windows(2).all(|w| w[0] == w[1]);
         let mut arena = CoeffArena::zeroed(degrees);
         {
@@ -330,6 +350,19 @@ impl Treecode {
         self.tree.particles()
     }
 
+    /// Resident heap footprint of the whole built plan in bytes: the
+    /// octree (nodes, sorted particles, keys, permutation), the flat
+    /// coefficient arena, and the per-node degree table. This is the
+    /// quantity a plan cache charges against its byte budget — the
+    /// treecode is exactly the expensive reusable artifact such a cache
+    /// stores.
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.tree.heap_bytes()
+            + self.arena.heap_bytes()
+            + self.degrees.len() * std::mem::size_of::<usize>()
+    }
+
     /// Total coefficient storage (complex numbers) across all expansions —
     /// the memory-side cost of the adaptive method.
     #[must_use]
@@ -450,6 +483,34 @@ mod tests {
         let fixed = Treecode::new(&ps, TreecodeParams::fixed(3, 0.6)).unwrap();
         let adaptive = Treecode::new(&ps, TreecodeParams::adaptive(3, 0.6)).unwrap();
         assert!(adaptive.coefficient_count() > fixed.coefficient_count());
+    }
+
+    #[test]
+    fn heap_bytes_accounts_tree_and_arena() {
+        let ps = particles(2000);
+        let tc = Treecode::new(&ps, TreecodeParams::fixed(4, 0.6)).unwrap();
+        let bytes = tc.heap_bytes();
+        // at least the particle storage and the coefficient arena
+        let coeffs: usize = tc
+            .degrees()
+            .iter()
+            .map(|&p| mbt_multipole::coeff_bytes(p))
+            .sum();
+        assert!(bytes >= ps.len() * std::mem::size_of::<Particle>() + coeffs);
+        // a higher degree must cost more memory
+        let big = Treecode::new(&ps, TreecodeParams::fixed(8, 0.6)).unwrap();
+        assert!(big.heap_bytes() > bytes);
+    }
+
+    #[test]
+    fn upward_pass_counter_advances_per_build() {
+        let ps = particles(300);
+        let before = upward_pass_count();
+        let tc = Treecode::new(&ps, TreecodeParams::fixed(3, 0.6)).unwrap();
+        let _rebuilt = tc.with_charges(&vec![1.0; ps.len()]);
+        // other tests run concurrently in this process, so the counter may
+        // advance by more than our two passes — never fewer
+        assert!(upward_pass_count() >= before + 2);
     }
 
     #[test]

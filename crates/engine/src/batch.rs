@@ -1,0 +1,176 @@
+//! The hot batch-evaluation path.
+//!
+//! A drained batch of coalesced requests against one plan becomes a
+//! **single** chunked sweep: all points are packed into one arena, the
+//! treecode's `*_at_into` kernels evaluate them with PR 1's per-chunk
+//! `Scratch`/workspace machinery, and the output arena is split back per
+//! request. Allocation discipline (enforced by `cargo xtask lint`): one
+//! point arena + one value arena per drained batch and one result buffer
+//! per request handed to its caller — never an allocation per point or
+//! per interaction.
+//!
+//! Because every target's traversal is independent, packing requests
+//! together is **bit-exact**: each request's values are identical to what
+//! a lone `potentials_at`/`fields_at` call on the same plan would return.
+
+use mbt_geometry::Vec3;
+use mbt_treecode::{EvalStats, Treecode};
+
+/// What a query computes at each point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryKind {
+    /// Potential `Φ(x)`.
+    Potential,
+    /// Potential and gradient `(Φ(x), ∇Φ(x))`.
+    Field,
+}
+
+/// Values of one request, in its point order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutput {
+    /// Per-point potentials (for [`QueryKind::Potential`]).
+    Potentials(Vec<f64>),
+    /// Per-point potential–gradient pairs (for [`QueryKind::Field`]).
+    Fields(Vec<(f64, Vec3)>),
+}
+
+impl QueryOutput {
+    /// Number of evaluated points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            QueryOutput::Potentials(v) => v.len(),
+            QueryOutput::Fields(v) => v.len(),
+        }
+    }
+
+    /// Whether the request had no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The potentials, when this is a potential-query output.
+    #[must_use]
+    pub fn potentials(&self) -> Option<&[f64]> {
+        match self {
+            QueryOutput::Potentials(v) => Some(v),
+            QueryOutput::Fields(_) => None,
+        }
+    }
+
+    /// The potential–gradient pairs, when this is a field-query output.
+    #[must_use]
+    pub fn fields(&self) -> Option<&[(f64, Vec3)]> {
+        match self {
+            QueryOutput::Fields(v) => Some(v),
+            QueryOutput::Potentials(_) => None,
+        }
+    }
+}
+
+/// Evaluates one drained batch against one plan's treecode: `requests`
+/// are the per-request point slices; returns per-request outputs in the
+/// same order plus the merged sweep counters.
+#[must_use]
+pub fn evaluate_batch(
+    treecode: &Treecode,
+    kind: QueryKind,
+    requests: &[&[Vec3]],
+) -> (Vec<QueryOutput>, EvalStats) {
+    let total: usize = requests.iter().map(|r| r.len()).sum();
+    // lint: allow(alloc, one packed point arena per drained batch)
+    let mut points: Vec<Vec3> = Vec::with_capacity(total);
+    for r in requests {
+        points.extend_from_slice(r);
+    }
+    // lint: allow(alloc, O(batch) split of the output arena)
+    let mut outputs: Vec<QueryOutput> = Vec::with_capacity(requests.len());
+    let stats = match kind {
+        QueryKind::Potential => {
+            // lint: allow(alloc, one value arena per drained batch)
+            let mut values = vec![0.0f64; total];
+            let stats = treecode.potentials_at_into(&points, &mut values);
+            let mut offset = 0;
+            for r in requests {
+                let slice = &values[offset..offset + r.len()];
+                // lint: allow(alloc, per-request result buffer handed to its caller)
+                outputs.push(QueryOutput::Potentials(slice.to_vec()));
+                offset += r.len();
+            }
+            stats
+        }
+        QueryKind::Field => {
+            // lint: allow(alloc, one value arena per drained batch)
+            let mut values = vec![(0.0f64, Vec3::ZERO); total];
+            let stats = treecode.fields_at_into(&points, &mut values);
+            let mut offset = 0;
+            for r in requests {
+                let slice = &values[offset..offset + r.len()];
+                // lint: allow(alloc, per-request result buffer handed to its caller)
+                outputs.push(QueryOutput::Fields(slice.to_vec()));
+                offset += r.len();
+            }
+            stats
+        }
+    };
+    (outputs, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbt_geometry::distribution::{uniform_cube, ChargeModel};
+    use mbt_treecode::TreecodeParams;
+
+    #[test]
+    fn batched_eval_matches_individual_calls_bitwise() {
+        let ps = uniform_cube(700, 1.0, ChargeModel::RandomSign { magnitude: 1.0 }, 3);
+        let tc = Treecode::new(&ps, TreecodeParams::adaptive(3, 0.6)).unwrap();
+        let a: Vec<Vec3> = ps.iter().take(40).map(|p| p.position * 1.3).collect();
+        let b: Vec<Vec3> = ps
+            .iter()
+            .skip(40)
+            .take(25)
+            .map(|p| p.position * 0.5)
+            .collect();
+        let c: Vec<Vec3> = vec![Vec3::new(2.0, -1.0, 0.5)];
+
+        let (out, stats) = evaluate_batch(&tc, QueryKind::Potential, &[&a, &b, &c]);
+        assert_eq!(out.len(), 3);
+        assert_eq!(stats.targets as usize, a.len() + b.len() + c.len());
+        for (points, got) in [(&a, &out[0]), (&b, &out[1]), (&c, &out[2])] {
+            let lone = tc.potentials_at(points);
+            assert_eq!(got.potentials().unwrap(), lone.values.as_slice());
+            assert_eq!(got.len(), points.len());
+        }
+
+        let (fout, fstats) = evaluate_batch(&tc, QueryKind::Field, &[&a, &b]);
+        assert_eq!(fstats.targets as usize, a.len() + b.len());
+        for (points, got) in [(&a, &fout[0]), (&b, &fout[1])] {
+            let lone = tc.fields_at(points);
+            assert_eq!(got.fields().unwrap(), lone.values.as_slice());
+        }
+    }
+
+    #[test]
+    fn empty_requests_are_fine() {
+        let ps = uniform_cube(100, 1.0, ChargeModel::RandomSign { magnitude: 1.0 }, 5);
+        let tc = Treecode::new(&ps, TreecodeParams::fixed(3, 0.6)).unwrap();
+        let empty: Vec<Vec3> = Vec::new();
+        let (out, stats) = evaluate_batch(&tc, QueryKind::Potential, &[&empty]);
+        assert!(out[0].is_empty());
+        assert_eq!(stats.targets, 0);
+        let (none, _) = evaluate_batch(&tc, QueryKind::Field, &[]);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn output_accessors() {
+        let p = QueryOutput::Potentials(vec![1.0, 2.0]);
+        assert!(p.fields().is_none());
+        let f = QueryOutput::Fields(vec![(1.0, Vec3::ZERO)]);
+        assert!(f.potentials().is_none());
+        assert_eq!(f.len(), 1);
+    }
+}

@@ -1,0 +1,357 @@
+//! The plan cache: byte-budgeted LRU residency plus single-flight
+//! construction.
+//!
+//! [`ByteLru`] is the pure residency policy — a map whose entries carry a
+//! byte size, with strict LRU eviction against a fixed budget. It is
+//! deliberately lock-free and side-effect-free so property tests can
+//! drive it directly against a model. [`PlanCache`] wraps it with the
+//! concurrency the engine needs: one mutex around the residency state,
+//! and a ticket table guaranteeing that N concurrent misses on one key
+//! run **one** build while the other N−1 wait for its result.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Instant;
+
+use crate::error::EngineError;
+use crate::plan::{Plan, PlanKey};
+use crate::stats::StatsCollector;
+
+/// One resident entry.
+#[derive(Debug)]
+struct LruEntry<V> {
+    value: V,
+    bytes: usize,
+    last_used: u64,
+}
+
+/// Outcome of a [`ByteLru::insert`].
+#[derive(Debug)]
+pub struct Inserted<K, V> {
+    /// Whether the new entry is resident (an entry larger than the whole
+    /// budget is refused rather than cached — it would evict everything
+    /// and still violate the budget).
+    pub admitted: bool,
+    /// Entries evicted to make room, least-recently-used first.
+    pub evicted: Vec<(K, usize, V)>,
+}
+
+/// A byte-budgeted strict-LRU map.
+///
+/// Invariant (checked by [`ByteLru::check_invariants`], enforced under
+/// the `validate` feature): the sum of resident entry sizes never
+/// exceeds the budget, and `total_bytes` always equals that sum.
+#[derive(Debug)]
+pub struct ByteLru<K, V> {
+    budget: usize,
+    entries: HashMap<K, LruEntry<V>>,
+    total: usize,
+    tick: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> ByteLru<K, V> {
+    /// An empty cache with the given byte budget.
+    #[must_use]
+    pub fn new(budget: usize) -> ByteLru<K, V> {
+        ByteLru {
+            budget,
+            entries: HashMap::new(),
+            total: 0,
+            tick: 0,
+        }
+    }
+
+    /// The byte budget.
+    #[must_use]
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Bytes currently resident.
+    #[must_use]
+    pub fn total_bytes(&self) -> usize {
+        self.total
+    }
+
+    /// Number of resident entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is resident.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks `key` up and marks it most-recently-used.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(key).map(|e| {
+            e.last_used = tick;
+            &e.value
+        })
+    }
+
+    /// Inserts `key → value` accounted at `bytes`, evicting
+    /// least-recently-used entries until the budget holds. Re-inserting
+    /// an existing key replaces it (the old entry is reported evicted).
+    pub fn insert(&mut self, key: K, value: V, bytes: usize) -> Inserted<K, V> {
+        let mut evicted = Vec::new();
+        if let Some(old) = self.entries.remove(&key) {
+            self.total -= old.bytes;
+            evicted.push((key.clone(), old.bytes, old.value));
+        }
+        if bytes > self.budget {
+            return Inserted {
+                admitted: false,
+                evicted,
+            };
+        }
+        while self.total + bytes > self.budget {
+            // strict LRU victim: the smallest last_used tick
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    if let Some(e) = self.entries.remove(&k) {
+                        self.total -= e.bytes;
+                        evicted.push((k, e.bytes, e.value));
+                    }
+                }
+                None => break, // unreachable: bytes <= budget and map empty
+            }
+        }
+        self.tick += 1;
+        self.total += bytes;
+        self.entries.insert(
+            key,
+            LruEntry {
+                value,
+                bytes,
+                last_used: self.tick,
+            },
+        );
+        Inserted {
+            admitted: true,
+            evicted,
+        }
+    }
+
+    /// Verifies the accounting invariants, returning a description of the
+    /// first violation. Called after every mutation when the `validate`
+    /// feature is on; always available to tests.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let sum: usize = self.entries.values().map(|e| e.bytes).sum();
+        if sum != self.total {
+            return Err(format!(
+                "byte accounting drifted: tracked {} vs actual {sum}",
+                self.total
+            ));
+        }
+        if self.total > self.budget {
+            return Err(format!(
+                "budget violated: {} resident > {} budget",
+                self.total, self.budget
+            ));
+        }
+        if self.entries.values().any(|e| e.last_used > self.tick) {
+            return Err("entry recency is ahead of the clock".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// How a plan lookup was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Served from a resident plan — no build, no upward pass.
+    Hit,
+    /// This caller built the plan.
+    Built,
+    /// Another caller was already building it; this one waited
+    /// (single-flight coalescing).
+    Coalesced,
+}
+
+/// Result slot a build's waiters park on.
+#[derive(Debug, Default)]
+struct BuildTicket {
+    slot: Mutex<Option<Result<Arc<Plan>, EngineError>>>,
+    done: Condvar,
+}
+
+#[derive(Debug)]
+struct CacheState {
+    lru: ByteLru<PlanKey, Arc<Plan>>,
+    building: HashMap<PlanKey, Arc<BuildTicket>>,
+}
+
+/// Concurrent plan cache: LRU + byte budget + single-flight builds.
+#[derive(Debug)]
+pub struct PlanCache {
+    state: Mutex<CacheState>,
+}
+
+impl PlanCache {
+    /// An empty cache with the given byte budget.
+    #[must_use]
+    pub fn new(budget_bytes: usize) -> PlanCache {
+        PlanCache {
+            state: Mutex::new(CacheState {
+                lru: ByteLru::new(budget_bytes),
+                building: HashMap::new(),
+            }),
+        }
+    }
+
+    /// `(resident plans, resident bytes)`.
+    pub fn residency(&self) -> (usize, usize) {
+        let st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        (st.lru.len(), st.lru.total_bytes())
+    }
+
+    /// Returns the plan for `key`, building it with `build` on a miss.
+    ///
+    /// Concurrent calls with the same cold key run `build` exactly once:
+    /// the first caller becomes the builder, the rest park on its ticket
+    /// and receive the same `Arc<Plan>` (or the same error). Build errors
+    /// are not cached — the next request retries.
+    pub fn get_or_build(
+        &self,
+        key: PlanKey,
+        stats: &StatsCollector,
+        build: impl FnOnce() -> Result<Plan, EngineError>,
+    ) -> Result<(Arc<Plan>, CacheOutcome), EngineError> {
+        // fast path / ticket acquisition under the state lock
+        let ticket = {
+            let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(plan) = st.lru.get(&key) {
+                stats.record_hit();
+                return Ok((Arc::clone(plan), CacheOutcome::Hit));
+            }
+            if let Some(t) = st.building.get(&key) {
+                stats.record_coalesced();
+                Some(Arc::clone(t))
+            } else {
+                stats.record_miss();
+                st.building.insert(key, Arc::new(BuildTicket::default()));
+                None
+            }
+        };
+
+        if let Some(t) = ticket {
+            // follower: wait for the in-flight build
+            let mut slot = t.slot.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(result) = slot.as_ref() {
+                    return result
+                        .as_ref()
+                        .map(|p| (Arc::clone(p), CacheOutcome::Coalesced))
+                        .map_err(Clone::clone);
+                }
+                slot = t.done.wait(slot).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        // builder: run the build outside every lock
+        let t0 = Instant::now();
+        let built = build().map(Arc::new);
+        if built.is_ok() {
+            stats.record_build(t0.elapsed());
+        }
+
+        let ticket = {
+            let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Ok(plan) = &built {
+                let ins = st.lru.insert(key, Arc::clone(plan), plan.bytes);
+                for (_, bytes, _) in &ins.evicted {
+                    stats.record_eviction(*bytes);
+                }
+            }
+            #[cfg(feature = "validate")]
+            if let Err(why) = st.lru.check_invariants() {
+                // validate-mode contract: accounting bugs are engine bugs
+                panic!("plan cache invariant violated: {why}"); // lint: allow(panic, validate-feature contract check, disabled in production builds)
+            }
+            st.building.remove(&key)
+        };
+
+        // wake the waiters (outside the state lock; waiters never hold it)
+        if let Some(t) = ticket {
+            let mut slot = t.slot.lock().unwrap_or_else(PoisonError::into_inner);
+            *slot = Some(built.clone());
+            t.done.notify_all();
+        }
+
+        built.map(|p| (p, CacheOutcome::Built))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_get_bumps_recency() {
+        let mut lru: ByteLru<u32, u32> = ByteLru::new(100);
+        assert!(lru.insert(1, 10, 40).admitted);
+        assert!(lru.insert(2, 20, 40).admitted);
+        assert_eq!(lru.get(&1), Some(&10)); // 2 is now LRU
+        let ins = lru.insert(3, 30, 40);
+        assert!(ins.admitted);
+        assert_eq!(ins.evicted.len(), 1);
+        assert_eq!(ins.evicted[0].0, 2);
+        assert!(lru.check_invariants().is_ok());
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.total_bytes(), 80);
+        assert!(!lru.is_empty());
+        assert_eq!(lru.budget(), 100);
+    }
+
+    #[test]
+    fn oversized_entry_refused() {
+        let mut lru: ByteLru<u32, u32> = ByteLru::new(100);
+        lru.insert(1, 10, 60);
+        let ins = lru.insert(2, 20, 101);
+        assert!(!ins.admitted);
+        assert!(ins.evicted.is_empty());
+        // the resident entry was not disturbed
+        assert_eq!(lru.get(&1), Some(&10));
+        assert_eq!(lru.total_bytes(), 60);
+        assert!(lru.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn reinsert_replaces() {
+        let mut lru: ByteLru<u32, u32> = ByteLru::new(100);
+        lru.insert(1, 10, 60);
+        let ins = lru.insert(1, 11, 30);
+        assert!(ins.admitted);
+        assert_eq!(ins.evicted.len(), 1); // the old value comes back out
+        assert_eq!(ins.evicted[0].2, 10);
+        assert_eq!(lru.get(&1), Some(&11));
+        assert_eq!(lru.total_bytes(), 30);
+        assert!(lru.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn eviction_is_lru_ordered() {
+        let mut lru: ByteLru<u32, u32> = ByteLru::new(100);
+        for k in 0..4 {
+            lru.insert(k, k, 25);
+        }
+        lru.get(&0); // order now 1, 2, 3, 0
+        let ins = lru.insert(9, 9, 75);
+        assert!(ins.admitted);
+        let order: Vec<u32> = ins.evicted.iter().map(|e| e.0).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+        assert!(lru.check_invariants().is_ok());
+    }
+}

@@ -1,0 +1,625 @@
+//! The engine facade: registry → plan cache → batched scheduler →
+//! admission control, behind one thread-safe object.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mbt_geometry::{Particle, Vec3};
+use mbt_treecode::{EvalStats, TreecodeParams};
+
+use crate::admission::AdmissionGate;
+use crate::batch::{evaluate_batch, QueryKind, QueryOutput};
+use crate::cache::{CacheOutcome, PlanCache};
+use crate::error::EngineError;
+use crate::plan::{Accuracy, Plan, PlanKey};
+use crate::registry::{Dataset, DatasetId, DatasetRegistry};
+use crate::scheduler::Batcher;
+use crate::stats::{EngineStats, Gauges, StatsCollector};
+
+/// Engine-wide settings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Default MAC parameter α applied when resolving [`Accuracy`]
+    /// shorthands (requests using [`Accuracy::Params`] bypass it).
+    pub alpha: f64,
+    /// Default leaf capacity for resolved plans.
+    pub leaf_capacity: usize,
+    /// Default aggregation width `w` for resolved plans.
+    pub eval_chunk: usize,
+    /// Plan-cache byte budget (built trees + coefficient arenas).
+    pub cache_budget_bytes: usize,
+    /// Maximum requests in planning/evaluation at once.
+    pub max_in_flight: usize,
+    /// Maximum requests waiting for an evaluation slot; a full queue
+    /// sheds new arrivals immediately.
+    pub max_queued: usize,
+    /// Extra coalescing wait a batch leader performs before draining its
+    /// group. Zero (default) relies on natural batching: requests
+    /// arriving while a sweep runs are drained by the next one.
+    pub batch_window: Duration,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            alpha: 0.6,
+            leaf_capacity: 32,
+            eval_chunk: 64,
+            cache_budget_bytes: 256 << 20,
+            max_in_flight: 32,
+            max_queued: 1024,
+            batch_window: Duration::ZERO,
+        }
+    }
+}
+
+impl EngineConfig {
+    fn validate(&self) -> Result<(), EngineError> {
+        if !self.alpha.is_finite() || self.alpha <= 0.0 {
+            return Err(EngineError::InvalidConfig("alpha must be finite and > 0"));
+        }
+        if self.leaf_capacity == 0 {
+            return Err(EngineError::InvalidConfig("leaf_capacity must be >= 1"));
+        }
+        if self.max_in_flight == 0 {
+            return Err(EngineError::InvalidConfig("max_in_flight must be >= 1"));
+        }
+        if self.cache_budget_bytes == 0 {
+            return Err(EngineError::InvalidConfig(
+                "cache_budget_bytes must be >= 1 (an engine without plan storage cannot serve)",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One query: where, what, how accurately, and by when.
+#[derive(Debug, Clone)]
+pub struct QueryRequest {
+    /// The registered dataset to evaluate against.
+    pub dataset: DatasetId,
+    /// Per-request accuracy, resolved against the engine defaults.
+    pub accuracy: Accuracy,
+    /// Potential or potential + gradient.
+    pub kind: QueryKind,
+    /// Observation points.
+    pub points: Vec<Vec3>,
+    /// Optional deadline: the request is shed (never evaluated) once this
+    /// instant passes while it is still queued.
+    pub deadline: Option<Instant>,
+}
+
+impl QueryRequest {
+    /// A potential query.
+    #[must_use]
+    pub fn potentials(dataset: DatasetId, accuracy: Accuracy, points: Vec<Vec3>) -> QueryRequest {
+        QueryRequest {
+            dataset,
+            accuracy,
+            kind: QueryKind::Potential,
+            points,
+            deadline: None,
+        }
+    }
+
+    /// A potential + gradient query.
+    #[must_use]
+    pub fn fields(dataset: DatasetId, accuracy: Accuracy, points: Vec<Vec3>) -> QueryRequest {
+        QueryRequest {
+            dataset,
+            accuracy,
+            kind: QueryKind::Field,
+            points,
+            deadline: None,
+        }
+    }
+
+    /// Attaches a deadline `budget` from now.
+    #[must_use]
+    pub fn with_deadline(mut self, budget: Duration) -> QueryRequest {
+        self.deadline = Some(Instant::now() + budget);
+        self
+    }
+}
+
+/// A served query.
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// Per-point values, in the request's point order.
+    pub output: QueryOutput,
+    /// Counters of the evaluation sweep this request rode in. Sweeps may
+    /// serve several coalesced requests, so these cover the whole batch,
+    /// not only this request's points.
+    pub eval: EvalStats,
+    /// How the plan was obtained (cache hit / built / coalesced build).
+    pub cache: CacheOutcome,
+    /// Resident size of the plan that served this query.
+    pub plan_bytes: usize,
+}
+
+/// The multi-tenant treecode query engine.
+///
+/// `Engine` is `Sync`: share one instance (e.g. behind an `Arc`) across
+/// every serving thread. See the crate docs for the full architecture.
+#[derive(Debug)]
+pub struct Engine {
+    config: EngineConfig,
+    registry: DatasetRegistry,
+    cache: PlanCache,
+    batcher: Batcher,
+    gate: AdmissionGate,
+    stats: StatsCollector,
+}
+
+impl Engine {
+    /// An engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Result<Engine, EngineError> {
+        config.validate()?;
+        Ok(Engine {
+            config,
+            registry: DatasetRegistry::new(),
+            cache: PlanCache::new(config.cache_budget_bytes),
+            batcher: Batcher::new(),
+            gate: AdmissionGate::new(config.max_in_flight, config.max_queued),
+            stats: StatsCollector::default(),
+        })
+    }
+
+    /// The engine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Validates and registers a particle set under `name`.
+    pub fn register(&self, name: &str, particles: Vec<Particle>) -> Result<DatasetId, EngineError> {
+        self.registry.register(name, particles)
+    }
+
+    /// The dataset registered under `id`.
+    pub fn dataset(&self, id: DatasetId) -> Result<Arc<Dataset>, EngineError> {
+        self.registry.get(id)
+    }
+
+    /// Looks a dataset id up by name.
+    #[must_use]
+    pub fn lookup(&self, name: &str) -> Option<DatasetId> {
+        self.registry.lookup(name)
+    }
+
+    /// The full parameters `accuracy` resolves to under this engine's
+    /// defaults — what a query with that accuracy will actually run with.
+    #[must_use]
+    pub fn resolve_params(&self, accuracy: Accuracy) -> TreecodeParams {
+        accuracy.resolve(
+            self.config.alpha,
+            self.config.leaf_capacity,
+            self.config.eval_chunk,
+        )
+    }
+
+    /// Pre-builds (or touches) the plan for `(dataset, accuracy)` without
+    /// issuing a query — cache warming for predictable tenants.
+    pub fn warm(
+        &self,
+        dataset: DatasetId,
+        accuracy: Accuracy,
+    ) -> Result<CacheOutcome, EngineError> {
+        self.plan_for(dataset, accuracy).map(|(_, outcome)| outcome)
+    }
+
+    fn plan_for(
+        &self,
+        dataset: DatasetId,
+        accuracy: Accuracy,
+    ) -> Result<(Arc<Plan>, CacheOutcome), EngineError> {
+        let params = self.resolve_params(accuracy);
+        params.validate().map_err(EngineError::InvalidParams)?;
+        let ds = self.registry.get(dataset)?;
+        let key = PlanKey::new(dataset, &params);
+        self.cache.get_or_build(key, &self.stats, || {
+            Plan::build(key, ds.particles(), params)
+        })
+    }
+
+    /// Serves one query: admission → plan resolution (cached, built, or
+    /// coalesced onto an in-flight build) → batched evaluation.
+    ///
+    /// Blocking; safe to call from many threads at once — that is the
+    /// intended use, and concurrent queries against the same plan are
+    /// coalesced into shared sweeps.
+    pub fn query(&self, request: QueryRequest) -> Result<QueryResponse, EngineError> {
+        let _permit = self.gate.admit(request.deadline, &self.stats)?;
+        let (plan, outcome) = self.plan_for(request.dataset, request.accuracy)?;
+        // a cold build may have consumed the whole budget
+        if request.deadline.is_some_and(|d| Instant::now() >= d) {
+            self.stats.record_shed_deadline();
+            return Err(EngineError::DeadlineExceeded);
+        }
+        let (output, eval) = self.batcher.run(
+            &plan,
+            request.kind,
+            request.points,
+            request.deadline,
+            self.config.batch_window,
+            &self.stats,
+        )?;
+        Ok(QueryResponse {
+            output,
+            eval,
+            cache: outcome,
+            plan_bytes: plan.bytes,
+        })
+    }
+
+    /// Serves many queries from one caller as explicitly formed batches:
+    /// requests are grouped by `(dataset, params, kind)`, each group is
+    /// evaluated as one sweep, and results come back in request order.
+    ///
+    /// The whole call occupies **one** admission slot (it is one caller),
+    /// using the earliest deadline among the requests for queue shedding.
+    pub fn query_batch(
+        &self,
+        requests: &[QueryRequest],
+    ) -> Vec<Result<QueryResponse, EngineError>> {
+        let earliest = requests.iter().filter_map(|r| r.deadline).min();
+        let permit = match self.gate.admit(earliest, &self.stats) {
+            Ok(p) => p,
+            Err(e) => return requests.iter().map(|_| Err(e.clone())).collect(),
+        };
+
+        let mut results: Vec<Option<Result<QueryResponse, EngineError>>> =
+            requests.iter().map(|_| None).collect();
+        let mut groups: HashMap<(PlanKey, QueryKind), Vec<usize>> = HashMap::new();
+        for (i, r) in requests.iter().enumerate() {
+            let params = self.resolve_params(r.accuracy);
+            if let Err(e) = params.validate() {
+                results[i] = Some(Err(EngineError::InvalidParams(e)));
+                continue;
+            }
+            let key = PlanKey::new(r.dataset, &params);
+            groups.entry((key, r.kind)).or_default().push(i);
+        }
+
+        for ((_, kind), indices) in groups {
+            // all requests in a group share (dataset, accuracy)
+            let first = indices[0];
+            let plan_outcome = self.plan_for(requests[first].dataset, requests[first].accuracy);
+            let (plan, outcome) = match plan_outcome {
+                Ok(p) => p,
+                Err(e) => {
+                    for &i in &indices {
+                        results[i] = Some(Err(e.clone()));
+                    }
+                    continue;
+                }
+            };
+            let now = Instant::now();
+            let live: Vec<usize> = indices
+                .into_iter()
+                .filter(|&i| {
+                    if requests[i].deadline.is_some_and(|d| now >= d) {
+                        self.stats.record_shed_deadline();
+                        results[i] = Some(Err(EngineError::DeadlineExceeded));
+                        false
+                    } else {
+                        true
+                    }
+                })
+                .collect();
+            if live.is_empty() {
+                continue;
+            }
+            let slices: Vec<&[Vec3]> = live
+                .iter()
+                .map(|&i| requests[i].points.as_slice())
+                .collect();
+            let total_points: usize = slices.iter().map(|s| s.len()).sum();
+            let t0 = Instant::now();
+            let (outputs, sweep) = evaluate_batch(&plan.treecode, kind, &slices);
+            self.stats
+                .record_batch(live.len(), total_points, t0.elapsed());
+            for (&i, output) in live.iter().zip(outputs) {
+                results[i] = Some(Ok(QueryResponse {
+                    output,
+                    eval: sweep.clone(),
+                    cache: outcome,
+                    plan_bytes: plan.bytes,
+                }));
+            }
+        }
+        drop(permit);
+
+        results
+            .into_iter()
+            .map(|r| r.unwrap_or(Err(EngineError::DeadlineExceeded)))
+            .collect()
+    }
+
+    /// A point-in-time snapshot of every counter and gauge.
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        let (resident_plans, resident_bytes) = self.cache.residency();
+        let (in_flight, queue_depth) = self.gate.depth();
+        self.stats.snapshot(Gauges {
+            resident_plans,
+            resident_bytes,
+            cache_budget_bytes: self.config.cache_budget_bytes,
+            datasets: self.registry.len(),
+            in_flight,
+            queue_depth,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbt_geometry::distribution::{uniform_cube, ChargeModel};
+
+    fn particles(n: usize, seed: u64) -> Vec<Particle> {
+        uniform_cube(n, 1.0, ChargeModel::RandomSign { magnitude: 1.0 }, seed)
+    }
+
+    fn points(n: usize) -> Vec<Vec3> {
+        (0..n)
+            .map(|i| Vec3::new(1.2 + i as f64 * 0.01, -0.3, 0.4))
+            .collect()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(Engine::new(EngineConfig::default()).is_ok());
+        for bad in [
+            EngineConfig {
+                alpha: -1.0,
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                alpha: f64::NAN,
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                leaf_capacity: 0,
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                max_in_flight: 0,
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                cache_budget_bytes: 0,
+                ..EngineConfig::default()
+            },
+        ] {
+            assert!(matches!(
+                Engine::new(bad),
+                Err(EngineError::InvalidConfig(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn end_to_end_query_and_stats() {
+        let engine = Engine::new(EngineConfig::default()).unwrap();
+        let id = engine.register("tenant-a", particles(800, 7)).unwrap();
+        let pts = points(30);
+        let r1 = engine
+            .query(QueryRequest::potentials(
+                id,
+                Accuracy::Fixed(4),
+                pts.clone(),
+            ))
+            .unwrap();
+        assert_eq!(r1.cache, CacheOutcome::Built);
+        assert_eq!(r1.output.len(), 30);
+        let r2 = engine
+            .query(QueryRequest::potentials(id, Accuracy::Fixed(4), pts))
+            .unwrap();
+        assert_eq!(r2.cache, CacheOutcome::Hit);
+        assert_eq!(r1.output, r2.output);
+
+        let s = engine.stats();
+        assert_eq!(s.plan_builds, 1);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.resident_plans, 1);
+        assert!(s.resident_bytes > 0);
+        assert_eq!(s.datasets, 1);
+        assert_eq!(s.admitted, 2);
+        assert_eq!(s.in_flight, 0);
+    }
+
+    #[test]
+    fn different_accuracies_build_different_plans() {
+        let engine = Engine::new(EngineConfig::default()).unwrap();
+        let id = engine.register("t", particles(500, 11)).unwrap();
+        let pts = points(5);
+        engine
+            .query(QueryRequest::potentials(
+                id,
+                Accuracy::Fixed(3),
+                pts.clone(),
+            ))
+            .unwrap();
+        engine
+            .query(QueryRequest::potentials(
+                id,
+                Accuracy::Adaptive { p_min: 3 },
+                pts.clone(),
+            ))
+            .unwrap();
+        engine
+            .query(QueryRequest::potentials(
+                id,
+                Accuracy::Tolerance { tol: 1e-5 },
+                pts,
+            ))
+            .unwrap();
+        let s = engine.stats();
+        assert_eq!(s.plan_builds, 3);
+        assert_eq!(s.resident_plans, 3);
+    }
+
+    #[test]
+    fn field_queries_work() {
+        let engine = Engine::new(EngineConfig::default()).unwrap();
+        let id = engine.register("t", particles(400, 13)).unwrap();
+        let r = engine
+            .query(QueryRequest::fields(id, Accuracy::Fixed(5), points(8)))
+            .unwrap();
+        let fields = r.output.fields().unwrap();
+        assert_eq!(fields.len(), 8);
+        assert!(fields
+            .iter()
+            .all(|(phi, g)| phi.is_finite() && g.is_finite()));
+    }
+
+    #[test]
+    fn unknown_dataset_and_bad_params_are_typed_errors() {
+        let engine = Engine::new(EngineConfig::default()).unwrap();
+        assert!(matches!(
+            engine.query(QueryRequest::potentials(
+                DatasetId(42),
+                Accuracy::Fixed(4),
+                points(1),
+            )),
+            Err(EngineError::UnknownDataset(DatasetId(42)))
+        ));
+        let id = engine.register("t", particles(100, 17)).unwrap();
+        assert!(matches!(
+            engine.query(QueryRequest::potentials(
+                id,
+                Accuracy::Tolerance { tol: -1.0 },
+                points(1),
+            )),
+            Err(EngineError::InvalidParams(_))
+        ));
+        assert!(matches!(
+            engine.query(QueryRequest::potentials(id, Accuracy::Fixed(99), points(1))),
+            Err(EngineError::InvalidParams(_))
+        ));
+    }
+
+    #[test]
+    fn warm_prebuilds_the_plan() {
+        let engine = Engine::new(EngineConfig::default()).unwrap();
+        let id = engine.register("t", particles(300, 19)).unwrap();
+        assert_eq!(
+            engine.warm(id, Accuracy::Fixed(4)).unwrap(),
+            CacheOutcome::Built
+        );
+        assert_eq!(
+            engine.warm(id, Accuracy::Fixed(4)).unwrap(),
+            CacheOutcome::Hit
+        );
+        let r = engine
+            .query(QueryRequest::potentials(id, Accuracy::Fixed(4), points(3)))
+            .unwrap();
+        assert_eq!(r.cache, CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn query_batch_groups_and_orders_results() {
+        let engine = Engine::new(EngineConfig::default()).unwrap();
+        let a = engine.register("a", particles(500, 23)).unwrap();
+        let b = engine.register("b", particles(400, 29)).unwrap();
+        let pts = points(12);
+        let reqs = vec![
+            QueryRequest::potentials(a, Accuracy::Fixed(4), pts.clone()),
+            QueryRequest::potentials(b, Accuracy::Fixed(4), pts.clone()),
+            QueryRequest::potentials(a, Accuracy::Fixed(4), pts.clone()),
+            QueryRequest::fields(a, Accuracy::Fixed(4), pts.clone()),
+            QueryRequest::potentials(a, Accuracy::Fixed(6), pts),
+        ];
+        let results = engine.query_batch(&reqs);
+        assert_eq!(results.len(), 5);
+        for r in &results {
+            assert!(r.is_ok());
+        }
+        // requests 0 and 2 are identical → identical values
+        let v0 = results[0].as_ref().unwrap().output.clone();
+        let v2 = results[2].as_ref().unwrap().output.clone();
+        assert_eq!(v0, v2);
+        let s = engine.stats();
+        // groups: (a,f4,pot) ×2, (b,f4,pot), (a,f4,field), (a,f6,pot)
+        assert_eq!(s.batches, 4);
+        assert_eq!(s.batched_requests, 5);
+        assert_eq!(s.max_batch, 2);
+        assert_eq!(s.admitted, 1); // one slot for the whole call
+        assert_eq!(s.plan_builds, 3); // (a,f4), (b,f4), (a,f6) — field reuses (a,f4)
+    }
+
+    #[test]
+    fn query_batch_propagates_per_request_errors() {
+        let engine = Engine::new(EngineConfig::default()).unwrap();
+        let a = engine.register("a", particles(200, 31)).unwrap();
+        let results = engine.query_batch(&[
+            QueryRequest::potentials(a, Accuracy::Fixed(4), points(2)),
+            QueryRequest::potentials(DatasetId(99), Accuracy::Fixed(4), points(2)),
+            QueryRequest::potentials(a, Accuracy::Tolerance { tol: -2.0 }, points(2)),
+        ]);
+        assert!(results[0].is_ok());
+        assert!(matches!(
+            results[1],
+            Err(EngineError::UnknownDataset(DatasetId(99)))
+        ));
+        assert!(matches!(results[2], Err(EngineError::InvalidParams(_))));
+    }
+
+    #[test]
+    fn eviction_under_tight_budget() {
+        // budget fits roughly one plan: alternating accuracies must evict
+        let engine = Engine::new(EngineConfig {
+            cache_budget_bytes: 1 << 20,
+            ..EngineConfig::default()
+        })
+        .unwrap();
+        let id = engine.register("t", particles(3000, 37)).unwrap();
+        let pts = points(4);
+        engine
+            .query(QueryRequest::potentials(
+                id,
+                Accuracy::Fixed(8),
+                pts.clone(),
+            ))
+            .unwrap();
+        let one_plan = engine.stats().resident_bytes;
+        assert!(
+            one_plan > (1 << 19),
+            "instance too small to exercise eviction"
+        );
+        engine
+            .query(QueryRequest::potentials(
+                id,
+                Accuracy::Fixed(9),
+                pts.clone(),
+            ))
+            .unwrap();
+        engine
+            .query(QueryRequest::potentials(id, Accuracy::Fixed(8), pts))
+            .unwrap();
+        let s = engine.stats();
+        assert!(s.evictions >= 1, "no eviction under a one-plan budget");
+        assert!(s.resident_bytes <= s.cache_budget_bytes);
+        assert_eq!(s.plan_builds, 3); // the third query rebuilt the evicted plan
+    }
+
+    #[test]
+    fn deadline_already_expired_is_shed_without_eval() {
+        let engine = Engine::new(EngineConfig::default()).unwrap();
+        let id = engine.register("t", particles(200, 41)).unwrap();
+        let mut req = QueryRequest::potentials(id, Accuracy::Fixed(4), points(2));
+        req.deadline = Some(
+            Instant::now()
+                .checked_sub(Duration::from_millis(1))
+                .unwrap(),
+        );
+        assert_eq!(
+            engine.query(req).unwrap_err(),
+            EngineError::DeadlineExceeded
+        );
+        assert_eq!(engine.stats().batches, 0);
+    }
+}

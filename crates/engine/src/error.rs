@@ -1,0 +1,95 @@
+//! Typed engine failures.
+//!
+//! The engine is a serving layer: bad input, cold caches, and overload are
+//! ordinary events, so every one of them surfaces as a variant here —
+//! never as a panic (the `cargo xtask lint` panic rules apply to this
+//! whole crate).
+
+use mbt_treecode::TreecodeError;
+
+use crate::registry::DatasetId;
+
+/// Everything that can go wrong between accepting a request and returning
+/// its values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// No dataset is registered under this id.
+    UnknownDataset(DatasetId),
+    /// A dataset with this name already exists (names are stable handles;
+    /// re-registering under the same name is almost always a caller bug).
+    DuplicateDataset(String),
+    /// The submitted particle set was empty.
+    EmptyDataset,
+    /// A particle position or charge was NaN or infinite.
+    NonFiniteParticle {
+        /// Index of the offending particle in the submitted order.
+        index: usize,
+    },
+    /// The request's resolved treecode parameters failed validation.
+    InvalidParams(TreecodeError),
+    /// Plan construction failed below the engine.
+    Build(TreecodeError),
+    /// The admission queue is full: the request was shed immediately
+    /// rather than queued behind work it cannot overtake.
+    Overloaded {
+        /// Requests currently being evaluated.
+        in_flight: usize,
+        /// Requests already waiting for an evaluation slot.
+        queued: usize,
+    },
+    /// The request's deadline expired before its evaluation started.
+    DeadlineExceeded,
+    /// The engine configuration was rejected at construction.
+    InvalidConfig(&'static str),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::UnknownDataset(id) => write!(f, "unknown dataset {id:?}"),
+            EngineError::DuplicateDataset(name) => {
+                write!(f, "dataset {name:?} is already registered")
+            }
+            EngineError::EmptyDataset => write!(f, "dataset has no particles"),
+            EngineError::NonFiniteParticle { index } => {
+                write!(f, "particle {index} has a non-finite position or charge")
+            }
+            EngineError::InvalidParams(e) => write!(f, "invalid query parameters: {e}"),
+            EngineError::Build(e) => write!(f, "plan construction failed: {e}"),
+            EngineError::Overloaded { in_flight, queued } => write!(
+                f,
+                "engine overloaded: {in_flight} in flight, {queued} queued"
+            ),
+            EngineError::DeadlineExceeded => write!(f, "deadline expired before evaluation"),
+            EngineError::InvalidConfig(why) => write!(f, "invalid engine config: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let cases: Vec<EngineError> = vec![
+            EngineError::UnknownDataset(DatasetId(7)),
+            EngineError::DuplicateDataset("galaxy".into()),
+            EngineError::EmptyDataset,
+            EngineError::NonFiniteParticle { index: 3 },
+            EngineError::InvalidParams(TreecodeError::InvalidAlpha(-1.0)),
+            EngineError::Build(TreecodeError::DegreeTooLarge(99)),
+            EngineError::Overloaded {
+                in_flight: 4,
+                queued: 9,
+            },
+            EngineError::DeadlineExceeded,
+            EngineError::InvalidConfig("alpha"),
+        ];
+        for e in cases {
+            assert!(!format!("{e}").is_empty());
+        }
+    }
+}

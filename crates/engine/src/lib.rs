@@ -1,0 +1,84 @@
+//! `mbt-engine` — a multi-tenant treecode query engine.
+//!
+//! The lower crates answer *one* question well: given particles and
+//! [`TreecodeParams`](mbt_treecode::TreecodeParams), build a tree, run the
+//! upward pass, evaluate targets. This crate turns that kernel into a
+//! *service*: many datasets, many concurrent callers, each asking at its
+//! own accuracy, with the expensive artefacts (built octree + coefficient
+//! arena = a **plan**) cached and shared instead of rebuilt per call.
+//!
+//! # Architecture
+//!
+//! ```text
+//!             ┌─────────────────────────────────────────────┐
+//!   register ─►  DatasetRegistry   (ids, validation)        │
+//!             ├─────────────────────────────────────────────┤
+//!   query ────►  AdmissionGate     (bounded in-flight,      │
+//!             │                     deadline shedding)      │
+//!             ├─────────────────────────────────────────────┤
+//!             │  PlanCache         (byte-budget LRU,        │
+//!             │                     single-flight builds)   │
+//!             ├─────────────────────────────────────────────┤
+//!             │  Batcher           (cross-caller coalescing │
+//!             │   └ evaluate_batch  into shared sweeps)     │
+//!             └─────────────────────────────────────────────┘
+//! ```
+//!
+//! - **Registry** ([`DatasetRegistry`]): charge systems are registered
+//!   once, validated (non-empty, finite), and referred to by stable
+//!   [`DatasetId`]s.
+//! - **Plan cache** ([`PlanCache`]): a plan is keyed by
+//!   `(dataset, resolved parameters)`. Residency is a strict-LRU policy
+//!   against a byte budget ([`ByteLru`]), sized by the real heap footprint
+//!   of tree + arena. Concurrent cold misses on one key run **one** build
+//!   (single-flight); followers wait and share the `Arc<Plan>`.
+//! - **Scheduler** ([`Batcher`] / [`evaluate_batch`]): requests against
+//!   the same plan coalesce into single chunked sweeps that reuse the
+//!   allocation-free evaluation kernels. Per-target independence makes
+//!   the coalescing bit-exact.
+//! - **Admission** ([`AdmissionGate`] — internal to [`Engine::query`]):
+//!   bounded in-flight work, bounded queue, overload and deadline
+//!   shedding as typed [`EngineError`]s. The engine never panics.
+//!
+//! # Quick start
+//!
+//! ```
+//! use mbt_engine::{Accuracy, Engine, EngineConfig, QueryRequest};
+//! use mbt_geometry::distribution::{uniform_cube, ChargeModel};
+//! use mbt_geometry::Vec3;
+//!
+//! let engine = Engine::new(EngineConfig::default())?;
+//! let particles = uniform_cube(500, 1.0, ChargeModel::UnitPositive { magnitude: 1.0 }, 42);
+//! let id = engine.register("galaxy-a", particles)?;
+//!
+//! // first query builds the plan; repeats at the same accuracy hit cache
+//! let response = engine.query(QueryRequest::potentials(
+//!     id,
+//!     Accuracy::Tolerance { tol: 1e-6 },
+//!     vec![Vec3::new(2.0, 0.0, 0.0)],
+//! ))?;
+//! assert_eq!(response.output.len(), 1);
+//! println!("{}", engine.stats());
+//! # Ok::<(), mbt_engine::EngineError>(())
+//! ```
+
+mod admission;
+mod batch;
+mod cache;
+mod engine;
+mod error;
+mod plan;
+mod registry;
+mod stats;
+
+pub mod scheduler;
+
+pub use admission::{AdmissionGate, Permit};
+pub use batch::{evaluate_batch, QueryKind, QueryOutput};
+pub use cache::{ByteLru, CacheOutcome, Inserted, PlanCache};
+pub use engine::{Engine, EngineConfig, QueryRequest, QueryResponse};
+pub use error::EngineError;
+pub use plan::{Accuracy, Plan, PlanKey};
+pub use registry::{Dataset, DatasetId, DatasetRegistry};
+pub use scheduler::Batcher;
+pub use stats::{EngineStats, StatsCollector};

@@ -1,0 +1,259 @@
+//! Query plans: the built treecode as a cacheable artifact.
+//!
+//! Theorem 3's per-cluster degree selection makes the built octree plus
+//! its upward-pass coefficient arena an expensive artifact that is
+//! reusable across every query with the same `(dataset, params)` — the
+//! shape of a database query plan. [`PlanKey`] is the hashable identity
+//! of one such artifact (`TreecodeParams` holds floats, so the key stores
+//! their exact bit patterns), and [`Plan`] bundles the treecode with the
+//! byte and timing accounting the cache and stats layers need.
+
+use std::time::{Duration, Instant};
+
+use mbt_geometry::Particle;
+use mbt_treecode::{DegreeSelector, DegreeWeighting, RefWeight, Treecode, TreecodeParams};
+
+use crate::error::EngineError;
+use crate::registry::DatasetId;
+
+/// Per-request accuracy, resolved against the engine's defaults into full
+/// [`TreecodeParams`]. Requests at different accuracies map to different
+/// plans over the same dataset — the p-adaptive serving scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Accuracy {
+    /// Original fixed-degree Barnes–Hut at degree `p`.
+    Fixed(usize),
+    /// The paper's adaptive per-cluster rule with degree floor `p_min`.
+    Adaptive {
+        /// Degree assigned to clusters at the reference weight.
+        p_min: usize,
+    },
+    /// Per-interaction absolute error budget.
+    Tolerance {
+        /// The error budget each accepted interaction must meet.
+        tol: f64,
+    },
+    /// Full parameter control — bypasses the engine defaults entirely.
+    Params(TreecodeParams),
+}
+
+impl Accuracy {
+    /// Resolves to full treecode parameters using the engine's default
+    /// MAC parameter and tree-shape settings.
+    #[must_use]
+    pub fn resolve(self, alpha: f64, leaf_capacity: usize, eval_chunk: usize) -> TreecodeParams {
+        let base = match self {
+            Accuracy::Fixed(p) => TreecodeParams::fixed(p, alpha),
+            Accuracy::Adaptive { p_min } => TreecodeParams::adaptive(p_min, alpha),
+            Accuracy::Tolerance { tol } => TreecodeParams::tolerance(tol, alpha),
+            Accuracy::Params(p) => return p,
+        };
+        base.with_leaf_capacity(leaf_capacity)
+            .with_eval_chunk(eval_chunk)
+    }
+}
+
+/// Bit-exact hashable image of a [`DegreeSelector`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum DegreeKey {
+    Fixed(usize),
+    Adaptive {
+        p_min: usize,
+        p_max: usize,
+        alpha: u64,
+        weighting: u8,
+    },
+    Tolerance {
+        tol: u64,
+        p_min: usize,
+        p_max: usize,
+    },
+}
+
+impl DegreeKey {
+    fn of(selector: DegreeSelector) -> DegreeKey {
+        match selector {
+            DegreeSelector::Fixed(p) => DegreeKey::Fixed(p),
+            DegreeSelector::Adaptive {
+                p_min,
+                p_max,
+                alpha,
+                weighting,
+            } => DegreeKey::Adaptive {
+                p_min,
+                p_max,
+                alpha: alpha.to_bits(),
+                weighting: match weighting {
+                    DegreeWeighting::Charge => 0,
+                    DegreeWeighting::ChargeOverDistance => 1,
+                },
+            },
+            DegreeSelector::Tolerance { tol, p_min, p_max } => DegreeKey::Tolerance {
+                tol: tol.to_bits(),
+                p_min,
+                p_max,
+            },
+        }
+    }
+}
+
+/// Bit-exact hashable image of a [`RefWeight`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum RefWeightKey {
+    MinLeaf,
+    MedianLeaf,
+    Explicit(u64),
+}
+
+/// Identity of one cached plan: the dataset plus the exact bit patterns
+/// of every parameter that influences tree construction or evaluation.
+/// Two requests share a plan **iff** their keys are equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    dataset: DatasetId,
+    alpha: u64,
+    degree: DegreeKey,
+    leaf_capacity: usize,
+    eval_chunk: usize,
+    ref_weight: RefWeightKey,
+    softening: u64,
+}
+
+impl PlanKey {
+    /// The key identifying `(dataset, params)`.
+    #[must_use]
+    pub fn new(dataset: DatasetId, params: &TreecodeParams) -> PlanKey {
+        PlanKey {
+            dataset,
+            alpha: params.alpha.to_bits(),
+            degree: DegreeKey::of(params.degree),
+            leaf_capacity: params.leaf_capacity,
+            eval_chunk: params.eval_chunk,
+            ref_weight: match params.ref_weight {
+                RefWeight::MinLeaf => RefWeightKey::MinLeaf,
+                RefWeight::MedianLeaf => RefWeightKey::MedianLeaf,
+                RefWeight::Explicit(w) => RefWeightKey::Explicit(w.to_bits()),
+            },
+            softening: params.softening.to_bits(),
+        }
+    }
+
+    /// The dataset this plan serves.
+    #[must_use]
+    pub fn dataset(&self) -> DatasetId {
+        self.dataset
+    }
+}
+
+/// A built treecode plus the accounting the cache and stats layers need.
+pub struct Plan {
+    /// The key this plan was built under.
+    pub key: PlanKey,
+    /// The built tree + coefficient arena, ready to evaluate.
+    pub treecode: Treecode,
+    /// Resident heap bytes — what the cache charges against its budget.
+    pub bytes: usize,
+    /// Wall time of the build (tree + degree selection + upward pass).
+    pub build_time: Duration,
+}
+
+impl std::fmt::Debug for Plan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Plan")
+            .field("key", &self.key)
+            .field("bytes", &self.bytes)
+            .field("build_time", &self.build_time)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Plan {
+    /// Builds the plan: validates the parameters, constructs the treecode,
+    /// and sizes it.
+    pub fn build(
+        key: PlanKey,
+        particles: &[Particle],
+        params: TreecodeParams,
+    ) -> Result<Plan, EngineError> {
+        params.validate().map_err(EngineError::InvalidParams)?;
+        let t0 = Instant::now();
+        let treecode = Treecode::new(particles, params).map_err(EngineError::Build)?;
+        let build_time = t0.elapsed();
+        let bytes = treecode.heap_bytes();
+        Ok(Plan {
+            key,
+            treecode,
+            bytes,
+            build_time,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbt_geometry::Vec3;
+
+    fn ps(n: usize) -> Vec<Particle> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64;
+                Particle::new(
+                    Vec3::new(t.sin(), (0.7 * t).cos(), (0.3 * t).sin()),
+                    1.0 - 2.0 * ((i % 2) as f64),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn accuracy_resolution_uses_defaults() {
+        let p = Accuracy::Adaptive { p_min: 3 }.resolve(0.7, 16, 128);
+        assert!((p.alpha - 0.7).abs() < 1e-15);
+        assert_eq!(p.leaf_capacity, 16);
+        assert_eq!(p.eval_chunk, 128);
+        let explicit = TreecodeParams::fixed(5, 0.4);
+        assert_eq!(Accuracy::Params(explicit).resolve(0.7, 16, 128), explicit);
+    }
+
+    #[test]
+    fn keys_distinguish_params_and_datasets() {
+        let a = TreecodeParams::fixed(4, 0.6);
+        let b = TreecodeParams::fixed(5, 0.6);
+        let c = TreecodeParams::adaptive(4, 0.6);
+        let d = TreecodeParams::tolerance(1e-6, 0.6);
+        let id0 = DatasetId(0);
+        let id1 = DatasetId(1);
+        let k = |id, p: &TreecodeParams| PlanKey::new(id, p);
+        assert_eq!(k(id0, &a), k(id0, &a));
+        assert_ne!(k(id0, &a), k(id1, &a));
+        assert_ne!(k(id0, &a), k(id0, &b));
+        assert_ne!(k(id0, &a), k(id0, &c));
+        assert_ne!(k(id0, &c), k(id0, &d));
+        let softened = a.with_softening(1e-3);
+        assert_ne!(k(id0, &a), k(id0, &softened));
+        assert_eq!(k(id0, &a).dataset(), id0);
+    }
+
+    #[test]
+    fn plan_build_sizes_and_times() {
+        let particles = ps(500);
+        let params = TreecodeParams::fixed(4, 0.6);
+        let key = PlanKey::new(DatasetId(0), &params);
+        let plan = Plan::build(key, &particles, params).unwrap();
+        assert_eq!(plan.bytes, plan.treecode.heap_bytes());
+        assert!(plan.bytes > 500 * std::mem::size_of::<Particle>());
+        assert_eq!(plan.key, key);
+    }
+
+    #[test]
+    fn plan_build_propagates_errors() {
+        let particles = ps(10);
+        let bad = TreecodeParams::fixed(4, -1.0);
+        let key = PlanKey::new(DatasetId(0), &bad);
+        assert!(matches!(
+            Plan::build(key, &particles, bad),
+            Err(EngineError::InvalidParams(_))
+        ));
+    }
+}

@@ -1,0 +1,220 @@
+//! Dataset registry: particle sets under stable ids.
+//!
+//! Tenants register a particle set once and refer to it by [`DatasetId`]
+//! in every subsequent query; the engine keys its plan cache on
+//! `(dataset id, params)`, so the registry is what makes plans shareable
+//! across callers. Ingestion validates what the layers below would only
+//! reject at build time — emptiness, non-finite positions or charges — so
+//! a bad upload fails at registration, not on the first query.
+
+use std::collections::HashMap;
+use std::sync::{Arc, PoisonError, RwLock};
+
+use mbt_geometry::{Aabb, Particle, Vec3};
+
+use crate::error::EngineError;
+
+/// Stable handle to a registered particle set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DatasetId(pub u64);
+
+/// An immutable registered particle set plus the summary facts the
+/// planner reads without touching the particles.
+#[derive(Debug)]
+pub struct Dataset {
+    /// The registry handle.
+    pub id: DatasetId,
+    /// The caller-chosen name.
+    pub name: String,
+    /// Cubical hull of the particle positions.
+    pub bounds: Aabb,
+    /// Total absolute charge `A = Σ|qᵢ|` — the quantity the paper's error
+    /// bounds grow with, useful for per-tenant cost attribution.
+    pub abs_charge: f64,
+    /// Resident bytes of the particle storage.
+    pub bytes: usize,
+    particles: Arc<[Particle]>,
+}
+
+impl Dataset {
+    /// The registered particles.
+    #[inline]
+    #[must_use]
+    pub fn particles(&self) -> &[Particle] {
+        &self.particles
+    }
+
+    /// Number of particles.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.particles.len()
+    }
+
+    /// Whether the set is empty (never true for a registered dataset).
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.particles.is_empty()
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    by_id: HashMap<DatasetId, Arc<Dataset>>,
+    by_name: HashMap<String, DatasetId>,
+    next: u64,
+}
+
+/// Thread-safe dataset store. Registration is rare and takes a write
+/// lock; the per-query lookup path takes a read lock and clones one `Arc`.
+#[derive(Debug, Default)]
+pub struct DatasetRegistry {
+    inner: RwLock<RegistryInner>,
+}
+
+impl DatasetRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> DatasetRegistry {
+        DatasetRegistry::default()
+    }
+
+    /// Validates and registers a particle set under `name`, returning its
+    /// stable id.
+    pub fn register(&self, name: &str, particles: Vec<Particle>) -> Result<DatasetId, EngineError> {
+        if particles.is_empty() {
+            return Err(EngineError::EmptyDataset);
+        }
+        for (index, p) in particles.iter().enumerate() {
+            if !p.position.is_finite() || !p.charge.is_finite() {
+                return Err(EngineError::NonFiniteParticle { index });
+            }
+        }
+        let positions: Vec<Vec3> = particles.iter().map(|p| p.position).collect();
+        let bounds = Aabb::cubical_hull(&positions, 1e-9);
+        let abs_charge: f64 = particles.iter().map(|p| p.charge.abs()).sum();
+        let bytes = particles.len() * std::mem::size_of::<Particle>();
+
+        let mut inner = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+        if inner.by_name.contains_key(name) {
+            return Err(EngineError::DuplicateDataset(name.to_string()));
+        }
+        let id = DatasetId(inner.next);
+        inner.next += 1;
+        let ds = Arc::new(Dataset {
+            id,
+            name: name.to_string(),
+            bounds,
+            abs_charge,
+            bytes,
+            particles: particles.into(),
+        });
+        inner.by_id.insert(id, ds);
+        inner.by_name.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// The dataset registered under `id`.
+    pub fn get(&self, id: DatasetId) -> Result<Arc<Dataset>, EngineError> {
+        self.inner
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .by_id
+            .get(&id)
+            .cloned()
+            .ok_or(EngineError::UnknownDataset(id))
+    }
+
+    /// Looks a dataset id up by name.
+    #[must_use]
+    pub fn lookup(&self, name: &str) -> Option<DatasetId> {
+        self.inner
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .by_name
+            .get(name)
+            .copied()
+    }
+
+    /// Number of registered datasets.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .by_id
+            .len()
+    }
+
+    /// Whether no dataset is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ps(n: usize) -> Vec<Particle> {
+        (0..n)
+            .map(|i| {
+                Particle::new(
+                    Vec3::new(i as f64, 0.5, -0.5),
+                    if i % 2 == 0 { 1.0 } else { -1.0 },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let reg = DatasetRegistry::new();
+        let a = reg.register("a", ps(10)).unwrap();
+        let b = reg.register("b", ps(20)).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(reg.lookup("a"), Some(a));
+        assert_eq!(reg.lookup("missing"), None);
+        assert_eq!(reg.len(), 2);
+        let ds = reg.get(b).unwrap();
+        assert_eq!(ds.len(), 20);
+        assert_eq!(ds.name, "b");
+        assert!((ds.abs_charge - 20.0).abs() < 1e-12);
+        assert_eq!(ds.bytes, 20 * std::mem::size_of::<Particle>());
+        assert!(!ds.is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let reg = DatasetRegistry::new();
+        assert_eq!(reg.register("e", vec![]), Err(EngineError::EmptyDataset));
+        let mut bad = ps(5);
+        bad[3] = Particle::new(Vec3::new(f64::NAN, 0.0, 0.0), 1.0);
+        assert_eq!(
+            reg.register("nan", bad),
+            Err(EngineError::NonFiniteParticle { index: 3 })
+        );
+        let mut inf = ps(5);
+        inf[0] = Particle::new(Vec3::ZERO, f64::INFINITY);
+        assert_eq!(
+            reg.register("inf", inf),
+            Err(EngineError::NonFiniteParticle { index: 0 })
+        );
+        reg.register("dup", ps(3)).unwrap();
+        assert_eq!(
+            reg.register("dup", ps(3)),
+            Err(EngineError::DuplicateDataset("dup".into()))
+        );
+    }
+
+    #[test]
+    fn unknown_id() {
+        let reg = DatasetRegistry::new();
+        assert_eq!(
+            reg.get(DatasetId(99)).unwrap_err(),
+            EngineError::UnknownDataset(DatasetId(99))
+        );
+    }
+}

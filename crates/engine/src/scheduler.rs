@@ -1,0 +1,271 @@
+//! Cross-caller query coalescing.
+//!
+//! Concurrent requests against the same plan and query kind are combined:
+//! the first arrival for a group becomes its **leader**, drains whatever
+//! has queued up, and evaluates the whole batch as one sweep
+//! ([`crate::batch::evaluate_batch`]); later arrivals park on a result
+//! slot. While the leader is inside a sweep, new requests keep queueing —
+//! so under load, batches form *naturally*: the busier a plan, the more
+//! requests each sweep amortises (an optional `window` adds a fixed
+//! coalescing wait on top for latency-insensitive deployments).
+//!
+//! Shedding: requests whose deadline has passed by the time their batch
+//! is drained are answered [`EngineError::DeadlineExceeded`] without
+//! costing any evaluation work.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use mbt_geometry::Vec3;
+use mbt_treecode::EvalStats;
+
+use crate::batch::{evaluate_batch, QueryKind, QueryOutput};
+use crate::error::EngineError;
+use crate::plan::{Plan, PlanKey};
+use crate::stats::StatsCollector;
+
+/// One coalescing group: a plan × what is being computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct GroupKey {
+    plan: PlanKey,
+    kind: QueryKind,
+}
+
+/// The slot a parked request's answer lands in.
+#[derive(Debug, Default)]
+struct Slot {
+    result: Mutex<Option<Result<(QueryOutput, EvalStats), EngineError>>>,
+    done: Condvar,
+}
+
+impl Slot {
+    fn fill(&self, value: Result<(QueryOutput, EvalStats), EngineError>) {
+        let mut r = self.result.lock().unwrap_or_else(PoisonError::into_inner);
+        *r = Some(value);
+        self.done.notify_all();
+    }
+
+    fn wait(&self) -> Result<(QueryOutput, EvalStats), EngineError> {
+        let mut r = self.result.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(result) = r.take() {
+                return result;
+            }
+            r = self.done.wait(r).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// One queued request.
+#[derive(Debug)]
+struct Pending {
+    points: Vec<Vec3>,
+    deadline: Option<Instant>,
+    slot: Arc<Slot>,
+}
+
+#[derive(Debug, Default)]
+struct Group {
+    /// Whether a leader is currently draining this group.
+    leader: bool,
+    pending: Vec<Pending>,
+}
+
+/// The per-engine combiner.
+#[derive(Debug, Default)]
+pub struct Batcher {
+    groups: Mutex<HashMap<GroupKey, Group>>,
+}
+
+impl Batcher {
+    /// An empty batcher.
+    #[must_use]
+    pub fn new() -> Batcher {
+        Batcher::default()
+    }
+
+    /// Runs one request through the combiner, blocking until its values
+    /// are computed (possibly by another caller's sweep). The returned
+    /// [`EvalStats`] cover the whole sweep this request rode in.
+    pub fn run(
+        &self,
+        plan: &Arc<Plan>,
+        kind: QueryKind,
+        points: Vec<Vec3>,
+        deadline: Option<Instant>,
+        window: Duration,
+        stats: &StatsCollector,
+    ) -> Result<(QueryOutput, EvalStats), EngineError> {
+        let key = GroupKey {
+            plan: plan.key,
+            kind,
+        };
+        let slot = Arc::new(Slot::default());
+        let is_leader = {
+            let mut groups = self.groups.lock().unwrap_or_else(PoisonError::into_inner);
+            let group = groups.entry(key).or_default();
+            group.pending.push(Pending {
+                points,
+                deadline,
+                slot: Arc::clone(&slot),
+            });
+            if group.leader {
+                false
+            } else {
+                group.leader = true;
+                true
+            }
+        };
+        if is_leader {
+            if !window.is_zero() {
+                std::thread::sleep(window);
+            }
+            self.drain(key, plan, kind, stats);
+        }
+        slot.wait()
+    }
+
+    /// Leader loop: drain and evaluate batches until the group runs dry.
+    fn drain(&self, key: GroupKey, plan: &Arc<Plan>, kind: QueryKind, stats: &StatsCollector) {
+        loop {
+            let batch: Vec<Pending> = {
+                let mut groups = self.groups.lock().unwrap_or_else(PoisonError::into_inner);
+                let Some(group) = groups.get_mut(&key) else {
+                    return; // unreachable: the leader owns the group until it removes it
+                };
+                if group.pending.is_empty() {
+                    groups.remove(&key);
+                    return;
+                }
+                std::mem::take(&mut group.pending)
+            };
+
+            // shed what has already missed its deadline
+            let now = Instant::now();
+            let mut live: Vec<Pending> = Vec::with_capacity(batch.len());
+            for p in batch {
+                if p.deadline.is_some_and(|d| now >= d) {
+                    stats.record_shed_deadline();
+                    p.slot.fill(Err(EngineError::DeadlineExceeded));
+                } else {
+                    live.push(p);
+                }
+            }
+            if live.is_empty() {
+                continue;
+            }
+
+            let slices: Vec<&[Vec3]> = live.iter().map(|p| p.points.as_slice()).collect();
+            let total_points: usize = slices.iter().map(|s| s.len()).sum();
+            let t0 = Instant::now();
+            let (outputs, sweep_stats) = evaluate_batch(&plan.treecode, kind, &slices);
+            stats.record_batch(live.len(), total_points, t0.elapsed());
+            for (p, out) in live.into_iter().zip(outputs) {
+                p.slot.fill(Ok((out, sweep_stats.clone())));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PlanKey;
+    use crate::registry::DatasetId;
+    use mbt_geometry::distribution::{uniform_cube, ChargeModel};
+    use mbt_treecode::TreecodeParams;
+
+    fn plan() -> Arc<Plan> {
+        let ps = uniform_cube(600, 1.0, ChargeModel::RandomSign { magnitude: 1.0 }, 9);
+        let params = TreecodeParams::fixed(4, 0.6);
+        let key = PlanKey::new(DatasetId(0), &params);
+        Arc::new(Plan::build(key, &ps, params).unwrap())
+    }
+
+    #[test]
+    fn single_caller_round_trips() {
+        let plan = plan();
+        let batcher = Batcher::new();
+        let stats = StatsCollector::default();
+        let points = vec![Vec3::new(2.0, 0.0, 0.0), Vec3::new(0.0, 3.0, 0.0)];
+        let (out, sweep) = batcher
+            .run(
+                &plan,
+                QueryKind::Potential,
+                points.clone(),
+                None,
+                Duration::ZERO,
+                &stats,
+            )
+            .unwrap();
+        let direct = plan.treecode.potentials_at(&points);
+        assert_eq!(out.potentials().unwrap(), direct.values.as_slice());
+        assert_eq!(sweep.targets, 2);
+    }
+
+    #[test]
+    fn concurrent_callers_all_get_their_own_values() {
+        let plan = plan();
+        let batcher = Batcher::new();
+        let stats = StatsCollector::default();
+        let n_threads = 8;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n_threads)
+                .map(|t| {
+                    let plan = &plan;
+                    let batcher = &batcher;
+                    let stats = &stats;
+                    s.spawn(move || {
+                        let points: Vec<Vec3> = (0..10)
+                            .map(|i| Vec3::new(1.5 + t as f64, f64::from(i) * 0.1, 0.0))
+                            .collect();
+                        let (out, _) = batcher
+                            .run(
+                                plan,
+                                QueryKind::Potential,
+                                points.clone(),
+                                None,
+                                Duration::from_millis(5),
+                                stats,
+                            )
+                            .unwrap();
+                        let direct = plan.treecode.potentials_at(&points);
+                        assert_eq!(out.potentials().unwrap(), direct.values.as_slice());
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        // every request was answered through some batch
+        let snap = stats.snapshot(crate::stats::Gauges::default());
+        assert_eq!(snap.batched_requests, n_threads);
+        assert!(snap.batches <= n_threads);
+        assert_eq!(snap.eval_points, n_threads * 10);
+    }
+
+    #[test]
+    fn expired_deadline_is_shed_at_drain() {
+        let plan = plan();
+        let batcher = Batcher::new();
+        let stats = StatsCollector::default();
+        let res = batcher.run(
+            &plan,
+            QueryKind::Potential,
+            vec![Vec3::new(2.0, 0.0, 0.0)],
+            Some(
+                Instant::now()
+                    .checked_sub(Duration::from_millis(1))
+                    .unwrap(),
+            ),
+            Duration::ZERO,
+            &stats,
+        );
+        assert_eq!(res.unwrap_err(), EngineError::DeadlineExceeded);
+        let snap = stats.snapshot(crate::stats::Gauges::default());
+        assert_eq!(snap.shed_deadline, 1);
+        assert_eq!(snap.batches, 0); // no evaluation ran
+    }
+}

@@ -1,0 +1,301 @@
+//! Engine observability.
+//!
+//! [`StatsCollector`] is the write side: plain atomics bumped from the
+//! hot paths (no locks, no allocation). [`EngineStats`] is the read side:
+//! a plain owned struct snapshotted on demand, deliberately free of any
+//! exporter dependency so a later observability layer can serialise it to
+//! whatever format it likes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Lock-free counters the engine's layers write into.
+#[derive(Debug, Default)]
+pub struct StatsCollector {
+    // plan cache
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    coalesced_misses: AtomicU64,
+    plan_builds: AtomicU64,
+    build_ns: AtomicU64,
+    evictions: AtomicU64,
+    evicted_bytes: AtomicU64,
+    // batched evaluation
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+    max_batch: AtomicU64,
+    eval_ns: AtomicU64,
+    eval_points: AtomicU64,
+    // admission control
+    admitted: AtomicU64,
+    shed_overload: AtomicU64,
+    shed_deadline: AtomicU64,
+    queue_peak: AtomicU64,
+}
+
+impl StatsCollector {
+    pub(crate) fn record_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_coalesced(&self) {
+        self.coalesced_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_build(&self, took: Duration) {
+        self.plan_builds.fetch_add(1, Ordering::Relaxed);
+        self.build_ns
+            .fetch_add(took.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_eviction(&self, bytes: usize) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+        self.evicted_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_batch(&self, requests: usize, points: usize, took: Duration) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests
+            .fetch_add(requests as u64, Ordering::Relaxed);
+        self.max_batch.fetch_max(requests as u64, Ordering::Relaxed);
+        self.eval_ns
+            .fetch_add(took.as_nanos() as u64, Ordering::Relaxed);
+        self.eval_points.fetch_add(points as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_admitted(&self) {
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_shed_overload(&self) {
+        self.shed_overload.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_shed_deadline(&self) {
+        self.shed_deadline.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn observe_queue_depth(&self, depth: usize) {
+        self.queue_peak.fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the counters; the gauges (`queue_depth`, `in_flight`,
+    /// cache residency, dataset count) are supplied by the engine, which
+    /// owns the structures they describe.
+    pub(crate) fn snapshot(&self, gauges: Gauges) -> EngineStats {
+        let ld = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        EngineStats {
+            cache_hits: ld(&self.cache_hits),
+            cache_misses: ld(&self.cache_misses),
+            coalesced_misses: ld(&self.coalesced_misses),
+            plan_builds: ld(&self.plan_builds),
+            build_seconds: ld(&self.build_ns) as f64 * 1e-9,
+            evictions: ld(&self.evictions),
+            evicted_bytes: ld(&self.evicted_bytes),
+            batches: ld(&self.batches),
+            batched_requests: ld(&self.batched_requests),
+            max_batch: ld(&self.max_batch),
+            eval_seconds: ld(&self.eval_ns) as f64 * 1e-9,
+            eval_points: ld(&self.eval_points),
+            admitted: ld(&self.admitted),
+            shed_overload: ld(&self.shed_overload),
+            shed_deadline: ld(&self.shed_deadline),
+            queue_peak: ld(&self.queue_peak),
+            resident_plans: gauges.resident_plans,
+            resident_bytes: gauges.resident_bytes,
+            cache_budget_bytes: gauges.cache_budget_bytes,
+            datasets: gauges.datasets,
+            in_flight: gauges.in_flight,
+            queue_depth: gauges.queue_depth,
+        }
+    }
+}
+
+/// Point-in-time gauges merged into a snapshot.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct Gauges {
+    pub resident_plans: usize,
+    pub resident_bytes: usize,
+    pub cache_budget_bytes: usize,
+    pub datasets: usize,
+    pub in_flight: usize,
+    pub queue_depth: usize,
+}
+
+/// A point-in-time view of everything the engine counts. Plain data —
+/// `Clone`, no atomics, no locks — so exporters can hold or diff
+/// snapshots freely.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EngineStats {
+    /// Queries served from a resident plan.
+    pub cache_hits: u64,
+    /// Queries that found no resident plan and triggered a build.
+    pub cache_misses: u64,
+    /// Queries that found a build already in flight and waited for it
+    /// (single-flight coalescing).
+    pub coalesced_misses: u64,
+    /// Plans actually built.
+    pub plan_builds: u64,
+    /// Total wall time spent building plans.
+    pub build_seconds: f64,
+    /// Plans evicted to respect the byte budget.
+    pub evictions: u64,
+    /// Total bytes of evicted plans.
+    pub evicted_bytes: u64,
+    /// Plans currently resident in the cache.
+    pub resident_plans: usize,
+    /// Bytes currently resident in the cache.
+    pub resident_bytes: usize,
+    /// The cache byte budget.
+    pub cache_budget_bytes: usize,
+    /// Registered datasets.
+    pub datasets: usize,
+    /// Batched evaluation sweeps executed.
+    pub batches: u64,
+    /// Requests that rode in those sweeps.
+    pub batched_requests: u64,
+    /// Largest number of requests coalesced into one sweep.
+    pub max_batch: u64,
+    /// Total wall time spent in evaluation sweeps.
+    pub eval_seconds: f64,
+    /// Total observation points evaluated.
+    pub eval_points: u64,
+    /// Requests admitted past the gate.
+    pub admitted: u64,
+    /// Requests shed because the queue was full.
+    pub shed_overload: u64,
+    /// Requests shed because their deadline expired while queued.
+    pub shed_deadline: u64,
+    /// Requests currently being evaluated.
+    pub in_flight: usize,
+    /// Requests currently waiting for an evaluation slot.
+    pub queue_depth: usize,
+    /// Largest queue depth observed.
+    pub queue_peak: u64,
+}
+
+impl EngineStats {
+    /// Fraction of plan lookups served from cache (hits over hits +
+    /// misses + coalesced misses); 0 when nothing was looked up.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses + self.coalesced_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Mean requests per evaluation sweep; 0 when no sweep ran.
+    #[must_use]
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_requests as f64 / self.batches as f64
+        }
+    }
+}
+
+impl std::fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "cache: {} hits / {} misses / {} coalesced ({:.1}% hit rate), \
+             {} resident plans, {}/{} bytes, {} evictions",
+            self.cache_hits,
+            self.cache_misses,
+            self.coalesced_misses,
+            100.0 * self.hit_rate(),
+            self.resident_plans,
+            self.resident_bytes,
+            self.cache_budget_bytes,
+            self.evictions,
+        )?;
+        writeln!(
+            f,
+            "plans: {} builds in {:.3}s; eval: {} batches / {} requests \
+             (mean {:.2}, max {}), {} points in {:.3}s",
+            self.plan_builds,
+            self.build_seconds,
+            self.batches,
+            self.batched_requests,
+            self.mean_batch(),
+            self.max_batch,
+            self.eval_points,
+            self.eval_seconds,
+        )?;
+        write!(
+            f,
+            "admission: {} admitted, {} shed (overload) + {} shed (deadline), \
+             {} in flight, queue {} (peak {})",
+            self.admitted,
+            self.shed_overload,
+            self.shed_deadline,
+            self.in_flight,
+            self.queue_depth,
+            self.queue_peak,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_roll_up_into_snapshot() {
+        let c = StatsCollector::default();
+        c.record_hit();
+        c.record_hit();
+        c.record_miss();
+        c.record_coalesced();
+        c.record_build(Duration::from_millis(5));
+        c.record_eviction(1024);
+        c.record_batch(3, 300, Duration::from_millis(2));
+        c.record_batch(7, 700, Duration::from_millis(2));
+        c.record_admitted();
+        c.record_shed_overload();
+        c.record_shed_deadline();
+        c.observe_queue_depth(4);
+        c.observe_queue_depth(2);
+        let s = c.snapshot(Gauges {
+            resident_plans: 1,
+            resident_bytes: 4096,
+            cache_budget_bytes: 1 << 20,
+            datasets: 2,
+            in_flight: 1,
+            queue_depth: 0,
+        });
+        assert_eq!(s.cache_hits, 2);
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.coalesced_misses, 1);
+        assert_eq!(s.plan_builds, 1);
+        assert!(s.build_seconds > 0.004);
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.evicted_bytes, 1024);
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.batched_requests, 10);
+        assert_eq!(s.max_batch, 7);
+        assert_eq!(s.eval_points, 1000);
+        assert_eq!(s.queue_peak, 4);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+        assert!((s.mean_batch() - 5.0).abs() < 1e-12);
+        let text = format!("{s}");
+        assert!(text.contains("hit rate"));
+        assert!(text.contains("admission"));
+    }
+
+    #[test]
+    fn empty_snapshot_rates_are_zero() {
+        let s = EngineStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.mean_batch(), 0.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests of the plan cache's residency policy: [`ByteLru`]
+//! against a brute-force reference model.
+//!
+//! The model keeps entries in an explicit recency-ordered `Vec` and
+//! re-derives every decision (eviction victims, refusals, totals) from
+//! first principles, so any divergence in the real structure's accounting
+//! or LRU ordering shows up as a concrete operation sequence.
+
+use mbt_engine::ByteLru;
+use proptest::prelude::*;
+
+/// Reference model: entries as `(key, bytes)` ordered least- to
+/// most-recently used.
+#[derive(Debug, Default)]
+struct Model {
+    budget: usize,
+    order: Vec<(u32, usize)>,
+}
+
+impl Model {
+    fn new(budget: usize) -> Model {
+        Model {
+            budget,
+            order: Vec::new(),
+        }
+    }
+
+    fn total(&self) -> usize {
+        self.order.iter().map(|e| e.1).sum()
+    }
+
+    fn get(&mut self, key: u32) -> bool {
+        if let Some(i) = self.order.iter().position(|e| e.0 == key) {
+            let e = self.order.remove(i);
+            self.order.push(e);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Mirrors `ByteLru::insert`: returns `(admitted, evicted keys in
+    /// eviction order)`.
+    fn insert(&mut self, key: u32, bytes: usize) -> (bool, Vec<u32>) {
+        let mut evicted = Vec::new();
+        if let Some(i) = self.order.iter().position(|e| e.0 == key) {
+            self.order.remove(i);
+            evicted.push(key);
+        }
+        if bytes > self.budget {
+            return (false, evicted);
+        }
+        while self.total() + bytes > self.budget {
+            let (k, _) = self.order.remove(0); // least recently used
+            evicted.push(k);
+        }
+        self.order.push((key, bytes));
+        (true, evicted)
+    }
+}
+
+/// One scripted operation.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Get(u32),
+    Insert(u32, usize),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        (0u32..2, 0u32..8, 1usize..140).prop_map(|(kind, key, bytes)| {
+            if kind == 0 {
+                Op::Get(key)
+            } else {
+                Op::Insert(key, bytes)
+            }
+        }),
+        1..80,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Under arbitrary operation sequences the cache never exceeds its
+    /// byte budget, its accounting matches a recomputed sum, and every
+    /// hit/admission/eviction decision matches the reference model —
+    /// including the *order* evictions happen in (strict LRU).
+    #[test]
+    fn byte_lru_matches_model(budget in 50usize..200, ops in arb_ops()) {
+        let mut lru: ByteLru<u32, u32> = ByteLru::new(budget);
+        let mut model = Model::new(budget);
+        for (step, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Get(k) => {
+                    let real = lru.get(&k).is_some();
+                    let expected = model.get(k);
+                    prop_assert_eq!(real, expected, "get({}) diverged at step {}", k, step);
+                }
+                Op::Insert(k, bytes) => {
+                    let ins = lru.insert(k, k, bytes);
+                    let (admitted, evicted) = model.insert(k, bytes);
+                    prop_assert_eq!(
+                        ins.admitted, admitted,
+                        "insert({}, {}) admission diverged at step {}", k, bytes, step
+                    );
+                    let real_evicted: Vec<u32> = ins.evicted.iter().map(|e| e.0).collect();
+                    prop_assert_eq!(
+                        real_evicted, evicted,
+                        "insert({}, {}) eviction order diverged at step {}", k, bytes, step
+                    );
+                }
+            }
+            prop_assert!(lru.check_invariants().is_ok(), "{:?}", lru.check_invariants());
+            prop_assert!(lru.total_bytes() <= budget);
+            prop_assert_eq!(lru.total_bytes(), model.total());
+            prop_assert_eq!(lru.len(), model.order.len());
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! The cache-hit acceptance test: a served-from-cache query performs
+//! **zero** tree builds and **zero** upward passes.
+//!
+//! Proven non-circularly with process-wide construction counters owned by
+//! the layers themselves (`mbt_tree::build_count`,
+//! `mbt_treecode::upward_pass_count`) rather than the engine's own
+//! bookkeeping — if the engine secretly rebuilt per query, these counters
+//! would advance no matter what its stats claimed.
+//!
+//! This file deliberately holds a single `#[test]` so no parallel test in
+//! the same process can advance the global counters mid-measurement.
+
+use mbt_engine::{Accuracy, CacheOutcome, Engine, EngineConfig, QueryRequest};
+use mbt_geometry::distribution::{uniform_cube, ChargeModel};
+use mbt_geometry::Vec3;
+
+#[test]
+fn cache_hit_does_no_build_and_no_upward_pass() {
+    let engine = Engine::new(EngineConfig::default()).expect("default config is valid");
+    let id = engine
+        .register(
+            "tenant",
+            uniform_cube(2_000, 1.0, ChargeModel::RandomSign { magnitude: 1.0 }, 5),
+        )
+        .expect("dataset registers");
+    let accuracy = Accuracy::Adaptive { p_min: 4 };
+    let points: Vec<Vec3> = (0..100)
+        .map(|i| Vec3::new(1.1 + f64::from(i) * 0.02, -0.4, 0.9))
+        .collect();
+
+    // cold query: must build (tree + upward pass happen exactly once)
+    let builds_before = mbt_tree::build_count();
+    let upward_before = mbt_treecode::upward_pass_count();
+    let cold = engine
+        .query(QueryRequest::potentials(id, accuracy, points.clone()))
+        .expect("cold query succeeds");
+    assert_eq!(cold.cache, CacheOutcome::Built);
+    assert_eq!(
+        mbt_tree::build_count(),
+        builds_before + 1,
+        "the cold query must build exactly one tree"
+    );
+    assert_eq!(
+        mbt_treecode::upward_pass_count(),
+        upward_before + 1,
+        "the cold query must run exactly one upward pass"
+    );
+
+    // hot queries: zero builds, zero upward passes — the whole point
+    let builds_cold = mbt_tree::build_count();
+    let upward_cold = mbt_treecode::upward_pass_count();
+    for _ in 0..5 {
+        let hot = engine
+            .query(QueryRequest::potentials(id, accuracy, points.clone()))
+            .expect("hot query succeeds");
+        assert_eq!(hot.cache, CacheOutcome::Hit);
+        assert_eq!(
+            hot.output, cold.output,
+            "cached plan must serve identical values"
+        );
+    }
+    assert_eq!(
+        mbt_tree::build_count(),
+        builds_cold,
+        "cache hits must not build trees"
+    );
+    assert_eq!(
+        mbt_treecode::upward_pass_count(),
+        upward_cold,
+        "cache hits must not run upward passes"
+    );
+
+    let stats = engine.stats();
+    assert_eq!(stats.plan_builds, 1);
+    assert_eq!(stats.cache_hits, 5);
+    assert_eq!(stats.cache_misses, 1);
+}

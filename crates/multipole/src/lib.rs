@@ -51,5 +51,5 @@ pub use bounds::{
 pub use complex::Complex;
 pub use expansion::{p2m_into, ExpansionRef, LocalExpansion, MultipoleExpansion};
 pub use harmonics::Harmonics;
-pub use tables::{tri_len, MAX_DEGREE};
+pub use tables::{coeff_bytes, tri_len, MAX_DEGREE};
 pub use workspace::Workspace;

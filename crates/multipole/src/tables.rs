@@ -30,6 +30,15 @@ pub const fn tri_len(degree: usize) -> usize {
     (degree + 1) * (degree + 2) / 2
 }
 
+/// Heap bytes of one degree-`p` coefficient span (the triangular array of
+/// complex coefficients a node expansion stores) — the unit of plan-cache
+/// size accounting.
+#[inline]
+#[must_use]
+pub const fn coeff_bytes(degree: usize) -> usize {
+    tri_len(degree) * std::mem::size_of::<crate::complex::Complex>()
+}
+
 /// The shared numeric tables.
 pub struct Tables {
     /// `fact[k] = k!` for `k ≤ 4·MAX_DEGREE`.

@@ -8,6 +8,8 @@
 //!    resolution floor — coincident particles cannot be separated).
 //! 4. One bottom-up pass fills the cluster aggregates.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use mbt_geometry::{morton, Aabb, Particle, Vec3};
 use rayon::prelude::*;
 
@@ -26,6 +28,20 @@ impl Default for OctreeParams {
     fn default() -> Self {
         OctreeParams { leaf_capacity: 32 }
     }
+}
+
+/// Process-wide count of completed [`Octree::build`] calls.
+///
+/// A cheap diagnostic for caching layers that must *prove* a code path
+/// built no tree (e.g. "a plan-cache hit performs zero builds"): read the
+/// counter, run the path, read it again. One relaxed increment per build
+/// is free next to the build itself.
+static BUILDS: AtomicU64 = AtomicU64::new(0);
+
+/// The number of octrees this process has built so far.
+#[must_use]
+pub fn build_count() -> u64 {
+    BUILDS.load(Ordering::Relaxed)
 }
 
 /// Construction failure.
@@ -136,7 +152,19 @@ impl Octree {
             .unwrap_or(0);
         #[cfg(feature = "validate")]
         tree.validate_contracts();
+        BUILDS.fetch_add(1, Ordering::Relaxed);
         Ok(tree)
+    }
+
+    /// Resident heap footprint of the tree in bytes (length-based: nodes,
+    /// sorted particles, Morton keys, and the unsort permutation) — the
+    /// quantity a plan cache charges against its byte budget.
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<Node>()
+            + self.particles.len() * std::mem::size_of::<Particle>()
+            + self.keys.len() * std::mem::size_of::<u64>()
+            + self.perm.len() * std::mem::size_of::<usize>()
     }
 
     /// Structural invariants, checked after every build when the

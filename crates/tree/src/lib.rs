@@ -14,6 +14,6 @@ pub mod build;
 pub mod node;
 pub mod stats;
 
-pub use build::{Octree, OctreeParams, TreeError};
+pub use build::{build_count, Octree, OctreeParams, TreeError};
 pub use node::{Node, NodeId, NO_NODE};
 pub use stats::TreeStats;

@@ -18,6 +18,7 @@
 //! | [`multipole`] | `mbt-multipole` | expansions, translations, error bounds, degree selection |
 //! | [`tree`] | `mbt-tree` | the adaptive octree |
 //! | [`treecode`] | `mbt-treecode` | **the paper's contribution** — fixed & adaptive Barnes–Hut |
+//! | [`engine`] | `mbt-engine` | multi-tenant query engine: plan caching, batching, admission |
 //! | [`fmm`] | `mbt-fmm` | the FMM extension |
 //! | [`bem`] | `mbt-bem` | boundary-element substrate |
 //! | [`sim`] | `mbt-sim` | N-body dynamics (leapfrog + diagnostics) |
@@ -43,6 +44,7 @@
 #![forbid(unsafe_code)]
 
 pub use mbt_bem as bem;
+pub use mbt_engine as engine;
 pub use mbt_fmm as fmm;
 pub use mbt_geometry as geometry;
 pub use mbt_multipole as multipole;
@@ -56,6 +58,10 @@ pub mod prelude {
     pub use mbt_bem::{
         quadrature::integrate_on_triangle, shapes, CapacitanceProblem, DenseSingleLayer, QuadRule,
         SingleLayerGeometry, TreecodeSingleLayer, TriMesh,
+    };
+    pub use mbt_engine::{
+        Accuracy, CacheOutcome, DatasetId, Engine, EngineConfig, EngineError, EngineStats,
+        QueryKind, QueryOutput, QueryRequest, QueryResponse,
     };
     pub use mbt_fmm::{Fmm, FmmParams};
     pub use mbt_geometry::distribution::{
