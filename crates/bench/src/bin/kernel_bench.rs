@@ -1,0 +1,122 @@
+//! Scalar vs compiled (interaction-list + SoA batch kernel) sweep
+//! benchmark.
+//!
+//! For each `(n, p)` cell this builds one tree, runs the full
+//! all-particles potential sweep in both [`EvalMode`]s, and reports wall
+//! times plus the speedup. Results go to `BENCH_kernels.json` as a flat,
+//! diffable document; the compiled/scalar agreement and exact counter
+//! equality are asserted on every cell, so the benchmark doubles as an
+//! end-to-end equivalence check on realistic sizes.
+//!
+//! Run with: `cargo run --release -p mbt-bench --bin kernel_bench`
+//! CI runs `-- --smoke`: one small cell, assertions only, no JSON rewrite.
+
+use mbt_bench::timed;
+use mbt_geometry::distribution::{uniform_cube, ChargeModel};
+use mbt_treecode::{EvalMode, EvalResult, Treecode, TreecodeParams};
+
+const SIZES: [usize; 3] = [10_000, 40_000, 100_000];
+const DEGREES: [usize; 3] = [2, 4, 8];
+const REPS: usize = 3;
+
+struct Cell {
+    n: usize,
+    p: usize,
+    scalar_ms: f64,
+    compiled_ms: f64,
+}
+
+/// Best-of-`REPS` sweep time in milliseconds, plus the last result.
+fn best_of(tc: &Treecode, reps: usize) -> (f64, EvalResult<f64>) {
+    let mut best = f64::INFINITY;
+    let (mut result, secs) = timed(|| tc.potentials());
+    best = best.min(secs);
+    for _ in 1..reps {
+        let (r, secs) = timed(|| tc.potentials());
+        best = best.min(secs);
+        result = r;
+    }
+    (best * 1e3, result)
+}
+
+fn run_cell(n: usize, p: usize, reps: usize) -> Cell {
+    let particles = uniform_cube(n, 1.0, ChargeModel::RandomSign { magnitude: 1.0 }, 42);
+    let scalar_params = TreecodeParams::fixed(p, 0.7);
+    let compiled_params = scalar_params.with_eval_mode(EvalMode::Compiled);
+    let tc_scalar = Treecode::new(&particles, scalar_params).expect("valid instance");
+    let tc_compiled = Treecode::new(&particles, compiled_params).expect("valid instance");
+
+    let (scalar_ms, r_scalar) = best_of(&tc_scalar, reps);
+    let (compiled_ms, r_compiled) = best_of(&tc_compiled, reps);
+
+    // The two modes execute the identical interaction set; anything beyond
+    // summation-reordering noise is a bug, so fail loudly here.
+    assert_eq!(
+        r_scalar.stats, r_compiled.stats,
+        "n={n} p={p}: modes disagree on interaction counts"
+    );
+    for (i, (a, b)) in r_scalar.values.iter().zip(&r_compiled.values).enumerate() {
+        let tol = 1e-12 * a.abs().max(1.0);
+        assert!(
+            (a - b).abs() <= tol,
+            "n={n} p={p} target {i}: scalar {a} vs compiled {b}"
+        );
+    }
+
+    Cell {
+        n,
+        p,
+        scalar_ms,
+        compiled_ms,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    if smoke {
+        let cell = run_cell(5_000, 4, 1);
+        println!(
+            "smoke ok: n=5000 p=4 scalar {:.2} ms, compiled {:.2} ms",
+            cell.scalar_ms, cell.compiled_ms
+        );
+        return;
+    }
+
+    let mut cells = Vec::new();
+    for &n in &SIZES {
+        for &p in &DEGREES {
+            let cell = run_cell(n, p, REPS);
+            println!(
+                "n={:>6} p={}: scalar {:>8.2} ms, compiled {:>8.2} ms, speedup {:.2}x",
+                cell.n,
+                cell.p,
+                cell.scalar_ms,
+                cell.compiled_ms,
+                cell.scalar_ms / cell.compiled_ms
+            );
+            cells.push(cell);
+        }
+    }
+
+    let rows: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"n\": {}, \"p\": {}, \"scalar_ms\": {:.3}, \"compiled_ms\": {:.3}, \
+                 \"speedup\": {:.3}}}",
+                c.n,
+                c.p,
+                c.scalar_ms,
+                c.compiled_ms,
+                c.scalar_ms / c.compiled_ms
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"kernels\",\n  \"distribution\": \"uniform_cube\",\n  \
+         \"alpha\": 0.7,\n  \"reps\": {REPS},\n  \"cells\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
+    println!("wrote BENCH_kernels.json");
+}

@@ -29,6 +29,7 @@ use mbt_tree::NodeId;
 use rayon::prelude::*;
 
 use crate::mac::{mac, MacDecision};
+use crate::params::EvalMode;
 use crate::stats::EvalStats;
 use crate::upward::Treecode;
 
@@ -42,11 +43,14 @@ struct Scratch {
 
 impl Scratch {
     /// Scratch pre-sized so traversal and evaluation up to `max_degree`
-    /// never reallocate (the stack may still grow beyond 64 deep on
-    /// pathological trees; it then stays grown for the rest of the task).
-    fn new(max_degree: usize) -> Scratch {
+    /// never reallocate. The DFS stack holds at most the 8 children of
+    /// every opened ancestor on the current root-to-node path, so
+    /// `8 · (height + 1)` bounds its depth for *any* tree shape —
+    /// including pathological clustered distributions whose height far
+    /// exceeds the old fixed 64-slot guess.
+    fn new(max_degree: usize, height: usize) -> Scratch {
         Scratch {
-            stack: Vec::with_capacity(64),
+            stack: Vec::with_capacity(8 * (height + 1)),
             ws: Workspace::with_capacity(max_degree),
         }
     }
@@ -64,7 +68,7 @@ pub struct EvalResult<T> {
 /// Identifies a target during source-set evaluation so the traversal can
 /// exclude self-interaction.
 #[derive(Clone, Copy)]
-enum TargetKind {
+pub(crate) enum TargetKind {
     /// Evaluation at source particle with this sorted index.
     SourceParticle(usize),
     /// Evaluation at an external point (no exclusion).
@@ -76,6 +80,15 @@ impl Treecode {
     /// in the caller's original particle order. Parallel.
     #[must_use]
     pub fn potentials(&self) -> EvalResult<f64> {
+        if self.params.eval_mode == EvalMode::Compiled {
+            // lint: allow(alloc, one output buffer per sweep, not per interaction)
+            let mut values = vec![0.0; self.tree.particles().len()];
+            let stats = self.compiled_potential_sweep(None, &mut values);
+            return EvalResult {
+                values: self.tree.unsort(&values),
+                stats,
+            };
+        }
         let chunk = self.params.eval_chunk;
         let n = self.tree.particles().len();
         let (values, stats) = self.eval_chunks(n, chunk, |i, scratch, stats| {
@@ -112,6 +125,9 @@ impl Treecode {
             out.len(),
             "output buffer must match the number of points"
         );
+        if self.params.eval_mode == EvalMode::Compiled {
+            return self.compiled_potential_sweep(Some(points), out);
+        }
         self.eval_chunks_into(out, self.params.eval_chunk, |i, scratch, stats| {
             self.eval_potential(points[i], TargetKind::External, scratch, stats)
         })
@@ -120,6 +136,15 @@ impl Treecode {
     /// Potential and gradient at all source particles, original order.
     #[must_use]
     pub fn fields(&self) -> EvalResult<(f64, Vec3)> {
+        if self.params.eval_mode == EvalMode::Compiled {
+            // lint: allow(alloc, one output buffer per sweep, not per interaction)
+            let mut values = vec![(0.0, Vec3::ZERO); self.tree.particles().len()];
+            let stats = self.compiled_field_sweep(None, &mut values);
+            return EvalResult {
+                values: self.tree.unsort(&values),
+                stats,
+            };
+        }
         let chunk = self.params.eval_chunk;
         let n = self.tree.particles().len();
         let (values, stats) = self.eval_chunks(n, chunk, |i, scratch, stats| {
@@ -150,6 +175,9 @@ impl Treecode {
             out.len(),
             "output buffer must match the number of points"
         );
+        if self.params.eval_mode == EvalMode::Compiled {
+            return self.compiled_field_sweep(Some(points), out);
+        }
         self.eval_chunks_into(out, self.params.eval_chunk, |i, scratch, stats| {
             self.eval_field(points[i], TargetKind::External, scratch, stats)
         })
@@ -159,14 +187,14 @@ impl Treecode {
     #[must_use]
     pub fn potential_at(&self, point: Vec3) -> f64 {
         let mut stats = EvalStats::default();
-        let mut scratch = Scratch::new(self.max_degree());
+        let mut scratch = Scratch::new(self.max_degree(), self.tree.height());
         self.eval_potential(point, TargetKind::External, &mut scratch, &mut stats)
     }
 
     /// The largest degree any node stores — the size every per-task
     /// workspace is provisioned for up front.
     #[inline]
-    fn max_degree(&self) -> usize {
+    pub(crate) fn max_degree(&self) -> usize {
         self.degrees.iter().copied().max().unwrap_or(0)
     }
 
@@ -200,11 +228,12 @@ impl Treecode {
     ) -> EvalStats {
         let chunk = chunk.max(1);
         let max_degree = self.max_degree();
+        let height = self.tree.height();
         let chunk_stats: Vec<EvalStats> = values
             .par_chunks_mut(chunk)
             .enumerate()
             .map(|(ci, out)| {
-                let mut scratch = Scratch::new(max_degree);
+                let mut scratch = Scratch::new(max_degree, height);
                 let mut stats = EvalStats::for_targets(out.len() as u64);
                 for (k, slot) in out.iter_mut().enumerate() {
                     *slot = f(ci * chunk + k, &mut scratch, &mut stats);
@@ -292,7 +321,7 @@ impl Treecode {
     /// degree, truncated further in `Tolerance` mode to the smallest
     /// degree meeting the budget at the target's actual distance.
     #[inline]
-    fn interaction_degree(&self, id: NodeId, x: Vec3) -> usize {
+    pub(crate) fn interaction_degree(&self, id: NodeId, x: Vec3) -> usize {
         let stored = self.degrees[id as usize];
         match self.params.degree {
             DegreeSelector::Tolerance { tol, p_min, .. } => {
@@ -615,6 +644,71 @@ mod tests {
         let fstats = tc.fields_at_into(&points, &mut fbuf);
         assert_eq!(f.values, fbuf);
         assert_eq!(f.stats, fstats);
+    }
+
+    #[test]
+    fn scratch_stack_sized_for_pathological_cluster_depth() {
+        // Geometrically nested particle pairs force an octree whose height
+        // blows far past what the old fixed 64-slot stack guess assumed.
+        // The `8·(height+1)` sizing must cover the sweep without the stack
+        // ever reallocating mid-traversal.
+        let mut ps = Vec::new();
+        let mut s = 1.0f64;
+        for k in 0..30 {
+            let q = if k % 2 == 0 { 1.0 } else { -1.0 };
+            ps.push(Particle::new(Vec3::new(s, s * 0.9, s * 0.8), q));
+            ps.push(Particle::new(Vec3::new(s * 0.9, s * 0.3, s * 0.2), -q));
+            s *= 0.5;
+        }
+        ps.push(Particle::new(Vec3::ZERO, 1.0));
+        let params = TreecodeParams::fixed(3, 0.7).with_leaf_capacity(1);
+        let tc = Treecode::new(&ps, params).unwrap();
+        let height = tc.tree.height();
+        assert!(
+            8 * (height + 1) > 64,
+            "distribution too shallow to exercise the regression (height {height})"
+        );
+
+        let mut scratch = Scratch::new(tc.max_degree(), height);
+        let cap = scratch.stack.capacity();
+        let mut stats = EvalStats::default();
+        for i in 0..ps.len() {
+            let x = tc.tree.particles()[i].position;
+            tc.eval_potential(x, TargetKind::SourceParticle(i), &mut scratch, &mut stats);
+            assert!(
+                scratch.stack.capacity() == cap,
+                "stack reallocated mid-sweep (target {i}): {} -> {}",
+                cap,
+                scratch.stack.capacity()
+            );
+        }
+    }
+
+    #[test]
+    fn compiled_mode_matches_scalar_mode() {
+        use crate::params::EvalMode;
+        let ps = uniform_cube(2000, 1.0, charges(), 43);
+        for (name, params) in [
+            ("fixed", TreecodeParams::fixed(5, 0.6)),
+            ("adaptive", TreecodeParams::adaptive(3, 0.6)),
+            ("tolerance", TreecodeParams::tolerance(1e-6, 0.6)),
+        ] {
+            let scalar = Treecode::new(&ps, params).unwrap().potentials();
+            let compiled = Treecode::new(&ps, params.with_eval_mode(EvalMode::Compiled))
+                .unwrap()
+                .potentials();
+            assert_eq!(
+                scalar.stats, compiled.stats,
+                "{name} mode: counters diverged"
+            );
+            for (i, (a, b)) in scalar.values.iter().zip(&compiled.values).enumerate() {
+                let tol = 1e-12 * a.abs().max(1.0);
+                assert!(
+                    (a - b).abs() <= tol,
+                    "{name} mode: target {i}: scalar {a} vs compiled {b}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 
 pub mod accuracy;
+mod compile;
 pub mod direct;
 pub mod dual;
 pub mod eval;
@@ -48,6 +49,6 @@ pub mod upward;
 pub use accuracy::{relative_error, sampled_relative_error, SampledError};
 pub use eval::EvalResult;
 pub use mbt_multipole::{DegreeSelector, DegreeWeighting};
-pub use params::{RefWeight, TreecodeError, TreecodeParams};
+pub use params::{EvalMode, RefWeight, TreecodeError, TreecodeParams};
 pub use stats::EvalStats;
 pub use upward::{upward_pass_count, Treecode};

@@ -20,6 +20,24 @@ pub enum RefWeight {
     Explicit(f64),
 }
 
+/// Which execution strategy an evaluation sweep uses. Both modes run the
+/// identical α-MAC traversal and account identical interaction counts;
+/// they differ only in how the arithmetic is scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EvalMode {
+    /// One target at a time, interleaved with traversal — the bit-exact
+    /// reference path (and the default, so existing results are
+    /// reproducible bit for bit).
+    #[default]
+    Scalar,
+    /// Two-phase: compile per-chunk traversals into flat, degree-bucketed
+    /// interaction lists, then execute them with batched SoA kernels
+    /// (`mbt-multipole::batch`). Per interaction the arithmetic is
+    /// bit-identical to the scalar path; per-target totals differ only by
+    /// a documented summation reordering (DESIGN.md §10).
+    Compiled,
+}
+
 /// Parameters of a treecode run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TreecodeParams {
@@ -46,6 +64,8 @@ pub struct TreecodeParams {
     /// encounters; the far field is unchanged because the α-criterion
     /// admits clusters only at distances far beyond any sensible ε.
     pub softening: f64,
+    /// Execution strategy of evaluation sweeps (default: [`EvalMode::Scalar`]).
+    pub eval_mode: EvalMode,
 }
 
 impl TreecodeParams {
@@ -59,6 +79,7 @@ impl TreecodeParams {
             eval_chunk: 64,
             ref_weight: RefWeight::default(),
             softening: 0.0,
+            eval_mode: EvalMode::Scalar,
         }
     }
 
@@ -73,6 +94,7 @@ impl TreecodeParams {
             eval_chunk: 64,
             ref_weight: RefWeight::default(),
             softening: 0.0,
+            eval_mode: EvalMode::Scalar,
         }
     }
 
@@ -88,6 +110,7 @@ impl TreecodeParams {
             eval_chunk: 64,
             ref_weight: RefWeight::default(),
             softening: 0.0,
+            eval_mode: EvalMode::Scalar,
         }
     }
 
@@ -116,6 +139,13 @@ impl TreecodeParams {
     #[must_use]
     pub fn with_eval_chunk(mut self, eval_chunk: usize) -> Self {
         self.eval_chunk = eval_chunk.max(1);
+        self
+    }
+
+    /// Sets the evaluation execution strategy.
+    #[must_use]
+    pub fn with_eval_mode(mut self, eval_mode: EvalMode) -> Self {
+        self.eval_mode = eval_mode;
         self
     }
 

@@ -11,7 +11,9 @@
 use std::time::{Duration, Instant};
 
 use mbt_geometry::Particle;
-use mbt_treecode::{DegreeSelector, DegreeWeighting, RefWeight, Treecode, TreecodeParams};
+use mbt_treecode::{
+    DegreeSelector, DegreeWeighting, EvalMode, RefWeight, Treecode, TreecodeParams,
+};
 
 use crate::error::EngineError;
 use crate::registry::DatasetId;
@@ -40,8 +42,18 @@ pub enum Accuracy {
 impl Accuracy {
     /// Resolves to full treecode parameters using the engine's default
     /// MAC parameter and tree-shape settings.
+    ///
+    /// The three shorthand variants opt into the compiled (interaction-list)
+    /// evaluation mode — the engine's throughput path — except under the
+    /// `validate` feature, which pins the bit-exact scalar reference.
+    /// [`Accuracy::Params`] passes through untouched, so callers needing a
+    /// specific mode state it explicitly.
     #[must_use]
     pub fn resolve(self, alpha: f64, leaf_capacity: usize, eval_chunk: usize) -> TreecodeParams {
+        #[cfg(feature = "validate")]
+        let mode = EvalMode::Scalar;
+        #[cfg(not(feature = "validate"))]
+        let mode = EvalMode::Compiled;
         let base = match self {
             Accuracy::Fixed(p) => TreecodeParams::fixed(p, alpha),
             Accuracy::Adaptive { p_min } => TreecodeParams::adaptive(p_min, alpha),
@@ -50,6 +62,7 @@ impl Accuracy {
         };
         base.with_leaf_capacity(leaf_capacity)
             .with_eval_chunk(eval_chunk)
+            .with_eval_mode(mode)
     }
 }
 
@@ -117,6 +130,7 @@ pub struct PlanKey {
     eval_chunk: usize,
     ref_weight: RefWeightKey,
     softening: u64,
+    eval_mode: EvalMode,
 }
 
 impl PlanKey {
@@ -135,6 +149,7 @@ impl PlanKey {
                 RefWeight::Explicit(w) => RefWeightKey::Explicit(w.to_bits()),
             },
             softening: params.softening.to_bits(),
+            eval_mode: params.eval_mode,
         }
     }
 
@@ -232,6 +247,8 @@ mod tests {
         assert_ne!(k(id0, &c), k(id0, &d));
         let softened = a.with_softening(1e-3);
         assert_ne!(k(id0, &a), k(id0, &softened));
+        let compiled = a.with_eval_mode(EvalMode::Compiled);
+        assert_ne!(k(id0, &a), k(id0, &compiled));
         assert_eq!(k(id0, &a).dataset(), id0);
     }
 

@@ -15,7 +15,9 @@
 //!   evaluation (uniform, Gaussian, overlapped Gaussians) plus a Plummer
 //!   model for the astrophysics examples,
 //! * [`Particle`] — the `position + charge` record every other crate
-//!   operates on.
+//!   operates on,
+//! * [`ParticleSoa`] — a structure-of-arrays mirror of a particle slice
+//!   for the batched (auto-vectorized) evaluation kernels.
 
 #![forbid(unsafe_code)]
 
@@ -24,11 +26,13 @@ pub mod distribution;
 pub mod hilbert;
 pub mod morton;
 pub mod particle;
+pub mod soa;
 pub mod sort;
 pub mod spherical;
 pub mod vec3;
 
 pub use aabb::Aabb;
 pub use particle::Particle;
+pub use soa::ParticleSoa;
 pub use spherical::Spherical;
 pub use vec3::Vec3;

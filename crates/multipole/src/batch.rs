@@ -1,0 +1,813 @@
+//! Batched SoA evaluation kernels: M2P lane groups and P2P source spans.
+//!
+//! The scalar kernels in [`expansion`](crate::expansion) evaluate one
+//! (target, node) interaction at a time, interleaved with tree traversal.
+//! This module provides the dense "execute" half of a two-phase evaluator:
+//! a list compiler (in `mbt-treecode`) turns traversals into flat task
+//! lists, and these kernels burn through the lists in groups of
+//! [`M2P_LANES`] targets with explicit lane arrays, so the inner loops are
+//! straight-line arithmetic the compiler can auto-vectorize.
+//!
+//! # Determinism contract
+//!
+//! Per lane, the group kernels run the **same Legendre recurrences and
+//! multiply/accumulate association** as their scalar counterparts
+//! ([`ExpansionRef::potential_at_degree_with`](crate::ExpansionRef::potential_at_degree_with)
+//! etc.), but convert the observation offset to spherical form
+//! *algebraically* — `cos θ = dz/r`, `sin θ = r_xy/r`, `e^{iφ} =
+//! (dx + i·dy)/r_xy` — instead of round-tripping through
+//! `acos`/`atan2`/`sin_cos`. The quantities are mathematically identical
+//! and agree to ULP precision (the kernel tests pin ≤ 1e-13 relative per
+//! lane), but the serial libm calls that dominate small-degree setup are
+//! replaced by straight-line `sqrt`/`div` the vectorizer packs across
+//! lanes. Together with the compiled mode's documented reassociation
+//! (per-interaction partials are summed in degree-bucket order), the
+//! compiled/scalar divergence stays well below 1e-12 relative for the
+//! workloads the treecode serves.
+//!
+//! # Layout
+//!
+//! Lane-major triangular tables: entry `(n, m)` of lane `l` lives at
+//! `tri_index(n, m) * M2P_LANES + l`, so each recurrence step is a short
+//! contiguous loop over lanes — the shape LLVM turns into packed `mulpd`
+//! /`addpd` (see DESIGN.md §10 for the inspection notes).
+
+use mbt_geometry::Vec3;
+
+use crate::complex::Complex;
+use crate::tables::{tri_index, tri_len, Tables};
+
+/// Targets per M2P group. Four `f64` lanes fill one AVX register (or two
+/// SSE2 registers); the lane loops below are written so the width is a
+/// compile-time constant the vectorizer can unroll exactly.
+pub const M2P_LANES: usize = 4;
+
+/// Accumulator lanes for P2P span kernels. Independent per-lane partial
+/// sums are what permit packed adds: LLVM will not reassociate a single
+/// serial `f64` reduction on its own.
+pub const P2P_LANES: usize = 4;
+
+/// One group of up to [`M2P_LANES`] same-degree M2P tasks: per lane an
+/// expansion (center + triangular `m ≥ 0` coefficient span) and an
+/// observation point. Callers pad short groups by repeating a valid lane
+/// and ignore the padded outputs — lanes are arithmetically independent.
+#[derive(Debug, Clone, Copy)]
+pub struct M2pGroup<'a> {
+    /// Expansion centers, one per lane.
+    pub centers: [Vec3; M2P_LANES],
+    /// Observation points, one per lane.
+    pub points: [Vec3; M2P_LANES],
+    /// Coefficient spans; each must hold at least `tri_len(degree)`
+    /// entries for the degree the workspace is prepared to.
+    pub coeffs: [&'a [Complex]; M2P_LANES],
+}
+
+/// Reusable lane-major scratch for the batched M2P kernels: the shared
+/// normalization table for the current degree bucket plus per-lane
+/// Legendre and accumulator arrays. One `BatchWorkspace` lives per
+/// evaluation chunk; [`BatchWorkspace::prepare_degree`] is called once per
+/// degree bucket, which is what amortizes table setup across every task
+/// in the bucket.
+#[derive(Debug)]
+pub struct BatchWorkspace {
+    degree: usize,
+    /// `norm(n, m)` for the prepared degree, indexed by `tri_index` —
+    /// shared across lanes (it depends only on `(n, m)`).
+    norm: Vec<f64>,
+    /// Lane-major `P_n^m(cos θ)`.
+    leg_p: Vec<f64>,
+    /// Lane-major `P_n^m / sin θ` (`m ≥ 1`; `m = 0` entries unused).
+    leg_q: Vec<f64>,
+    /// Lane-major `dP_n^m/dθ`.
+    leg_d: Vec<f64>,
+    /// Lane-major per-degree partial sums (potential).
+    acc_pot: Vec<f64>,
+    /// Lane-major per-degree partial sums (θ-derivative).
+    acc_dth: Vec<f64>,
+    /// Lane-major per-degree partial sums (φ-derivative).
+    acc_dph: Vec<f64>,
+}
+
+impl Default for BatchWorkspace {
+    fn default() -> Self {
+        BatchWorkspace::new()
+    }
+}
+
+impl BatchWorkspace {
+    /// An empty workspace; call [`BatchWorkspace::prepare_degree`] before
+    /// running a group kernel.
+    #[must_use]
+    pub fn new() -> BatchWorkspace {
+        BatchWorkspace {
+            degree: 0,
+            norm: Vec::new(), // lint: allow(alloc, workspace construction, once per chunk)
+            leg_p: Vec::new(), // lint: allow(alloc, workspace construction, once per chunk)
+            leg_q: Vec::new(), // lint: allow(alloc, workspace construction, once per chunk)
+            leg_d: Vec::new(), // lint: allow(alloc, workspace construction, once per chunk)
+            acc_pot: Vec::new(), // lint: allow(alloc, workspace construction, once per chunk)
+            acc_dth: Vec::new(), // lint: allow(alloc, workspace construction, once per chunk)
+            acc_dph: Vec::new(), // lint: allow(alloc, workspace construction, once per chunk)
+        }
+    }
+
+    /// Sizes the lane buffers for `degree` and fills the normalization
+    /// table — once per degree bucket, not per task. Buffers grow
+    /// monotonically, so a workspace cycled through ascending buckets
+    /// allocates only on the first visit to each high-water mark.
+    pub fn prepare_degree(&mut self, degree: usize) {
+        let len = tri_len(degree);
+        if self.leg_p.len() < len * M2P_LANES {
+            self.leg_p.resize(len * M2P_LANES, 0.0);
+            self.leg_q.resize(len * M2P_LANES, 0.0);
+            self.leg_d.resize(len * M2P_LANES, 0.0);
+        }
+        if self.norm.len() < len {
+            self.norm.resize(len, 0.0);
+        }
+        if self.acc_pot.len() < (degree + 1) * M2P_LANES {
+            self.acc_pot.resize((degree + 1) * M2P_LANES, 0.0);
+            self.acc_dth.resize((degree + 1) * M2P_LANES, 0.0);
+            self.acc_dph.resize((degree + 1) * M2P_LANES, 0.0);
+        }
+        let t = Tables::get();
+        for n in 0..=degree {
+            for m in 0..=n {
+                self.norm[tri_index(n, m)] = t.norm(n, m as i64);
+            }
+        }
+        self.degree = degree;
+    }
+
+    /// The degree the workspace is currently prepared for.
+    #[inline]
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+}
+
+/// Lane-major `P_n^m` via the same recurrences as
+/// [`Legendre::recompute`](crate::Legendre) — identical operation order
+/// per lane, so each lane's values match the scalar table bit for bit.
+fn legendre_p_lanes(degree: usize, x: &[f64; M2P_LANES], s: &[f64; M2P_LANES], p: &mut [f64]) {
+    for l in 0..M2P_LANES {
+        p[tri_index(0, 0) * M2P_LANES + l] = 1.0;
+    }
+    let mut pmm = [1.0f64; M2P_LANES];
+    for m in 1..=degree {
+        let df = (2 * m - 1) as f64;
+        let row = tri_index(m, m) * M2P_LANES;
+        for l in 0..M2P_LANES {
+            pmm[l] *= df * s[l];
+        }
+        p[row..row + M2P_LANES].copy_from_slice(&pmm);
+    }
+    for m in 0..degree {
+        let c = (2 * m + 1) as f64;
+        let dst = tri_index(m + 1, m) * M2P_LANES;
+        let src = tri_index(m, m) * M2P_LANES;
+        for l in 0..M2P_LANES {
+            let f = x[l] * c;
+            p[dst + l] = f * p[src + l];
+        }
+    }
+    for n in 2..=degree {
+        let a_c = (2 * n - 1) as f64;
+        for m in 0..=(n - 2) {
+            let b = (n + m - 1) as f64;
+            let c = (n - m) as f64;
+            let i0 = tri_index(n, m) * M2P_LANES;
+            let i1 = tri_index(n - 1, m) * M2P_LANES;
+            let i2 = tri_index(n - 2, m) * M2P_LANES;
+            for l in 0..M2P_LANES {
+                let a = x[l] * a_c;
+                p[i0 + l] = (a * p[i1 + l] - b * p[i2 + l]) / c;
+            }
+        }
+    }
+}
+
+/// Lane-major evaluation of all three Legendre families (`P`, `P/sin θ`,
+/// `dP/dθ`), mirroring the scalar recurrences operation for operation.
+fn legendre_pqd_lanes(
+    degree: usize,
+    x: &[f64; M2P_LANES],
+    s: &[f64; M2P_LANES],
+    p: &mut [f64],
+    q: &mut [f64],
+    d: &mut [f64],
+) {
+    legendre_p_lanes(degree, x, s, p);
+    // diagonal seeds for S_m^m = (2m-1)!! sinθ^{m-1}
+    let mut smm = [1.0f64; M2P_LANES];
+    for m in 1..=degree {
+        let df = (2 * m - 1) as f64;
+        let row = tri_index(m, m) * M2P_LANES;
+        for l in 0..M2P_LANES {
+            smm[l] = if m == 1 { df } else { smm[l] * df * s[l] };
+            q[row + l] = smm[l];
+        }
+    }
+    for m in 1..degree {
+        let c = (2 * m + 1) as f64;
+        let dst = tri_index(m + 1, m) * M2P_LANES;
+        let src = tri_index(m, m) * M2P_LANES;
+        for l in 0..M2P_LANES {
+            let f = x[l] * c;
+            q[dst + l] = f * q[src + l];
+        }
+    }
+    for n in 2..=degree {
+        let a_c = (2 * n - 1) as f64;
+        for m in 1..=(n - 2) {
+            let b = (n + m - 1) as f64;
+            let c = (n - m) as f64;
+            let i0 = tri_index(n, m) * M2P_LANES;
+            let i1 = tri_index(n - 1, m) * M2P_LANES;
+            let i2 = tri_index(n - 2, m) * M2P_LANES;
+            for l in 0..M2P_LANES {
+                let a = x[l] * a_c;
+                q[i0 + l] = (a * q[i1 + l] - b * q[i2 + l]) / c;
+            }
+        }
+    }
+    // θ-derivatives
+    for n in 0..=degree {
+        let row0 = tri_index(n, 0) * M2P_LANES;
+        if n >= 1 {
+            let p1 = tri_index(n, 1) * M2P_LANES;
+            for l in 0..M2P_LANES {
+                d[row0 + l] = -p[p1 + l];
+            }
+        } else {
+            for l in 0..M2P_LANES {
+                d[row0 + l] = 0.0;
+            }
+        }
+        for m in 1..=n {
+            let i0 = tri_index(n, m) * M2P_LANES;
+            let prev = if n >= 1 && m < n {
+                Some(tri_index(n - 1, m) * M2P_LANES)
+            } else {
+                None
+            };
+            for l in 0..M2P_LANES {
+                let pv = prev.map_or(0.0, |i| q[i + l]);
+                d[i0 + l] = n as f64 * x[l] * q[i0 + l] - (n + m) as f64 * pv;
+            }
+        }
+    }
+}
+
+/// Evaluates one group of same-degree M2P tasks (the degree the workspace
+/// was last [`prepare_degree`](BatchWorkspace::prepare_degree)'d for).
+/// Lane `l` of the result matches
+/// [`ExpansionRef::potential_at_degree_with`](crate::ExpansionRef::potential_at_degree_with)
+/// for that lane's (expansion, point, degree) to ULP precision (see the
+/// module-level determinism contract).
+#[must_use]
+pub fn m2p_potential_group(g: &M2pGroup<'_>, ws: &mut BatchWorkspace) -> [f64; M2P_LANES] {
+    let degree = ws.degree;
+    let mut cos_t = [0.0f64; M2P_LANES];
+    let mut sin_t = [0.0f64; M2P_LANES];
+    let mut inv_r = [0.0f64; M2P_LANES];
+    let mut e1_re = [0.0f64; M2P_LANES];
+    let mut e1_im = [0.0f64; M2P_LANES];
+    for l in 0..M2P_LANES {
+        // Algebraic spherical setup — no acos/atan2/sin_cos; lowers to
+        // packed sqrt/div across lanes. `r_xy = 0` (z-axis) pins
+        // `e^{iφ} = 1`, matching `Spherical::from_cartesian`'s `φ = 0`.
+        let d = g.points[l] - g.centers[l];
+        let rxy2 = d.x * d.x + d.y * d.y;
+        let r = (rxy2 + d.z * d.z).sqrt();
+        debug_assert!(r > 0.0, "evaluation at the expansion center");
+        let rxy = rxy2.sqrt();
+        inv_r[l] = 1.0 / r;
+        cos_t[l] = d.z / r;
+        sin_t[l] = rxy / r;
+        // lint: allow(float_cmp, exact z-axis: φ convention pinned to 0)
+        let on_axis = rxy == 0.0;
+        e1_re[l] = if on_axis { 1.0 } else { d.x / rxy };
+        e1_im[l] = if on_axis { 0.0 } else { d.y / rxy };
+    }
+    legendre_p_lanes(degree, &cos_t, &sin_t, &mut ws.leg_p);
+
+    let acc = &mut ws.acc_pot[..(degree + 1) * M2P_LANES];
+    acc.fill(0.0);
+    let norm = &ws.norm;
+    let leg = &ws.leg_p;
+    let mut eim_re = [1.0f64; M2P_LANES];
+    let mut eim_im = [0.0f64; M2P_LANES];
+    for m in 0..=degree {
+        let w = if m == 0 { 1.0 } else { 2.0 };
+        for n in m..=degree {
+            let ti = tri_index(n, m);
+            let nr = norm[ti];
+            let row = n * M2P_LANES;
+            let lrow = ti * M2P_LANES;
+            for l in 0..M2P_LANES {
+                let c = g.coeffs[l][ti];
+                let c_re = c.re * eim_re[l] - c.im * eim_im[l];
+                acc[row + l] += w * c_re * nr * leg[lrow + l];
+            }
+        }
+        for l in 0..M2P_LANES {
+            let re = eim_re[l] * e1_re[l] - eim_im[l] * e1_im[l];
+            let im = eim_re[l] * e1_im[l] + eim_im[l] * e1_re[l];
+            eim_re[l] = re;
+            eim_im[l] = im;
+        }
+    }
+    let mut out = [0.0f64; M2P_LANES];
+    for l in 0..M2P_LANES {
+        let mut phi = 0.0;
+        let mut rpow = inv_r[l];
+        for n in 0..=degree {
+            phi += acc[n * M2P_LANES + l] * rpow;
+            rpow *= inv_r[l];
+        }
+        out[l] = phi;
+    }
+    out
+}
+
+/// Potential-and-gradient analogue of [`m2p_potential_group`]; lane `l`
+/// matches
+/// [`ExpansionRef::field_at_degree_with`](crate::ExpansionRef::field_at_degree_with)
+/// to ULP precision (see the module-level determinism contract).
+#[must_use]
+pub fn m2p_field_group(
+    g: &M2pGroup<'_>,
+    ws: &mut BatchWorkspace,
+) -> ([f64; M2P_LANES], [Vec3; M2P_LANES]) {
+    let degree = ws.degree;
+    let mut cos_t = [0.0f64; M2P_LANES];
+    let mut sin_t = [0.0f64; M2P_LANES];
+    let mut cos_p = [0.0f64; M2P_LANES];
+    let mut sin_p = [0.0f64; M2P_LANES];
+    let mut inv_r = [0.0f64; M2P_LANES];
+    for l in 0..M2P_LANES {
+        // Same algebraic setup as `m2p_potential_group`.
+        let d = g.points[l] - g.centers[l];
+        let rxy2 = d.x * d.x + d.y * d.y;
+        let r = (rxy2 + d.z * d.z).sqrt();
+        debug_assert!(r > 0.0, "evaluation at the expansion center");
+        let rxy = rxy2.sqrt();
+        inv_r[l] = 1.0 / r;
+        cos_t[l] = d.z / r;
+        sin_t[l] = rxy / r;
+        // lint: allow(float_cmp, exact z-axis: φ convention pinned to 0)
+        let on_axis = rxy == 0.0;
+        cos_p[l] = if on_axis { 1.0 } else { d.x / rxy };
+        sin_p[l] = if on_axis { 0.0 } else { d.y / rxy };
+    }
+    {
+        let BatchWorkspace {
+            leg_p,
+            leg_q,
+            leg_d,
+            ..
+        } = ws;
+        legendre_pqd_lanes(degree, &cos_t, &sin_t, leg_p, leg_q, leg_d);
+    }
+
+    let rows = (degree + 1) * M2P_LANES;
+    let BatchWorkspace {
+        norm,
+        leg_p,
+        leg_q,
+        leg_d,
+        acc_pot,
+        acc_dth,
+        acc_dph,
+        ..
+    } = ws;
+    let pot = &mut acc_pot[..rows];
+    let dth = &mut acc_dth[..rows];
+    let dph = &mut acc_dph[..rows];
+    pot.fill(0.0);
+    dth.fill(0.0);
+    dph.fill(0.0);
+    // e1 = cos φ + i sin φ, as in the scalar field kernel
+    let mut eim_re = [1.0f64; M2P_LANES];
+    let mut eim_im = [0.0f64; M2P_LANES];
+    for m in 0..=degree {
+        let w = if m == 0 { 1.0 } else { 2.0 };
+        for n in m..=degree {
+            let ti = tri_index(n, m);
+            let nr = norm[ti];
+            let row = n * M2P_LANES;
+            let lrow = ti * M2P_LANES;
+            for l in 0..M2P_LANES {
+                let c = g.coeffs[l][ti];
+                let c_re = c.re * eim_re[l] - c.im * eim_im[l];
+                pot[row + l] += w * c_re * nr * leg_p[lrow + l];
+                dth[row + l] += w * c_re * nr * leg_d[lrow + l];
+            }
+            if m >= 1 {
+                for l in 0..M2P_LANES {
+                    let c = g.coeffs[l][ti];
+                    let c_im = c.re * eim_im[l] + c.im * eim_re[l];
+                    dph[row + l] += -2.0 * m as f64 * c_im * nr * leg_q[lrow + l];
+                }
+            }
+        }
+        for l in 0..M2P_LANES {
+            let re = eim_re[l] * cos_p[l] - eim_im[l] * sin_p[l];
+            let im = eim_re[l] * sin_p[l] + eim_im[l] * cos_p[l];
+            eim_re[l] = re;
+            eim_im[l] = im;
+        }
+    }
+    let mut phi_out = [0.0f64; M2P_LANES];
+    let mut grad_out = [Vec3::ZERO; M2P_LANES];
+    for l in 0..M2P_LANES {
+        let mut phi = 0.0;
+        let mut g_r = 0.0;
+        let mut g_t = 0.0;
+        let mut g_p = 0.0;
+        let mut rpow1 = inv_r[l];
+        for n in 0..=degree {
+            let rpow2 = rpow1 * inv_r[l];
+            phi += pot[n * M2P_LANES + l] * rpow1;
+            g_r += -((n + 1) as f64) * pot[n * M2P_LANES + l] * rpow2;
+            g_t += dth[n * M2P_LANES + l] * rpow2;
+            g_p += dph[n * M2P_LANES + l] * rpow2;
+            rpow1 = rpow2;
+        }
+        let e_r = Vec3::new(sin_t[l] * cos_p[l], sin_t[l] * sin_p[l], cos_t[l]);
+        let e_t = Vec3::new(cos_t[l] * cos_p[l], cos_t[l] * sin_p[l], -sin_t[l]);
+        let e_p = Vec3::new(-sin_p[l], cos_p[l], 0.0);
+        phi_out[l] = phi;
+        grad_out[l] = e_r * g_r + e_t * g_t + e_p * g_p;
+    }
+    (phi_out, grad_out)
+}
+
+/// Near-field potential over one SoA source span, **without** a
+/// zero-distance guard: the caller must have excluded the self particle
+/// (the list compiler splits spans around it). Each pair performs the
+/// same arithmetic as the scalar near-field loop; only the summation
+/// order differs ([`P2P_LANES`] independent accumulators, then the
+/// remainder in order).
+#[must_use]
+pub fn p2p_potential_span(
+    xs: &[f64],
+    ys: &[f64],
+    zs: &[f64],
+    qs: &[f64],
+    t: Vec3,
+    eps2: f64,
+) -> f64 {
+    debug_assert!(xs.len() == ys.len() && ys.len() == zs.len() && zs.len() == qs.len());
+    // Hoisted into scalar locals: `t` is passed indirectly (three f64s),
+    // and field loads inside the loop defeat the SLP vectorizer at
+    // opt-level 3 — with locals the body lowers to packed vdivpd/vsqrtpd.
+    let (tx, ty, tz) = (t.x, t.y, t.z);
+    let main = xs.len() - xs.len() % P2P_LANES;
+    let mut acc = [0.0f64; P2P_LANES];
+    for (((xc, yc), zc), qc) in xs[..main]
+        .chunks_exact(P2P_LANES)
+        .zip(ys[..main].chunks_exact(P2P_LANES))
+        .zip(zs[..main].chunks_exact(P2P_LANES))
+        .zip(qs[..main].chunks_exact(P2P_LANES))
+    {
+        for l in 0..P2P_LANES {
+            let dx = xc[l] - tx;
+            let dy = yc[l] - ty;
+            let dz = zc[l] - tz;
+            let r2 = dx * dx + dy * dy + dz * dz + eps2;
+            acc[l] += qc[l] / r2.sqrt();
+        }
+    }
+    let mut phi = 0.0;
+    for &a in &acc {
+        phi += a;
+    }
+    for j in main..xs.len() {
+        let dx = xs[j] - tx;
+        let dy = ys[j] - ty;
+        let dz = zs[j] - tz;
+        let r2 = dx * dx + dy * dy + dz * dz + eps2;
+        phi += qs[j] / r2.sqrt();
+    }
+    phi
+}
+
+/// Near-field potential over one SoA span with the external-target guard:
+/// pairs at exactly zero (softened) distance contribute nothing and are
+/// not counted, matching the scalar external-point loop. Returns the
+/// potential and the number of counted pairs.
+#[must_use]
+pub fn p2p_potential_span_guarded(
+    xs: &[f64],
+    ys: &[f64],
+    zs: &[f64],
+    qs: &[f64],
+    t: Vec3,
+    eps2: f64,
+) -> (f64, u64) {
+    debug_assert!(xs.len() == ys.len() && ys.len() == zs.len() && zs.len() == qs.len());
+    // See `p2p_potential_span` for why `t` is hoisted into locals.
+    let (tx, ty, tz) = (t.x, t.y, t.z);
+    let main = xs.len() - xs.len() % P2P_LANES;
+    let mut acc = [0.0f64; P2P_LANES];
+    let mut cnt = [0u64; P2P_LANES];
+    for (((xc, yc), zc), qc) in xs[..main]
+        .chunks_exact(P2P_LANES)
+        .zip(ys[..main].chunks_exact(P2P_LANES))
+        .zip(zs[..main].chunks_exact(P2P_LANES))
+        .zip(qs[..main].chunks_exact(P2P_LANES))
+    {
+        for l in 0..P2P_LANES {
+            let dx = xc[l] - tx;
+            let dy = yc[l] - ty;
+            let dz = zc[l] - tz;
+            let r2 = dx * dx + dy * dy + dz * dz + eps2;
+            if r2 > 0.0 {
+                acc[l] += qc[l] / r2.sqrt();
+                cnt[l] += 1;
+            }
+        }
+    }
+    let mut phi = 0.0;
+    let mut pairs = 0u64;
+    for l in 0..P2P_LANES {
+        phi += acc[l];
+        pairs += cnt[l];
+    }
+    for j in main..xs.len() {
+        let dx = xs[j] - tx;
+        let dy = ys[j] - ty;
+        let dz = zs[j] - tz;
+        let r2 = dx * dx + dy * dy + dz * dz + eps2;
+        if r2 > 0.0 {
+            phi += qs[j] / r2.sqrt();
+            pairs += 1;
+        }
+    }
+    (phi, pairs)
+}
+
+/// Near-field potential and gradient over one SoA span with the
+/// zero-distance guard (the scalar field loop guards both source and
+/// external targets). The self particle, when in range, must already be
+/// excluded by span splitting. Returns `(Φ, ∇Φ, counted pairs)`.
+#[must_use]
+pub fn p2p_field_span_guarded(
+    xs: &[f64],
+    ys: &[f64],
+    zs: &[f64],
+    qs: &[f64],
+    t: Vec3,
+    eps2: f64,
+) -> (f64, Vec3, u64) {
+    debug_assert!(xs.len() == ys.len() && ys.len() == zs.len() && zs.len() == qs.len());
+    // See `p2p_potential_span` for why `t` is hoisted into locals.
+    let (tx, ty, tz) = (t.x, t.y, t.z);
+    let main = xs.len() - xs.len() % P2P_LANES;
+    let mut acc_phi = [0.0f64; P2P_LANES];
+    let mut acc_gx = [0.0f64; P2P_LANES];
+    let mut acc_gy = [0.0f64; P2P_LANES];
+    let mut acc_gz = [0.0f64; P2P_LANES];
+    let mut cnt = [0u64; P2P_LANES];
+    for (((xc, yc), zc), qc) in xs[..main]
+        .chunks_exact(P2P_LANES)
+        .zip(ys[..main].chunks_exact(P2P_LANES))
+        .zip(zs[..main].chunks_exact(P2P_LANES))
+        .zip(qs[..main].chunks_exact(P2P_LANES))
+    {
+        for l in 0..P2P_LANES {
+            // d = target − source, as in the scalar field loop (the
+            // gradient uses the signed components)
+            let dx = tx - xc[l];
+            let dy = ty - yc[l];
+            let dz = tz - zc[l];
+            let r2 = dx * dx + dy * dy + dz * dz + eps2;
+            if r2 > 0.0 {
+                let r = r2.sqrt();
+                let f = -qc[l] / (r2 * r);
+                acc_phi[l] += qc[l] / r;
+                acc_gx[l] += dx * f;
+                acc_gy[l] += dy * f;
+                acc_gz[l] += dz * f;
+                cnt[l] += 1;
+            }
+        }
+    }
+    let mut phi = 0.0;
+    let mut grad = Vec3::ZERO;
+    let mut pairs = 0u64;
+    for l in 0..P2P_LANES {
+        phi += acc_phi[l];
+        grad += Vec3::new(acc_gx[l], acc_gy[l], acc_gz[l]);
+        pairs += cnt[l];
+    }
+    for j in main..xs.len() {
+        let dx = tx - xs[j];
+        let dy = ty - ys[j];
+        let dz = tz - zs[j];
+        let r2 = dx * dx + dy * dy + dz * dz + eps2;
+        if r2 > 0.0 {
+            let r = r2.sqrt();
+            let f = -qs[j] / (r2 * r);
+            phi += qs[j] / r;
+            grad += Vec3::new(dx * f, dy * f, dz * f);
+            pairs += 1;
+        }
+    }
+    (phi, grad, pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expansion::MultipoleExpansion;
+    use crate::workspace::Workspace;
+    use mbt_geometry::Particle;
+
+    fn cluster(center: Vec3, radius: f64, n: usize, seed: u64) -> Vec<Particle> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| {
+                let v = Vec3::new(next() * 2.0 - 1.0, next() * 2.0 - 1.0, next() * 2.0 - 1.0);
+                Particle::new(center + v * radius, next() * 2.0 - 1.0)
+            })
+            .collect()
+    }
+
+    /// Four distinct expansions, four distinct points, degrees 0..=12:
+    /// every lane of the group kernels must reproduce the scalar kernels
+    /// to ULP precision (the algebraic spherical setup differs from the
+    /// scalar `acos`/`atan2` path only in final-digit rounding).
+    #[test]
+    fn group_kernels_match_scalar_per_lane() {
+        let centers = [
+            Vec3::new(0.2, -0.1, 0.3),
+            Vec3::new(-0.4, 0.5, 0.0),
+            Vec3::new(0.0, 0.0, -0.6),
+            Vec3::new(0.7, 0.7, 0.7),
+        ];
+        let exps: Vec<MultipoleExpansion> = centers
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                MultipoleExpansion::from_particles(c, 12, &cluster(c, 0.3, 30, i as u64 + 1))
+            })
+            .collect();
+        let points = [
+            Vec3::new(2.0, 1.0, -1.0),
+            Vec3::new(-1.5, 2.0, 0.5),
+            Vec3::new(0.3, -0.2, 3.0),
+            Vec3::new(-2.0, -2.0, 1.0),
+        ];
+        let refs: Vec<_> = exps.iter().map(MultipoleExpansion::as_ref).collect();
+        let g = M2pGroup {
+            centers,
+            points,
+            coeffs: [
+                refs[0].coeffs,
+                refs[1].coeffs,
+                refs[2].coeffs,
+                refs[3].coeffs,
+            ],
+        };
+        let mut bws = BatchWorkspace::new();
+        let mut ws = Workspace::new();
+        for degree in [0usize, 1, 2, 5, 12] {
+            bws.prepare_degree(degree);
+            let pot = m2p_potential_group(&g, &mut bws);
+            let (fphi, fgrad) = m2p_field_group(&g, &mut bws);
+            for l in 0..M2P_LANES {
+                let close = |a: f64, b: f64| (a - b).abs() <= 1e-13 * b.abs().max(1e-300);
+                let want = refs[l].potential_at_degree_with(points[l], degree, &mut ws);
+                assert!(
+                    close(pot[l], want),
+                    "potential lane {l} degree {degree}: {} vs {want}",
+                    pot[l]
+                );
+                let (wphi, wgrad) = refs[l].field_at_degree_with(points[l], degree, &mut ws);
+                assert!(
+                    close(fphi[l], wphi),
+                    "field potential lane {l} degree {degree}: {} vs {wphi}",
+                    fphi[l]
+                );
+                assert!(
+                    fgrad[l].distance(wgrad) <= 1e-13 * wgrad.norm().max(1e-300),
+                    "gradient lane {l} degree {degree}: {:?} vs {wgrad:?}",
+                    fgrad[l]
+                );
+            }
+        }
+    }
+
+    /// Padded groups (one task replicated into every lane) are the
+    /// remainder-handling pattern; each lane must still be exact.
+    #[test]
+    fn replicated_lanes_are_independent() {
+        let c = Vec3::new(0.1, 0.2, 0.3);
+        let e = MultipoleExpansion::from_particles(c, 6, &cluster(c, 0.2, 20, 9));
+        let r = e.as_ref();
+        let pt = Vec3::new(1.5, -2.0, 0.7);
+        let g = M2pGroup {
+            centers: [c; M2P_LANES],
+            points: [pt; M2P_LANES],
+            coeffs: [r.coeffs; M2P_LANES],
+        };
+        let mut bws = BatchWorkspace::new();
+        bws.prepare_degree(6);
+        let pot = m2p_potential_group(&g, &mut bws);
+        let mut ws = Workspace::new();
+        let want = r.potential_at_degree_with(pt, 6, &mut ws);
+        for l in 0..M2P_LANES {
+            // replicated lanes are identical to each other bit for bit,
+            // and ULP-close to the scalar kernel
+            assert_eq!(pot[l], pot[0], "replicated lane {l} diverged");
+            assert!(
+                (pot[l] - want).abs() <= 1e-13 * want.abs().max(1e-300),
+                "replicated lane {l}: {} vs {want}",
+                pot[l]
+            );
+        }
+    }
+
+    fn soa_of(ps: &[Particle]) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
+        (
+            ps.iter().map(|p| p.position.x).collect(),
+            ps.iter().map(|p| p.position.y).collect(),
+            ps.iter().map(|p| p.position.z).collect(),
+            ps.iter().map(|p| p.charge).collect(),
+        )
+    }
+
+    #[test]
+    fn p2p_span_matches_scalar_loop() {
+        // span lengths straddling the lane width, with and without guard
+        for n in [0usize, 1, 3, 4, 5, 8, 13] {
+            let ps = cluster(Vec3::ZERO, 1.0, n, 7 + n as u64);
+            let (xs, ys, zs, qs) = soa_of(&ps);
+            let t = Vec3::new(0.3, -0.8, 0.2);
+            for eps2 in [0.0, 1e-4] {
+                let want: f64 = ps
+                    .iter()
+                    .map(|p| p.charge / (p.position.distance_sq(t) + eps2).sqrt())
+                    .sum();
+                let got = p2p_potential_span(&xs, &ys, &zs, &qs, t, eps2);
+                assert!(
+                    (got - want).abs() <= 1e-14 * want.abs().max(1.0),
+                    "n={n} eps2={eps2}: {got} vs {want}"
+                );
+                let (gphi, gpairs) = p2p_potential_span_guarded(&xs, &ys, &zs, &qs, t, eps2);
+                assert!((gphi - want).abs() <= 1e-14 * want.abs().max(1.0));
+                assert_eq!(gpairs, n as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn p2p_guard_skips_coincident_source() {
+        let ps = [
+            Particle::new(Vec3::ZERO, 2.0),
+            Particle::new(Vec3::X, 1.0),
+            Particle::new(Vec3::new(0.0, 2.0, 0.0), -1.0),
+        ];
+        let (xs, ys, zs, qs) = soa_of(&ps);
+        let (phi, pairs) = p2p_potential_span_guarded(&xs, &ys, &zs, &qs, Vec3::ZERO, 0.0);
+        assert_eq!(pairs, 2);
+        assert!((phi - (1.0 - 0.5)).abs() < 1e-15);
+        let (fphi, fgrad, fpairs) = p2p_field_span_guarded(&xs, &ys, &zs, &qs, Vec3::ZERO, 0.0);
+        assert_eq!(fpairs, 2);
+        assert!((fphi - 0.5).abs() < 1e-15);
+        assert!(fgrad.is_finite());
+    }
+
+    #[test]
+    fn p2p_field_matches_scalar_loop() {
+        for n in [1usize, 4, 6, 11] {
+            let ps = cluster(Vec3::new(0.2, 0.1, -0.3), 0.8, n, 100 + n as u64);
+            let (xs, ys, zs, qs) = soa_of(&ps);
+            let t = Vec3::new(-0.4, 0.9, 0.1);
+            let eps2 = 1e-6;
+            let mut wphi = 0.0;
+            let mut wgrad = Vec3::ZERO;
+            for p in &ps {
+                let d = t - p.position;
+                let r2 = d.norm_sq() + eps2;
+                let r = r2.sqrt();
+                wphi += p.charge / r;
+                wgrad += d * (-p.charge / (r2 * r));
+            }
+            let (phi, grad, pairs) = p2p_field_span_guarded(&xs, &ys, &zs, &qs, t, eps2);
+            assert_eq!(pairs, n as u64);
+            assert!((phi - wphi).abs() <= 1e-13 * wphi.abs().max(1.0));
+            assert!(grad.distance(wgrad) <= 1e-13 * wgrad.norm().max(1.0));
+        }
+    }
+}

@@ -35,6 +35,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod bounds;
 pub mod complex;
 pub mod expansion;
@@ -44,6 +45,10 @@ pub mod tables;
 mod translation;
 pub mod workspace;
 
+pub use batch::{
+    m2p_field_group, m2p_potential_group, p2p_field_span_guarded, p2p_potential_span,
+    p2p_potential_span_guarded, BatchWorkspace, M2pGroup, M2P_LANES, P2P_LANES,
+};
 pub use bounds::{
     degree_for_tolerance, degree_for_tolerance_at, kappa, theorem1_bound, theorem2_bound,
     DegreeSelector, DegreeWeighting,

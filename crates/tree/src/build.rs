@@ -10,7 +10,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use mbt_geometry::{morton, Aabb, Particle, Vec3};
+use mbt_geometry::{morton, Aabb, Particle, ParticleSoa, Vec3};
 use rayon::prelude::*;
 
 use crate::node::{Node, NodeId, NO_NODE};
@@ -77,6 +77,10 @@ impl std::error::Error for TreeError {}
 pub struct Octree {
     nodes: Vec<Node>,
     particles: Vec<Particle>,
+    /// Structure-of-arrays mirror of `particles` (same order), consumed by
+    /// the batched evaluation kernels. Charges are kept in sync by
+    /// [`Octree::with_charges`] / [`Octree::set_charges_only`].
+    soa: ParticleSoa,
     keys: Vec<u64>,
     /// `perm[i]` = caller's index of sorted particle `i`.
     perm: Vec<usize>,
@@ -120,10 +124,12 @@ impl Octree {
         let keys: Vec<u64> = keyed.iter().map(|&(k, _)| k).collect();
         let perm: Vec<usize> = keyed.iter().map(|&(_, i)| i as usize).collect();
         let sorted: Vec<Particle> = perm.iter().map(|&i| particles[i]).collect();
+        let soa = ParticleSoa::from_particles(&sorted);
 
         let mut tree = Octree {
             nodes: Vec::with_capacity(2 * particles.len() / params.leaf_capacity.max(1) + 64),
             particles: sorted,
+            soa,
             keys,
             perm,
             bounds,
@@ -163,6 +169,7 @@ impl Octree {
     pub fn heap_bytes(&self) -> usize {
         self.nodes.len() * std::mem::size_of::<Node>()
             + self.particles.len() * std::mem::size_of::<Particle>()
+            + self.soa.heap_bytes()
             + self.keys.len() * std::mem::size_of::<u64>()
             + self.perm.len() * std::mem::size_of::<usize>()
     }
@@ -215,6 +222,20 @@ impl Octree {
                     "validate: children of node {id} do not cover its range"
                 );
             }
+        }
+        assert_eq!(
+            self.soa.len(),
+            self.particles.len(),
+            "validate: SoA mirror length drifted from the particle array"
+        );
+        for (i, p) in self.particles.iter().enumerate() {
+            assert!(
+                self.soa.x[i].to_bits() == p.position.x.to_bits()
+                    && self.soa.y[i].to_bits() == p.position.y.to_bits()
+                    && self.soa.z[i].to_bits() == p.position.z.to_bits()
+                    && self.soa.q[i].to_bits() == p.charge.to_bits(),
+                "validate: SoA mirror disagrees with particle {i}"
+            );
         }
     }
 
@@ -333,6 +354,13 @@ impl Octree {
         &self.particles
     }
 
+    /// The structure-of-arrays mirror of the sorted particle array.
+    #[inline]
+    #[must_use]
+    pub fn particles_soa(&self) -> &ParticleSoa {
+        &self.soa
+    }
+
     /// The particles of a node.
     #[inline]
     #[must_use]
@@ -429,6 +457,7 @@ impl Octree {
         for (i, p) in out.particles.iter_mut().enumerate() {
             p.charge = charges[self.perm[i]];
         }
+        out.soa.sync_charges(&out.particles);
         out.compute_aggregates(0);
         out
     }
@@ -451,6 +480,7 @@ impl Octree {
         for i in 0..self.particles.len() {
             self.particles[i].charge = charges[self.perm[i]];
         }
+        self.soa.sync_charges(&self.particles);
     }
 
     /// Exhaustive structural validation (test support): every particle in

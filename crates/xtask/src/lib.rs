@@ -8,8 +8,9 @@
 //!
 //! * **alloc** — no `Vec::new` / `vec![]` / `to_vec` / `clone` /
 //!   `Box::new` / `collect` in the designated hot modules
-//!   (`core::{eval,upward}`, `multipole::{workspace,expansion,translation,
-//!   harmonics,legendre}`, `engine::batch`) outside `#[cfg(test)]`,
+//!   (`core::{eval,compile,upward}`, `multipole::{workspace,expansion,
+//!   translation,harmonics,legendre,batch}`, `engine::batch`) outside
+//!   `#[cfg(test)]`,
 //! * **panic** — no `unwrap()` / `expect()` / `panic!` / `todo!` /
 //!   `unimplemented!` in library code outside `#[cfg(test)]`,
 //! * **float_cmp** — no `==` / `!=` against float expressions outside
@@ -33,12 +34,14 @@ use std::path::{Path, PathBuf};
 /// The modules whose steady-state paths must not allocate (lint `alloc`).
 pub const HOT_MODULES: &[&str] = &[
     "crates/core/src/eval.rs",
+    "crates/core/src/compile.rs",
     "crates/core/src/upward.rs",
     "crates/multipole/src/workspace.rs",
     "crates/multipole/src/expansion.rs",
     "crates/multipole/src/translation.rs",
     "crates/multipole/src/harmonics.rs",
     "crates/multipole/src/legendre.rs",
+    "crates/multipole/src/batch.rs",
     "crates/engine/src/batch.rs",
 ];
 
@@ -131,6 +134,9 @@ mod tests {
     fn classification() {
         assert!(classify("crates/core/src/eval.rs").hot);
         assert!(classify("crates/core/src/eval.rs").library);
+        assert!(classify("crates/core/src/compile.rs").hot);
+        assert!(classify("crates/multipole/src/batch.rs").hot);
+        assert!(classify("crates/multipole/src/batch.rs").library);
         assert!(!classify("crates/core/src/mac.rs").hot);
         assert!(classify("crates/engine/src/batch.rs").hot);
         assert!(classify("crates/engine/src/batch.rs").library);

@@ -55,6 +55,16 @@ fn alloc_pass_fixture_is_clean() {
 }
 
 #[test]
+fn alloc_list_compiler_fixture_is_clean() {
+    // the reuse-growth idiom of the interaction-list compiler and batch
+    // kernels: with_capacity/resize/clear/push/extend are not allocations
+    // the hot-path lint concerns itself with
+    let src = fixture("alloc_list_compiler_pass.rs");
+    let v = lint_source(&hot_class(), "alloc_list_compiler_pass.rs", &src);
+    assert!(v.is_empty(), "unexpected violations: {v:?}");
+}
+
+#[test]
 fn panic_fail_fixture_flags_every_marked_line() {
     let src = fixture("panic_fail.rs");
     let v = lint_source(&hot_class(), "panic_fail.rs", &src);

@@ -81,8 +81,8 @@ pub mod prelude {
         direct::{
             direct_fields, direct_potentials, direct_potentials_at, direct_potentials_softened,
         },
-        relative_error, sampled_relative_error, EvalResult, EvalStats, RefWeight, SampledError,
-        Treecode, TreecodeParams,
+        relative_error, sampled_relative_error, EvalMode, EvalResult, EvalStats, RefWeight,
+        SampledError, Treecode, TreecodeParams,
     };
 }
 
