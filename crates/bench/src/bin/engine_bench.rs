@@ -9,11 +9,15 @@
 //! trajectory of this path is machine-readable across commits.
 //!
 //! Run with: `cargo run --release -p mbt-bench --bin engine_bench`
+//!
+//! CI runs `-- --smoke`: a small workload whose only job is to assert
+//! that the Prometheus and JSON exports parse and carry the latency
+//! distribution fields; no JSON rewrite.
 
 use std::time::{Duration, Instant};
 
 use mbt_bench::timed;
-use mbt_engine::{Accuracy, Engine, EngineConfig, QueryKind, QueryRequest};
+use mbt_engine::{Accuracy, Engine, EngineConfig, EngineStats, QueryKind, QueryRequest};
 use mbt_geometry::distribution::{uniform_cube, ChargeModel};
 use mbt_geometry::Vec3;
 
@@ -37,7 +41,72 @@ fn ms(d: Duration) -> f64 {
     (d.as_secs_f64() * 1e6).round() / 1e3
 }
 
+/// Exports must parse under the zero-dep validators and carry the
+/// latency-distribution fields the dashboards scrape.
+fn check_exports(stats: &EngineStats) {
+    let prom = stats.to_prometheus();
+    assert!(
+        mbt_obs::prometheus_is_valid(&prom),
+        "Prometheus export failed to parse:\n{prom}"
+    );
+    for series in [
+        "mbt_query_latency_seconds_bucket",
+        "mbt_query_latency_seconds_count",
+        "mbt_query_latency_p50_seconds",
+        "mbt_query_latency_p95_seconds",
+        "mbt_query_latency_p99_seconds",
+        "mbt_eval_latency_p99_seconds",
+        "mbt_build_latency_p99_seconds",
+    ] {
+        assert!(prom.contains(series), "Prometheus export lacks {series}");
+    }
+    let json = stats.to_json();
+    assert!(
+        mbt_obs::json_is_valid(&json),
+        "JSON export failed to parse:\n{json}"
+    );
+    for field in [
+        "\"latency\"",
+        "\"p50_ms\"",
+        "\"p95_ms\"",
+        "\"p99_ms\"",
+        "\"histograms\"",
+    ] {
+        assert!(json.contains(field), "JSON export lacks {field}");
+    }
+}
+
+fn smoke() {
+    let engine = Engine::new(EngineConfig::default()).expect("default config is valid");
+    let particles = uniform_cube(2_000, 1.0, ChargeModel::RandomSign { magnitude: 1.0 }, 42);
+    let dataset = engine
+        .register("smoke", particles)
+        .expect("dataset registers");
+    let points = observation_points(200);
+    for _ in 0..3 {
+        engine
+            .query(QueryRequest::potentials(
+                dataset,
+                Accuracy::Adaptive { p_min: 4 },
+                points.clone(),
+            ))
+            .expect("smoke query succeeds");
+    }
+    let stats = engine.stats();
+    assert!(stats.query_latency.count >= 3);
+    assert!(stats.query_latency.p50_ms <= stats.query_latency.p99_ms);
+    check_exports(&stats);
+    println!(
+        "smoke ok: {} queries, query p50 {:.2} ms / p99 {:.2} ms, exports parse",
+        stats.query_latency.count, stats.query_latency.p50_ms, stats.query_latency.p99_ms,
+    );
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
     let engine = Engine::new(EngineConfig::default()).expect("default config is valid");
     let particles = uniform_cube(
         N_PARTICLES,
@@ -117,6 +186,7 @@ fn main() {
         stats.max_batch,
     );
     println!("\n{stats}");
+    check_exports(&stats);
 
     let json = format!(
         "{{\n  \"bench\": \"engine\",\n  \"n_particles\": {N_PARTICLES},\n  \
@@ -125,7 +195,11 @@ fn main() {
          \"hot_query_median_ms\": {hot_med:.3},\n  \"hot_query_worst_ms\": {hot_worst:.3},\n  \
          \"batch_threads\": {BATCH_THREADS},\n  \"batch_points_per_s\": {tput:.0},\n  \
          \"batch_mean_requests\": {mean_batch:.3},\n  \"batch_max_requests\": {max_batch},\n  \
-         \"cache_hits\": {hits},\n  \"cache_misses\": {misses},\n  \"hit_rate\": {hit_rate:.4}\n}}\n",
+         \"cache_hits\": {hits},\n  \"cache_misses\": {misses},\n  \"hit_rate\": {hit_rate:.4},\n  \
+         \"query_p50_ms\": {q50:.3},\n  \"query_p95_ms\": {q95:.3},\n  \"query_p99_ms\": {q99:.3},\n  \
+         \"query_max_ms\": {qmax:.3},\n  \"eval_p50_ms\": {e50:.3},\n  \"eval_p95_ms\": {e95:.3},\n  \
+         \"eval_p99_ms\": {e99:.3},\n  \"admission_wait_p99_ms\": {w99:.3},\n  \
+         \"slow_queries\": {slow},\n  \"spans_dropped\": {dropped}\n}}\n",
         build = build_s * 1e3,
         plan_bytes = cold.plan_bytes,
         cold = cold_wall * 1e3,
@@ -137,6 +211,16 @@ fn main() {
         hits = stats.cache_hits,
         misses = stats.cache_misses,
         hit_rate = stats.hit_rate(),
+        q50 = stats.query_latency.p50_ms,
+        q95 = stats.query_latency.p95_ms,
+        q99 = stats.query_latency.p99_ms,
+        qmax = stats.query_latency.max_ms,
+        e50 = stats.eval_latency.p50_ms,
+        e95 = stats.eval_latency.p95_ms,
+        e99 = stats.eval_latency.p99_ms,
+        w99 = stats.admission_wait.p99_ms,
+        slow = stats.slow_queries,
+        dropped = stats.spans_dropped,
     );
     std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
     println!("wrote BENCH_engine.json");

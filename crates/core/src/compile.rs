@@ -36,11 +36,26 @@ use mbt_multipole::batch::{
 use mbt_multipole::Complex;
 use mbt_tree::NodeId;
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::eval::TargetKind;
 use crate::mac::{mac, MacDecision};
 use crate::stats::EvalStats;
 use crate::upward::Treecode;
+
+/// Publishes one sweep's observability spans: the CPU time the parallel
+/// chunks spent in list compilation (summed across chunks, so it can
+/// exceed the sweep's wall time), then the sweep's own wall-clock span.
+/// Both calls are single atomic loads when no recorder is installed.
+fn record_compile_and_sweep(compile_ns: u64, sweep_start: std::time::Instant) {
+    if compile_ns > 0 {
+        mbt_obs::record_duration(
+            mbt_obs::Phase::Compile,
+            std::time::Duration::from_nanos(compile_ns),
+        );
+    }
+    mbt_obs::record_since(mbt_obs::Phase::Sweep, sweep_start);
+}
 
 /// One MAC-accepted far-field interaction: evaluate `node`'s expansion at
 /// `target`, truncated to `degree`.
@@ -166,10 +181,13 @@ impl Treecode {
         &self,
         points: Option<&[Vec3]>,
         out: &mut [f64],
+        chunk: usize,
     ) -> EvalStats {
-        let chunk = self.params.eval_chunk.max(1);
+        let sweep_start = std::time::Instant::now();
+        let chunk = chunk.max(1);
         let max_degree = self.max_degree();
         let height = self.tree.height();
+        let compile_ns = AtomicU64::new(0);
         let chunk_stats: Vec<EvalStats> = out
             .par_chunks_mut(chunk)
             .enumerate()
@@ -177,6 +195,7 @@ impl Treecode {
                 let base = ci * chunk;
                 let mut cs = CompiledScratch::new(height, out_chunk.len());
                 let mut stats = EvalStats::for_targets(out_chunk.len() as u64);
+                let compile_start = std::time::Instant::now();
                 self.compile_chunk(
                     points,
                     base,
@@ -186,6 +205,7 @@ impl Treecode {
                     &mut stats,
                 );
                 cs.bucket_by_degree(max_degree);
+                compile_ns.fetch_add(compile_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
                 out_chunk.fill(0.0);
                 self.exec_m2p_potential(&mut cs, out_chunk);
                 self.exec_p2p_potential(&cs, points.is_none(), out_chunk, &mut stats);
@@ -196,6 +216,7 @@ impl Treecode {
         for s in &chunk_stats {
             stats.merge(s);
         }
+        record_compile_and_sweep(compile_ns.load(Ordering::Relaxed), sweep_start);
         stats
     }
 
@@ -205,10 +226,13 @@ impl Treecode {
         &self,
         points: Option<&[Vec3]>,
         out: &mut [(f64, Vec3)],
+        chunk: usize,
     ) -> EvalStats {
-        let chunk = self.params.eval_chunk.max(1);
+        let sweep_start = std::time::Instant::now();
+        let chunk = chunk.max(1);
         let max_degree = self.max_degree();
         let height = self.tree.height();
+        let compile_ns = AtomicU64::new(0);
         let chunk_stats: Vec<EvalStats> = out
             .par_chunks_mut(chunk)
             .enumerate()
@@ -216,6 +240,7 @@ impl Treecode {
                 let base = ci * chunk;
                 let mut cs = CompiledScratch::new(height, out_chunk.len());
                 let mut stats = EvalStats::for_targets(out_chunk.len() as u64);
+                let compile_start = std::time::Instant::now();
                 self.compile_chunk(
                     points,
                     base,
@@ -225,6 +250,7 @@ impl Treecode {
                     &mut stats,
                 );
                 cs.bucket_by_degree(max_degree);
+                compile_ns.fetch_add(compile_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
                 out_chunk.fill((0.0, Vec3::ZERO));
                 self.exec_m2p_field(&mut cs, out_chunk);
                 self.exec_p2p_field(&cs, out_chunk, &mut stats);
@@ -235,6 +261,7 @@ impl Treecode {
         for s in &chunk_stats {
             stats.merge(s);
         }
+        record_compile_and_sweep(compile_ns.load(Ordering::Relaxed), sweep_start);
         stats
     }
 

@@ -83,7 +83,7 @@ impl Treecode {
         if self.params.eval_mode == EvalMode::Compiled {
             // lint: allow(alloc, one output buffer per sweep, not per interaction)
             let mut values = vec![0.0; self.tree.particles().len()];
-            let stats = self.compiled_potential_sweep(None, &mut values);
+            let stats = self.compiled_potential_sweep(None, &mut values, self.params.eval_chunk);
             return EvalResult {
                 values: self.tree.unsort(&values),
                 stats,
@@ -120,15 +120,32 @@ impl Treecode {
     /// [`Treecode::potentials_at`] — each target's traversal is
     /// independent, so batching and chunking cannot change results.
     pub fn potentials_at_into(&self, points: &[Vec3], out: &mut [f64]) -> EvalStats {
+        self.potentials_at_into_with(points, out, self.params.eval_chunk, self.params.eval_mode)
+    }
+
+    /// [`Treecode::potentials_at_into`] with an explicit per-call
+    /// evaluation configuration, overriding the plan's own `eval_chunk` /
+    /// `eval_mode`. Chunk width and mode are pure execution concerns —
+    /// results are bit-invariant across chunk widths and within the
+    /// documented summation-reorder tolerance across modes (DESIGN.md
+    /// §10) — so a cached treecode can serve requests that differ only
+    /// in these knobs.
+    pub fn potentials_at_into_with(
+        &self,
+        points: &[Vec3],
+        out: &mut [f64],
+        chunk: usize,
+        mode: EvalMode,
+    ) -> EvalStats {
         assert_eq!(
             points.len(),
             out.len(),
             "output buffer must match the number of points"
         );
-        if self.params.eval_mode == EvalMode::Compiled {
-            return self.compiled_potential_sweep(Some(points), out);
+        if mode == EvalMode::Compiled {
+            return self.compiled_potential_sweep(Some(points), out, chunk);
         }
-        self.eval_chunks_into(out, self.params.eval_chunk, |i, scratch, stats| {
+        self.eval_chunks_into(out, chunk, |i, scratch, stats| {
             self.eval_potential(points[i], TargetKind::External, scratch, stats)
         })
     }
@@ -139,7 +156,7 @@ impl Treecode {
         if self.params.eval_mode == EvalMode::Compiled {
             // lint: allow(alloc, one output buffer per sweep, not per interaction)
             let mut values = vec![(0.0, Vec3::ZERO); self.tree.particles().len()];
-            let stats = self.compiled_field_sweep(None, &mut values);
+            let stats = self.compiled_field_sweep(None, &mut values, self.params.eval_chunk);
             return EvalResult {
                 values: self.tree.unsort(&values),
                 stats,
@@ -170,15 +187,28 @@ impl Treecode {
     /// caller-provided buffer — the field-query analogue of
     /// [`Treecode::potentials_at_into`].
     pub fn fields_at_into(&self, points: &[Vec3], out: &mut [(f64, Vec3)]) -> EvalStats {
+        self.fields_at_into_with(points, out, self.params.eval_chunk, self.params.eval_mode)
+    }
+
+    /// [`Treecode::fields_at_into`] with an explicit per-call evaluation
+    /// configuration — the field-query analogue of
+    /// [`Treecode::potentials_at_into_with`].
+    pub fn fields_at_into_with(
+        &self,
+        points: &[Vec3],
+        out: &mut [(f64, Vec3)],
+        chunk: usize,
+        mode: EvalMode,
+    ) -> EvalStats {
         assert_eq!(
             points.len(),
             out.len(),
             "output buffer must match the number of points"
         );
-        if self.params.eval_mode == EvalMode::Compiled {
-            return self.compiled_field_sweep(Some(points), out);
+        if mode == EvalMode::Compiled {
+            return self.compiled_field_sweep(Some(points), out, chunk);
         }
-        self.eval_chunks_into(out, self.params.eval_chunk, |i, scratch, stats| {
+        self.eval_chunks_into(out, chunk, |i, scratch, stats| {
             self.eval_field(points[i], TargetKind::External, scratch, stats)
         })
     }
@@ -226,6 +256,7 @@ impl Treecode {
         chunk: usize,
         f: impl Fn(usize, &mut Scratch, &mut EvalStats) -> T + Sync,
     ) -> EvalStats {
+        let sweep_start = std::time::Instant::now();
         let chunk = chunk.max(1);
         let max_degree = self.max_degree();
         let height = self.tree.height();
@@ -245,6 +276,7 @@ impl Treecode {
         for s in &chunk_stats {
             stats.merge(s);
         }
+        mbt_obs::record_since(mbt_obs::Phase::Sweep, sweep_start);
         stats
     }
 

@@ -166,6 +166,19 @@ impl TreecodeParams {
         if self.leaf_capacity == 0 {
             return Err(TreecodeError::Tree(TreeError::ZeroLeafCapacity));
         }
+        if let RefWeight::Explicit(w) = self.ref_weight {
+            // w_ref divides inside Theorem 3's log(w_j / w_ref): zero,
+            // negative, or non-finite thresholds yield garbage degrees
+            if w.is_nan() || w <= 0.0 || !w.is_finite() {
+                return Err(TreecodeError::InvalidRefWeight(w));
+            }
+        }
+        // `softening` is a pub field, so literal construction (and
+        // engine-supplied `Accuracy::Params`) can bypass `with_softening`'s
+        // clamp; a NaN/∞/negative ε poisons every 1/√(r²+ε²) kernel
+        if self.softening.is_nan() || self.softening < 0.0 || !self.softening.is_finite() {
+            return Err(TreecodeError::InvalidSoftening(self.softening));
+        }
         Ok(())
     }
 }
@@ -189,6 +202,11 @@ pub enum TreecodeError {
     /// A tolerance-driven run was configured with a non-positive or
     /// non-finite tolerance.
     InvalidTolerance(f64),
+    /// `RefWeight::Explicit` carried a zero, negative, or non-finite
+    /// reference weight.
+    InvalidRefWeight(f64),
+    /// The Plummer softening length was negative or non-finite.
+    InvalidSoftening(f64),
 }
 
 impl std::fmt::Display for TreecodeError {
@@ -201,6 +219,12 @@ impl std::fmt::Display for TreecodeError {
             }
             TreecodeError::InvalidTolerance(t) => {
                 write!(f, "invalid interaction tolerance {t}")
+            }
+            TreecodeError::InvalidRefWeight(w) => {
+                write!(f, "invalid explicit reference weight w_ref = {w}")
+            }
+            TreecodeError::InvalidSoftening(eps) => {
+                write!(f, "invalid softening length epsilon = {eps}")
             }
         }
     }
@@ -241,6 +265,47 @@ mod tests {
                 .validate(),
             Err(TreecodeError::Tree(TreeError::ZeroLeafCapacity))
         ));
+    }
+
+    #[test]
+    fn explicit_ref_weight_is_validated() {
+        for w in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let p = TreecodeParams::adaptive(3, 0.5).with_ref_weight(RefWeight::Explicit(w));
+            assert!(
+                matches!(p.validate(), Err(TreecodeError::InvalidRefWeight(_))),
+                "w_ref = {w} accepted"
+            );
+        }
+        let ok = TreecodeParams::adaptive(3, 0.5).with_ref_weight(RefWeight::Explicit(2.5));
+        assert!(ok.validate().is_ok());
+        // the policy choices carry no caller value and stay unchecked
+        for policy in [RefWeight::MinLeaf, RefWeight::MedianLeaf] {
+            assert!(TreecodeParams::adaptive(3, 0.5)
+                .with_ref_weight(policy)
+                .validate()
+                .is_ok());
+        }
+    }
+
+    #[test]
+    fn softening_is_validated() {
+        // the pub field bypasses with_softening's clamp
+        for eps in [-1e-3, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut p = TreecodeParams::fixed(4, 0.6);
+            p.softening = eps;
+            assert!(
+                matches!(p.validate(), Err(TreecodeError::InvalidSoftening(_))),
+                "softening = {eps} accepted"
+            );
+        }
+        let mut p = TreecodeParams::fixed(4, 0.6);
+        p.softening = 1e-3;
+        assert!(p.validate().is_ok());
+        // with_softening clamps negatives to the valid range
+        assert!(TreecodeParams::fixed(4, 0.6)
+            .with_softening(-5.0)
+            .validate()
+            .is_ok());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! without ever costing an evaluation.
 
 use std::sync::{Condvar, Mutex, PoisonError};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::error::EngineError;
 use crate::stats::StatsCollector;
@@ -67,10 +67,12 @@ impl AdmissionGate {
         deadline: Option<Instant>,
         stats: &StatsCollector,
     ) -> Result<Permit<'_>, EngineError> {
+        let arrived = Instant::now();
         let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         if st.in_flight < self.max_in_flight {
             st.in_flight += 1;
             stats.record_admitted();
+            stats.record_admission_wait(Duration::ZERO);
             return Ok(Permit { gate: self });
         }
         if st.queued >= self.max_queued {
@@ -87,6 +89,7 @@ impl AdmissionGate {
                 st.queued -= 1;
                 st.in_flight += 1;
                 stats.record_admitted();
+                stats.record_admission_wait(arrived.elapsed());
                 return Ok(Permit { gate: self });
             }
             match deadline {
@@ -180,6 +183,11 @@ mod tests {
             assert!(waiter.join().unwrap().is_ok());
         });
         assert_eq!(gate.depth(), (0, 0));
+        // both admissions fed the wait histogram: the holder at ~0, the
+        // waiter at ≥ the 20 ms it spent queued
+        let s = stats.snapshot(crate::stats::Gauges::default());
+        assert_eq!(s.admission_wait.count, 2);
+        assert!(s.admission_wait.max_ms >= 15.0, "{:?}", s.admission_wait);
     }
 
     #[test]

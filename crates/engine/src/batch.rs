@@ -16,6 +16,8 @@
 use mbt_geometry::Vec3;
 use mbt_treecode::{EvalStats, Treecode};
 
+use crate::plan::EvalConfig;
+
 /// What a query computes at each point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum QueryKind {
@@ -69,14 +71,31 @@ impl QueryOutput {
     }
 }
 
-/// Evaluates one drained batch against one plan's treecode: `requests`
-/// are the per-request point slices; returns per-request outputs in the
-/// same order plus the merged sweep counters.
+/// Evaluates one drained batch against one plan's treecode under the
+/// treecode's **own** execution configuration. See
+/// [`evaluate_batch_with`] for the engine path, where the configuration
+/// travels with the request rather than the plan.
 #[must_use]
 pub fn evaluate_batch(
     treecode: &Treecode,
     kind: QueryKind,
     requests: &[&[Vec3]],
+) -> (Vec<QueryOutput>, EvalStats) {
+    evaluate_batch_with(treecode, kind, requests, EvalConfig::of(treecode.params()))
+}
+
+/// Evaluates one drained batch against one plan's treecode: `requests`
+/// are the per-request point slices; returns per-request outputs in the
+/// same order plus the merged sweep counters. The sweep runs under
+/// `cfg`, not the parameters the treecode was built with — plan identity
+/// excludes execution knobs ([`crate::plan::PlanKey`]), so one cached
+/// plan serves requests at any chunk width or mode, bit-identically.
+#[must_use]
+pub fn evaluate_batch_with(
+    treecode: &Treecode,
+    kind: QueryKind,
+    requests: &[&[Vec3]],
+    cfg: EvalConfig,
 ) -> (Vec<QueryOutput>, EvalStats) {
     let total: usize = requests.iter().map(|r| r.len()).sum();
     // lint: allow(alloc, one packed point arena per drained batch)
@@ -90,7 +109,7 @@ pub fn evaluate_batch(
         QueryKind::Potential => {
             // lint: allow(alloc, one value arena per drained batch)
             let mut values = vec![0.0f64; total];
-            let stats = treecode.potentials_at_into(&points, &mut values);
+            let stats = treecode.potentials_at_into_with(&points, &mut values, cfg.chunk, cfg.mode);
             let mut offset = 0;
             for r in requests {
                 let slice = &values[offset..offset + r.len()];
@@ -103,7 +122,7 @@ pub fn evaluate_batch(
         QueryKind::Field => {
             // lint: allow(alloc, one value arena per drained batch)
             let mut values = vec![(0.0f64, Vec3::ZERO); total];
-            let stats = treecode.fields_at_into(&points, &mut values);
+            let stats = treecode.fields_at_into_with(&points, &mut values, cfg.chunk, cfg.mode);
             let mut offset = 0;
             for r in requests {
                 let slice = &values[offset..offset + r.len()];
@@ -150,6 +169,40 @@ mod tests {
         for (points, got) in [(&a, &fout[0]), (&b, &fout[1])] {
             let lone = tc.fields_at(points);
             assert_eq!(got.fields().unwrap(), lone.values.as_slice());
+        }
+    }
+
+    #[test]
+    fn eval_config_changes_execution_not_values() {
+        use mbt_treecode::EvalMode;
+        let ps = uniform_cube(400, 1.0, ChargeModel::RandomSign { magnitude: 1.0 }, 11);
+        let tc = Treecode::new(&ps, TreecodeParams::fixed(4, 0.6)).unwrap();
+        let pts: Vec<Vec3> = ps.iter().take(30).map(|p| p.position * 1.4).collect();
+        let (base, base_stats) = evaluate_batch(&tc, QueryKind::Potential, &[&pts]);
+        // scalar sweeps are bit-invariant across chunk widths
+        for chunk in [1usize, 7, 256] {
+            let cfg = EvalConfig {
+                chunk,
+                mode: EvalMode::Scalar,
+            };
+            let (out, stats) = evaluate_batch_with(&tc, QueryKind::Potential, &[&pts], cfg);
+            assert_eq!(out, base, "chunk {chunk} changed values");
+            assert_eq!(stats, base_stats, "chunk {chunk} changed stats");
+        }
+        // the compiled mode agrees to round-off with identical accounting
+        let cfg = EvalConfig {
+            chunk: 64,
+            mode: EvalMode::Compiled,
+        };
+        let (out, stats) = evaluate_batch_with(&tc, QueryKind::Potential, &[&pts], cfg);
+        assert_eq!(stats, base_stats);
+        for (a, b) in out[0]
+            .potentials()
+            .unwrap()
+            .iter()
+            .zip(base[0].potentials().unwrap())
+        {
+            assert!((a - b).abs() <= 1e-12 * b.abs().max(1.0));
         }
     }
 

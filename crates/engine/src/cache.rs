@@ -264,7 +264,7 @@ impl PlanCache {
         let t0 = Instant::now();
         let built = build().map(Arc::new);
         if built.is_ok() {
-            stats.record_build(t0.elapsed());
+            stats.record_build(key, t0.elapsed());
         }
 
         let ticket = {

@@ -8,11 +8,13 @@ use std::time::{Duration, Instant};
 use mbt_geometry::{Particle, Vec3};
 use mbt_treecode::{EvalStats, TreecodeParams};
 
+use mbt_obs::{SlowQuery, Span};
+
 use crate::admission::AdmissionGate;
-use crate::batch::{evaluate_batch, QueryKind, QueryOutput};
+use crate::batch::{evaluate_batch_with, QueryKind, QueryOutput};
 use crate::cache::{CacheOutcome, PlanCache};
 use crate::error::EngineError;
-use crate::plan::{Accuracy, Plan, PlanKey};
+use crate::plan::{Accuracy, EvalConfig, Plan, PlanKey};
 use crate::registry::{Dataset, DatasetId, DatasetRegistry};
 use crate::scheduler::Batcher;
 use crate::stats::{EngineStats, Gauges, StatsCollector};
@@ -38,6 +40,9 @@ pub struct EngineConfig {
     /// group. Zero (default) relies on natural batching: requests
     /// arriving while a sweep runs are drained by the next one.
     pub batch_window: Duration,
+    /// Requests slower than this (admission → response) land in the
+    /// bounded slow-query log ([`Engine::slow_queries`]).
+    pub slow_query_threshold: Duration,
 }
 
 impl Default for EngineConfig {
@@ -50,6 +55,7 @@ impl Default for EngineConfig {
             max_in_flight: 32,
             max_queued: 1024,
             batch_window: Duration::ZERO,
+            slow_query_threshold: Duration::from_millis(250),
         }
     }
 }
@@ -160,9 +166,9 @@ impl Engine {
             config,
             registry: DatasetRegistry::new(),
             cache: PlanCache::new(config.cache_budget_bytes),
-            batcher: Batcher::new(),
+            batcher: Batcher::with_window(config.batch_window),
             gate: AdmissionGate::new(config.max_in_flight, config.max_queued),
-            stats: StatsCollector::default(),
+            stats: StatsCollector::with_slow_threshold(config.slow_query_threshold),
         })
     }
 
@@ -230,21 +236,27 @@ impl Engine {
     /// intended use, and concurrent queries against the same plan are
     /// coalesced into shared sweeps.
     pub fn query(&self, request: QueryRequest) -> Result<QueryResponse, EngineError> {
+        let arrived = Instant::now();
         let _permit = self.gate.admit(request.deadline, &self.stats)?;
+        let waited = arrived.elapsed();
         let (plan, outcome) = self.plan_for(request.dataset, request.accuracy)?;
         // a cold build may have consumed the whole budget
         if request.deadline.is_some_and(|d| Instant::now() >= d) {
             self.stats.record_shed_deadline();
             return Err(EngineError::DeadlineExceeded);
         }
+        let cfg = EvalConfig::of(&self.resolve_params(request.accuracy));
+        let n_points = request.points.len();
         let (output, eval) = self.batcher.run(
             &plan,
             request.kind,
+            cfg,
             request.points,
             request.deadline,
-            self.config.batch_window,
             &self.stats,
         )?;
+        self.stats
+            .record_request(request.dataset, n_points, arrived.elapsed(), waited);
         Ok(QueryResponse {
             output,
             eval,
@@ -263,15 +275,17 @@ impl Engine {
         &self,
         requests: &[QueryRequest],
     ) -> Vec<Result<QueryResponse, EngineError>> {
+        let arrived = Instant::now();
         let earliest = requests.iter().filter_map(|r| r.deadline).min();
         let permit = match self.gate.admit(earliest, &self.stats) {
             Ok(p) => p,
             Err(e) => return requests.iter().map(|_| Err(e.clone())).collect(),
         };
+        let waited = arrived.elapsed();
 
         let mut results: Vec<Option<Result<QueryResponse, EngineError>>> =
             requests.iter().map(|_| None).collect();
-        let mut groups: HashMap<(PlanKey, QueryKind), Vec<usize>> = HashMap::new();
+        let mut groups: HashMap<(PlanKey, QueryKind, EvalConfig), Vec<usize>> = HashMap::new();
         for (i, r) in requests.iter().enumerate() {
             let params = self.resolve_params(r.accuracy);
             if let Err(e) = params.validate() {
@@ -279,10 +293,13 @@ impl Engine {
                 continue;
             }
             let key = PlanKey::new(r.dataset, &params);
-            groups.entry((key, r.kind)).or_default().push(i);
+            groups
+                .entry((key, r.kind, EvalConfig::of(&params)))
+                .or_default()
+                .push(i);
         }
 
-        for ((_, kind), indices) in groups {
+        for ((key, kind, cfg), indices) in groups {
             // all requests in a group share (dataset, accuracy)
             let first = indices[0];
             let plan_outcome = self.plan_for(requests[first].dataset, requests[first].accuracy);
@@ -317,10 +334,16 @@ impl Engine {
                 .collect();
             let total_points: usize = slices.iter().map(|s| s.len()).sum();
             let t0 = Instant::now();
-            let (outputs, sweep) = evaluate_batch(&plan.treecode, kind, &slices);
+            let (outputs, sweep) = evaluate_batch_with(&plan.treecode, kind, &slices, cfg);
             self.stats
-                .record_batch(live.len(), total_points, t0.elapsed());
+                .record_batch(key, live.len(), total_points, t0.elapsed());
             for (&i, output) in live.iter().zip(outputs) {
+                self.stats.record_request(
+                    requests[i].dataset,
+                    requests[i].points.len(),
+                    arrived.elapsed(),
+                    waited,
+                );
                 results[i] = Some(Ok(QueryResponse {
                     output,
                     eval: sweep.clone(),
@@ -335,6 +358,23 @@ impl Engine {
             .into_iter()
             .map(|r| r.unwrap_or(Err(EngineError::DeadlineExceeded)))
             .collect()
+    }
+
+    /// Recent engine-phase spans (admission wait, plan build, batch
+    /// execute), oldest first, from a bounded lock-free ring. Core-layer
+    /// phases (compile, sweep) are reported through the process-global
+    /// [`mbt_obs`] recorder instead, which stays inert unless installed.
+    #[must_use]
+    pub fn spans(&self) -> Vec<Span> {
+        self.stats.spans()
+    }
+
+    /// Recent queries slower than
+    /// [`EngineConfig::slow_query_threshold`], oldest first, from a
+    /// bounded log whose hot path never allocates.
+    #[must_use]
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        self.stats.slow_queries()
     }
 
     /// A point-in-time snapshot of every counter and gauge.

@@ -67,6 +67,7 @@ mod batch;
 mod cache;
 mod engine;
 mod error;
+mod export;
 mod plan;
 mod registry;
 mod stats;
@@ -74,11 +75,14 @@ mod stats;
 pub mod scheduler;
 
 pub use admission::{AdmissionGate, Permit};
-pub use batch::{evaluate_batch, QueryKind, QueryOutput};
+pub use batch::{evaluate_batch, evaluate_batch_with, QueryKind, QueryOutput};
 pub use cache::{ByteLru, CacheOutcome, Inserted, PlanCache};
 pub use engine::{Engine, EngineConfig, QueryRequest, QueryResponse};
 pub use error::EngineError;
-pub use plan::{Accuracy, Plan, PlanKey};
+pub use plan::{Accuracy, EvalConfig, Plan, PlanKey};
 pub use registry::{Dataset, DatasetId, DatasetRegistry};
 pub use scheduler::Batcher;
-pub use stats::{EngineStats, StatsCollector};
+pub use stats::{DatasetBreakdown, EngineStats, LatencySummary, PlanBreakdown, StatsCollector};
+
+// The observability vocabulary the engine's accessors speak.
+pub use mbt_obs::{HistogramSnapshot, Phase, SlowQuery, Span};

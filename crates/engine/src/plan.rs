@@ -119,22 +119,27 @@ enum RefWeightKey {
 }
 
 /// Identity of one cached plan: the dataset plus the exact bit patterns
-/// of every parameter that influences tree construction or evaluation.
+/// of every parameter that influences **tree construction** — MAC
+/// parameter, degree policy, leaf capacity, reference weight, softening.
 /// Two requests share a plan **iff** their keys are equal.
+///
+/// Deliberately absent: `eval_chunk` and `eval_mode`. Those are pure
+/// execution knobs — results are bit-invariant across chunk widths and
+/// modes account identical stats (DESIGN.md §10) — so keying on them
+/// would duplicate an entire octree + coefficient arena per knob
+/// setting. They travel separately as [`EvalConfig`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PlanKey {
     dataset: DatasetId,
     alpha: u64,
     degree: DegreeKey,
     leaf_capacity: usize,
-    eval_chunk: usize,
     ref_weight: RefWeightKey,
     softening: u64,
-    eval_mode: EvalMode,
 }
 
 impl PlanKey {
-    /// The key identifying `(dataset, params)`.
+    /// The key identifying `(dataset, build-relevant params)`.
     #[must_use]
     pub fn new(dataset: DatasetId, params: &TreecodeParams) -> PlanKey {
         PlanKey {
@@ -142,14 +147,12 @@ impl PlanKey {
             alpha: params.alpha.to_bits(),
             degree: DegreeKey::of(params.degree),
             leaf_capacity: params.leaf_capacity,
-            eval_chunk: params.eval_chunk,
             ref_weight: match params.ref_weight {
                 RefWeight::MinLeaf => RefWeightKey::MinLeaf,
                 RefWeight::MedianLeaf => RefWeightKey::MedianLeaf,
                 RefWeight::Explicit(w) => RefWeightKey::Explicit(w.to_bits()),
             },
             softening: params.softening.to_bits(),
-            eval_mode: params.eval_mode,
         }
     }
 
@@ -157,6 +160,30 @@ impl PlanKey {
     #[must_use]
     pub fn dataset(&self) -> DatasetId {
         self.dataset
+    }
+}
+
+/// The per-request execution configuration a plan is evaluated under:
+/// everything in `TreecodeParams` that does **not** participate in
+/// [`PlanKey`] identity. Requests differing only here share one cached
+/// plan; the batcher still groups by `EvalConfig` so each coalesced
+/// sweep runs under a single configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EvalConfig {
+    /// Aggregation width `w` of the sweep.
+    pub chunk: usize,
+    /// Execution strategy (scalar reference vs compiled lists).
+    pub mode: EvalMode,
+}
+
+impl EvalConfig {
+    /// The execution configuration carried by `params`.
+    #[must_use]
+    pub fn of(params: &TreecodeParams) -> EvalConfig {
+        EvalConfig {
+            chunk: params.eval_chunk.max(1),
+            mode: params.eval_mode,
+        }
     }
 }
 
@@ -247,9 +274,33 @@ mod tests {
         assert_ne!(k(id0, &c), k(id0, &d));
         let softened = a.with_softening(1e-3);
         assert_ne!(k(id0, &a), k(id0, &softened));
-        let compiled = a.with_eval_mode(EvalMode::Compiled);
-        assert_ne!(k(id0, &a), k(id0, &compiled));
         assert_eq!(k(id0, &a).dataset(), id0);
+    }
+
+    #[test]
+    fn keys_ignore_eval_config() {
+        // eval_chunk and eval_mode are execution knobs, not plan
+        // identity: requests differing only there share one cached plan
+        let a = TreecodeParams::fixed(4, 0.6);
+        let id0 = DatasetId(0);
+        let compiled = a.with_eval_mode(EvalMode::Compiled);
+        assert_eq!(PlanKey::new(id0, &a), PlanKey::new(id0, &compiled));
+        let rechunked = a.with_eval_chunk(7);
+        assert_eq!(PlanKey::new(id0, &a), PlanKey::new(id0, &rechunked));
+        // …while EvalConfig captures exactly that difference
+        assert_ne!(EvalConfig::of(&a), EvalConfig::of(&compiled));
+        assert_ne!(EvalConfig::of(&a), EvalConfig::of(&rechunked));
+        assert_eq!(
+            EvalConfig::of(&a),
+            EvalConfig {
+                chunk: a.eval_chunk,
+                mode: EvalMode::Scalar
+            }
+        );
+        // the unclamped zero chunk normalises like the sweep itself does
+        let mut zero_chunk = a;
+        zero_chunk.eval_chunk = 0;
+        assert_eq!(EvalConfig::of(&zero_chunk).chunk, 1);
     }
 
     #[test]

@@ -20,16 +20,21 @@ use std::time::{Duration, Instant};
 use mbt_geometry::Vec3;
 use mbt_treecode::EvalStats;
 
-use crate::batch::{evaluate_batch, QueryKind, QueryOutput};
+use crate::batch::{evaluate_batch_with, QueryKind, QueryOutput};
 use crate::error::EngineError;
-use crate::plan::{Plan, PlanKey};
+use crate::plan::{EvalConfig, Plan, PlanKey};
 use crate::stats::StatsCollector;
 
-/// One coalescing group: a plan × what is being computed.
+/// One coalescing group: a plan × what is being computed × how the sweep
+/// executes. Plan identity excludes execution knobs, so requests at
+/// different chunk widths or modes share a cached plan — but each
+/// coalesced sweep must run under a single configuration, hence the
+/// `cfg` component here.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct GroupKey {
     plan: PlanKey,
     kind: QueryKind,
+    cfg: EvalConfig,
 }
 
 /// The slot a parked request's answer lands in.
@@ -76,13 +81,25 @@ struct Group {
 #[derive(Debug, Default)]
 pub struct Batcher {
     groups: Mutex<HashMap<GroupKey, Group>>,
+    /// Fixed coalescing wait a leader sleeps before its first drain.
+    window: Duration,
 }
 
 impl Batcher {
-    /// An empty batcher.
+    /// An empty batcher with no coalescing window.
     #[must_use]
     pub fn new() -> Batcher {
         Batcher::default()
+    }
+
+    /// An empty batcher whose leaders wait `window` before draining,
+    /// growing batches at the cost of latency.
+    #[must_use]
+    pub fn with_window(window: Duration) -> Batcher {
+        Batcher {
+            window,
+            ..Batcher::default()
+        }
     }
 
     /// Runs one request through the combiner, blocking until its values
@@ -92,14 +109,15 @@ impl Batcher {
         &self,
         plan: &Arc<Plan>,
         kind: QueryKind,
+        cfg: EvalConfig,
         points: Vec<Vec3>,
         deadline: Option<Instant>,
-        window: Duration,
         stats: &StatsCollector,
     ) -> Result<(QueryOutput, EvalStats), EngineError> {
         let key = GroupKey {
             plan: plan.key,
             kind,
+            cfg,
         };
         let slot = Arc::new(Slot::default());
         let is_leader = {
@@ -118,8 +136,8 @@ impl Batcher {
             }
         };
         if is_leader {
-            if !window.is_zero() {
-                std::thread::sleep(window);
+            if !self.window.is_zero() {
+                std::thread::sleep(self.window);
             }
             self.drain(key, plan, kind, stats);
         }
@@ -159,8 +177,9 @@ impl Batcher {
             let slices: Vec<&[Vec3]> = live.iter().map(|p| p.points.as_slice()).collect();
             let total_points: usize = slices.iter().map(|s| s.len()).sum();
             let t0 = Instant::now();
-            let (outputs, sweep_stats) = evaluate_batch(&plan.treecode, kind, &slices);
-            stats.record_batch(live.len(), total_points, t0.elapsed());
+            let (outputs, sweep_stats) =
+                evaluate_batch_with(&plan.treecode, kind, &slices, key.cfg);
+            stats.record_batch(key.plan, live.len(), total_points, t0.elapsed());
             for (p, out) in live.into_iter().zip(outputs) {
                 p.slot.fill(Ok((out, sweep_stats.clone())));
             }
@@ -176,16 +195,17 @@ mod tests {
     use mbt_geometry::distribution::{uniform_cube, ChargeModel};
     use mbt_treecode::TreecodeParams;
 
-    fn plan() -> Arc<Plan> {
+    fn plan() -> (Arc<Plan>, EvalConfig) {
         let ps = uniform_cube(600, 1.0, ChargeModel::RandomSign { magnitude: 1.0 }, 9);
         let params = TreecodeParams::fixed(4, 0.6);
         let key = PlanKey::new(DatasetId(0), &params);
-        Arc::new(Plan::build(key, &ps, params).unwrap())
+        let cfg = EvalConfig::of(&params);
+        (Arc::new(Plan::build(key, &ps, params).unwrap()), cfg)
     }
 
     #[test]
     fn single_caller_round_trips() {
-        let plan = plan();
+        let (plan, cfg) = plan();
         let batcher = Batcher::new();
         let stats = StatsCollector::default();
         let points = vec![Vec3::new(2.0, 0.0, 0.0), Vec3::new(0.0, 3.0, 0.0)];
@@ -193,9 +213,9 @@ mod tests {
             .run(
                 &plan,
                 QueryKind::Potential,
+                cfg,
                 points.clone(),
                 None,
-                Duration::ZERO,
                 &stats,
             )
             .unwrap();
@@ -206,8 +226,8 @@ mod tests {
 
     #[test]
     fn concurrent_callers_all_get_their_own_values() {
-        let plan = plan();
-        let batcher = Batcher::new();
+        let (plan, cfg) = plan();
+        let batcher = Batcher::with_window(Duration::from_millis(5));
         let stats = StatsCollector::default();
         let n_threads = 8;
         std::thread::scope(|s| {
@@ -221,14 +241,7 @@ mod tests {
                             .map(|i| Vec3::new(1.5 + t as f64, f64::from(i) * 0.1, 0.0))
                             .collect();
                         let (out, _) = batcher
-                            .run(
-                                plan,
-                                QueryKind::Potential,
-                                points.clone(),
-                                None,
-                                Duration::from_millis(5),
-                                stats,
-                            )
+                            .run(plan, QueryKind::Potential, cfg, points.clone(), None, stats)
                             .unwrap();
                         let direct = plan.treecode.potentials_at(&points);
                         assert_eq!(out.potentials().unwrap(), direct.values.as_slice());
@@ -248,19 +261,19 @@ mod tests {
 
     #[test]
     fn expired_deadline_is_shed_at_drain() {
-        let plan = plan();
+        let (plan, cfg) = plan();
         let batcher = Batcher::new();
         let stats = StatsCollector::default();
         let res = batcher.run(
             &plan,
             QueryKind::Potential,
+            cfg,
             vec![Vec3::new(2.0, 0.0, 0.0)],
             Some(
                 Instant::now()
                     .checked_sub(Duration::from_millis(1))
                     .unwrap(),
             ),
-            Duration::ZERO,
             &stats,
         );
         assert_eq!(res.unwrap_err(), EngineError::DeadlineExceeded);

@@ -1,39 +1,162 @@
 //! Engine observability.
 //!
-//! [`StatsCollector`] is the write side: plain atomics bumped from the
-//! hot paths (no locks, no allocation). [`EngineStats`] is the read side:
-//! a plain owned struct snapshotted on demand, deliberately free of any
-//! exporter dependency so a later observability layer can serialise it to
-//! whatever format it likes.
+//! [`StatsCollector`] is the write side: plain atomics and fixed-bucket
+//! [`Histogram`]s bumped from the hot paths (no allocation; the only
+//! lock guards the per-plan breakdown and is taken once per *build* or
+//! *batch*, never per point). [`EngineStats`] is the read side: a plain
+//! owned struct snapshotted on demand. Serialisation to Prometheus text
+//! and JSON lives in [`crate::export`] so the snapshot itself stays free
+//! of any exporter dependency.
+//!
+//! Latency is tracked as half-octave (√2-spaced) histograms, so
+//! `build_seconds`/`eval_seconds` totals are exact sums while p50/p95/p99
+//! are interpolated estimates with ≤ ~20 % bucket error — the right
+//! trade for a lock-free hot path. Engine-phase spans (admission wait,
+//! plan build, batch execute) land in a bounded ring, and queries slower
+//! than the configured threshold land in a bounded slow-query log; both
+//! are drop-on-full, never blocking.
 
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
 use std::time::Duration;
 
-/// Lock-free counters the engine's layers write into.
-#[derive(Debug, Default)]
+use mbt_obs::{
+    Histogram, HistogramSnapshot, Phase, Recorder, RingRecorder, SlowLog, SlowQuery, Span,
+};
+
+use crate::plan::PlanKey;
+use crate::registry::DatasetId;
+
+/// Spans retained for inspection via [`crate::Engine::spans`].
+const SPAN_RING_CAPACITY: usize = 1024;
+/// Slow queries retained via [`crate::Engine::slow_queries`].
+const SLOW_LOG_CAPACITY: usize = 128;
+/// Default slow-query threshold when none is configured.
+pub(crate) const DEFAULT_SLOW_THRESHOLD: Duration = Duration::from_millis(250);
+
+/// Per-plan running totals, guarded by the collector's mutex.
+#[derive(Debug)]
+struct PlanCounters {
+    dataset: u64,
+    builds: u64,
+    build_ns: u64,
+    batches: u64,
+    requests: u64,
+    points: u64,
+    eval: Histogram,
+}
+
+impl PlanCounters {
+    fn new(dataset: u64) -> PlanCounters {
+        PlanCounters {
+            dataset,
+            builds: 0,
+            build_ns: 0,
+            batches: 0,
+            requests: 0,
+            points: 0,
+            eval: Histogram::new(),
+        }
+    }
+}
+
+/// A stable per-process label for one plan: the key's hash under a
+/// fixed-key hasher, so exporters can tell plans apart without leaking
+/// the key's internals.
+fn fingerprint(key: &PlanKey) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    h.finish()
+}
+
+fn saturating_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Lock-free counters and histograms the engine's layers write into.
+#[derive(Debug)]
 pub struct StatsCollector {
     // plan cache
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     coalesced_misses: AtomicU64,
     plan_builds: AtomicU64,
-    build_ns: AtomicU64,
     evictions: AtomicU64,
     evicted_bytes: AtomicU64,
     // batched evaluation
     batches: AtomicU64,
     batched_requests: AtomicU64,
     max_batch: AtomicU64,
-    eval_ns: AtomicU64,
     eval_points: AtomicU64,
     // admission control
     admitted: AtomicU64,
     shed_overload: AtomicU64,
     shed_deadline: AtomicU64,
     queue_peak: AtomicU64,
+    // latency distributions
+    build_hist: Histogram,
+    eval_hist: Histogram,
+    query_hist: Histogram,
+    wait_hist: Histogram,
+    // bounded engine-phase span ring + slow-query log
+    spans: RingRecorder,
+    slow: SlowLog,
+    slow_threshold_ns: u64,
+    // per-plan breakdown (locked once per build / per batch)
+    per_plan: Mutex<HashMap<PlanKey, PlanCounters>>,
+}
+
+impl Default for StatsCollector {
+    fn default() -> Self {
+        StatsCollector::with_slow_threshold(DEFAULT_SLOW_THRESHOLD)
+    }
 }
 
 impl StatsCollector {
+    /// A collector logging queries slower than `slow_threshold` to the
+    /// bounded slow-query log.
+    #[must_use]
+    pub fn with_slow_threshold(slow_threshold: Duration) -> StatsCollector {
+        StatsCollector {
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            coalesced_misses: AtomicU64::new(0),
+            plan_builds: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            evicted_bytes: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_requests: AtomicU64::new(0),
+            max_batch: AtomicU64::new(0),
+            eval_points: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            shed_overload: AtomicU64::new(0),
+            shed_deadline: AtomicU64::new(0),
+            queue_peak: AtomicU64::new(0),
+            build_hist: Histogram::new(),
+            eval_hist: Histogram::new(),
+            query_hist: Histogram::new(),
+            wait_hist: Histogram::new(),
+            spans: RingRecorder::new(SPAN_RING_CAPACITY),
+            slow: SlowLog::new(SLOW_LOG_CAPACITY),
+            slow_threshold_ns: saturating_ns(slow_threshold),
+            per_plan: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// One span, ending now on the process-epoch timeline, into the
+    /// bounded ring (dropped, never blocked, when the ring is contended).
+    fn emit_span(&self, phase: Phase, took: Duration) {
+        let dur_ns = saturating_ns(took);
+        let end_ns = saturating_ns(mbt_obs::epoch().elapsed());
+        self.spans.record(Span {
+            phase,
+            start_ns: end_ns.saturating_sub(dur_ns),
+            dur_ns,
+        });
+    }
+
     pub(crate) fn record_hit(&self) {
         self.cache_hits.fetch_add(1, Ordering::Relaxed);
     }
@@ -46,10 +169,16 @@ impl StatsCollector {
         self.coalesced_misses.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn record_build(&self, took: Duration) {
+    pub(crate) fn record_build(&self, key: PlanKey, took: Duration) {
         self.plan_builds.fetch_add(1, Ordering::Relaxed);
-        self.build_ns
-            .fetch_add(took.as_nanos() as u64, Ordering::Relaxed);
+        self.build_hist.record(took);
+        self.emit_span(Phase::PlanBuild, took);
+        let mut plans = self.per_plan.lock().unwrap_or_else(PoisonError::into_inner);
+        let entry = plans
+            .entry(key)
+            .or_insert_with(|| PlanCounters::new(key.dataset().0));
+        entry.builds += 1;
+        entry.build_ns += saturating_ns(took);
     }
 
     pub(crate) fn record_eviction(&self, bytes: usize) {
@@ -58,14 +187,58 @@ impl StatsCollector {
             .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
-    pub(crate) fn record_batch(&self, requests: usize, points: usize, took: Duration) {
+    pub(crate) fn record_batch(
+        &self,
+        key: PlanKey,
+        requests: usize,
+        points: usize,
+        took: Duration,
+    ) {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.batched_requests
             .fetch_add(requests as u64, Ordering::Relaxed);
         self.max_batch.fetch_max(requests as u64, Ordering::Relaxed);
-        self.eval_ns
-            .fetch_add(took.as_nanos() as u64, Ordering::Relaxed);
         self.eval_points.fetch_add(points as u64, Ordering::Relaxed);
+        self.eval_hist.record(took);
+        self.emit_span(Phase::BatchExecute, took);
+        let mut plans = self.per_plan.lock().unwrap_or_else(PoisonError::into_inner);
+        let entry = plans
+            .entry(key)
+            .or_insert_with(|| PlanCounters::new(key.dataset().0));
+        entry.batches += 1;
+        entry.requests += requests as u64;
+        entry.points += points as u64;
+        entry.eval.record(took);
+    }
+
+    /// Time a request spent queued at the admission gate (zero for
+    /// fast-path admissions, which emit no span).
+    pub(crate) fn record_admission_wait(&self, waited: Duration) {
+        self.wait_hist.record(waited);
+        if !waited.is_zero() {
+            self.emit_span(Phase::AdmissionWait, waited);
+        }
+    }
+
+    /// One served request, end to end: feeds the query-latency histogram
+    /// and, past the threshold, the slow-query log. Allocation-free.
+    pub(crate) fn record_request(
+        &self,
+        dataset: DatasetId,
+        points: usize,
+        total: Duration,
+        waited: Duration,
+    ) {
+        self.query_hist.record(total);
+        let total_ns = saturating_ns(total);
+        if total_ns >= self.slow_threshold_ns {
+            self.slow.record(SlowQuery {
+                dataset: dataset.0,
+                points: points as u64,
+                total_ns,
+                wait_ns: saturating_ns(waited),
+            });
+        }
     }
 
     pub(crate) fn record_admitted(&self) {
@@ -84,28 +257,102 @@ impl StatsCollector {
         self.queue_peak.fetch_max(depth as u64, Ordering::Relaxed);
     }
 
+    /// Recent engine-phase spans (admission wait, plan build, batch
+    /// execute), oldest first.
+    pub(crate) fn spans(&self) -> Vec<Span> {
+        self.spans.spans()
+    }
+
+    /// Recent queries slower than the configured threshold.
+    pub(crate) fn slow_queries(&self) -> Vec<SlowQuery> {
+        self.slow.entries()
+    }
+
     /// Snapshot of the counters; the gauges (`queue_depth`, `in_flight`,
     /// cache residency, dataset count) are supplied by the engine, which
     /// owns the structures they describe.
     pub(crate) fn snapshot(&self, gauges: Gauges) -> EngineStats {
         let ld = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let build = self.build_hist.snapshot();
+        let eval = self.eval_hist.snapshot();
+        let query = self.query_hist.snapshot();
+        let wait = self.wait_hist.snapshot();
+
+        let (per_plan, per_dataset) = {
+            let plans = self.per_plan.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut per_plan: Vec<PlanBreakdown> = plans
+                .iter()
+                .map(|(key, c)| PlanBreakdown {
+                    plan: fingerprint(key),
+                    dataset: c.dataset,
+                    builds: c.builds,
+                    build_seconds: c.build_ns as f64 * 1e-9,
+                    batches: c.batches,
+                    requests: c.requests,
+                    points: c.points,
+                    eval: LatencySummary::of(&c.eval.snapshot()),
+                })
+                .collect();
+            per_plan.sort_by_key(|a| (a.dataset, a.plan));
+
+            let mut by_dataset: BTreeMap<u64, (DatasetBreakdown, HistogramSnapshot)> =
+                BTreeMap::new();
+            for c in plans.values() {
+                let (agg, hist) = by_dataset.entry(c.dataset).or_insert_with(|| {
+                    (
+                        DatasetBreakdown {
+                            dataset: c.dataset,
+                            ..DatasetBreakdown::default()
+                        },
+                        HistogramSnapshot::empty(),
+                    )
+                });
+                agg.plans += 1;
+                agg.builds += c.builds;
+                agg.batches += c.batches;
+                agg.requests += c.requests;
+                agg.points += c.points;
+                hist.merge(&c.eval.snapshot());
+            }
+            let per_dataset: Vec<DatasetBreakdown> = by_dataset
+                .into_values()
+                .map(|(mut agg, hist)| {
+                    agg.eval = LatencySummary::of(&hist);
+                    agg
+                })
+                .collect();
+            (per_plan, per_dataset)
+        };
+
         EngineStats {
             cache_hits: ld(&self.cache_hits),
             cache_misses: ld(&self.cache_misses),
             coalesced_misses: ld(&self.coalesced_misses),
             plan_builds: ld(&self.plan_builds),
-            build_seconds: ld(&self.build_ns) as f64 * 1e-9,
+            build_seconds: build.sum_ns as f64 * 1e-9,
             evictions: ld(&self.evictions),
             evicted_bytes: ld(&self.evicted_bytes),
             batches: ld(&self.batches),
             batched_requests: ld(&self.batched_requests),
             max_batch: ld(&self.max_batch),
-            eval_seconds: ld(&self.eval_ns) as f64 * 1e-9,
+            eval_seconds: eval.sum_ns as f64 * 1e-9,
             eval_points: ld(&self.eval_points),
             admitted: ld(&self.admitted),
             shed_overload: ld(&self.shed_overload),
             shed_deadline: ld(&self.shed_deadline),
             queue_peak: ld(&self.queue_peak),
+            build_latency: LatencySummary::of(&build),
+            eval_latency: LatencySummary::of(&eval),
+            query_latency: LatencySummary::of(&query),
+            admission_wait: LatencySummary::of(&wait),
+            build_histogram: build,
+            eval_histogram: eval,
+            query_histogram: query,
+            wait_histogram: wait,
+            slow_queries: self.slow.recorded(),
+            spans_dropped: self.spans.dropped(),
+            per_plan,
+            per_dataset,
             resident_plans: gauges.resident_plans,
             resident_bytes: gauges.resident_bytes,
             cache_budget_bytes: gauges.cache_budget_bytes,
@@ -127,9 +374,85 @@ pub(crate) struct Gauges {
     pub queue_depth: usize,
 }
 
+/// Five-number latency digest of one histogram, in milliseconds.
+/// Quantiles are geometric interpolations inside half-octave buckets —
+/// estimates, not exact order statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Observations behind this summary.
+    pub count: u64,
+    /// Exact mean (the histogram keeps the exact sum).
+    pub mean_ms: f64,
+    /// Estimated median.
+    pub p50_ms: f64,
+    /// Estimated 95th percentile.
+    pub p95_ms: f64,
+    /// Estimated 99th percentile.
+    pub p99_ms: f64,
+    /// Exact maximum.
+    pub max_ms: f64,
+}
+
+impl LatencySummary {
+    /// The digest of `snap`.
+    #[must_use]
+    pub fn of(snap: &HistogramSnapshot) -> LatencySummary {
+        LatencySummary {
+            count: snap.count,
+            mean_ms: snap.mean_ns() * 1e-6,
+            p50_ms: snap.p50_ns() * 1e-6,
+            p95_ms: snap.p95_ns() * 1e-6,
+            p99_ms: snap.p99_ns() * 1e-6,
+            max_ms: snap.max_ns as f64 * 1e-6,
+        }
+    }
+}
+
+/// Per-plan slice of the engine's work, keyed by a stable fingerprint
+/// of the plan's identity.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PlanBreakdown {
+    /// Stable per-process fingerprint of the [`PlanKey`].
+    pub plan: u64,
+    /// The dataset the plan serves.
+    pub dataset: u64,
+    /// Times this plan was (re)built.
+    pub builds: u64,
+    /// Wall time spent in those builds.
+    pub build_seconds: f64,
+    /// Evaluation sweeps run against this plan.
+    pub batches: u64,
+    /// Requests that rode in those sweeps.
+    pub requests: u64,
+    /// Observation points evaluated.
+    pub points: u64,
+    /// Sweep-latency digest for this plan.
+    pub eval: LatencySummary,
+}
+
+/// Per-dataset aggregate over every plan serving that dataset.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DatasetBreakdown {
+    /// The dataset id.
+    pub dataset: u64,
+    /// Distinct plans that served this dataset.
+    pub plans: usize,
+    /// Plan builds across those plans.
+    pub builds: u64,
+    /// Evaluation sweeps across those plans.
+    pub batches: u64,
+    /// Requests across those sweeps.
+    pub requests: u64,
+    /// Observation points evaluated.
+    pub points: u64,
+    /// Sweep-latency digest merged across the dataset's plans.
+    pub eval: LatencySummary,
+}
+
 /// A point-in-time view of everything the engine counts. Plain data —
 /// `Clone`, no atomics, no locks — so exporters can hold or diff
-/// snapshots freely.
+/// snapshots freely. [`EngineStats::to_prometheus`] and
+/// [`EngineStats::to_json`] (in [`crate::export`]) serialise it.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct EngineStats {
     /// Queries served from a resident plan.
@@ -177,6 +500,30 @@ pub struct EngineStats {
     pub queue_depth: usize,
     /// Largest queue depth observed.
     pub queue_peak: u64,
+    /// Plan-build latency digest.
+    pub build_latency: LatencySummary,
+    /// Evaluation-sweep latency digest.
+    pub eval_latency: LatencySummary,
+    /// End-to-end request latency digest (admission → response).
+    pub query_latency: LatencySummary,
+    /// Admission-queue wait digest (zeros dominate when uncontended).
+    pub admission_wait: LatencySummary,
+    /// Raw plan-build latency buckets.
+    pub build_histogram: HistogramSnapshot,
+    /// Raw evaluation-sweep latency buckets.
+    pub eval_histogram: HistogramSnapshot,
+    /// Raw end-to-end request latency buckets.
+    pub query_histogram: HistogramSnapshot,
+    /// Raw admission-wait buckets.
+    pub wait_histogram: HistogramSnapshot,
+    /// Requests that crossed the slow-query threshold.
+    pub slow_queries: u64,
+    /// Engine-phase spans dropped by the bounded ring under contention.
+    pub spans_dropped: u64,
+    /// Per-plan work breakdown, sorted by `(dataset, plan)`.
+    pub per_plan: Vec<PlanBreakdown>,
+    /// Per-dataset aggregate, sorted by dataset id.
+    pub per_dataset: Vec<DatasetBreakdown>,
 }
 
 impl EngineStats {
@@ -231,6 +578,21 @@ impl std::fmt::Display for EngineStats {
             self.eval_points,
             self.eval_seconds,
         )?;
+        writeln!(
+            f,
+            "latency ms (p50/p95/p99): build {:.3}/{:.3}/{:.3}, \
+             eval {:.3}/{:.3}/{:.3}, query {:.3}/{:.3}/{:.3}; {} slow",
+            self.build_latency.p50_ms,
+            self.build_latency.p95_ms,
+            self.build_latency.p99_ms,
+            self.eval_latency.p50_ms,
+            self.eval_latency.p95_ms,
+            self.eval_latency.p99_ms,
+            self.query_latency.p50_ms,
+            self.query_latency.p95_ms,
+            self.query_latency.p99_ms,
+            self.slow_queries,
+        )?;
         write!(
             f,
             "admission: {} admitted, {} shed (overload) + {} shed (deadline), \
@@ -248,6 +610,11 @@ impl std::fmt::Display for EngineStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mbt_treecode::TreecodeParams;
+
+    fn key(dataset: u64, p: usize) -> PlanKey {
+        PlanKey::new(DatasetId(dataset), &TreecodeParams::fixed(p, 0.6))
+    }
 
     #[test]
     fn counters_roll_up_into_snapshot() {
@@ -256,10 +623,10 @@ mod tests {
         c.record_hit();
         c.record_miss();
         c.record_coalesced();
-        c.record_build(Duration::from_millis(5));
+        c.record_build(key(0, 4), Duration::from_millis(5));
         c.record_eviction(1024);
-        c.record_batch(3, 300, Duration::from_millis(2));
-        c.record_batch(7, 700, Duration::from_millis(2));
+        c.record_batch(key(0, 4), 3, 300, Duration::from_millis(2));
+        c.record_batch(key(0, 4), 7, 700, Duration::from_millis(2));
         c.record_admitted();
         c.record_shed_overload();
         c.record_shed_deadline();
@@ -287,9 +654,84 @@ mod tests {
         assert_eq!(s.queue_peak, 4);
         assert!((s.hit_rate() - 0.5).abs() < 1e-12);
         assert!((s.mean_batch() - 5.0).abs() < 1e-12);
+        // the histograms carry exactly what the counters saw
+        assert_eq!(s.build_latency.count, 1);
+        assert_eq!(s.eval_latency.count, 2);
+        assert_eq!(s.build_histogram.sum_ns, 5_000_000);
+        assert_eq!(s.eval_histogram.count, 2);
+        assert!(s.eval_latency.p50_ms > 1.0 && s.eval_latency.p99_ms < 3.0);
+        assert!((s.build_latency.max_ms - 5.0).abs() < 1e-9);
+        // one plan, one dataset in the breakdowns
+        assert_eq!(s.per_plan.len(), 1);
+        assert_eq!(s.per_plan[0].dataset, 0);
+        assert_eq!(s.per_plan[0].builds, 1);
+        assert_eq!(s.per_plan[0].batches, 2);
+        assert_eq!(s.per_plan[0].requests, 10);
+        assert_eq!(s.per_plan[0].points, 1000);
+        assert_eq!(s.per_plan[0].eval.count, 2);
+        assert_eq!(s.per_dataset.len(), 1);
+        assert_eq!(s.per_dataset[0].plans, 1);
+        assert_eq!(s.per_dataset[0].eval.count, 2);
+        // engine-phase spans were ringed: 1 build + 2 batches
+        assert_eq!(c.spans().len(), 3);
         let text = format!("{s}");
         assert!(text.contains("hit rate"));
         assert!(text.contains("admission"));
+        assert!(text.contains("latency ms"));
+    }
+
+    #[test]
+    fn breakdowns_separate_plans_and_aggregate_datasets() {
+        let c = StatsCollector::default();
+        c.record_build(key(0, 4), Duration::from_millis(1));
+        c.record_build(key(0, 5), Duration::from_millis(1));
+        c.record_build(key(1, 4), Duration::from_millis(1));
+        c.record_batch(key(0, 4), 1, 10, Duration::from_micros(100));
+        c.record_batch(key(0, 5), 2, 20, Duration::from_micros(200));
+        let s = c.snapshot(Gauges::default());
+        assert_eq!(s.per_plan.len(), 3);
+        // sorted by (dataset, plan): dataset 1 comes last
+        assert_eq!(s.per_plan[2].dataset, 1);
+        assert_eq!(s.per_dataset.len(), 2);
+        assert_eq!(s.per_dataset[0].dataset, 0);
+        assert_eq!(s.per_dataset[0].plans, 2);
+        assert_eq!(s.per_dataset[0].requests, 3);
+        assert_eq!(s.per_dataset[0].points, 30);
+        assert_eq!(s.per_dataset[0].eval.count, 2);
+        assert_eq!(s.per_dataset[1].dataset, 1);
+        assert_eq!(s.per_dataset[1].plans, 1);
+        assert_eq!(s.per_dataset[1].eval.count, 0);
+    }
+
+    #[test]
+    fn slow_queries_cross_the_threshold() {
+        let c = StatsCollector::with_slow_threshold(Duration::from_millis(10));
+        let ds = DatasetId(3);
+        c.record_request(ds, 50, Duration::from_millis(2), Duration::ZERO);
+        assert_eq!(c.slow_queries().len(), 0);
+        c.record_request(ds, 80, Duration::from_millis(12), Duration::from_millis(4));
+        let slow = c.slow_queries();
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].dataset, 3);
+        assert_eq!(slow[0].points, 80);
+        assert_eq!(slow[0].total_ns, 12_000_000);
+        assert_eq!(slow[0].wait_ns, 4_000_000);
+        let s = c.snapshot(Gauges::default());
+        assert_eq!(s.query_latency.count, 2);
+        assert_eq!(s.slow_queries, 1);
+    }
+
+    #[test]
+    fn admission_waits_feed_histogram_but_zero_waits_emit_no_span() {
+        let c = StatsCollector::default();
+        c.record_admission_wait(Duration::ZERO);
+        c.record_admission_wait(Duration::from_millis(3));
+        let s = c.snapshot(Gauges::default());
+        assert_eq!(s.admission_wait.count, 2);
+        assert!((s.admission_wait.max_ms - 3.0).abs() < 1e-9);
+        let spans = c.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].phase, Phase::AdmissionWait);
     }
 
     #[test]
@@ -297,5 +739,7 @@ mod tests {
         let s = EngineStats::default();
         assert_eq!(s.hit_rate(), 0.0);
         assert_eq!(s.mean_batch(), 0.0);
+        assert_eq!(s.query_latency, LatencySummary::default());
+        assert!(s.per_plan.is_empty());
     }
 }

@@ -1,0 +1,182 @@
+//! Snapshot consistency under concurrent load: counters only ever move
+//! forward, histogram totals agree with the request counters, and the
+//! per-plan breakdown sums back to the global counters.
+
+use std::time::Duration;
+
+use mbt_engine::{Accuracy, Engine, EngineConfig, EngineStats, QueryRequest};
+use mbt_geometry::distribution::{uniform_cube, ChargeModel};
+use mbt_geometry::Vec3;
+
+fn points(n: usize, off: f64) -> Vec<Vec3> {
+    (0..n)
+        .map(|i| Vec3::new(1.3 + off + i as f64 * 0.01, -0.2, 0.5))
+        .collect()
+}
+
+/// Every counter that must be monotone, as one comparable vector.
+fn monotone_counters(s: &EngineStats) -> Vec<u64> {
+    vec![
+        s.cache_hits,
+        s.cache_misses,
+        s.coalesced_misses,
+        s.plan_builds,
+        s.evictions,
+        s.batches,
+        s.batched_requests,
+        s.eval_points,
+        s.admitted,
+        s.shed_overload,
+        s.shed_deadline,
+        s.build_latency.count,
+        s.eval_latency.count,
+        s.query_latency.count,
+        s.admission_wait.count,
+        s.slow_queries,
+    ]
+}
+
+#[test]
+fn concurrent_load_keeps_snapshots_consistent() {
+    let engine = Engine::new(EngineConfig {
+        max_in_flight: 4, // force some admission queueing
+        ..EngineConfig::default()
+    })
+    .unwrap();
+    let a = engine
+        .register(
+            "a",
+            uniform_cube(500, 1.0, ChargeModel::RandomSign { magnitude: 1.0 }, 3),
+        )
+        .unwrap();
+    let b = engine
+        .register(
+            "b",
+            uniform_cube(400, 1.0, ChargeModel::RandomSign { magnitude: 1.0 }, 5),
+        )
+        .unwrap();
+
+    let n_threads: u32 = 8;
+    let per_thread: u32 = 6;
+    std::thread::scope(|s| {
+        // a sampler thread racing the workers: every counter must be
+        // monotone from one snapshot to the next
+        let sampler = s.spawn(|| {
+            let mut prev = monotone_counters(&engine.stats());
+            for _ in 0..200 {
+                let cur = monotone_counters(&engine.stats());
+                for (i, (p, c)) in prev.iter().zip(cur.iter()).enumerate() {
+                    assert!(c >= p, "counter {i} went backwards: {p} -> {c}");
+                }
+                prev = cur;
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        });
+        let workers: Vec<_> = (0..n_threads)
+            .map(|t| {
+                let engine = &engine;
+                s.spawn(move || {
+                    for q in 0..per_thread {
+                        let (ds, acc) = match (t + q) % 3 {
+                            0 => (a, Accuracy::Fixed(4)),
+                            1 => (a, Accuracy::Adaptive { p_min: 3 }),
+                            _ => (b, Accuracy::Fixed(4)),
+                        };
+                        engine
+                            .query(QueryRequest::potentials(
+                                ds,
+                                acc,
+                                points(25, f64::from(t) * 0.1),
+                            ))
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        sampler.join().unwrap();
+    });
+
+    let total = u64::from(n_threads) * u64::from(per_thread);
+    let s = engine.stats();
+
+    // every request was admitted, served, and latency-accounted
+    assert_eq!(s.admitted, total);
+    assert_eq!(s.batched_requests, total);
+    assert_eq!(s.query_latency.count, total);
+    assert_eq!(s.query_histogram.count, total);
+    assert_eq!(s.admission_wait.count, total);
+    assert_eq!(s.eval_points, total * 25);
+
+    // histogram totals match their counters exactly
+    assert_eq!(s.build_latency.count, s.plan_builds);
+    assert_eq!(s.eval_latency.count, s.batches);
+    assert_eq!(s.build_histogram.count, s.plan_builds);
+    assert_eq!(s.eval_histogram.count, s.batches);
+
+    // cache arithmetic: every lookup is a hit, miss, or coalesced miss
+    assert_eq!(s.cache_hits + s.cache_misses + s.coalesced_misses, total);
+    assert_eq!(s.plan_builds, 3); // (a, fixed4), (a, adaptive3), (b, fixed4)
+
+    // the per-plan breakdown sums back to the global counters
+    assert_eq!(s.per_plan.len(), 3);
+    let sum_requests: u64 = s.per_plan.iter().map(|p| p.requests).sum();
+    let sum_batches: u64 = s.per_plan.iter().map(|p| p.batches).sum();
+    let sum_points: u64 = s.per_plan.iter().map(|p| p.points).sum();
+    let sum_builds: u64 = s.per_plan.iter().map(|p| p.builds).sum();
+    let sum_eval_counts: u64 = s.per_plan.iter().map(|p| p.eval.count).sum();
+    assert_eq!(sum_requests, s.batched_requests);
+    assert_eq!(sum_batches, s.batches);
+    assert_eq!(sum_points, s.eval_points);
+    assert_eq!(sum_builds, s.plan_builds);
+    assert_eq!(sum_eval_counts, s.batches);
+
+    // …and so does the per-dataset aggregate
+    assert_eq!(s.per_dataset.len(), 2);
+    let ds_requests: u64 = s.per_dataset.iter().map(|d| d.requests).sum();
+    assert_eq!(ds_requests, s.batched_requests);
+    assert_eq!(s.per_dataset[0].plans + s.per_dataset[1].plans, 3);
+
+    // the quiescent snapshot is stable and exports stay valid
+    assert_eq!(engine.stats(), s);
+    assert!(mbt_obs::json_is_valid(&s.to_json()));
+    assert!(mbt_obs::prometheus_is_valid(&s.to_prometheus()));
+
+    // engine-phase spans were collected (builds + batches at least),
+    // none torn: every span has a sane phase and duration
+    let spans = engine.spans();
+    assert!(spans.len() as u64 >= s.plan_builds);
+    for span in &spans {
+        assert!(span.dur_ns < 60_000_000_000, "absurd span: {span:?}");
+    }
+}
+
+#[test]
+fn mean_latencies_match_second_totals() {
+    let engine = Engine::new(EngineConfig::default()).unwrap();
+    let id = engine
+        .register(
+            "t",
+            uniform_cube(600, 1.0, ChargeModel::RandomSign { magnitude: 1.0 }, 7),
+        )
+        .unwrap();
+    for _ in 0..3 {
+        engine
+            .query(QueryRequest::potentials(
+                id,
+                Accuracy::Fixed(4),
+                points(40, 0.0),
+            ))
+            .unwrap();
+    }
+    let s = engine.stats();
+    // the histogram keeps exact sums, so mean × count == total seconds
+    let eval_total_ms = s.eval_latency.mean_ms * s.eval_latency.count as f64;
+    assert!((eval_total_ms * 1e-3 - s.eval_seconds).abs() < 1e-9);
+    let build_total_ms = s.build_latency.mean_ms * s.build_latency.count as f64;
+    assert!((build_total_ms * 1e-3 - s.build_seconds).abs() < 1e-9);
+    assert!(s.query_latency.p50_ms <= s.query_latency.p99_ms);
+    assert!(s.query_latency.max_ms > 0.0);
+}

@@ -1,0 +1,338 @@
+//! Fixed-bucket latency histograms.
+//!
+//! 64 half-octave (√2-spaced) buckets starting at 1 µs: bucket `k`
+//! covers `[1000·2^(k/2), 1000·2^((k+1)/2))` nanoseconds, with bucket 0
+//! also absorbing everything below 1 µs and bucket 63 everything above
+//! ~40 minutes. Recording is a handful of relaxed `fetch_add`s — no
+//! locks, no allocation — and quantiles are estimated from a snapshot by
+//! geometric interpolation inside the covering bucket, so each estimate
+//! carries at most a half-bucket (≈ ±19 %) relative error by
+//! construction.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of histogram buckets.
+pub const BUCKETS: usize = 64;
+
+/// First bucket boundary in nanoseconds (1 µs).
+const BASE_NS: u64 = 1000;
+
+/// √2 in Q15 fixed point (`⌊√2 · 2^15⌋`), for the half-octave test.
+const SQRT2_Q15: u64 = 46_341;
+
+/// The bucket index covering a latency of `ns` nanoseconds.
+#[must_use]
+pub fn bucket_of(ns: u64) -> usize {
+    let q = ns / BASE_NS;
+    if q == 0 {
+        return 0;
+    }
+    let e = q.ilog2() as usize; // floor(log2(ns / 1 µs))
+    if e >= 32 {
+        return BUCKETS - 1;
+    }
+    // half-octave boundary 1000·2^e·√2 (floored, √2 in Q15); the true
+    // boundary is irrational, so `ns > floor(h)` ⟺ `ns ≥ h`
+    let half_boundary = ((BASE_NS << e) * SQRT2_Q15) >> 15;
+    let k = 2 * e + usize::from(ns > half_boundary);
+    k.min(BUCKETS - 1)
+}
+
+/// Lower bound of bucket `k` in nanoseconds (`1000 · 2^(k/2)`), as used
+/// for quantile interpolation and Prometheus `le` bounds. Bucket 0's
+/// true lower bound is 0.
+#[must_use]
+pub fn bucket_lower_ns(k: usize) -> f64 {
+    1000.0 * 2f64.powf(k as f64 / 2.0)
+}
+
+/// A lock-free latency histogram (relaxed atomics only).
+#[derive(Debug)]
+pub struct Histogram {
+    counts: [AtomicU64; BUCKETS],
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Histogram {
+    /// An empty histogram (usable in `static` position).
+    #[must_use]
+    pub const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)] // array-init seed
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            counts: [ZERO; BUCKETS],
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation of `ns` nanoseconds. Allocation-free.
+    pub fn record_ns(&self, ns: u64) {
+        self.counts[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Records one observed duration. Allocation-free.
+    pub fn record(&self, took: Duration) {
+        self.record_ns(u64::try_from(took.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// A point-in-time copy. Individual fields are loaded separately, so
+    /// a snapshot taken under concurrent writes is a statistical view;
+    /// at quiescence it is exact. `count` is derived from the bucket
+    /// counts, so `count == counts.iter().sum()` always holds.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut counts = [0u64; BUCKETS];
+        for (dst, src) in counts.iter_mut().zip(&self.counts) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        let count = counts.iter().sum();
+        HistogramSnapshot {
+            counts,
+            count,
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see [`bucket_of`]).
+    pub counts: [u64; BUCKETS],
+    /// Total observations (sum of `counts`).
+    pub count: u64,
+    /// Sum of all observed values in nanoseconds.
+    pub sum_ns: u64,
+    /// Largest observed value in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl HistogramSnapshot {
+    /// A snapshot with no observations.
+    #[must_use]
+    pub const fn empty() -> Self {
+        HistogramSnapshot {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
+    }
+
+    /// Mean observation in nanoseconds (0 when empty).
+    #[must_use]
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Estimated quantile `q ∈ [0, 1]` in nanoseconds: geometric
+    /// interpolation inside the covering bucket, clamped to `max_ns`.
+    /// Returns 0 when empty.
+    #[must_use]
+    pub fn quantile_ns(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0u64;
+        for (k, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let before = cum;
+            cum += c;
+            if (cum as f64) < rank {
+                continue;
+            }
+            let frac = ((rank - before as f64) / c as f64).clamp(0.0, 1.0);
+            let lo = bucket_lower_ns(k).max(1.0);
+            let hi = bucket_lower_ns(k + 1).min(self.max_ns as f64).max(lo);
+            return (lo * (hi / lo).powf(frac)).min(self.max_ns as f64);
+        }
+        self.max_ns as f64
+    }
+
+    /// Median latency estimate in nanoseconds.
+    #[must_use]
+    pub fn p50_ns(&self) -> f64 {
+        self.quantile_ns(0.50)
+    }
+
+    /// 95th-percentile latency estimate in nanoseconds.
+    #[must_use]
+    pub fn p95_ns(&self) -> f64 {
+        self.quantile_ns(0.95)
+    }
+
+    /// 99th-percentile latency estimate in nanoseconds.
+    #[must_use]
+    pub fn p99_ns(&self) -> f64 {
+        self.quantile_ns(0.99)
+    }
+
+    /// Folds `other` into `self`: bucket counts and sums add, `max_ns`
+    /// takes the larger value. Used to aggregate per-plan histograms
+    /// into per-dataset (or engine-wide) distributions.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        // below 1 µs all land in bucket 0
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(999), 0);
+        // octave starts: 1 µs, 2 µs, 4 µs → buckets 0, 2, 4
+        assert_eq!(bucket_of(1_000), 0);
+        assert_eq!(bucket_of(2_000), 2);
+        assert_eq!(bucket_of(4_000), 4);
+        // half-octave: the √2 µs ≈ 1414.2 ns boundary starts bucket 1
+        assert_eq!(bucket_of(1_415), 1);
+        assert_eq!(bucket_of(1_414), 0);
+        // monotone non-decreasing over a wide sweep
+        let mut prev = 0;
+        let mut ns = 1u64;
+        while ns < u64::MAX / 3 {
+            let b = bucket_of(ns);
+            assert!(b >= prev, "bucket_of not monotone at {ns}");
+            prev = b;
+            ns = ns * 3 / 2 + 1;
+        }
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_lower_bounds_match_bucket_of() {
+        for k in 1..BUCKETS {
+            let lower = bucket_lower_ns(k);
+            // a value just above the lower bound belongs to bucket k …
+            let just_in = (lower * 1.001) as u64;
+            assert_eq!(bucket_of(just_in), k, "bucket {k} lower bound");
+            // … and one 1 % below belongs to an earlier bucket
+            let just_below = (lower * 0.99) as u64;
+            assert!(bucket_of(just_below) < k, "bucket {k} under-bound");
+        }
+    }
+
+    #[test]
+    fn quantiles_of_uniform_spread() {
+        let h = Histogram::new();
+        // 1..=1000 µs uniformly
+        for us in 1..=1000u64 {
+            h.record_ns(us * 1000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.max_ns, 1_000_000);
+        // half-octave buckets: each estimate within ~25 % of truth
+        let p50 = s.p50_ns();
+        assert!((350_000.0..=650_000.0).contains(&p50), "p50 = {p50}");
+        let p99 = s.p99_ns();
+        assert!((800_000.0..=1_000_000.0).contains(&p99), "p99 = {p99}");
+        assert!(s.p50_ns() <= s.p95_ns() && s.p95_ns() <= s.p99_ns());
+        let mean = s.mean_ns();
+        assert!((mean - 500_500.0).abs() < 1.0, "mean = {mean}");
+    }
+
+    #[test]
+    fn merge_adds_counts_and_keeps_max() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for us in [5u64, 10, 20] {
+            a.record_ns(us * 1000);
+        }
+        b.record_ns(400_000);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.count, 4);
+        assert_eq!(merged.sum_ns, 5_000 + 10_000 + 20_000 + 400_000);
+        assert_eq!(merged.max_ns, 400_000);
+        // merging both into one histogram gives the identical snapshot
+        let all = Histogram::new();
+        for ns in [5_000u64, 10_000, 20_000, 400_000] {
+            all.record_ns(ns);
+        }
+        assert_eq!(merged, all.snapshot());
+        // merging an empty snapshot is a no-op
+        let before = merged;
+        merged.merge(&HistogramSnapshot::empty());
+        assert_eq!(merged, before);
+    }
+
+    #[test]
+    fn empty_snapshot_is_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s, HistogramSnapshot::empty());
+        assert!(s.p50_ns().abs() < f64::EPSILON);
+        assert!(s.mean_ns().abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn single_observation_quantiles_clamp_to_max() {
+        let h = Histogram::new();
+        h.record(Duration::from_micros(123));
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.max_ns, 123_000);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            let v = s.quantile_ns(q);
+            assert!(v <= 123_000.0 + 1e-9, "q{q} = {v}");
+            assert!(v >= 60_000.0, "q{q} = {v} below half the bucket");
+        }
+    }
+
+    #[test]
+    fn concurrent_recording_totals() {
+        use std::sync::Arc;
+        let h = Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record_ns((t * 10_000 + i) * 100);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 40_000);
+        assert_eq!(s.counts.iter().sum::<u64>(), 40_000);
+        assert_eq!(s.max_ns, 3_999_900);
+    }
+}

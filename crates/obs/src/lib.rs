@@ -1,0 +1,34 @@
+//! mbt-obs: zero-dependency observability primitives for the treecode
+//! serving stack.
+//!
+//! Four small pieces, each usable on its own (DESIGN.md §11):
+//!
+//! * [`span`] — phase spans (`admission_wait`, `plan_build`, `compile`,
+//!   `sweep`, `batch_execute`) behind a [`Recorder`] trait and a
+//!   process-wide hook that costs one atomic load when disabled,
+//! * [`ring`] — a bounded lock-free multi-producer ring (seqlock slots
+//!   over `AtomicU64`, no `unsafe`) backing the default [`RingRecorder`]
+//!   and the engine's [`SlowLog`],
+//! * [`hist`] — fixed-bucket (64 × half-octave) latency histograms with
+//!   p50/p95/p99 estimation from a lock-free snapshot,
+//! * [`export`] — hand-rolled JSON and Prometheus text writers plus the
+//!   validity checkers the bench smoke tests assert with.
+//!
+//! Everything here is allocation-free on the recording path; the modules
+//! `span`, `ring`, and `hist` sit under the `cargo xtask lint` hot-path
+//! allocation lint.
+
+#![forbid(unsafe_code)]
+
+pub mod export;
+pub mod hist;
+pub mod ring;
+pub mod span;
+
+pub use export::{json_is_valid, prometheus_is_valid, JsonWriter, PromWriter};
+pub use hist::{bucket_lower_ns, bucket_of, Histogram, HistogramSnapshot, BUCKETS};
+pub use ring::{Ring, RingRecorder, SlowLog, SlowQuery};
+pub use span::{
+    enabled, epoch, global, install_global, record_duration, record_since, NoopRecorder, Phase,
+    Recorder, Span,
+};

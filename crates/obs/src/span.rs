@@ -1,0 +1,191 @@
+//! Phase spans and the process-wide recorder hook.
+//!
+//! The serving path is instrumented with *spans*: one `(phase, start,
+//! duration)` triple per timed region. Producers call [`record_since`] /
+//! [`record_duration`]; both are a single atomic load when no recorder is
+//! installed, so the hooks cost nothing in un-instrumented processes.
+//! A recorder is installed at most once per process with
+//! [`install_global`] — typically a leaked
+//! [`RingRecorder`](crate::ring::RingRecorder).
+
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// A serving-path phase measured by a [`Span`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Time a request spent queued in the admission gate before a permit.
+    AdmissionWait,
+    /// Octree + upward-pass construction of one plan (a cache miss).
+    PlanBuild,
+    /// Interaction-list compilation inside one compiled sweep.
+    Compile,
+    /// One evaluation sweep over a packed slab of target points.
+    Sweep,
+    /// One drained batch: evaluation plus per-caller output scatter.
+    BatchExecute,
+}
+
+impl Phase {
+    /// Every phase, in wire-index order.
+    pub const ALL: [Phase; 5] = [
+        Phase::AdmissionWait,
+        Phase::PlanBuild,
+        Phase::Compile,
+        Phase::Sweep,
+        Phase::BatchExecute,
+    ];
+
+    /// Stable snake_case name, used as a metric label.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Phase::AdmissionWait => "admission_wait",
+            Phase::PlanBuild => "plan_build",
+            Phase::Compile => "compile",
+            Phase::Sweep => "sweep",
+            Phase::BatchExecute => "batch_execute",
+        }
+    }
+
+    /// Wire index: this phase's position in [`Phase::ALL`].
+    #[must_use]
+    pub fn index(self) -> u64 {
+        match self {
+            Phase::AdmissionWait => 0,
+            Phase::PlanBuild => 1,
+            Phase::Compile => 2,
+            Phase::Sweep => 3,
+            Phase::BatchExecute => 4,
+        }
+    }
+
+    /// Inverse of [`Phase::index`].
+    #[must_use]
+    pub fn from_index(i: u64) -> Option<Phase> {
+        Phase::ALL.get(usize::try_from(i).ok()?).copied()
+    }
+}
+
+/// One timed region: `phase` ran for `dur_ns` starting `start_ns`
+/// nanoseconds after the process [`epoch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    pub phase: Phase,
+    /// Nanoseconds since the process [`epoch`].
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Sink for completed spans. Implementations must be cheap and
+/// allocation-free: `record` is called from evaluation hot paths.
+pub trait Recorder: Send + Sync {
+    fn record(&self, span: Span);
+}
+
+/// Discards every span (the disabled default).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn record(&self, _span: Span) {}
+}
+
+static GLOBAL: OnceLock<&'static dyn Recorder> = OnceLock::new();
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// The process time origin that `Span::start_ns` is measured from.
+/// Pinned on first use (no later than recorder installation).
+#[must_use]
+pub fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Installs the process-wide recorder. Returns `false` (and leaves the
+/// existing recorder in place) if one was already installed.
+pub fn install_global(recorder: &'static dyn Recorder) -> bool {
+    let _ = epoch(); // pin the origin no later than installation
+    GLOBAL.set(recorder).is_ok()
+}
+
+/// The installed recorder, if any.
+#[must_use]
+pub fn global() -> Option<&'static dyn Recorder> {
+    GLOBAL.get().copied()
+}
+
+/// Whether a recorder is installed ([`record_since`] and
+/// [`record_duration`] are no-ops otherwise).
+#[must_use]
+pub fn enabled() -> bool {
+    GLOBAL.get().is_some()
+}
+
+/// Records `phase` as spanning `start ..` now. A single atomic load when
+/// no recorder is installed; never allocates.
+pub fn record_since(phase: Phase, start: Instant) {
+    if let Some(recorder) = global() {
+        let start_ns = saturating_ns(start.saturating_duration_since(epoch()));
+        let dur_ns = saturating_ns(start.elapsed());
+        recorder.record(Span {
+            phase,
+            start_ns,
+            dur_ns,
+        });
+    }
+}
+
+/// Records `phase` with an externally-measured duration ending now.
+/// A single atomic load when no recorder is installed; never allocates.
+pub fn record_duration(phase: Phase, dur: Duration) {
+    if let Some(recorder) = global() {
+        let end_ns = saturating_ns(epoch().elapsed());
+        let dur_ns = saturating_ns(dur);
+        recorder.record(Span {
+            phase,
+            start_ns: end_ns.saturating_sub(dur_ns),
+            dur_ns,
+        });
+    }
+}
+
+fn saturating_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_index_roundtrip() {
+        for phase in Phase::ALL {
+            assert_eq!(Phase::from_index(phase.index()), Some(phase));
+        }
+        assert_eq!(Phase::from_index(Phase::ALL.len() as u64), None);
+        assert_eq!(Phase::from_index(u64::MAX), None);
+    }
+
+    #[test]
+    fn phase_names_are_unique_metric_labels() {
+        let mut names: Vec<&str> = Phase::ALL.iter().map(|p| p.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Phase::ALL.len());
+        for name in names {
+            assert!(name
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == '_' || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn noop_recorder_accepts_spans() {
+        NoopRecorder.record(Span {
+            phase: Phase::Sweep,
+            start_ns: 0,
+            dur_ns: 1,
+        });
+    }
+}

@@ -32,6 +32,10 @@ pub use lints::{Lint, Violation};
 use std::path::{Path, PathBuf};
 
 /// The modules whose steady-state paths must not allocate (lint `alloc`).
+/// The `mbt-obs` recording primitives are included: spans, ring pushes,
+/// histogram updates, and slow-log appends sit on the engine's serving
+/// path, so their record sides must stay allocation-free (snapshot /
+/// drain sides carry audited waivers).
 pub const HOT_MODULES: &[&str] = &[
     "crates/core/src/eval.rs",
     "crates/core/src/compile.rs",
@@ -43,6 +47,9 @@ pub const HOT_MODULES: &[&str] = &[
     "crates/multipole/src/legendre.rs",
     "crates/multipole/src/batch.rs",
     "crates/engine/src/batch.rs",
+    "crates/obs/src/span.rs",
+    "crates/obs/src/ring.rs",
+    "crates/obs/src/hist.rs",
 ];
 
 /// Crates whose `src/` trees count as harnesses, not library surface
@@ -140,6 +147,11 @@ mod tests {
         assert!(!classify("crates/core/src/mac.rs").hot);
         assert!(classify("crates/engine/src/batch.rs").hot);
         assert!(classify("crates/engine/src/batch.rs").library);
+        assert!(classify("crates/obs/src/ring.rs").hot);
+        assert!(classify("crates/obs/src/hist.rs").hot);
+        assert!(classify("crates/obs/src/span.rs").hot);
+        assert!(classify("crates/obs/src/span.rs").library);
+        assert!(!classify("crates/obs/src/export.rs").hot);
         assert!(!classify("crates/engine/src/cache.rs").hot);
         assert!(classify("crates/engine/src/cache.rs").library);
         assert!(classify("crates/solvers/src/cg.rs").library);
