@@ -1,19 +1,33 @@
-//! Scalar vs compiled (interaction-list + SoA batch kernel) sweep
-//! benchmark.
+//! Scalar vs compiled vs explicit-SIMD sweep benchmark.
 //!
-//! For each `(n, p)` cell this builds one tree, runs the full
-//! all-particles potential sweep in both [`EvalMode`]s, and reports wall
-//! times plus the speedup. Results go to `BENCH_kernels.json` as a flat,
-//! diffable document; the compiled/scalar agreement and exact counter
-//! equality are asserted on every cell, so the benchmark doubles as an
-//! end-to-end equivalence check on realistic sizes.
+//! For each `(n, p)` cell this builds one tree per parameter set and runs
+//! the full all-particles potential sweep in four configurations:
+//!
+//! * `scalar`    — [`EvalMode::Scalar`], the bit-exact reference.
+//! * `compiled`  — [`EvalMode::Compiled`] with the SIMD dispatch pinned to
+//!   [`SimdLevel::Scalar`], i.e. the baseline-width batch kernels that
+//!   match the pre-SIMD compiled path.
+//! * `simd_f64`  — the same compiled plan at the detected SIMD level
+//!   (wider M2P groups and P2P chunks, still all-f64).
+//! * `simd_f32`  — the compiled plan with the error-budgeted f32 near
+//!   field ([`Precision::F32Near`]) at the detected SIMD level.
+//!
+//! Results go to `BENCH_kernels.json` as a flat, diffable document with
+//! the machine's dispatch level and lane widths recorded alongside the
+//! cells. Equivalence is asserted on every cell — exact counter equality
+//! and 1e-12 agreement for the f64 tiers, bit-identical values across
+//! dispatch widths, and the Theorem-style roundoff budget for the f32
+//! tier — so the benchmark doubles as an end-to-end check on realistic
+//! sizes.
 //!
 //! Run with: `cargo run --release -p mbt-bench --bin kernel_bench`
 //! CI runs `-- --smoke`: one small cell, assertions only, no JSON rewrite.
 
 use mbt_bench::timed;
 use mbt_geometry::distribution::{uniform_cube, ChargeModel};
-use mbt_treecode::{EvalMode, EvalResult, Treecode, TreecodeParams};
+use mbt_multipole::bounds::f32_near_roundoff_rel;
+use mbt_multipole::simd::{self, SimdLevel};
+use mbt_treecode::{EvalMode, EvalResult, Precision, Treecode, TreecodeParams};
 
 const SIZES: [usize; 3] = [10_000, 40_000, 100_000];
 const DEGREES: [usize; 3] = [2, 4, 8];
@@ -24,9 +38,11 @@ struct Cell {
     p: usize,
     scalar_ms: f64,
     compiled_ms: f64,
+    simd_f64_ms: f64,
+    simd_f32_ms: f64,
 }
 
-/// Best-of-`REPS` sweep time in milliseconds, plus the last result.
+/// Best-of-`reps` sweep time in milliseconds, plus the last result.
 fn best_of(tc: &Treecode, reps: usize) -> (f64, EvalResult<f64>) {
     let mut best = f64::INFINITY;
     let (mut result, secs) = timed(|| tc.potentials());
@@ -43,23 +59,60 @@ fn run_cell(n: usize, p: usize, reps: usize) -> Cell {
     let particles = uniform_cube(n, 1.0, ChargeModel::RandomSign { magnitude: 1.0 }, 42);
     let scalar_params = TreecodeParams::fixed(p, 0.7);
     let compiled_params = scalar_params.with_eval_mode(EvalMode::Compiled);
+    let f32_params = compiled_params.with_near_precision(Precision::F32Near);
     let tc_scalar = Treecode::new(&particles, scalar_params).expect("valid instance");
     let tc_compiled = Treecode::new(&particles, compiled_params).expect("valid instance");
+    let tc_f32 = Treecode::new(&particles, f32_params).expect("valid instance");
 
+    let detected = simd::detect();
     let (scalar_ms, r_scalar) = best_of(&tc_scalar, reps);
+
+    // Baseline-width compiled sweep: pin dispatch to the scalar level so
+    // this column matches the pre-SIMD batch kernels.
+    simd::set_level(SimdLevel::Scalar);
     let (compiled_ms, r_compiled) = best_of(&tc_compiled, reps);
 
-    // The two modes execute the identical interaction set; anything beyond
+    simd::set_level(detected);
+    let (simd_f64_ms, r_simd) = best_of(&tc_compiled, reps);
+    let (simd_f32_ms, r_f32) = best_of(&tc_f32, reps);
+
+    // The modes execute the identical interaction set; anything beyond
     // summation-reordering noise is a bug, so fail loudly here.
     assert_eq!(
         r_scalar.stats, r_compiled.stats,
         "n={n} p={p}: modes disagree on interaction counts"
     );
+    assert_eq!(
+        r_scalar.stats, r_f32.stats,
+        "n={n} p={p}: f32 tier disagrees on interaction counts"
+    );
+    let mut phi_inf = 0.0_f64;
     for (i, (a, b)) in r_scalar.values.iter().zip(&r_compiled.values).enumerate() {
+        phi_inf = phi_inf.max(a.abs());
         let tol = 1e-12 * a.abs().max(1.0);
         assert!(
             (a - b).abs() <= tol,
             "n={n} p={p} target {i}: scalar {a} vs compiled {b}"
+        );
+    }
+    // Lane width must never change results: the wide-dispatch sweep is
+    // bit-identical to the scalar-level sweep of the very same plan.
+    for (i, (a, b)) in r_compiled.values.iter().zip(&r_simd.values).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "n={n} p={p} target {i}: dispatch width changed the f64 result"
+        );
+    }
+    // The f32 near field stays inside its roundoff budget (the admission
+    // inequality reserves a 16x margin over this; 8x absorbs the f32
+    // rounding of positions on top of the accumulation bound).
+    let budget = 8.0 * f32_near_roundoff_rel(n, scalar_params.leaf_capacity);
+    for (i, (a, b)) in r_scalar.values.iter().zip(&r_f32.values).enumerate() {
+        let tol = budget * phi_inf.max(1.0);
+        assert!(
+            (a - b).abs() <= tol,
+            "n={n} p={p} target {i}: f32 tier {b} vs scalar {a} exceeds budget {tol:e}"
         );
     }
 
@@ -68,17 +121,44 @@ fn run_cell(n: usize, p: usize, reps: usize) -> Cell {
         p,
         scalar_ms,
         compiled_ms,
+        simd_f64_ms,
+        simd_f32_ms,
     }
 }
 
+fn print_cell(c: &Cell) {
+    println!(
+        "n={:>6} p={}: scalar {:>8.2} ms, compiled {:>8.2} ms, simd_f64 {:>8.2} ms ({:.2}x), \
+         simd_f32 {:>8.2} ms ({:.2}x)",
+        c.n,
+        c.p,
+        c.scalar_ms,
+        c.compiled_ms,
+        c.simd_f64_ms,
+        c.compiled_ms / c.simd_f64_ms,
+        c.simd_f32_ms,
+        c.compiled_ms / c.simd_f32_ms
+    );
+}
+
 fn main() {
+    // The *effective* dispatch tier: `detect()` clamped by `set_level`,
+    // which also folds in the `force-scalar` feature — so the CI
+    // fallback leg records `scalar` here, not the raw hardware probe.
+    let detected = simd::set_level(simd::detect());
+    println!(
+        "simd: level={} m2p_lanes={} p2p_lanes_f64={} p2p_lanes_f32={}",
+        detected.as_str(),
+        detected.m2p_lanes(),
+        detected.p2p_lanes_f64(),
+        detected.p2p_lanes_f32()
+    );
+
     let smoke = std::env::args().any(|a| a == "--smoke");
     if smoke {
         let cell = run_cell(5_000, 4, 1);
-        println!(
-            "smoke ok: n=5000 p=4 scalar {:.2} ms, compiled {:.2} ms",
-            cell.scalar_ms, cell.compiled_ms
-        );
+        print_cell(&cell);
+        println!("smoke ok");
         return;
     }
 
@@ -86,14 +166,7 @@ fn main() {
     for &n in &SIZES {
         for &p in &DEGREES {
             let cell = run_cell(n, p, REPS);
-            println!(
-                "n={:>6} p={}: scalar {:>8.2} ms, compiled {:>8.2} ms, speedup {:.2}x",
-                cell.n,
-                cell.p,
-                cell.scalar_ms,
-                cell.compiled_ms,
-                cell.scalar_ms / cell.compiled_ms
-            );
+            print_cell(&cell);
             cells.push(cell);
         }
     }
@@ -103,18 +176,29 @@ fn main() {
         .map(|c| {
             format!(
                 "    {{\"n\": {}, \"p\": {}, \"scalar_ms\": {:.3}, \"compiled_ms\": {:.3}, \
-                 \"speedup\": {:.3}}}",
+                 \"simd_f64_ms\": {:.3}, \"simd_f32_ms\": {:.3}, \"speedup\": {:.3}, \
+                 \"simd_f64_speedup\": {:.3}, \"simd_f32_speedup\": {:.3}}}",
                 c.n,
                 c.p,
                 c.scalar_ms,
                 c.compiled_ms,
-                c.scalar_ms / c.compiled_ms
+                c.simd_f64_ms,
+                c.simd_f32_ms,
+                c.scalar_ms / c.compiled_ms,
+                c.compiled_ms / c.simd_f64_ms,
+                c.compiled_ms / c.simd_f32_ms
             )
         })
         .collect();
     let json = format!(
         "{{\n  \"bench\": \"kernels\",\n  \"distribution\": \"uniform_cube\",\n  \
-         \"alpha\": 0.7,\n  \"reps\": {REPS},\n  \"cells\": [\n{}\n  ]\n}}\n",
+         \"alpha\": 0.7,\n  \"reps\": {REPS},\n  \"machine\": {{\"simd_level\": \"{}\", \
+         \"m2p_lanes\": {}, \"p2p_lanes_f64\": {}, \"p2p_lanes_f32\": {}}},\n  \
+         \"cells\": [\n{}\n  ]\n}}\n",
+        detected.as_str(),
+        detected.m2p_lanes(),
+        detected.p2p_lanes_f64(),
+        detected.p2p_lanes_f32(),
         rows.join(",\n")
     );
     std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");

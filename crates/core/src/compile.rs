@@ -17,11 +17,13 @@
 //!    then stream the P2P spans over the octree's [`ParticleSoa`] mirror.
 //!
 //! Degree bucketing is what amortizes per-degree table setup
-//! ([`BatchWorkspace::prepare_degree`]) over every task in a bucket, and
-//! the *stable* sort gives determinism: each target's contributions are
-//! summed in (degree, traversal-order) order, which depends only on that
-//! target's own traversal — never on chunk width or on which other
-//! targets share the chunk.
+//! ([`BatchWorkspace::prepare_degree`]) over every task in a bucket; the
+//! node-id minor key clusters same-expansion tasks into runs the
+//! broadcast kernels exploit; and the *stable* sort gives determinism:
+//! each target's contributions are summed in (degree, node,
+//! traversal-order) order, which depends only on that target's own
+//! interaction set — never on chunk width or on which other targets
+//! share the chunk.
 //!
 //! All list buffers live in one [`CompiledScratch`] per parallel chunk
 //! and are reused across the chunk's targets, so the steady-state sweep
@@ -30,16 +32,19 @@
 
 use mbt_geometry::Vec3;
 use mbt_multipole::batch::{
-    m2p_field_group, m2p_potential_group, p2p_field_span_guarded, p2p_potential_span,
-    p2p_potential_span_guarded, BatchWorkspace, M2pGroup, M2P_LANES,
+    m2p_field_group, m2p_field_group_uniform, m2p_potential_group, m2p_potential_group_uniform,
+    p2p_field_span_guarded, p2p_field_span_guarded_f32, p2p_potential_span, p2p_potential_span_f32,
+    p2p_potential_span_guarded, p2p_potential_span_guarded_f32, BatchWorkspace, M2pGroup,
+    M2P_LANES,
 };
-use mbt_multipole::Complex;
+use mbt_multipole::{simd, Complex};
 use mbt_tree::NodeId;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::eval::TargetKind;
 use crate::mac::{mac, MacDecision};
+use crate::params::Precision;
 use crate::stats::EvalStats;
 use crate::upward::Treecode;
 
@@ -116,10 +121,12 @@ struct CompiledScratch {
     targets: Vec<Vec3>,
     /// M2P tasks in traversal order (all targets interleaved).
     tasks: Vec<M2pTask>,
-    /// Tasks after the stable degree sort.
+    /// Tasks after the stable (degree, node) sort.
     sorted: Vec<M2pTask>,
     /// Counting-sort histogram / write cursors, indexed by degree.
     cursors: Vec<u32>,
+    /// Counting-sort histogram / write cursors, indexed by node id.
+    node_cursors: Vec<u32>,
     /// P2P spans in traversal order.
     spans: Vec<P2pSpan>,
     /// Lane-major scratch for the batched M2P kernels.
@@ -139,23 +146,30 @@ impl CompiledScratch {
             tasks: Vec::with_capacity(chunk * 8),
             sorted: Vec::with_capacity(chunk * 8),
             cursors: Vec::with_capacity(64),
+            node_cursors: Vec::new(), // lint: allow(alloc, scratch construction, once per chunk)
             spans: Vec::with_capacity(chunk * 4),
             bws: BatchWorkspace::new(),
         }
     }
 
-    /// Stable counting sort of `tasks` by degree into `sorted`. Stability
-    /// is load-bearing: within a degree bucket tasks keep traversal order,
-    /// which makes each target's accumulation order independent of the
-    /// rest of the chunk.
-    fn bucket_by_degree(&mut self, max_degree: usize) {
-        self.cursors.clear();
-        self.cursors.resize(max_degree + 1, 0);
+    /// Stable two-key counting sort of `tasks` into `sorted`, ordered by
+    /// `(degree, node, emission order)` — LSD radix: a stable pass on the
+    /// node id followed by a stable pass on the degree. Degree-major
+    /// order is what amortizes per-degree table setup; the node-id minor
+    /// key clusters every task against the same expansion into one run,
+    /// which is what lets the executor use the broadcast (uniform-node)
+    /// kernels for nearly all groups. Determinism: both keys are
+    /// per-task properties, so each target's accumulation order is a
+    /// function of its own interaction set only — independent of chunk
+    /// width and of which other targets share the chunk.
+    fn bucket_by_degree(&mut self, max_degree: usize, node_count: usize) {
+        self.node_cursors.clear();
+        self.node_cursors.resize(node_count, 0);
         for t in &self.tasks {
-            self.cursors[t.degree as usize] += 1;
+            self.node_cursors[t.node as usize] += 1;
         }
         let mut sum = 0u32;
-        for c in &mut self.cursors {
+        for c in &mut self.node_cursors {
             let count = *c;
             *c = sum;
             sum += count;
@@ -163,10 +177,35 @@ impl CompiledScratch {
         self.sorted.clear();
         self.sorted.resize(self.tasks.len(), M2pTask::default());
         for t in &self.tasks {
-            let slot = &mut self.cursors[t.degree as usize];
+            let slot = &mut self.node_cursors[t.node as usize];
             self.sorted[*slot as usize] = *t;
             *slot += 1;
         }
+
+        self.cursors.clear();
+        self.cursors.resize(max_degree + 1, 0);
+        for t in &self.sorted {
+            self.cursors[t.degree as usize] += 1;
+        }
+        // Single-degree chunk (always true in `Fixed` mode): the
+        // node-sorted pass already is the (degree, node) order.
+        if self.cursors.iter().filter(|&&c| c > 0).count() <= 1 {
+            return;
+        }
+        let mut sum = 0u32;
+        for c in &mut self.cursors {
+            let count = *c;
+            *c = sum;
+            sum += count;
+        }
+        self.tasks.clear();
+        self.tasks.resize(self.sorted.len(), M2pTask::default());
+        for t in &self.sorted {
+            let slot = &mut self.cursors[t.degree as usize];
+            self.tasks[*slot as usize] = *t;
+            *slot += 1;
+        }
+        std::mem::swap(&mut self.tasks, &mut self.sorted);
     }
 }
 
@@ -182,6 +221,7 @@ impl Treecode {
         points: Option<&[Vec3]>,
         out: &mut [f64],
         chunk: usize,
+        precision: Precision,
     ) -> EvalStats {
         let sweep_start = std::time::Instant::now();
         let chunk = chunk.max(1);
@@ -204,11 +244,11 @@ impl Treecode {
                     &mut cs,
                     &mut stats,
                 );
-                cs.bucket_by_degree(max_degree);
+                cs.bucket_by_degree(max_degree, self.tree.nodes().len());
                 compile_ns.fetch_add(compile_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
                 out_chunk.fill(0.0);
                 self.exec_m2p_potential(&mut cs, out_chunk);
-                self.exec_p2p_potential(&cs, points.is_none(), out_chunk, &mut stats);
+                self.exec_p2p_potential(&cs, points.is_none(), precision, out_chunk, &mut stats);
                 stats
             })
             .collect(); // lint: allow(alloc, O(chunks) stats per sweep)
@@ -227,6 +267,7 @@ impl Treecode {
         points: Option<&[Vec3]>,
         out: &mut [(f64, Vec3)],
         chunk: usize,
+        precision: Precision,
     ) -> EvalStats {
         let sweep_start = std::time::Instant::now();
         let chunk = chunk.max(1);
@@ -249,11 +290,11 @@ impl Treecode {
                     &mut cs,
                     &mut stats,
                 );
-                cs.bucket_by_degree(max_degree);
+                cs.bucket_by_degree(max_degree, self.tree.nodes().len());
                 compile_ns.fetch_add(compile_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
                 out_chunk.fill((0.0, Vec3::ZERO));
                 self.exec_m2p_field(&mut cs, out_chunk);
-                self.exec_p2p_field(&cs, out_chunk, &mut stats);
+                self.exec_p2p_field(&cs, precision, out_chunk, &mut stats);
                 stats
             })
             .collect(); // lint: allow(alloc, O(chunks) stats per sweep)
@@ -462,10 +503,20 @@ impl Treecode {
     }
 
     /// Executes the degree-bucketed M2P tasks in lane groups, accumulating
-    /// potentials into `out`. Short trailing groups pad by replicating
-    /// their last task; padded lanes are computed and discarded (lanes are
-    /// arithmetically independent).
+    /// potentials into `out`. The group width is the *dispatched* SIMD
+    /// lane width (8 on AVX-512, otherwise the baseline [`M2P_LANES`]);
+    /// lanes are arithmetically independent and every lane runs the same
+    /// op sequence regardless of width, so the choice never changes
+    /// results. Short trailing groups pad by replicating their last task;
+    /// padded lanes are computed and discarded.
     fn exec_m2p_potential(&self, cs: &mut CompiledScratch, out: &mut [f64]) {
+        match simd::m2p_lanes() {
+            8 => self.exec_m2p_potential_lanes::<8>(cs, out),
+            _ => self.exec_m2p_potential_lanes::<M2P_LANES>(cs, out),
+        }
+    }
+
+    fn exec_m2p_potential_lanes<const L: usize>(&self, cs: &mut CompiledScratch, out: &mut [f64]) {
         let CompiledScratch {
             sorted,
             targets,
@@ -479,26 +530,43 @@ impl Treecode {
             while j < sorted.len() && sorted[j].degree as usize == degree {
                 j += 1;
             }
-            bws.prepare_degree(degree);
+            bws.prepare_degree_lanes(degree, L);
             let bucket = &sorted[i..j];
             let mut g = 0;
             while g < bucket.len() {
-                let take = (bucket.len() - g).min(M2P_LANES);
-                let mut centers = [Vec3::ZERO; M2P_LANES];
-                let mut points = [Vec3::ZERO; M2P_LANES];
-                let mut coeffs: [&[Complex]; M2P_LANES] = [&[]; M2P_LANES];
-                for l in 0..M2P_LANES {
-                    let t = bucket[g + l.min(take - 1)];
-                    centers[l] = self.tree.node(t.node).center;
-                    coeffs[l] = self.arena.span(t.node as usize);
-                    points[l] = targets[t.target as usize];
-                }
-                let group = M2pGroup {
-                    centers,
-                    points,
-                    coeffs,
+                let take = (bucket.len() - g).min(L);
+                let node = bucket[g].node;
+                // Accept-all classification emits one task per chunk
+                // target against the same node, so most groups land
+                // inside a same-node run — those take the broadcast
+                // kernel (bit-identical to the gather kernel per lane).
+                let res = if bucket[g..g + take].iter().all(|t| t.node == node) {
+                    let points = core::array::from_fn(|l| {
+                        targets[bucket[g + l.min(take - 1)].target as usize]
+                    });
+                    m2p_potential_group_uniform::<L>(
+                        self.tree.node(node).center,
+                        self.arena.span(node as usize),
+                        &points,
+                        bws,
+                    )
+                } else {
+                    let mut centers = [Vec3::ZERO; L];
+                    let mut points = [Vec3::ZERO; L];
+                    let mut coeffs: [&[Complex]; L] = [&[]; L];
+                    for l in 0..L {
+                        let t = bucket[g + l.min(take - 1)];
+                        centers[l] = self.tree.node(t.node).center;
+                        coeffs[l] = self.arena.span(t.node as usize);
+                        points[l] = targets[t.target as usize];
+                    }
+                    let group = M2pGroup {
+                        centers,
+                        points,
+                        coeffs,
+                    };
+                    m2p_potential_group(&group, bws)
                 };
-                let res = m2p_potential_group(&group, bws);
                 for l in 0..take {
                     out[bucket[g + l].target as usize] += res[l];
                 }
@@ -510,6 +578,17 @@ impl Treecode {
 
     /// Field analogue of [`Treecode::exec_m2p_potential`].
     fn exec_m2p_field(&self, cs: &mut CompiledScratch, out: &mut [(f64, Vec3)]) {
+        match simd::m2p_lanes() {
+            8 => self.exec_m2p_field_lanes::<8>(cs, out),
+            _ => self.exec_m2p_field_lanes::<M2P_LANES>(cs, out),
+        }
+    }
+
+    fn exec_m2p_field_lanes<const L: usize>(
+        &self,
+        cs: &mut CompiledScratch,
+        out: &mut [(f64, Vec3)],
+    ) {
         let CompiledScratch {
             sorted,
             targets,
@@ -523,26 +602,40 @@ impl Treecode {
             while j < sorted.len() && sorted[j].degree as usize == degree {
                 j += 1;
             }
-            bws.prepare_degree(degree);
+            bws.prepare_degree_lanes(degree, L);
             let bucket = &sorted[i..j];
             let mut g = 0;
             while g < bucket.len() {
-                let take = (bucket.len() - g).min(M2P_LANES);
-                let mut centers = [Vec3::ZERO; M2P_LANES];
-                let mut points = [Vec3::ZERO; M2P_LANES];
-                let mut coeffs: [&[Complex]; M2P_LANES] = [&[]; M2P_LANES];
-                for l in 0..M2P_LANES {
-                    let t = bucket[g + l.min(take - 1)];
-                    centers[l] = self.tree.node(t.node).center;
-                    coeffs[l] = self.arena.span(t.node as usize);
-                    points[l] = targets[t.target as usize];
-                }
-                let group = M2pGroup {
-                    centers,
-                    points,
-                    coeffs,
+                let take = (bucket.len() - g).min(L);
+                let node = bucket[g].node;
+                // Same-node run detection as in the potential executor.
+                let (phis, grads) = if bucket[g..g + take].iter().all(|t| t.node == node) {
+                    let points = core::array::from_fn(|l| {
+                        targets[bucket[g + l.min(take - 1)].target as usize]
+                    });
+                    m2p_field_group_uniform::<L>(
+                        self.tree.node(node).center,
+                        self.arena.span(node as usize),
+                        &points,
+                        bws,
+                    )
+                } else {
+                    let mut centers = [Vec3::ZERO; L];
+                    let mut points = [Vec3::ZERO; L];
+                    let mut coeffs: [&[Complex]; L] = [&[]; L];
+                    for l in 0..L {
+                        let t = bucket[g + l.min(take - 1)];
+                        centers[l] = self.tree.node(t.node).center;
+                        coeffs[l] = self.arena.span(t.node as usize);
+                        points[l] = targets[t.target as usize];
+                    }
+                    let group = M2pGroup {
+                        centers,
+                        points,
+                        coeffs,
+                    };
+                    m2p_field_group(&group, bws)
                 };
-                let (phis, grads) = m2p_field_group(&group, bws);
                 for l in 0..take {
                     let slot = &mut out[bucket[g + l].target as usize];
                     slot.0 += phis[l];
@@ -558,16 +651,48 @@ impl Treecode {
     /// selects the source-sweep kernel (self already excluded by span
     /// splitting, pairs counted at compile time); external sweeps use the
     /// guarded kernel and count surviving pairs here, matching the scalar
-    /// external loop.
+    /// external loop. With [`Precision::F32Near`] the spans stream over
+    /// the tree's f32 mirror instead — admitted only when the far-field
+    /// truncation bound already dominates f32 roundoff (DESIGN.md §12).
     fn exec_p2p_potential(
         &self,
         cs: &CompiledScratch,
         unguarded: bool,
+        precision: Precision,
         out: &mut [f64],
         stats: &mut EvalStats,
     ) {
-        let soa = self.tree.particles_soa();
         let eps2 = self.params.softening * self.params.softening;
+        if precision == Precision::F32Near {
+            let soa = self.tree.particles_soa_f32();
+            for sp in &cs.spans {
+                let (s, e) = (sp.start as usize, sp.end as usize);
+                let t = cs.targets[sp.target as usize];
+                if unguarded {
+                    out[sp.target as usize] += p2p_potential_span_f32(
+                        &soa.x[s..e],
+                        &soa.y[s..e],
+                        &soa.z[s..e],
+                        &soa.q[s..e],
+                        t,
+                        eps2,
+                    );
+                } else {
+                    let (phi, pairs) = p2p_potential_span_guarded_f32(
+                        &soa.x[s..e],
+                        &soa.y[s..e],
+                        &soa.z[s..e],
+                        &soa.q[s..e],
+                        t,
+                        eps2,
+                    );
+                    out[sp.target as usize] += phi;
+                    stats.record_direct(pairs);
+                }
+            }
+            return;
+        }
+        let soa = self.tree.particles_soa();
         for sp in &cs.spans {
             let (s, e) = (sp.start as usize, sp.end as usize);
             let t = cs.targets[sp.target as usize];
@@ -597,9 +722,35 @@ impl Treecode {
 
     /// Field P2P execution: always guarded (the scalar field loop guards
     /// both target kinds), with pairs counted here.
-    fn exec_p2p_field(&self, cs: &CompiledScratch, out: &mut [(f64, Vec3)], stats: &mut EvalStats) {
-        let soa = self.tree.particles_soa();
+    fn exec_p2p_field(
+        &self,
+        cs: &CompiledScratch,
+        precision: Precision,
+        out: &mut [(f64, Vec3)],
+        stats: &mut EvalStats,
+    ) {
         let eps2 = self.params.softening * self.params.softening;
+        if precision == Precision::F32Near {
+            let soa = self.tree.particles_soa_f32();
+            for sp in &cs.spans {
+                let (s, e) = (sp.start as usize, sp.end as usize);
+                let t = cs.targets[sp.target as usize];
+                let (phi, grad, pairs) = p2p_field_span_guarded_f32(
+                    &soa.x[s..e],
+                    &soa.y[s..e],
+                    &soa.z[s..e],
+                    &soa.q[s..e],
+                    t,
+                    eps2,
+                );
+                let slot = &mut out[sp.target as usize];
+                slot.0 += phi;
+                slot.1 += grad;
+                stats.record_direct(pairs);
+            }
+            return;
+        }
+        let soa = self.tree.particles_soa();
         for sp in &cs.spans {
             let (s, e) = (sp.start as usize, sp.end as usize);
             let t = cs.targets[sp.target as usize];

@@ -29,7 +29,7 @@ use mbt_tree::NodeId;
 use rayon::prelude::*;
 
 use crate::mac::{mac, MacDecision};
-use crate::params::EvalMode;
+use crate::params::{EvalMode, Precision};
 use crate::stats::EvalStats;
 use crate::upward::Treecode;
 
@@ -83,7 +83,12 @@ impl Treecode {
         if self.params.eval_mode == EvalMode::Compiled {
             // lint: allow(alloc, one output buffer per sweep, not per interaction)
             let mut values = vec![0.0; self.tree.particles().len()];
-            let stats = self.compiled_potential_sweep(None, &mut values, self.params.eval_chunk);
+            let stats = self.compiled_potential_sweep(
+                None,
+                &mut values,
+                self.params.eval_chunk,
+                self.params.near_precision,
+            );
             return EvalResult {
                 values: self.tree.unsort(&values),
                 stats,
@@ -120,12 +125,19 @@ impl Treecode {
     /// [`Treecode::potentials_at`] — each target's traversal is
     /// independent, so batching and chunking cannot change results.
     pub fn potentials_at_into(&self, points: &[Vec3], out: &mut [f64]) -> EvalStats {
-        self.potentials_at_into_with(points, out, self.params.eval_chunk, self.params.eval_mode)
+        self.potentials_at_into_with(
+            points,
+            out,
+            self.params.eval_chunk,
+            self.params.eval_mode,
+            self.params.near_precision,
+        )
     }
 
     /// [`Treecode::potentials_at_into`] with an explicit per-call
     /// evaluation configuration, overriding the plan's own `eval_chunk` /
-    /// `eval_mode`. Chunk width and mode are pure execution concerns —
+    /// `eval_mode` / `near_precision`. Chunk width and mode are pure
+    /// execution concerns —
     /// results are bit-invariant across chunk widths and within the
     /// documented summation-reorder tolerance across modes (DESIGN.md
     /// §10) — so a cached treecode can serve requests that differ only
@@ -136,6 +148,7 @@ impl Treecode {
         out: &mut [f64],
         chunk: usize,
         mode: EvalMode,
+        precision: Precision,
     ) -> EvalStats {
         assert_eq!(
             points.len(),
@@ -143,7 +156,7 @@ impl Treecode {
             "output buffer must match the number of points"
         );
         if mode == EvalMode::Compiled {
-            return self.compiled_potential_sweep(Some(points), out, chunk);
+            return self.compiled_potential_sweep(Some(points), out, chunk, precision);
         }
         self.eval_chunks_into(out, chunk, |i, scratch, stats| {
             self.eval_potential(points[i], TargetKind::External, scratch, stats)
@@ -156,7 +169,12 @@ impl Treecode {
         if self.params.eval_mode == EvalMode::Compiled {
             // lint: allow(alloc, one output buffer per sweep, not per interaction)
             let mut values = vec![(0.0, Vec3::ZERO); self.tree.particles().len()];
-            let stats = self.compiled_field_sweep(None, &mut values, self.params.eval_chunk);
+            let stats = self.compiled_field_sweep(
+                None,
+                &mut values,
+                self.params.eval_chunk,
+                self.params.near_precision,
+            );
             return EvalResult {
                 values: self.tree.unsort(&values),
                 stats,
@@ -187,7 +205,13 @@ impl Treecode {
     /// caller-provided buffer — the field-query analogue of
     /// [`Treecode::potentials_at_into`].
     pub fn fields_at_into(&self, points: &[Vec3], out: &mut [(f64, Vec3)]) -> EvalStats {
-        self.fields_at_into_with(points, out, self.params.eval_chunk, self.params.eval_mode)
+        self.fields_at_into_with(
+            points,
+            out,
+            self.params.eval_chunk,
+            self.params.eval_mode,
+            self.params.near_precision,
+        )
     }
 
     /// [`Treecode::fields_at_into`] with an explicit per-call evaluation
@@ -199,6 +223,7 @@ impl Treecode {
         out: &mut [(f64, Vec3)],
         chunk: usize,
         mode: EvalMode,
+        precision: Precision,
     ) -> EvalStats {
         assert_eq!(
             points.len(),
@@ -206,7 +231,7 @@ impl Treecode {
             "output buffer must match the number of points"
         );
         if mode == EvalMode::Compiled {
-            return self.compiled_field_sweep(Some(points), out, chunk);
+            return self.compiled_field_sweep(Some(points), out, chunk, precision);
         }
         self.eval_chunks_into(out, chunk, |i, scratch, stats| {
             self.eval_field(points[i], TargetKind::External, scratch, stats)

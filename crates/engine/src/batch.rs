@@ -109,7 +109,13 @@ pub fn evaluate_batch_with(
         QueryKind::Potential => {
             // lint: allow(alloc, one value arena per drained batch)
             let mut values = vec![0.0f64; total];
-            let stats = treecode.potentials_at_into_with(&points, &mut values, cfg.chunk, cfg.mode);
+            let stats = treecode.potentials_at_into_with(
+                &points,
+                &mut values,
+                cfg.chunk,
+                cfg.mode,
+                cfg.precision,
+            );
             let mut offset = 0;
             for r in requests {
                 let slice = &values[offset..offset + r.len()];
@@ -122,7 +128,13 @@ pub fn evaluate_batch_with(
         QueryKind::Field => {
             // lint: allow(alloc, one value arena per drained batch)
             let mut values = vec![(0.0f64, Vec3::ZERO); total];
-            let stats = treecode.fields_at_into_with(&points, &mut values, cfg.chunk, cfg.mode);
+            let stats = treecode.fields_at_into_with(
+                &points,
+                &mut values,
+                cfg.chunk,
+                cfg.mode,
+                cfg.precision,
+            );
             let mut offset = 0;
             for r in requests {
                 let slice = &values[offset..offset + r.len()];
@@ -184,6 +196,7 @@ mod tests {
             let cfg = EvalConfig {
                 chunk,
                 mode: EvalMode::Scalar,
+                precision: mbt_treecode::Precision::F64,
             };
             let (out, stats) = evaluate_batch_with(&tc, QueryKind::Potential, &[&pts], cfg);
             assert_eq!(out, base, "chunk {chunk} changed values");
@@ -193,6 +206,7 @@ mod tests {
         let cfg = EvalConfig {
             chunk: 64,
             mode: EvalMode::Compiled,
+            precision: mbt_treecode::Precision::F64,
         };
         let (out, stats) = evaluate_batch_with(&tc, QueryKind::Potential, &[&pts], cfg);
         assert_eq!(stats, base_stats);

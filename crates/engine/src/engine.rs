@@ -195,13 +195,38 @@ impl Engine {
     }
 
     /// The full parameters `accuracy` resolves to under this engine's
-    /// defaults — what a query with that accuracy will actually run with.
+    /// defaults — what a query with that accuracy will actually run with,
+    /// up to the dataset-aware near-field precision (queries additionally
+    /// apply the f32 admission test against the target dataset's size and
+    /// largest charge; see [`Accuracy::resolve_with_profile`]).
     #[must_use]
     pub fn resolve_params(&self, accuracy: Accuracy) -> TreecodeParams {
         accuracy.resolve(
             self.config.alpha,
             self.config.leaf_capacity,
             self.config.eval_chunk,
+        )
+    }
+
+    /// [`Engine::resolve_params`] plus the dataset-aware f32 near-field
+    /// admission test — exactly what a query against `dataset` runs with.
+    pub fn resolve_params_for(
+        &self,
+        dataset: DatasetId,
+        accuracy: Accuracy,
+    ) -> Result<TreecodeParams, EngineError> {
+        let ds = self.registry.get(dataset)?;
+        Ok(self.resolve_params_profiled(&ds, accuracy))
+    }
+
+    /// The profile-aware resolution against an already-fetched dataset.
+    fn resolve_params_profiled(&self, ds: &Dataset, accuracy: Accuracy) -> TreecodeParams {
+        accuracy.resolve_with_profile(
+            self.config.alpha,
+            self.config.leaf_capacity,
+            self.config.eval_chunk,
+            ds.len(),
+            ds.q_max,
         )
     }
 
@@ -212,21 +237,26 @@ impl Engine {
         dataset: DatasetId,
         accuracy: Accuracy,
     ) -> Result<CacheOutcome, EngineError> {
-        self.plan_for(dataset, accuracy).map(|(_, outcome)| outcome)
+        self.plan_for(dataset, accuracy)
+            .map(|(_, outcome, _)| outcome)
     }
 
     fn plan_for(
         &self,
         dataset: DatasetId,
         accuracy: Accuracy,
-    ) -> Result<(Arc<Plan>, CacheOutcome), EngineError> {
-        let params = self.resolve_params(accuracy);
-        params.validate().map_err(EngineError::InvalidParams)?;
+    ) -> Result<(Arc<Plan>, CacheOutcome, TreecodeParams), EngineError> {
         let ds = self.registry.get(dataset)?;
+        let params = self.resolve_params_profiled(&ds, accuracy);
+        params.validate().map_err(EngineError::InvalidParams)?;
+        // PlanKey excludes precision (and the other execution knobs), so
+        // the f64 and f32 tiers of one request shape share one cached
+        // tree + coefficient arena.
         let key = PlanKey::new(dataset, &params);
-        self.cache.get_or_build(key, &self.stats, || {
+        let (plan, outcome) = self.cache.get_or_build(key, &self.stats, || {
             Plan::build(key, ds.particles(), params)
-        })
+        })?;
+        Ok((plan, outcome, params))
     }
 
     /// Serves one query: admission → plan resolution (cached, built, or
@@ -239,13 +269,13 @@ impl Engine {
         let arrived = Instant::now();
         let _permit = self.gate.admit(request.deadline, &self.stats)?;
         let waited = arrived.elapsed();
-        let (plan, outcome) = self.plan_for(request.dataset, request.accuracy)?;
+        let (plan, outcome, params) = self.plan_for(request.dataset, request.accuracy)?;
         // a cold build may have consumed the whole budget
         if request.deadline.is_some_and(|d| Instant::now() >= d) {
             self.stats.record_shed_deadline();
             return Err(EngineError::DeadlineExceeded);
         }
-        let cfg = EvalConfig::of(&self.resolve_params(request.accuracy));
+        let cfg = EvalConfig::of(&params);
         let n_points = request.points.len();
         let (output, eval) = self.batcher.run(
             &plan,
@@ -287,7 +317,14 @@ impl Engine {
             requests.iter().map(|_| None).collect();
         let mut groups: HashMap<(PlanKey, QueryKind, EvalConfig), Vec<usize>> = HashMap::new();
         for (i, r) in requests.iter().enumerate() {
-            let params = self.resolve_params(r.accuracy);
+            let ds = match self.registry.get(r.dataset) {
+                Ok(ds) => ds,
+                Err(e) => {
+                    results[i] = Some(Err(e));
+                    continue;
+                }
+            };
+            let params = self.resolve_params_profiled(&ds, r.accuracy);
             if let Err(e) = params.validate() {
                 results[i] = Some(Err(EngineError::InvalidParams(e)));
                 continue;
@@ -303,7 +340,7 @@ impl Engine {
             // all requests in a group share (dataset, accuracy)
             let first = indices[0];
             let plan_outcome = self.plan_for(requests[first].dataset, requests[first].accuracy);
-            let (plan, outcome) = match plan_outcome {
+            let (plan, outcome, _) = match plan_outcome {
                 Ok(p) => p,
                 Err(e) => {
                     for &i in &indices {
@@ -644,6 +681,58 @@ mod tests {
         assert!(s.evictions >= 1, "no eviction under a one-plan budget");
         assert!(s.resident_bytes <= s.cache_budget_bytes);
         assert_eq!(s.plan_builds, 3); // the third query rebuilt the evicted plan
+    }
+
+    #[test]
+    fn f32_near_tier_is_admitted_by_profile_and_shares_the_plan() {
+        use mbt_treecode::Precision;
+        // α = 0.7 with p = 4: the Theorem 1 far-field bound dominates the
+        // f32 near-field roundoff budget, so the resolver downgrades the
+        // near field (compiled builds only; `validate` pins scalar f64)
+        let engine = Engine::new(EngineConfig {
+            alpha: 0.7,
+            ..EngineConfig::default()
+        })
+        .unwrap();
+        let id = engine.register("t", particles(2000, 43)).unwrap();
+        let ds = engine.dataset(id).unwrap();
+        let resolved = Accuracy::Fixed(4).resolve_with_profile(0.7, 32, 64, ds.len(), ds.q_max);
+        #[cfg(not(feature = "validate"))]
+        assert_eq!(resolved.near_precision, Precision::F32Near);
+
+        let pts = points(16);
+        let r32 = engine
+            .query(QueryRequest::potentials(
+                id,
+                Accuracy::Fixed(4),
+                pts.clone(),
+            ))
+            .unwrap();
+        // an explicit f64 request with otherwise identical parameters …
+        let r64 = engine
+            .query(QueryRequest::potentials(
+                id,
+                Accuracy::Params(resolved.with_near_precision(Precision::F64)),
+                pts,
+            ))
+            .unwrap();
+        // … shares the cached plan (precision is an execution knob, not
+        // plan identity) and agrees far inside the request's own
+        // truncation budget
+        assert_eq!(engine.stats().plan_builds, 1);
+        assert_eq!(r64.cache, CacheOutcome::Hit);
+        for (a, b) in r32
+            .output
+            .potentials()
+            .unwrap()
+            .iter()
+            .zip(r64.output.potentials().unwrap())
+        {
+            assert!(
+                (a - b).abs() <= 1e-3 * b.abs().max(1.0),
+                "f32 tier diverged: {a} vs {b}"
+            );
+        }
     }
 
     #[test]

@@ -31,6 +31,9 @@ pub struct Dataset {
     /// Total absolute charge `A = Σ|qᵢ|` — the quantity the paper's error
     /// bounds grow with, useful for per-tenant cost attribution.
     pub abs_charge: f64,
+    /// Largest absolute charge `max|qᵢ|` — the scale factor the f32
+    /// near-field admission test compares the truncation budget against.
+    pub q_max: f64,
     /// Resident bytes of the particle storage.
     pub bytes: usize,
     particles: Arc<[Particle]>,
@@ -94,6 +97,7 @@ impl DatasetRegistry {
         let positions: Vec<Vec3> = particles.iter().map(|p| p.position).collect();
         let bounds = Aabb::cubical_hull(&positions, 1e-9);
         let abs_charge: f64 = particles.iter().map(|p| p.charge.abs()).sum();
+        let q_max = particles.iter().map(|p| p.charge.abs()).fold(0.0, f64::max);
         let bytes = particles.len() * std::mem::size_of::<Particle>();
 
         let mut inner = self.inner.write().unwrap_or_else(PoisonError::into_inner);
@@ -107,6 +111,7 @@ impl DatasetRegistry {
             name: name.to_string(),
             bounds,
             abs_charge,
+            q_max,
             bytes,
             particles: particles.into(),
         });
@@ -182,6 +187,7 @@ mod tests {
         assert_eq!(ds.len(), 20);
         assert_eq!(ds.name, "b");
         assert!((ds.abs_charge - 20.0).abs() < 1e-12);
+        assert!((ds.q_max - 1.0).abs() < 1e-15);
         assert_eq!(ds.bytes, 20 * std::mem::size_of::<Particle>());
         assert!(!ds.is_empty());
     }

@@ -40,8 +40,9 @@ fn concurrent_cold_misses_build_exactly_once_and_serve_exact_values() {
     let accuracy = Accuracy::Adaptive { p_min: 4 };
 
     // the reference: a treecode built directly with the same parameters
-    // the engine will resolve this accuracy to
-    let params = engine.resolve_params(accuracy);
+    // the engine will resolve this accuracy to (profile-aware: the
+    // resolver may downgrade the near field to f32 for this dataset)
+    let params = engine.resolve_params_for(id, accuracy).expect("resolves");
     let reference = Treecode::new(&ps, params).expect("reference builds");
 
     let reference = &reference;
@@ -103,7 +104,7 @@ fn query_batch_is_bit_identical_and_single_build() {
     let ps = particles();
     let id = engine.register("shared", ps.clone()).expect("registers");
     let accuracy = Accuracy::Tolerance { tol: 1e-6 };
-    let params = engine.resolve_params(accuracy);
+    let params = engine.resolve_params_for(id, accuracy).expect("resolves");
     let reference = Treecode::new(&ps, params).expect("reference builds");
 
     let requests: Vec<QueryRequest> = (0..6)

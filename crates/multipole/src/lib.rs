@@ -33,7 +33,11 @@
 //! assert!((expansion.potential_at(far) - exact).abs() < 1e-9);
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide rather than forbidden: the `simd` module
+// needs `#[target_feature]` dispatch internally and opts back in with a
+// module-scoped `allow` — no `unsafe` appears (or is needed) anywhere else,
+// and none leaks past the `simd` module boundary.
+#![deny(unsafe_code)]
 
 pub mod batch;
 pub mod bounds;
@@ -41,13 +45,16 @@ pub mod complex;
 pub mod expansion;
 pub mod harmonics;
 pub mod legendre;
+pub mod simd;
 pub mod tables;
 mod translation;
 pub mod workspace;
 
 pub use batch::{
-    m2p_field_group, m2p_potential_group, p2p_field_span_guarded, p2p_potential_span,
-    p2p_potential_span_guarded, BatchWorkspace, M2pGroup, M2P_LANES, P2P_LANES,
+    m2p_field_group, m2p_field_group_uniform, m2p_potential_group, m2p_potential_group_uniform,
+    p2p_field_span_guarded, p2p_field_span_guarded_f32, p2p_potential_span, p2p_potential_span_f32,
+    p2p_potential_span_guarded, p2p_potential_span_guarded_f32, BatchWorkspace, M2pGroup,
+    M2P_LANES, P2P_LANES, P2P_LANES_F32,
 };
 pub use bounds::{
     degree_for_tolerance, degree_for_tolerance_at, kappa, theorem1_bound, theorem2_bound,
@@ -56,5 +63,6 @@ pub use bounds::{
 pub use complex::Complex;
 pub use expansion::{p2m_into, ExpansionRef, LocalExpansion, MultipoleExpansion};
 pub use harmonics::Harmonics;
+pub use simd::{F32Lanes, F64Lanes, SimdLevel};
 pub use tables::{coeff_bytes, tri_len, MAX_DEGREE};
 pub use workspace::Workspace;

@@ -10,7 +10,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use mbt_geometry::{morton, Aabb, Particle, ParticleSoa, Vec3};
+use mbt_geometry::{morton, Aabb, Particle, ParticleSoa, ParticleSoaF32, Vec3};
 use rayon::prelude::*;
 
 use crate::node::{Node, NodeId, NO_NODE};
@@ -81,6 +81,10 @@ pub struct Octree {
     /// the batched evaluation kernels. Charges are kept in sync by
     /// [`Octree::with_charges`] / [`Octree::set_charges_only`].
     soa: ParticleSoa,
+    /// Single-precision mirror of `soa` for the error-budgeted f32 near
+    /// field. Rounded once per build and charge-synced alongside `soa`;
+    /// plans that never admit the f32 tier simply never read it.
+    soa32: ParticleSoaF32,
     keys: Vec<u64>,
     /// `perm[i]` = caller's index of sorted particle `i`.
     perm: Vec<usize>,
@@ -125,11 +129,13 @@ impl Octree {
         let perm: Vec<usize> = keyed.iter().map(|&(_, i)| i as usize).collect();
         let sorted: Vec<Particle> = perm.iter().map(|&i| particles[i]).collect();
         let soa = ParticleSoa::from_particles(&sorted);
+        let soa32 = ParticleSoaF32::from_particles(&sorted);
 
         let mut tree = Octree {
             nodes: Vec::with_capacity(2 * particles.len() / params.leaf_capacity.max(1) + 64),
             particles: sorted,
             soa,
+            soa32,
             keys,
             perm,
             bounds,
@@ -170,6 +176,7 @@ impl Octree {
         self.nodes.len() * std::mem::size_of::<Node>()
             + self.particles.len() * std::mem::size_of::<Particle>()
             + self.soa.heap_bytes()
+            + self.soa32.heap_bytes()
             + self.keys.len() * std::mem::size_of::<u64>()
             + self.perm.len() * std::mem::size_of::<usize>()
     }
@@ -235,6 +242,17 @@ impl Octree {
                     && self.soa.z[i].to_bits() == p.position.z.to_bits()
                     && self.soa.q[i].to_bits() == p.charge.to_bits(),
                 "validate: SoA mirror disagrees with particle {i}"
+            );
+        }
+        assert_eq!(
+            self.soa32.len(),
+            self.particles.len(),
+            "validate: f32 SoA mirror length drifted from the particle array"
+        );
+        for (i, p) in self.particles.iter().enumerate() {
+            assert!(
+                self.soa32.q[i].to_bits() == (p.charge as f32).to_bits(),
+                "validate: f32 SoA mirror charge disagrees with particle {i}"
             );
         }
     }
@@ -361,6 +379,14 @@ impl Octree {
         &self.soa
     }
 
+    /// The single-precision mirror of the sorted particle array, consumed
+    /// by the f32 near-field kernels when a plan admits that tier.
+    #[inline]
+    #[must_use]
+    pub fn particles_soa_f32(&self) -> &ParticleSoaF32 {
+        &self.soa32
+    }
+
     /// The particles of a node.
     #[inline]
     #[must_use]
@@ -458,6 +484,7 @@ impl Octree {
             p.charge = charges[self.perm[i]];
         }
         out.soa.sync_charges(&out.particles);
+        out.soa32.sync_charges(&out.particles);
         out.compute_aggregates(0);
         out
     }
@@ -481,6 +508,7 @@ impl Octree {
             self.particles[i].charge = charges[self.perm[i]];
         }
         self.soa.sync_charges(&self.particles);
+        self.soa32.sync_charges(&self.particles);
     }
 
     /// Exhaustive structural validation (test support): every particle in
@@ -618,6 +646,31 @@ mod tests {
         assert!((root.abs_charge - a).abs() < 1e-9 * a);
         assert!((root.net_charge - net).abs() < 1e-9 * a);
         assert!(root.radius <= tree.bounds().circumradius() * 1.001);
+    }
+
+    #[test]
+    fn f32_mirror_tracks_sorted_particles_and_charges() {
+        let ps = uniform_cube(700, 1.0, charges(), 11);
+        let mut tree = Octree::build(&ps, OctreeParams { leaf_capacity: 16 }).unwrap();
+        let base = tree.heap_bytes();
+        assert_eq!(tree.particles_soa_f32().len(), tree.particles().len());
+        for (i, p) in tree.particles().iter().enumerate() {
+            let m = tree.particles_soa_f32();
+            assert_eq!(m.x[i].to_bits(), (p.position.x as f32).to_bits());
+            assert_eq!(m.q[i].to_bits(), (p.charge as f32).to_bits());
+        }
+        // the mirror is charged against the byte budget
+        assert!(base >= tree.particles_soa_f32().heap_bytes());
+        let new_q: Vec<f64> = (0..ps.len()).map(|i| 0.5 + i as f64).collect();
+        tree.set_charges_only(&new_q);
+        for (i, &orig) in tree.perm().iter().enumerate() {
+            assert_eq!(
+                tree.particles_soa_f32().q[i].to_bits(),
+                (new_q[orig] as f32).to_bits()
+            );
+        }
+        let rebuilt = tree.with_charges(&new_q);
+        assert_eq!(rebuilt.particles_soa_f32().q, tree.particles_soa_f32().q);
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub const HOT_MODULES: &[&str] = &[
     "crates/multipole/src/harmonics.rs",
     "crates/multipole/src/legendre.rs",
     "crates/multipole/src/batch.rs",
+    "crates/multipole/src/simd.rs",
     "crates/engine/src/batch.rs",
     "crates/obs/src/span.rs",
     "crates/obs/src/ring.rs",
@@ -144,6 +145,8 @@ mod tests {
         assert!(classify("crates/core/src/compile.rs").hot);
         assert!(classify("crates/multipole/src/batch.rs").hot);
         assert!(classify("crates/multipole/src/batch.rs").library);
+        assert!(classify("crates/multipole/src/simd.rs").hot);
+        assert!(classify("crates/multipole/src/simd.rs").library);
         assert!(!classify("crates/core/src/mac.rs").hot);
         assert!(classify("crates/engine/src/batch.rs").hot);
         assert!(classify("crates/engine/src/batch.rs").library);
