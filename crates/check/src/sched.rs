@@ -1,0 +1,664 @@
+//! The deterministic DFS explorer.
+//!
+//! One *execution* runs the model once under a fully controlled schedule:
+//! model threads are real OS threads, but the scheduler keeps exactly one
+//! unblocked at any moment, and every instrumented operation (atomic op,
+//! mutex acquire, condvar wait/notify, spawn/join) first asks the
+//! scheduler which thread proceeds. Each such *decision* — and each
+//! choice of which store a non-SeqCst atomic load reads — is appended to
+//! a trace. The explorer then backtracks depth-first over the trace:
+//! the deepest decision with an unexplored alternative is bumped and the
+//! prefix replayed, until the whole (preemption-bounded) space is
+//! exhausted or a failure is found.
+//!
+//! Failures — an assertion panic no `join` consumed, a deadlock (every
+//! live thread blocked), a livelock (step budget exhausted) — carry the
+//! schedule string of the failing execution; [`replay`] re-runs exactly
+//! that interleaving for debugging.
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Model-thread capacity of one execution (vector-clock width).
+pub const MAX_THREADS: usize = 8;
+
+/// A vector clock over model threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VClock(pub [u32; MAX_THREADS]);
+
+impl VClock {
+    /// The all-zero clock.
+    pub const ZERO: VClock = VClock([0; MAX_THREADS]);
+
+    /// Pointwise maximum.
+    pub fn join(&mut self, other: &VClock) {
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a = (*a).max(*b);
+        }
+    }
+}
+
+/// Why a thread is not runnable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Block {
+    /// Waiting to acquire the mutex at this address.
+    Mutex(usize),
+    /// Parked on the condvar at this address; `timeout` waits may be
+    /// scheduled directly (modeling their timeout firing).
+    Cond { addr: usize, timeout: bool },
+    /// Waiting for the thread with this id to finish.
+    Join(usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TState {
+    Runnable,
+    Blocked(Block),
+    Finished,
+}
+
+/// One recorded decision: `chosen` out of `alternatives`.
+#[derive(Debug, Clone, Copy)]
+struct Choice {
+    chosen: u32,
+    alternatives: u32,
+}
+
+/// Exploration parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Maximum forced preemptions per execution (`None` = unbounded).
+    /// Voluntary blocking never counts against the bound.
+    pub preemption_bound: Option<usize>,
+    /// Instrumented-operation budget per execution; exceeding it is
+    /// reported as a livelock.
+    pub max_steps: usize,
+    /// Execution budget for the whole exploration; exceeding it fails
+    /// loudly rather than silently truncating coverage.
+    pub max_executions: usize,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            preemption_bound: Some(2),
+            max_steps: 20_000,
+            max_executions: 400_000,
+        }
+    }
+}
+
+/// A failing interleaving.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// What went wrong (deadlock, livelock, or the panic message).
+    pub message: String,
+    /// The decision string of the failing execution; feed to [`replay`].
+    pub schedule: String,
+    /// Executions run before the failure surfaced.
+    pub executions: usize,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "model check failed after {} execution(s): {}\n  replay schedule: {}",
+            self.executions, self.message, self.schedule
+        )
+    }
+}
+
+/// A completed exploration.
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// Interleavings explored (complete under the preemption bound).
+    pub executions: usize,
+}
+
+/// Internal panic payload used to unwind model threads when an execution
+/// aborts (failure found elsewhere); never surfaces to user code.
+pub(crate) struct SchedAbort;
+
+struct SchedState {
+    threads: Vec<TState>,
+    clocks: Vec<VClock>,
+    /// The one thread allowed to run.
+    current: usize,
+    /// Set when a timeout-capable condvar waiter was scheduled directly
+    /// (its wait returns timed-out rather than notified).
+    timed_out: Vec<bool>,
+    /// Panic payload description per finished thread, if it panicked.
+    panicked: Vec<Option<String>>,
+    /// Whether some `join` consumed the thread's result.
+    joined: Vec<bool>,
+    live: usize,
+    replay: Vec<u32>,
+    trace: Vec<Choice>,
+    preemptions: usize,
+    steps: usize,
+    failure: Option<String>,
+    aborting: bool,
+}
+
+pub(crate) struct Execution {
+    cfg: Config,
+    st: Mutex<SchedState>,
+    cv: Condvar,
+    /// OS handles of every model thread, reaped by the controller.
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<Ctx>> = const { std::cell::RefCell::new(None) };
+}
+
+/// The executing model thread's identity, stored thread-locally.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) exec: Arc<Execution>,
+    pub(crate) tid: usize,
+}
+
+/// The active model-thread context, if this OS thread is part of an
+/// execution.
+pub(crate) fn ctx() -> Option<Ctx> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+fn set_ctx(new: Option<Ctx>) {
+    CURRENT.with(|c| *c.borrow_mut() = new);
+}
+
+impl Execution {
+    fn new(cfg: Config, replay: Vec<u32>) -> Execution {
+        Execution {
+            cfg,
+            st: Mutex::new(SchedState {
+                threads: Vec::new(),
+                clocks: Vec::new(),
+                current: 0,
+                timed_out: Vec::new(),
+                panicked: Vec::new(),
+                joined: Vec::new(),
+                live: 0,
+                replay,
+                trace: Vec::new(),
+                preemptions: 0,
+                steps: 0,
+                failure: None,
+                aborting: false,
+            }),
+            cv: Condvar::new(),
+            handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, SchedState> {
+        self.st.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Registers a new model thread; returns its id. Spawn
+    /// synchronizes-with thread start (child inherits the parent clock).
+    fn register(&self, parent: Option<usize>) -> usize {
+        let mut st = self.lock();
+        let tid = st.threads.len();
+        assert!(
+            tid < MAX_THREADS,
+            "model exceeds MAX_THREADS = {MAX_THREADS}"
+        );
+        let clock = match parent {
+            Some(p) => {
+                st.clocks[p].0[p] += 1;
+                st.clocks[p]
+            }
+            None => VClock::ZERO,
+        };
+        st.threads.push(TState::Runnable);
+        st.clocks.push(clock);
+        st.timed_out.push(false);
+        st.panicked.push(None);
+        st.joined.push(false);
+        st.live += 1;
+        tid
+    }
+
+    /// [`register`](Self::register) for a child of `parent`
+    /// (`model::spawn`).
+    pub(crate) fn register_child(&self, parent: usize) -> usize {
+        self.register(Some(parent))
+    }
+
+    /// The panic message thread `tid` finished with, if any.
+    pub(crate) fn panic_message(&self, tid: usize) -> Option<String> {
+        self.lock().panicked[tid].clone()
+    }
+
+    /// One decision: `chosen ∈ 0..alternatives`, replayed from the prefix
+    /// when available, recorded always.
+    fn decide(st: &mut SchedState, alternatives: u32) -> u32 {
+        debug_assert!(alternatives > 0);
+        let pos = st.trace.len();
+        let chosen = if pos < st.replay.len() {
+            st.replay[pos].min(alternatives - 1)
+        } else {
+            0
+        };
+        st.trace.push(Choice {
+            chosen,
+            alternatives,
+        });
+        chosen
+    }
+
+    /// A pure value decision (which store a load reads); not a scheduling
+    /// point.
+    pub(crate) fn decide_value(&self, alternatives: u32) -> u32 {
+        let mut st = self.lock();
+        Self::decide(&mut st, alternatives)
+    }
+
+    /// This thread's vector clock.
+    pub(crate) fn clock(&self, tid: usize) -> VClock {
+        self.lock().clocks[tid]
+    }
+
+    pub(crate) fn set_clock(&self, tid: usize, clock: VClock) {
+        self.lock().clocks[tid] = clock;
+    }
+
+    /// Threads eligible to be scheduled next: every `Runnable` thread plus
+    /// condvar waiters whose wait carries a timeout (scheduling one models
+    /// its timeout firing).
+    fn candidates(st: &SchedState) -> Vec<usize> {
+        st.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                matches!(t, TState::Runnable)
+                    || matches!(t, TState::Blocked(Block::Cond { timeout: true, .. }))
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn fail(&self, st: &mut SchedState, message: String) {
+        if st.failure.is_none() {
+            st.failure = Some(message);
+        }
+        st.aborting = true;
+        self.cv.notify_all();
+    }
+
+    /// Picks and installs the next thread to run. `from_runnable` is the
+    /// yielding thread when it remains runnable (preemption accounting).
+    fn schedule(&self, st: &mut SchedState, from_runnable: Option<usize>) {
+        if st.aborting {
+            return;
+        }
+        let mut cands = Self::candidates(st);
+        if cands.is_empty() {
+            if st.live > 0 {
+                let blocked: Vec<String> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, t)| match t {
+                        TState::Blocked(b) => Some(format!("thread {i} on {b:?}")),
+                        _ => None,
+                    })
+                    .collect();
+                self.fail(st, format!("deadlock: {}", blocked.join(", ")));
+            }
+            return;
+        }
+        // Preemption bounding: keeping the yielding thread is free; picking
+        // another while it could continue costs one preemption.
+        if let (Some(cur), Some(bound)) = (from_runnable, self.cfg.preemption_bound) {
+            if st.preemptions >= bound && cands.contains(&cur) {
+                cands = vec![cur];
+            }
+        }
+        let chosen = cands[Self::decide(st, cands.len() as u32) as usize];
+        if let Some(cur) = from_runnable {
+            if chosen != cur {
+                st.preemptions += 1;
+            }
+        }
+        if let TState::Blocked(Block::Cond { timeout: true, .. }) = st.threads[chosen] {
+            st.threads[chosen] = TState::Runnable;
+            st.timed_out[chosen] = true;
+        }
+        st.current = chosen;
+        self.cv.notify_all();
+    }
+
+    /// Parks until this thread holds the token; panics with [`SchedAbort`]
+    /// if the execution aborted meanwhile.
+    fn wait_for_turn<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, SchedState>,
+        tid: usize,
+    ) -> MutexGuard<'a, SchedState> {
+        while st.current != tid && !st.aborting {
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        if st.aborting {
+            drop(st);
+            // A thread that is already unwinding reaches scheduling
+            // points from its drop guards; panicking again here would
+            // double-panic and abort the whole process. The execution's
+            // verdict is already recorded — let the thread finish its
+            // teardown without exclusivity instead.
+            if std::thread::panicking() {
+                return self.lock();
+            }
+            std::panic::panic_any(SchedAbort);
+        }
+        st
+    }
+
+    fn charge_step(&self, st: &mut SchedState) {
+        st.steps += 1;
+        if st.steps > self.cfg.max_steps {
+            self.fail(
+                st,
+                format!("livelock: step budget ({}) exhausted", self.cfg.max_steps),
+            );
+        }
+    }
+
+    /// A scheduling point: the running thread offers to yield.
+    pub(crate) fn yield_point(&self, tid: usize) {
+        let mut st = self.lock();
+        self.charge_step(&mut st);
+        self.schedule(&mut st, Some(tid));
+        let st = self.wait_for_turn(st, tid);
+        drop(st);
+    }
+
+    /// Blocks the running thread on `block` until another thread wakes it
+    /// (or, for timeout-capable condvar waits, until it is scheduled
+    /// directly). Returns whether the wake was a timeout.
+    pub(crate) fn block_on(&self, tid: usize, block: Block) -> bool {
+        let mut st = self.lock();
+        self.charge_step(&mut st);
+        st.timed_out[tid] = false;
+        st.threads[tid] = TState::Blocked(block);
+        self.schedule(&mut st, None);
+        let mut st = self.wait_for_turn(st, tid);
+        st.threads[tid] = TState::Runnable;
+        let timed_out = std::mem::replace(&mut st.timed_out[tid], false);
+        drop(st);
+        timed_out
+    }
+
+    /// Marks every thread blocked on `pred` runnable (they still wait to
+    /// be scheduled). Not itself a scheduling point.
+    pub(crate) fn wake_where(&self, pred: impl Fn(Block) -> bool) {
+        let mut st = self.lock();
+        for t in &mut st.threads {
+            if let TState::Blocked(b) = *t {
+                if pred(b) {
+                    *t = TState::Runnable;
+                }
+            }
+        }
+    }
+
+    /// Wakes exactly one condvar waiter, chosen by a decision when several
+    /// are parked. Returns whether any waiter existed.
+    pub(crate) fn wake_one_cond(&self, addr: usize) -> bool {
+        let mut st = self.lock();
+        let waiting: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(
+                |(_, t)| matches!(t, TState::Blocked(Block::Cond { addr: a, .. }) if *a == addr),
+            )
+            .map(|(i, _)| i)
+            .collect();
+        if waiting.is_empty() {
+            return false;
+        }
+        let pick = if waiting.len() == 1 {
+            0
+        } else {
+            Self::decide(&mut st, waiting.len() as u32) as usize
+        };
+        st.threads[waiting[pick]] = TState::Runnable;
+        true
+    }
+
+    /// Whether thread `target` has finished; marks its result consumed
+    /// when it has.
+    pub(crate) fn try_reap(&self, target: usize) -> bool {
+        let mut st = self.lock();
+        if st.threads[target] == TState::Finished {
+            st.joined[target] = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Records the end of a model thread and passes the token on.
+    pub(crate) fn finish(&self, tid: usize, panicked: Option<String>) {
+        let mut st = self.lock();
+        st.threads[tid] = TState::Finished;
+        st.panicked[tid] = panicked;
+        st.live -= 1;
+        for t in &mut st.threads {
+            if let TState::Blocked(Block::Join(target)) = *t {
+                if target == tid {
+                    *t = TState::Runnable;
+                }
+            }
+        }
+        if st.live == 0 {
+            self.cv.notify_all();
+        } else {
+            self.schedule(&mut st, None);
+        }
+    }
+
+    pub(crate) fn add_handle(&self, handle: std::thread::JoinHandle<()>) {
+        self.handles
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(handle);
+    }
+}
+
+/// Formats a trace as the schedule string shown in failures.
+fn schedule_string(trace: &[Choice]) -> String {
+    let parts: Vec<String> = trace.iter().map(|c| c.chosen.to_string()).collect();
+    parts.join(",")
+}
+
+/// Parses a schedule string back into a replay prefix.
+fn parse_schedule(s: &str) -> Vec<u32> {
+    s.split(',')
+        .filter(|p| !p.trim().is_empty())
+        .map(|p| p.trim().parse::<u32>().unwrap_or(0))
+        .collect()
+}
+
+struct Outcome {
+    trace: Vec<Choice>,
+    failure: Option<String>,
+}
+
+/// Runs the model once under `replay`, returning its trace and failure.
+fn run_once(cfg: &Config, replay: Vec<u32>, model: &Arc<dyn Fn() + Send + Sync>) -> Outcome {
+    let exec = Arc::new(Execution::new(cfg.clone(), replay));
+    let tid = exec.register(None);
+    debug_assert_eq!(tid, 0);
+    spawn_model_thread(&exec, tid, {
+        let model = Arc::clone(model);
+        move || model()
+    });
+
+    // The controller waits for every model thread to finish, then reaps
+    // the OS threads (no more can be spawned once `live` hits zero).
+    {
+        let mut st = exec.lock();
+        while st.live > 0 {
+            st = exec.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+    loop {
+        let handle = exec
+            .handles
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop();
+        match handle {
+            Some(h) => {
+                let _ = h.join();
+            }
+            None => break,
+        }
+    }
+
+    let mut st = exec.lock();
+    // A panic that no join() consumed is a model failure (assertion
+    // failures in the model body land here: thread 0 is never joined).
+    if st.failure.is_none() {
+        for tid in 0..st.threads.len() {
+            if let Some(msg) = &st.panicked[tid] {
+                if !st.joined[tid] {
+                    let msg = format!("thread {tid} panicked: {msg}");
+                    st.failure = Some(msg);
+                    break;
+                }
+            }
+        }
+    }
+    Outcome {
+        trace: std::mem::take(&mut st.trace),
+        failure: st.failure.clone(),
+    }
+}
+
+/// Spawns one model thread: it parks until first scheduled, runs `f`
+/// under `catch_unwind`, and hands its token back via `finish`.
+pub(crate) fn spawn_model_thread(
+    exec: &Arc<Execution>,
+    tid: usize,
+    f: impl FnOnce() + Send + 'static,
+) {
+    let exec2 = Arc::clone(exec);
+    let handle = std::thread::Builder::new()
+        .name(format!("mbt-check-{tid}"))
+        .spawn(move || {
+            set_ctx(Some(Ctx {
+                exec: Arc::clone(&exec2),
+                tid,
+            }));
+            // Park until scheduled for the first time.
+            let first = catch_unwind(AssertUnwindSafe(|| {
+                let st = exec2.lock();
+                let st = exec2.wait_for_turn(st, tid);
+                drop(st);
+            }));
+            let result = match first {
+                Ok(()) => catch_unwind(AssertUnwindSafe(f)),
+                Err(abort) => Err(abort),
+            };
+            let panicked = match result {
+                Ok(()) => None,
+                Err(payload) => {
+                    if payload.is::<SchedAbort>() {
+                        None // internal unwind, not a model panic
+                    } else {
+                        // as_ref, not &payload: coercing `&Box<dyn Any>`
+                        // would wrap the Box itself as the Any
+                        Some(describe_panic(payload.as_ref()))
+                    }
+                }
+            };
+            exec2.finish(tid, panicked);
+            set_ctx(None);
+        })
+        .expect("spawn model thread"); // lint: allow(panic, OS refusing to spawn a checker thread is unrecoverable in a test harness)
+    exec.add_handle(handle);
+}
+
+pub(crate) fn describe_panic(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Exhaustively explores `model` under `cfg`.
+///
+/// Returns the first failing interleaving as `Err`, or a [`Report`] once
+/// the (preemption-bounded) schedule space is exhausted.
+pub fn explore(cfg: &Config, model: impl Fn() + Send + Sync + 'static) -> Result<Report, Failure> {
+    let model: Arc<dyn Fn() + Send + Sync> = Arc::new(model);
+    let mut prefix: Vec<u32> = Vec::new();
+    let mut executions = 0usize;
+    loop {
+        executions += 1;
+        assert!(
+            executions <= cfg.max_executions,
+            "state space exceeds max_executions = {} — shrink the model or raise the budget",
+            cfg.max_executions
+        );
+        let outcome = run_once(cfg, prefix.clone(), &model);
+        if let Some(message) = outcome.failure {
+            return Err(Failure {
+                message,
+                schedule: schedule_string(&outcome.trace),
+                executions,
+            });
+        }
+        // Backtrack: bump the deepest decision with an unexplored branch.
+        let mut trace = outcome.trace;
+        loop {
+            match trace.pop() {
+                None => return Ok(Report { executions }),
+                Some(c) if c.chosen + 1 < c.alternatives => {
+                    prefix = trace.iter().map(|c| c.chosen).collect();
+                    prefix.push(c.chosen + 1);
+                    break;
+                }
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+/// [`explore`] with default [`Config`]; panics on failure, printing the
+/// schedule string.
+pub fn check(model: impl Fn() + Send + Sync + 'static) -> Report {
+    match explore(&Config::default(), model) {
+        Ok(report) => report,
+        Err(failure) => panic!("{failure}"), // lint: allow(panic, check() exists to panic the enclosing test with the failing schedule)
+    }
+}
+
+/// Re-runs `model` once under the given schedule string (as printed by a
+/// [`Failure`]); returns the failure it reproduces, if any.
+pub fn replay(schedule: &str, model: impl Fn() + Send + Sync + 'static) -> Option<Failure> {
+    let model: Arc<dyn Fn() + Send + Sync> = Arc::new(model);
+    let cfg = Config {
+        // replays follow the recorded decisions; bounds must not re-shrink
+        // the candidate sets mid-replay
+        preemption_bound: None,
+        ..Config::default()
+    };
+    let outcome = run_once(&cfg, parse_schedule(schedule), &model);
+    outcome.failure.map(|message| Failure {
+        message,
+        schedule: schedule_string(&outcome.trace),
+        executions: 1,
+    })
+}

@@ -1,0 +1,722 @@
+//! Instrumented `sync` primitives (compiled only under the `check`
+//! feature; the facade in `lib.rs` re-exports these in place of std).
+//!
+//! Each atomic keeps its full per-location modification order (a list of
+//! stores with writer timestamps and release messages). Loads, stores,
+//! RMWs, mutex acquires, and condvar waits are all scheduling points of
+//! [`crate::sched`]; non-SeqCst loads additionally branch over every
+//! coherence-permitted store, so relaxed readers genuinely observe stale
+//! values when the happens-before edges allow it.
+//!
+//! Outside a model (no active execution on this OS thread) every type
+//! falls back to plain sequential behaviour backed by the real std
+//! primitives, so instrumented builds still work in ordinary tests.
+
+use std::sync::PoisonError;
+
+use crate::sched::{ctx, Block, Ctx, VClock, MAX_THREADS};
+
+/// Memory ordering vocabulary, mirroring `std::sync::atomic::Ordering`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ordering {
+    Relaxed,
+    Release,
+    Acquire,
+    AcqRel,
+    SeqCst,
+}
+
+impl Ordering {
+    fn is_acquire(self) -> bool {
+        matches!(
+            self,
+            Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+        )
+    }
+
+    fn is_release(self) -> bool {
+        matches!(
+            self,
+            Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+        )
+    }
+}
+
+/// One entry in a location's modification order.
+#[derive(Debug, Clone, Copy)]
+struct Store {
+    val: u64,
+    /// Writer thread and its clock component after the store (used for
+    /// coherence floors: a reader that knows of this store may not read
+    /// anything older).
+    tid: usize,
+    tstamp: u32,
+    /// The release message an acquire load of this store joins.
+    msg: VClock,
+}
+
+/// Modification-order state of one atomic location. Index 0 of the
+/// conceptual order is the initial value (visible to everyone, empty
+/// message); `stores[i]` is order index `i + 1`.
+#[derive(Debug)]
+struct LocState {
+    init: u64,
+    stores: Vec<Store>,
+    /// Newest order index each thread has read or written (coherence).
+    last_read: [usize; MAX_THREADS],
+}
+
+impl LocState {
+    const fn new(init: u64) -> LocState {
+        LocState {
+            init,
+            stores: Vec::new(),
+            last_read: [0; MAX_THREADS],
+        }
+    }
+
+    /// Number of entries in the modification order (incl. the initial
+    /// value).
+    fn len(&self) -> usize {
+        self.stores.len() + 1
+    }
+
+    fn val(&self, idx: usize) -> u64 {
+        if idx == 0 {
+            self.init
+        } else {
+            self.stores[idx - 1].val
+        }
+    }
+
+    fn msg(&self, idx: usize) -> VClock {
+        if idx == 0 {
+            VClock::ZERO
+        } else {
+            self.stores[idx - 1].msg
+        }
+    }
+
+    /// Oldest order index `reader` may legally read: it cannot go behind
+    /// its own coherence floor, nor behind any store it already knows of
+    /// via happens-before.
+    fn floor(&self, reader: usize, clock: &VClock) -> usize {
+        let mut floor = self.last_read[reader];
+        for (i, s) in self.stores.iter().enumerate() {
+            if clock.0[s.tid] >= s.tstamp {
+                floor = floor.max(i + 1);
+            }
+        }
+        floor
+    }
+}
+
+/// The shared implementation behind [`AtomicU64`] / [`AtomicUsize`].
+#[derive(Debug)]
+struct AtomicCore {
+    loc: std::sync::Mutex<LocState>,
+}
+
+impl AtomicCore {
+    const fn new(init: u64) -> AtomicCore {
+        AtomicCore {
+            loc: std::sync::Mutex::new(LocState::new(init)),
+        }
+    }
+
+    fn with_loc<R>(&self, f: impl FnOnce(&mut LocState) -> R) -> R {
+        let mut loc = self.loc.lock().unwrap_or_else(PoisonError::into_inner);
+        f(&mut loc)
+    }
+
+    fn load(&self, order: Ordering) -> u64 {
+        let Some(c) = ctx() else {
+            return self.with_loc(|loc| loc.val(loc.len() - 1));
+        };
+        c.exec.yield_point(c.tid);
+        let clock = c.exec.clock(c.tid);
+        // Pick the order index to read: SeqCst reads the newest store
+        // (the model's strong SC approximation); weaker loads branch over
+        // every coherence-permitted entry.
+        let (val, msg) = self.with_loc(|loc| {
+            let newest = loc.len() - 1;
+            let idx = if order == Ordering::SeqCst {
+                newest
+            } else {
+                let floor = loc.floor(c.tid, &clock);
+                if floor == newest {
+                    newest
+                } else {
+                    let span = (newest - floor + 1) as u32;
+                    floor + c.exec.decide_value(span) as usize
+                }
+            };
+            loc.last_read[c.tid] = loc.last_read[c.tid].max(idx);
+            (loc.val(idx), loc.msg(idx))
+        });
+        if order.is_acquire() {
+            let mut clock = clock;
+            clock.join(&msg);
+            c.exec.set_clock(c.tid, clock);
+        }
+        val
+    }
+
+    fn store(&self, val: u64, order: Ordering) {
+        let Some(c) = ctx() else {
+            self.with_loc(|loc| {
+                loc.stores.push(Store {
+                    val,
+                    tid: 0,
+                    tstamp: 0,
+                    msg: VClock::ZERO,
+                });
+            });
+            return;
+        };
+        c.exec.yield_point(c.tid);
+        let mut clock = c.exec.clock(c.tid);
+        clock.0[c.tid] += 1;
+        c.exec.set_clock(c.tid, clock);
+        let msg = if order.is_release() {
+            clock
+        } else {
+            VClock::ZERO
+        };
+        self.with_loc(|loc| {
+            loc.stores.push(Store {
+                val,
+                tid: c.tid,
+                tstamp: clock.0[c.tid],
+                msg,
+            });
+            loc.last_read[c.tid] = loc.len() - 1;
+        });
+    }
+
+    /// Read-modify-write: always reads the newest store (as C++ requires)
+    /// and continues any release sequence it lands in.
+    fn rmw(&self, order: Ordering, f: impl FnOnce(u64) -> u64) -> u64 {
+        let Some(c) = ctx() else {
+            return self.with_loc(|loc| {
+                let old = loc.val(loc.len() - 1);
+                loc.stores.push(Store {
+                    val: f(old),
+                    tid: 0,
+                    tstamp: 0,
+                    msg: VClock::ZERO,
+                });
+                old
+            });
+        };
+        c.exec.yield_point(c.tid);
+        let mut clock = c.exec.clock(c.tid);
+        clock.0[c.tid] += 1;
+        let (old, msg_in) = self.with_loc(|loc| {
+            let newest = loc.len() - 1;
+            (loc.val(newest), loc.msg(newest))
+        });
+        if order.is_acquire() {
+            clock.join(&msg_in);
+        }
+        c.exec.set_clock(c.tid, clock);
+        // A release sequence headed by an earlier release store continues
+        // through this RMW whatever its own ordering.
+        let mut msg = msg_in;
+        if order.is_release() {
+            msg.join(&clock);
+        }
+        self.with_loc(|loc| {
+            loc.stores.push(Store {
+                val: f(old),
+                tid: c.tid,
+                tstamp: clock.0[c.tid],
+                msg,
+            });
+            loc.last_read[c.tid] = loc.len() - 1;
+        });
+        old
+    }
+
+    fn compare_exchange(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        let Some(c) = ctx() else {
+            return self.with_loc(|loc| {
+                let old = loc.val(loc.len() - 1);
+                if old == current {
+                    loc.stores.push(Store {
+                        val: new,
+                        tid: 0,
+                        tstamp: 0,
+                        msg: VClock::ZERO,
+                    });
+                    Ok(old)
+                } else {
+                    Err(old)
+                }
+            });
+        };
+        c.exec.yield_point(c.tid);
+        let (old, msg_in) = self.with_loc(|loc| {
+            let newest = loc.len() - 1;
+            (loc.val(newest), loc.msg(newest))
+        });
+        if old == current {
+            let mut clock = c.exec.clock(c.tid);
+            clock.0[c.tid] += 1;
+            if success.is_acquire() {
+                clock.join(&msg_in);
+            }
+            c.exec.set_clock(c.tid, clock);
+            let mut msg = msg_in;
+            if success.is_release() {
+                msg.join(&clock);
+            }
+            self.with_loc(|loc| {
+                loc.stores.push(Store {
+                    val: new,
+                    tid: c.tid,
+                    tstamp: clock.0[c.tid],
+                    msg,
+                });
+                loc.last_read[c.tid] = loc.len() - 1;
+            });
+            Ok(old)
+        } else {
+            // Approximation (crate docs): a failed CAS reads the newest
+            // store rather than branching over stale ones.
+            if failure.is_acquire() {
+                let mut clock = c.exec.clock(c.tid);
+                clock.join(&msg_in);
+                c.exec.set_clock(c.tid, clock);
+            }
+            self.with_loc(|loc| {
+                let newest = loc.len() - 1;
+                loc.last_read[c.tid] = loc.last_read[c.tid].max(newest);
+            });
+            Err(old)
+        }
+    }
+}
+
+/// Instrumented drop-in for `std::sync::atomic::AtomicU64`.
+#[derive(Debug)]
+pub struct AtomicU64 {
+    core: AtomicCore,
+}
+
+impl AtomicU64 {
+    #[must_use]
+    pub const fn new(v: u64) -> AtomicU64 {
+        AtomicU64 {
+            core: AtomicCore::new(v),
+        }
+    }
+
+    pub fn load(&self, order: Ordering) -> u64 {
+        self.core.load(order)
+    }
+
+    pub fn store(&self, val: u64, order: Ordering) {
+        self.core.store(val, order);
+    }
+
+    pub fn swap(&self, val: u64, order: Ordering) -> u64 {
+        self.core.rmw(order, |_| val)
+    }
+
+    pub fn fetch_add(&self, val: u64, order: Ordering) -> u64 {
+        self.core.rmw(order, |old| old.wrapping_add(val))
+    }
+
+    pub fn fetch_sub(&self, val: u64, order: Ordering) -> u64 {
+        self.core.rmw(order, |old| old.wrapping_sub(val))
+    }
+
+    pub fn fetch_max(&self, val: u64, order: Ordering) -> u64 {
+        self.core.rmw(order, |old| old.max(val))
+    }
+
+    pub fn fetch_min(&self, val: u64, order: Ordering) -> u64 {
+        self.core.rmw(order, |old| old.min(val))
+    }
+
+    pub fn compare_exchange(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        self.core.compare_exchange(current, new, success, failure)
+    }
+
+    pub fn compare_exchange_weak(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        // The model never fails spuriously.
+        self.core.compare_exchange(current, new, success, failure)
+    }
+}
+
+impl Default for AtomicU64 {
+    fn default() -> AtomicU64 {
+        AtomicU64::new(0)
+    }
+}
+
+/// Instrumented drop-in for `std::sync::atomic::AtomicUsize`.
+#[derive(Debug)]
+pub struct AtomicUsize {
+    core: AtomicCore,
+}
+
+#[allow(clippy::cast_possible_truncation)]
+impl AtomicUsize {
+    #[must_use]
+    pub const fn new(v: usize) -> AtomicUsize {
+        AtomicUsize {
+            core: AtomicCore::new(v as u64),
+        }
+    }
+
+    pub fn load(&self, order: Ordering) -> usize {
+        self.core.load(order) as usize
+    }
+
+    pub fn store(&self, val: usize, order: Ordering) {
+        self.core.store(val as u64, order);
+    }
+
+    pub fn swap(&self, val: usize, order: Ordering) -> usize {
+        self.core.rmw(order, |_| val as u64) as usize
+    }
+
+    pub fn fetch_add(&self, val: usize, order: Ordering) -> usize {
+        self.core.rmw(order, |old| old.wrapping_add(val as u64)) as usize
+    }
+
+    pub fn fetch_sub(&self, val: usize, order: Ordering) -> usize {
+        self.core.rmw(order, |old| old.wrapping_sub(val as u64)) as usize
+    }
+
+    pub fn compare_exchange(
+        &self,
+        current: usize,
+        new: usize,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<usize, usize> {
+        self.core
+            .compare_exchange(current as u64, new as u64, success, failure)
+            .map(|v| v as usize)
+            .map_err(|v| v as usize)
+    }
+}
+
+impl Default for AtomicUsize {
+    fn default() -> AtomicUsize {
+        AtomicUsize::new(0)
+    }
+}
+
+/// Per-mutex model bookkeeping, separate from the user payload.
+#[derive(Debug)]
+struct MutexMeta {
+    /// Whether a model thread currently owns the lock.
+    held: bool,
+    /// Release clock published by the last unlock (acquire edge for the
+    /// next owner).
+    clock: VClock,
+}
+
+/// Instrumented drop-in for `std::sync::Mutex`.
+///
+/// The model grants exclusivity (only the scheduled thread can win the
+/// `held` flag), so the real mutex underneath never contends; it still
+/// carries the payload and its poison bit, preserving std's poisoning
+/// semantics exactly.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    meta: std::sync::Mutex<MutexMeta>,
+    inner: std::sync::Mutex<T>,
+}
+
+impl Default for MutexMeta {
+    fn default() -> MutexMeta {
+        MutexMeta {
+            held: false,
+            clock: VClock::ZERO,
+        }
+    }
+}
+
+impl<T> Mutex<T> {
+    #[must_use]
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex {
+            meta: std::sync::Mutex::new(MutexMeta {
+                held: false,
+                clock: VClock::ZERO,
+            }),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn addr(&self) -> usize {
+        std::ptr::from_ref(self).cast::<()>() as usize
+    }
+
+    fn meta(&self) -> std::sync::MutexGuard<'_, MutexMeta> {
+        self.meta.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Wins the model-level lock (blocking in the scheduler as needed);
+    /// no-op outside a model.
+    fn acquire_model(&self, c: &Ctx) {
+        loop {
+            c.exec.yield_point(c.tid);
+            {
+                let mut meta = self.meta();
+                if !meta.held {
+                    meta.held = true;
+                    let release = meta.clock;
+                    drop(meta);
+                    let mut clock = c.exec.clock(c.tid);
+                    clock.join(&release);
+                    c.exec.set_clock(c.tid, clock);
+                    return;
+                }
+            }
+            c.exec.block_on(c.tid, Block::Mutex(self.addr()));
+        }
+    }
+
+    /// Releases the model-level lock and wakes contenders. Runs from
+    /// guard drop, so it must never panic or reschedule.
+    fn release_model(&self, c: &Ctx) {
+        let clock = c.exec.clock(c.tid);
+        {
+            let mut meta = self.meta();
+            meta.held = false;
+            meta.clock.join(&clock);
+        }
+        let addr = self.addr();
+        c.exec.wake_where(move |b| b == Block::Mutex(addr));
+    }
+
+    pub fn lock(&self) -> std::sync::LockResult<MutexGuard<'_, T>> {
+        if let Some(c) = ctx() {
+            self.acquire_model(&c);
+        }
+        // Uncontended by construction once the model grants ownership.
+        match self.inner.lock() {
+            Ok(g) => Ok(MutexGuard {
+                lock: self,
+                inner: Some(g),
+            }),
+            Err(poisoned) => Err(PoisonError::new(MutexGuard {
+                lock: self,
+                inner: Some(poisoned.into_inner()),
+            })),
+        }
+    }
+}
+
+/// Guard for the instrumented [`Mutex`]; the inner std guard lives in an
+/// `Option` so [`Condvar::wait`] can drop and reacquire it.
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present") // lint: allow(panic, guard invariant: inner is Some until drop or explicit take)
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard present") // lint: allow(panic, guard invariant: inner is Some until drop or explicit take)
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the payload lock first, then the model lock, so a woken
+        // contender can never observe the std mutex still held.
+        self.inner = None;
+        if let Some(c) = ctx() {
+            self.lock.release_model(&c);
+        }
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// Result of [`Condvar::wait_timeout`] (own type: std's has no public
+/// constructor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    #[must_use]
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Instrumented drop-in for `std::sync::Condvar`.
+///
+/// In a model, waiters park in the scheduler; a wait with a timeout stays
+/// *schedulable* — the scheduler picking it models the timeout firing, so
+/// timed waits explore both the notified and the timed-out outcome.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    #[must_use]
+    pub const fn new() -> Condvar {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        std::ptr::from_ref(self).cast::<()>() as usize
+    }
+
+    fn wait_model<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        c: &Ctx,
+        timeout: bool,
+    ) -> (std::sync::LockResult<MutexGuard<'a, T>>, bool) {
+        let lock = guard.lock;
+        // Atomically (from the model's perspective — this thread keeps
+        // the token throughout) release the mutex and park.
+        guard.inner = None;
+        lock.release_model(c);
+        std::mem::forget(guard); // inner already released; skip double-drop
+        let timed_out = c.exec.block_on(
+            c.tid,
+            Block::Cond {
+                addr: self.addr(),
+                timeout,
+            },
+        );
+        (lock.lock(), timed_out)
+    }
+
+    pub fn wait<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+    ) -> std::sync::LockResult<MutexGuard<'a, T>> {
+        if let Some(c) = ctx() {
+            return self.wait_model(guard, &c, false).0;
+        }
+        self.wait_std(guard)
+    }
+
+    fn wait_std<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+    ) -> std::sync::LockResult<MutexGuard<'a, T>> {
+        let lock = guard.lock;
+        let inner = guard.inner.take().expect("guard present"); // lint: allow(panic, guard invariant: inner is Some until drop or explicit take)
+        std::mem::forget(guard);
+        match self.inner.wait(inner) {
+            Ok(g) => Ok(MutexGuard {
+                lock,
+                inner: Some(g),
+            }),
+            Err(poisoned) => Err(PoisonError::new(MutexGuard {
+                lock,
+                inner: Some(poisoned.into_inner()),
+            })),
+        }
+    }
+
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: std::time::Duration,
+    ) -> std::sync::LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        if let Some(c) = ctx() {
+            let (res, timed_out) = self.wait_model(guard, &c, true);
+            return match res {
+                Ok(g) => Ok((g, WaitTimeoutResult(timed_out))),
+                Err(p) => Err(PoisonError::new((
+                    p.into_inner(),
+                    WaitTimeoutResult(timed_out),
+                ))),
+            };
+        }
+        let lock = guard.lock;
+        let inner = {
+            let mut guard = guard;
+            let inner = guard.inner.take().expect("guard present"); // lint: allow(panic, guard invariant: inner is Some until drop or explicit take)
+            std::mem::forget(guard);
+            inner
+        };
+        match self.inner.wait_timeout(inner, dur) {
+            Ok((g, t)) => Ok((
+                MutexGuard {
+                    lock,
+                    inner: Some(g),
+                },
+                WaitTimeoutResult(t.timed_out()),
+            )),
+            Err(poisoned) => {
+                let (g, t) = poisoned.into_inner();
+                Err(PoisonError::new((
+                    MutexGuard {
+                        lock,
+                        inner: Some(g),
+                    },
+                    WaitTimeoutResult(t.timed_out()),
+                )))
+            }
+        }
+    }
+
+    pub fn notify_one(&self) {
+        if let Some(c) = ctx() {
+            c.exec.yield_point(c.tid);
+            c.exec.wake_one_cond(self.addr());
+            return;
+        }
+        self.inner.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        if let Some(c) = ctx() {
+            c.exec.yield_point(c.tid);
+            let addr = self.addr();
+            c.exec
+                .wake_where(move |b| matches!(b, Block::Cond { addr: a, .. } if a == addr));
+            return;
+        }
+        self.inner.notify_all();
+    }
+}

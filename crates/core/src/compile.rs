@@ -245,6 +245,7 @@ impl Treecode {
                     &mut stats,
                 );
                 cs.bucket_by_degree(max_degree, self.tree.nodes().len());
+                // ordering: Relaxed — per-chunk timing accumulator; no data is published through it
                 compile_ns.fetch_add(compile_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
                 out_chunk.fill(0.0);
                 self.exec_m2p_potential(&mut cs, out_chunk);
@@ -256,6 +257,7 @@ impl Treecode {
         for s in &chunk_stats {
             stats.merge(s);
         }
+        // ordering: Relaxed — reading the timing total after the parallel loop joined
         record_compile_and_sweep(compile_ns.load(Ordering::Relaxed), sweep_start);
         stats
     }
@@ -291,6 +293,7 @@ impl Treecode {
                     &mut stats,
                 );
                 cs.bucket_by_degree(max_degree, self.tree.nodes().len());
+                // ordering: Relaxed — per-chunk timing accumulator; no data is published through it
                 compile_ns.fetch_add(compile_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
                 out_chunk.fill((0.0, Vec3::ZERO));
                 self.exec_m2p_field(&mut cs, out_chunk);
@@ -302,6 +305,7 @@ impl Treecode {
         for s in &chunk_stats {
             stats.merge(s);
         }
+        // ordering: Relaxed — reading the timing total after the parallel loop joined
         record_compile_and_sweep(compile_ns.load(Ordering::Relaxed), sweep_start);
         stats
     }

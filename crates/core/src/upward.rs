@@ -18,6 +18,7 @@ static UPWARD_PASSES: AtomicU64 = AtomicU64::new(0);
 /// The number of upward passes this process has run so far.
 #[must_use]
 pub fn upward_pass_count() -> u64 {
+    // ordering: Relaxed — independent monotonic counter; no data is published through it
     UPWARD_PASSES.load(Ordering::Relaxed)
 }
 
@@ -222,6 +223,7 @@ impl Treecode {
     /// fixed-degree M2M phase walks the node order in reverse,
     /// accumulating each child span into its parent span in place.
     fn upward_pass(tree: &Octree, degrees: &[usize]) -> CoeffArena {
+        // ordering: Relaxed — independent monotonic counter; no data is published through it
         UPWARD_PASSES.fetch_add(1, Ordering::Relaxed);
         let uniform = degrees.windows(2).all(|w| w[0] == w[1]);
         let mut arena = CoeffArena::zeroed(degrees);

@@ -9,7 +9,7 @@
 //! expires before a slot frees is shed as [`EngineError::DeadlineExceeded`]
 //! without ever costing an evaluation.
 
-use std::sync::{Condvar, Mutex, PoisonError};
+use mbt_check::sync::{Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use crate::error::EngineError;

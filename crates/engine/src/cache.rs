@@ -11,10 +11,12 @@
 
 use std::collections::HashMap;
 use std::hash::Hash;
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::Instant;
 
+use mbt_check::sync::Arc;
+
 use crate::error::EngineError;
+use crate::flight::{Flight, SingleFlight};
 use crate::plan::{Plan, PlanKey};
 use crate::stats::StatsCollector;
 
@@ -180,41 +182,36 @@ pub enum CacheOutcome {
     Coalesced,
 }
 
-/// Result slot a build's waiters park on.
-#[derive(Debug, Default)]
-struct BuildTicket {
-    slot: Mutex<Option<Result<Arc<Plan>, EngineError>>>,
-    done: Condvar,
-}
-
-#[derive(Debug)]
-struct CacheState {
-    lru: ByteLru<PlanKey, Arc<Plan>>,
-    building: HashMap<PlanKey, Arc<BuildTicket>>,
-}
-
 /// Concurrent plan cache: LRU + byte budget + single-flight builds.
+///
+/// The concurrency itself lives in [`SingleFlight`] — a policy-free core
+/// the `mbt-check` model suite explores exhaustively. This type wires in
+/// the engine's policy: the [`ByteLru`] as flight state, stats recording
+/// at the probe/classify points (still under the flight lock, so counts
+/// are exact), and [`EngineError::BuildPanicked`] as the substitute a
+/// panicking builder leaves for its coalesced waiters.
 #[derive(Debug)]
 pub struct PlanCache {
-    state: Mutex<CacheState>,
+    flight: PlanFlight,
 }
+
+/// The cache's flight core: [`ByteLru`] residency as flight state, keyed
+/// by [`PlanKey`], landing a shareable build result per flight.
+type PlanFlight =
+    SingleFlight<ByteLru<PlanKey, Arc<Plan>>, PlanKey, Result<Arc<Plan>, EngineError>>;
 
 impl PlanCache {
     /// An empty cache with the given byte budget.
     #[must_use]
     pub fn new(budget_bytes: usize) -> PlanCache {
         PlanCache {
-            state: Mutex::new(CacheState {
-                lru: ByteLru::new(budget_bytes),
-                building: HashMap::new(),
-            }),
+            flight: SingleFlight::new(ByteLru::new(budget_bytes)),
         }
     }
 
     /// `(resident plans, resident bytes)`.
     pub fn residency(&self) -> (usize, usize) {
-        let st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
-        (st.lru.len(), st.lru.total_bytes())
+        self.flight.with_state(|lru| (lru.len(), lru.total_bytes()))
     }
 
     /// Returns the plan for `key`, building it with `build` on a miss.
@@ -222,75 +219,59 @@ impl PlanCache {
     /// Concurrent calls with the same cold key run `build` exactly once:
     /// the first caller becomes the builder, the rest park on its ticket
     /// and receive the same `Arc<Plan>` (or the same error). Build errors
-    /// are not cached — the next request retries.
+    /// are not cached — the next request retries. A builder that
+    /// *panics* answers its waiters [`EngineError::BuildPanicked`]
+    /// (they never hang on the dead flight) and the panic propagates to
+    /// the building caller alone.
     pub fn get_or_build(
         &self,
         key: PlanKey,
         stats: &StatsCollector,
         build: impl FnOnce() -> Result<Plan, EngineError>,
     ) -> Result<(Arc<Plan>, CacheOutcome), EngineError> {
-        // fast path / ticket acquisition under the state lock
-        let ticket = {
-            let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
-            if let Some(plan) = st.lru.get(&key) {
-                stats.record_hit();
-                return Ok((Arc::clone(plan), CacheOutcome::Hit));
-            }
-            if let Some(t) = st.building.get(&key) {
-                stats.record_coalesced();
-                Some(Arc::clone(t))
-            } else {
-                stats.record_miss();
-                st.building.insert(key, Arc::new(BuildTicket::default()));
-                None
-            }
-        };
-
-        if let Some(t) = ticket {
-            // follower: wait for the in-flight build
-            let mut slot = t.slot.lock().unwrap_or_else(PoisonError::into_inner);
-            loop {
-                if let Some(result) = slot.as_ref() {
-                    return result
-                        .as_ref()
-                        .map(|p| (Arc::clone(p), CacheOutcome::Coalesced))
-                        .map_err(Clone::clone);
+        let flight = self.flight.run(
+            key,
+            |lru| {
+                lru.get(&key).map(|plan| {
+                    stats.record_hit();
+                    Arc::clone(plan)
+                })
+            },
+            |leads| {
+                if leads {
+                    stats.record_miss();
+                } else {
+                    stats.record_coalesced();
                 }
-                slot = t.done.wait(slot).unwrap_or_else(PoisonError::into_inner);
-            }
-        }
-
-        // builder: run the build outside every lock
-        let t0 = Instant::now();
-        let built = build().map(Arc::new);
-        if built.is_ok() {
-            stats.record_build(key, t0.elapsed());
-        }
-
-        let ticket = {
-            let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
-            if let Ok(plan) = &built {
-                let ins = st.lru.insert(key, Arc::clone(plan), plan.bytes);
-                for (_, bytes, _) in &ins.evicted {
-                    stats.record_eviction(*bytes);
+            },
+            || {
+                let t0 = Instant::now();
+                let built = build().map(Arc::new);
+                if built.is_ok() {
+                    stats.record_build(key, t0.elapsed());
                 }
-            }
-            #[cfg(feature = "validate")]
-            if let Err(why) = st.lru.check_invariants() {
-                // validate-mode contract: accounting bugs are engine bugs
-                panic!("plan cache invariant violated: {why}"); // lint: allow(panic, validate-feature contract check, disabled in production builds)
-            }
-            st.building.remove(&key)
-        };
-
-        // wake the waiters (outside the state lock; waiters never hold it)
-        if let Some(t) = ticket {
-            let mut slot = t.slot.lock().unwrap_or_else(PoisonError::into_inner);
-            *slot = Some(built.clone());
-            t.done.notify_all();
+                built
+            },
+            || Err(EngineError::BuildPanicked),
+            |lru, built| {
+                if let Ok(plan) = built {
+                    let ins = lru.insert(key, Arc::clone(plan), plan.bytes);
+                    for (_, bytes, _) in &ins.evicted {
+                        stats.record_eviction(*bytes);
+                    }
+                }
+                #[cfg(feature = "validate")]
+                if let Err(why) = lru.check_invariants() {
+                    // validate-mode contract: accounting bugs are engine bugs
+                    panic!("plan cache invariant violated: {why}"); // lint: allow(panic, validate-feature contract check, disabled in production builds)
+                }
+            },
+        );
+        match flight {
+            Flight::Hit(plan) => Ok((plan, CacheOutcome::Hit)),
+            Flight::Led(result) => result.map(|p| (p, CacheOutcome::Built)),
+            Flight::Joined(result) => result.map(|p| (p, CacheOutcome::Coalesced)),
         }
-
-        built.map(|p| (p, CacheOutcome::Built))
     }
 }
 
@@ -339,6 +320,76 @@ mod tests {
         assert_eq!(lru.get(&1), Some(&11));
         assert_eq!(lru.total_bytes(), 30);
         assert!(lru.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn panicking_builder_answers_followers_with_typed_error() {
+        use crate::plan::PlanKey;
+        use crate::registry::DatasetId;
+        use mbt_treecode::TreecodeParams;
+
+        let cache = PlanCache::new(1 << 20);
+        let stats = StatsCollector::default();
+        let params = TreecodeParams::fixed(4, 0.6);
+        let key = PlanKey::new(DatasetId(0), &params);
+
+        std::thread::scope(|s| {
+            let leader = s.spawn(|| {
+                cache.get_or_build(key, &stats, || {
+                    // hold the flight open until the follower has
+                    // coalesced, so the panic demonstrably lands on a
+                    // parked waiter rather than an empty ticket
+                    while stats
+                        .snapshot(crate::stats::Gauges::default())
+                        .coalesced_misses
+                        == 0
+                    {
+                        std::thread::yield_now();
+                    }
+                    panic!("builder died mid-flight")
+                })
+            });
+            // wait until the leader owns the flight, then coalesce onto it
+            while stats.snapshot(crate::stats::Gauges::default()).cache_misses == 0 {
+                std::thread::yield_now();
+            }
+            let got =
+                cache.get_or_build(key, &stats, || panic!("follower must coalesce, not build"));
+            // liveness: we woke with the typed substitute, not a hang
+            assert_eq!(got.unwrap_err(), EngineError::BuildPanicked);
+            // the panic itself reached the leader's caller alone
+            assert!(leader.join().is_err());
+        });
+        // the dead flight was retired and nothing was published
+        assert_eq!(cache.residency(), (0, 0));
+    }
+
+    #[test]
+    fn cache_recovers_after_builder_panic() {
+        use crate::plan::PlanKey;
+        use crate::registry::DatasetId;
+        use mbt_geometry::distribution::{uniform_cube, ChargeModel};
+        use mbt_treecode::TreecodeParams;
+
+        let cache = PlanCache::new(1 << 26);
+        let stats = StatsCollector::default();
+        let params = TreecodeParams::fixed(4, 0.6);
+        let key = PlanKey::new(DatasetId(0), &params);
+
+        let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.get_or_build(key, &stats, || panic!("first build dies"))
+        }));
+        assert!(boom.is_err());
+        assert_eq!(cache.residency(), (0, 0));
+
+        // the key is not wedged: the next caller leads a fresh flight
+        let ps = uniform_cube(300, 1.0, ChargeModel::UnitPositive { magnitude: 1.0 }, 3);
+        let (plan, outcome) = cache
+            .get_or_build(key, &stats, || Plan::build(key, &ps, params))
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::Built);
+        assert_eq!(plan.key, key);
+        assert_eq!(cache.residency().0, 1);
     }
 
     #[test]

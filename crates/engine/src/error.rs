@@ -39,6 +39,10 @@ pub enum EngineError {
     },
     /// The request's deadline expired before its evaluation started.
     DeadlineExceeded,
+    /// The caller leading this plan's single-flight build panicked.
+    /// Coalesced waiters receive this instead of hanging on the dead
+    /// flight; the next request for the key retries the build.
+    BuildPanicked,
     /// The engine configuration was rejected at construction.
     InvalidConfig(&'static str),
 }
@@ -61,6 +65,12 @@ impl std::fmt::Display for EngineError {
                 "engine overloaded: {in_flight} in flight, {queued} queued"
             ),
             EngineError::DeadlineExceeded => write!(f, "deadline expired before evaluation"),
+            EngineError::BuildPanicked => {
+                write!(
+                    f,
+                    "plan build panicked in the flight leader; retry the request"
+                )
+            }
             EngineError::InvalidConfig(why) => write!(f, "invalid engine config: {why}"),
         }
     }
@@ -86,6 +96,7 @@ mod tests {
                 queued: 9,
             },
             EngineError::DeadlineExceeded,
+            EngineError::BuildPanicked,
             EngineError::InvalidConfig("alpha"),
         ];
         for e in cases {

@@ -133,6 +133,7 @@ impl EngineStats {
         w.field_u64("datasets", self.datasets as u64);
         w.field_u64("slow_queries", self.slow_queries);
         w.field_u64("spans_dropped", self.spans_dropped);
+        w.field_u64("span_read_retries", self.span_read_retries);
 
         w.begin_object_field("latency");
         summary_json(&mut w, "build", &self.build_latency);
@@ -325,6 +326,12 @@ impl EngineStats {
             "Engine-phase spans dropped by the bounded ring",
             self.spans_dropped,
         );
+        prom_counter(
+            &mut w,
+            "mbt_span_read_retries_total",
+            "Seqlock validation retries while snapshotting the span ring",
+            self.span_read_retries,
+        );
 
         prom_histogram(
             &mut w,
@@ -506,6 +513,7 @@ mod tests {
             "\"query\"",
             "\"admission_wait\"",
             "\"slow_queries\":1",
+            "\"span_read_retries\":0",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
@@ -523,6 +531,7 @@ mod tests {
             "mbt_build_latency_seconds_count 2",
             "mbt_query_latency_p99_seconds",
             "mbt_slow_queries_total 1",
+            "mbt_span_read_retries_total 0",
             "mbt_dataset_requests_total{dataset=\"0\"} 3",
             "mbt_plan_eval_p99_seconds{dataset=\"1\",plan=\"",
         ] {

@@ -72,6 +72,7 @@ mod plan;
 mod registry;
 mod stats;
 
+pub mod flight;
 pub mod scheduler;
 
 pub use admission::{AdmissionGate, Permit};
@@ -79,6 +80,7 @@ pub use batch::{evaluate_batch, evaluate_batch_with, QueryKind, QueryOutput};
 pub use cache::{ByteLru, CacheOutcome, Inserted, PlanCache};
 pub use engine::{Engine, EngineConfig, QueryRequest, QueryResponse};
 pub use error::EngineError;
+pub use flight::{Combiner, Flight, SingleFlight};
 pub use plan::{Accuracy, EvalConfig, Plan, PlanKey};
 pub use registry::{Dataset, DatasetId, DatasetRegistry};
 pub use scheduler::Batcher;

@@ -13,15 +13,15 @@
 //! is drained are answered [`EngineError::DeadlineExceeded`] without
 //! costing any evaluation work.
 
-use std::collections::HashMap;
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
+use mbt_check::sync::Arc;
 use mbt_geometry::Vec3;
 use mbt_treecode::EvalStats;
 
 use crate::batch::{evaluate_batch_with, QueryKind, QueryOutput};
 use crate::error::EngineError;
+use crate::flight::Combiner;
 use crate::plan::{EvalConfig, Plan, PlanKey};
 use crate::stats::StatsCollector;
 
@@ -37,50 +37,24 @@ struct GroupKey {
     cfg: EvalConfig,
 }
 
-/// The slot a parked request's answer lands in.
-#[derive(Debug, Default)]
-struct Slot {
-    result: Mutex<Option<Result<(QueryOutput, EvalStats), EngineError>>>,
-    done: Condvar,
-}
-
-impl Slot {
-    fn fill(&self, value: Result<(QueryOutput, EvalStats), EngineError>) {
-        let mut r = self.result.lock().unwrap_or_else(PoisonError::into_inner);
-        *r = Some(value);
-        self.done.notify_all();
-    }
-
-    fn wait(&self) -> Result<(QueryOutput, EvalStats), EngineError> {
-        let mut r = self.result.lock().unwrap_or_else(PoisonError::into_inner);
-        loop {
-            if let Some(result) = r.take() {
-                return result;
-            }
-            r = self.done.wait(r).unwrap_or_else(PoisonError::into_inner);
-        }
-    }
-}
-
 /// One queued request.
 #[derive(Debug)]
 struct Pending {
     points: Vec<Vec3>,
     deadline: Option<Instant>,
-    slot: Arc<Slot>,
-}
-
-#[derive(Debug, Default)]
-struct Group {
-    /// Whether a leader is currently draining this group.
-    leader: bool,
-    pending: Vec<Pending>,
 }
 
 /// The per-engine combiner.
+///
+/// The leader/follower mechanics — group ownership, queue draining,
+/// result hand-back, leader hand-off when a group runs dry — live in
+/// [`Combiner`], a policy-free core the `mbt-check` model suite explores
+/// exhaustively. This type wires in the engine's policy: deadline
+/// shedding at drain time, the coalescing window, the evaluation sweep,
+/// and stats recording.
 #[derive(Debug, Default)]
 pub struct Batcher {
-    groups: Mutex<HashMap<GroupKey, Group>>,
+    combiner: Combiner<GroupKey, Pending, Result<(QueryOutput, EvalStats), EngineError>>,
     /// Fixed coalescing wait a leader sleeps before its first drain.
     window: Duration,
 }
@@ -119,71 +93,55 @@ impl Batcher {
             kind,
             cfg,
         };
-        let slot = Arc::new(Slot::default());
-        let is_leader = {
-            let mut groups = self.groups.lock().unwrap_or_else(PoisonError::into_inner);
-            let group = groups.entry(key).or_default();
-            group.pending.push(Pending {
-                points,
-                deadline,
-                slot: Arc::clone(&slot),
-            });
-            if group.leader {
-                false
-            } else {
-                group.leader = true;
-                true
-            }
-        };
-        if is_leader {
-            if !self.window.is_zero() {
-                std::thread::sleep(self.window);
-            }
-            self.drain(key, plan, kind, stats);
-        }
-        slot.wait()
+        self.combiner.submit(
+            key,
+            Pending { points, deadline },
+            || {
+                if !self.window.is_zero() {
+                    std::thread::sleep(self.window);
+                }
+            },
+            |batch| Batcher::execute(plan, kind, key, stats, &batch),
+        )
     }
 
-    /// Leader loop: drain and evaluate batches until the group runs dry.
-    fn drain(&self, key: GroupKey, plan: &Arc<Plan>, kind: QueryKind, stats: &StatsCollector) {
-        loop {
-            let batch: Vec<Pending> = {
-                let mut groups = self.groups.lock().unwrap_or_else(PoisonError::into_inner);
-                let Some(group) = groups.get_mut(&key) else {
-                    return; // unreachable: the leader owns the group until it removes it
-                };
-                if group.pending.is_empty() {
-                    groups.remove(&key);
-                    return;
-                }
-                std::mem::take(&mut group.pending)
-            };
-
-            // shed what has already missed its deadline
-            let now = Instant::now();
-            let mut live: Vec<Pending> = Vec::with_capacity(batch.len());
-            for p in batch {
-                if p.deadline.is_some_and(|d| now >= d) {
-                    stats.record_shed_deadline();
-                    p.slot.fill(Err(EngineError::DeadlineExceeded));
-                } else {
-                    live.push(p);
-                }
+    /// Evaluates one drained batch, answering every request in order:
+    /// expired deadlines are shed without costing evaluation work, the
+    /// rest ride a single shared sweep.
+    fn execute(
+        plan: &Arc<Plan>,
+        kind: QueryKind,
+        key: GroupKey,
+        stats: &StatsCollector,
+        batch: &[Pending],
+    ) -> Vec<Result<(QueryOutput, EvalStats), EngineError>> {
+        // shed what has already missed its deadline
+        let now = Instant::now();
+        let mut results: Vec<Result<(QueryOutput, EvalStats), EngineError>> =
+            Vec::with_capacity(batch.len());
+        let mut live: Vec<usize> = Vec::with_capacity(batch.len());
+        for (i, p) in batch.iter().enumerate() {
+            if p.deadline.is_some_and(|d| now >= d) {
+                stats.record_shed_deadline();
+            } else {
+                live.push(i);
             }
-            if live.is_empty() {
-                continue;
-            }
-
-            let slices: Vec<&[Vec3]> = live.iter().map(|p| p.points.as_slice()).collect();
-            let total_points: usize = slices.iter().map(|s| s.len()).sum();
-            let t0 = Instant::now();
-            let (outputs, sweep_stats) =
-                evaluate_batch_with(&plan.treecode, kind, &slices, key.cfg);
-            stats.record_batch(key.plan, live.len(), total_points, t0.elapsed());
-            for (p, out) in live.into_iter().zip(outputs) {
-                p.slot.fill(Ok((out, sweep_stats.clone())));
-            }
+            results.push(Err(EngineError::DeadlineExceeded));
         }
+        if live.is_empty() {
+            return results;
+        }
+
+        let slices: Vec<&[Vec3]> = live.iter().map(|&i| batch[i].points.as_slice()).collect();
+        let total_points: usize = slices.iter().map(|s| s.len()).sum();
+        let t0 = Instant::now();
+        let (outputs, sweep_stats) = evaluate_batch_with(&plan.treecode, kind, &slices, key.cfg);
+        stats.record_batch(key.plan, live.len(), total_points, t0.elapsed());
+        debug_assert_eq!(outputs.len(), live.len());
+        for (&i, out) in live.iter().zip(outputs) {
+            results[i] = Ok((out, sweep_stats.clone()));
+        }
+        results
     }
 }
 

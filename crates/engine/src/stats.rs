@@ -17,9 +17,10 @@
 //! are drop-on-full, never blocking.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, PoisonError};
 use std::time::Duration;
+
+use mbt_check::sync::atomic::{AtomicU64, Ordering};
+use mbt_check::sync::{Mutex, PoisonError};
 
 use mbt_obs::{
     Histogram, HistogramSnapshot, Phase, Recorder, RingRecorder, SlowLog, SlowQuery, Span,
@@ -158,18 +159,22 @@ impl StatsCollector {
     }
 
     pub(crate) fn record_hit(&self) {
+        // ordering: Relaxed — independent monotonic counter; no data is published through it
         self.cache_hits.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_miss(&self) {
+        // ordering: Relaxed — independent monotonic counter; no data is published through it
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_coalesced(&self) {
+        // ordering: Relaxed — independent monotonic counter; no data is published through it
         self.coalesced_misses.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_build(&self, key: PlanKey, took: Duration) {
+        // ordering: Relaxed — independent monotonic counter; no data is published through it
         self.plan_builds.fetch_add(1, Ordering::Relaxed);
         self.build_hist.record(took);
         self.emit_span(Phase::PlanBuild, took);
@@ -182,7 +187,9 @@ impl StatsCollector {
     }
 
     pub(crate) fn record_eviction(&self, bytes: usize) {
+        // ordering: Relaxed — independent monotonic counter; no data is published through it
         self.evictions.fetch_add(1, Ordering::Relaxed);
+        // ordering: Relaxed — independent monotonic counter; no data is published through it
         self.evicted_bytes
             .fetch_add(bytes as u64, Ordering::Relaxed);
     }
@@ -194,10 +201,14 @@ impl StatsCollector {
         points: usize,
         took: Duration,
     ) {
+        // ordering: Relaxed — independent monotonic counter; no data is published through it
         self.batches.fetch_add(1, Ordering::Relaxed);
+        // ordering: Relaxed — independent monotonic counter; no data is published through it
         self.batched_requests
             .fetch_add(requests as u64, Ordering::Relaxed);
+        // ordering: Relaxed — running maximum; the RMW itself is atomic, order against other counters is irrelevant
         self.max_batch.fetch_max(requests as u64, Ordering::Relaxed);
+        // ordering: Relaxed — independent monotonic counter; no data is published through it
         self.eval_points.fetch_add(points as u64, Ordering::Relaxed);
         self.eval_hist.record(took);
         self.emit_span(Phase::BatchExecute, took);
@@ -242,18 +253,22 @@ impl StatsCollector {
     }
 
     pub(crate) fn record_admitted(&self) {
+        // ordering: Relaxed — independent monotonic counter; no data is published through it
         self.admitted.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_shed_overload(&self) {
+        // ordering: Relaxed — independent monotonic counter; no data is published through it
         self.shed_overload.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_shed_deadline(&self) {
+        // ordering: Relaxed — independent monotonic counter; no data is published through it
         self.shed_deadline.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn observe_queue_depth(&self, depth: usize) {
+        // ordering: Relaxed — running maximum; the RMW itself is atomic, order against other counters is irrelevant
         self.queue_peak.fetch_max(depth as u64, Ordering::Relaxed);
     }
 
@@ -272,6 +287,7 @@ impl StatsCollector {
     /// cache residency, dataset count) are supplied by the engine, which
     /// owns the structures they describe.
     pub(crate) fn snapshot(&self, gauges: Gauges) -> EngineStats {
+        // ordering: Relaxed — statistical snapshot; counters are independent, slight skew between them is acceptable
         let ld = |a: &AtomicU64| a.load(Ordering::Relaxed);
         let build = self.build_hist.snapshot();
         let eval = self.eval_hist.snapshot();
@@ -351,6 +367,7 @@ impl StatsCollector {
             wait_histogram: wait,
             slow_queries: self.slow.recorded(),
             spans_dropped: self.spans.dropped(),
+            span_read_retries: self.spans.read_retries(),
             per_plan,
             per_dataset,
             resident_plans: gauges.resident_plans,
@@ -520,6 +537,9 @@ pub struct EngineStats {
     pub slow_queries: u64,
     /// Engine-phase spans dropped by the bounded ring under contention.
     pub spans_dropped: u64,
+    /// Seqlock validation retries taken while snapshotting the span ring
+    /// (a reader raced a writer mid-slot and re-read it).
+    pub span_read_retries: u64,
     /// Per-plan work breakdown, sorted by `(dataset, plan)`.
     pub per_plan: Vec<PlanBreakdown>,
     /// Per-dataset aggregate, sorted by dataset id.

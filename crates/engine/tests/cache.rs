@@ -79,6 +79,29 @@ fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
     )
 }
 
+/// One scripted operation against a mutex-guarded cache, where a holder
+/// may die mid-critical-section (after a *completed* mutation — the
+/// engine's pattern: panics happen in validation hooks, not halfway
+/// through `ByteLru`'s own bookkeeping).
+#[derive(Debug, Clone, Copy)]
+enum PoisonOp {
+    Get(u32),
+    Insert(u32, usize),
+    /// Completes `Insert`, then panics while still holding the lock.
+    InsertThenPanic(u32, usize),
+}
+
+fn arb_poison_ops() -> impl Strategy<Value = Vec<PoisonOp>> {
+    prop::collection::vec(
+        (0u32..4, 0u32..8, 1usize..140).prop_map(|(kind, key, bytes)| match kind {
+            0 => PoisonOp::Get(key),
+            3 => PoisonOp::InsertThenPanic(key, bytes),
+            _ => PoisonOp::Insert(key, bytes),
+        }),
+        1..60,
+    )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -116,5 +139,61 @@ proptest! {
             prop_assert_eq!(lru.total_bytes(), model.total());
             prop_assert_eq!(lru.len(), model.order.len());
         }
+    }
+
+    /// The engine recovers poisoned locks with
+    /// `unwrap_or_else(PoisonError::into_inner)` (a panicking holder —
+    /// e.g. a `validate`-mode invariant check — must not wedge serving).
+    /// This drives that exact recovery path: holders panic while
+    /// holding the lock at arbitrary points in the schedule, and the
+    /// cache must keep matching the model and its own invariants
+    /// through every poisoning.
+    #[test]
+    fn byte_lru_survives_poisoned_mutex(budget in 50usize..200, ops in arb_poison_ops()) {
+        use std::sync::{Mutex, PoisonError};
+
+        let lru: Mutex<ByteLru<u32, u32>> = Mutex::new(ByteLru::new(budget));
+        let mut model = Model::new(budget);
+        let mut poisoned = false;
+        for (step, op) in ops.iter().enumerate() {
+            match *op {
+                PoisonOp::Get(k) => {
+                    let mut g = lru.lock().unwrap_or_else(PoisonError::into_inner);
+                    let real = g.get(&k).is_some();
+                    let expected = model.get(k);
+                    prop_assert_eq!(real, expected, "get({}) diverged at step {}", k, step);
+                }
+                PoisonOp::Insert(k, bytes) => {
+                    let mut g = lru.lock().unwrap_or_else(PoisonError::into_inner);
+                    let ins = g.insert(k, k, bytes);
+                    let (admitted, _) = model.insert(k, bytes);
+                    prop_assert_eq!(ins.admitted, admitted, "insert diverged at step {}", step);
+                }
+                PoisonOp::InsertThenPanic(k, bytes) => {
+                    let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let mut g = lru.lock().unwrap_or_else(PoisonError::into_inner);
+                        g.insert(k, k, bytes);
+                        panic!("lock holder dies after mutating");
+                    }));
+                    prop_assert!(unwound.is_err());
+                    prop_assert!(lru.is_poisoned());
+                    poisoned = true;
+                    // the completed mutation is still there — mirror it
+                    model.insert(k, bytes);
+                }
+            }
+            let mut g = lru.lock().unwrap_or_else(PoisonError::into_inner);
+            prop_assert!(g.check_invariants().is_ok(), "{:?}", g.check_invariants());
+            prop_assert!(g.total_bytes() <= budget);
+            prop_assert_eq!(g.total_bytes(), model.total());
+            prop_assert_eq!(g.len(), model.order.len());
+            // recency survived poisoning too: every resident model key hits
+            let resident: Vec<u32> = model.order.iter().map(|e| e.0).collect();
+            for k in resident {
+                prop_assert!(g.get(&k).is_some());
+                model.get(k);
+            }
+        }
+        let _ = poisoned;
     }
 }

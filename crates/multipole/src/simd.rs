@@ -145,11 +145,13 @@ pub fn level() -> SimdLevel {
     if cfg!(feature = "force-scalar") {
         return SimdLevel::Scalar;
     }
+    // ordering: Relaxed — the rank is a self-contained value; redundant detection races are benign
     let cached = LEVEL.load(Ordering::Relaxed);
     if cached != 0 {
         return SimdLevel::from_rank(cached);
     }
     let detected = detect();
+    // ordering: Relaxed — idempotent cache fill; every detector writes the same rank
     LEVEL.store(detected.rank(), Ordering::Relaxed);
     detected
 }
@@ -163,6 +165,7 @@ pub fn level() -> SimdLevel {
 /// dispatch in flight keeps the width it started with.
 pub fn set_level(requested: SimdLevel) -> SimdLevel {
     let applied = SimdLevel::from_rank(requested.rank().min(detect().rank()));
+    // ordering: Relaxed — the rank is a self-contained value; in-flight dispatches keep their width
     LEVEL.store(applied.rank(), Ordering::Relaxed);
     if cfg!(feature = "force-scalar") {
         SimdLevel::Scalar

@@ -9,7 +9,7 @@
 //! carries at most a half-bucket (≈ ±19 %) relative error by
 //! construction.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use mbt_check::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Number of histogram buckets.
@@ -70,8 +70,12 @@ impl Histogram {
 
     /// Records one observation of `ns` nanoseconds. Allocation-free.
     pub fn record_ns(&self, ns: u64) {
+        // ordering: independent monotone counters; snapshots are
+        // documented as statistical under concurrent writes
         self.counts[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        // ordering: independent monotone counter (see above)
         self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        // ordering: monotone max; fetch_max is atomic per location
         self.max_ns.fetch_max(ns, Ordering::Relaxed);
     }
 
@@ -88,13 +92,17 @@ impl Histogram {
     pub fn snapshot(&self) -> HistogramSnapshot {
         let mut counts = [0u64; BUCKETS];
         for (dst, src) in counts.iter_mut().zip(&self.counts) {
+            // ordering: statistical snapshot; fields are documented as
+            // individually loaded, exact only at quiescence
             *dst = src.load(Ordering::Relaxed);
         }
         let count = counts.iter().sum();
         HistogramSnapshot {
             counts,
             count,
+            // ordering: statistical snapshot (see above)
             sum_ns: self.sum_ns.load(Ordering::Relaxed),
+            // ordering: statistical snapshot (see above)
             max_ns: self.max_ns.load(Ordering::Relaxed),
         }
     }

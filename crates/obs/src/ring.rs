@@ -12,7 +12,7 @@
 //! Everything is `AtomicU64`: there is no `unsafe`, and readers can never
 //! observe torn words — only skip slots that are mid-write.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use mbt_check::sync::atomic::{AtomicU64, Ordering};
 
 use crate::span::{Phase, Recorder, Span};
 
@@ -39,6 +39,7 @@ impl<const W: usize> Slot<W> {
 pub struct Ring<const W: usize> {
     slots: Box<[Slot<W>]>,
     head: AtomicU64,
+    read_retries: AtomicU64,
 }
 
 impl<const W: usize> Ring<W> {
@@ -51,6 +52,7 @@ impl<const W: usize> Ring<W> {
         Ring {
             slots: slots.into_boxed_slice(),
             head: AtomicU64::new(0),
+            read_retries: AtomicU64::new(0),
         }
     }
 
@@ -64,23 +66,38 @@ impl<const W: usize> Ring<W> {
     /// ones dropped under slot contention.
     #[must_use]
     pub fn pushed(&self) -> u64 {
+        // ordering: monotone statistic, no other memory depends on it
         self.head.load(Ordering::Relaxed)
+    }
+
+    /// Seqlock validation failures observed by [`snapshot`](Self::snapshot)
+    /// (each one re-read the slot; see `SNAPSHOT_RETRIES`).
+    #[must_use]
+    pub fn read_retries(&self) -> u64 {
+        // ordering: monotone statistic, no other memory depends on it
+        self.read_retries.load(Ordering::Relaxed)
     }
 
     /// Appends a record. Wait-free and allocation-free. Returns whether
     /// the record was published (`false` when a lapped writer still held
     /// the slot, in which case the record is dropped).
     pub fn push(&self, words: [u64; W]) -> bool {
+        // ordering: ticket allocation is pure arithmetic; the slot CAS
+        // below is what synchronizes ownership
         let ticket = self.head.fetch_add(1, Ordering::Relaxed);
         let idx = (ticket as usize) & (self.slots.len() - 1);
         let slot = &self.slots[idx];
         let writing = 2 * ticket + 1; // odd: generation `ticket` in flight
+                                      // ordering: advisory pre-check only; the CAS re-validates `seen`
         let seen = slot.seq.load(Ordering::Relaxed);
         if seen & 1 == 1 || seen >= writing {
             // mid-flight lapped writer, or a later generation already
             // landed here: drop rather than tear
             return false;
         }
+        // ordering: Acquire on success pairs with the previous writer's
+        // Release publish, so this writer's word stores cannot be
+        // reordered before the prior generation is fully out of flight
         if slot
             .seq
             .compare_exchange(seen, writing, Ordering::Acquire, Ordering::Relaxed)
@@ -89,29 +106,67 @@ impl<const W: usize> Ring<W> {
             return false; // racing writer won the slot
         }
         for (word, value) in slot.words.iter().zip(words) {
-            word.store(value, Ordering::Relaxed);
+            // ordering: Release pairs with the reader's Acquire word
+            // loads. Without it a reader could read this generation's
+            // word yet still pass validation against the *previous*
+            // generation's seq (no happens-before edge forces its
+            // validating re-load to see our odd seq) — mixing words from
+            // two generations. Found by the mbt-check model suite
+            // (ring_snapshot_never_tears).
+            word.store(value, Ordering::Release);
         }
+        // ordering: Release publishes the word stores; a reader that
+        // acquires this even value observes the complete record
         slot.seq.store(writing + 1, Ordering::Release);
         true
     }
 
+    /// Bounded attempts per slot when the seqlock validation fails
+    /// mid-read (a writer republished the slot between the two `seq`
+    /// loads). Each failed validation re-reads from the new generation;
+    /// after this many failures the slot is skipped — the ring favours a
+    /// prompt, possibly incomplete snapshot over an unbounded spin.
+    const SNAPSHOT_RETRIES: usize = 4;
+
     /// A consistent copy of every published record, oldest first.
-    /// Allocates (cold path) and skips slots that are mid-write.
+    /// Allocates (cold path); skips slots that are mid-write, retrying a
+    /// slot up to [`SNAPSHOT_RETRIES`](Self::SNAPSHOT_RETRIES) times when
+    /// its seqlock validation fails (counted in
+    /// [`read_retries`](Self::read_retries)).
     #[must_use]
     pub fn snapshot(&self) -> Vec<[u64; W]> {
         // lint: allow(alloc, cold path: snapshot copies records out of the ring)
         let mut entries: Vec<(u64, [u64; W])> = Vec::with_capacity(self.slots.len());
         for slot in &*self.slots {
-            let seq = slot.seq.load(Ordering::Acquire);
-            if seq == 0 || seq & 1 == 1 {
-                continue;
-            }
-            let mut words = [0u64; W];
-            for (dst, src) in words.iter_mut().zip(&slot.words) {
-                *dst = src.load(Ordering::Acquire);
-            }
-            if slot.seq.load(Ordering::Acquire) == seq {
-                entries.push(((seq - 2) / 2, words));
+            // ordering: Acquire pairs with the writer's Release publish:
+            // an even seq here means the matching word stores are visible
+            let mut seq = slot.seq.load(Ordering::Acquire);
+            for _attempt in 0..Self::SNAPSHOT_RETRIES {
+                if seq == 0 || seq & 1 == 1 {
+                    break; // never written, or a write is in flight
+                }
+                let mut words = [0u64; W];
+                for (dst, src) in words.iter_mut().zip(&slot.words) {
+                    // ordering: Acquire pairs with the writer's Release
+                    // word stores: if this load observes a newer
+                    // generation's word, the validating seq re-load
+                    // below is forced to observe that generation's odd
+                    // seq too, so validation fails and we retry instead
+                    // of keeping a mixed record
+                    *dst = src.load(Ordering::Acquire);
+                }
+                // ordering: validation load; equality with the first read
+                // proves no writer republished the slot in between
+                let seq2 = slot.seq.load(Ordering::Acquire);
+                if seq2 == seq {
+                    entries.push(((seq - 2) / 2, words));
+                    break;
+                }
+                // A writer landed mid-read: retry from the new generation
+                // instead of silently losing the slot.
+                // ordering: monotone statistic, no other memory depends on it
+                self.read_retries.fetch_add(1, Ordering::Relaxed);
+                seq = seq2;
             }
         }
         entries.sort_unstable_by_key(|&(generation, _)| generation);
@@ -165,7 +220,15 @@ impl RingRecorder {
     /// Spans dropped because a lapped writer still held the target slot.
     #[must_use]
     pub fn dropped(&self) -> u64 {
+        // ordering: monotone statistic, no other memory depends on it
         self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Seqlock validation failures retried while reading spans out (see
+    /// [`Ring::read_retries`]).
+    #[must_use]
+    pub fn read_retries(&self) -> u64 {
+        self.ring.read_retries()
     }
 }
 
@@ -175,6 +238,7 @@ impl Recorder for RingRecorder {
             .ring
             .push([span.phase.index(), span.start_ns, span.dur_ns])
         {
+            // ordering: monotone statistic, no other memory depends on it
             self.dropped.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -298,6 +362,16 @@ mod tests {
             assert_eq!(check, tag.wrapping_mul(K), "torn record for tag {tag}");
         }
         assert_eq!(ring.pushed(), 16_000);
+    }
+
+    #[test]
+    fn quiescent_snapshot_never_retries() {
+        let ring: Ring<2> = Ring::new(4);
+        for i in 0..9u64 {
+            ring.push([i, i * 3]);
+        }
+        assert_eq!(ring.snapshot().len(), 4);
+        assert_eq!(ring.read_retries(), 0);
     }
 
     #[test]

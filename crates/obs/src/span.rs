@@ -8,7 +8,7 @@
 //! [`install_global`] — typically a leaked
 //! [`RingRecorder`](crate::ring::RingRecorder).
 
-use std::sync::OnceLock;
+use mbt_check::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 /// A serving-path phase measured by a [`Span`].

@@ -41,6 +41,7 @@ static BUILDS: AtomicU64 = AtomicU64::new(0);
 /// The number of octrees this process has built so far.
 #[must_use]
 pub fn build_count() -> u64 {
+    // ordering: Relaxed — independent monotonic counter; no data is published through it
     BUILDS.load(Ordering::Relaxed)
 }
 
@@ -164,6 +165,7 @@ impl Octree {
             .unwrap_or(0);
         #[cfg(feature = "validate")]
         tree.validate_contracts();
+        // ordering: Relaxed — independent monotonic counter; no data is published through it
         BUILDS.fetch_add(1, Ordering::Relaxed);
         Ok(tree)
     }

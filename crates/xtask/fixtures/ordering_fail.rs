@@ -1,0 +1,27 @@
+// Atomic orderings with no adjacent `// ordering:` justification, plus a
+// reasonless waiver (the reason is mandatory).
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Counter {
+    hits: AtomicU64,
+    seq: AtomicU64,
+}
+
+impl Counter {
+    pub fn bump(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed); // violation
+    }
+
+    pub fn publish(&self) {
+        // a comment that is not a justification
+        self.seq.store(2, Ordering::Release); // violation
+    }
+
+    pub fn read(&self) -> u64 {
+        self.seq.load(Ordering::Acquire) // violation
+    }
+
+    pub fn sync(&self) -> u64 {
+        self.seq.load(Ordering::SeqCst) // lint: allow(ordering)
+    }
+}

@@ -1,0 +1,45 @@
+// Clean library code: every ordering justified same-line or within three
+// lines above, a reasoned waiver, and an exempt test module.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Counter {
+    hits: AtomicU64,
+    seq: AtomicU64,
+}
+
+impl Counter {
+    pub fn bump(&self) {
+        // ordering: Relaxed — independent monotonic counter; no data is
+        // published through it
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn publish(&self) {
+        self.seq.store(2, Ordering::Release); // ordering: pairs with read()'s Acquire
+    }
+
+    pub fn read(&self) -> u64 {
+        // ordering: Acquire pairs with publish()'s Release store, making
+        // everything written before the publish visible here
+        self.seq.load(Ordering::Acquire)
+    }
+
+    pub fn sync(&self) -> u64 {
+        self.seq.load(Ordering::SeqCst) // lint: allow(ordering, total order audit pending issue #7)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_need_no_justification() {
+        let c = Counter {
+            hits: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+        };
+        c.bump();
+        assert_eq!(c.hits.load(Ordering::SeqCst), 1);
+    }
+}

@@ -9,7 +9,7 @@ pub fn checked_mid(xs: &[f64]) -> f64 {
     xs[xs.len() / 2] // indexing is allowed; the lint targets unwrap/panic
 }
 
-pub fn locked(v: &std::sync::Mutex<f64>) -> f64 {
+pub fn locked(v: &mbt_check::sync::Mutex<f64>) -> f64 {
     *v.lock().unwrap() // lint: allow(panic, mutex poisoning is unrecoverable here)
 }
 

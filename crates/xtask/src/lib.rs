@@ -16,7 +16,16 @@
 //! * **float_cmp** — no `==` / `!=` against float expressions outside
 //!   tests,
 //! * **safety** — every `unsafe` token (fn, impl, block) carries a
-//!   `// SAFETY:` comment on the same line or within three lines above.
+//!   `// SAFETY:` comment on the same line or within three lines above,
+//! * **ordering** — every explicit atomic ordering
+//!   (`Ordering::{Relaxed,Acquire,Release,AcqRel,SeqCst}`) in library
+//!   code carries a `// ordering:` justification on the same line or in
+//!   the comment block directly above (the registry the mbt-check model
+//!   suite keeps honest; `crates/check` itself is exempt — it implements
+//!   the memory model),
+//! * **sync** — the concurrency facade modules (see
+//!   [`SYNC_FACADE_MODULES`]) never name `std::sync` directly; they go
+//!   through `mbt_check::sync` so model-checker builds instrument them.
 //!
 //! Any line can opt out with `// lint: allow(<lint>, <reason>)`; the
 //! reason is mandatory, so the waiver list doubles as an audited registry
@@ -57,13 +66,36 @@ pub const HOT_MODULES: &[&str] = &[
 /// (binaries and dev tooling may unwrap on bad CLI input).
 const HARNESS_CRATES: &[&str] = &["crates/bench/", "crates/xtask/"];
 
+/// Modules that must reach synchronization primitives exclusively through
+/// the `mbt_check::sync` facade (lint `sync`). These are exactly the
+/// modules the model suite (`crates/check/tests/models.rs`) exercises — a
+/// raw `std::sync` here would silently drop the code out of every
+/// model-checker build.
+pub const SYNC_FACADE_MODULES: &[&str] = &[
+    "crates/obs/src/span.rs",
+    "crates/obs/src/ring.rs",
+    "crates/obs/src/hist.rs",
+    "crates/engine/src/cache.rs",
+    "crates/engine/src/scheduler.rs",
+    "crates/engine/src/stats.rs",
+    "crates/engine/src/admission.rs",
+    "crates/engine/src/flight.rs",
+];
+
 /// What lints apply to one source file.
+// each flag is an independent applicability axis set by `classify`, not
+// encoded state — a bitflags type would only obscure the fixture tests
+#[allow(clippy::struct_excessive_bools)]
 #[derive(Debug, Clone, Default)]
 pub struct FileClass {
     /// Subject to the hot-path allocation lint.
     pub hot: bool,
     /// Subject to the panic and float-compare lints (library, non-test).
     pub library: bool,
+    /// Subject to the atomic-ordering justification lint.
+    pub ordering: bool,
+    /// Subject to the `std::sync`-forbidden facade lint.
+    pub sync_facade: bool,
 }
 
 /// Classifies a workspace-relative path (`/`-separated).
@@ -78,9 +110,14 @@ pub fn classify(rel: &str) -> FileClass {
         || rel.starts_with("shims/");
     let in_lib_tree =
         rel.starts_with("src/") || (rel.starts_with("crates/") && rel.contains("/src/"));
+    let library = in_lib_tree && !is_test_tree && !is_harness;
     FileClass {
         hot,
-        library: in_lib_tree && !is_test_tree && !is_harness,
+        library,
+        // the checker crate implements the memory model; annotating its
+        // own internals with `// ordering:` would be circular
+        ordering: library && !rel.starts_with("crates/check/"),
+        sync_facade: SYNC_FACADE_MODULES.contains(&rel),
     }
 }
 
@@ -165,5 +202,27 @@ mod tests {
         assert!(!classify("examples/galaxy.rs").library);
         assert!(classify("src/lib.rs").library);
         assert!(!classify("tests/end_to_end.rs").library);
+    }
+
+    #[test]
+    fn ordering_and_sync_classification() {
+        // every library file outside crates/check is ordering-audited
+        assert!(classify("crates/obs/src/ring.rs").ordering);
+        assert!(classify("crates/engine/src/stats.rs").ordering);
+        assert!(classify("crates/multipole/src/simd.rs").ordering);
+        // the checker implements the memory model — exempt
+        assert!(classify("crates/check/src/sync_impl.rs").library);
+        assert!(!classify("crates/check/src/sync_impl.rs").ordering);
+        // tests and harnesses are never ordering-audited
+        assert!(!classify("crates/engine/tests/cache.rs").ordering);
+        assert!(!classify("crates/bench/src/lib.rs").ordering);
+        // the facade list is exact: members in, neighbours out
+        for rel in SYNC_FACADE_MODULES {
+            assert!(classify(rel).sync_facade, "{rel} must be facade-linted");
+            assert!(classify(rel).library, "{rel} must be library code");
+        }
+        assert!(!classify("crates/engine/src/engine.rs").sync_facade);
+        assert!(!classify("crates/engine/src/registry.rs").sync_facade);
+        assert!(!classify("crates/check/src/sync_impl.rs").sync_facade);
     }
 }

@@ -25,6 +25,12 @@ pub enum Lint {
     FloatCmp,
     /// `unsafe` without an adjacent `// SAFETY:` comment.
     Safety,
+    /// An explicit atomic memory ordering without an adjacent
+    /// `// ordering:` justification.
+    Ordering,
+    /// Raw `std::sync` in a module that must go through the
+    /// `mbt_check::sync` facade.
+    Sync,
 }
 
 impl Lint {
@@ -36,6 +42,8 @@ impl Lint {
             Lint::Panic => "panic",
             Lint::FloatCmp => "float_cmp",
             Lint::Safety => "safety",
+            Lint::Ordering => "ordering",
+            Lint::Sync => "sync",
         }
     }
 }
@@ -332,6 +340,95 @@ fn lint_safety(path: &str, s: &Scanned, out: &mut Vec<Violation>) {
     }
 }
 
+/// The five atomic orderings; `std::cmp::Ordering` variants never
+/// collide with these names.
+const ATOMIC_ORDERINGS: &[&str] = &[
+    "Ordering::Relaxed",
+    "Ordering::Acquire",
+    "Ordering::Release",
+    "Ordering::AcqRel",
+    "Ordering::SeqCst",
+];
+
+/// Lint (e): every explicit atomic ordering needs an `// ordering:`
+/// justification on the same line or in the comment block directly
+/// above — the `unsafe`/`SAFETY:` rule, adapted for justifications that
+/// run long. The point is a reviewable registry of why each ordering is
+/// sufficient, kept honest by the mbt-check model suite.
+fn lint_ordering(path: &str, s: &Scanned, out: &mut Vec<Violation>) {
+    for (i, line) in s.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let Some(pat) = ATOMIC_ORDERINGS.iter().find(|p| line.code.contains(**p)) else {
+            continue;
+        };
+        // Same-line, or in the comment block directly above. Unlike the
+        // `SAFETY:` rule's flat 3-line window, justifications routinely
+        // run long and orderings sit mid-wrapped-statement, so we walk
+        // upward: through at most 3 statement-continuation code lines,
+        // then through a contiguous comment block. A blank line ends the
+        // search — the justification must be adjacent.
+        let mut documented = line.comment.contains("ordering:");
+        let mut code_budget = 3usize;
+        let mut j = i;
+        while !documented && j > 0 {
+            j -= 1;
+            let above = &s.lines[j];
+            let is_code = !above.code.trim().is_empty();
+            if !is_code && above.comment.is_empty() {
+                break; // blank line: the block above is not adjacent
+            }
+            documented = above.comment.contains("ordering:");
+            if is_code {
+                if code_budget == 0 {
+                    break;
+                }
+                code_budget -= 1;
+            } else {
+                // once inside the comment block, code above it ends it
+                code_budget = 0;
+            }
+        }
+        if documented || waived(s, i, Lint::Ordering, out, path) {
+            continue;
+        }
+        out.push(Violation {
+            path: path.to_string(),
+            line: i + 1,
+            lint: Lint::Ordering,
+            message: format!(
+                "`{pat}` without an adjacent `// ordering: <why this suffices>` justification"
+            ),
+        });
+    }
+}
+
+/// Lint (f): facade modules must not reach `std::sync` directly — the
+/// model checker can only explore code whose primitives come from
+/// `mbt_check::sync`, so a raw `std::sync` import here silently removes
+/// the code from every model run.
+fn lint_sync(path: &str, s: &Scanned, out: &mut Vec<Violation>) {
+    for (i, line) in s.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        if !line.code.contains("std::sync") {
+            continue;
+        }
+        if waived(s, i, Lint::Sync, out, path) {
+            continue;
+        }
+        out.push(Violation {
+            path: path.to_string(),
+            line: i + 1,
+            lint: Lint::Sync,
+            message: "raw `std::sync` in a facade module: use `mbt_check::sync` so                       model-checker builds instrument this code"
+                .to_string(),
+        });
+    }
+}
+
 /// Runs every lint applicable to a file of the given class.
 #[must_use]
 pub fn lint_scanned(class: &FileClass, path: &str, s: &Scanned) -> Vec<Violation> {
@@ -342,6 +439,12 @@ pub fn lint_scanned(class: &FileClass, path: &str, s: &Scanned) -> Vec<Violation
     if class.library {
         lint_panic(path, s, &mut out);
         lint_float_cmp(path, s, &mut out);
+    }
+    if class.ordering {
+        lint_ordering(path, s, &mut out);
+    }
+    if class.sync_facade {
+        lint_sync(path, s, &mut out);
     }
     // unsafe hygiene applies to every file, tests and shims included
     lint_safety(path, s, &mut out);

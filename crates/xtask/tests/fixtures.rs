@@ -11,11 +11,13 @@ fn fixture(name: &str) -> String {
     std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
 }
 
-/// Hot library file: all four lints apply.
+/// Hot library file: every per-class lint applies.
 fn hot_class() -> FileClass {
     FileClass {
         hot: true,
         library: true,
+        ordering: true,
+        sync_facade: true,
     }
 }
 
@@ -120,6 +122,96 @@ fn safety_pass_fixture_is_clean() {
     let src = fixture("safety_pass.rs");
     let v = lint_source(&FileClass::default(), "safety_pass.rs", &src);
     assert!(v.is_empty(), "unexpected violations: {v:?}");
+}
+
+/// Library file under the ordering audit but outside the sync facade
+/// (the common case: kernels with Relaxed counters).
+fn ordering_class() -> FileClass {
+    FileClass {
+        library: true,
+        ordering: true,
+        ..FileClass::default()
+    }
+}
+
+#[test]
+fn ordering_fail_fixture_flags_every_marked_line() {
+    let src = fixture("ordering_fail.rs");
+    let v = lint_source(&ordering_class(), "ordering_fail.rs", &src);
+    let mut expected = marked_lines(&src);
+    // the reasonless waiver line is flagged too (reason is mandatory)
+    let waiver_line = src
+        .lines()
+        .position(|l| l.contains("allow(ordering)"))
+        .map(|i| i + 1)
+        .expect("fixture must contain a reasonless waiver");
+    expected.push(waiver_line);
+    expected.sort_unstable();
+    assert_eq!(lines_for(&v, Lint::Ordering), expected);
+}
+
+#[test]
+fn ordering_pass_fixture_is_clean() {
+    let src = fixture("ordering_pass.rs");
+    let v = lint_source(&ordering_class(), "ordering_pass.rs", &src);
+    assert!(v.is_empty(), "unexpected violations: {v:?}");
+}
+
+#[test]
+fn ordering_lint_does_not_apply_to_test_or_checker_code() {
+    // the same unjustified orderings are fine where the audit is off —
+    // integration tests and the checker's own internals
+    let src = fixture("ordering_fail.rs");
+    for rel in [
+        "crates/engine/tests/cache.rs",
+        "crates/check/src/sync_impl.rs",
+    ] {
+        let class = classify(rel);
+        let v = lint_source(&class, rel, &src);
+        assert!(
+            lines_for(&v, Lint::Ordering).is_empty(),
+            "{rel} must not be ordering-linted: {v:?}"
+        );
+    }
+}
+
+#[test]
+fn sync_fail_fixture_flags_every_marked_line() {
+    let src = fixture("sync_fail.rs");
+    let v = lint_source(&hot_class(), "sync_fail.rs", &src);
+    assert_eq!(lines_for(&v, Lint::Sync), marked_lines(&src));
+}
+
+#[test]
+fn sync_pass_fixture_is_clean() {
+    let src = fixture("sync_pass.rs");
+    let v = lint_source(&hot_class(), "sync_pass.rs", &src);
+    assert!(v.is_empty(), "unexpected violations: {v:?}");
+}
+
+#[test]
+fn sync_lint_only_applies_to_facade_modules() {
+    // raw std::sync is fine outside the facade list (e.g. the registry's
+    // RwLock, which the facade deliberately does not provide)
+    let src = fixture("sync_fail.rs");
+    let class = classify("crates/engine/src/registry.rs");
+    assert!(class.library && !class.sync_facade);
+    let v = lint_source(&class, "crates/engine/src/registry.rs", &src);
+    assert!(
+        lines_for(&v, Lint::Sync).is_empty(),
+        "non-facade code must not be sync-linted: {v:?}"
+    );
+}
+
+#[test]
+fn sync_facade_classification_matches_the_model_suite() {
+    for rel in xtask::SYNC_FACADE_MODULES {
+        let class = classify(rel);
+        assert!(
+            class.sync_facade && class.library,
+            "{rel} must be facade library code"
+        );
+    }
 }
 
 #[test]
