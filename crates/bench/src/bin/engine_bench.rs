@@ -10,6 +10,11 @@
 //!
 //! Run with: `cargo run --release -p mbt-bench --bin engine_bench`
 //!
+//! The run also benchmarks the sharded serving path for `k ∈ {1, 2, 4, 8}`
+//! shards (cold build via `warm`, hot-query p50/p95/p99) and records the
+//! thread count so single-core containers report their parallel build
+//! numbers honestly. `-- --shards 2,4` restricts the shard counts.
+//!
 //! CI runs `-- --smoke`: a small workload whose only job is to assert
 //! that the Prometheus and JSON exports parse and carry the latency
 //! distribution fields; no JSON rewrite.
@@ -96,17 +101,186 @@ fn smoke() {
     assert!(stats.query_latency.count >= 3);
     assert!(stats.query_latency.p50_ms <= stats.query_latency.p99_ms);
     check_exports(&stats);
+
+    // sharded serving smoke: fan-out answers must agree with the
+    // unsharded plan on the same particles, and the sharded counters
+    // must land in the exports
+    let sharded = engine
+        .register_sharded(
+            "smoke-sharded",
+            uniform_cube(2_000, 1.0, ChargeModel::RandomSign { magnitude: 1.0 }, 42),
+            4,
+        )
+        .expect("sharded dataset registers");
+    let plain = engine
+        .query(QueryRequest::potentials(
+            dataset,
+            Accuracy::Fixed(8),
+            points.clone(),
+        ))
+        .expect("unsharded reference query succeeds");
+    let fanned = engine
+        .query(QueryRequest::potentials(
+            sharded,
+            Accuracy::Fixed(8),
+            points,
+        ))
+        .expect("sharded smoke query succeeds");
+    let pv = plain.output.potentials().expect("potential query");
+    for (a, b) in fanned
+        .output
+        .potentials()
+        .expect("potential query")
+        .iter()
+        .zip(pv)
+    {
+        assert!(
+            (a - b).abs() <= 1e-3 * b.abs().max(1.0),
+            "sharded smoke diverged: {a} vs {b}"
+        );
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.sharded_queries, 1, "fan-out path did not run");
+    let prom = stats.to_prometheus();
+    assert!(prom.contains("mbt_sharded_queries_total 1"));
+    assert!(stats.to_json().contains("\"sharding\""));
+
     println!(
-        "smoke ok: {} queries, query p50 {:.2} ms / p99 {:.2} ms, exports parse",
-        stats.query_latency.count, stats.query_latency.p50_ms, stats.query_latency.p99_ms,
+        "smoke ok: {} queries ({} sharded), query p50 {:.2} ms / p99 {:.2} ms, exports parse",
+        stats.query_latency.count,
+        stats.sharded_queries,
+        stats.query_latency.p50_ms,
+        stats.query_latency.p99_ms,
     );
 }
 
+/// One shard count's measurements in the sharded phase.
+struct ShardRow {
+    shards: usize,
+    cold_build_ms: f64,
+    shard_build_max_ms: f64,
+    hot_p50_ms: f64,
+    hot_p95_ms: f64,
+    hot_p99_ms: f64,
+    global_shortcuts: u64,
+    skeleton_evals: u64,
+    shard_opens: u64,
+}
+
+const N_SHARD_PARTICLES: usize = 30_000;
+const N_SHARD_POINTS: usize = 1_000;
+const SHARD_HOT_REPS: usize = 15;
+
+/// Cold-build (all shard plans, concurrently) and hot-query latency for
+/// each shard count. Each count gets a fresh engine so cold really means
+/// cold.
+fn sharded_phase(counts: &[usize]) -> Vec<ShardRow> {
+    let particles = uniform_cube(
+        N_SHARD_PARTICLES,
+        1.0,
+        ChargeModel::RandomSign { magnitude: 1.0 },
+        47,
+    );
+    let points = observation_points(N_SHARD_POINTS);
+    let accuracy = Accuracy::Adaptive { p_min: 4 };
+    let mut rows = Vec::with_capacity(counts.len());
+    for &k in counts {
+        let engine = Engine::new(EngineConfig::default()).expect("default config is valid");
+        let id = engine
+            .register_sharded(&format!("shard-{k}"), particles.clone(), k)
+            .expect("sharded dataset registers");
+        let (report, cold_wall) =
+            timed(|| engine.warm(id, accuracy).expect("sharded warm succeeds"));
+        let shard_build_max = report
+            .shards
+            .iter()
+            .map(|w| w.build_time)
+            .max()
+            .unwrap_or(Duration::ZERO);
+        let mut hot = Vec::with_capacity(SHARD_HOT_REPS);
+        for _ in 0..SHARD_HOT_REPS {
+            let t0 = Instant::now();
+            engine
+                .query(QueryRequest::potentials(id, accuracy, points.clone()))
+                .expect("sharded hot query succeeds");
+            hot.push(t0.elapsed());
+        }
+        hot.sort();
+        let q = |p: usize| hot[(hot.len() * p / 100).min(hot.len() - 1)];
+        let stats = engine.stats();
+        println!(
+            "sharded k={k}: cold build {:.1} ms (slowest shard {:.1} ms), \
+             hot p50 {:.2} / p95 {:.2} / p99 {:.2} ms, \
+             routing {} shortcut / {} skeleton / {} open",
+            cold_wall * 1e3,
+            ms(shard_build_max),
+            ms(q(50)),
+            ms(q(95)),
+            ms(q(99)),
+            stats.global_shortcuts,
+            stats.skeleton_evals,
+            stats.shard_opens,
+        );
+        rows.push(ShardRow {
+            shards: k,
+            cold_build_ms: cold_wall * 1e3,
+            shard_build_max_ms: ms(shard_build_max),
+            hot_p50_ms: ms(q(50)),
+            hot_p95_ms: ms(q(95)),
+            hot_p99_ms: ms(q(99)),
+            global_shortcuts: stats.global_shortcuts,
+            skeleton_evals: stats.skeleton_evals,
+            shard_opens: stats.shard_opens,
+        });
+    }
+    rows
+}
+
+fn sharded_json(rows: &[ShardRow], threads: usize) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = write!(out, "  \"shard_threads\": {threads},\n  \"sharded\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"shards\": {}, \"threads\": {threads}, \
+             \"cold_build_ms\": {:.3}, \"shard_build_max_ms\": {:.3}, \
+             \"hot_p50_ms\": {:.3}, \"hot_p95_ms\": {:.3}, \"hot_p99_ms\": {:.3}, \
+             \"global_shortcuts\": {}, \"skeleton_evals\": {}, \"shard_opens\": {}}}{}",
+            r.shards,
+            r.cold_build_ms,
+            r.shard_build_max_ms,
+            r.hot_p50_ms,
+            r.hot_p95_ms,
+            r.hot_p99_ms,
+            r.global_shortcuts,
+            r.skeleton_evals,
+            r.shard_opens,
+            if i + 1 == rows.len() { "" } else { "," },
+        );
+    }
+    out.push_str("  ]\n");
+    out
+}
+
 fn main() {
-    if std::env::args().any(|a| a == "--smoke") {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--smoke") {
         smoke();
         return;
     }
+    let shard_counts: Vec<usize> = args
+        .iter()
+        .position(|a| a == "--shards")
+        .and_then(|i| args.get(i + 1))
+        .map_or_else(
+            || vec![1, 2, 4, 8],
+            |list| {
+                list.split(',')
+                    .map(|s| s.trim().parse().expect("--shards takes e.g. 1,2,4,8"))
+                    .collect()
+            },
+        );
     let engine = Engine::new(EngineConfig::default()).expect("default config is valid");
     let particles = uniform_cube(
         N_PARTICLES,
@@ -188,6 +362,11 @@ fn main() {
     println!("\n{stats}");
     check_exports(&stats);
 
+    // --- sharded serving: cold fan-out build + hot routed queries ---
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    println!("\nsharded phase ({threads} threads):");
+    let shard_rows = sharded_phase(&shard_counts);
+
     let json = format!(
         "{{\n  \"bench\": \"engine\",\n  \"n_particles\": {N_PARTICLES},\n  \
          \"n_points\": {N_POINTS},\n  \"plan_build_ms\": {build:.3},\n  \
@@ -199,7 +378,8 @@ fn main() {
          \"query_p50_ms\": {q50:.3},\n  \"query_p95_ms\": {q95:.3},\n  \"query_p99_ms\": {q99:.3},\n  \
          \"query_max_ms\": {qmax:.3},\n  \"eval_p50_ms\": {e50:.3},\n  \"eval_p95_ms\": {e95:.3},\n  \
          \"eval_p99_ms\": {e99:.3},\n  \"admission_wait_p99_ms\": {w99:.3},\n  \
-         \"slow_queries\": {slow},\n  \"spans_dropped\": {dropped}\n}}\n",
+         \"slow_queries\": {slow},\n  \"spans_dropped\": {dropped},\n{sharded}}}\n",
+        sharded = sharded_json(&shard_rows, threads),
         build = build_s * 1e3,
         plan_bytes = cold.plan_bytes,
         cold = cold_wall * 1e3,

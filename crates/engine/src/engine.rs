@@ -2,11 +2,13 @@
 //! admission control, behind one thread-safe object.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use mbt_geometry::{Particle, Vec3};
-use mbt_treecode::{EvalStats, TreecodeParams};
+use mbt_shard::Skeleton;
+use mbt_treecode::{EvalStats, Treecode, TreecodeParams};
+use rayon::prelude::*;
 
 use mbt_obs::{SlowQuery, Span};
 
@@ -14,6 +16,7 @@ use crate::admission::AdmissionGate;
 use crate::batch::{evaluate_batch_with, QueryKind, QueryOutput};
 use crate::cache::{CacheOutcome, PlanCache};
 use crate::error::EngineError;
+use crate::fanout::{evaluate_sharded, FanoutBreakdown};
 use crate::plan::{Accuracy, EvalConfig, Plan, PlanKey};
 use crate::registry::{Dataset, DatasetId, DatasetRegistry};
 use crate::scheduler::Batcher;
@@ -144,6 +147,47 @@ pub struct QueryResponse {
     pub plan_bytes: usize,
 }
 
+/// Result of [`Engine::warm`]: the aggregate cache outcome plus one
+/// entry per shard plan (a single entry for unsharded datasets, whose one
+/// plan is shard 0 of a one-way partition of themselves).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarmReport {
+    /// The aggregate outcome across every shard: `Built` dominates
+    /// `Coalesced` dominates `Hit`, so a report is `Hit` only when every
+    /// shard plan was already resident.
+    pub outcome: CacheOutcome,
+    /// Per-shard build outcomes, in shard order.
+    pub shards: Vec<ShardWarm>,
+}
+
+/// One shard's slice of a [`WarmReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardWarm {
+    /// The shard index (0 for unsharded datasets).
+    pub shard: usize,
+    /// How this shard's plan was obtained.
+    pub outcome: CacheOutcome,
+    /// Resident bytes of the shard's plan.
+    pub bytes: usize,
+    /// Wall time of the shard plan's build (the original build when the
+    /// plan was already resident — plans carry their construction cost).
+    pub build_time: Duration,
+}
+
+/// `Built` dominates `Coalesced` dominates `Hit`: the aggregate is the
+/// most expensive thing any shard did.
+fn aggregate_outcome<I: IntoIterator<Item = CacheOutcome>>(outcomes: I) -> CacheOutcome {
+    let mut agg = CacheOutcome::Hit;
+    for o in outcomes {
+        agg = match (agg, o) {
+            (CacheOutcome::Built, _) | (_, CacheOutcome::Built) => CacheOutcome::Built,
+            (CacheOutcome::Coalesced, _) | (_, CacheOutcome::Coalesced) => CacheOutcome::Coalesced,
+            _ => CacheOutcome::Hit,
+        };
+    }
+    agg
+}
+
 /// The multi-tenant treecode query engine.
 ///
 /// `Engine` is `Sync`: share one instance (e.g. behind an `Arc`) across
@@ -156,6 +200,13 @@ pub struct Engine {
     batcher: Batcher,
     gate: AdmissionGate,
     stats: StatsCollector,
+    /// Cached global skeletons for sharded datasets, keyed by the
+    /// shard-0 plan key of their generation (dataset + resolved params +
+    /// partition width). Entries are tiny — O(k · p²) complex
+    /// coefficients — and are rebuilt whenever any shard plan was not a
+    /// cache hit, so an evicted-and-rebuilt shard can never serve a
+    /// stale summary.
+    skeletons: Mutex<HashMap<PlanKey, Arc<Skeleton>>>,
 }
 
 impl Engine {
@@ -169,6 +220,7 @@ impl Engine {
             batcher: Batcher::with_window(config.batch_window),
             gate: AdmissionGate::new(config.max_in_flight, config.max_queued),
             stats: StatsCollector::with_slow_threshold(config.slow_query_threshold),
+            skeletons: Mutex::new(HashMap::new()),
         })
     }
 
@@ -181,6 +233,21 @@ impl Engine {
     /// Validates and registers a particle set under `name`.
     pub fn register(&self, name: &str, particles: Vec<Particle>) -> Result<DatasetId, EngineError> {
         self.registry.register(name, particles)
+    }
+
+    /// Validates, Hilbert-partitions into `shards` contiguous key
+    /// ranges, and registers a particle set under `name`. Queries are
+    /// served by independent per-shard plans (built concurrently on a
+    /// cold miss, cached and evicted independently) behind a global
+    /// skeleton tree that answers the cross-shard far field; `shards ==
+    /// 1` is exactly [`Engine::register`].
+    pub fn register_sharded(
+        &self,
+        name: &str,
+        particles: Vec<Particle>,
+        shards: usize,
+    ) -> Result<DatasetId, EngineError> {
+        self.registry.register_sharded(name, particles, shards)
     }
 
     /// The dataset registered under `id`.
@@ -230,33 +297,142 @@ impl Engine {
         )
     }
 
-    /// Pre-builds (or touches) the plan for `(dataset, accuracy)` without
-    /// issuing a query — cache warming for predictable tenants.
-    pub fn warm(
-        &self,
-        dataset: DatasetId,
-        accuracy: Accuracy,
-    ) -> Result<CacheOutcome, EngineError> {
-        self.plan_for(dataset, accuracy)
-            .map(|(_, outcome, _)| outcome)
+    /// Pre-builds (or touches) every plan serving `(dataset, accuracy)`
+    /// without issuing a query — cache warming for predictable tenants.
+    /// For sharded datasets **all** shard plans are built concurrently
+    /// and the report carries one entry per shard; unsharded datasets
+    /// report their single plan as shard 0.
+    pub fn warm(&self, dataset: DatasetId, accuracy: Accuracy) -> Result<WarmReport, EngineError> {
+        let ds = self.registry.get(dataset)?;
+        if !ds.is_sharded() {
+            let (plan, outcome, _) = self.plan_for_ds(&ds, accuracy)?;
+            return Ok(WarmReport {
+                outcome,
+                shards: vec![ShardWarm {
+                    shard: 0,
+                    outcome,
+                    bytes: plan.bytes,
+                    build_time: plan.build_time,
+                }],
+            });
+        }
+        let (plans, _, _) = self.shard_plans(&ds, accuracy)?;
+        let shards: Vec<ShardWarm> = plans
+            .iter()
+            .enumerate()
+            .map(|(s, (plan, outcome))| ShardWarm {
+                shard: s,
+                outcome: *outcome,
+                bytes: plan.bytes,
+                build_time: plan.build_time,
+            })
+            .collect();
+        Ok(WarmReport {
+            outcome: aggregate_outcome(plans.iter().map(|(_, o)| *o)),
+            shards,
+        })
     }
 
-    fn plan_for(
+    fn plan_for_ds(
         &self,
-        dataset: DatasetId,
+        ds: &Arc<Dataset>,
         accuracy: Accuracy,
     ) -> Result<(Arc<Plan>, CacheOutcome, TreecodeParams), EngineError> {
-        let ds = self.registry.get(dataset)?;
-        let params = self.resolve_params_profiled(&ds, accuracy);
+        let params = self.resolve_params_profiled(ds, accuracy);
         params.validate().map_err(EngineError::InvalidParams)?;
         // PlanKey excludes precision (and the other execution knobs), so
         // the f64 and f32 tiers of one request shape share one cached
         // tree + coefficient arena.
-        let key = PlanKey::new(dataset, &params);
+        let key = PlanKey::new(ds.id, &params);
         let (plan, outcome) = self.cache.get_or_build(key, &self.stats, || {
             Plan::build(key, ds.particles(), params)
         })?;
         Ok((plan, outcome, params))
+    }
+
+    /// Resolves every shard plan of a sharded dataset (building cold
+    /// shards concurrently — each shard is its own cache entry behind its
+    /// own single-flight, so a cold dataset costs roughly one shard's
+    /// build time given threads, not the sum) plus the matching global
+    /// skeleton.
+    #[allow(clippy::type_complexity)]
+    fn shard_plans(
+        &self,
+        ds: &Arc<Dataset>,
+        accuracy: Accuracy,
+    ) -> Result<
+        (
+            Vec<(Arc<Plan>, CacheOutcome)>,
+            TreecodeParams,
+            Arc<Skeleton>,
+        ),
+        EngineError,
+    > {
+        let params = self.resolve_params_profiled(ds, accuracy);
+        params.validate().map_err(EngineError::InvalidParams)?;
+        let k = ds.shard_count();
+        let built: Vec<Result<(Arc<Plan>, CacheOutcome), EngineError>> = (0..k)
+            .into_par_iter()
+            .map(|s| {
+                let key = PlanKey::sharded(ds.id, &params, s, k);
+                self.cache.get_or_build(key, &self.stats, || {
+                    Plan::build(key, ds.shard_particles(s), params)
+                })
+            })
+            .collect();
+        let mut plans = Vec::with_capacity(k);
+        let mut fresh = false;
+        for r in built {
+            let (plan, outcome) = r?;
+            fresh |= outcome != CacheOutcome::Hit;
+            plans.push((plan, outcome));
+        }
+        let skey = PlanKey::sharded(ds.id, &params, 0, k);
+        let skeleton = self.skeleton_for(skey, &plans, fresh);
+        Ok((plans, params, skeleton))
+    }
+
+    /// The cached skeleton for this plan generation, rebuilt whenever any
+    /// shard plan was freshly built (deterministic builds make the
+    /// rebuild idempotent; the invalidation only exists so the summary
+    /// can never outlive an evicted shard's coefficients).
+    fn skeleton_for(
+        &self,
+        key: PlanKey,
+        plans: &[(Arc<Plan>, CacheOutcome)],
+        rebuild: bool,
+    ) -> Arc<Skeleton> {
+        let mut map = self
+            .skeletons
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if !rebuild {
+            if let Some(sk) = map.get(&key) {
+                return Arc::clone(sk);
+            }
+        }
+        let refs: Vec<&Treecode> = plans.iter().map(|(p, _)| &p.treecode).collect();
+        let sk = Arc::new(Skeleton::from_treecodes(&refs));
+        map.insert(key, Arc::clone(&sk));
+        sk
+    }
+
+    /// Feeds one fan-out's routing counters plus its per-shard sweeps
+    /// (under their sharded plan keys, so the ordinary per-plan
+    /// breakdown separates shards) into the collector.
+    fn record_fanout_stats(
+        &self,
+        ds: &Dataset,
+        params: &TreecodeParams,
+        fan: &FanoutBreakdown,
+        took: Duration,
+    ) {
+        self.stats.record_fanout(fan, took);
+        let k = ds.shard_count();
+        for sweep in &fan.per_shard {
+            let key = PlanKey::sharded(ds.id, params, sweep.shard, k);
+            self.stats.record_batch(key, 1, sweep.points, sweep.elapsed);
+        }
     }
 
     /// Serves one query: admission → plan resolution (cached, built, or
@@ -269,7 +445,11 @@ impl Engine {
         let arrived = Instant::now();
         let _permit = self.gate.admit(request.deadline, &self.stats)?;
         let waited = arrived.elapsed();
-        let (plan, outcome, params) = self.plan_for(request.dataset, request.accuracy)?;
+        let ds = self.registry.get(request.dataset)?;
+        if ds.is_sharded() {
+            return self.query_sharded(&ds, &request, arrived, waited);
+        }
+        let (plan, outcome, params) = self.plan_for_ds(&ds, request.accuracy)?;
         // a cold build may have consumed the whole budget
         if request.deadline.is_some_and(|d| Instant::now() >= d) {
             self.stats.record_shed_deadline();
@@ -293,6 +473,107 @@ impl Engine {
             cache: outcome,
             plan_bytes: plan.bytes,
         })
+    }
+
+    /// The sharded serving path: resolve every shard plan (concurrent
+    /// cold builds) and the skeleton, then fan out / reduce. Runs under
+    /// the permit `query` already holds.
+    fn query_sharded(
+        &self,
+        ds: &Arc<Dataset>,
+        request: &QueryRequest,
+        arrived: Instant,
+        waited: Duration,
+    ) -> Result<QueryResponse, EngineError> {
+        let (plans, params, skeleton) = self.shard_plans(ds, request.accuracy)?;
+        // cold shard builds may have consumed the whole budget
+        if request.deadline.is_some_and(|d| Instant::now() >= d) {
+            self.stats.record_shed_deadline();
+            return Err(EngineError::DeadlineExceeded);
+        }
+        let cfg = EvalConfig::of(&params);
+        let n_points = request.points.len();
+        let arc_plans: Vec<Arc<Plan>> = plans.iter().map(|(p, _)| Arc::clone(p)).collect();
+        let t0 = Instant::now();
+        let (mut outputs, eval, fan) =
+            evaluate_sharded(&arc_plans, &skeleton, request.kind, &[&request.points], cfg);
+        self.record_fanout_stats(ds, &params, &fan, t0.elapsed());
+        self.stats
+            .record_request(request.dataset, n_points, arrived.elapsed(), waited);
+        let output = outputs.pop().unwrap_or(QueryOutput::Potentials(Vec::new()));
+        Ok(QueryResponse {
+            output,
+            eval,
+            cache: aggregate_outcome(plans.iter().map(|(_, o)| *o)),
+            plan_bytes: plans.iter().map(|(p, _)| p.bytes).sum(),
+        })
+    }
+
+    /// One `query_batch` group against a sharded dataset: resolve the
+    /// shard plans + skeleton once, fan the group's live requests out as
+    /// one multi-request sweep, and scatter the per-request results.
+    #[allow(clippy::too_many_arguments)]
+    fn batch_group_sharded(
+        &self,
+        ds: &Arc<Dataset>,
+        requests: &[QueryRequest],
+        indices: Vec<usize>,
+        kind: QueryKind,
+        cfg: EvalConfig,
+        arrived: Instant,
+        waited: Duration,
+        results: &mut [Option<Result<QueryResponse, EngineError>>],
+    ) {
+        let first = indices[0];
+        let (plans, params, skeleton) = match self.shard_plans(ds, requests[first].accuracy) {
+            Ok(t) => t,
+            Err(e) => {
+                for &i in &indices {
+                    results[i] = Some(Err(e.clone()));
+                }
+                return;
+            }
+        };
+        let now = Instant::now();
+        let live: Vec<usize> = indices
+            .into_iter()
+            .filter(|&i| {
+                if requests[i].deadline.is_some_and(|d| now >= d) {
+                    self.stats.record_shed_deadline();
+                    results[i] = Some(Err(EngineError::DeadlineExceeded));
+                    false
+                } else {
+                    true
+                }
+            })
+            .collect();
+        if live.is_empty() {
+            return;
+        }
+        let slices: Vec<&[Vec3]> = live
+            .iter()
+            .map(|&i| requests[i].points.as_slice())
+            .collect();
+        let arc_plans: Vec<Arc<Plan>> = plans.iter().map(|(p, _)| Arc::clone(p)).collect();
+        let t0 = Instant::now();
+        let (outputs, sweep, fan) = evaluate_sharded(&arc_plans, &skeleton, kind, &slices, cfg);
+        self.record_fanout_stats(ds, &params, &fan, t0.elapsed());
+        let outcome = aggregate_outcome(plans.iter().map(|(_, o)| *o));
+        let plan_bytes: usize = plans.iter().map(|(p, _)| p.bytes).sum();
+        for (&i, output) in live.iter().zip(outputs) {
+            self.stats.record_request(
+                requests[i].dataset,
+                requests[i].points.len(),
+                arrived.elapsed(),
+                waited,
+            );
+            results[i] = Some(Ok(QueryResponse {
+                output,
+                eval: sweep.clone(),
+                cache: outcome,
+                plan_bytes,
+            }));
+        }
     }
 
     /// Serves many queries from one caller as explicitly formed batches:
@@ -329,7 +610,10 @@ impl Engine {
                 results[i] = Some(Err(EngineError::InvalidParams(e)));
                 continue;
             }
-            let key = PlanKey::new(r.dataset, &params);
+            // sharded datasets group under their shard-0 key (== the
+            // plain key when the dataset is unsharded), so one sweep per
+            // (dataset, params, kind) still covers the whole fan-out
+            let key = PlanKey::sharded(r.dataset, &params, 0, ds.shard_count());
             groups
                 .entry((key, r.kind, EvalConfig::of(&params)))
                 .or_default()
@@ -339,7 +623,29 @@ impl Engine {
         for ((key, kind, cfg), indices) in groups {
             // all requests in a group share (dataset, accuracy)
             let first = indices[0];
-            let plan_outcome = self.plan_for(requests[first].dataset, requests[first].accuracy);
+            let ds = match self.registry.get(requests[first].dataset) {
+                Ok(ds) => ds,
+                Err(e) => {
+                    for &i in &indices {
+                        results[i] = Some(Err(e.clone()));
+                    }
+                    continue;
+                }
+            };
+            if ds.is_sharded() {
+                self.batch_group_sharded(
+                    &ds,
+                    requests,
+                    indices,
+                    kind,
+                    cfg,
+                    arrived,
+                    waited,
+                    &mut results,
+                );
+                continue;
+            }
+            let plan_outcome = self.plan_for_ds(&ds, requests[first].accuracy);
             let (plan, outcome, _) = match plan_outcome {
                 Ok(p) => p,
                 Err(e) => {
@@ -419,6 +725,13 @@ impl Engine {
     pub fn stats(&self) -> EngineStats {
         let (resident_plans, resident_bytes) = self.cache.residency();
         let (in_flight, queue_depth) = self.gate.depth();
+        let (skeletons, skeleton_bytes) = {
+            let map = self
+                .skeletons
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            (map.len(), map.values().map(|s| s.heap_bytes()).sum())
+        };
         self.stats.snapshot(Gauges {
             resident_plans,
             resident_bytes,
@@ -426,6 +739,8 @@ impl Engine {
             datasets: self.registry.len(),
             in_flight,
             queue_depth,
+            skeletons,
+            skeleton_bytes,
         })
     }
 }
@@ -583,18 +898,123 @@ mod tests {
     fn warm_prebuilds_the_plan() {
         let engine = Engine::new(EngineConfig::default()).unwrap();
         let id = engine.register("t", particles(300, 19)).unwrap();
+        let report = engine.warm(id, Accuracy::Fixed(4)).unwrap();
+        assert_eq!(report.outcome, CacheOutcome::Built);
+        assert_eq!(report.shards.len(), 1);
+        assert_eq!(report.shards[0].shard, 0);
+        assert!(report.shards[0].bytes > 0);
         assert_eq!(
-            engine.warm(id, Accuracy::Fixed(4)).unwrap(),
-            CacheOutcome::Built
-        );
-        assert_eq!(
-            engine.warm(id, Accuracy::Fixed(4)).unwrap(),
+            engine.warm(id, Accuracy::Fixed(4)).unwrap().outcome,
             CacheOutcome::Hit
         );
         let r = engine
             .query(QueryRequest::potentials(id, Accuracy::Fixed(4), points(3)))
             .unwrap();
         assert_eq!(r.cache, CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn warm_sharded_builds_every_shard_plan() {
+        let engine = Engine::new(EngineConfig::default()).unwrap();
+        let id = engine.register_sharded("t", particles(600, 47), 4).unwrap();
+        let report = engine.warm(id, Accuracy::Fixed(4)).unwrap();
+        assert_eq!(report.outcome, CacheOutcome::Built);
+        assert_eq!(report.shards.len(), 4);
+        for (s, w) in report.shards.iter().enumerate() {
+            assert_eq!(w.shard, s);
+            assert_eq!(w.outcome, CacheOutcome::Built);
+            assert!(w.bytes > 0);
+            assert!(w.build_time > Duration::ZERO);
+        }
+        let s = engine.stats();
+        assert_eq!(s.plan_builds, 4);
+        assert_eq!(s.resident_plans, 4);
+        assert_eq!(s.skeletons, 1);
+        assert!(s.skeleton_bytes > 0);
+        // warming again touches every shard without rebuilding
+        let again = engine.warm(id, Accuracy::Fixed(4)).unwrap();
+        assert_eq!(again.outcome, CacheOutcome::Hit);
+        assert!(again.shards.iter().all(|w| w.outcome == CacheOutcome::Hit));
+        assert_eq!(engine.stats().plan_builds, 4);
+    }
+
+    #[test]
+    fn sharded_query_routes_and_counts() {
+        let engine = Engine::new(EngineConfig::default()).unwrap();
+        let id = engine.register_sharded("t", particles(800, 53), 4).unwrap();
+        let r = engine
+            .query(QueryRequest::potentials(id, Accuracy::Fixed(5), points(10)))
+            .unwrap();
+        assert_eq!(r.cache, CacheOutcome::Built);
+        assert_eq!(r.output.len(), 10);
+        assert!(r.plan_bytes > 0);
+        assert_eq!(r.eval.targets, 10);
+        let s = engine.stats();
+        assert_eq!(s.sharded_queries, 1);
+        assert!(
+            s.global_shortcuts + s.skeleton_evals + s.shard_opens > 0,
+            "fan-out routed nothing"
+        );
+        assert_eq!(s.fanout_latency.count, 1);
+        // hot repeat: same values, all shard plans hit
+        let r2 = engine
+            .query(QueryRequest::potentials(id, Accuracy::Fixed(5), points(10)))
+            .unwrap();
+        assert_eq!(r2.cache, CacheOutcome::Hit);
+        assert_eq!(r.output, r2.output);
+    }
+
+    #[test]
+    fn sharded_k1_serves_on_the_unsharded_path() {
+        let engine = Engine::new(EngineConfig::default()).unwrap();
+        let id = engine.register_sharded("t", particles(300, 59), 1).unwrap();
+        let r = engine
+            .query(QueryRequest::potentials(id, Accuracy::Fixed(4), points(6)))
+            .unwrap();
+        assert_eq!(r.output.len(), 6);
+        let s = engine.stats();
+        assert_eq!(s.sharded_queries, 0);
+        assert_eq!(s.skeletons, 0);
+    }
+
+    #[test]
+    fn query_batch_handles_sharded_groups() {
+        let engine = Engine::new(EngineConfig::default()).unwrap();
+        let a = engine.register_sharded("a", particles(600, 61), 2).unwrap();
+        let b = engine.register("b", particles(300, 67)).unwrap();
+        let pts = points(8);
+        let reqs = vec![
+            QueryRequest::potentials(a, Accuracy::Fixed(4), pts.clone()),
+            QueryRequest::potentials(b, Accuracy::Fixed(4), pts.clone()),
+            QueryRequest::potentials(a, Accuracy::Fixed(4), pts.clone()),
+            QueryRequest::fields(a, Accuracy::Fixed(4), pts.clone()),
+        ];
+        let results = engine.query_batch(&reqs);
+        for r in &results {
+            assert!(r.is_ok(), "{r:?}");
+        }
+        // identical sharded requests agree, and match a solo query
+        assert_eq!(
+            results[0].as_ref().unwrap().output,
+            results[2].as_ref().unwrap().output
+        );
+        let solo = engine
+            .query(QueryRequest::potentials(a, Accuracy::Fixed(4), pts))
+            .unwrap();
+        assert_eq!(solo.output, results[0].as_ref().unwrap().output);
+        let s = engine.stats();
+        // batch fan-outs: (a,pot) with two requests + (a,field); solo adds one
+        assert_eq!(s.sharded_queries, 3);
+    }
+
+    #[test]
+    fn aggregate_outcome_prefers_the_most_expensive() {
+        use CacheOutcome::{Built, Coalesced, Hit};
+        assert_eq!(aggregate_outcome([]), Hit);
+        assert_eq!(aggregate_outcome([Hit, Hit]), Hit);
+        assert_eq!(aggregate_outcome([Hit, Coalesced]), Coalesced);
+        assert_eq!(aggregate_outcome([Coalesced, Built, Hit]), Built);
+        assert_eq!(aggregate_outcome([Built]), Built);
     }
 
     #[test]

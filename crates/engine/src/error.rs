@@ -25,6 +25,15 @@ pub enum EngineError {
         /// Index of the offending particle in the submitted order.
         index: usize,
     },
+    /// A sharded registration asked for an impossible shard count (zero,
+    /// or more shards than particles — every shard must own at least one
+    /// particle for its octree to exist).
+    InvalidShardCount {
+        /// The shard count the caller asked for.
+        requested: usize,
+        /// Particles in the submitted set.
+        particles: usize,
+    },
     /// The request's resolved treecode parameters failed validation.
     InvalidParams(TreecodeError),
     /// Plan construction failed below the engine.
@@ -58,6 +67,14 @@ impl std::fmt::Display for EngineError {
             EngineError::NonFiniteParticle { index } => {
                 write!(f, "particle {index} has a non-finite position or charge")
             }
+            EngineError::InvalidShardCount {
+                requested,
+                particles,
+            } => write!(
+                f,
+                "cannot cut {particles} particles into {requested} shards \
+                 (need 1 <= shards <= particles)"
+            ),
             EngineError::InvalidParams(e) => write!(f, "invalid query parameters: {e}"),
             EngineError::Build(e) => write!(f, "plan construction failed: {e}"),
             EngineError::Overloaded { in_flight, queued } => write!(
@@ -89,6 +106,10 @@ mod tests {
             EngineError::DuplicateDataset("galaxy".into()),
             EngineError::EmptyDataset,
             EngineError::NonFiniteParticle { index: 3 },
+            EngineError::InvalidShardCount {
+                requested: 8,
+                particles: 5,
+            },
             EngineError::InvalidParams(TreecodeError::InvalidAlpha(-1.0)),
             EngineError::Build(TreecodeError::DegreeTooLarge(99)),
             EngineError::Overloaded {

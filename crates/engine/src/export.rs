@@ -130,6 +130,15 @@ impl EngineStats {
         w.field_u64("queue_peak", self.queue_peak);
         w.end_object();
 
+        w.begin_object_field("sharding");
+        w.field_u64("queries", self.sharded_queries);
+        w.field_u64("global_shortcuts", self.global_shortcuts);
+        w.field_u64("skeleton_evals", self.skeleton_evals);
+        w.field_u64("shard_opens", self.shard_opens);
+        w.field_u64("skeletons", self.skeletons as u64);
+        w.field_u64("skeleton_bytes", self.skeleton_bytes as u64);
+        w.end_object();
+
         w.field_u64("datasets", self.datasets as u64);
         w.field_u64("slow_queries", self.slow_queries);
         w.field_u64("spans_dropped", self.spans_dropped);
@@ -140,6 +149,7 @@ impl EngineStats {
         summary_json(&mut w, "eval", &self.eval_latency);
         summary_json(&mut w, "query", &self.query_latency);
         summary_json(&mut w, "admission_wait", &self.admission_wait);
+        summary_json(&mut w, "fanout", &self.fanout_latency);
         w.end_object();
 
         w.begin_object_field("histograms");
@@ -147,6 +157,7 @@ impl EngineStats {
         histogram_json(&mut w, "eval", &self.eval_histogram);
         histogram_json(&mut w, "query", &self.query_histogram);
         histogram_json(&mut w, "admission_wait", &self.wait_histogram);
+        histogram_json(&mut w, "fanout", &self.fanout_histogram);
         w.end_object();
 
         w.begin_array_field("per_plan");
@@ -316,6 +327,42 @@ impl EngineStats {
         );
         prom_counter(
             &mut w,
+            "mbt_sharded_queries_total",
+            "Queries served through the sharded fan-out path",
+            self.sharded_queries,
+        );
+        prom_counter(
+            &mut w,
+            "mbt_global_shortcuts_total",
+            "Fan-out decisions answered by the global aggregate expansion",
+            self.global_shortcuts,
+        );
+        prom_counter(
+            &mut w,
+            "mbt_skeleton_evals_total",
+            "Point-shard pairs answered by a skeleton summary",
+            self.skeleton_evals,
+        );
+        prom_counter(
+            &mut w,
+            "mbt_shard_opens_total",
+            "Point-shard pairs that opened the shard's plan",
+            self.shard_opens,
+        );
+        prom_gauge(
+            &mut w,
+            "mbt_skeletons",
+            "Global skeletons currently cached",
+            self.skeletons as f64,
+        );
+        prom_gauge(
+            &mut w,
+            "mbt_skeleton_bytes",
+            "Heap bytes held by cached skeletons",
+            self.skeleton_bytes as f64,
+        );
+        prom_counter(
+            &mut w,
             "mbt_slow_queries_total",
             "Requests past the slow-query threshold",
             self.slow_queries,
@@ -357,6 +404,12 @@ impl EngineStats {
             "Admission-queue wait",
             &self.wait_histogram,
         );
+        prom_histogram(
+            &mut w,
+            "mbt_fanout_latency_seconds",
+            "Sharded fan-out wall time",
+            &self.fanout_histogram,
+        );
 
         prom_quantiles(
             &mut w,
@@ -375,6 +428,12 @@ impl EngineStats {
             "mbt_query_latency",
             "End-to-end request latency quantile estimate",
             &self.query_latency,
+        );
+        prom_quantiles(
+            &mut w,
+            "mbt_fanout_latency",
+            "Sharded fan-out latency quantile estimate",
+            &self.fanout_latency,
         );
 
         let names = [
@@ -489,6 +548,15 @@ mod tests {
         );
         c.record_admission_wait(Duration::ZERO);
         c.record_admission_wait(Duration::from_millis(3));
+        c.record_fanout(
+            &crate::fanout::FanoutBreakdown {
+                global_shortcuts: 4,
+                skeleton_evals: 9,
+                opens: 1,
+                per_shard: Vec::new(),
+            },
+            Duration::from_millis(2),
+        );
         c.snapshot(Gauges {
             resident_plans: 2,
             resident_bytes: 1 << 20,
@@ -496,6 +564,8 @@ mod tests {
             datasets: 2,
             in_flight: 0,
             queue_depth: 0,
+            skeletons: 1,
+            skeleton_bytes: 2048,
         })
     }
 
@@ -514,6 +584,12 @@ mod tests {
             "\"admission_wait\"",
             "\"slow_queries\":1",
             "\"span_read_retries\":0",
+            "\"sharding\"",
+            "\"global_shortcuts\":4",
+            "\"skeleton_evals\":9",
+            "\"shard_opens\":1",
+            "\"skeleton_bytes\":2048",
+            "\"fanout\"",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
@@ -532,6 +608,14 @@ mod tests {
             "mbt_query_latency_p99_seconds",
             "mbt_slow_queries_total 1",
             "mbt_span_read_retries_total 0",
+            "mbt_sharded_queries_total 1",
+            "mbt_global_shortcuts_total 4",
+            "mbt_skeleton_evals_total 9",
+            "mbt_shard_opens_total 1",
+            "mbt_skeletons 1",
+            "mbt_skeleton_bytes 2048",
+            "mbt_fanout_latency_seconds_count 1",
+            "mbt_fanout_latency_p99_seconds",
             "mbt_dataset_requests_total{dataset=\"0\"} 3",
             "mbt_plan_eval_p99_seconds{dataset=\"1\",plan=\"",
         ] {
@@ -549,6 +633,7 @@ mod tests {
             "mbt_eval_latency_seconds",
             "mbt_query_latency_seconds",
             "mbt_admission_wait_seconds",
+            "mbt_fanout_latency_seconds",
         ] {
             let inf = format!("{name}_bucket{{le=\"+Inf\"}} ");
             let cnt = format!("{name}_count ");

@@ -39,6 +39,16 @@
 //! - **Admission** ([`AdmissionGate`] — internal to [`Engine::query`]):
 //!   bounded in-flight work, bounded queue, overload and deadline
 //!   shedding as typed [`EngineError`]s. The engine never panics.
+//! - **Sharded serving** ([`Engine::register_sharded`] + the fan-out in
+//!   [`evaluate_sharded`]): a dataset may be Hilbert-partitioned into `k`
+//!   contiguous weight-balanced key ranges. Each shard gets its own
+//!   independently cached plan (cold shards build concurrently behind
+//!   per-shard single-flights), while a tiny global **skeleton tree**
+//!   ([`Skeleton`]) of per-shard root expansions answers the cross-shard
+//!   far field under the paper's Theorem 1/2 error bounds — a shard's
+//!   plan is opened only when the bound refuses the summary. `k = 1` is
+//!   bit-identical to the unsharded path (it *is* the unsharded path:
+//!   the shard-0 key normalises to the plain plan key).
 //!
 //! # Quick start
 //!
@@ -68,6 +78,7 @@ mod cache;
 mod engine;
 mod error;
 mod export;
+mod fanout;
 mod plan;
 mod registry;
 mod stats;
@@ -78,8 +89,9 @@ pub mod scheduler;
 pub use admission::{AdmissionGate, Permit};
 pub use batch::{evaluate_batch, evaluate_batch_with, QueryKind, QueryOutput};
 pub use cache::{ByteLru, CacheOutcome, Inserted, PlanCache};
-pub use engine::{Engine, EngineConfig, QueryRequest, QueryResponse};
+pub use engine::{Engine, EngineConfig, QueryRequest, QueryResponse, ShardWarm, WarmReport};
 pub use error::EngineError;
+pub use fanout::{evaluate_sharded, FanoutBreakdown, ShardSweep};
 pub use flight::{Combiner, Flight, SingleFlight};
 pub use plan::{Accuracy, EvalConfig, Plan, PlanKey};
 pub use registry::{Dataset, DatasetId, DatasetRegistry};
@@ -88,3 +100,6 @@ pub use stats::{DatasetBreakdown, EngineStats, LatencySummary, PlanBreakdown, St
 
 // The observability vocabulary the engine's accessors speak.
 pub use mbt_obs::{HistogramSnapshot, Phase, SlowQuery, Span};
+
+// The sharding vocabulary: partitioner, shard metadata, skeleton tree.
+pub use mbt_shard::{HilbertPartition, ShardError, ShardInfo, Skeleton};

@@ -167,6 +167,12 @@ pub struct PlanKey {
     leaf_capacity: usize,
     ref_weight: RefWeightKey,
     softening: u64,
+    /// `(shard index, shard count)` for a shard of a Hilbert-partitioned
+    /// dataset; `(0, 1)` for an unsharded plan. A one-way partition
+    /// preserves the particle order exactly, so [`PlanKey::sharded`]
+    /// normalises `k == 1` onto the unsharded key and the two paths share
+    /// one cached (bit-identical) plan.
+    shard: (u32, u32),
 }
 
 impl PlanKey {
@@ -184,13 +190,39 @@ impl PlanKey {
                 RefWeight::Explicit(w) => RefWeightKey::Explicit(w.to_bits()),
             },
             softening: params.softening.to_bits(),
+            shard: (0, 1),
         }
+    }
+
+    /// The key of shard `shard` in a `count`-way Hilbert partition of
+    /// `dataset`. `count == 1` is normalised to the unsharded key: a
+    /// single-shard partition reproduces the input particle list verbatim
+    /// (the split preserves relative order), so its plan **is** the
+    /// unsharded plan and must share its cache residency.
+    #[must_use]
+    pub fn sharded(
+        dataset: DatasetId,
+        params: &TreecodeParams,
+        shard: usize,
+        count: usize,
+    ) -> PlanKey {
+        let mut key = PlanKey::new(dataset, params);
+        if count > 1 {
+            key.shard = (shard as u32, count as u32);
+        }
+        key
     }
 
     /// The dataset this plan serves.
     #[must_use]
     pub fn dataset(&self) -> DatasetId {
         self.dataset
+    }
+
+    /// `(shard index, shard count)`; `(0, 1)` for unsharded plans.
+    #[must_use]
+    pub fn shard(&self) -> (usize, usize) {
+        (self.shard.0 as usize, self.shard.1 as usize)
     }
 }
 
@@ -313,6 +345,24 @@ mod tests {
         let softened = a.with_softening(1e-3);
         assert_ne!(k(id0, &a), k(id0, &softened));
         assert_eq!(k(id0, &a).dataset(), id0);
+    }
+
+    #[test]
+    fn sharded_keys_distinguish_shards_but_k1_is_the_unsharded_key() {
+        let p = TreecodeParams::fixed(4, 0.6);
+        let id = DatasetId(3);
+        // k = 1 normalises onto the unsharded key (order-preserving split
+        // makes the single shard bit-identical to the whole dataset)
+        assert_eq!(PlanKey::sharded(id, &p, 0, 1), PlanKey::new(id, &p));
+        // shards of one partition are distinct keys, and distinct from
+        // the unsharded key and from other partition widths
+        let s0 = PlanKey::sharded(id, &p, 0, 4);
+        let s1 = PlanKey::sharded(id, &p, 1, 4);
+        assert_ne!(s0, s1);
+        assert_ne!(s0, PlanKey::new(id, &p));
+        assert_ne!(s0, PlanKey::sharded(id, &p, 0, 2));
+        assert_eq!(s1.shard(), (1, 4));
+        assert_eq!(PlanKey::new(id, &p).shard(), (0, 1));
     }
 
     #[test]

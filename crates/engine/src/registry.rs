@@ -11,6 +11,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, PoisonError, RwLock};
 
 use mbt_geometry::{Aabb, Particle, Vec3};
+use mbt_shard::{HilbertPartition, ShardInfo};
 
 use crate::error::EngineError;
 
@@ -34,9 +35,18 @@ pub struct Dataset {
     /// Largest absolute charge `max|qᵢ|` — the scale factor the f32
     /// near-field admission test compares the truncation budget against.
     pub q_max: f64,
-    /// Resident bytes of the particle storage.
+    /// Resident bytes of the particle storage (submitted order plus, for
+    /// sharded datasets, the Hilbert-partitioned per-shard copies).
     pub bytes: usize,
     particles: Arc<[Particle]>,
+    /// Hilbert-contiguous per-shard particle sets (empty when the dataset
+    /// was registered unsharded). Each shard preserves the submitted
+    /// relative order of its particles, so shard plans are deterministic
+    /// functions of the submitted list.
+    shard_parts: Vec<Arc<[Particle]>>,
+    /// Per-shard summary facts (index, count, weight, key range),
+    /// parallel to `shard_parts`.
+    shard_infos: Vec<ShardInfo>,
 }
 
 impl Dataset {
@@ -59,6 +69,36 @@ impl Dataset {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.particles.is_empty()
+    }
+
+    /// Number of shards this dataset is served as (`1` when unsharded —
+    /// one dataset is one shard of itself).
+    #[inline]
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shard_parts.len().max(1)
+    }
+
+    /// Whether queries fan out over multiple shard plans.
+    #[inline]
+    #[must_use]
+    pub fn is_sharded(&self) -> bool {
+        self.shard_parts.len() > 1
+    }
+
+    /// The particles of shard `s`; the whole set when unsharded (the
+    /// one-shard view of an unsharded dataset is the dataset itself).
+    #[inline]
+    #[must_use]
+    pub fn shard_particles(&self, s: usize) -> &[Particle] {
+        self.shard_parts.get(s).map_or(&self.particles, |p| p)
+    }
+
+    /// Per-shard partition facts, in shard order (empty when unsharded).
+    #[inline]
+    #[must_use]
+    pub fn shards(&self) -> &[ShardInfo] {
+        &self.shard_infos
     }
 }
 
@@ -86,6 +126,53 @@ impl DatasetRegistry {
     /// Validates and registers a particle set under `name`, returning its
     /// stable id.
     pub fn register(&self, name: &str, particles: Vec<Particle>) -> Result<DatasetId, EngineError> {
+        Self::validate_particles(&particles)?;
+        self.insert(name, particles, Vec::new(), Vec::new())
+    }
+
+    /// Validates, Hilbert-partitions into `shards` contiguous key ranges,
+    /// and registers a particle set under `name`. Queries against the
+    /// resulting id are served by `shards` independent per-shard plans
+    /// plus a global skeleton tree; `shards == 1` registers an ordinary
+    /// unsharded dataset (a one-way split is the identity).
+    pub fn register_sharded(
+        &self,
+        name: &str,
+        particles: Vec<Particle>,
+        shards: usize,
+    ) -> Result<DatasetId, EngineError> {
+        Self::validate_particles(&particles)?;
+        if shards == 0 || shards > particles.len() {
+            return Err(EngineError::InvalidShardCount {
+                requested: shards,
+                particles: particles.len(),
+            });
+        }
+        if shards == 1 {
+            return self.insert(name, particles, Vec::new(), Vec::new());
+        }
+        let positions: Vec<Vec3> = particles.iter().map(|p| p.position).collect();
+        let bounds = Aabb::cubical_hull(&positions, 1e-9);
+        let partition =
+            HilbertPartition::new(&particles, &bounds, shards).map_err(|e| match e {
+                mbt_shard::ShardError::InvalidCount {
+                    requested,
+                    particles,
+                } => EngineError::InvalidShardCount {
+                    requested,
+                    particles,
+                },
+            })?;
+        let parts: Vec<Arc<[Particle]>> = partition
+            .split(&particles)
+            .into_iter()
+            .map(Arc::from)
+            .collect();
+        let infos = partition.shards().to_vec();
+        self.insert(name, particles, parts, infos)
+    }
+
+    fn validate_particles(particles: &[Particle]) -> Result<(), EngineError> {
         if particles.is_empty() {
             return Err(EngineError::EmptyDataset);
         }
@@ -94,11 +181,22 @@ impl DatasetRegistry {
                 return Err(EngineError::NonFiniteParticle { index });
             }
         }
+        Ok(())
+    }
+
+    fn insert(
+        &self,
+        name: &str,
+        particles: Vec<Particle>,
+        shard_parts: Vec<Arc<[Particle]>>,
+        shard_infos: Vec<ShardInfo>,
+    ) -> Result<DatasetId, EngineError> {
         let positions: Vec<Vec3> = particles.iter().map(|p| p.position).collect();
         let bounds = Aabb::cubical_hull(&positions, 1e-9);
         let abs_charge: f64 = particles.iter().map(|p| p.charge.abs()).sum();
         let q_max = particles.iter().map(|p| p.charge.abs()).fold(0.0, f64::max);
-        let bytes = particles.len() * std::mem::size_of::<Particle>();
+        let copies = particles.len() + shard_parts.iter().map(|p| p.len()).sum::<usize>();
+        let bytes = copies * std::mem::size_of::<Particle>();
 
         let mut inner = self.inner.write().unwrap_or_else(PoisonError::into_inner);
         if inner.by_name.contains_key(name) {
@@ -114,6 +212,8 @@ impl DatasetRegistry {
             q_max,
             bytes,
             particles: particles.into(),
+            shard_parts,
+            shard_infos,
         });
         inner.by_id.insert(id, ds);
         inner.by_name.insert(name.to_string(), id);
@@ -212,6 +312,59 @@ mod tests {
         assert_eq!(
             reg.register("dup", ps(3)),
             Err(EngineError::DuplicateDataset("dup".into()))
+        );
+    }
+
+    #[test]
+    fn register_sharded_cuts_contiguous_parts_that_cover_the_set() {
+        let reg = DatasetRegistry::new();
+        let id = reg.register_sharded("s", ps(40), 4).unwrap();
+        let ds = reg.get(id).unwrap();
+        assert!(ds.is_sharded());
+        assert_eq!(ds.shard_count(), 4);
+        assert_eq!(ds.shards().len(), 4);
+        let total: usize = (0..4).map(|s| ds.shard_particles(s).len()).sum();
+        assert_eq!(total, 40);
+        for (s, info) in ds.shards().iter().enumerate() {
+            assert_eq!(info.index, s);
+            assert_eq!(info.count, ds.shard_particles(s).len());
+            assert!(info.count > 0);
+        }
+        // the particle copies are accounted in the byte gauge
+        assert_eq!(ds.bytes, 2 * 40 * std::mem::size_of::<Particle>());
+    }
+
+    #[test]
+    fn register_sharded_k1_is_an_ordinary_dataset() {
+        let reg = DatasetRegistry::new();
+        let id = reg.register_sharded("one", ps(10), 1).unwrap();
+        let ds = reg.get(id).unwrap();
+        assert!(!ds.is_sharded());
+        assert_eq!(ds.shard_count(), 1);
+        assert!(ds.shards().is_empty());
+        assert_eq!(ds.shard_particles(0), ds.particles());
+    }
+
+    #[test]
+    fn register_sharded_rejects_impossible_counts() {
+        let reg = DatasetRegistry::new();
+        assert_eq!(
+            reg.register_sharded("z", ps(5), 0),
+            Err(EngineError::InvalidShardCount {
+                requested: 0,
+                particles: 5
+            })
+        );
+        assert_eq!(
+            reg.register_sharded("m", ps(5), 6),
+            Err(EngineError::InvalidShardCount {
+                requested: 6,
+                particles: 5
+            })
+        );
+        assert_eq!(
+            reg.register_sharded("e", vec![], 2),
+            Err(EngineError::EmptyDataset)
         );
     }
 

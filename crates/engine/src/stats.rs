@@ -26,6 +26,7 @@ use mbt_obs::{
     Histogram, HistogramSnapshot, Phase, Recorder, RingRecorder, SlowLog, SlowQuery, Span,
 };
 
+use crate::fanout::FanoutBreakdown;
 use crate::plan::PlanKey;
 use crate::registry::DatasetId;
 
@@ -91,6 +92,11 @@ pub struct StatsCollector {
     batched_requests: AtomicU64,
     max_batch: AtomicU64,
     eval_points: AtomicU64,
+    // sharded fan-out routing
+    sharded_queries: AtomicU64,
+    global_shortcuts: AtomicU64,
+    skeleton_evals: AtomicU64,
+    shard_opens: AtomicU64,
     // admission control
     admitted: AtomicU64,
     shed_overload: AtomicU64,
@@ -101,6 +107,7 @@ pub struct StatsCollector {
     eval_hist: Histogram,
     query_hist: Histogram,
     wait_hist: Histogram,
+    fanout_hist: Histogram,
     // bounded engine-phase span ring + slow-query log
     spans: RingRecorder,
     slow: SlowLog,
@@ -131,6 +138,10 @@ impl StatsCollector {
             batched_requests: AtomicU64::new(0),
             max_batch: AtomicU64::new(0),
             eval_points: AtomicU64::new(0),
+            sharded_queries: AtomicU64::new(0),
+            global_shortcuts: AtomicU64::new(0),
+            skeleton_evals: AtomicU64::new(0),
+            shard_opens: AtomicU64::new(0),
             admitted: AtomicU64::new(0),
             shed_overload: AtomicU64::new(0),
             shed_deadline: AtomicU64::new(0),
@@ -139,6 +150,7 @@ impl StatsCollector {
             eval_hist: Histogram::new(),
             query_hist: Histogram::new(),
             wait_hist: Histogram::new(),
+            fanout_hist: Histogram::new(),
             spans: RingRecorder::new(SPAN_RING_CAPACITY),
             slow: SlowLog::new(SLOW_LOG_CAPACITY),
             slow_threshold_ns: saturating_ns(slow_threshold),
@@ -222,6 +234,24 @@ impl StatsCollector {
         entry.eval.record(took);
     }
 
+    /// One sharded fan-out: its routing counters (per-tier interaction
+    /// decisions summed over the fan-out's points × shards) plus its
+    /// end-to-end latency.
+    pub(crate) fn record_fanout(&self, fan: &FanoutBreakdown, took: Duration) {
+        // ordering: Relaxed — independent monotonic counter; no data is published through it
+        self.sharded_queries.fetch_add(1, Ordering::Relaxed);
+        // ordering: Relaxed — independent monotonic counter; no data is published through it
+        self.global_shortcuts
+            .fetch_add(fan.global_shortcuts, Ordering::Relaxed);
+        // ordering: Relaxed — independent monotonic counter; no data is published through it
+        self.skeleton_evals
+            .fetch_add(fan.skeleton_evals, Ordering::Relaxed);
+        // ordering: Relaxed — independent monotonic counter; no data is published through it
+        self.shard_opens.fetch_add(fan.opens, Ordering::Relaxed);
+        self.fanout_hist.record(took);
+        self.emit_span(Phase::ShardFanout, took);
+    }
+
     /// Time a request spent queued at the admission gate (zero for
     /// fast-path admissions, which emit no span).
     pub(crate) fn record_admission_wait(&self, waited: Duration) {
@@ -293,6 +323,7 @@ impl StatsCollector {
         let eval = self.eval_hist.snapshot();
         let query = self.query_hist.snapshot();
         let wait = self.wait_hist.snapshot();
+        let fanout = self.fanout_hist.snapshot();
 
         let (per_plan, per_dataset) = {
             let plans = self.per_plan.lock().unwrap_or_else(PoisonError::into_inner);
@@ -353,6 +384,10 @@ impl StatsCollector {
             max_batch: ld(&self.max_batch),
             eval_seconds: eval.sum_ns as f64 * 1e-9,
             eval_points: ld(&self.eval_points),
+            sharded_queries: ld(&self.sharded_queries),
+            global_shortcuts: ld(&self.global_shortcuts),
+            skeleton_evals: ld(&self.skeleton_evals),
+            shard_opens: ld(&self.shard_opens),
             admitted: ld(&self.admitted),
             shed_overload: ld(&self.shed_overload),
             shed_deadline: ld(&self.shed_deadline),
@@ -361,10 +396,12 @@ impl StatsCollector {
             eval_latency: LatencySummary::of(&eval),
             query_latency: LatencySummary::of(&query),
             admission_wait: LatencySummary::of(&wait),
+            fanout_latency: LatencySummary::of(&fanout),
             build_histogram: build,
             eval_histogram: eval,
             query_histogram: query,
             wait_histogram: wait,
+            fanout_histogram: fanout,
             slow_queries: self.slow.recorded(),
             spans_dropped: self.spans.dropped(),
             span_read_retries: self.spans.read_retries(),
@@ -376,6 +413,8 @@ impl StatsCollector {
             datasets: gauges.datasets,
             in_flight: gauges.in_flight,
             queue_depth: gauges.queue_depth,
+            skeletons: gauges.skeletons,
+            skeleton_bytes: gauges.skeleton_bytes,
         }
     }
 }
@@ -389,6 +428,8 @@ pub(crate) struct Gauges {
     pub datasets: usize,
     pub in_flight: usize,
     pub queue_depth: usize,
+    pub skeletons: usize,
+    pub skeleton_bytes: usize,
 }
 
 /// Five-number latency digest of one histogram, in milliseconds.
@@ -505,6 +546,21 @@ pub struct EngineStats {
     pub eval_seconds: f64,
     /// Total observation points evaluated.
     pub eval_points: u64,
+    /// Queries (or batch groups) served through the sharded fan-out path.
+    pub sharded_queries: u64,
+    /// Fan-out routing decisions answered entirely by the global
+    /// aggregate expansion (one evaluation instead of `k`).
+    pub global_shortcuts: u64,
+    /// Fan-out `(point, shard)` pairs answered by a shard's skeleton
+    /// summary without opening the shard's plan.
+    pub skeleton_evals: u64,
+    /// Fan-out `(point, shard)` pairs that had to open the shard's plan
+    /// because the error bound refused the skeleton summary.
+    pub shard_opens: u64,
+    /// Global skeletons currently cached.
+    pub skeletons: usize,
+    /// Heap bytes held by those skeletons.
+    pub skeleton_bytes: usize,
     /// Requests admitted past the gate.
     pub admitted: u64,
     /// Requests shed because the queue was full.
@@ -525,6 +581,8 @@ pub struct EngineStats {
     pub query_latency: LatencySummary,
     /// Admission-queue wait digest (zeros dominate when uncontended).
     pub admission_wait: LatencySummary,
+    /// Sharded fan-out latency digest (routing + shard sweeps + reduce).
+    pub fanout_latency: LatencySummary,
     /// Raw plan-build latency buckets.
     pub build_histogram: HistogramSnapshot,
     /// Raw evaluation-sweep latency buckets.
@@ -533,6 +591,8 @@ pub struct EngineStats {
     pub query_histogram: HistogramSnapshot,
     /// Raw admission-wait buckets.
     pub wait_histogram: HistogramSnapshot,
+    /// Raw sharded fan-out latency buckets.
+    pub fanout_histogram: HistogramSnapshot,
     /// Requests that crossed the slow-query threshold.
     pub slow_queries: u64,
     /// Engine-phase spans dropped by the bounded ring under contention.
@@ -659,6 +719,7 @@ mod tests {
             datasets: 2,
             in_flight: 1,
             queue_depth: 0,
+            ..Gauges::default()
         });
         assert_eq!(s.cache_hits, 2);
         assert_eq!(s.cache_misses, 1);
@@ -752,6 +813,36 @@ mod tests {
         let spans = c.spans();
         assert_eq!(spans.len(), 1);
         assert_eq!(spans[0].phase, Phase::AdmissionWait);
+    }
+
+    #[test]
+    fn fanout_counters_and_histogram_roll_up() {
+        use crate::fanout::FanoutBreakdown;
+        let c = StatsCollector::default();
+        let fan = FanoutBreakdown {
+            global_shortcuts: 5,
+            skeleton_evals: 11,
+            opens: 2,
+            per_shard: Vec::new(),
+        };
+        c.record_fanout(&fan, Duration::from_millis(3));
+        c.record_fanout(&fan, Duration::from_millis(1));
+        let s = c.snapshot(Gauges {
+            skeletons: 2,
+            skeleton_bytes: 512,
+            ..Gauges::default()
+        });
+        assert_eq!(s.sharded_queries, 2);
+        assert_eq!(s.global_shortcuts, 10);
+        assert_eq!(s.skeleton_evals, 22);
+        assert_eq!(s.shard_opens, 4);
+        assert_eq!(s.skeletons, 2);
+        assert_eq!(s.skeleton_bytes, 512);
+        assert_eq!(s.fanout_latency.count, 2);
+        assert_eq!(s.fanout_histogram.sum_ns, 4_000_000);
+        let spans = c.spans();
+        assert_eq!(spans.len(), 2);
+        assert!(spans.iter().all(|sp| sp.phase == Phase::ShardFanout));
     }
 
     #[test]

@@ -1,0 +1,172 @@
+//! Sharded serving end-to-end: `k = 1` must be bit-identical to the
+//! unsharded path (the Hilbert split of one shard preserves particle
+//! order, so the plan key and the plan are the same), and `k ∈ {2, 4, 8}`
+//! must stay inside the resolved Theorem 1/2 error budget against the
+//! direct sum — the skeleton only answers a (point, shard) pair when the
+//! same bound the unsharded evaluator enforces accepts it.
+
+use mbt_engine::{Accuracy, CacheOutcome, Engine, EngineConfig, QueryRequest};
+use mbt_geometry::distribution::{overlapped_gaussians, uniform_cube, ChargeModel};
+use mbt_geometry::{Particle, Vec3};
+use mbt_treecode::direct::direct_potentials_at;
+
+fn uniform(n: usize, seed: u64) -> Vec<Particle> {
+    uniform_cube(n, 1.0, ChargeModel::RandomSign { magnitude: 1.0 }, seed)
+}
+
+fn clustered(n: usize, seed: u64) -> Vec<Particle> {
+    overlapped_gaussians(
+        n,
+        4,
+        2.0,
+        0.3,
+        ChargeModel::RandomSign { magnitude: 1.0 },
+        seed,
+    )
+}
+
+/// Near targets (inside the hull) and far targets (well outside it).
+fn probe_points() -> Vec<Vec3> {
+    let mut pts = Vec::new();
+    for i in 0..12 {
+        let t = f64::from(i) / 12.0;
+        pts.push(Vec3::new(2.0 * t - 1.0, 0.8 - 1.6 * t, 0.3));
+    }
+    for i in 0..12 {
+        pts.push(Vec3::new(4.0 + 0.5 * f64::from(i), 2.0, -3.0));
+    }
+    pts
+}
+
+fn max_abs_err(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[test]
+fn k1_is_bit_identical_to_the_unsharded_path() {
+    let engine = Engine::new(EngineConfig::default()).unwrap();
+    let ps = uniform(1500, 101);
+    let plain = engine.register("plain", ps.clone()).unwrap();
+    let one = engine.register_sharded("one-shard", ps, 1).unwrap();
+    let pts = probe_points();
+    for accuracy in [
+        Accuracy::Fixed(6),
+        Accuracy::Tolerance { tol: 1e-6 },
+        Accuracy::Adaptive { p_min: 3 },
+    ] {
+        let a = engine
+            .query(QueryRequest::potentials(plain, accuracy, pts.clone()))
+            .unwrap();
+        let b = engine
+            .query(QueryRequest::potentials(one, accuracy, pts.clone()))
+            .unwrap();
+        assert_eq!(
+            a.output, b.output,
+            "{accuracy:?}: one-way sharding changed bits"
+        );
+        let fa = engine
+            .query(QueryRequest::fields(plain, accuracy, pts.clone()))
+            .unwrap();
+        let fb = engine
+            .query(QueryRequest::fields(one, accuracy, pts.clone()))
+            .unwrap();
+        assert_eq!(fa.output, fb.output);
+    }
+    // the one-way dataset never enters the fan-out path
+    assert_eq!(engine.stats().sharded_queries, 0);
+}
+
+/// `k`-sharded answers against the direct sum, for both distributions.
+/// The budget mirrors `tolerance_mode.rs` in the core crate: `tol` is a
+/// per-interaction bound, a target sees `interactions_per_target` of
+/// them, and partial cancellation keeps real error well under the sum —
+/// the 4× safety factor matches the unsharded test.
+fn assert_within_tolerance(ps: &[Particle], label: &str) {
+    let tol = 1e-5;
+    let pts = probe_points();
+    let exact = direct_potentials_at(ps, &pts);
+    for k in [2usize, 4, 8] {
+        let engine = Engine::new(EngineConfig::default()).unwrap();
+        let id = engine
+            .register_sharded(&format!("{label}-{k}"), ps.to_vec(), k)
+            .unwrap();
+        let r = engine
+            .query(QueryRequest::potentials(
+                id,
+                Accuracy::Tolerance { tol },
+                pts.clone(),
+            ))
+            .unwrap();
+        let got = r.output.potentials().unwrap();
+        let err = max_abs_err(got, &exact);
+        let budget = tol * r.eval.interactions_per_target().max(1.0) * 4.0;
+        assert!(
+            err <= budget,
+            "{label} k={k}: max error {err} exceeds budget {budget}"
+        );
+        let s = engine.stats();
+        assert_eq!(s.sharded_queries, 1);
+        assert!(
+            s.global_shortcuts + s.skeleton_evals + s.shard_opens > 0,
+            "{label} k={k}: fan-out recorded no routing"
+        );
+    }
+}
+
+#[test]
+fn sharded_matches_direct_sum_on_uniform_cube() {
+    assert_within_tolerance(&uniform(2000, 211), "uniform");
+}
+
+#[test]
+fn sharded_matches_direct_sum_on_overlapped_gaussians() {
+    assert_within_tolerance(&clustered(2000, 223), "clustered");
+}
+
+#[test]
+fn warm_then_query_hits_every_shard() {
+    let engine = Engine::new(EngineConfig::default()).unwrap();
+    let id = engine.register_sharded("w", uniform(1200, 307), 8).unwrap();
+    let report = engine.warm(id, Accuracy::Fixed(5)).unwrap();
+    assert_eq!(report.outcome, CacheOutcome::Built);
+    assert_eq!(report.shards.len(), 8);
+    assert!(report
+        .shards
+        .iter()
+        .all(|w| w.outcome == CacheOutcome::Built && w.bytes > 0));
+    let r = engine
+        .query(QueryRequest::potentials(
+            id,
+            Accuracy::Fixed(5),
+            probe_points(),
+        ))
+        .unwrap();
+    assert_eq!(r.cache, CacheOutcome::Hit);
+    assert_eq!(engine.stats().plan_builds, 8);
+}
+
+#[test]
+fn batch_and_solo_sharded_answers_agree() {
+    let engine = Engine::new(EngineConfig::default()).unwrap();
+    let id = engine
+        .register_sharded("b", clustered(1000, 401), 4)
+        .unwrap();
+    let pts = probe_points();
+    let solo = engine
+        .query(QueryRequest::potentials(
+            id,
+            Accuracy::Fixed(6),
+            pts.clone(),
+        ))
+        .unwrap();
+    let batch = engine.query_batch(&[
+        QueryRequest::potentials(id, Accuracy::Fixed(6), pts.clone()),
+        QueryRequest::potentials(id, Accuracy::Fixed(6), pts),
+    ]);
+    for r in &batch {
+        assert_eq!(r.as_ref().unwrap().output, solo.output);
+    }
+}

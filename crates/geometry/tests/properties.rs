@@ -52,6 +52,26 @@ proptest! {
         prop_assert_eq!(d, 1);
     }
 
+    /// Hölder-1/3 locality: cells `d` apart along the curve lie within
+    /// Chebyshev distance `O(d^(1/3))` of each other — the property that
+    /// makes contiguous key ranges spatially compact shards. The constant
+    /// 6 is loose for the 3D Hilbert curve (whose segments of length `d`
+    /// fit in a box of edge ~`2·d^(1/3)`); the assertion pins the
+    /// exponent, not the sharpest constant.
+    #[test]
+    fn hilbert_locality(seed in 0u64..(1u64 << 60), delta in 1u64..65536) {
+        let a = hilbert::decode(seed);
+        let b = hilbert::decode(seed + delta);
+        let chebyshev = i64::from(a.0).abs_diff(i64::from(b.0))
+            .max(i64::from(a.1).abs_diff(i64::from(b.1)))
+            .max(i64::from(a.2).abs_diff(i64::from(b.2)));
+        let bound = 6.0 * (delta as f64).cbrt();
+        prop_assert!(
+            (chebyshev as f64) <= bound,
+            "cells {delta} apart on the curve are {chebyshev} apart in space (bound {bound})"
+        );
+    }
+
     /// Cubical hulls contain all their points and are cubes.
     #[test]
     fn cubical_hull_properties(pts in prop::collection::vec(arb_vec3(50.0), 1..64)) {

@@ -139,6 +139,15 @@ impl<'a> ExpansionRef<'a> {
         (p + 1) * (p + 1)
     }
 
+    /// The raw triangular `m ≥ 0` coefficient span (length
+    /// `tri_len(degree)`), for callers that snapshot an expansion into
+    /// their own storage.
+    #[inline]
+    #[must_use]
+    pub fn coeffs(&self) -> &'a [Complex] {
+        self.coeffs
+    }
+
     /// Coefficient `M_n^m` for any `|m| ≤ n` via conjugate symmetry;
     /// degrees beyond the stored degree read as zero (same contract as the
     /// owned accessor).

@@ -24,16 +24,20 @@ pub enum Phase {
     Sweep,
     /// One drained batch: evaluation plus per-caller output scatter.
     BatchExecute,
+    /// One sharded fan-out/reduce: skeleton far-field resolution plus
+    /// per-shard near sweeps and the partial-result reduction.
+    ShardFanout,
 }
 
 impl Phase {
     /// Every phase, in wire-index order.
-    pub const ALL: [Phase; 5] = [
+    pub const ALL: [Phase; 6] = [
         Phase::AdmissionWait,
         Phase::PlanBuild,
         Phase::Compile,
         Phase::Sweep,
         Phase::BatchExecute,
+        Phase::ShardFanout,
     ];
 
     /// Stable snake_case name, used as a metric label.
@@ -45,6 +49,7 @@ impl Phase {
             Phase::Compile => "compile",
             Phase::Sweep => "sweep",
             Phase::BatchExecute => "batch_execute",
+            Phase::ShardFanout => "shard_fanout",
         }
     }
 
@@ -57,6 +62,7 @@ impl Phase {
             Phase::Compile => 2,
             Phase::Sweep => 3,
             Phase::BatchExecute => 4,
+            Phase::ShardFanout => 5,
         }
     }
 

@@ -1,0 +1,31 @@
+//! `mbt-shard` — Hilbert-partitioned sharding for treecode serving.
+//!
+//! One dataset = one octree = one cached plan caps the largest servable
+//! dataset at the plan-cache byte budget and makes every cold build a
+//! single serial critical path. This crate splits a particle set into `k`
+//! **contiguous Hilbert-key ranges** ([`HilbertPartition`]) so each shard
+//! can carry its own octree + coefficient arena (built, cached, and
+//! evicted independently), and aggregates the shard roots into a
+//! [`Skeleton`] — a one-level "local essential tree" whose per-shard
+//! multipole expansions answer the cross-shard far field under the
+//! paper's Theorem-1/2 MAC without opening the remote shard's plan.
+//!
+//! The partitioner rests on the defining Hilbert property (consecutive
+//! keys are face-adjacent cells, see `mbt_geometry::hilbert`), so a
+//! contiguous key range is a spatially compact volume: most external
+//! points see most shards as MAC-acceptable clusters, and only the owning
+//! and neighbouring shards are ever opened.
+//!
+//! Order discipline: [`HilbertPartition::split`] preserves each
+//! particle's **original relative order** inside its shard. A `k = 1`
+//! partition therefore reproduces the input list exactly, which makes the
+//! single-shard serving path bit-identical to the unsharded one (tree
+//! construction is deterministic in particle order).
+
+#![forbid(unsafe_code)]
+
+pub mod partition;
+pub mod skeleton;
+
+pub use partition::{HilbertPartition, ShardError, ShardInfo};
+pub use skeleton::Skeleton;

@@ -57,6 +57,8 @@ pub const HOT_MODULES: &[&str] = &[
     "crates/multipole/src/batch.rs",
     "crates/multipole/src/simd.rs",
     "crates/engine/src/batch.rs",
+    "crates/engine/src/fanout.rs",
+    "crates/shard/src/skeleton.rs",
     "crates/obs/src/span.rs",
     "crates/obs/src/ring.rs",
     "crates/obs/src/hist.rs",
