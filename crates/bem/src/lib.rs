@@ -22,11 +22,15 @@
 //!   (exact reference) or through the treecode,
 //! * [`double_layer`] — the double-layer operator (dense + treecode via
 //!   finite-difference dipoles), validated against the Gauss identities,
+//! * [`EngineSingleLayer`] — the same operator applied through a shared
+//!   `mbt-engine` instance as routed `query_batch` traffic (all-targets
+//!   matvec shapes reach the compiled FMM backend),
 //! * [`problem`] — the Dirichlet capacitance problem solved with GMRES.
 
 #![forbid(unsafe_code)]
 
 pub mod double_layer;
+pub mod engine_op;
 pub mod mesh;
 pub mod problem;
 pub mod quadrature;
@@ -34,6 +38,7 @@ pub mod shapes;
 pub mod single_layer;
 
 pub use double_layer::{DenseDoubleLayer, TreecodeDoubleLayer};
+pub use engine_op::EngineSingleLayer;
 pub use mesh::TriMesh;
 pub use problem::CapacitanceProblem;
 pub use quadrature::QuadRule;

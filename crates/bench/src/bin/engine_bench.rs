@@ -236,6 +236,330 @@ fn sharded_phase(counts: &[usize]) -> Vec<ShardRow> {
     rows
 }
 
+/// Per-backend measurements of the routed query shapes.
+struct BackendsReport {
+    n_sources: usize,
+    degree: usize,
+    fmm_plan_build_ms: f64,
+    fmm_plan_bytes: usize,
+    fmm_matvec_ms: f64,
+    treecode_plan_build_ms: f64,
+    treecode_plan_bytes: usize,
+    treecode_matvec_ms: f64,
+    speedup: f64,
+    few_targets_ms: f64,
+    direct_ms: f64,
+    routed_direct: u64,
+    routed_treecode: u64,
+    routed_fmm: u64,
+    fmm_backend: &'static str,
+    pinned_backend: &'static str,
+    few_backend: &'static str,
+    tiny_backend: &'static str,
+}
+
+const N_BACKEND_PARTICLES: usize = 100_000;
+const BACKEND_DEGREE: usize = 4;
+const BACKEND_HOT_REPS: usize = 5;
+
+/// The routing table, measured: the all-targets/matvec shape on the
+/// compiled FMM vs the treecode pinned at the very same resolved
+/// parameters, the few-targets shape, and the tiny-dataset direct
+/// bypass — one engine, so the routed_* counters tell the whole story.
+fn backends_phase(n: usize, hot_reps: usize) -> BackendsReport {
+    let cfg = EngineConfig::default();
+    let engine = Engine::new(cfg).expect("default config is valid");
+    let particles = uniform_cube(n, 1.0, ChargeModel::RandomSign { magnitude: 1.0 }, 71);
+    let q_max = particles.iter().map(|p| p.charge.abs()).fold(0.0, f64::max);
+    let targets: Vec<Vec3> = particles.iter().map(|p| p.position).collect();
+    let dataset = engine
+        .register("backends", particles)
+        .expect("benchmark dataset registers");
+    let accuracy = Accuracy::Fixed(BACKEND_DEGREE);
+    let median = |mut v: Vec<Duration>| {
+        v.sort();
+        v[v.len() / 2]
+    };
+
+    // all-targets / matvec shape — routed to the compiled FMM
+    let build_before = engine.stats().build_seconds;
+    let (cold, _) = timed(|| {
+        engine
+            .query(QueryRequest::potentials(dataset, accuracy, targets.clone()))
+            .expect("matvec-shape query succeeds")
+    });
+    let fmm_plan_build_ms = (engine.stats().build_seconds - build_before) * 1e3;
+    let fmm_backend = cold.backend;
+    let fmm_plan_bytes = cold.plan_bytes;
+    let fmm_hot = median(
+        (0..hot_reps)
+            .map(|_| {
+                let t0 = Instant::now();
+                engine
+                    .query(QueryRequest::potentials(dataset, accuracy, targets.clone()))
+                    .expect("hot matvec-shape query succeeds");
+                t0.elapsed()
+            })
+            .collect(),
+    );
+
+    // the same shape pinned to the treecode via explicit params — the
+    // PR-6 serving path this phase exists to beat
+    let pinned = Accuracy::Params(accuracy.resolve_with_profile(
+        cfg.alpha,
+        cfg.leaf_capacity,
+        cfg.eval_chunk,
+        n,
+        q_max,
+    ));
+    let build_before = engine.stats().build_seconds;
+    let (cold_tc, _) = timed(|| {
+        engine
+            .query(QueryRequest::potentials(dataset, pinned, targets.clone()))
+            .expect("pinned matvec-shape query succeeds")
+    });
+    let treecode_plan_build_ms = (engine.stats().build_seconds - build_before) * 1e3;
+    let pinned_backend = cold_tc.backend;
+    let treecode_plan_bytes = cold_tc.plan_bytes;
+    let tc_hot = median(
+        (0..hot_reps)
+            .map(|_| {
+                let t0 = Instant::now();
+                engine
+                    .query(QueryRequest::potentials(dataset, pinned, targets.clone()))
+                    .expect("hot pinned query succeeds");
+                t0.elapsed()
+            })
+            .collect(),
+    );
+
+    // few-targets shape stays on the treecode (its plan is already hot)
+    let few_points = observation_points(64);
+    let mut few_backend = mbt_engine::Backend::Treecode;
+    let few = median(
+        (0..hot_reps)
+            .map(|_| {
+                let t0 = Instant::now();
+                let r = engine
+                    .query(QueryRequest::potentials(
+                        dataset,
+                        accuracy,
+                        few_points.clone(),
+                    ))
+                    .expect("few-targets query succeeds");
+                few_backend = r.backend;
+                t0.elapsed()
+            })
+            .collect(),
+    );
+
+    // tiny datasets bypass planning entirely
+    let tiny = engine
+        .register(
+            "backends-tiny",
+            uniform_cube(400, 1.0, ChargeModel::RandomSign { magnitude: 1.0 }, 73),
+        )
+        .expect("tiny dataset registers");
+    let mut tiny_backend = mbt_engine::Backend::Treecode;
+    let direct = median(
+        (0..hot_reps)
+            .map(|_| {
+                let t0 = Instant::now();
+                let r = engine
+                    .query(QueryRequest::potentials(tiny, accuracy, few_points.clone()))
+                    .expect("tiny query succeeds");
+                tiny_backend = r.backend;
+                t0.elapsed()
+            })
+            .collect(),
+    );
+
+    let stats = engine.stats();
+    let speedup = tc_hot.as_secs_f64() / fmm_hot.as_secs_f64();
+    println!(
+        "backends (n = {n}, p = {BACKEND_DEGREE}): matvec shape {} {:.1} ms \
+         (plan {fmm_plan_build_ms:.1} ms) vs {} {:.1} ms \
+         (plan {treecode_plan_build_ms:.1} ms) -> {speedup:.2}x; \
+         few-targets {} {:.2} ms, tiny {} {:.2} ms; \
+         routed {} direct / {} treecode / {} fmm",
+        fmm_backend.as_str(),
+        ms(fmm_hot),
+        pinned_backend.as_str(),
+        ms(tc_hot),
+        few_backend.as_str(),
+        ms(few),
+        tiny_backend.as_str(),
+        ms(direct),
+        stats.routed_direct,
+        stats.routed_treecode,
+        stats.routed_fmm,
+    );
+    BackendsReport {
+        n_sources: n,
+        degree: BACKEND_DEGREE,
+        fmm_plan_build_ms,
+        fmm_plan_bytes,
+        fmm_matvec_ms: ms(fmm_hot),
+        treecode_plan_build_ms,
+        treecode_plan_bytes,
+        treecode_matvec_ms: ms(tc_hot),
+        speedup,
+        few_targets_ms: ms(few),
+        direct_ms: ms(direct),
+        routed_direct: stats.routed_direct,
+        routed_treecode: stats.routed_treecode,
+        routed_fmm: stats.routed_fmm,
+        fmm_backend: fmm_backend.as_str(),
+        pinned_backend: pinned_backend.as_str(),
+        few_backend: few_backend.as_str(),
+        tiny_backend: tiny_backend.as_str(),
+    }
+}
+
+fn backends_json(r: &BackendsReport) -> String {
+    format!(
+        "  \"backends\": {{\"n_sources\": {}, \"degree\": {}, \
+         \"fmm_plan_build_ms\": {:.3}, \"fmm_plan_bytes\": {}, \"fmm_matvec_ms\": {:.3}, \
+         \"treecode_plan_build_ms\": {:.3}, \"treecode_plan_bytes\": {}, \
+         \"treecode_matvec_ms\": {:.3}, \"speedup\": {:.3}, \
+         \"few_targets_ms\": {:.3}, \"direct_ms\": {:.3}, \
+         \"routed_direct\": {}, \"routed_treecode\": {}, \"routed_fmm\": {}}},\n",
+        r.n_sources,
+        r.degree,
+        r.fmm_plan_build_ms,
+        r.fmm_plan_bytes,
+        r.fmm_matvec_ms,
+        r.treecode_plan_build_ms,
+        r.treecode_plan_bytes,
+        r.treecode_matvec_ms,
+        r.speedup,
+        r.few_targets_ms,
+        r.direct_ms,
+        r.routed_direct,
+        r.routed_treecode,
+        r.routed_fmm,
+    )
+}
+
+/// The paper's end-to-end workload as engine traffic: a capacitance
+/// solve whose GMRES matvecs each register a fresh charge version and
+/// query every collocation vertex — the shape the router hands to the
+/// compiled FMM.
+struct GmresReport {
+    unknowns: usize,
+    gauss_sources: usize,
+    iterations: usize,
+    restarts: usize,
+    relative_residual: f64,
+    capacitance: f64,
+    wall_ms: f64,
+    backend: &'static str,
+}
+
+fn gmres_phase() -> GmresReport {
+    use mbt_bem::{shapes, CapacitanceProblem, EngineSingleLayer, QuadRule, SingleLayerGeometry};
+    use mbt_solvers::GmresOptions;
+    use std::sync::Arc;
+
+    let geometry = SingleLayerGeometry::new(shapes::icosphere(3, 1.0), QuadRule::SixPoint);
+    let unknowns = geometry.dim();
+    let gauss_sources = geometry.gauss_points.len();
+    let engine = Arc::new(Engine::new(EngineConfig::default()).expect("default config is valid"));
+    let op = EngineSingleLayer::new(geometry.clone(), Arc::clone(&engine), Accuracy::Fixed(6));
+    let (sol, wall) = timed(|| {
+        CapacitanceProblem::new(&op, &geometry).solve(&GmresOptions {
+            restart: 10,
+            tol: 1e-6,
+            max_iters: 120,
+            preconditioner: None,
+        })
+    });
+    let backend = op
+        .last_backend()
+        .map_or("none", mbt_engine::Backend::as_str);
+    println!(
+        "gmres(10) via engine: {unknowns} unknowns / {gauss_sources} gauss sources, \
+         {} iterations (+{} restarts) in {:.1} ms on the {backend} backend, \
+         residual {:.2e}, C = {:.4}",
+        sol.gmres.iterations,
+        sol.gmres.restarts,
+        wall * 1e3,
+        sol.gmres.relative_residual,
+        sol.capacitance,
+    );
+    GmresReport {
+        unknowns,
+        gauss_sources,
+        iterations: sol.gmres.iterations,
+        restarts: sol.gmres.restarts,
+        relative_residual: sol.gmres.relative_residual,
+        capacitance: sol.capacitance,
+        wall_ms: wall * 1e3,
+        backend,
+    }
+}
+
+fn gmres_json(r: &GmresReport) -> String {
+    format!(
+        "  \"gmres\": {{\"unknowns\": {}, \"gauss_sources\": {}, \"iterations\": {}, \
+         \"restarts\": {}, \"relative_residual\": {:.3e}, \"capacitance\": {:.6}, \
+         \"wall_ms\": {:.3}, \"backend\": \"{}\"}},\n",
+        r.unknowns,
+        r.gauss_sources,
+        r.iterations,
+        r.restarts,
+        r.relative_residual,
+        r.capacitance,
+        r.wall_ms,
+        r.backend,
+    )
+}
+
+/// `--backends` — CI's routed-backend smoke: a scaled-down backends
+/// phase plus the GMRES scenario, with the routing decisions asserted
+/// instead of merely recorded. No JSON rewrite.
+fn backends_smoke() {
+    let report = backends_phase(20_000, 3);
+    if mbt_engine::routing_pinned() {
+        assert_eq!(report.fmm_backend, "treecode", "validate pins every shape");
+        assert_eq!(report.tiny_backend, "treecode", "validate pins every shape");
+    } else {
+        assert_eq!(
+            report.fmm_backend, "fmm",
+            "matvec shape must route to the FMM"
+        );
+        assert!(
+            report.speedup > 1.0,
+            "compiled FMM slower than the treecode on the matvec shape: {:.2}x",
+            report.speedup
+        );
+        assert!(report.routed_fmm >= 1);
+        assert_eq!(
+            report.tiny_backend, "direct",
+            "tiny datasets bypass planning"
+        );
+    }
+    assert_eq!(
+        report.pinned_backend, "treecode",
+        "explicit params must pin"
+    );
+    assert_eq!(
+        report.few_backend, "treecode",
+        "few targets stay on the treecode"
+    );
+    let gmres = gmres_phase();
+    assert!(
+        gmres.relative_residual <= 1e-6,
+        "gmres failed to converge through the engine: {:.2e}",
+        gmres.relative_residual
+    );
+    assert!((gmres.capacitance - 1.0).abs() < 0.03);
+    println!(
+        "backends smoke ok: {:.2}x matvec speedup, gmres converged",
+        report.speedup
+    );
+}
+
 fn sharded_json(rows: &[ShardRow], threads: usize) -> String {
     use std::fmt::Write;
     let mut out = String::new();
@@ -267,6 +591,10 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--smoke") {
         smoke();
+        return;
+    }
+    if args.iter().any(|a| a == "--backends") {
+        backends_smoke();
         return;
     }
     let shard_counts: Vec<usize> = args
@@ -362,6 +690,14 @@ fn main() {
     println!("\n{stats}");
     check_exports(&stats);
 
+    // --- backend routing: matvec shape on FMM vs pinned treecode ---
+    println!("\nbackends phase:");
+    let backends = backends_phase(N_BACKEND_PARTICLES, BACKEND_HOT_REPS);
+
+    // --- the paper's workload: GMRES capacitance solve as engine traffic ---
+    println!("\ngmres phase:");
+    let gmres = gmres_phase();
+
     // --- sharded serving: cold fan-out build + hot routed queries ---
     let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     println!("\nsharded phase ({threads} threads):");
@@ -378,7 +714,9 @@ fn main() {
          \"query_p50_ms\": {q50:.3},\n  \"query_p95_ms\": {q95:.3},\n  \"query_p99_ms\": {q99:.3},\n  \
          \"query_max_ms\": {qmax:.3},\n  \"eval_p50_ms\": {e50:.3},\n  \"eval_p95_ms\": {e95:.3},\n  \
          \"eval_p99_ms\": {e99:.3},\n  \"admission_wait_p99_ms\": {w99:.3},\n  \
-         \"slow_queries\": {slow},\n  \"spans_dropped\": {dropped},\n{sharded}}}\n",
+         \"slow_queries\": {slow},\n  \"spans_dropped\": {dropped},\n{backends}{gmres}{sharded}}}\n",
+        backends = backends_json(&backends),
+        gmres = gmres_json(&gmres),
         sharded = sharded_json(&shard_rows, threads),
         build = build_s * 1e3,
         plan_bytes = cold.plan_bytes,

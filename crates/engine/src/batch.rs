@@ -13,10 +13,14 @@
 //! together is **bit-exact**: each request's values are identical to what
 //! a lone `potentials_at`/`fields_at` call on the same plan would return.
 
+use std::time::Instant;
+
+use mbt_fmm::CompiledFmm;
 use mbt_geometry::Vec3;
+use mbt_obs::Phase;
 use mbt_treecode::{EvalStats, Treecode};
 
-use crate::plan::EvalConfig;
+use crate::plan::{EvalConfig, Plan, PlanArtifact};
 
 /// What a query computes at each point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -148,6 +152,75 @@ pub fn evaluate_batch_with(
     (outputs, stats)
 }
 
+/// Evaluates one drained batch against whichever artifact the plan
+/// holds: treecode plans run [`evaluate_batch_with`] under `cfg`, FMM
+/// plans run [`evaluate_fmm_batch`] (the FMM's execution shape is baked
+/// into its compiled arenas, so `cfg` only applies to the treecode
+/// tier).
+#[must_use]
+pub fn evaluate_plan_batch(
+    plan: &Plan,
+    kind: QueryKind,
+    requests: &[&[Vec3]],
+    cfg: EvalConfig,
+) -> (Vec<QueryOutput>, EvalStats) {
+    match &plan.artifact {
+        PlanArtifact::Treecode(tc) => evaluate_batch_with(tc, kind, requests, cfg),
+        PlanArtifact::Fmm(fmm) => evaluate_fmm_batch(fmm, kind, requests),
+    }
+}
+
+/// Evaluates one drained batch against a compiled FMM: packs the
+/// per-request point slices into one arena, runs a single L2P + near
+/// field sweep, and splits the output arena back per request — the same
+/// shape as [`evaluate_batch_with`], recorded as [`Phase::FmmSweep`].
+#[must_use]
+pub fn evaluate_fmm_batch(
+    fmm: &CompiledFmm,
+    kind: QueryKind,
+    requests: &[&[Vec3]],
+) -> (Vec<QueryOutput>, EvalStats) {
+    let t0 = Instant::now();
+    let total: usize = requests.iter().map(|r| r.len()).sum();
+    // lint: allow(alloc, one packed point arena per drained batch)
+    let mut points: Vec<Vec3> = Vec::with_capacity(total);
+    for r in requests {
+        points.extend_from_slice(r);
+    }
+    // lint: allow(alloc, O(batch) split of the output arena)
+    let mut outputs: Vec<QueryOutput> = Vec::with_capacity(requests.len());
+    let stats = match kind {
+        QueryKind::Potential => {
+            // lint: allow(alloc, one value arena per drained batch)
+            let mut values = vec![0.0f64; total];
+            let stats = fmm.potentials_at_into(&points, &mut values);
+            let mut offset = 0;
+            for r in requests {
+                let slice = &values[offset..offset + r.len()];
+                // lint: allow(alloc, per-request result buffer handed to its caller)
+                outputs.push(QueryOutput::Potentials(slice.to_vec()));
+                offset += r.len();
+            }
+            stats
+        }
+        QueryKind::Field => {
+            // lint: allow(alloc, one value arena per drained batch)
+            let mut values = vec![(0.0f64, Vec3::ZERO); total];
+            let stats = fmm.fields_at_into(&points, &mut values);
+            let mut offset = 0;
+            for r in requests {
+                let slice = &values[offset..offset + r.len()];
+                // lint: allow(alloc, per-request result buffer handed to its caller)
+                outputs.push(QueryOutput::Fields(slice.to_vec()));
+                offset += r.len();
+            }
+            stats
+        }
+    };
+    mbt_obs::record_since(Phase::FmmSweep, t0);
+    (outputs, stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,6 +303,33 @@ mod tests {
         assert_eq!(stats.targets, 0);
         let (none, _) = evaluate_batch(&tc, QueryKind::Field, &[]);
         assert!(none.is_empty());
+    }
+
+    #[test]
+    fn fmm_batch_splits_requests_and_agrees_with_the_treecode() {
+        use mbt_fmm::FmmParams;
+        let ps = uniform_cube(3000, 1.0, ChargeModel::RandomSign { magnitude: 1.0 }, 17);
+        let fmm = CompiledFmm::new(&ps, FmmParams::fixed(8)).unwrap();
+        let tc = Treecode::new(&ps, TreecodeParams::fixed(8, 0.5)).unwrap();
+        let a: Vec<Vec3> = ps.iter().take(50).map(|p| p.position).collect();
+        let b: Vec<Vec3> = ps.iter().skip(50).take(30).map(|p| p.position).collect();
+        let (out, stats) = evaluate_fmm_batch(&fmm, QueryKind::Potential, &[&a, &b]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].len(), 50);
+        assert_eq!(out[1].len(), 30);
+        assert_eq!(stats.targets, 80);
+        let reference = tc.potentials_at(&a);
+        for (got, want) in out[0].potentials().unwrap().iter().zip(&reference.values) {
+            assert!(
+                (got - want).abs() <= 1e-3 * want.abs().max(1.0),
+                "fmm {got} vs treecode {want}"
+            );
+        }
+        let (fields, fstats) = evaluate_fmm_batch(&fmm, QueryKind::Field, &[&a]);
+        assert_eq!(fstats.targets, 50);
+        for (phi, g) in fields[0].fields().unwrap() {
+            assert!(phi.is_finite() && g.is_finite());
+        }
     }
 
     #[test]

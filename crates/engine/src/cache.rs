@@ -180,6 +180,9 @@ pub enum CacheOutcome {
     /// Another caller was already building it; this one waited
     /// (single-flight coalescing).
     Coalesced,
+    /// The request never touched the cache: the routed backend has no
+    /// artifact worth caching (direct summation builds nothing).
+    Bypassed,
 }
 
 /// Concurrent plan cache: LRU + byte budget + single-flight builds.

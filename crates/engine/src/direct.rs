@@ -1,0 +1,134 @@
+//! The direct-summation backend (tiny-n routed queries).
+//!
+//! Below [`crate::route::DIRECT_MAX_SOURCES`] sources, a guarded SIMD
+//! direct sum beats either tree build even on a cold cache — and it is
+//! *exact*, so it trivially meets any requested accuracy (its Theorem
+//! bound is zero). Direct sweeps bypass the plan cache entirely: there
+//! is no artifact worth caching, the particle SoA gather below is the
+//! whole "build".
+
+use std::time::Instant;
+
+use mbt_geometry::{Particle, Vec3};
+use mbt_obs::Phase;
+use mbt_treecode::EvalStats;
+
+use crate::batch::{QueryKind, QueryOutput};
+
+/// Evaluates one batch of requests by guarded direct summation over
+/// `particles`, mirroring [`crate::batch::evaluate_batch_with`]'s shape:
+/// per-request outputs in request order plus merged sweep counters.
+///
+/// The `r = 0` guard skips self-pairs when a target coincides with a
+/// source, matching the treecode's own near-field convention;
+/// `softening` is the Plummer term `ε` of the resolved parameters.
+#[must_use]
+pub fn evaluate_direct(
+    particles: &[Particle],
+    softening: f64,
+    kind: QueryKind,
+    requests: &[&[Vec3]],
+) -> (Vec<QueryOutput>, EvalStats) {
+    let t0 = Instant::now();
+    let eps2 = softening * softening;
+    // one SoA gather per sweep, shared by every request in the batch
+    // lint: allow(alloc, one particle SoA per drained batch)
+    let mut xs = Vec::with_capacity(particles.len());
+    let mut ys = Vec::with_capacity(particles.len());
+    let mut zs = Vec::with_capacity(particles.len());
+    let mut qs = Vec::with_capacity(particles.len());
+    for p in particles {
+        xs.push(p.position.x);
+        ys.push(p.position.y);
+        zs.push(p.position.z);
+        qs.push(p.charge);
+    }
+
+    let mut stats = EvalStats::default();
+    // lint: allow(alloc, O(batch) split of the output arena)
+    let mut outputs: Vec<QueryOutput> = Vec::with_capacity(requests.len());
+    for r in requests {
+        stats.targets += r.len() as u64;
+        match kind {
+            QueryKind::Potential => {
+                // lint: allow(alloc, per-request result buffer handed to its caller)
+                let mut vals = Vec::with_capacity(r.len());
+                for &pt in *r {
+                    let (phi, pairs) =
+                        mbt_multipole::p2p_potential_span_guarded(&xs, &ys, &zs, &qs, pt, eps2);
+                    stats.record_direct(pairs);
+                    vals.push(phi);
+                }
+                outputs.push(QueryOutput::Potentials(vals));
+            }
+            QueryKind::Field => {
+                // lint: allow(alloc, per-request result buffer handed to its caller)
+                let mut vals = Vec::with_capacity(r.len());
+                for &pt in *r {
+                    let (phi, grad, pairs) =
+                        mbt_multipole::p2p_field_span_guarded(&xs, &ys, &zs, &qs, pt, eps2);
+                    stats.record_direct(pairs);
+                    vals.push((phi, grad));
+                }
+                outputs.push(QueryOutput::Fields(vals));
+            }
+        }
+    }
+    mbt_obs::record_since(Phase::DirectSweep, t0);
+    (outputs, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbt_geometry::distribution::{uniform_cube, ChargeModel};
+
+    #[test]
+    fn direct_matches_naive_summation() {
+        let ps = uniform_cube(90, 1.0, ChargeModel::RandomSign { magnitude: 1.0 }, 3);
+        let pts: Vec<Vec3> = (0..7)
+            .map(|i| Vec3::new(0.3 * f64::from(i) - 1.0, 0.2, -0.4))
+            .collect();
+        let (out, stats) = evaluate_direct(&ps, 0.0, QueryKind::Potential, &[&pts]);
+        let got = out[0].potentials().unwrap();
+        for (x, phi) in pts.iter().zip(got) {
+            let exact: f64 = ps.iter().map(|p| p.charge / p.position.distance(*x)).sum();
+            assert!((phi - exact).abs() <= 1e-12 * exact.abs().max(1.0));
+        }
+        assert_eq!(stats.targets, 7);
+        assert_eq!(stats.direct_pairs, 7 * 90);
+        assert_eq!(stats.pc_interactions, 0);
+    }
+
+    #[test]
+    fn self_pairs_are_guarded_and_fields_have_gradients() {
+        let ps = uniform_cube(40, 1.0, ChargeModel::UnitPositive { magnitude: 1.0 }, 5);
+        // targets AT the sources: the r = 0 guard must drop each self pair
+        let pts: Vec<Vec3> = ps.iter().map(|p| p.position).collect();
+        let (out, stats) = evaluate_direct(&ps, 0.0, QueryKind::Field, &[&pts]);
+        assert_eq!(stats.direct_pairs, 40 * 39);
+        for (phi, g) in out[0].fields().unwrap() {
+            assert!(phi.is_finite() && g.is_finite());
+        }
+    }
+
+    #[test]
+    fn softening_regularises_coincident_targets() {
+        let ps = vec![Particle::new(Vec3::ZERO, 1.0)];
+        let pt = [Vec3::new(1e-12, 0.0, 0.0)];
+        let (out, _) = evaluate_direct(&ps, 0.1, QueryKind::Potential, &[&pt]);
+        let phi = out[0].potentials().unwrap()[0];
+        assert!((phi - 1.0 / 0.1f64.hypot(1e-12)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multiple_requests_split_in_order() {
+        let ps = uniform_cube(30, 1.0, ChargeModel::UnitPositive { magnitude: 1.0 }, 9);
+        let a = [Vec3::new(2.0, 0.0, 0.0)];
+        let b = [Vec3::new(0.0, 2.0, 0.0), Vec3::new(0.0, 0.0, 2.0)];
+        let (out, stats) = evaluate_direct(&ps, 0.0, QueryKind::Potential, &[&a, &b]);
+        assert_eq!(out[0].len(), 1);
+        assert_eq!(out[1].len(), 2);
+        assert_eq!(stats.targets, 3);
+    }
+}

@@ -13,12 +13,14 @@ use rayon::prelude::*;
 use mbt_obs::{SlowQuery, Span};
 
 use crate::admission::AdmissionGate;
-use crate::batch::{evaluate_batch_with, QueryKind, QueryOutput};
+use crate::batch::{evaluate_plan_batch, QueryKind, QueryOutput};
 use crate::cache::{CacheOutcome, PlanCache};
+use crate::direct::evaluate_direct;
 use crate::error::EngineError;
 use crate::fanout::{evaluate_sharded, FanoutBreakdown};
 use crate::plan::{Accuracy, EvalConfig, Plan, PlanKey};
 use crate::registry::{Dataset, DatasetId, DatasetRegistry};
+use crate::route::{route, Backend};
 use crate::scheduler::Batcher;
 use crate::stats::{EngineStats, Gauges, StatsCollector};
 
@@ -141,10 +143,18 @@ pub struct QueryResponse {
     /// serve several coalesced requests, so these cover the whole batch,
     /// not only this request's points.
     pub eval: EvalStats,
-    /// How the plan was obtained (cache hit / built / coalesced build).
+    /// How the plan was obtained (cache hit / built / coalesced build;
+    /// [`CacheOutcome::Bypassed`] for direct-routed queries, which have
+    /// no plan).
     pub cache: CacheOutcome,
-    /// Resident size of the plan that served this query.
+    /// Resident size of the plan that served this query (zero for
+    /// direct-routed queries).
     pub plan_bytes: usize,
+    /// The backend the router selected for this request. Reflects the
+    /// routing decision — an FMM-keyed plan that fell back to a treecode
+    /// artifact at build time (dense-grid depth cap) still reports
+    /// [`Backend::Fmm`].
+    pub backend: Backend,
 }
 
 /// Result of [`Engine::warm`]: the aggregate cache outcome plus one
@@ -340,14 +350,26 @@ impl Engine {
     ) -> Result<(Arc<Plan>, CacheOutcome, TreecodeParams), EngineError> {
         let params = self.resolve_params_profiled(ds, accuracy);
         params.validate().map_err(EngineError::InvalidParams)?;
+        let (plan, outcome) = self.plan_routed(ds, params, Backend::Treecode)?;
+        Ok((plan, outcome, params))
+    }
+
+    /// Resolves the routed backend's cached plan for `(ds, params)` —
+    /// building it under the key's single-flight on a miss. `params`
+    /// must already be validated.
+    fn plan_routed(
+        &self,
+        ds: &Arc<Dataset>,
+        params: TreecodeParams,
+        backend: Backend,
+    ) -> Result<(Arc<Plan>, CacheOutcome), EngineError> {
         // PlanKey excludes precision (and the other execution knobs), so
         // the f64 and f32 tiers of one request shape share one cached
         // tree + coefficient arena.
-        let key = PlanKey::new(ds.id, &params);
-        let (plan, outcome) = self.cache.get_or_build(key, &self.stats, || {
+        let key = PlanKey::routed(ds.id, &params, backend);
+        self.cache.get_or_build(key, &self.stats, || {
             Plan::build(key, ds.particles(), params)
-        })?;
-        Ok((plan, outcome, params))
+        })
     }
 
     /// Resolves every shard plan of a sharded dataset (building cold
@@ -411,7 +433,7 @@ impl Engine {
                 return Arc::clone(sk);
             }
         }
-        let refs: Vec<&Treecode> = plans.iter().map(|(p, _)| &p.treecode).collect();
+        let refs: Vec<&Treecode> = plans.iter().map(|(p, _)| p.treecode()).collect();
         let sk = Arc::new(Skeleton::from_treecodes(&refs));
         map.insert(key, Arc::clone(&sk));
         sk
@@ -446,10 +468,21 @@ impl Engine {
         let _permit = self.gate.admit(request.deadline, &self.stats)?;
         let waited = arrived.elapsed();
         let ds = self.registry.get(request.dataset)?;
+        let params = self.resolve_params_profiled(&ds, request.accuracy);
+        params.validate().map_err(EngineError::InvalidParams)?;
+        // sharded datasets are served by the skeleton fan-out (a
+        // treecode-only path) and explicit parameters state their own
+        // execution mode — both pin the router
+        let pinned = ds.is_sharded() || matches!(request.accuracy, Accuracy::Params(_));
+        let backend = route(ds.len(), request.points.len(), pinned, &params);
+        self.stats.record_route(backend);
         if ds.is_sharded() {
             return self.query_sharded(&ds, &request, arrived, waited);
         }
-        let (plan, outcome, params) = self.plan_for_ds(&ds, request.accuracy)?;
+        if backend == Backend::Direct {
+            return self.query_direct(&ds, &params, &request, arrived, waited);
+        }
+        let (plan, outcome) = self.plan_routed(&ds, params, backend)?;
         // a cold build may have consumed the whole budget
         if request.deadline.is_some_and(|d| Instant::now() >= d) {
             self.stats.record_shed_deadline();
@@ -472,6 +505,44 @@ impl Engine {
             eval,
             cache: outcome,
             plan_bytes: plan.bytes,
+            backend,
+        })
+    }
+
+    /// The direct-summation serving path: no plan, no cache — one
+    /// guarded sweep over the dataset's particles. Runs under the permit
+    /// `query` already holds.
+    fn query_direct(
+        &self,
+        ds: &Arc<Dataset>,
+        params: &TreecodeParams,
+        request: &QueryRequest,
+        arrived: Instant,
+        waited: Duration,
+    ) -> Result<QueryResponse, EngineError> {
+        if request.deadline.is_some_and(|d| Instant::now() >= d) {
+            self.stats.record_shed_deadline();
+            return Err(EngineError::DeadlineExceeded);
+        }
+        let key = PlanKey::routed(ds.id, params, Backend::Direct);
+        let n_points = request.points.len();
+        let t0 = Instant::now();
+        let (mut outputs, eval) = evaluate_direct(
+            ds.particles(),
+            params.softening,
+            request.kind,
+            &[&request.points],
+        );
+        self.stats.record_batch(key, 1, n_points, t0.elapsed());
+        self.stats
+            .record_request(request.dataset, n_points, arrived.elapsed(), waited);
+        let output = outputs.pop().unwrap_or(QueryOutput::Potentials(Vec::new()));
+        Ok(QueryResponse {
+            output,
+            eval,
+            cache: CacheOutcome::Bypassed,
+            plan_bytes: 0,
+            backend: Backend::Direct,
         })
     }
 
@@ -506,6 +577,7 @@ impl Engine {
             eval,
             cache: aggregate_outcome(plans.iter().map(|(_, o)| *o)),
             plan_bytes: plans.iter().map(|(p, _)| p.bytes).sum(),
+            backend: Backend::Treecode,
         })
     }
 
@@ -572,6 +644,7 @@ impl Engine {
                 eval: sweep.clone(),
                 cache: outcome,
                 plan_bytes,
+                backend: Backend::Treecode,
             }));
         }
     }
@@ -610,10 +683,19 @@ impl Engine {
                 results[i] = Some(Err(EngineError::InvalidParams(e)));
                 continue;
             }
+            let pinned = ds.is_sharded() || matches!(r.accuracy, Accuracy::Params(_));
+            let backend = route(ds.len(), r.points.len(), pinned, &params);
+            self.stats.record_route(backend);
             // sharded datasets group under their shard-0 key (== the
             // plain key when the dataset is unsharded), so one sweep per
-            // (dataset, params, kind) still covers the whole fan-out
-            let key = PlanKey::sharded(r.dataset, &params, 0, ds.shard_count());
+            // (dataset, params, kind) still covers the whole fan-out;
+            // unsharded requests group under their routed backend's key,
+            // so differently-routed shapes batch into separate sweeps
+            let key = if ds.is_sharded() {
+                PlanKey::sharded(r.dataset, &params, 0, ds.shard_count())
+            } else {
+                PlanKey::routed(r.dataset, &params, backend)
+            };
             groups
                 .entry((key, r.kind, EvalConfig::of(&params)))
                 .or_default()
@@ -645,14 +727,21 @@ impl Engine {
                 );
                 continue;
             }
-            let plan_outcome = self.plan_for_ds(&ds, requests[first].accuracy);
-            let (plan, outcome, _) = match plan_outcome {
-                Ok(p) => p,
-                Err(e) => {
-                    for &i in &indices {
-                        results[i] = Some(Err(e.clone()));
+            // re-resolution of the first request's accuracy (validated
+            // during grouping) covers the whole group
+            let params = self.resolve_params_profiled(&ds, requests[first].accuracy);
+            let backend = key.backend();
+            let (plan, outcome) = if backend == Backend::Direct {
+                (None, CacheOutcome::Bypassed)
+            } else {
+                match self.plan_routed(&ds, params, backend) {
+                    Ok((plan, outcome)) => (Some(plan), outcome),
+                    Err(e) => {
+                        for &i in &indices {
+                            results[i] = Some(Err(e.clone()));
+                        }
+                        continue;
                     }
-                    continue;
                 }
             };
             let now = Instant::now();
@@ -677,9 +766,13 @@ impl Engine {
                 .collect();
             let total_points: usize = slices.iter().map(|s| s.len()).sum();
             let t0 = Instant::now();
-            let (outputs, sweep) = evaluate_batch_with(&plan.treecode, kind, &slices, cfg);
+            let (outputs, sweep) = match &plan {
+                Some(plan) => evaluate_plan_batch(plan, kind, &slices, cfg),
+                None => evaluate_direct(ds.particles(), params.softening, kind, &slices),
+            };
             self.stats
                 .record_batch(key, live.len(), total_points, t0.elapsed());
+            let plan_bytes = plan.as_ref().map_or(0, |p| p.bytes);
             for (&i, output) in live.iter().zip(outputs) {
                 self.stats.record_request(
                     requests[i].dataset,
@@ -691,7 +784,8 @@ impl Engine {
                     output,
                     eval: sweep.clone(),
                     cache: outcome,
-                    plan_bytes: plan.bytes,
+                    plan_bytes,
+                    backend,
                 }));
             }
         }
@@ -826,7 +920,7 @@ mod tests {
     #[test]
     fn different_accuracies_build_different_plans() {
         let engine = Engine::new(EngineConfig::default()).unwrap();
-        let id = engine.register("t", particles(500, 11)).unwrap();
+        let id = engine.register("t", particles(600, 11)).unwrap();
         let pts = points(5);
         engine
             .query(QueryRequest::potentials(
@@ -897,7 +991,7 @@ mod tests {
     #[test]
     fn warm_prebuilds_the_plan() {
         let engine = Engine::new(EngineConfig::default()).unwrap();
-        let id = engine.register("t", particles(300, 19)).unwrap();
+        let id = engine.register("t", particles(600, 19)).unwrap();
         let report = engine.warm(id, Accuracy::Fixed(4)).unwrap();
         assert_eq!(report.outcome, CacheOutcome::Built);
         assert_eq!(report.shards.len(), 1);
@@ -1020,8 +1114,8 @@ mod tests {
     #[test]
     fn query_batch_groups_and_orders_results() {
         let engine = Engine::new(EngineConfig::default()).unwrap();
-        let a = engine.register("a", particles(500, 23)).unwrap();
-        let b = engine.register("b", particles(400, 29)).unwrap();
+        let a = engine.register("a", particles(700, 23)).unwrap();
+        let b = engine.register("b", particles(600, 29)).unwrap();
         let pts = points(12);
         let reqs = vec![
             QueryRequest::potentials(a, Accuracy::Fixed(4), pts.clone()),

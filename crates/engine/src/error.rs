@@ -5,6 +5,7 @@
 //! never as a panic (the `cargo xtask lint` panic rules apply to this
 //! whole crate).
 
+use mbt_fmm::FmmError;
 use mbt_treecode::TreecodeError;
 
 use crate::registry::DatasetId;
@@ -38,6 +39,10 @@ pub enum EngineError {
     InvalidParams(TreecodeError),
     /// Plan construction failed below the engine.
     Build(TreecodeError),
+    /// A routed FMM plan build failed below the engine (depth-cap
+    /// overflows fall back to the treecode instead; this variant carries
+    /// the non-recoverable failures).
+    FmmBuild(FmmError),
     /// The admission queue is full: the request was shed immediately
     /// rather than queued behind work it cannot overtake.
     Overloaded {
@@ -77,6 +82,7 @@ impl std::fmt::Display for EngineError {
             ),
             EngineError::InvalidParams(e) => write!(f, "invalid query parameters: {e}"),
             EngineError::Build(e) => write!(f, "plan construction failed: {e}"),
+            EngineError::FmmBuild(e) => write!(f, "FMM plan construction failed: {e}"),
             EngineError::Overloaded { in_flight, queued } => write!(
                 f,
                 "engine overloaded: {in_flight} in flight, {queued} queued"
@@ -112,6 +118,7 @@ mod tests {
             },
             EngineError::InvalidParams(TreecodeError::InvalidAlpha(-1.0)),
             EngineError::Build(TreecodeError::DegreeTooLarge(99)),
+            EngineError::FmmBuild(FmmError::Empty),
             EngineError::Overloaded {
                 in_flight: 4,
                 queued: 9,

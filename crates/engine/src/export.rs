@@ -139,6 +139,12 @@ impl EngineStats {
         w.field_u64("skeleton_bytes", self.skeleton_bytes as u64);
         w.end_object();
 
+        w.begin_object_field("routing");
+        w.field_u64("direct", self.routed_direct);
+        w.field_u64("treecode", self.routed_treecode);
+        w.field_u64("fmm", self.routed_fmm);
+        w.end_object();
+
         w.field_u64("datasets", self.datasets as u64);
         w.field_u64("slow_queries", self.slow_queries);
         w.field_u64("spans_dropped", self.spans_dropped);
@@ -363,6 +369,24 @@ impl EngineStats {
         );
         prom_counter(
             &mut w,
+            "mbt_routed_direct_total",
+            "Requests routed to direct summation",
+            self.routed_direct,
+        );
+        prom_counter(
+            &mut w,
+            "mbt_routed_treecode_total",
+            "Requests routed to the compiled treecode backend",
+            self.routed_treecode,
+        );
+        prom_counter(
+            &mut w,
+            "mbt_routed_fmm_total",
+            "Requests routed to the compiled FMM backend",
+            self.routed_fmm,
+        );
+        prom_counter(
+            &mut w,
             "mbt_slow_queries_total",
             "Requests past the slow-query threshold",
             self.slow_queries,
@@ -548,6 +572,10 @@ mod tests {
         );
         c.record_admission_wait(Duration::ZERO);
         c.record_admission_wait(Duration::from_millis(3));
+        c.record_route(crate::route::Backend::Treecode);
+        c.record_route(crate::route::Backend::Treecode);
+        c.record_route(crate::route::Backend::Fmm);
+        c.record_route(crate::route::Backend::Direct);
         c.record_fanout(
             &crate::fanout::FanoutBreakdown {
                 global_shortcuts: 4,
@@ -585,6 +613,9 @@ mod tests {
             "\"slow_queries\":1",
             "\"span_read_retries\":0",
             "\"sharding\"",
+            "\"routing\"",
+            "\"treecode\":2",
+            "\"fmm\":1",
             "\"global_shortcuts\":4",
             "\"skeleton_evals\":9",
             "\"shard_opens\":1",
@@ -609,6 +640,9 @@ mod tests {
             "mbt_slow_queries_total 1",
             "mbt_span_read_retries_total 0",
             "mbt_sharded_queries_total 1",
+            "mbt_routed_treecode_total 2",
+            "mbt_routed_fmm_total 1",
+            "mbt_routed_direct_total 1",
             "mbt_global_shortcuts_total 4",
             "mbt_skeleton_evals_total 9",
             "mbt_shard_opens_total 1",

@@ -157,7 +157,7 @@ pub fn evaluate_sharded(
             gathered.push(points[i]);
         }
         let t0 = Instant::now();
-        let (outs, sweep) = evaluate_batch_with(&plans[s].treecode, kind, &[&gathered], cfg);
+        let (outs, sweep) = evaluate_batch_with(plans[s].treecode(), kind, &[&gathered], cfg);
         let elapsed = t0.elapsed();
         stats.merge(&sweep);
         match outs.into_iter().next() {
@@ -234,7 +234,7 @@ mod tests {
                 Arc::new(Plan::build(key, &part, params).unwrap())
             })
             .collect();
-        let refs: Vec<&Treecode> = plans.iter().map(|p| &p.treecode).collect();
+        let refs: Vec<&Treecode> = plans.iter().map(|p| p.treecode()).collect();
         let skeleton = Skeleton::from_treecodes(&refs);
         (plans, skeleton)
     }
@@ -242,7 +242,7 @@ mod tests {
     fn direct_potential(plans: &[Arc<Plan>], x: Vec3) -> f64 {
         plans
             .iter()
-            .flat_map(|p| p.treecode.particles().iter())
+            .flat_map(|p| p.treecode().particles().iter())
             .map(|p: &Particle| p.charge / x.distance(p.position))
             .sum()
     }

@@ -75,26 +75,36 @@
 mod admission;
 mod batch;
 mod cache;
+mod direct;
 mod engine;
 mod error;
 mod export;
 mod fanout;
 mod plan;
 mod registry;
+mod route;
 mod stats;
 
 pub mod flight;
 pub mod scheduler;
 
 pub use admission::{AdmissionGate, Permit};
-pub use batch::{evaluate_batch, evaluate_batch_with, QueryKind, QueryOutput};
+pub use batch::{
+    evaluate_batch, evaluate_batch_with, evaluate_fmm_batch, evaluate_plan_batch, QueryKind,
+    QueryOutput,
+};
 pub use cache::{ByteLru, CacheOutcome, Inserted, PlanCache};
+pub use direct::evaluate_direct;
 pub use engine::{Engine, EngineConfig, QueryRequest, QueryResponse, ShardWarm, WarmReport};
 pub use error::EngineError;
 pub use fanout::{evaluate_sharded, FanoutBreakdown, ShardSweep};
 pub use flight::{Combiner, Flight, SingleFlight};
-pub use plan::{Accuracy, EvalConfig, Plan, PlanKey};
+pub use plan::{Accuracy, EvalConfig, Plan, PlanArtifact, PlanKey};
 pub use registry::{Dataset, DatasetId, DatasetRegistry};
+pub use route::{
+    fmm_admissible, fmm_params_for, route, routing_pinned, Backend, DIRECT_MAX_SOURCES,
+    FMM_ALPHA_EFF, FMM_MIN_SOURCES, FMM_MIN_TARGETS,
+};
 pub use scheduler::Batcher;
 pub use stats::{DatasetBreakdown, EngineStats, LatencySummary, PlanBreakdown, StatsCollector};
 

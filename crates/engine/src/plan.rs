@@ -10,6 +10,7 @@
 
 use std::time::{Duration, Instant};
 
+use mbt_fmm::{CompiledFmm, FmmError};
 use mbt_geometry::Particle;
 use mbt_treecode::{
     f32_near_admissible, DegreeSelector, DegreeWeighting, EvalMode, Precision, RefWeight, Treecode,
@@ -18,6 +19,7 @@ use mbt_treecode::{
 
 use crate::error::EngineError;
 use crate::registry::DatasetId;
+use crate::route::{fmm_params_for, Backend};
 
 /// Per-request accuracy, resolved against the engine's defaults into full
 /// [`TreecodeParams`]. Requests at different accuracies map to different
@@ -173,10 +175,16 @@ pub struct PlanKey {
     /// normalises `k == 1` onto the unsharded key and the two paths share
     /// one cached (bit-identical) plan.
     shard: (u32, u32),
+    /// The backend whose artifact this key names. The same `(dataset,
+    /// params)` pair builds *different* artifacts per backend (octree +
+    /// coefficient arena vs FMM arenas), so the backend is part of plan
+    /// identity and the two tiers occupy separate cache slots.
+    backend: Backend,
 }
 
 impl PlanKey {
-    /// The key identifying `(dataset, build-relevant params)`.
+    /// The key identifying `(dataset, build-relevant params)` for the
+    /// default treecode backend.
     #[must_use]
     pub fn new(dataset: DatasetId, params: &TreecodeParams) -> PlanKey {
         PlanKey {
@@ -191,7 +199,19 @@ impl PlanKey {
             },
             softening: params.softening.to_bits(),
             shard: (0, 1),
+            backend: Backend::Treecode,
         }
+    }
+
+    /// The key of the routed `backend`'s artifact for `(dataset,
+    /// params)`. [`Backend::Direct`] keys never reach the plan cache
+    /// (direct sweeps have no artifact) — they exist only as stats
+    /// fingerprints.
+    #[must_use]
+    pub fn routed(dataset: DatasetId, params: &TreecodeParams, backend: Backend) -> PlanKey {
+        let mut key = PlanKey::new(dataset, params);
+        key.backend = backend;
+        key
     }
 
     /// The key of shard `shard` in a `count`-way Hilbert partition of
@@ -223,6 +243,12 @@ impl PlanKey {
     #[must_use]
     pub fn shard(&self) -> (usize, usize) {
         (self.shard.0 as usize, self.shard.1 as usize)
+    }
+
+    /// The backend whose artifact this key names.
+    #[must_use]
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 }
 
@@ -257,15 +283,39 @@ impl EvalConfig {
     }
 }
 
-/// A built treecode plus the accounting the cache and stats layers need.
+/// The built evaluation machinery a [`Plan`] caches — one variant per
+/// backend that has an artifact worth caching ([`Backend::Direct`] has
+/// none and bypasses the cache).
+pub enum PlanArtifact {
+    /// Octree + upward-pass coefficient arena (the treecode backend).
+    Treecode(Treecode),
+    /// Flat per-level FMM arenas with precomputed interaction lists and
+    /// an already-executed downward pass.
+    Fmm(CompiledFmm),
+}
+
+impl PlanArtifact {
+    /// Resident heap bytes of the artifact.
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            PlanArtifact::Treecode(t) => t.heap_bytes(),
+            PlanArtifact::Fmm(f) => f.heap_bytes(),
+        }
+    }
+}
+
+/// A built backend artifact plus the accounting the cache and stats
+/// layers need.
 pub struct Plan {
     /// The key this plan was built under.
     pub key: PlanKey,
-    /// The built tree + coefficient arena, ready to evaluate.
-    pub treecode: Treecode,
+    /// The built evaluation machinery, ready to evaluate.
+    pub artifact: PlanArtifact,
     /// Resident heap bytes — what the cache charges against its budget.
     pub bytes: usize,
-    /// Wall time of the build (tree + degree selection + upward pass).
+    /// Wall time of the build (tree + degree selection + upward pass, or
+    /// the FMM's grid construction + upward + M2L/L2L downward pass).
     pub build_time: Duration,
 }
 
@@ -280,24 +330,68 @@ impl std::fmt::Debug for Plan {
 }
 
 impl Plan {
-    /// Builds the plan: validates the parameters, constructs the treecode,
-    /// and sizes it.
+    /// Builds the plan for the key's backend: validates the parameters,
+    /// constructs the artifact, and sizes it.
+    ///
+    /// An FMM-keyed build whose dataset geometry exceeds the compiled
+    /// dense-grid depth cap falls back to a treecode artifact under the
+    /// same key — the router's choice is a performance hint, and the
+    /// treecode meets the same resolved accuracy (its α is *tighter* than
+    /// the FMM's effective α = 1/2 whenever the FMM was admissible).
     pub fn build(
         key: PlanKey,
         particles: &[Particle],
         params: TreecodeParams,
     ) -> Result<Plan, EngineError> {
         params.validate().map_err(EngineError::InvalidParams)?;
+        // Contract: an FMM-keyed plan must be Theorem-admissible — its
+        // M2L geometry is a Theorem-2 interaction at α_eff = 1/2, so the
+        // requested α must be at least that for the resolved bound to
+        // dominate what the request accepted.
+        #[cfg(feature = "validate")]
+        {
+            assert!(
+                key.backend() != Backend::Fmm || crate::route::fmm_admissible(params.alpha),
+                "validate: FMM plan keyed at α = {} < 1/2 — its Theorem-2 bound \
+                 exceeds what the request accepted",
+                params.alpha
+            );
+        }
         let t0 = Instant::now();
-        let treecode = Treecode::new(particles, params).map_err(EngineError::Build)?;
+        let artifact = match key.backend() {
+            Backend::Fmm => match CompiledFmm::new(particles, fmm_params_for(&params)) {
+                Ok(fmm) => PlanArtifact::Fmm(fmm),
+                Err(FmmError::DenseGridTooDeep { .. }) => PlanArtifact::Treecode(
+                    Treecode::new(particles, params).map_err(EngineError::Build)?,
+                ),
+                Err(e) => return Err(EngineError::FmmBuild(e)),
+            },
+            Backend::Treecode | Backend::Direct => PlanArtifact::Treecode(
+                Treecode::new(particles, params).map_err(EngineError::Build)?,
+            ),
+        };
         let build_time = t0.elapsed();
-        let bytes = treecode.heap_bytes();
+        let bytes = artifact.heap_bytes();
         Ok(Plan {
             key,
-            treecode,
+            artifact,
             bytes,
             build_time,
         })
+    }
+
+    /// The treecode artifact. Panics on an FMM plan: callers on
+    /// treecode-only paths (sharded fan-out, skeleton resolution) hold
+    /// the router's guarantee that those paths are pinned to
+    /// [`Backend::Treecode`].
+    #[must_use]
+    pub fn treecode(&self) -> &Treecode {
+        match &self.artifact {
+            PlanArtifact::Treecode(t) => t,
+            PlanArtifact::Fmm(_) => {
+                unreachable!("treecode() on an FMM plan: this path is pinned to Backend::Treecode")
+            }
+        }
     }
 }
 
@@ -402,9 +496,34 @@ mod tests {
         let params = TreecodeParams::fixed(4, 0.6);
         let key = PlanKey::new(DatasetId(0), &params);
         let plan = Plan::build(key, &particles, params).unwrap();
-        assert_eq!(plan.bytes, plan.treecode.heap_bytes());
+        assert_eq!(plan.bytes, plan.treecode().heap_bytes());
         assert!(plan.bytes > 500 * std::mem::size_of::<Particle>());
         assert_eq!(plan.key, key);
+        assert_eq!(plan.key.backend(), Backend::Treecode);
+    }
+
+    #[test]
+    fn routed_keys_separate_backends() {
+        let p = TreecodeParams::fixed(4, 0.6);
+        let id = DatasetId(2);
+        let tree = PlanKey::new(id, &p);
+        assert_eq!(PlanKey::routed(id, &p, Backend::Treecode), tree);
+        let fmm = PlanKey::routed(id, &p, Backend::Fmm);
+        assert_ne!(fmm, tree);
+        assert_eq!(fmm.backend(), Backend::Fmm);
+        assert_eq!(fmm.dataset(), id);
+        assert_ne!(fmm, PlanKey::routed(id, &p, Backend::Direct));
+    }
+
+    #[test]
+    fn fmm_keyed_build_produces_an_fmm_artifact() {
+        let particles = ps(600);
+        let params = TreecodeParams::fixed(4, 0.6);
+        let key = PlanKey::routed(DatasetId(0), &params, Backend::Fmm);
+        let plan = Plan::build(key, &particles, params).unwrap();
+        assert!(matches!(plan.artifact, PlanArtifact::Fmm(_)));
+        assert_eq!(plan.bytes, plan.artifact.heap_bytes());
+        assert!(plan.bytes > 0);
     }
 
     #[test]

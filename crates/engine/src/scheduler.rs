@@ -19,7 +19,7 @@ use mbt_check::sync::Arc;
 use mbt_geometry::Vec3;
 use mbt_treecode::EvalStats;
 
-use crate::batch::{evaluate_batch_with, QueryKind, QueryOutput};
+use crate::batch::{evaluate_plan_batch, QueryKind, QueryOutput};
 use crate::error::EngineError;
 use crate::flight::Combiner;
 use crate::plan::{EvalConfig, Plan, PlanKey};
@@ -135,7 +135,7 @@ impl Batcher {
         let slices: Vec<&[Vec3]> = live.iter().map(|&i| batch[i].points.as_slice()).collect();
         let total_points: usize = slices.iter().map(|s| s.len()).sum();
         let t0 = Instant::now();
-        let (outputs, sweep_stats) = evaluate_batch_with(&plan.treecode, kind, &slices, key.cfg);
+        let (outputs, sweep_stats) = evaluate_plan_batch(plan, kind, &slices, key.cfg);
         stats.record_batch(key.plan, live.len(), total_points, t0.elapsed());
         debug_assert_eq!(outputs.len(), live.len());
         for (&i, out) in live.iter().zip(outputs) {
@@ -177,7 +177,7 @@ mod tests {
                 &stats,
             )
             .unwrap();
-        let direct = plan.treecode.potentials_at(&points);
+        let direct = plan.treecode().potentials_at(&points);
         assert_eq!(out.potentials().unwrap(), direct.values.as_slice());
         assert_eq!(sweep.targets, 2);
     }
@@ -201,7 +201,7 @@ mod tests {
                         let (out, _) = batcher
                             .run(plan, QueryKind::Potential, cfg, points.clone(), None, stats)
                             .unwrap();
-                        let direct = plan.treecode.potentials_at(&points);
+                        let direct = plan.treecode().potentials_at(&points);
                         assert_eq!(out.potentials().unwrap(), direct.values.as_slice());
                     })
                 })

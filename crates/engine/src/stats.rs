@@ -29,6 +29,7 @@ use mbt_obs::{
 use crate::fanout::FanoutBreakdown;
 use crate::plan::PlanKey;
 use crate::registry::DatasetId;
+use crate::route::Backend;
 
 /// Spans retained for inspection via [`crate::Engine::spans`].
 const SPAN_RING_CAPACITY: usize = 1024;
@@ -92,6 +93,10 @@ pub struct StatsCollector {
     batched_requests: AtomicU64,
     max_batch: AtomicU64,
     eval_points: AtomicU64,
+    // backend routing decisions
+    routed_direct: AtomicU64,
+    routed_treecode: AtomicU64,
+    routed_fmm: AtomicU64,
     // sharded fan-out routing
     sharded_queries: AtomicU64,
     global_shortcuts: AtomicU64,
@@ -138,6 +143,9 @@ impl StatsCollector {
             batched_requests: AtomicU64::new(0),
             max_batch: AtomicU64::new(0),
             eval_points: AtomicU64::new(0),
+            routed_direct: AtomicU64::new(0),
+            routed_treecode: AtomicU64::new(0),
+            routed_fmm: AtomicU64::new(0),
             sharded_queries: AtomicU64::new(0),
             global_shortcuts: AtomicU64::new(0),
             skeleton_evals: AtomicU64::new(0),
@@ -232,6 +240,17 @@ impl StatsCollector {
         entry.requests += requests as u64;
         entry.points += points as u64;
         entry.eval.record(took);
+    }
+
+    /// One backend routing decision (one per request, batched or not).
+    pub(crate) fn record_route(&self, backend: Backend) {
+        let counter = match backend {
+            Backend::Direct => &self.routed_direct,
+            Backend::Treecode => &self.routed_treecode,
+            Backend::Fmm => &self.routed_fmm,
+        };
+        // ordering: Relaxed — independent monotonic counter; no data is published through it
+        counter.fetch_add(1, Ordering::Relaxed);
     }
 
     /// One sharded fan-out: its routing counters (per-tier interaction
@@ -384,6 +403,9 @@ impl StatsCollector {
             max_batch: ld(&self.max_batch),
             eval_seconds: eval.sum_ns as f64 * 1e-9,
             eval_points: ld(&self.eval_points),
+            routed_direct: ld(&self.routed_direct),
+            routed_treecode: ld(&self.routed_treecode),
+            routed_fmm: ld(&self.routed_fmm),
             sharded_queries: ld(&self.sharded_queries),
             global_shortcuts: ld(&self.global_shortcuts),
             skeleton_evals: ld(&self.skeleton_evals),
@@ -546,6 +568,12 @@ pub struct EngineStats {
     pub eval_seconds: f64,
     /// Total observation points evaluated.
     pub eval_points: u64,
+    /// Requests the router sent to the direct-summation backend.
+    pub routed_direct: u64,
+    /// Requests the router sent to the treecode backend.
+    pub routed_treecode: u64,
+    /// Requests the router sent to the compiled-FMM backend.
+    pub routed_fmm: u64,
     /// Queries (or batch groups) served through the sharded fan-out path.
     pub sharded_queries: u64,
     /// Fan-out routing decisions answered entirely by the global
@@ -782,6 +810,19 @@ mod tests {
         assert_eq!(s.per_dataset[1].dataset, 1);
         assert_eq!(s.per_dataset[1].plans, 1);
         assert_eq!(s.per_dataset[1].eval.count, 0);
+    }
+
+    #[test]
+    fn route_counters_split_by_backend() {
+        let c = StatsCollector::default();
+        c.record_route(Backend::Treecode);
+        c.record_route(Backend::Treecode);
+        c.record_route(Backend::Fmm);
+        c.record_route(Backend::Direct);
+        let s = c.snapshot(Gauges::default());
+        assert_eq!(s.routed_treecode, 2);
+        assert_eq!(s.routed_fmm, 1);
+        assert_eq!(s.routed_direct, 1);
     }
 
     #[test]

@@ -46,13 +46,13 @@ fn concurrent_load_keeps_snapshots_consistent() {
     let a = engine
         .register(
             "a",
-            uniform_cube(500, 1.0, ChargeModel::RandomSign { magnitude: 1.0 }, 3),
+            uniform_cube(700, 1.0, ChargeModel::RandomSign { magnitude: 1.0 }, 3),
         )
         .unwrap();
     let b = engine
         .register(
             "b",
-            uniform_cube(400, 1.0, ChargeModel::RandomSign { magnitude: 1.0 }, 5),
+            uniform_cube(600, 1.0, ChargeModel::RandomSign { magnitude: 1.0 }, 5),
         )
         .unwrap();
 

@@ -25,6 +25,22 @@ pub enum FmmError {
         /// Requested level count.
         levels: usize,
     },
+    /// The degree policy can emit a degree beyond the table limit.
+    DegreeTooLarge {
+        /// Largest degree the selector can emit.
+        degree: usize,
+        /// The supported maximum ([`mbt_multipole::MAX_DEGREE`]).
+        max: usize,
+    },
+    /// The hierarchy is deeper than the compiled backend's dense
+    /// Morton-indexed tables support (the scalar reference has no such
+    /// limit; [`crate::FmmEvaluator`] falls back to it).
+    DenseGridTooDeep {
+        /// Requested level count.
+        levels: usize,
+        /// The compiled maximum ([`crate::compiled::COMPILED_MAX_LEVELS`]).
+        max: usize,
+    },
 }
 
 impl std::fmt::Display for FmmError {
@@ -37,30 +53,27 @@ impl std::fmt::Display for FmmError {
             FmmError::TooManyLevels { levels } => {
                 write!(f, "{levels} levels exceed the supported maximum of 20")
             }
+            FmmError::DegreeTooLarge { degree, max } => {
+                write!(
+                    f,
+                    "expansion degree {degree} exceeds the supported maximum of {max}"
+                )
+            }
+            FmmError::DenseGridTooDeep { levels, max } => {
+                write!(
+                    f,
+                    "{levels} levels exceed the compiled backend's dense-table maximum of {max}"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for FmmError {}
 
-/// Packs integer cell coordinates into a hashable key.
-#[inline]
-#[must_use]
-pub fn cell_key(x: u32, y: u32, z: u32) -> u64 {
-    debug_assert!(x < 1 << 21 && y < 1 << 21 && z < 1 << 21);
-    u64::from(x) | u64::from(y) << 21 | u64::from(z) << 42
-}
-
-/// Unpacks a cell key.
-#[inline]
-#[must_use]
-pub fn key_coords(key: u64) -> (u32, u32, u32) {
-    (
-        (key & 0x1f_ffff) as u32,
-        (key >> 21 & 0x1f_ffff) as u32,
-        (key >> 42 & 0x1f_ffff) as u32,
-    )
-}
+// The packed cell-coordinate key lives in the shared geometry key module;
+// re-exported here under the names the FMM grids have always used.
+pub use mbt_geometry::morton::{pack_cell as cell_key, unpack_cell as key_coords};
 
 /// The occupied cells of one level.
 #[derive(Debug, Clone)]
@@ -111,6 +124,7 @@ impl LevelGrid {
             .iter()
             .copied()
             .filter(|&w| w > 0.0)
+            // lint: allow(alloc, cold path: weight medians are taken once per build)
             .collect();
         if ws.is_empty() {
             return 0.0;

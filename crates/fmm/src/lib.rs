@@ -26,8 +26,10 @@
 
 #![forbid(unsafe_code)]
 
+pub mod compiled;
 pub mod grid;
 pub mod method;
 
+pub use compiled::{CompiledFmm, FmmEvaluator, COMPILED_MAX_LEVELS};
 pub use grid::{cell_key, FmmError, LevelGrid};
-pub use method::{Fmm, FmmParams};
+pub use method::{Fmm, FmmEvalMode, FmmParams, MAX_LEVELS};

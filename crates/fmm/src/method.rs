@@ -3,22 +3,41 @@
 use std::collections::HashMap;
 
 use mbt_geometry::{Aabb, Particle, Vec3};
-use mbt_multipole::{DegreeSelector, LocalExpansion, MultipoleExpansion};
+use mbt_multipole::{DegreeSelector, LocalExpansion, MultipoleExpansion, MAX_DEGREE};
 use mbt_treecode::EvalStats;
 use rayon::prelude::*;
 
 use crate::grid::{cell_center, cell_key, cell_of, key_coords, FmmError, LevelGrid};
 
+/// Deepest supported level: finest-level cell coordinates must fit the
+/// 21-bit-per-axis key resolution with headroom.
+pub const MAX_LEVELS: usize = 20;
+
+/// Which FMM implementation evaluates a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FmmEvalMode {
+    /// The original per-cell scalar pipeline — the bit-exact reference.
+    Scalar,
+    /// Flat SoA arenas with precomputed per-offset M2L/L2L operators and
+    /// batch kernels (see [`crate::compiled`]). Default.
+    #[default]
+    Compiled,
+}
+
 /// FMM parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FmmParams {
     /// Finest level `L` (the root is level 0). `None` picks
-    /// `⌈log₈(n / 32)⌉` automatically.
+    /// `⌈log₈(n / 32)⌉` automatically (degenerate particle clouds —
+    /// tiny `n`, coincident or collinear positions — resolve to level 0
+    /// or 1, where the near field covers everything).
     pub levels: Option<usize>,
     /// Degree policy. `Fixed(p)` is the classical FMM; `Adaptive {..}`
     /// ramps the degree per level by cluster weight (Theorem 3 applied to
     /// the level-synchronised hierarchy).
     pub degree: DegreeSelector,
+    /// Implementation switch (scalar reference vs compiled arenas).
+    pub eval_mode: FmmEvalMode,
 }
 
 impl FmmParams {
@@ -28,6 +47,7 @@ impl FmmParams {
         FmmParams {
             levels: None,
             degree: DegreeSelector::Fixed(p),
+            eval_mode: FmmEvalMode::default(),
         }
     }
 
@@ -39,6 +59,21 @@ impl FmmParams {
         FmmParams {
             levels: None,
             degree: DegreeSelector::adaptive(p_min, alpha),
+            eval_mode: FmmEvalMode::default(),
+        }
+    }
+
+    /// Tolerance-driven per-level degrees: each level stores the smallest
+    /// degree whose Theorem-1 bound — at the level's worst-case M2L
+    /// geometry (cluster radius `d·√3/2`, center separation `2d`, i.e.
+    /// the nearest non-adjacent cell) over the level's largest cell
+    /// charge — meets `tol`.
+    #[must_use]
+    pub fn tolerance(tol: f64) -> Self {
+        FmmParams {
+            levels: None,
+            degree: DegreeSelector::tolerance(tol),
+            eval_mode: FmmEvalMode::default(),
         }
     }
 
@@ -48,6 +83,242 @@ impl FmmParams {
         self.levels = Some(levels);
         self
     }
+
+    /// Selects the implementation.
+    #[must_use]
+    pub fn with_eval_mode(mut self, mode: FmmEvalMode) -> Self {
+        self.eval_mode = mode;
+        self
+    }
+
+    /// Checks the parameters against the structural limits, mirroring
+    /// `TreecodeParams::validate`: every rejection is a typed
+    /// [`FmmError`], never a downstream panic.
+    pub fn validate(&self) -> Result<(), FmmError> {
+        let degree = self.degree.max_degree();
+        if degree > MAX_DEGREE {
+            return Err(FmmError::DegreeTooLarge {
+                degree,
+                max: MAX_DEGREE,
+            });
+        }
+        if let Some(levels) = self.levels {
+            if levels > MAX_LEVELS {
+                return Err(FmmError::TooManyLevels { levels });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Validates the inputs and resolves the finest level and root cube shared
+/// by both FMM implementations.
+///
+/// The automatic level pick targets ~32 particles per finest cell under
+/// the occupancy the particle cloud can actually sustain: `8^l` cells for
+/// a volumetric cloud, only `~2^l` for a collinear one, and a single cell
+/// for a coincident one — so degenerate inputs resolve to level 0 or 1
+/// instead of building empty deep grids.
+pub(crate) fn resolve_build(
+    particles: &[Particle],
+    params: &FmmParams,
+) -> Result<(usize, Aabb), FmmError> {
+    params.validate()?;
+    if particles.is_empty() {
+        return Err(FmmError::Empty);
+    }
+    for (i, p) in particles.iter().enumerate() {
+        if !p.position.is_finite() || !p.charge.is_finite() {
+            return Err(FmmError::NonFinite { index: i });
+        }
+    }
+    let positions: Vec<Vec3> = particles.iter().map(|p| p.position).collect();
+    let bounds = Aabb::cubical_hull(&positions, 1e-9);
+    let levels = match params.levels {
+        Some(l) => l,
+        None => auto_levels(particles),
+    };
+    debug_assert!(levels <= MAX_LEVELS, "validate() caps explicit levels");
+    Ok((levels, bounds))
+}
+
+/// The automatic finest-level choice (see [`resolve_build`]).
+fn auto_levels(particles: &[Particle]) -> usize {
+    let n = particles.len();
+    if n <= 32 {
+        return 0;
+    }
+    let log2_cells = match spread_rank(particles) {
+        SpreadRank::Coincident => return 0,
+        SpreadRank::Collinear => 1.0, // occupancy grows ~2^l per level
+        SpreadRank::Spatial => 3.0,   // full 8^l occupancy
+    };
+    let l = ((n as f64 / 32.0).log2() / log2_cells).ceil();
+    l.clamp(0.0, MAX_LEVELS as f64) as usize
+}
+
+enum SpreadRank {
+    Coincident,
+    Collinear,
+    Spatial,
+}
+
+/// Classifies the geometric spread of the cloud: a point, a line, or a
+/// genuinely 2/3-dimensional set. One pass to find the farthest point from
+/// the first, one pass to bound the perpendicular spread from that axis.
+fn spread_rank(particles: &[Particle]) -> SpreadRank {
+    let p0 = particles[0].position;
+    let mut axis = Vec3::ZERO;
+    let mut max_d2 = 0.0f64;
+    for p in particles {
+        let d = p.position - p0;
+        let d2 = d.norm_sq();
+        if d2 > max_d2 {
+            max_d2 = d2;
+            axis = d;
+        }
+    }
+    let scale2 = max_d2.max(p0.norm_sq() * 1e-24);
+    // lint: allow(float_cmp, exact-zero: a coincident cloud has literally zero spread)
+    if max_d2 <= scale2 * 1e-24 || max_d2 == 0.0 {
+        return SpreadRank::Coincident;
+    }
+    let perp_tol2 = max_d2 * 1e-18; // 1e-9 of the cloud diameter
+    for p in particles {
+        let d = p.position - p0;
+        // squared perpendicular distance from the (p0, axis) line
+        let cross = d.cross(axis);
+        if cross.norm_sq() / max_d2 > perp_tol2 {
+            return SpreadRank::Spatial;
+        }
+    }
+    SpreadRank::Collinear
+}
+
+/// The structure every FMM implementation shares: Morton-sorted particles,
+/// per-level occupied-cell grids, and per-level expansion degrees.
+pub(crate) struct FmmStructure {
+    pub bounds: Aabb,
+    pub levels: usize,
+    pub degrees: Vec<usize>,
+    pub sorted: Vec<Particle>,
+    pub perm: Vec<usize>,
+    pub grids: Vec<LevelGrid>,
+}
+
+/// Validates, sorts, grids, and picks degrees — the build prefix common to
+/// the scalar reference and the compiled arenas.
+pub(crate) fn build_structure(
+    particles: &[Particle],
+    params: &FmmParams,
+) -> Result<FmmStructure, FmmError> {
+    let (levels, bounds) = resolve_build(particles, params)?;
+    let cells_finest = 1u32 << levels;
+
+    // sort particles by finest-level Morton-ordered cell key
+    let mut keyed: Vec<(u64, u32)> = particles
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let (x, y, z) = cell_of(&bounds, cells_finest, p.position);
+            (mbt_geometry::morton::encode(x, y, z), i as u32)
+        })
+        .collect();
+    keyed.par_sort_unstable();
+    let perm: Vec<usize> = keyed.iter().map(|&(_, i)| i as usize).collect();
+    let sorted: Vec<Particle> = perm.iter().map(|&i| particles[i]).collect();
+
+    // build the finest grid from sorted runs
+    let mut grids: Vec<LevelGrid> = Vec::with_capacity(levels + 1);
+    for level in 0..=levels {
+        grids.push(LevelGrid {
+            level,
+            index: HashMap::new(),
+            keys: Vec::new(),
+            centers: Vec::new(),
+            ranges: Vec::new(),
+            abs_charge: Vec::new(),
+            cell_edge: bounds.edge() / f64::from(1u32 << level),
+        });
+    }
+    {
+        let g = &mut grids[levels];
+        let mut start = 0usize;
+        while start < keyed.len() {
+            let code = keyed[start].0;
+            let mut end = start;
+            while end < keyed.len() && keyed[end].0 == code {
+                end += 1;
+            }
+            let (x, y, z) = mbt_geometry::morton::decode(code);
+            let key = cell_key(x, y, z);
+            g.index.insert(key, g.keys.len());
+            g.keys.push(key);
+            g.centers.push(cell_center(&bounds, cells_finest, x, y, z));
+            g.ranges.push((start as u32, end as u32));
+            g.abs_charge
+                .push(sorted[start..end].iter().map(|p| p.charge.abs()).sum());
+            start = end;
+        }
+    }
+    // coarser levels by aggregating children
+    for level in (0..levels).rev() {
+        let (coarse, fine) = {
+            let (a, b) = grids.split_at_mut(level + 1);
+            (&mut a[level], &b[0])
+        };
+        let cells = 1u32 << level;
+        for ci in 0..fine.len() {
+            let (x, y, z) = key_coords(fine.keys[ci]);
+            let pk = cell_key(x >> 1, y >> 1, z >> 1);
+            if let Some(&pi) = coarse.index.get(&pk) {
+                coarse.ranges[pi].1 = coarse.ranges[pi].1.max(fine.ranges[ci].1);
+                coarse.ranges[pi].0 = coarse.ranges[pi].0.min(fine.ranges[ci].0);
+                coarse.abs_charge[pi] += fine.abs_charge[ci];
+            } else {
+                let (px, py, pz) = (x >> 1, y >> 1, z >> 1);
+                coarse.index.insert(pk, coarse.keys.len());
+                coarse.keys.push(pk);
+                coarse.centers.push(cell_center(&bounds, cells, px, py, pz));
+                coarse.ranges.push(fine.ranges[ci]);
+                coarse.abs_charge.push(fine.abs_charge[ci]);
+            }
+        }
+    }
+
+    // per-level degrees. Fixed/Adaptive equalise against the finest
+    // level's median weight as reference (weights grow toward the root);
+    // Tolerance picks, per level, the smallest degree whose Theorem-1
+    // bound at the level's worst M2L geometry (cluster radius d·√3/2,
+    // center separation 2d — the nearest non-adjacent cell) over the
+    // level's **largest** cell charge meets the budget, so every compiled
+    // translation honours `tol`.
+    let ref_weight = grids[levels].median_abs_charge().max(1e-300);
+    let degrees: Vec<usize> = (0..=levels)
+        .map(|l| {
+            if let DegreeSelector::Tolerance { tol, p_min, p_max } = params.degree {
+                let edge = grids[l].cell_edge;
+                let a = edge * mbt_multipole::bounds::CUBE_CIRCUMRADIUS_RATIO;
+                let q_max = grids[l].abs_charge.iter().copied().fold(0.0f64, f64::max);
+                return mbt_multipole::degree_for_tolerance_at(q_max, a, 2.0 * edge, tol, p_max)
+                    .max(p_min);
+            }
+            let w = params
+                .degree
+                .weight(grids[l].median_abs_charge(), grids[l].cell_edge);
+            let wr = params.degree.weight(ref_weight, grids[levels].cell_edge);
+            params.degree.degree_for(w, wr)
+        })
+        .collect();
+
+    Ok(FmmStructure {
+        bounds,
+        levels,
+        degrees,
+        sorted,
+        perm,
+        grids,
+    })
 }
 
 /// A fully built FMM, ready to evaluate.
@@ -68,113 +339,14 @@ pub struct Fmm {
 impl Fmm {
     /// Builds the FMM over a particle set.
     pub fn new(particles: &[Particle], params: FmmParams) -> Result<Fmm, FmmError> {
-        if particles.is_empty() {
-            return Err(FmmError::Empty);
-        }
-        for (i, p) in particles.iter().enumerate() {
-            if !p.position.is_finite() || !p.charge.is_finite() {
-                return Err(FmmError::NonFinite { index: i });
-            }
-        }
-        let levels = params
-            .levels
-            .unwrap_or_else(|| {
-                ((particles.len() as f64 / 32.0).log2() / 3.0)
-                    .ceil()
-                    .max(2.0) as usize
-            })
-            .max(2);
-        if levels > 20 {
-            return Err(FmmError::TooManyLevels { levels });
-        }
-
-        let positions: Vec<Vec3> = particles.iter().map(|p| p.position).collect();
-        let bounds = Aabb::cubical_hull(&positions, 1e-9);
-        let cells_finest = 1u32 << levels;
-
-        // sort particles by finest-level Morton-ordered cell key
-        let mut keyed: Vec<(u64, u32)> = particles
-            .iter()
-            .enumerate()
-            .map(|(i, p)| {
-                let (x, y, z) = cell_of(&bounds, cells_finest, p.position);
-                (morton_interleave(x, y, z), i as u32)
-            })
-            .collect();
-        keyed.par_sort_unstable();
-        let perm: Vec<usize> = keyed.iter().map(|&(_, i)| i as usize).collect();
-        let sorted: Vec<Particle> = perm.iter().map(|&i| particles[i]).collect();
-
-        // build the finest grid from sorted runs
-        let mut grids: Vec<LevelGrid> = Vec::with_capacity(levels + 1);
-        for level in 0..=levels {
-            grids.push(LevelGrid {
-                level,
-                index: HashMap::new(),
-                keys: Vec::new(),
-                centers: Vec::new(),
-                ranges: Vec::new(),
-                abs_charge: Vec::new(),
-                cell_edge: bounds.edge() / f64::from(1u32 << level),
-            });
-        }
-        {
-            let g = &mut grids[levels];
-            let mut start = 0usize;
-            while start < keyed.len() {
-                let code = keyed[start].0;
-                let mut end = start;
-                while end < keyed.len() && keyed[end].0 == code {
-                    end += 1;
-                }
-                let (x, y, z) = morton_deinterleave(code);
-                let key = cell_key(x, y, z);
-                g.index.insert(key, g.keys.len());
-                g.keys.push(key);
-                g.centers.push(cell_center(&bounds, cells_finest, x, y, z));
-                g.ranges.push((start as u32, end as u32));
-                g.abs_charge
-                    .push(sorted[start..end].iter().map(|p| p.charge.abs()).sum());
-                start = end;
-            }
-        }
-        // coarser levels by aggregating children
-        for level in (0..levels).rev() {
-            let (coarse, fine) = {
-                let (a, b) = grids.split_at_mut(level + 1);
-                (&mut a[level], &b[0])
-            };
-            let cells = 1u32 << level;
-            for ci in 0..fine.len() {
-                let (x, y, z) = key_coords(fine.keys[ci]);
-                let pk = cell_key(x >> 1, y >> 1, z >> 1);
-                if let Some(&pi) = coarse.index.get(&pk) {
-                    coarse.ranges[pi].1 = coarse.ranges[pi].1.max(fine.ranges[ci].1);
-                    coarse.ranges[pi].0 = coarse.ranges[pi].0.min(fine.ranges[ci].0);
-                    coarse.abs_charge[pi] += fine.abs_charge[ci];
-                } else {
-                    let (px, py, pz) = (x >> 1, y >> 1, z >> 1);
-                    coarse.index.insert(pk, coarse.keys.len());
-                    coarse.keys.push(pk);
-                    coarse.centers.push(cell_center(&bounds, cells, px, py, pz));
-                    coarse.ranges.push(fine.ranges[ci]);
-                    coarse.abs_charge.push(fine.abs_charge[ci]);
-                }
-            }
-        }
-
-        // per-level degrees: equalise using the finest level's median
-        // weight as reference (weights grow toward the root)
-        let ref_weight = grids[levels].median_abs_charge().max(1e-300);
-        let degrees: Vec<usize> = (0..=levels)
-            .map(|l| {
-                let w = params
-                    .degree
-                    .weight(grids[l].median_abs_charge(), grids[l].cell_edge);
-                let wr = params.degree.weight(ref_weight, grids[levels].cell_edge);
-                params.degree.degree_for(w, wr)
-            })
-            .collect();
+        let FmmStructure {
+            bounds,
+            levels,
+            degrees,
+            sorted,
+            perm,
+            grids,
+        } = build_structure(particles, &params)?;
 
         // upward: P2M per level directly from the particles (each level's
         // expansion is then exact at its own degree — see the crate docs)
@@ -397,16 +569,6 @@ impl Fmm {
     }
 }
 
-/// 21-bit Morton interleave (local helper; the geometry crate's version is
-/// keyed to a bounding box, here we interleave raw cell coordinates).
-fn morton_interleave(x: u32, y: u32, z: u32) -> u64 {
-    mbt_geometry::morton::encode(x, y, z)
-}
-
-fn morton_deinterleave(code: u64) -> (u32, u32, u32) {
-    mbt_geometry::morton::decode(code)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -512,6 +674,79 @@ mod tests {
                 .unwrap(),
             FmmError::TooManyLevels { levels: 25 }
         );
+    }
+
+    #[test]
+    fn degree_validation_is_typed() {
+        let ps = uniform_cube(100, 1.0, charges(), 3);
+        let err = Fmm::new(&ps, FmmParams::fixed(100)).err().unwrap();
+        assert!(matches!(err, FmmError::DegreeTooLarge { degree: 100, .. }));
+        // validate() alone rejects without touching particles
+        assert!(FmmParams::fixed(100).validate().is_err());
+        assert!(FmmParams::fixed(8).validate().is_ok());
+    }
+
+    #[test]
+    fn tiny_n_resolves_to_shallow_levels() {
+        for n in [1usize, 2, 8, 32] {
+            let ps = uniform_cube(n, 1.0, charges(), 17);
+            let fmm = Fmm::new(&ps, FmmParams::fixed(4)).unwrap();
+            assert_eq!(fmm.levels(), 0, "n={n} must resolve to level 0");
+            // level 0 = a single cell: everything is near field (direct sum)
+            let exact = mbt_treecode::direct::direct_potentials(&ps);
+            let r = fmm.potentials();
+            if n > 1 {
+                assert!(relative_error(&r.values, &exact) < 1e-13);
+            }
+        }
+        let ps = uniform_cube(64, 1.0, charges(), 19);
+        let fmm = Fmm::new(&ps, FmmParams::fixed(4)).unwrap();
+        assert!(fmm.levels() <= 1, "n=64 must resolve to level 0 or 1");
+    }
+
+    #[test]
+    fn coincident_particles_resolve_to_level_zero() {
+        let ps: Vec<Particle> = (0..500)
+            .map(|i| Particle::new(Vec3::new(0.25, -0.5, 1.0), 1.0 - 2.0 * f64::from(i % 2)))
+            .collect();
+        let fmm = Fmm::new(&ps, FmmParams::fixed(4)).unwrap();
+        assert_eq!(fmm.levels(), 0);
+        let _ = fmm.potentials(); // must not panic (pairs at distance 0 aside)
+    }
+
+    #[test]
+    fn collinear_particles_resolve_shallow_and_match_direct() {
+        let ps: Vec<Particle> = (0..600)
+            .map(|i| {
+                let t = f64::from(i) / 599.0;
+                Particle::new(Vec3::new(t, 2.0 * t, -t), 1.0 - 2.0 * f64::from(i % 2))
+            })
+            .collect();
+        let fmm = Fmm::new(&ps, FmmParams::fixed(8)).unwrap();
+        // 2^l-style occupancy: ceil(log2(600/32)) = 5 levels, not 8^l-deep
+        assert!(
+            fmm.levels() <= 6,
+            "collinear cloud over-refined: {}",
+            fmm.levels()
+        );
+        let exact = mbt_treecode::direct::direct_potentials(&ps);
+        let r = fmm.potentials();
+        assert!(relative_error(&r.values, &exact) < 1e-3);
+    }
+
+    #[test]
+    fn explicit_shallow_levels_are_exact_direct_sums() {
+        let ps = uniform_cube(300, 1.0, charges(), 23);
+        let exact = mbt_treecode::direct::direct_potentials(&ps);
+        for levels in [0usize, 1] {
+            let fmm = Fmm::new(&ps, FmmParams::fixed(3).with_levels(levels)).unwrap();
+            assert_eq!(fmm.levels(), levels);
+            let r = fmm.potentials();
+            assert!(
+                relative_error(&r.values, &exact) < 1e-13,
+                "levels={levels}: shallow grids have no far field, results must be exact"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! Cross-backend equivalence: compiled FMM vs scalar FMM (values and
+//! bit-identical instrumentation), and FMM vs treecode vs direct sum
+//! within the resolved Theorem 1/2 budget — on uniform and clustered
+//! distributions, for potentials and fields.
+//!
+//! The budget formulation mirrors the engine's sharded suite: under a
+//! `Tolerance` degree policy every admitted interaction carries a
+//! per-interaction Theorem-2 bound of at most `tol`, a target sees
+//! `interactions_per_target` of them, and partial cancellation keeps the
+//! real error well under the sum — the 4× factor is the same safety
+//! margin the rest of the workspace pins.
+
+use mbt_fmm::{CompiledFmm, Fmm, FmmEvalMode, FmmParams};
+use mbt_geometry::distribution::{overlapped_gaussians, uniform_cube, ChargeModel};
+use mbt_geometry::{Particle, Vec3};
+use mbt_treecode::direct::direct_potentials_at;
+use mbt_treecode::{relative_error, Treecode, TreecodeParams};
+
+fn charges() -> ChargeModel {
+    ChargeModel::RandomSign { magnitude: 1.0 }
+}
+
+fn uniform(n: usize, seed: u64) -> Vec<Particle> {
+    uniform_cube(n, 1.0, charges(), seed)
+}
+
+fn clustered(n: usize, seed: u64) -> Vec<Particle> {
+    overlapped_gaussians(n, 4, 2.0, 0.3, charges(), seed)
+}
+
+/// Targets inside the hull, in the sparse shell, and outside the bounds.
+fn probe_points() -> Vec<Vec3> {
+    (0..48)
+        .map(|i| {
+            let a = f64::from(i) * 0.61;
+            let r = 0.15 + 0.05 * f64::from(i);
+            Vec3::new(r * a.cos(), r * a.sin(), 0.03 * f64::from(i) - 0.7)
+        })
+        .collect()
+}
+
+#[test]
+fn compiled_matches_scalar_on_both_distributions() {
+    for (ps, label) in [
+        (uniform(2500, 3), "uniform"),
+        (clustered(2500, 5), "clustered"),
+    ] {
+        for params in [
+            FmmParams::fixed(5).with_levels(3),
+            FmmParams::adaptive(3, 0.7).with_levels(3),
+        ] {
+            let scalar = Fmm::new(&ps, params.with_eval_mode(FmmEvalMode::Scalar)).unwrap();
+            let compiled = CompiledFmm::new(&ps, params).unwrap();
+            assert_eq!(scalar.degrees(), compiled.degrees(), "{label}");
+            let rs = scalar.potentials();
+            let rc = compiled.potentials();
+            // bit-identical instrumentation: same interactions, same
+            // degrees, same near-field pair count
+            assert_eq!(rs.stats, rc.stats, "{label}: instrumentation drifted");
+            // identical math up to summation order
+            let e = relative_error(&rc.values, &rs.values);
+            assert!(e < 1e-11, "{label}: compiled vs scalar error {e}");
+        }
+    }
+}
+
+#[test]
+fn backends_agree_within_the_tolerance_budget_on_potentials() {
+    // tolerances much below 1e-3 resolve degrees past p ≈ 12, and the
+    // compiled backend's operator compilation scales as p⁶ per level —
+    // fine in release, minutes in the unoptimized test profile. 1e-3
+    // keeps the resolved degrees single-digit while still exercising the
+    // full Tolerance policy end to end.
+    let tol = 1e-3;
+    let pts = probe_points();
+    for (ps, label) in [
+        (uniform(2000, 7), "uniform"),
+        (clustered(2000, 11), "clustered"),
+    ] {
+        let exact = direct_potentials_at(&ps, &pts);
+        let fmm = CompiledFmm::new(&ps, FmmParams::tolerance(tol)).unwrap();
+        let rf = fmm.potentials_at(&pts);
+        let tc = Treecode::new(&ps, TreecodeParams::tolerance(tol, 0.6)).unwrap();
+        let rt = tc.potentials_at(&pts);
+        let mut budgets = [0.0f64; 2];
+        for (which, (got, backend)) in [(&rf, "fmm"), (&rt, "treecode")].into_iter().enumerate() {
+            let budget = tol * got.stats.interactions_per_target().max(1.0) * 4.0;
+            budgets[which] = budget;
+            let worst = got
+                .values
+                .iter()
+                .zip(&exact)
+                .map(|(g, e)| (g - e).abs())
+                .fold(0.0f64, f64::max);
+            assert!(
+                worst <= budget,
+                "{label}/{backend}: max error {worst} exceeds budget {budget}"
+            );
+        }
+        // and against each other: each inside its own budget, so their
+        // difference stays within the summed budgets
+        let cross = rf
+            .values
+            .iter()
+            .zip(&rt.values)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(
+            cross <= budgets[0] + budgets[1],
+            "{label}: fmm vs treecode drift {cross} exceeds {}",
+            budgets[0] + budgets[1]
+        );
+    }
+}
+
+#[test]
+fn backends_agree_on_fields() {
+    // Theorem-budget bookkeeping covers potentials; for gradients the
+    // workspace pins the empirical κ^(p+1) decay at p = 8 that the
+    // compiled-FMM unit suite also asserts.
+    let pts = probe_points();
+    for (ps, label) in [
+        (uniform(2000, 13), "uniform"),
+        (clustered(2000, 17), "clustered"),
+    ] {
+        let fmm = CompiledFmm::new(&ps, FmmParams::fixed(8).with_levels(3)).unwrap();
+        let rf = fmm.fields_at(&pts);
+        let tc = Treecode::new(&ps, TreecodeParams::fixed(8, 0.6)).unwrap();
+        let rt = tc.fields_at(&pts);
+        for (k, &pt) in pts.iter().enumerate() {
+            let mut phi = 0.0;
+            let mut grad = Vec3::ZERO;
+            for p in &ps {
+                let d = pt - p.position;
+                let r2 = d.norm_sq();
+                let r = r2.sqrt();
+                phi += p.charge / r;
+                grad += d * (-p.charge / (r2 * r));
+            }
+            for (got, backend) in [(&rf, "fmm"), (&rt, "treecode")] {
+                let (gphi, ggrad) = got.values[k];
+                assert!(
+                    (gphi - phi).abs() <= 1e-3 * phi.abs().max(1.0),
+                    "{label}/{backend}: phi at {k}: {gphi} vs {phi}"
+                );
+                assert!(
+                    ggrad.distance(grad) <= 2e-3 * grad.norm().max(1.0),
+                    "{label}/{backend}: grad at {k}: {ggrad:?} vs {grad:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn degree_policies_resolve_identically_across_fmm_modes() {
+    // the Tolerance policy resolves per level against the FMM's own
+    // worst-case geometry — the compiled and scalar pipelines must agree
+    // on the resolved degrees or their budgets diverge silently. (The
+    // tolerances stay ≥ 1e-3: tighter ones resolve degrees whose p⁶
+    // operator compilation dominates the unoptimized test profile.)
+    let ps = uniform(2000, 19);
+    for tol in [1e-2, 1e-3] {
+        let params = FmmParams::tolerance(tol);
+        let scalar = Fmm::new(&ps, params.with_eval_mode(FmmEvalMode::Scalar)).unwrap();
+        let compiled = CompiledFmm::new(&ps, params).unwrap();
+        assert_eq!(scalar.degrees(), compiled.degrees(), "tol = {tol}");
+    }
+}

@@ -1025,6 +1025,74 @@ fn p2p_field_span_guarded_f32_impl<const L: usize>(
     (phi, grad, pairs)
 }
 
+/// Lane count for the dense M2L operator kernel at the scalar-fallback
+/// dispatch level; the dispatched width follows [`crate::simd::dispatch`].
+pub const M2L_LANES: usize = 4;
+
+/// Accumulates one dense real M2L (or L2L) operator application:
+/// `y[r] += Σ_c op[c·rows + r] · x[c]` with `op` column-major
+/// (`rows = y.len()` rows × `x.len()` columns).
+///
+/// The compiled FMM stores each translation operator as a real matrix over
+/// interleaved `(re, im)` coefficient spans, so the whole downward pass is
+/// this one kernel. Columns whose input entry is exactly zero are skipped —
+/// bit-exact, since their contribution would be `+0.0` everywhere — which
+/// matters for sparse probe columns and zero high-order coefficients.
+pub fn m2l_apply(op: &[f64], x: &[f64], y: &mut [f64]) {
+    simd::dispatch(|| m2l_apply_impl::<M2L_LANES>(op, x, y));
+}
+
+#[inline(always)]
+fn m2l_apply_impl<const L: usize>(op: &[f64], x: &[f64], y: &mut [f64]) {
+    let rows = y.len();
+    let cols = x.len();
+    debug_assert_eq!(op.len(), rows * cols);
+    let main = rows - rows % L;
+    let mut c = 0;
+    // Two columns per sweep over `y` halves the store traffic; summation
+    // order per output row is by ascending column regardless of `L`.
+    while c + 1 < cols {
+        let (xa, xb) = (x[c], x[c + 1]);
+        // lint: allow(float_cmp, exact-zero column skip: sparsity shortcut, never an equality test)
+        if xa == 0.0 && xb == 0.0 {
+            c += 2;
+            continue;
+        }
+        let col_a = &op[c * rows..(c + 1) * rows];
+        let col_b = &op[(c + 1) * rows..(c + 2) * rows];
+        let va = F64Lanes::<L>::splat(xa);
+        let vb = F64Lanes::<L>::splat(xb);
+        for r in (0..main).step_by(L) {
+            let acc = F64Lanes::<L>::load(&y[r..r + L])
+                + F64Lanes::<L>::load(&col_a[r..r + L]) * va
+                + F64Lanes::<L>::load(&col_b[r..r + L]) * vb;
+            acc.store(&mut y[r..r + L]);
+        }
+        for r in main..rows {
+            // Same association as the lane path — `(y + a·xa) + b·xb` — so
+            // the result never depends on where the vector body ends.
+            y[r] = y[r] + col_a[r] * xa + col_b[r] * xb;
+        }
+        c += 2;
+    }
+    if c < cols {
+        let xa = x[c];
+        // lint: allow(float_cmp, exact-zero column skip: sparsity shortcut, never an equality test)
+        if xa != 0.0 {
+            let col_a = &op[c * rows..(c + 1) * rows];
+            let va = F64Lanes::<L>::splat(xa);
+            for r in (0..main).step_by(L) {
+                let acc =
+                    F64Lanes::<L>::load(&y[r..r + L]) + F64Lanes::<L>::load(&col_a[r..r + L]) * va;
+                acc.store(&mut y[r..r + L]);
+            }
+            for r in main..rows {
+                y[r] += col_a[r] * xa;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1437,6 +1505,51 @@ mod tests {
             let tol = 1e-4 * (n.max(1) as f64);
             assert!((fphi - wphi).abs() <= tol * wphi.abs().max(1.0));
             assert!(fgrad.distance(wgrad) <= tol * wgrad.norm().max(1.0));
+        }
+    }
+
+    /// The dense operator kernel matches a plain per-row accumulation with
+    /// the same per-row association, including ragged shapes, odd column
+    /// counts, and exact-zero input entries.
+    #[test]
+    fn m2l_apply_matches_naive_accumulation() {
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+        };
+        for (rows, cols) in [
+            (1usize, 1usize),
+            (3, 2),
+            (7, 5),
+            (16, 16),
+            (30, 13),
+            (31, 4),
+        ] {
+            let op: Vec<f64> = (0..rows * cols).map(|_| next()).collect();
+            let mut x: Vec<f64> = (0..cols).map(|_| next()).collect();
+            if cols > 2 {
+                x[1] = 0.0; // exercise the zero-column skip
+                x[cols - 1] = 0.0;
+            }
+            let mut y: Vec<f64> = (0..rows).map(|_| next()).collect();
+            let mut want = y.clone();
+            for r in 0..rows {
+                for c in 0..cols {
+                    want[r] += op[c * rows + r] * x[c];
+                }
+            }
+            m2l_apply(&op, &x, &mut y);
+            for r in 0..rows {
+                assert!(
+                    (y[r] - want[r]).abs() <= 1e-14 * want[r].abs().max(1.0),
+                    "rows={rows} cols={cols} r={r}: {} vs {}",
+                    y[r],
+                    want[r]
+                );
+            }
         }
     }
 }

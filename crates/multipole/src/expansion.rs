@@ -534,6 +534,23 @@ impl LocalExpansion {
         }
     }
 
+    /// Wraps an owned copy of a triangular `m ≥ 0` coefficient span
+    /// (`tri_index` layout, `tri_len(degree)` entries). Arena-backed
+    /// storage uses this to lift flat local-coefficient spans back into
+    /// owned expansions — e.g. to probe translation operators
+    /// column-by-column or to compare against the scalar reference.
+    #[must_use]
+    pub fn from_coeffs(center: Vec3, degree: usize, coeffs: &[Complex]) -> Self {
+        assert_eq!(
+            coeffs.len(),
+            tri_len(degree),
+            "coefficient span length does not match degree {degree}"
+        );
+        let mut e = Self::zero(center, degree);
+        e.coeffs.c.copy_from_slice(coeffs);
+        e
+    }
+
     /// Builds the local expansion of distant point sources directly (P2L):
     /// `L_j^k = Σᵢ qᵢ Y_j^{−k}(αᵢ, βᵢ) / ρᵢ^{j+1}`.
     ///
@@ -618,29 +635,8 @@ impl LocalExpansion {
 
     /// L2P with caller-provided scratch; allocation-free once `ws` has
     /// grown to this degree.
-    #[allow(clippy::needless_range_loop)] // `n` indexes several degree-keyed arrays
     pub fn potential_at_with(&self, point: Vec3, ws: &mut Workspace) -> f64 {
-        let degree = self.coeffs.degree;
-        let s = Spherical::from_cartesian(point - self.center);
-        let t = Tables::get();
-        let (sin_t, cos_t) = s.theta.sin_cos();
-        ws.ensure_degree(degree);
-        ws.leg.recompute(degree, cos_t, sin_t);
-        let Workspace { leg, pow, .. } = ws;
-        let rp = &mut pow[..=degree];
-        fill_powers(rp, s.rho);
-        let e1 = Complex::cis(s.phi);
-        let mut eim = Complex::ONE;
-        let mut phi = 0.0;
-        for m in 0..=degree {
-            let w = if m == 0 { 1.0 } else { 2.0 };
-            for n in m..=degree {
-                let c = self.coeffs.get(n, m as i64) * eim;
-                phi += w * c.re * t.norm(n, m as i64) * leg.p(n, m) * rp[n];
-            }
-            eim *= e1;
-        }
-        phi
+        l2p_potential_with(self.center, self.coeffs.degree, &self.coeffs.c, point, ws)
     }
 
     /// Evaluates potential and gradient at a point (L2P with derivatives).
@@ -653,44 +649,7 @@ impl LocalExpansion {
     /// L2P with derivatives using caller-provided scratch; allocation-free
     /// once `ws` has grown to this degree.
     pub fn field_at_with(&self, point: Vec3, ws: &mut Workspace) -> (f64, Vec3) {
-        let degree = self.coeffs.degree;
-        let s = Spherical::from_cartesian(point - self.center);
-        let t = Tables::get();
-        let (sin_t, cos_t) = s.theta.sin_cos();
-        let (sin_p, cos_p) = s.phi.sin_cos();
-        ws.ensure_degree(degree);
-        ws.leg.recompute(degree, cos_t, sin_t);
-        let Workspace { leg, pow, .. } = ws;
-        let rp = &mut pow[..=degree];
-        fill_powers(rp, s.rho);
-        let e1 = Complex::new(cos_p, sin_p);
-
-        let mut phi = 0.0;
-        let mut g_r = 0.0;
-        let mut g_t = 0.0;
-        let mut g_p = 0.0;
-        let mut eim = Complex::ONE;
-        for m in 0..=degree {
-            let w = if m == 0 { 1.0 } else { 2.0 };
-            for n in m..=degree {
-                let c = self.coeffs.get(n, m as i64) * eim;
-                let nr = t.norm(n, m as i64);
-                phi += w * c.re * nr * leg.p(n, m) * rp[n];
-                if n >= 1 {
-                    // gradient terms carry r^{n-1}
-                    g_r += (n as f64) * w * c.re * nr * leg.p(n, m) * rp[n - 1];
-                    g_t += w * c.re * nr * leg.dp_dtheta(n, m) * rp[n - 1];
-                    if m >= 1 {
-                        g_p += -2.0 * m as f64 * c.im * nr * leg.p_over_sin(n, m) * rp[n - 1];
-                    }
-                }
-            }
-            eim *= e1;
-        }
-        let e_r = Vec3::new(sin_t * cos_p, sin_t * sin_p, cos_t);
-        let e_t = Vec3::new(cos_t * cos_p, cos_t * sin_p, -sin_t);
-        let e_p = Vec3::new(-sin_p, cos_p, 0.0);
-        (phi, e_r * g_r + e_t * g_t + e_p * g_p)
+        l2p_field_with(self.center, self.coeffs.degree, &self.coeffs.c, point, ws)
     }
 
     /// Largest coefficient magnitude (diagnostics).
@@ -698,6 +657,91 @@ impl LocalExpansion {
     pub fn max_coeff(&self) -> f64 {
         self.coeffs.max_abs()
     }
+}
+
+/// L2P over a borrowed triangular coefficient span (`tri_index` layout,
+/// `tri_len(degree)` entries, `m ≥ 0` rows). This is the kernel behind
+/// [`LocalExpansion::potential_at_with`]; arena-backed evaluators call it
+/// directly so finest-level locals never need to be lifted into owned
+/// expansions.
+#[allow(clippy::needless_range_loop)] // `n` indexes several degree-keyed arrays
+pub fn l2p_potential_with(
+    center: Vec3,
+    degree: usize,
+    coeffs: &[Complex],
+    point: Vec3,
+    ws: &mut Workspace,
+) -> f64 {
+    let s = Spherical::from_cartesian(point - center);
+    let t = Tables::get();
+    let (sin_t, cos_t) = s.theta.sin_cos();
+    ws.ensure_degree(degree);
+    ws.leg.recompute(degree, cos_t, sin_t);
+    let Workspace { leg, pow, .. } = ws;
+    let rp = &mut pow[..=degree];
+    fill_powers(rp, s.rho);
+    let e1 = Complex::cis(s.phi);
+    let mut eim = Complex::ONE;
+    let mut phi = 0.0;
+    for m in 0..=degree {
+        let w = if m == 0 { 1.0 } else { 2.0 };
+        for n in m..=degree {
+            let c = coeffs[tri_index(n, m)] * eim;
+            phi += w * c.re * t.norm(n, m as i64) * leg.p(n, m) * rp[n];
+        }
+        eim *= e1;
+    }
+    phi
+}
+
+/// L2P with derivatives over a borrowed triangular coefficient span — the
+/// kernel behind [`LocalExpansion::field_at_with`]; see
+/// [`l2p_potential_with`] for the span layout.
+#[allow(clippy::needless_range_loop)] // `n` indexes several degree-keyed arrays
+pub fn l2p_field_with(
+    center: Vec3,
+    degree: usize,
+    coeffs: &[Complex],
+    point: Vec3,
+    ws: &mut Workspace,
+) -> (f64, Vec3) {
+    let s = Spherical::from_cartesian(point - center);
+    let t = Tables::get();
+    let (sin_t, cos_t) = s.theta.sin_cos();
+    let (sin_p, cos_p) = s.phi.sin_cos();
+    ws.ensure_degree(degree);
+    ws.leg.recompute(degree, cos_t, sin_t);
+    let Workspace { leg, pow, .. } = ws;
+    let rp = &mut pow[..=degree];
+    fill_powers(rp, s.rho);
+    let e1 = Complex::new(cos_p, sin_p);
+
+    let mut phi = 0.0;
+    let mut g_r = 0.0;
+    let mut g_t = 0.0;
+    let mut g_p = 0.0;
+    let mut eim = Complex::ONE;
+    for m in 0..=degree {
+        let w = if m == 0 { 1.0 } else { 2.0 };
+        for n in m..=degree {
+            let c = coeffs[tri_index(n, m)] * eim;
+            let nr = t.norm(n, m as i64);
+            phi += w * c.re * nr * leg.p(n, m) * rp[n];
+            if n >= 1 {
+                // gradient terms carry r^{n-1}
+                g_r += (n as f64) * w * c.re * nr * leg.p(n, m) * rp[n - 1];
+                g_t += w * c.re * nr * leg.dp_dtheta(n, m) * rp[n - 1];
+                if m >= 1 {
+                    g_p += -2.0 * m as f64 * c.im * nr * leg.p_over_sin(n, m) * rp[n - 1];
+                }
+            }
+        }
+        eim *= e1;
+    }
+    let e_r = Vec3::new(sin_t * cos_p, sin_t * sin_p, cos_t);
+    let e_t = Vec3::new(cos_t * cos_p, cos_t * sin_p, -sin_t);
+    let e_p = Vec3::new(-sin_p, cos_p, 0.0);
+    (phi, e_r * g_r + e_t * g_t + e_p * g_p)
 }
 
 #[cfg(test)]

@@ -27,17 +27,25 @@ pub enum Phase {
     /// One sharded fan-out/reduce: skeleton far-field resolution plus
     /// per-shard near sweeps and the partial-result reduction.
     ShardFanout,
+    /// One compiled-FMM batch sweep (L2P over the precomputed locals plus
+    /// the gathered near field; the M2L/L2L downward pass is part of the
+    /// plan build and lands in [`Phase::PlanBuild`]).
+    FmmSweep,
+    /// One direct-summation sweep (the tiny-n routed backend).
+    DirectSweep,
 }
 
 impl Phase {
     /// Every phase, in wire-index order.
-    pub const ALL: [Phase; 6] = [
+    pub const ALL: [Phase; 8] = [
         Phase::AdmissionWait,
         Phase::PlanBuild,
         Phase::Compile,
         Phase::Sweep,
         Phase::BatchExecute,
         Phase::ShardFanout,
+        Phase::FmmSweep,
+        Phase::DirectSweep,
     ];
 
     /// Stable snake_case name, used as a metric label.
@@ -50,6 +58,8 @@ impl Phase {
             Phase::Sweep => "sweep",
             Phase::BatchExecute => "batch_execute",
             Phase::ShardFanout => "shard_fanout",
+            Phase::FmmSweep => "fmm_sweep",
+            Phase::DirectSweep => "direct_sweep",
         }
     }
 
@@ -63,6 +73,8 @@ impl Phase {
             Phase::Sweep => 3,
             Phase::BatchExecute => 4,
             Phase::ShardFanout => 5,
+            Phase::FmmSweep => 6,
+            Phase::DirectSweep => 7,
         }
     }
 

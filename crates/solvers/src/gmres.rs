@@ -55,6 +55,8 @@ pub struct GmresResult {
     pub relative_residual: f64,
     /// Total matvec applications.
     pub iterations: usize,
+    /// Krylov-space rebuilds beyond the first cycle.
+    pub restarts: usize,
     /// Relative-residual estimate after every iteration.
     pub history: Vec<f64>,
     /// Stop reason.
@@ -82,6 +84,7 @@ pub fn gmres(a: &dyn LinearOperator, b: &[f64], opts: &GmresOptions) -> GmresRes
             x: vec![0.0; n],
             relative_residual: 0.0,
             iterations: 0,
+            restarts: 0,
             history: vec![],
             outcome: GmresOutcome::Breakdown,
         };
@@ -90,9 +93,11 @@ pub fn gmres(a: &dyn LinearOperator, b: &[f64], opts: &GmresOptions) -> GmresRes
     let mut x = vec![0.0; n];
     let mut history = Vec::new();
     let mut total_iters = 0usize;
+    let mut cycles = 0usize;
     let mut outcome = GmresOutcome::MaxIterations;
 
     'restart: while total_iters < opts.max_iters {
+        cycles += 1;
         // r = M⁻¹(b − A x)
         let mut r = vec![0.0; n];
         a.apply(&x, &mut r);
@@ -204,6 +209,7 @@ pub fn gmres(a: &dyn LinearOperator, b: &[f64], opts: &GmresOptions) -> GmresRes
         x,
         relative_residual: norm2(&r) / b_norm,
         iterations: total_iters,
+        restarts: cycles.saturating_sub(1),
         history,
         outcome,
     }
@@ -242,6 +248,7 @@ mod tests {
         let r = gmres(&a, &b, &GmresOptions::default());
         assert!(r.relative_residual < 1e-12);
         assert!(r.iterations <= 2);
+        assert_eq!(r.restarts, 0);
         for (xi, bi) in r.x.iter().zip(&b) {
             assert!((xi - bi).abs() < 1e-10);
         }
@@ -400,6 +407,8 @@ mod tests {
         );
         assert_eq!(r.outcome, GmresOutcome::MaxIterations);
         assert_eq!(r.iterations, 6);
+        // 6 matvecs at restart 4 = one full cycle plus one rebuild
+        assert_eq!(r.restarts, 1);
         // even a truncated run must have made progress
         assert!(r.relative_residual < 1.0);
     }

@@ -58,6 +58,8 @@ pub const HOT_MODULES: &[&str] = &[
     "crates/multipole/src/simd.rs",
     "crates/engine/src/batch.rs",
     "crates/engine/src/fanout.rs",
+    "crates/fmm/src/compiled.rs",
+    "crates/fmm/src/grid.rs",
     "crates/shard/src/skeleton.rs",
     "crates/obs/src/span.rs",
     "crates/obs/src/ring.rs",
