@@ -22,7 +22,9 @@
 use std::time::{Duration, Instant};
 
 use mbt_bench::timed;
-use mbt_engine::{Accuracy, Engine, EngineConfig, EngineStats, QueryKind, QueryRequest};
+use mbt_engine::{
+    Accuracy, Engine, EngineConfig, EngineStats, QueryKind, QueryRequest, TenantConfig, TenantId,
+};
 use mbt_geometry::distribution::{uniform_cube, ChargeModel};
 use mbt_geometry::Vec3;
 
@@ -145,12 +147,280 @@ fn smoke() {
     assert!(prom.contains("mbt_sharded_queries_total 1"));
     assert!(stats.to_json().contains("\"sharding\""));
 
+    // multi-tenancy smoke: a registered tenant's traffic must land in
+    // the per-tenant breakdown and both exports
+    let vip = TenantId(3);
+    engine.register_tenant(vip, TenantConfig::weighted(4));
+    engine
+        .query(
+            QueryRequest::potentials(dataset, Accuracy::Fixed(8), observation_points(50))
+                .with_tenant(vip),
+        )
+        .expect("tenant smoke query succeeds");
+    let stats = engine.stats();
+    let row = stats
+        .per_tenant
+        .iter()
+        .find(|t| t.tenant == vip.0)
+        .expect("tenant appears in the breakdown");
+    assert_eq!(row.weight, 4);
+    assert_eq!(row.admitted, 1);
+    assert!(
+        row.charged_eval_ms > 0.0,
+        "the tenant's sweep was never billed"
+    );
+    let prom = stats.to_prometheus();
+    assert!(prom.contains("mbt_tenant_admitted_total{tenant=\"3\"} 1"));
+    assert!(prom.contains("mbt_shed_quota_total 0"));
+    assert!(prom.contains("mbt_worker_panics_total 0"));
+    assert!(stats.to_json().contains("\"tenants\""));
+
     println!(
         "smoke ok: {} queries ({} sharded), query p50 {:.2} ms / p99 {:.2} ms, exports parse",
         stats.query_latency.count,
         stats.sharded_queries,
         stats.query_latency.p50_ms,
         stats.query_latency.p99_ms,
+    );
+}
+
+/// The tenant-isolation phase's measurements.
+struct TenantReport {
+    baseline_p50_ms: f64,
+    baseline_p99_ms: f64,
+    light_p50_ms: f64,
+    light_p99_ms: f64,
+    hog_p99_ms: f64,
+    light_over_baseline_p99: f64,
+    hog_queries: usize,
+    light_queries: usize,
+}
+
+const N_TENANT_PARTICLES: usize = 8_000;
+const N_TENANT_LIGHT_POINTS: usize = 400;
+/// Hog queries are deliberately small: the gate is non-preemptive, so a
+/// light arrival always eats one in-service hog *residual* — the bound
+/// the WFQ can actually promise is `residual + own service`, and small
+/// hog quanta are what keep that bound tight (the hog saturates by
+/// *rate*, not by per-query size).
+const N_TENANT_HOG_POINTS: usize = 8;
+const TENANT_LIGHTS: usize = 4;
+const TENANT_LIGHT_REPS: usize = 120;
+const TENANT_HOG_THREADS: usize = 4;
+/// Base think time between a light tenant's queries — lights are
+/// *light*: an occasional-query workload whose own offered load stays
+/// well under the gate's capacity, not a second saturating stream. Each
+/// light adds its index in milliseconds so the fleet's periods differ:
+/// identical periods phase-lock the lights into repeated pileups, which
+/// makes the measured tails schedule-dependent noise.
+const TENANT_LIGHT_THINK: Duration = Duration::from_millis(10);
+
+fn percentile(sorted: &[Duration], p: usize) -> Duration {
+    sorted[(sorted.len() * p / 100).min(sorted.len() - 1)]
+}
+
+/// The adversarial isolation workload (ISSUE 10's acceptance bar): one
+/// hog tenant floods a width-1 admission gate from several threads while
+/// a fleet of weighted light tenants keeps issuing its usual workload.
+/// The baseline is the same light fleet running hog-free (including its
+/// own mild self-contention), so the pinned ratio isolates exactly what
+/// the hog adds. Under the WFQ gate a light query waits at most ~one
+/// in-service hog residual before its weight wins the next slot, so its
+/// p99 stays within 2x of the hog-free run — the old barging gate let
+/// the hog's arrival stream starve the queue indefinitely instead.
+///
+/// The gate is width 1 because the container is single-core: wider gates
+/// time-share the CPU between sweeps, inflating every service time and
+/// measuring the scheduler's noise, not the gate's fairness. The hog
+/// runs at a *different* accuracy (its own plan), so cross-caller
+/// coalescing cannot quietly serve light queries inside hog sweeps and
+/// flatter the isolation numbers.
+fn tenants_phase() -> TenantReport {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let engine = Engine::new(EngineConfig {
+        max_in_flight: 1,
+        ..EngineConfig::default()
+    })
+    .expect("config is valid");
+    let particles = uniform_cube(
+        N_TENANT_PARTICLES,
+        1.0,
+        ChargeModel::RandomSign { magnitude: 1.0 },
+        53,
+    );
+    let dataset = engine
+        .register("tenants", particles)
+        .expect("tenant dataset registers");
+    let light_accuracy = Accuracy::Adaptive { p_min: 4 };
+    let hog_accuracy = Accuracy::Fixed(6);
+    engine
+        .warm(dataset, light_accuracy)
+        .expect("light plan warms");
+    engine.warm(dataset, hog_accuracy).expect("hog plan warms");
+
+    let hog = TenantId(1);
+    engine.register_tenant(hog, TenantConfig::weighted(1));
+    let lights: Vec<TenantId> = (0..TENANT_LIGHTS)
+        .map(|i| TenantId(10 + u32::try_from(i).expect("few lights")))
+        .collect();
+    for &t in &lights {
+        engine.register_tenant(t, TenantConfig::weighted(8));
+    }
+    let light_points = observation_points(N_TENANT_LIGHT_POINTS);
+    let hog_points = observation_points(N_TENANT_HOG_POINTS);
+
+    // the light fleet: every light tenant issues its reps concurrently
+    // (with think time), exactly as in the adversarial run
+    let run_lights = || {
+        let mut lat: Vec<Duration> = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = lights
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| {
+                    let engine = &engine;
+                    let pts = light_points.clone();
+                    let think = TENANT_LIGHT_THINK + Duration::from_millis(i as u64);
+                    s.spawn(move || {
+                        let mut lat = Vec::with_capacity(TENANT_LIGHT_REPS);
+                        for _ in 0..TENANT_LIGHT_REPS {
+                            let t0 = Instant::now();
+                            engine
+                                .query(
+                                    QueryRequest::potentials(dataset, light_accuracy, pts.clone())
+                                        .with_tenant(t),
+                                )
+                                .expect("light query succeeds");
+                            lat.push(t0.elapsed());
+                            std::thread::sleep(think);
+                        }
+                        lat
+                    })
+                })
+                .collect();
+            for h in handles {
+                lat.extend(h.join().expect("light tenant thread"));
+            }
+        });
+        lat.sort();
+        lat
+    };
+
+    // hog-free baseline: the light fleet with the gate to itself
+    let baseline = run_lights();
+
+    // adversarial run: hog threads flood until the lights finish
+    let stop = AtomicBool::new(false);
+    let mut light_lat: Vec<Duration> = Vec::new();
+    let mut hog_lat: Vec<Duration> = Vec::new();
+    std::thread::scope(|s| {
+        let hog_handles: Vec<_> = (0..TENANT_HOG_THREADS)
+            .map(|_| {
+                let engine = &engine;
+                let stop = &stop;
+                let pts = hog_points.clone();
+                s.spawn(move || {
+                    let mut lat = Vec::new();
+                    while !stop.load(Ordering::Relaxed) {
+                        let t0 = Instant::now();
+                        engine
+                            .query(
+                                QueryRequest::potentials(dataset, hog_accuracy, pts.clone())
+                                    .with_tenant(hog),
+                            )
+                            .expect("hog query succeeds");
+                        lat.push(t0.elapsed());
+                    }
+                    lat
+                })
+            })
+            .collect();
+        light_lat = run_lights();
+        stop.store(true, Ordering::Relaxed);
+        for h in hog_handles {
+            hog_lat.extend(h.join().expect("hog tenant thread"));
+        }
+    });
+    hog_lat.sort();
+
+    let baseline_p99 = percentile(&baseline, 99);
+    let light_p99 = percentile(&light_lat, 99);
+    let report = TenantReport {
+        baseline_p50_ms: ms(percentile(&baseline, 50)),
+        baseline_p99_ms: ms(baseline_p99),
+        light_p50_ms: ms(percentile(&light_lat, 50)),
+        light_p99_ms: ms(light_p99),
+        hog_p99_ms: ms(percentile(&hog_lat, 99)),
+        light_over_baseline_p99: light_p99.as_secs_f64() / baseline_p99.as_secs_f64().max(1e-9),
+        hog_queries: hog_lat.len(),
+        light_queries: light_lat.len(),
+    };
+    let stats = engine.stats();
+    println!(
+        "tenants: hog-free p50 {:.2} / p99 {:.2} ms; under {} hog queries: \
+         light p50 {:.2} / p99 {:.2} ms ({:.2}x hog-free p99), hog p99 {:.2} ms, \
+         queue peak {}",
+        report.baseline_p50_ms,
+        report.baseline_p99_ms,
+        report.hog_queries,
+        report.light_p50_ms,
+        report.light_p99_ms,
+        report.light_over_baseline_p99,
+        report.hog_p99_ms,
+        stats.queue_peak,
+    );
+    assert!(
+        stats.queue_peak >= 1,
+        "the hog never saturated the gate — the isolation numbers are vacuous"
+    );
+    let hog_row = stats
+        .per_tenant
+        .iter()
+        .find(|t| t.tenant == hog.0)
+        .expect("hog appears in the per-tenant breakdown");
+    assert!(hog_row.admitted >= report.hog_queries as u64);
+    report
+}
+
+fn tenants_json(r: &TenantReport) -> String {
+    format!(
+        "  \"tenants\": {{\"lights\": {TENANT_LIGHTS}, \"hog_threads\": {TENANT_HOG_THREADS}, \
+         \"baseline_p50_ms\": {:.3}, \"baseline_p99_ms\": {:.3}, \
+         \"light_p50_ms\": {:.3}, \"light_p99_ms\": {:.3}, \"hog_p99_ms\": {:.3}, \
+         \"light_over_baseline_p99\": {:.3}, \"hog_queries\": {}, \"light_queries\": {}}},\n",
+        r.baseline_p50_ms,
+        r.baseline_p99_ms,
+        r.light_p50_ms,
+        r.light_p99_ms,
+        r.hog_p99_ms,
+        r.light_over_baseline_p99,
+        r.hog_queries,
+        r.light_queries,
+    )
+}
+
+/// `--tenants` — CI's isolation gate: the adversarial phase with the
+/// acceptance bar asserted instead of merely recorded. No JSON rewrite.
+fn tenants_smoke() {
+    let report = tenants_phase();
+    assert!(
+        report.light_over_baseline_p99 <= 2.0,
+        "light-tenant p99 degraded {:.2}x over its hog-free run under a hog \
+         (hog-free {:.2} ms, contended {:.2} ms) — the gate is not isolating",
+        report.light_over_baseline_p99,
+        report.baseline_p99_ms,
+        report.light_p99_ms,
+    );
+    assert!(
+        report.hog_queries > report.light_queries,
+        "the hog ({} queries) never out-ran the lights ({}) — not a saturating stream",
+        report.hog_queries,
+        report.light_queries,
+    );
+    println!(
+        "tenants smoke ok: light p99 {:.2}x hog-free under a {}-query hog",
+        report.light_over_baseline_p99, report.hog_queries
     );
 }
 
@@ -597,6 +867,10 @@ fn main() {
         backends_smoke();
         return;
     }
+    if args.iter().any(|a| a == "--tenants") {
+        tenants_smoke();
+        return;
+    }
     let shard_counts: Vec<usize> = args
         .iter()
         .position(|a| a == "--shards")
@@ -670,6 +944,7 @@ fn main() {
                                 kind: QueryKind::Potential,
                                 points: pts.clone(),
                                 deadline: None,
+                                tenant: mbt_engine::TenantId::DEFAULT,
                             })
                             .expect("batched query succeeds");
                     }
@@ -698,6 +973,10 @@ fn main() {
     println!("\ngmres phase:");
     let gmres = gmres_phase();
 
+    // --- tenant isolation: light p99 under a saturating hog ---
+    println!("\ntenants phase:");
+    let tenants = tenants_phase();
+
     // --- sharded serving: cold fan-out build + hot routed queries ---
     let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     println!("\nsharded phase ({threads} threads):");
@@ -714,9 +993,10 @@ fn main() {
          \"query_p50_ms\": {q50:.3},\n  \"query_p95_ms\": {q95:.3},\n  \"query_p99_ms\": {q99:.3},\n  \
          \"query_max_ms\": {qmax:.3},\n  \"eval_p50_ms\": {e50:.3},\n  \"eval_p95_ms\": {e95:.3},\n  \
          \"eval_p99_ms\": {e99:.3},\n  \"admission_wait_p99_ms\": {w99:.3},\n  \
-         \"slow_queries\": {slow},\n  \"spans_dropped\": {dropped},\n{backends}{gmres}{sharded}}}\n",
+         \"slow_queries\": {slow},\n  \"spans_dropped\": {dropped},\n{backends}{gmres}{tenants}{sharded}}}\n",
         backends = backends_json(&backends),
         gmres = gmres_json(&gmres),
+        tenants = tenants_json(&tenants),
         sharded = sharded_json(&shard_rows, threads),
         build = build_s * 1e3,
         plan_bytes = cold.plan_bytes,

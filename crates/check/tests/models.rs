@@ -16,7 +16,7 @@
 use mbt_check::sync::atomic::{AtomicU64, Ordering};
 use mbt_check::sync::Arc;
 use mbt_check::{model, sched};
-use mbt_engine::{Combiner, Flight, SingleFlight};
+use mbt_engine::{Admission, Combiner, FairGate, Flight, SingleFlight, TenantId};
 use mbt_obs::{Histogram, Ring};
 
 // ---------------------------------------------------------------------
@@ -169,6 +169,7 @@ fn combiner_hand_off_answers_every_caller() {
                 payload,
                 || {},
                 |batch| batch.into_iter().map(|p| p * 2).collect(),
+                || unreachable!("healthy exec never needs the substitute"),
             );
             assert_eq!(out, payload * 2, "answer must be ours, not a peer's");
         };
@@ -183,6 +184,91 @@ fn combiner_hand_off_answers_every_caller() {
         submit(&c, 30);
         t1.join().unwrap();
         t2.join().unwrap();
+    });
+    assert!(report.executions > 1, "must explore real interleavings");
+}
+
+/// Sweep-panic liveness: a leader whose exec panics must answer every
+/// follower it drained with the substitute and retire the group — no
+/// interleaving may strand a follower, and a later caller must lead a
+/// fresh group cleanly.
+#[test]
+fn combiner_panicking_exec_answers_followers_with_substitute() {
+    sched::check(|| {
+        let c = Arc::new(Combiner::<u8, u64, u64>::new());
+        let t = {
+            let c = Arc::clone(&c);
+            model::spawn(move || {
+                // if this caller leads, its exec dies mid-drain (the
+                // thread panic is a legitimate modeled outcome); anyone
+                // it drained must still be answered
+                let out = c.submit(0, 20, || {}, |_| panic!("exec dies"), || 99);
+                // reachable only as a follower of main's healthy sweep
+                assert_eq!(out, 40);
+            })
+        };
+        let out = c.submit(
+            0,
+            10,
+            || {},
+            |batch| batch.into_iter().map(|p| p * 2).collect(),
+            || 99,
+        );
+        // led our own healthy sweep, or rode the panicking leader's drain
+        // and woke with the substitute — never a hang, never a peer's value
+        assert!(out == 20 || out == 99, "got {out}");
+        let _ = t.join();
+        let out = c.submit(
+            0,
+            3,
+            || {},
+            |batch| batch.into_iter().map(|p| p * 2).collect(),
+            || 99,
+        );
+        assert_eq!(out, 6, "the dead group must have retired");
+    });
+}
+
+// ---------------------------------------------------------------------
+// weighted-fair admission (mbt_engine::FairGate — the AdmissionGate core)
+// ---------------------------------------------------------------------
+
+/// Slot exclusivity and hand-off liveness through a width-1 gate: no
+/// interleaving may let two callers hold the slot at once (the direct
+/// hand-off re-increments `in_flight` on the waiter's behalf before the
+/// lock drops), and no waiter may be stranded by a lost grant (the
+/// checker's deadlock detection flags exactly that).
+#[test]
+fn fair_gate_slot_is_exclusive_and_every_waiter_is_served() {
+    let report = sched::check(|| {
+        let gate = Arc::new(FairGate::new(1, 4));
+        let holders = Arc::new(AtomicU64::new(0));
+        let run = |gate: &FairGate, holders: &AtomicU64, tenant: u32| {
+            assert!(matches!(
+                gate.admit(TenantId(tenant), 1, None),
+                Admission::Admitted { .. }
+            ));
+            assert_eq!(
+                holders.fetch_add(1, Ordering::Relaxed),
+                0,
+                "two callers hold the width-1 gate's slot"
+            );
+            holders.fetch_sub(1, Ordering::Relaxed);
+            gate.release();
+        };
+        let t1 = {
+            let (gate, holders) = (Arc::clone(&gate), Arc::clone(&holders));
+            model::spawn(move || run(&gate, &holders, 1))
+        };
+        let t2 = {
+            let (gate, holders) = (Arc::clone(&gate), Arc::clone(&holders));
+            model::spawn(move || run(&gate, &holders, 2))
+        };
+        run(&gate, &holders, 3);
+        t1.join().unwrap();
+        t2.join().unwrap();
+        let (in_flight, queued) = gate.depth();
+        assert_eq!((in_flight, queued), (0, 0), "every slot was returned");
     });
     assert!(report.executions > 1, "must explore real interleavings");
 }

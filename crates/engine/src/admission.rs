@@ -1,36 +1,35 @@
-//! Admission control: a bounded in-flight gate with deadline-based
-//! shedding.
+//! Admission control: the engine-facing wrapper around the weighted-fair
+//! gate.
 //!
 //! The engine admits at most `max_in_flight` requests into planning and
-//! evaluation at once. Beyond that, requests wait in a bounded queue:
-//! a full queue sheds new arrivals immediately ([`EngineError::Overloaded`]
-//! — queueing behind work they cannot overtake would only add latency to
-//! a system already past saturation), and a queued request whose deadline
-//! expires before a slot frees is shed as [`EngineError::DeadlineExceeded`]
-//! without ever costing an evaluation.
+//! evaluation at once. Beyond that, requests wait in per-tenant fair
+//! queues (see [`crate::FairGate`] for the virtual-time WFQ math and the
+//! no-barging hand-off): a full queue sheds new arrivals immediately
+//! ([`EngineError::Overloaded`] — queueing behind work they cannot
+//! overtake would only add latency to a system already past saturation),
+//! and a queued request whose deadline expires before its slot is handed
+//! over is shed as [`EngineError::DeadlineExceeded`] without ever costing
+//! an evaluation.
+//!
+//! This wrapper owns everything the policy-free core does not: mapping
+//! [`Admission`] outcomes to stats counters and typed errors, and the
+//! RAII [`Permit`] that returns the slot.
 
-use mbt_check::sync::{Condvar, Mutex, PoisonError};
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use crate::error::EngineError;
 use crate::stats::StatsCollector;
+use crate::tenant::TenantId;
+use crate::wfq::{Admission, FairGate};
 
-#[derive(Debug, Default)]
-struct GateState {
-    in_flight: usize,
-    queued: usize,
-}
-
-/// The bounded gate. One per engine.
+/// The bounded weighted-fair gate. One per engine.
 #[derive(Debug)]
 pub struct AdmissionGate {
-    max_in_flight: usize,
-    max_queued: usize,
-    state: Mutex<GateState>,
-    freed: Condvar,
+    gate: FairGate,
 }
 
-/// An admitted request's slot; releasing (dropping) it wakes one waiter.
+/// An admitted request's slot; releasing (dropping) it hands the slot to
+/// the scheduled queue head.
 #[derive(Debug)]
 pub struct Permit<'a> {
     gate: &'a AdmissionGate,
@@ -38,95 +37,58 @@ pub struct Permit<'a> {
 
 impl AdmissionGate {
     /// A gate admitting `max_in_flight` concurrent requests and queueing
-    /// at most `max_queued` more.
+    /// at most `max_queued` more (across all tenants).
     #[must_use]
     pub fn new(max_in_flight: usize, max_queued: usize) -> AdmissionGate {
         AdmissionGate {
-            max_in_flight: max_in_flight.max(1),
-            max_queued,
-            state: Mutex::new(GateState::default()),
-            freed: Condvar::new(),
+            gate: FairGate::new(max_in_flight, max_queued),
         }
     }
 
     /// `(in_flight, queued)` right now.
     pub fn depth(&self) -> (usize, usize) {
-        let st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
-        (st.in_flight, st.queued)
+        self.gate.depth()
     }
 
-    /// Admits the request, blocking in the queue while the gate is full.
+    /// Admits the request at `tenant`'s fair-share `weight`, blocking in
+    /// its queue while the gate is full.
     ///
     /// Sheds with [`EngineError::Overloaded`] when the queue itself is
     /// full, and with [`EngineError::DeadlineExceeded`] when `deadline`
-    /// passes before a slot frees. A request with no deadline waits
-    /// indefinitely (admission order among waiters follows the platform's
-    /// condvar wakeup order, not strict FIFO).
+    /// passes before a slot is handed over. A request with no deadline
+    /// waits indefinitely; admission order among waiters is the WFQ
+    /// schedule, never condvar wake-up luck.
     pub fn admit(
         &self,
+        tenant: TenantId,
+        weight: u32,
         deadline: Option<Instant>,
         stats: &StatsCollector,
     ) -> Result<Permit<'_>, EngineError> {
-        let arrived = Instant::now();
-        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
-        if st.in_flight < self.max_in_flight {
-            st.in_flight += 1;
-            stats.record_admitted();
-            stats.record_admission_wait(Duration::ZERO);
-            return Ok(Permit { gate: self });
-        }
-        if st.queued >= self.max_queued {
-            stats.record_shed_overload();
-            return Err(EngineError::Overloaded {
-                in_flight: st.in_flight,
-                queued: st.queued,
-            });
-        }
-        st.queued += 1;
-        stats.observe_queue_depth(st.queued);
-        loop {
-            if st.in_flight < self.max_in_flight {
-                st.queued -= 1;
-                st.in_flight += 1;
+        let outcome = self.gate.admit_observed(tenant, weight, deadline, |depth| {
+            stats.observe_queue_depth(depth);
+        });
+        match outcome {
+            Admission::Admitted { waited } => {
                 stats.record_admitted();
-                stats.record_admission_wait(arrived.elapsed());
-                return Ok(Permit { gate: self });
+                stats.record_admission_wait(waited);
+                Ok(Permit { gate: self })
             }
-            match deadline {
-                None => {
-                    st = self.freed.wait(st).unwrap_or_else(PoisonError::into_inner);
-                }
-                Some(d) => {
-                    let now = Instant::now();
-                    if now >= d {
-                        st.queued -= 1;
-                        stats.record_shed_deadline();
-                        return Err(EngineError::DeadlineExceeded);
-                    }
-                    let (guard, _timed_out) = self
-                        .freed
-                        .wait_timeout(st, d - now)
-                        .unwrap_or_else(PoisonError::into_inner);
-                    st = guard;
-                }
+            Admission::Overloaded { in_flight, queued } => {
+                stats.record_shed_overload();
+                Err(EngineError::Overloaded { in_flight, queued })
+            }
+            Admission::DeadlineExpired => {
+                stats.record_shed_deadline();
+                Err(EngineError::DeadlineExceeded)
             }
         }
-    }
-
-    fn release(&self) {
-        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
-        st.in_flight = st.in_flight.saturating_sub(1);
-        drop(st);
-        // wake every waiter: whichever one wins the lock takes the slot,
-        // and any whose deadline has meanwhile expired must get a chance
-        // to notice and shed itself
-        self.freed.notify_all();
     }
 }
 
 impl Drop for Permit<'_> {
     fn drop(&mut self) {
-        self.gate.release();
+        self.gate.gate.release();
     }
 }
 
@@ -139,12 +101,12 @@ mod tests {
     fn admits_up_to_capacity() {
         let gate = AdmissionGate::new(2, 0);
         let stats = StatsCollector::default();
-        let p1 = gate.admit(None, &stats).unwrap();
-        let _p2 = gate.admit(None, &stats).unwrap();
+        let p1 = gate.admit(TenantId::DEFAULT, 1, None, &stats).unwrap();
+        let _p2 = gate.admit(TenantId::DEFAULT, 1, None, &stats).unwrap();
         assert_eq!(gate.depth(), (2, 0));
         // gate full, queue size 0 → immediate overload
         assert!(matches!(
-            gate.admit(None, &stats),
+            gate.admit(TenantId::DEFAULT, 1, None, &stats),
             Err(EngineError::Overloaded {
                 in_flight: 2,
                 queued: 0
@@ -152,17 +114,17 @@ mod tests {
         ));
         drop(p1);
         assert_eq!(gate.depth(), (1, 0));
-        let _p3 = gate.admit(None, &stats).unwrap();
+        let _p3 = gate.admit(TenantId::DEFAULT, 1, None, &stats).unwrap();
     }
 
     #[test]
     fn queued_request_sheds_on_deadline() {
         let gate = AdmissionGate::new(1, 4);
         let stats = StatsCollector::default();
-        let _held = gate.admit(None, &stats).unwrap();
+        let _held = gate.admit(TenantId::DEFAULT, 1, None, &stats).unwrap();
         let deadline = Instant::now() + Duration::from_millis(30);
         let t0 = Instant::now();
-        let res = gate.admit(Some(deadline), &stats);
+        let res = gate.admit(TenantId::DEFAULT, 1, Some(deadline), &stats);
         assert_eq!(res.unwrap_err(), EngineError::DeadlineExceeded);
         assert!(t0.elapsed() >= Duration::from_millis(25));
         assert_eq!(gate.depth(), (1, 0)); // the shed request left the queue
@@ -172,11 +134,16 @@ mod tests {
     fn queued_request_proceeds_when_slot_frees() {
         let gate = AdmissionGate::new(1, 4);
         let stats = StatsCollector::default();
-        let held = gate.admit(None, &stats).unwrap();
+        let held = gate.admit(TenantId::DEFAULT, 1, None, &stats).unwrap();
         std::thread::scope(|s| {
             let waiter = s.spawn(|| {
-                gate.admit(Some(Instant::now() + Duration::from_secs(5)), &stats)
-                    .map(|_p| ())
+                gate.admit(
+                    TenantId(1),
+                    1,
+                    Some(Instant::now() + Duration::from_secs(5)),
+                    &stats,
+                )
+                .map(|_p| ())
             });
             std::thread::sleep(Duration::from_millis(20));
             drop(held);
@@ -188,19 +155,23 @@ mod tests {
         let s = stats.snapshot(crate::stats::Gauges::default());
         assert_eq!(s.admission_wait.count, 2);
         assert!(s.admission_wait.max_ms >= 15.0, "{:?}", s.admission_wait);
+        assert_eq!(s.queue_peak, 1, "the waiter's enqueue fed the peak");
     }
 
     #[test]
     fn expired_deadline_sheds_immediately_when_queued() {
         let gate = AdmissionGate::new(1, 4);
         let stats = StatsCollector::default();
-        let _held = gate.admit(None, &stats).unwrap();
+        let _held = gate.admit(TenantId::DEFAULT, 1, None, &stats).unwrap();
         let past = Instant::now()
             .checked_sub(Duration::from_millis(1))
             .unwrap();
         assert_eq!(
-            gate.admit(Some(past), &stats).unwrap_err(),
+            gate.admit(TenantId::DEFAULT, 1, Some(past), &stats)
+                .unwrap_err(),
             EngineError::DeadlineExceeded
         );
+        let s = stats.snapshot(crate::stats::Gauges::default());
+        assert_eq!(s.shed_deadline, 1);
     }
 }

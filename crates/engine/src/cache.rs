@@ -1,17 +1,26 @@
-//! The plan cache: byte-budgeted LRU residency plus single-flight
+//! The plan cache: byte-budgeted cost-aware residency plus single-flight
 //! construction.
 //!
 //! [`ByteLru`] is the pure residency policy — a map whose entries carry a
-//! byte size, with strict LRU eviction against a fixed budget. It is
-//! deliberately lock-free and side-effect-free so property tests can
-//! drive it directly against a model. [`PlanCache`] wraps it with the
-//! concurrency the engine needs: one mutex around the residency state,
-//! and a ticket table guaranteeing that N concurrent misses on one key
-//! run **one** build while the other N−1 wait for its result.
+//! byte size, evicted against a fixed budget in order of a **cost-aware
+//! score**: `rebuild_cost_ns × (1 + hits)`, ties broken by recency. An
+//! entry inserted with zero cost scores zero, so a cache populated through
+//! plain [`ByteLru::insert`] degenerates to *exactly* strict LRU (the
+//! property tests pin this against a reference model); the engine inserts
+//! plans with their measured build time ([`ByteLru::insert_with_cost`]),
+//! so a cheap-to-rebuild plan is sacrificed before an expensive, hot one.
+//! Victim selection is O(log n) via an ordered index — the old
+//! full-scan `min_by_key` was quadratic under churn.
+//!
+//! The policy is deliberately lock-free and side-effect-free so property
+//! tests can drive it directly against a model. [`PlanCache`] wraps it
+//! with the concurrency the engine needs: one mutex around the residency
+//! state, and a ticket table guaranteeing that N concurrent misses on one
+//! key run **one** build while the other N−1 wait for its result.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::hash::Hash;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use mbt_check::sync::Arc;
 
@@ -26,6 +35,25 @@ struct LruEntry<V> {
     value: V,
     bytes: usize,
     last_used: u64,
+    /// Measured cost of rebuilding this entry, in nanoseconds (zero for
+    /// plain inserts — score 0 means pure LRU among them).
+    cost_ns: u64,
+    /// Lookups served since insertion.
+    hits: u64,
+}
+
+impl<V> LruEntry<V> {
+    /// The eviction score: rebuild cost amplified by observed hit rate.
+    /// Lower scores evict first; zero-cost entries all score zero and
+    /// fall back to recency order.
+    fn score(&self) -> u64 {
+        self.cost_ns.saturating_mul(1 + self.hits)
+    }
+
+    /// This entry's key in the ordered eviction index.
+    fn rank(&self) -> (u64, u64) {
+        (self.score(), self.last_used)
+    }
 }
 
 /// Outcome of a [`ByteLru::insert`].
@@ -39,15 +67,20 @@ pub struct Inserted<K, V> {
     pub evicted: Vec<(K, usize, V)>,
 }
 
-/// A byte-budgeted strict-LRU map.
+/// A byte-budgeted map with cost-aware eviction (strict LRU for entries
+/// inserted without a cost).
 ///
 /// Invariant (checked by [`ByteLru::check_invariants`], enforced under
 /// the `validate` feature): the sum of resident entry sizes never
-/// exceeds the budget, and `total_bytes` always equals that sum.
+/// exceeds the budget, `total_bytes` always equals that sum, and the
+/// ordered eviction index mirrors the entry map one-to-one.
 #[derive(Debug)]
 pub struct ByteLru<K, V> {
     budget: usize,
     entries: HashMap<K, LruEntry<V>>,
+    /// Eviction order: `(score, last_used) → key`, victims from the
+    /// front. `last_used` ticks are unique, so the composite key is too.
+    index: BTreeMap<(u64, u64), K>,
     total: usize,
     tick: u64,
 }
@@ -59,6 +92,7 @@ impl<K: Eq + Hash + Clone, V> ByteLru<K, V> {
         ByteLru {
             budget,
             entries: HashMap::new(),
+            index: BTreeMap::new(),
             total: 0,
             tick: 0,
         }
@@ -88,22 +122,44 @@ impl<K: Eq + Hash + Clone, V> ByteLru<K, V> {
         self.entries.is_empty()
     }
 
-    /// Looks `key` up and marks it most-recently-used.
+    /// Looks `key` up, marks it most-recently-used, and counts the hit
+    /// toward its eviction score.
     pub fn get(&mut self, key: &K) -> Option<&V> {
         self.tick += 1;
         let tick = self.tick;
-        self.entries.get_mut(key).map(|e| {
-            e.last_used = tick;
-            &e.value
-        })
+        match self.entries.get_mut(key) {
+            Some(e) => {
+                self.index.remove(&e.rank());
+                e.last_used = tick;
+                e.hits += 1;
+                self.index.insert(e.rank(), key.clone());
+                Some(&e.value)
+            }
+            None => None,
+        }
     }
 
-    /// Inserts `key → value` accounted at `bytes`, evicting
-    /// least-recently-used entries until the budget holds. Re-inserting
-    /// an existing key replaces it (the old entry is reported evicted).
+    /// Inserts `key → value` accounted at `bytes` with zero rebuild
+    /// cost: among such entries eviction is exactly strict LRU.
     pub fn insert(&mut self, key: K, value: V, bytes: usize) -> Inserted<K, V> {
+        self.insert_with_cost(key, value, bytes, Duration::ZERO)
+    }
+
+    /// Inserts `key → value` accounted at `bytes`, carrying the measured
+    /// `cost` of rebuilding it. Entries are evicted in ascending
+    /// `cost × (1 + hits)` score (recency breaks ties) until the budget
+    /// holds. Re-inserting an existing key replaces it (the old entry is
+    /// reported evicted first).
+    pub fn insert_with_cost(
+        &mut self,
+        key: K,
+        value: V,
+        bytes: usize,
+        cost: Duration,
+    ) -> Inserted<K, V> {
         let mut evicted = Vec::new();
         if let Some(old) = self.entries.remove(&key) {
+            self.index.remove(&old.rank());
             self.total -= old.bytes;
             evicted.push((key.clone(), old.bytes, old.value));
         }
@@ -114,14 +170,10 @@ impl<K: Eq + Hash + Clone, V> ByteLru<K, V> {
             };
         }
         while self.total + bytes > self.budget {
-            // strict LRU victim: the smallest last_used tick
-            let victim = self
-                .entries
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone());
-            match victim {
-                Some(k) => {
+            // victim: the front of the ordered index — lowest score,
+            // least recent among equals. O(log n), not a full scan.
+            match self.index.pop_first() {
+                Some((_, k)) => {
                     if let Some(e) = self.entries.remove(&k) {
                         self.total -= e.bytes;
                         evicted.push((k, e.bytes, e.value));
@@ -131,15 +183,16 @@ impl<K: Eq + Hash + Clone, V> ByteLru<K, V> {
             }
         }
         self.tick += 1;
+        let entry = LruEntry {
+            value,
+            bytes,
+            last_used: self.tick,
+            cost_ns: u64::try_from(cost.as_nanos()).unwrap_or(u64::MAX),
+            hits: 0,
+        };
         self.total += bytes;
-        self.entries.insert(
-            key,
-            LruEntry {
-                value,
-                bytes,
-                last_used: self.tick,
-            },
-        );
+        self.index.insert(entry.rank(), key.clone());
+        self.entries.insert(key, entry);
         Inserted {
             admitted: true,
             evicted,
@@ -165,6 +218,19 @@ impl<K: Eq + Hash + Clone, V> ByteLru<K, V> {
         }
         if self.entries.values().any(|e| e.last_used > self.tick) {
             return Err("entry recency is ahead of the clock".to_string());
+        }
+        if self.index.len() != self.entries.len() {
+            return Err(format!(
+                "eviction index out of step: {} indexed vs {} resident",
+                self.index.len(),
+                self.entries.len()
+            ));
+        }
+        for (rank, key) in &self.index {
+            let matches = self.entries.get(key).is_some_and(|e| e.rank() == *rank);
+            if !matches {
+                return Err("eviction index rank disagrees with its entry".to_string());
+            }
         }
         Ok(())
     }
@@ -258,7 +324,11 @@ impl PlanCache {
             || Err(EngineError::BuildPanicked),
             |lru, built| {
                 if let Ok(plan) = built {
-                    let ins = lru.insert(key, Arc::clone(plan), plan.bytes);
+                    // residency is cost-aware: the plan's measured build
+                    // time (the same duration `record_build` charged)
+                    // makes expensive plans the last to go
+                    let ins =
+                        lru.insert_with_cost(key, Arc::clone(plan), plan.bytes, plan.build_time);
                     for (_, bytes, _) in &ins.evicted {
                         stats.record_eviction(*bytes);
                     }
@@ -406,6 +476,57 @@ mod tests {
         assert!(ins.admitted);
         let order: Vec<u32> = ins.evicted.iter().map(|e| e.0).collect();
         assert_eq!(order, vec![1, 2, 3]);
+        assert!(lru.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn cheap_entries_evict_before_expensive_ones() {
+        let mut lru: ByteLru<u32, u32> = ByteLru::new(100);
+        // the expensive plan is *older* — pure LRU would sacrifice it
+        assert!(
+            lru.insert_with_cost(1, 10, 50, Duration::from_millis(500))
+                .admitted
+        );
+        assert!(
+            lru.insert_with_cost(2, 20, 50, Duration::from_millis(1))
+                .admitted
+        );
+        let ins = lru.insert_with_cost(3, 30, 50, Duration::from_millis(50));
+        assert!(ins.admitted);
+        let order: Vec<u32> = ins.evicted.iter().map(|e| e.0).collect();
+        assert_eq!(order, vec![2], "the cheap rebuild goes first");
+        assert!(lru.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn hits_amplify_an_entrys_score() {
+        let mut lru: ByteLru<u32, u32> = ByteLru::new(100);
+        // equal rebuild cost; key 1 is hot (3 hits → score x4), key 2 cold
+        lru.insert_with_cost(1, 10, 50, Duration::from_millis(10));
+        lru.insert_with_cost(2, 20, 50, Duration::from_millis(10));
+        for _ in 0..3 {
+            assert_eq!(lru.get(&1), Some(&10));
+        }
+        let ins = lru.insert_with_cost(3, 30, 60, Duration::from_millis(10));
+        let order: Vec<u32> = ins.evicted.iter().map(|e| e.0).collect();
+        assert_eq!(order, vec![2, 1], "cold entry first despite equal cost");
+        assert!(lru.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn zero_cost_inserts_stay_strict_lru_after_hits() {
+        // hits multiply a zero cost into a zero score: plain inserts keep
+        // the exact strict-LRU order the property tests model
+        let mut lru: ByteLru<u32, u32> = ByteLru::new(100);
+        for k in 0..4 {
+            lru.insert(k, k, 25);
+        }
+        lru.get(&1);
+        lru.get(&1);
+        lru.get(&0);
+        let ins = lru.insert(9, 9, 100);
+        let order: Vec<u32> = ins.evicted.iter().map(|e| e.0).collect();
+        assert_eq!(order, vec![2, 3, 1, 0]);
         assert!(lru.check_invariants().is_ok());
     }
 }

@@ -23,6 +23,7 @@ use crate::registry::{Dataset, DatasetId, DatasetRegistry};
 use crate::route::{route, Backend};
 use crate::scheduler::Batcher;
 use crate::stats::{EngineStats, Gauges, StatsCollector};
+use crate::tenant::{TenantConfig, TenantId, TenantTable};
 
 /// Engine-wide settings.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -99,6 +100,10 @@ pub struct QueryRequest {
     /// Optional deadline: the request is shed (never evaluated) once this
     /// instant passes while it is still queued.
     pub deadline: Option<Instant>,
+    /// The tenant this request is billed to and scheduled as. Defaults to
+    /// [`TenantId::DEFAULT`]; unregistered tenants serve at weight 1 with
+    /// no budgets, so single-tenant callers never notice the field.
+    pub tenant: TenantId,
 }
 
 impl QueryRequest {
@@ -111,6 +116,7 @@ impl QueryRequest {
             kind: QueryKind::Potential,
             points,
             deadline: None,
+            tenant: TenantId::DEFAULT,
         }
     }
 
@@ -123,6 +129,7 @@ impl QueryRequest {
             kind: QueryKind::Field,
             points,
             deadline: None,
+            tenant: TenantId::DEFAULT,
         }
     }
 
@@ -130,6 +137,13 @@ impl QueryRequest {
     #[must_use]
     pub fn with_deadline(mut self, budget: Duration) -> QueryRequest {
         self.deadline = Some(Instant::now() + budget);
+        self
+    }
+
+    /// Bills and schedules this request as `tenant`.
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: TenantId) -> QueryRequest {
+        self.tenant = tenant;
         self
     }
 }
@@ -210,6 +224,7 @@ pub struct Engine {
     batcher: Batcher,
     gate: AdmissionGate,
     stats: StatsCollector,
+    tenants: TenantTable,
     /// Cached global skeletons for sharded datasets, keyed by the
     /// shard-0 plan key of their generation (dataset + resolved params +
     /// partition width). Entries are tiny — O(k · p²) complex
@@ -230,6 +245,7 @@ impl Engine {
             batcher: Batcher::with_window(config.batch_window),
             gate: AdmissionGate::new(config.max_in_flight, config.max_queued),
             stats: StatsCollector::with_slow_threshold(config.slow_query_threshold),
+            tenants: TenantTable::new(),
             skeletons: Mutex::new(HashMap::new()),
         })
     }
@@ -258,6 +274,22 @@ impl Engine {
         shards: usize,
     ) -> Result<DatasetId, EngineError> {
         self.registry.register_sharded(name, particles, shards)
+    }
+
+    /// Registers (or re-registers) a tenant's fair-share weight and
+    /// budgets. Unregistered tenants — including [`TenantId::DEFAULT`] —
+    /// serve at weight 1 with no budgets, so calling this is only needed
+    /// to differentiate tenants. Re-registering updates the config but
+    /// keeps the tenant's accumulated charges.
+    pub fn register_tenant(&self, tenant: TenantId, config: TenantConfig) {
+        self.tenants.register(tenant, config);
+    }
+
+    /// Opens a new billing window for `tenant`: accumulated plan-byte and
+    /// evaluation-time charges are zeroed (weights and quotas stay).
+    /// Returns `false` when the tenant was never registered or billed.
+    pub fn reset_tenant_budgets(&self, tenant: TenantId) -> bool {
+        self.tenants.reset_budgets(tenant)
     }
 
     /// The dataset registered under `id`.
@@ -439,6 +471,37 @@ impl Engine {
         sk
     }
 
+    /// Bills `tenant` for every plan in `plans` it caused to be built
+    /// this call (cache hits and coalesced waits are free: the bytes were
+    /// already paid for by whoever built them).
+    fn charge_built_plans(&self, tenant: TenantId, plans: &[(Arc<Plan>, CacheOutcome)]) {
+        let built: usize = plans
+            .iter()
+            .filter(|(_, o)| *o == CacheOutcome::Built)
+            .map(|(p, _)| p.bytes)
+            .sum();
+        if built > 0 {
+            self.tenants.charge_plan_bytes(tenant, built);
+        }
+    }
+
+    /// Splits one coalesced sweep's wall time evenly across the requests
+    /// riding it, billing each request's tenant one share. An even split
+    /// (rather than a per-point one) keeps the charge independent of who
+    /// else happened to coalesce in.
+    fn charge_eval_split(&self, requests: &[QueryRequest], live: &[usize], took: Duration) {
+        let Ok(n) = u32::try_from(live.len()) else {
+            return;
+        };
+        if n == 0 {
+            return;
+        }
+        let share = took / n;
+        for &i in live {
+            self.tenants.charge_eval(requests[i].tenant, share);
+        }
+    }
+
     /// Feeds one fan-out's routing counters plus its per-shard sweeps
     /// (under their sharded plan keys, so the ordinary per-plan
     /// breakdown separates shards) into the collector.
@@ -465,7 +528,26 @@ impl Engine {
     /// coalesced into shared sweeps.
     pub fn query(&self, request: QueryRequest) -> Result<QueryResponse, EngineError> {
         let arrived = Instant::now();
-        let _permit = self.gate.admit(request.deadline, &self.stats)?;
+        // budgets first: a tenant over quota is shed before it can queue
+        // (its backlog would only steal gate capacity from solvent ones)
+        if let Err(e) = self.tenants.admit_request(request.tenant) {
+            self.stats.record_shed_quota();
+            return Err(e);
+        }
+        let weight = self.tenants.weight(request.tenant);
+        let _permit = match self
+            .gate
+            .admit(request.tenant, weight, request.deadline, &self.stats)
+        {
+            Ok(p) => {
+                self.tenants.note_admitted(request.tenant);
+                p
+            }
+            Err(e) => {
+                self.tenants.note_shed(request.tenant);
+                return Err(e);
+            }
+        };
         let waited = arrived.elapsed();
         let ds = self.registry.get(request.dataset)?;
         let params = self.resolve_params_profiled(&ds, request.accuracy);
@@ -483,6 +565,9 @@ impl Engine {
             return self.query_direct(&ds, &params, &request, arrived, waited);
         }
         let (plan, outcome) = self.plan_routed(&ds, params, backend)?;
+        if outcome == CacheOutcome::Built {
+            self.tenants.charge_plan_bytes(request.tenant, plan.bytes);
+        }
         // a cold build may have consumed the whole budget
         if request.deadline.is_some_and(|d| Instant::now() >= d) {
             self.stats.record_shed_deadline();
@@ -490,6 +575,8 @@ impl Engine {
         }
         let cfg = EvalConfig::of(&params);
         let n_points = request.points.len();
+        let tenant = request.tenant;
+        let t_eval = Instant::now();
         let (output, eval) = self.batcher.run(
             &plan,
             request.kind,
@@ -498,6 +585,7 @@ impl Engine {
             request.deadline,
             &self.stats,
         )?;
+        self.tenants.charge_eval(tenant, t_eval.elapsed());
         self.stats
             .record_request(request.dataset, n_points, arrived.elapsed(), waited);
         Ok(QueryResponse {
@@ -534,9 +622,15 @@ impl Engine {
             &[&request.points],
         );
         self.stats.record_batch(key, 1, n_points, t0.elapsed());
+        self.tenants.charge_eval(request.tenant, t0.elapsed());
         self.stats
             .record_request(request.dataset, n_points, arrived.elapsed(), waited);
-        let output = outputs.pop().unwrap_or(QueryOutput::Potentials(Vec::new()));
+        // one slice in ⇒ exactly one output out; a missing output is an
+        // evaluator bug and must not masquerade as a zero-length success
+        debug_assert_eq!(outputs.len(), 1);
+        let output = outputs
+            .pop()
+            .ok_or(EngineError::Internal("direct sweep returned no output"))?;
         Ok(QueryResponse {
             output,
             eval,
@@ -557,6 +651,7 @@ impl Engine {
         waited: Duration,
     ) -> Result<QueryResponse, EngineError> {
         let (plans, params, skeleton) = self.shard_plans(ds, request.accuracy)?;
+        self.charge_built_plans(request.tenant, &plans);
         // cold shard builds may have consumed the whole budget
         if request.deadline.is_some_and(|d| Instant::now() >= d) {
             self.stats.record_shed_deadline();
@@ -569,9 +664,14 @@ impl Engine {
         let (mut outputs, eval, fan) =
             evaluate_sharded(&arc_plans, &skeleton, request.kind, &[&request.points], cfg);
         self.record_fanout_stats(ds, &params, &fan, t0.elapsed());
+        self.tenants.charge_eval(request.tenant, t0.elapsed());
         self.stats
             .record_request(request.dataset, n_points, arrived.elapsed(), waited);
-        let output = outputs.pop().unwrap_or(QueryOutput::Potentials(Vec::new()));
+        // one slice in ⇒ exactly one output out (see `query_direct`)
+        debug_assert_eq!(outputs.len(), 1);
+        let output = outputs
+            .pop()
+            .ok_or(EngineError::Internal("sharded fan-out returned no output"))?;
         Ok(QueryResponse {
             output,
             eval,
@@ -606,6 +706,8 @@ impl Engine {
                 return;
             }
         };
+        // the group shares (dataset, accuracy): builds bill its opener
+        self.charge_built_plans(requests[first].tenant, &plans);
         let now = Instant::now();
         let live: Vec<usize> = indices
             .into_iter()
@@ -630,6 +732,7 @@ impl Engine {
         let t0 = Instant::now();
         let (outputs, sweep, fan) = evaluate_sharded(&arc_plans, &skeleton, kind, &slices, cfg);
         self.record_fanout_stats(ds, &params, &fan, t0.elapsed());
+        self.charge_eval_split(requests, &live, t0.elapsed());
         let outcome = aggregate_outcome(plans.iter().map(|(_, o)| *o));
         let plan_bytes: usize = plans.iter().map(|(p, _)| p.bytes).sum();
         for (&i, output) in live.iter().zip(outputs) {
@@ -661,7 +764,12 @@ impl Engine {
     ) -> Vec<Result<QueryResponse, EngineError>> {
         let arrived = Instant::now();
         let earliest = requests.iter().filter_map(|r| r.deadline).min();
-        let permit = match self.gate.admit(earliest, &self.stats) {
+        // the whole batch is one caller and queues as one unit, scheduled
+        // under its first request's tenant; budgets are still checked and
+        // billed per request below, so mixed-tenant batches stay honest
+        let tenant = requests.first().map_or(TenantId::DEFAULT, |r| r.tenant);
+        let weight = self.tenants.weight(tenant);
+        let permit = match self.gate.admit(tenant, weight, earliest, &self.stats) {
             Ok(p) => p,
             Err(e) => return requests.iter().map(|_| Err(e.clone())).collect(),
         };
@@ -671,6 +779,12 @@ impl Engine {
             requests.iter().map(|_| None).collect();
         let mut groups: HashMap<(PlanKey, QueryKind, EvalConfig), Vec<usize>> = HashMap::new();
         for (i, r) in requests.iter().enumerate() {
+            if let Err(e) = self.tenants.admit_request(r.tenant) {
+                self.stats.record_shed_quota();
+                results[i] = Some(Err(e));
+                continue;
+            }
+            self.tenants.note_admitted(r.tenant);
             let ds = match self.registry.get(r.dataset) {
                 Ok(ds) => ds,
                 Err(e) => {
@@ -735,7 +849,13 @@ impl Engine {
                 (None, CacheOutcome::Bypassed)
             } else {
                 match self.plan_routed(&ds, params, backend) {
-                    Ok((plan, outcome)) => (Some(plan), outcome),
+                    Ok((plan, outcome)) => {
+                        if outcome == CacheOutcome::Built {
+                            self.tenants
+                                .charge_plan_bytes(requests[first].tenant, plan.bytes);
+                        }
+                        (Some(plan), outcome)
+                    }
                     Err(e) => {
                         for &i in &indices {
                             results[i] = Some(Err(e.clone()));
@@ -772,6 +892,7 @@ impl Engine {
             };
             self.stats
                 .record_batch(key, live.len(), total_points, t0.elapsed());
+            self.charge_eval_split(requests, &live, t0.elapsed());
             let plan_bytes = plan.as_ref().map_or(0, |p| p.bytes);
             for (&i, output) in live.iter().zip(outputs) {
                 self.stats.record_request(
@@ -791,9 +912,18 @@ impl Engine {
         }
         drop(permit);
 
+        // every slot was filled by its group above; an empty one means a
+        // worker never delivered — that is an engine fault and must not
+        // masquerade as client-caused deadline shedding
+        debug_assert!(results.iter().all(Option::is_some));
         results
             .into_iter()
-            .map(|r| r.unwrap_or(Err(EngineError::DeadlineExceeded)))
+            .map(|r| {
+                r.unwrap_or_else(|| {
+                    self.stats.record_worker_panic();
+                    Err(EngineError::WorkerPanicked)
+                })
+            })
             .collect()
     }
 
@@ -826,7 +956,7 @@ impl Engine {
                 .unwrap_or_else(PoisonError::into_inner);
             (map.len(), map.values().map(|s| s.heap_bytes()).sum())
         };
-        self.stats.snapshot(Gauges {
+        let mut stats = self.stats.snapshot(Gauges {
             resident_plans,
             resident_bytes,
             cache_budget_bytes: self.config.cache_budget_bytes,
@@ -835,7 +965,9 @@ impl Engine {
             queue_depth,
             skeletons,
             skeleton_bytes,
-        })
+        });
+        stats.per_tenant = self.tenants.breakdown();
+        stats
     }
 }
 

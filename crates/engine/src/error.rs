@@ -9,6 +9,7 @@ use mbt_fmm::FmmError;
 use mbt_treecode::TreecodeError;
 
 use crate::registry::DatasetId;
+use crate::tenant::TenantId;
 
 /// Everything that can go wrong between accepting a request and returning
 /// its values.
@@ -57,6 +58,24 @@ pub enum EngineError {
     /// Coalesced waiters receive this instead of hanging on the dead
     /// flight; the next request for the key retries the build.
     BuildPanicked,
+    /// The caller leading this request's coalesced evaluation sweep
+    /// panicked. Requests riding that sweep receive this instead of
+    /// hanging (and instead of the misleading `DeadlineExceeded` the
+    /// engine used to report); retrying re-runs the evaluation.
+    WorkerPanicked,
+    /// The requesting tenant exhausted one of its configured budgets;
+    /// the request was shed before costing any work.
+    QuotaExceeded {
+        /// The tenant whose budget is exhausted.
+        tenant: TenantId,
+        /// Which budget: `"plan_bytes"` or `"eval_ms"`.
+        resource: &'static str,
+    },
+    /// An engine invariant was violated (an evaluation sweep returned
+    /// the wrong number of outputs). Always an engine bug, never a
+    /// caller error — reported instead of silently substituting empty
+    /// results.
+    Internal(&'static str),
     /// The engine configuration was rejected at construction.
     InvalidConfig(&'static str),
 }
@@ -94,6 +113,16 @@ impl std::fmt::Display for EngineError {
                     "plan build panicked in the flight leader; retry the request"
                 )
             }
+            EngineError::WorkerPanicked => {
+                write!(
+                    f,
+                    "evaluation sweep panicked in the batch leader; retry the request"
+                )
+            }
+            EngineError::QuotaExceeded { tenant, resource } => {
+                write!(f, "tenant {} exhausted its {resource} budget", tenant.0)
+            }
+            EngineError::Internal(why) => write!(f, "engine invariant violated: {why}"),
             EngineError::InvalidConfig(why) => write!(f, "invalid engine config: {why}"),
         }
     }
@@ -125,6 +154,12 @@ mod tests {
             },
             EngineError::DeadlineExceeded,
             EngineError::BuildPanicked,
+            EngineError::WorkerPanicked,
+            EngineError::QuotaExceeded {
+                tenant: TenantId(3),
+                resource: "plan_bytes",
+            },
+            EngineError::Internal("sweep output count mismatch"),
             EngineError::InvalidConfig("alpha"),
         ];
         for e in cases {

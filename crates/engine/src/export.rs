@@ -119,12 +119,14 @@ impl EngineStats {
         w.field_u64("max_batch", self.max_batch);
         w.field_u64("points", self.eval_points);
         w.field_f64("eval_seconds", self.eval_seconds);
+        w.field_u64("worker_panics", self.worker_panics);
         w.end_object();
 
         w.begin_object_field("admission");
         w.field_u64("admitted", self.admitted);
         w.field_u64("shed_overload", self.shed_overload);
         w.field_u64("shed_deadline", self.shed_deadline);
+        w.field_u64("shed_quota", self.shed_quota);
         w.field_u64("in_flight", self.in_flight as u64);
         w.field_u64("queue_depth", self.queue_depth as u64);
         w.field_u64("queue_peak", self.queue_peak);
@@ -192,6 +194,26 @@ impl EngineStats {
             w.field_u64("requests", d.requests);
             w.field_u64("points", d.points);
             summary_json(&mut w, "eval", &d.eval);
+            w.end_object();
+        }
+        w.end_array();
+
+        w.begin_array_field("tenants");
+        for t in &self.per_tenant {
+            w.begin_object();
+            w.field_u64("tenant", u64::from(t.tenant));
+            w.field_u64("weight", u64::from(t.weight));
+            w.field_u64("requests", t.requests);
+            w.field_u64("admitted", t.admitted);
+            w.field_u64("shed", t.shed);
+            w.field_u64("charged_plan_bytes", t.charged_plan_bytes);
+            w.field_f64("charged_eval_ms", t.charged_eval_ms);
+            if let Some(q) = t.plan_bytes_quota {
+                w.field_u64("plan_bytes_quota", q);
+            }
+            if let Some(q) = t.eval_ms_quota {
+                w.field_u64("eval_ms_quota", q);
+            }
             w.end_object();
         }
         w.end_array();
@@ -330,6 +352,18 @@ impl EngineStats {
             "mbt_queue_peak",
             "Largest observed queue depth",
             self.queue_peak as f64,
+        );
+        prom_counter(
+            &mut w,
+            "mbt_shed_quota_total",
+            "Requests shed on an exhausted tenant budget",
+            self.shed_quota,
+        );
+        prom_counter(
+            &mut w,
+            "mbt_worker_panics_total",
+            "Evaluation sweeps that panicked (answered WorkerPanicked)",
+            self.worker_panics,
         );
         prom_counter(
             &mut w,
@@ -539,6 +573,61 @@ impl EngineStats {
             w.sample("mbt_plan_eval_p99_seconds", labels, p.eval.p99_ms * 1e-3);
         }
 
+        let names = [
+            (
+                "mbt_tenant_weight",
+                "gauge",
+                "The tenant's fair-share weight",
+            ),
+            (
+                "mbt_tenant_requests_total",
+                "counter",
+                "Requests the tenant presented",
+            ),
+            (
+                "mbt_tenant_admitted_total",
+                "counter",
+                "Requests admitted for the tenant",
+            ),
+            (
+                "mbt_tenant_shed_total",
+                "counter",
+                "Requests shed for the tenant (quota, overload, or deadline)",
+            ),
+            (
+                "mbt_tenant_plan_bytes_total",
+                "counter",
+                "Plan-cache bytes the tenant's builds were billed",
+            ),
+            (
+                "mbt_tenant_eval_seconds_total",
+                "counter",
+                "Evaluation wall time the tenant was billed",
+            ),
+        ];
+        for (name, kind, help) in names {
+            w.help(name, help);
+            w.typ(name, kind);
+        }
+        for t in &self.per_tenant {
+            let id = t.tenant.to_string();
+            let labels: &[(&str, &str)] = &[("tenant", &id)];
+            w.sample("mbt_tenant_weight", labels, f64::from(t.weight));
+            w.sample("mbt_tenant_requests_total", labels, t.requests as f64);
+            w.sample("mbt_tenant_admitted_total", labels, t.admitted as f64);
+            w.sample("mbt_tenant_shed_total", labels, t.shed as f64);
+            w.sample(
+                "mbt_tenant_plan_bytes_total",
+                labels,
+                t.charged_plan_bytes as f64,
+            );
+            w.sample(
+                "mbt_tenant_eval_seconds_total",
+                labels,
+                t.charged_eval_ms * 1e-3,
+            );
+        }
+
         w.finish()
     }
 }
@@ -585,7 +674,9 @@ mod tests {
             },
             Duration::from_millis(2),
         );
-        c.snapshot(Gauges {
+        c.record_shed_quota();
+        c.record_worker_panic();
+        let mut s = c.snapshot(Gauges {
             resident_plans: 2,
             resident_bytes: 1 << 20,
             cache_budget_bytes: 256 << 20,
@@ -594,7 +685,20 @@ mod tests {
             queue_depth: 0,
             skeletons: 1,
             skeleton_bytes: 2048,
-        })
+        });
+        // the engine splices the tenant table in the same way
+        s.per_tenant = vec![crate::tenant::TenantBreakdown {
+            tenant: 7,
+            weight: 4,
+            requests: 5,
+            admitted: 4,
+            shed: 1,
+            charged_plan_bytes: 1024,
+            charged_eval_ms: 2.5,
+            plan_bytes_quota: Some(1 << 20),
+            eval_ms_quota: None,
+        }];
+        s
     }
 
     #[test]
@@ -621,6 +725,11 @@ mod tests {
             "\"shard_opens\":1",
             "\"skeleton_bytes\":2048",
             "\"fanout\"",
+            "\"shed_quota\":1",
+            "\"worker_panics\":1",
+            "\"tenants\"",
+            "\"charged_plan_bytes\":1024",
+            "\"plan_bytes_quota\":1048576",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
@@ -652,6 +761,11 @@ mod tests {
             "mbt_fanout_latency_p99_seconds",
             "mbt_dataset_requests_total{dataset=\"0\"} 3",
             "mbt_plan_eval_p99_seconds{dataset=\"1\",plan=\"",
+            "mbt_shed_quota_total 1",
+            "mbt_worker_panics_total 1",
+            "mbt_tenant_weight{tenant=\"7\"} 4",
+            "mbt_tenant_admitted_total{tenant=\"7\"} 4",
+            "mbt_tenant_shed_total{tenant=\"7\"} 1",
         ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }

@@ -19,6 +19,10 @@
 //! around the build so an unwind removes the ticket and fills the slot
 //! with a caller-supplied substitute value before the panic propagates —
 //! followers always wake with *something* typed, never hang.
+//! [`Combiner::submit`] makes the same promise for batch execution: a
+//! leader whose `exec` sweep unwinds answers its drained batch *and*
+//! anything queued behind it with the substitute, retires the group, and
+//! re-throws to its own caller alone.
 
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -253,12 +257,20 @@ impl<K: Eq + Hash + Clone, P, R> Combiner<K, P, R> {
     /// must return exactly one result per payload). `before_first_drain`
     /// runs once if — and only if — this caller became the leader,
     /// before its first drain: the hook for an optional coalescing wait.
+    ///
+    /// `substitute` is the panic answer: if the leader's `exec` unwinds,
+    /// every participant of the drained batch — and anything that queued
+    /// behind it — receives `substitute()` instead of hanging, the group
+    /// retires, and the panic propagates to the leading caller only. It
+    /// also backfills any ticket `exec` under-delivered for (a
+    /// `debug_assert` catches that contract break in dev builds).
     pub fn submit(
         &self,
         key: K,
         payload: P,
         before_first_drain: impl FnOnce(),
         exec: impl Fn(Vec<P>) -> Vec<R>,
+        substitute: impl Fn() -> R,
     ) -> R {
         let ticket = Arc::new(Ticket::new());
         let drain_key = key.clone();
@@ -275,7 +287,7 @@ impl<K: Eq + Hash + Clone, P, R> Combiner<K, P, R> {
         };
         if is_leader {
             before_first_drain();
-            self.drain(&drain_key, &exec);
+            self.drain(&drain_key, &exec, &substitute);
         }
         // park until some drain fills our ticket (possibly our own)
         let mut slot = ticket.slot.lock().unwrap_or_else(PoisonError::into_inner);
@@ -292,7 +304,7 @@ impl<K: Eq + Hash + Clone, P, R> Combiner<K, P, R> {
 
     /// Leader loop: drain and execute batches until the group runs dry,
     /// then retire it so the next arrival leads afresh.
-    fn drain(&self, key: &K, exec: &impl Fn(Vec<P>) -> Vec<R>) {
+    fn drain(&self, key: &K, exec: &impl Fn(Vec<P>) -> Vec<R>, substitute: &impl Fn() -> R) {
         loop {
             let batch: Vec<(P, Arc<Ticket<R>>)> = {
                 let mut groups = self.groups.lock().unwrap_or_else(PoisonError::into_inner);
@@ -306,15 +318,71 @@ impl<K: Eq + Hash + Clone, P, R> Combiner<K, P, R> {
                 std::mem::take(&mut group.pending)
             };
             let (payloads, tickets): (Vec<P>, Vec<Arc<Ticket<R>>>) = batch.into_iter().unzip();
-            let results = exec(payloads);
-            debug_assert_eq!(
-                results.len(),
-                tickets.len(),
-                "exec must answer every payload"
-            );
-            for (ticket, result) in tickets.iter().zip(results) {
-                ticket.fill(result);
+            let results = {
+                let guard = DrainGuard {
+                    combiner: self,
+                    key,
+                    batch: &tickets,
+                    substitute,
+                };
+                let results = exec(payloads);
+                debug_assert_eq!(
+                    results.len(),
+                    tickets.len(),
+                    "exec must answer every payload"
+                );
+                guard.defuse();
+                results
+            };
+            let mut results = results.into_iter();
+            for ticket in &tickets {
+                // an under-delivering exec (a contract break the
+                // debug_assert above catches in dev builds) must not
+                // strand a follower: backfill with the substitute
+                match results.next() {
+                    Some(result) => ticket.fill(result),
+                    None => ticket.fill(substitute()),
+                }
             }
+        }
+    }
+}
+
+/// Answers the drained batch — and everything queued behind it — with the
+/// substitute if `exec` unwinds, so no follower is stranded on a group
+/// whose leader died mid-sweep.
+struct DrainGuard<'a, K: Eq + Hash + Clone, P, R, F: Fn() -> R> {
+    combiner: &'a Combiner<K, P, R>,
+    key: &'a K,
+    /// Tickets of the batch `exec` is running over.
+    batch: &'a [Arc<Ticket<R>>],
+    substitute: &'a F,
+}
+
+impl<K: Eq + Hash + Clone, P, R, F: Fn() -> R> DrainGuard<'_, K, P, R, F> {
+    fn defuse(self) {
+        std::mem::forget(self);
+    }
+}
+
+impl<K: Eq + Hash + Clone, P, R, F: Fn() -> R> Drop for DrainGuard<'_, K, P, R, F> {
+    fn drop(&mut self) {
+        // The leader's exec is unwinding. Retire the group first so the
+        // next arrival leads a fresh one, collecting any followers that
+        // queued behind the dying batch, then answer everyone.
+        let late = {
+            let mut groups = self
+                .combiner
+                .groups
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            groups.remove(self.key).map(|g| g.pending)
+        };
+        for ticket in self.batch {
+            ticket.fill((self.substitute)());
+        }
+        for (_, ticket) in late.into_iter().flatten() {
+            ticket.fill((self.substitute)());
         }
     }
 }
@@ -397,8 +465,89 @@ mod tests {
             5,
             || led = true,
             |batch| batch.into_iter().map(|p| p * 2).collect(),
+            || unreachable!("exec does not panic"),
         );
         assert_eq!(out, 10);
         assert!(led);
+    }
+
+    #[test]
+    fn panicking_exec_answers_followers_and_retires_group() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        let c = Arc::new(Combiner::<u8, u32, u32>::new());
+        // set inside the main caller's exec — i.e. strictly after its
+        // first drain took the batch — so the spawned caller is a
+        // *follower* on every schedule (were it free to race, it could
+        // lead, panic, retire the group, and leave the main caller's
+        // exec waiting for a follower that will never come)
+        let leading = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|s| {
+            let follower = {
+                let c = Arc::clone(&c);
+                let leading = Arc::clone(&leading);
+                s.spawn(move || {
+                    while !leading.load(Ordering::Acquire) {
+                        std::thread::yield_now();
+                    }
+                    c.submit(
+                        0,
+                        7,
+                        || {},
+                        |_| panic!("follower must not lead this test"),
+                        || 99,
+                    )
+                })
+            };
+            // lead a batch whose exec dies only after the follower has
+            // queued behind it, so the substitute demonstrably answers a
+            // parked caller
+            let leader = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                c.submit(
+                    0,
+                    5,
+                    || {},
+                    |batch| {
+                        assert_eq!(batch, vec![5]);
+                        leading.store(true, Ordering::Release);
+                        while {
+                            let groups = c.groups.lock().unwrap();
+                            groups.get(&0).is_none_or(|g| g.pending.is_empty())
+                        } {
+                            std::thread::yield_now();
+                        }
+                        panic!("sweep died mid-batch")
+                    },
+                    || 99,
+                )
+            }));
+            // the panic reached the leading caller alone; the queued
+            // follower woke with the typed substitute instead of hanging
+            assert!(leader.is_err());
+            assert_eq!(follower.join().unwrap(), 99);
+        });
+        // the group retired: the next caller leads afresh and succeeds
+        let out = c.submit(
+            0,
+            3,
+            || {},
+            |batch| batch.into_iter().map(|p| p + 1).collect(),
+            || unreachable!("healthy exec"),
+        );
+        assert_eq!(out, 4);
+    }
+
+    #[test]
+    fn under_delivering_exec_backfills_with_substitute() {
+        let c: Combiner<u8, u32, u32> = Combiner::new();
+        // exec breaks its contract and returns nothing; release builds
+        // must still answer the caller (debug builds assert instead)
+        let run = || c.submit(0, 5, || {}, |_| Vec::new(), || 77);
+        if cfg!(debug_assertions) {
+            let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run));
+            assert!(out.is_err(), "debug builds catch the contract break");
+        } else {
+            assert_eq!(run(), 77);
+        }
     }
 }

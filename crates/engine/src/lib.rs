@@ -37,8 +37,14 @@
 //!   allocation-free evaluation kernels. Per-target independence makes
 //!   the coalescing bit-exact.
 //! - **Admission** ([`AdmissionGate`] — internal to [`Engine::query`]):
-//!   bounded in-flight work, bounded queue, overload and deadline
-//!   shedding as typed [`EngineError`]s. The engine never panics.
+//!   bounded in-flight work over per-tenant weighted-fair queues
+//!   ([`FairGate`] — virtual-time WFQ, strict no-barging hand-off), with
+//!   overload, deadline, and tenant-budget shedding as typed
+//!   [`EngineError`]s. The engine never panics.
+//! - **Tenancy** ([`TenantId`] / [`TenantConfig`]): requests carry a
+//!   tenant; registered tenants get a fair-share weight and optional
+//!   budgets on plan-cache bytes and evaluation milliseconds, enforced
+//!   as [`EngineError::QuotaExceeded`] sheds.
 //! - **Sharded serving** ([`Engine::register_sharded`] + the fan-out in
 //!   [`evaluate_sharded`]): a dataset may be Hilbert-partitioned into `k`
 //!   contiguous weight-balanced key ranges. Each shard gets its own
@@ -84,6 +90,8 @@ mod plan;
 mod registry;
 mod route;
 mod stats;
+mod tenant;
+mod wfq;
 
 pub mod flight;
 pub mod scheduler;
@@ -107,6 +115,8 @@ pub use route::{
 };
 pub use scheduler::Batcher;
 pub use stats::{DatasetBreakdown, EngineStats, LatencySummary, PlanBreakdown, StatsCollector};
+pub use tenant::{TenantBreakdown, TenantConfig, TenantId};
+pub use wfq::{Admission, FairGate, VT_SCALE};
 
 // The observability vocabulary the engine's accessors speak.
 pub use mbt_obs::{HistogramSnapshot, Phase, SlowQuery, Span};

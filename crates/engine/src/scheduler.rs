@@ -12,6 +12,11 @@
 //! Shedding: requests whose deadline has passed by the time their batch
 //! is drained are answered [`EngineError::DeadlineExceeded`] without
 //! costing any evaluation work.
+//!
+//! Panic labeling: a sweep that panics answers everyone riding it with
+//! [`EngineError::WorkerPanicked`] (counted in `worker_panics`) — never
+//! the `DeadlineExceeded` mislabel the engine used to report, which made
+//! an engine bug look like client-caused shedding.
 
 use std::time::{Duration, Instant};
 
@@ -93,15 +98,35 @@ impl Batcher {
             kind,
             cfg,
         };
+        self.submit(key, Pending { points, deadline }, stats, |batch| {
+            Batcher::execute(plan, kind, key, stats, &batch)
+        })
+    }
+
+    /// Combiner wiring shared by [`Batcher::run`] and the tests that
+    /// inject a broken evaluator: the coalescing window before a leader's
+    /// first drain, and [`EngineError::WorkerPanicked`] (plus its
+    /// counter) as the substitute a panicking sweep leaves behind.
+    fn submit(
+        &self,
+        key: GroupKey,
+        pending: Pending,
+        stats: &StatsCollector,
+        exec: impl Fn(Vec<Pending>) -> Vec<Result<(QueryOutput, EvalStats), EngineError>>,
+    ) -> Result<(QueryOutput, EvalStats), EngineError> {
         self.combiner.submit(
             key,
-            Pending { points, deadline },
+            pending,
             || {
                 if !self.window.is_zero() {
                     std::thread::sleep(self.window);
                 }
             },
-            |batch| Batcher::execute(plan, kind, key, stats, &batch),
+            exec,
+            || {
+                stats.record_worker_panic();
+                Err(EngineError::WorkerPanicked)
+            },
         )
     }
 
@@ -238,5 +263,50 @@ mod tests {
         let snap = stats.snapshot(crate::stats::Gauges::default());
         assert_eq!(snap.shed_deadline, 1);
         assert_eq!(snap.batches, 0); // no evaluation ran
+    }
+
+    /// The injected-evaluator regression (ISSUE 10): a panicking sweep
+    /// must label its riders [`EngineError::WorkerPanicked`] and count
+    /// it — the old engine reported `DeadlineExceeded` for this.
+    #[test]
+    fn panicking_evaluator_surfaces_worker_panicked() {
+        let (plan, cfg) = plan();
+        let batcher = Batcher::new();
+        let stats = StatsCollector::default();
+        let key = GroupKey {
+            plan: plan.key,
+            kind: QueryKind::Potential,
+            cfg,
+        };
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            batcher.submit(
+                key,
+                Pending {
+                    points: vec![Vec3::new(2.0, 0.0, 0.0)],
+                    deadline: None,
+                },
+                &stats,
+                |_| panic!("evaluator died mid-sweep"),
+            )
+        }));
+        // the panic reached the leading caller; the substitute stamped
+        // the typed error and its counter on the way out
+        assert!(attempt.is_err());
+        let snap = stats.snapshot(crate::stats::Gauges::default());
+        assert_eq!(snap.worker_panics, 1);
+        assert_eq!(snap.shed_deadline, 0, "a panic is not client shedding");
+
+        // the group retired: the batcher still serves afterwards
+        let (out, _) = batcher
+            .run(
+                &plan,
+                QueryKind::Potential,
+                cfg,
+                vec![Vec3::new(2.0, 0.0, 0.0)],
+                None,
+                &stats,
+            )
+            .unwrap();
+        assert_eq!(out.potentials().unwrap().len(), 1);
     }
 }

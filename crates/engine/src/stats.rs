@@ -30,6 +30,7 @@ use crate::fanout::FanoutBreakdown;
 use crate::plan::PlanKey;
 use crate::registry::DatasetId;
 use crate::route::Backend;
+use crate::tenant::TenantBreakdown;
 
 /// Spans retained for inspection via [`crate::Engine::spans`].
 const SPAN_RING_CAPACITY: usize = 1024;
@@ -106,7 +107,10 @@ pub struct StatsCollector {
     admitted: AtomicU64,
     shed_overload: AtomicU64,
     shed_deadline: AtomicU64,
+    shed_quota: AtomicU64,
     queue_peak: AtomicU64,
+    // batch-leader panics surfaced as WorkerPanicked
+    worker_panics: AtomicU64,
     // latency distributions
     build_hist: Histogram,
     eval_hist: Histogram,
@@ -153,7 +157,9 @@ impl StatsCollector {
             admitted: AtomicU64::new(0),
             shed_overload: AtomicU64::new(0),
             shed_deadline: AtomicU64::new(0),
+            shed_quota: AtomicU64::new(0),
             queue_peak: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
             build_hist: Histogram::new(),
             eval_hist: Histogram::new(),
             query_hist: Histogram::new(),
@@ -316,6 +322,16 @@ impl StatsCollector {
         self.shed_deadline.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_shed_quota(&self) {
+        // ordering: Relaxed — independent monotonic counter; no data is published through it
+        self.shed_quota.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_worker_panic(&self) {
+        // ordering: Relaxed — independent monotonic counter; no data is published through it
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn observe_queue_depth(&self, depth: usize) {
         // ordering: Relaxed — running maximum; the RMW itself is atomic, order against other counters is irrelevant
         self.queue_peak.fetch_max(depth as u64, Ordering::Relaxed);
@@ -413,7 +429,9 @@ impl StatsCollector {
             admitted: ld(&self.admitted),
             shed_overload: ld(&self.shed_overload),
             shed_deadline: ld(&self.shed_deadline),
+            shed_quota: ld(&self.shed_quota),
             queue_peak: ld(&self.queue_peak),
+            worker_panics: ld(&self.worker_panics),
             build_latency: LatencySummary::of(&build),
             eval_latency: LatencySummary::of(&eval),
             query_latency: LatencySummary::of(&query),
@@ -429,6 +447,9 @@ impl StatsCollector {
             span_read_retries: self.spans.read_retries(),
             per_plan,
             per_dataset,
+            // the engine owns the tenant table and fills this in
+            // Engine::stats; a bare collector snapshot reports none
+            per_tenant: Vec::new(),
             resident_plans: gauges.resident_plans,
             resident_bytes: gauges.resident_bytes,
             cache_budget_bytes: gauges.cache_budget_bytes,
@@ -595,6 +616,11 @@ pub struct EngineStats {
     pub shed_overload: u64,
     /// Requests shed because their deadline expired while queued.
     pub shed_deadline: u64,
+    /// Requests shed because their tenant exhausted a configured budget.
+    pub shed_quota: u64,
+    /// Evaluation sweeps whose leader panicked (surfaced to riders as
+    /// [`crate::EngineError::WorkerPanicked`]).
+    pub worker_panics: u64,
     /// Requests currently being evaluated.
     pub in_flight: usize,
     /// Requests currently waiting for an evaluation slot.
@@ -632,6 +658,9 @@ pub struct EngineStats {
     pub per_plan: Vec<PlanBreakdown>,
     /// Per-dataset aggregate, sorted by dataset id.
     pub per_dataset: Vec<DatasetBreakdown>,
+    /// Per-tenant accounts (weights, admissions, sheds, budget charges),
+    /// sorted by tenant id. Empty until a request names a tenant.
+    pub per_tenant: Vec<TenantBreakdown>,
 }
 
 impl EngineStats {
@@ -703,11 +732,13 @@ impl std::fmt::Display for EngineStats {
         )?;
         write!(
             f,
-            "admission: {} admitted, {} shed (overload) + {} shed (deadline), \
-             {} in flight, queue {} (peak {})",
+            "admission: {} admitted, {} shed (overload) + {} shed (deadline) \
+             + {} shed (quota), {} worker panics, {} in flight, queue {} (peak {})",
             self.admitted,
             self.shed_overload,
             self.shed_deadline,
+            self.shed_quota,
+            self.worker_panics,
             self.in_flight,
             self.queue_depth,
             self.queue_peak,
@@ -738,6 +769,8 @@ mod tests {
         c.record_admitted();
         c.record_shed_overload();
         c.record_shed_deadline();
+        c.record_shed_quota();
+        c.record_worker_panic();
         c.observe_queue_depth(4);
         c.observe_queue_depth(2);
         let s = c.snapshot(Gauges {
@@ -761,6 +794,9 @@ mod tests {
         assert_eq!(s.max_batch, 7);
         assert_eq!(s.eval_points, 1000);
         assert_eq!(s.queue_peak, 4);
+        assert_eq!(s.shed_quota, 1);
+        assert_eq!(s.worker_panics, 1);
+        assert!(s.per_tenant.is_empty(), "tenants are engine-filled");
         assert!((s.hit_rate() - 0.5).abs() < 1e-12);
         assert!((s.mean_batch() - 5.0).abs() < 1e-12);
         // the histograms carry exactly what the counters saw

@@ -83,6 +83,8 @@ pub const SYNC_FACADE_MODULES: &[&str] = &[
     "crates/engine/src/scheduler.rs",
     "crates/engine/src/stats.rs",
     "crates/engine/src/admission.rs",
+    "crates/engine/src/wfq.rs",
+    "crates/engine/src/tenant.rs",
     "crates/engine/src/flight.rs",
 ];
 
